@@ -1,0 +1,60 @@
+"""Ablation: thermal grid resolution.
+
+DESIGN.md's compact-model trade-off: more grid cells mean higher
+fidelity (sharper hotspots) and slower solves.  This bench quantifies
+both sides — how the OFTEC operating point moves with resolution and how
+the per-evaluation cost scales — and times a steady-state solve at the
+production resolution.
+"""
+
+from repro import build_cooling_problem, mibench_profiles, run_oftec
+from repro.core import Evaluator
+from repro.units import kelvin_to_celsius, rad_s_to_rpm
+
+RESOLUTIONS = (6, 8, 12, 16)
+
+
+def test_grid_resolution_ablation(benchmark):
+    profile = mibench_profiles()["basicmath"]
+
+    print()
+    print(f"{'grid':>6}{'nodes':>8}{'I* (A)':>9}{'omega* (RPM)':>14}"
+          f"{'T (C)':>8}{'P (W)':>8}{'runtime (ms)':>14}")
+    results = {}
+    for resolution in RESOLUTIONS:
+        problem = build_cooling_problem(profile,
+                                        grid_resolution=resolution)
+        result = run_oftec(problem)
+        results[resolution] = (problem, result)
+        print(f"{resolution:>4}x{resolution:<2}"
+              f"{problem.model.network.node_count:>7}"
+              f"{result.current_star:>9.2f}"
+              f"{rad_s_to_rpm(result.omega_star):>14.0f}"
+              f"{kelvin_to_celsius(result.max_chip_temperature):>8.1f}"
+              f"{result.total_power:>8.2f}"
+              f"{result.runtime_seconds * 1e3:>14.0f}")
+
+    # Fidelity: hotspots sharpen with resolution, so the coarsest grid
+    # must not report a *hotter* die than the finest.
+    coarse_t = results[RESOLUTIONS[0]][1].max_chip_temperature
+    fine_t = results[RESOLUTIONS[-1]][1].max_chip_temperature
+    assert coarse_t <= fine_t + 1.0
+
+    # Stability: the power optimum moves by < 25% across a ~7x node
+    # count change.
+    powers = [r.total_power for _, r in results.values()]
+    assert max(powers) < min(powers) * 1.25
+
+    # All feasible at every resolution.
+    assert all(r.feasible for _, r in results.values())
+
+    # Timed unit: one steady-state evaluation at production resolution.
+    problem16, _ = results[16]
+    evaluator = Evaluator(problem16)
+
+    def solve_once():
+        evaluator.clear_cache()
+        return evaluator.evaluate(262.0, 1.0)
+
+    evaluation = benchmark(solve_once)
+    assert not evaluation.runaway

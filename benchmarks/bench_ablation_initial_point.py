@@ -1,0 +1,56 @@
+"""Ablation: Algorithm 1's initial point.
+
+The paper picks (omega_max/2, I_max/2) because the Optimization 2
+minimum empirically sits near the middle of the plane (Figure 6(a)).
+This bench compares that choice against the plane's corners, counting
+thermal solves to a feasible point and checking final quality; the timed
+unit is Optimization 2 from the paper's midpoint.
+"""
+
+from repro.core import Evaluator, minimize_temperature
+
+STARTS = {
+    "midpoint (paper)": (0.5, 0.5),
+    "origin": (0.05, 0.0),
+    "max omega, no TEC": (1.0, 0.0),
+    "no fan, max TEC": (0.05, 1.0),
+    "both max": (1.0, 1.0),
+}
+
+
+def test_initial_point_ablation(tec_problem, profiles, benchmark):
+    heavy = tec_problem.with_profile(profiles["quicksort"])
+    limits = heavy.limits
+
+    print()
+    print(f"{'start':<20}{'T (C)':>9}{'solves':>9}{'feasible':>10}")
+    outcomes = {}
+    for label, (omega_frac, current_frac) in STARTS.items():
+        evaluator = Evaluator(heavy)
+        outcome = minimize_temperature(
+            evaluator,
+            x0=(omega_frac * limits.omega_max,
+                current_frac * limits.i_tec_max))
+        outcomes[label] = (outcome, evaluator.solve_count)
+        print(f"{label:<20}"
+              f"{outcome.evaluation.max_chip_temperature - 273.15:>9.1f}"
+              f"{evaluator.solve_count:>9}"
+              f"{str(outcome.evaluation.feasible):>10}")
+
+    # The paper's midpoint start must find a feasible point.
+    midpoint_outcome, midpoint_solves = outcomes["midpoint (paper)"]
+    assert midpoint_outcome.evaluation.feasible
+
+    # It should be competitive with the best start in solution quality.
+    best_t = min(o.evaluation.max_chip_temperature
+                 for o, _ in outcomes.values())
+    assert midpoint_outcome.evaluation.max_chip_temperature \
+        <= best_t + 3.0
+
+    # Timed unit: Optimization 2 from the paper's midpoint.
+    def opt2_from_midpoint():
+        return minimize_temperature(Evaluator(heavy))
+
+    result = benchmark.pedantic(opt2_from_midpoint, rounds=2,
+                                iterations=1)
+    assert result.evaluation.feasible

@@ -1,0 +1,76 @@
+"""Ablation: leakage handling (Equation 4 vs alternatives).
+
+The paper adopts reference [13]'s linear Taylor term because it keeps
+Constraint (14) linear and converges in a handful of iterations.  This
+bench quantifies the design choice three ways:
+
+* relinearization iteration counts with and without warm starting,
+* the temperature error of *freezing* leakage at its nominal value
+  (the naive alternative the paper rejects),
+* the cost of ignoring leakage entirely.
+
+The timed unit is one warm-started steady solve — the evaluator's inner
+loop during optimization.
+"""
+
+import numpy as np
+
+from repro.thermal import solve_steady_state
+from repro.units import kelvin_to_celsius
+
+
+def test_leakage_linearization_ablation(tec_problem, profiles,
+                                        benchmark):
+    model = tec_problem.model
+    leakage = tec_problem.leakage
+    power = tec_problem.dynamic_cell_power
+    omega, current = 262.0, 0.5
+
+    # Full model: tangent relinearization until convergence.
+    full = solve_steady_state(model, omega, current, power, leakage)
+    print()
+    print(f"tangent relinearization: "
+          f"T = {kelvin_to_celsius(full.max_chip_temperature):.2f} C in "
+          f"{full.stats.outer_iterations} outer iterations")
+
+    # Warm start: restart from the converged field, perturbed inputs.
+    warm = solve_steady_state(model, omega + 5.0, current, power,
+                              leakage,
+                              initial_guess=full.chip_temperatures)
+    print(f"warm-started neighbour solve: "
+          f"{warm.stats.outer_iterations} outer iterations "
+          f"(cold start: {full.stats.outer_iterations})")
+    assert warm.stats.outer_iterations <= full.stats.outer_iterations
+
+    # Frozen leakage: one linearization at the ambient guess, no loop.
+    # Emulated by a model whose beta is tiny (constant-power leakage at
+    # the nominal temperature).
+    from repro.leakage import CellLeakageModel
+    frozen_model = CellLeakageModel(
+        leakage.power(np.full(leakage.cell_count,
+                              model.config.ambient + 30.0)),
+        beta=1e-9, t_nominal=leakage.t_nominal)
+    frozen = solve_steady_state(model, omega, current, power,
+                                frozen_model)
+    frozen_error = abs(frozen.max_chip_temperature
+                       - full.max_chip_temperature)
+    print(f"frozen leakage error: {frozen_error:.2f} C "
+          "(the naive alternative the paper rejects)")
+    assert frozen_error > 0.5  # the design choice matters
+
+    # No leakage at all: a much larger error in the same direction.
+    none = solve_steady_state(model, omega, current, power,
+                              leakage=None)
+    none_error = full.max_chip_temperature - none.max_chip_temperature
+    print(f"ignoring leakage underestimates the die by "
+          f"{none_error:.2f} C")
+    assert none_error > frozen_error
+
+    # Timed unit: warm-started solve (the optimizer's hot path).
+    def warm_solve():
+        return solve_steady_state(
+            model, omega, current, power, leakage,
+            initial_guess=full.chip_temperatures)
+
+    result = benchmark(warm_solve)
+    assert result.stats.converged

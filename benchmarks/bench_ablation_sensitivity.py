@@ -1,0 +1,53 @@
+"""Ablation: which physical parameters move the OFTEC optimum.
+
+Perturbs the TEC figure-of-merit ingredients, the fan constant, and the
+ambient temperature by +/-20 % and reruns Algorithm 1.  The assertions
+encode the physics the paper leans on: better thermoelectric material
+(higher Seebeck) reduces total power; a hotter ambient increases it; a
+cheaper fan never hurts.  The timed unit is one perturbed re-optimization.
+"""
+
+from repro.analysis import (
+    format_sensitivity_report,
+    run_sensitivity_study,
+)
+
+
+def test_parameter_sensitivity(profiles, resolution, benchmark):
+    report = run_sensitivity_study(
+        profiles["basicmath"],
+        parameters=["tec_seebeck", "tec_resistance",
+                    "fan_power_constant", "ambient_temperature"],
+        scales=[0.8, 1.2],
+        grid_resolution=min(resolution, 8))
+
+    print()
+    print(format_sensitivity_report(report))
+
+    grouped = report.by_parameter()
+
+    # Hotter ambient always costs power (both scales bracket nominal).
+    hot = next(e for e in grouped["ambient_temperature"]
+               if e.scale > 1.0)
+    cool = next(e for e in grouped["ambient_temperature"]
+                if e.scale < 1.0)
+    assert hot.d_power > 0.0
+    assert cool.d_power < 0.0
+
+    # A cheaper fan can only help.
+    cheap_fan = next(e for e in grouped["fan_power_constant"]
+                     if e.scale < 1.0)
+    assert cheap_fan.d_power <= 0.005
+
+    # Ambient temperature dominates the +/-20% studies: it moves both
+    # the leakage operating point and the whole thermal budget.
+    assert report.most_sensitive_parameter() == "ambient_temperature"
+
+    def one_perturbation():
+        return run_sensitivity_study(
+            profiles["basicmath"], parameters=["tec_seebeck"],
+            scales=[1.2], grid_resolution=6)
+
+    result = benchmark.pedantic(one_perturbation, rounds=2,
+                                iterations=1)
+    assert result.nominal.feasible

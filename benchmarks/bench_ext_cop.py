@@ -1,0 +1,44 @@
+"""Extension: system-COP landscape (the reference [8] formulation).
+
+Maps the whole-package coefficient of performance over the operating
+plane and checks the structure the paper's prior work establishes: COP
+is maximized at gentle actuation (low fan speed just above the runaway
+boundary, little or no TEC current), is far above the bare-TEC COP, and
+*differs* from both the min-temperature and the min-power operating
+points — three distinct optima for three objectives.  The timed unit is
+the COP post-processing over a cached sweep.
+"""
+
+from repro.analysis import analyze_system_cop
+from repro.core import Evaluator
+from repro.units import rad_s_to_rpm
+
+
+def test_system_cop(tec_problem, basicmath_sweep, benchmark):
+    evaluator = Evaluator(tec_problem)
+    analysis = analyze_system_cop(tec_problem, evaluator=evaluator,
+                                  sweep=basicmath_sweep)
+
+    omega_cop, current_cop, best_cop = analysis.max_cop_point()
+    print()
+    print(f"max system COP = {best_cop:.1f} at "
+          f"{rad_s_to_rpm(omega_cop):.0f} RPM / {current_cop:.2f} A")
+
+    # Whole-package COP is far above bare-TEC territory.
+    assert best_cop > 3.0
+
+    # COP peaks at gentle actuation.
+    assert omega_cop < 0.6 * tec_problem.limits.omega_max
+    assert current_cop < 0.5 * tec_problem.limits.i_tec_max
+
+    # The three objectives (min T, min P, max COP) pick different
+    # points: min-T needs far more fan than max-COP.
+    omega_t, _, _ = basicmath_sweep.min_temperature_point()
+    assert omega_t > omega_cop
+
+    def post_process():
+        return analyze_system_cop(tec_problem, evaluator=evaluator,
+                                  sweep=basicmath_sweep)
+
+    result = benchmark(post_process)
+    assert result.cop.shape == basicmath_sweep.temperature.shape

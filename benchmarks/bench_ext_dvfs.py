@@ -1,0 +1,46 @@
+"""Extension: the DVFS cost of not having TECs.
+
+Section 6.2 notes that workloads the baselines cannot cool "should be
+further cooled down using other thermal management techniques such as
+reducing the voltage/frequency ... which leads to performance
+degradation".  This bench puts a number on that degradation: the maximum
+frequency each heavy benchmark can sustain under the no-TEC baseline vs
+under OFTEC.  The timed unit is one max-frequency search.
+"""
+
+from conftest import HEAVY_BENCHMARKS
+from repro.core import find_max_frequency
+
+
+def test_dvfs_throttling_cost(tec_problem, baseline_problem, profiles,
+                              benchmark):
+    print()
+    print(f"{'benchmark':<14}{'baseline f_max':>16}"
+          f"{'OFTEC f_max':>13}{'perf. saved by TECs':>21}")
+    saved_any = False
+    for name in HEAVY_BENCHMARKS[:3]:  # three representatives
+        base = find_max_frequency(
+            baseline_problem.with_profile(profiles[name]),
+            tolerance=0.02)
+        hybrid = find_max_frequency(
+            tec_problem.with_profile(profiles[name]), tolerance=0.02)
+        saved = (hybrid.scaling - base.scaling) * 100.0
+        print(f"{name:<14}{base.scaling:>15.2f}x"
+              f"{hybrid.scaling:>12.2f}x{saved:>20.1f}%")
+        # The baseline must throttle; OFTEC must throttle less (and in
+        # the calibrated setup, not at all).
+        assert base.feasible
+        assert base.scaling < 1.0, name
+        assert hybrid.scaling > base.scaling, name
+        if hybrid.scaling >= 0.999:
+            saved_any = True
+    assert saved_any  # OFTEC sustains nominal frequency somewhere
+
+    heavy_baseline = baseline_problem.with_profile(
+        profiles["quicksort"])
+
+    def search():
+        return find_max_frequency(heavy_baseline, tolerance=0.05)
+
+    result = benchmark.pedantic(search, rounds=2, iterations=1)
+    assert result.feasible

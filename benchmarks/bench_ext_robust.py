@@ -1,0 +1,55 @@
+"""Extension: robust (min-max) OFTEC over a workload envelope.
+
+When the controller cannot switch operating points (fixed firmware, a
+shared cooling zone), one ``(omega, I)`` must cover the whole workload
+set.  This bench quantifies the price of that rigidity: the robust point
+is feasible for every member, costs at least as much as the heaviest
+member's own optimum, and wastes power on the light members relative to
+per-workload control.  The timed unit is the min-max optimization.
+"""
+
+from repro import run_oftec
+from repro.core import run_oftec_robust
+from repro.units import rad_s_to_rpm
+
+WORKLOADS = ("basicmath", "fft", "quicksort")
+
+
+def test_robust_oftec(tec_problem, profiles, benchmark):
+    problems = [tec_problem.with_profile(profiles[name])
+                for name in WORKLOADS]
+    robust = run_oftec_robust(problems)
+    individual = {name: run_oftec(problem)
+                  for name, problem in zip(WORKLOADS, problems)}
+
+    print()
+    print(f"robust point: omega* = "
+          f"{rad_s_to_rpm(robust.omega_star):.0f} RPM, "
+          f"I* = {robust.current_star:.2f} A, worst-case P = "
+          f"{robust.worst_case_power:.2f} W")
+    print(f"{'workload':<12}{'robust P (W)':>14}"
+          f"{'per-workload P (W)':>20}{'rigidity cost':>15}")
+    for name in WORKLOADS:
+        at_robust = robust.per_workload[name].total_power
+        own = individual[name].total_power
+        print(f"{name:<12}{at_robust:>14.2f}{own:>20.2f}"
+              f"{(at_robust - own):>+14.2f}W")
+
+    # Feasible for every member.
+    assert robust.feasible
+    for name in WORKLOADS:
+        assert robust.per_workload[name].feasible, name
+
+    # Never beats the heaviest member's own optimum ...
+    assert robust.worst_case_power >= \
+        individual["quicksort"].total_power * 0.98
+    # ... and over-cools the light member (the rigidity cost is real).
+    assert robust.per_workload["basicmath"].total_power > \
+        individual["basicmath"].total_power
+
+    def optimize_robust():
+        return run_oftec_robust(problems)
+
+    result = benchmark.pedantic(optimize_robust, rounds=2,
+                                iterations=1)
+    assert result.feasible

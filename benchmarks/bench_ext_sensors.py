@@ -1,0 +1,57 @@
+"""Extension: sensor placement and the guard band it forces.
+
+A DTM loop reads sensors, not the true hotspot.  This bench measures the
+aliasing error of three placements across the steady states of all eight
+benchmarks and derives the guard band each forces below T_max — margin
+that directly erodes the headroom OFTEC exploits.  The timed unit is one
+guard-band evaluation over the precomputed fields.
+"""
+
+from repro.core import Evaluator
+from repro.thermal import SensorArray, recommended_guard_band
+
+PLACEMENTS = {
+    # Hotspots move with the workload: integer kernels peak in the int
+    # core, FP kernels in the FP cluster — a robust placement covers
+    # both (sensing only the int core aliases by >10 K on FFT/Susan).
+    "int+fp hot units": ["IntExec", "IntReg", "LdStQ", "FPAdd",
+                         "FPMul"],
+    "one per cluster": ["IntExec", "FPAdd", "LdStQ", "Bpred", "L2"],
+    "caches only": ["Icache", "Dcache", "L2"],
+}
+
+
+def test_sensor_guard_bands(tec_problem, profiles, benchmark):
+    coverage = tec_problem.coverage
+
+    # Steady states of the whole suite at a common operating point.
+    fields = []
+    for name, profile in profiles.items():
+        problem = tec_problem.with_profile(profile)
+        evaluation = Evaluator(problem).evaluate(350.0, 0.5)
+        assert not evaluation.runaway, name
+        fields.append(evaluation.steady.chip_temperatures)
+
+    print()
+    print(f"{'placement':<24}{'sensors':>9}{'guard band (K)':>16}")
+    bands = {}
+    for label, units in PLACEMENTS.items():
+        array = SensorArray.at_unit_centers(coverage, units)
+        band = recommended_guard_band(array, fields, quantile=1.0)
+        bands[label] = band
+        print(f"{label:<24}{len(units):>9}{band:>16.2f}")
+
+    # Sensors on the hot units track the real maximum tightly; cache
+    # sensors miss it badly.
+    assert bands["int+fp hot units"] < 1.0
+    assert bands["caches only"] > 3.0
+    assert bands["one per cluster"] <= bands["caches only"]
+
+    array = SensorArray.at_unit_centers(
+        coverage, PLACEMENTS["one per cluster"])
+
+    def guard_band():
+        return recommended_guard_band(array, fields, quantile=0.95)
+
+    band = benchmark(guard_band)
+    assert band >= 0.0

@@ -1,0 +1,52 @@
+"""Figure 6(a): maximum die temperature over the (omega, I_TEC) plane.
+
+Regenerates the Basicmath temperature surface and checks its published
+shape: a thermal-runaway cliff at low fan speed that TEC current alone
+cannot cross, a smooth bowl elsewhere, and a minimum at an interior
+current (not at I = 0 and not at I = I_max).  The timed unit is one
+operating-point evaluation — the atom the whole surface is built from.
+"""
+
+import numpy as np
+
+from repro.analysis import format_surface
+from repro.core import Evaluator
+from repro.units import kelvin_to_celsius, rad_s_to_rpm
+
+
+def test_fig6a_surface_shape(basicmath_sweep, tec_problem, benchmark):
+    sweep = basicmath_sweep
+
+    print()
+    print(format_surface(sweep, "temperature", max_cols=11))
+
+    # Paper shape 1: the omega = 0 column is thermal runaway at every
+    # current ("the value of T tends to infinity for small omega").
+    assert sweep.runaway_mask[0].all()
+
+    # Paper shape 2: current alone cannot rescue the chip -- the
+    # runaway boundary stays at a nonzero fan speed for every current.
+    boundary = sweep.runaway_boundary_omega()
+    assert np.isfinite(boundary).all()
+    assert (boundary > 0.0).all()
+
+    # Paper shape 3: the coolest point needs *both* actuators -- an
+    # interior current and a healthy fan speed.
+    omega_t, current_t, t_best = sweep.min_temperature_point()
+    assert current_t > 0.0
+    assert current_t < tec_problem.limits.i_tec_max
+    assert omega_t > 0.3 * tec_problem.limits.omega_max
+
+    print(f"coolest point: {kelvin_to_celsius(t_best):.1f} C at "
+          f"{rad_s_to_rpm(omega_t):.0f} RPM / {current_t:.2f} A "
+          "(paper: interior minimum near the middle of the plane)")
+
+    # Timed unit: one (omega, I) evaluation on a fresh evaluator.
+    evaluator = Evaluator(tec_problem)
+
+    def evaluate_once():
+        evaluator.clear_cache()
+        return evaluator.evaluate(262.0, 1.0)
+
+    result = benchmark(evaluate_once)
+    assert not result.runaway

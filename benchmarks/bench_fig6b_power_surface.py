@@ -1,0 +1,53 @@
+"""Figure 6(b): cooling power 𝒫 over the (omega, I_TEC) plane.
+
+Regenerates the Basicmath power surface and checks its published shape:
+runaway at low omega (leakage diverges), and a minimum near the origin
+of the feasible region — low fan speed, low current — because 𝒫 grows
+cubically in omega and quadratically in I.  The timed unit is one full
+surface row (a fixed-current omega sweep).
+"""
+
+import numpy as np
+
+from repro.analysis import format_surface, sweep_objective_surfaces
+from repro.units import rad_s_to_rpm
+
+
+def test_fig6b_surface_shape(basicmath_sweep, tec_problem, benchmark):
+    sweep = basicmath_sweep
+
+    print()
+    print(format_surface(sweep, "power", max_cols=11))
+
+    # Paper shape 1: the power surface shares the runaway region with
+    # the temperature surface (both "tend to infinity").
+    assert ((~np.isfinite(sweep.power)) == sweep.runaway_mask).all()
+
+    # Paper shape 2: the minimum lies near the origin of the bounded
+    # region -- modest omega, small current.
+    omega_p, current_p, p_best = sweep.min_power_point(
+        feasible_only=True)
+    assert omega_p < 0.5 * tec_problem.limits.omega_max
+    assert current_p < 0.3 * tec_problem.limits.i_tec_max
+    print(f"cheapest feasible point: {p_best:.2f} W at "
+          f"{rad_s_to_rpm(omega_p):.0f} RPM / {current_p:.2f} A "
+          "(paper: minimum occurs near the origin)")
+
+    # Paper shape 3: power increases monotonically along both axes far
+    # from the minimum (the cubic fan law and quadratic Joule term).
+    finite_rows = np.flatnonzero(~sweep.runaway_mask.any(axis=1))
+    top_rows = finite_rows[-3:]
+    for row in top_rows:
+        assert sweep.power[row, -1] > sweep.power[row, 0]
+    high_current_column = sweep.power[finite_rows[-1], :]
+    assert high_current_column[-1] > high_current_column.min()
+
+    # Timed unit: a fixed-current omega sweep (one surface row).
+    def sweep_row():
+        return sweep_objective_surfaces(
+            tec_problem, omega_points=8, current_points=1,
+            omega_range=(50.0, tec_problem.limits.omega_max),
+            current_range=(1.0, 1.0))
+
+    result = benchmark.pedantic(sweep_row, rounds=3, iterations=1)
+    assert result.power.shape == (8, 1)

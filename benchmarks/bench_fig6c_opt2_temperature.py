@@ -1,0 +1,52 @@
+"""Figure 6(c): maximum chip temperature after Optimization 2.
+
+Regenerates the per-benchmark minimum-temperature comparison: OFTEC
+meets T_max on all eight benchmarks, both no-TEC baselines bust it on
+the heavy five (the paper's red dashed box), and OFTEC sits well below
+the baselines on average (paper: more than 13 C).  The timed unit is one
+Optimization 2 run on the TEC system.
+"""
+
+from conftest import HEAVY_BENCHMARKS, LIGHT_BENCHMARKS, PAPER_HEADLINES
+from repro.analysis import format_comparison_table
+from repro.core import Evaluator, minimize_temperature
+
+
+def test_fig6c_opt2_temperatures(campaign, tec_problem, benchmark):
+    print()
+    print(format_comparison_table(campaign, "opt2"))
+
+    t_max = campaign.t_max
+
+    # OFTEC's coolest point meets the constraint on every benchmark.
+    for comparison in campaign.comparisons:
+        assert comparison.oftec_opt2.evaluation.max_chip_temperature \
+            < t_max, comparison.name
+
+    # Both baselines bust T_max on the heavy five even at their coolest.
+    for name in HEAVY_BENCHMARKS:
+        comparison = campaign[name]
+        assert comparison.variable_opt2.evaluation \
+            .max_chip_temperature > t_max, name
+        assert comparison.fixed.evaluation.max_chip_temperature \
+            > t_max, name
+
+    # ... and meet it on the light three.
+    for name in LIGHT_BENCHMARKS:
+        comparison = campaign[name]
+        assert comparison.variable_opt2.evaluation \
+            .max_chip_temperature < t_max, name
+
+    # OFTEC is clearly cooler on average (paper: > 13 C).
+    advantage = campaign.average_opt2_temperature_advantage()
+    print(f"average Opt-2 temperature advantage: {advantage:.1f} C "
+          f"(paper: > {PAPER_HEADLINES['opt2_advantage_c']:.0f} C)")
+    assert advantage > 5.0
+
+    # Timed unit: Optimization 2 on the TEC system (Basicmath).
+    def optimize_temperature():
+        return minimize_temperature(Evaluator(tec_problem))
+
+    outcome = benchmark.pedantic(optimize_temperature, rounds=2,
+                                 iterations=1)
+    assert outcome.evaluation.max_chip_temperature < t_max

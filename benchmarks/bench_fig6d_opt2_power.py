@@ -1,0 +1,49 @@
+"""Figure 6(d): cooling power after Optimization 2.
+
+The paper's observation: when the objective is the minimum temperature,
+OFTEC spends the *most* power of the three methods — the extra watts go
+into the TEC string running hard.  The timed unit is the TEC-power
+bookkeeping (Equation 12 evaluation) on a solved state.
+"""
+
+import numpy as np
+
+
+def test_fig6d_opt2_power(campaign, tec_problem, benchmark):
+    print()
+    print(f"{'benchmark':<14}{'OFTEC P(W)':>12}{'var P(W)':>10}"
+          f"{'fix P(W)':>10}{'OFTEC TEC share':>17}")
+    for comparison in campaign.comparisons:
+        oftec_eval = comparison.oftec_opt2.evaluation
+        share = oftec_eval.tec_power / oftec_eval.total_power * 100.0
+        print(f"{comparison.name:<14}"
+              f"{oftec_eval.total_power:>12.2f}"
+              f"{comparison.variable_opt2.evaluation.total_power:>10.2f}"
+              f"{comparison.fixed.evaluation.total_power:>10.2f}"
+              f"{share:>16.1f}%")
+
+    # Paper shape: OFTEC has the highest power under Optimization 2 on
+    # every benchmark, and the excess is mostly TEC power.
+    for comparison in campaign.comparisons:
+        oftec_eval = comparison.oftec_opt2.evaluation
+        assert oftec_eval.total_power > \
+            comparison.variable_opt2.evaluation.total_power, \
+            comparison.name
+        assert oftec_eval.total_power > \
+            comparison.fixed.evaluation.total_power, comparison.name
+        assert oftec_eval.tec_power > 0.2 * oftec_eval.total_power, \
+            comparison.name
+
+    # Timed unit: Equation (12) bookkeeping on a solved thermal state.
+    from repro.core import Evaluator
+    evaluation = Evaluator(tec_problem).evaluate(300.0, 2.0)
+    steady = evaluation.steady
+    model = tec_problem.model
+    array = model.tec_array
+
+    def tec_power_accounting():
+        cold, hot = model.tec_face_temperatures(steady.temperatures)
+        return array.total_power(cold, hot, 2.0)
+
+    power = benchmark(tec_power_accounting)
+    assert np.isfinite(power) and power > 0.0

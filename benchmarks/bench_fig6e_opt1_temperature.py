@@ -1,0 +1,56 @@
+"""Figure 6(e): maximum chip temperature after Optimization 1.
+
+The paper's observations at the power-optimal points: OFTEC deliberately
+lets the temperature rise relative to its Optimization 2 point (trading
+headroom for power) yet stays below T_max everywhere, and on the three
+comparable benchmarks it still sits cooler than both baselines (paper:
+3.7 C vs variable-omega, 3.0 C vs fixed-omega).  The timed unit is
+Algorithm 1's Optimization 1 stage.
+"""
+
+from conftest import LIGHT_BENCHMARKS, PAPER_HEADLINES
+from repro.analysis import format_comparison_table
+from repro.core import Evaluator, minimize_power
+
+
+def test_fig6e_opt1_temperatures(campaign, tec_problem, benchmark):
+    print()
+    print(format_comparison_table(campaign, "opt1"))
+
+    t_max = campaign.t_max
+    for comparison in campaign.comparisons:
+        # OFTEC's Opt-1 point respects the constraint everywhere ...
+        assert comparison.oftec_opt1.max_chip_temperature < t_max
+        # ... and gives back headroom relative to its Opt-2 point.
+        assert comparison.oftec_opt1.max_chip_temperature >= \
+            comparison.oftec_opt2.evaluation.max_chip_temperature - 0.5
+
+    # On the comparable (light) benchmarks OFTEC runs cooler than both
+    # baselines even while spending less power.
+    for name in LIGHT_BENCHMARKS:
+        comparison = campaign[name]
+        assert comparison.oftec_opt1.max_chip_temperature < \
+            comparison.variable_opt1.max_chip_temperature, name
+        assert comparison.oftec_opt1.max_chip_temperature < \
+            comparison.fixed.max_chip_temperature, name
+
+    dt_var = campaign.average_temperature_delta("variable-omega")
+    dt_fix = campaign.average_temperature_delta("fixed-omega")
+    print(f"OFTEC cooler by {dt_var:.1f} C vs variable-omega "
+          f"(paper: {PAPER_HEADLINES['cooler_vs_variable_c']}) and "
+          f"{dt_fix:.1f} C vs fixed-omega "
+          f"(paper: {PAPER_HEADLINES['cooler_vs_fixed_c']})")
+    assert dt_var > 0.0
+
+    # Timed unit: the Optimization 1 stage from a feasible start.
+    evaluator = Evaluator(tec_problem)
+    warm = evaluator.evaluate(tec_problem.limits.omega_max / 2.0,
+                              tec_problem.limits.i_tec_max / 2.0)
+    assert warm.feasible
+
+    def optimize_power():
+        return minimize_power(Evaluator(tec_problem),
+                              x0=(warm.omega, warm.current))
+
+    outcome = benchmark.pedantic(optimize_power, rounds=2, iterations=1)
+    assert outcome.evaluation.feasible

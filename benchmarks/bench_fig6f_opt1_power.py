@@ -1,0 +1,51 @@
+"""Figure 6(f): cooling power after Optimization 1 — the headline chart.
+
+OFTEC has the lowest total power of the three methods on the comparable
+benchmarks (paper: −2.6% / −0.35 W vs variable-omega, −8.1% / −1.04 W vs
+fixed-omega, −5.4% averaged across the two baselines).  The timed unit
+is the complete Algorithm 1 run on a light benchmark.
+"""
+
+from conftest import LIGHT_BENCHMARKS, PAPER_HEADLINES
+from repro import run_oftec
+
+
+def test_fig6f_opt1_power(campaign, tec_problem, benchmark):
+    print()
+    print(f"{'benchmark':<14}{'OFTEC P(W)':>12}{'var P(W)':>10}"
+          f"{'fix P(W)':>10}{'save vs var':>13}{'save vs fix':>13}")
+    for name in LIGHT_BENCHMARKS:
+        comparison = campaign[name]
+        ours = comparison.oftec_opt1.total_power
+        var = comparison.variable_opt1.total_power
+        fix = comparison.fixed.total_power
+        print(f"{name:<14}{ours:>12.2f}{var:>10.2f}{fix:>10.2f}"
+              f"{(var - ours) / var * 100:>12.1f}%"
+              f"{(fix - ours) / fix * 100:>12.1f}%")
+
+    # Paper shape: OFTEC cheapest on every comparable benchmark.
+    for name in LIGHT_BENCHMARKS:
+        comparison = campaign[name]
+        assert comparison.oftec_opt1.total_power < \
+            comparison.variable_opt1.total_power, name
+        assert comparison.oftec_opt1.total_power < \
+            comparison.fixed.total_power, name
+
+    save_var = campaign.average_power_saving("variable-omega") * 100.0
+    save_fix = campaign.average_power_saving("fixed-omega") * 100.0
+    averaged = (save_var + save_fix) / 2.0
+    print(f"\naverage saving: {save_var:.1f}% vs variable-omega "
+          f"(paper: {PAPER_HEADLINES['saving_vs_variable_pct']}%), "
+          f"{save_fix:.1f}% vs fixed-omega "
+          f"(paper: {PAPER_HEADLINES['saving_vs_fixed_pct']}%), "
+          f"{averaged:.1f}% averaged (paper abstract: 5.4%)")
+    assert save_var > 0.0
+    assert save_fix > save_var  # fixed-omega wastes more, as published
+
+    # Timed unit: full Algorithm 1 on the light Basicmath workload --
+    # the direct analogue of a Table 2 runtime cell.
+    def full_oftec():
+        return run_oftec(tec_problem)
+
+    result = benchmark.pedantic(full_oftec, rounds=2, iterations=1)
+    assert result.feasible

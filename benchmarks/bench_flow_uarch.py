@@ -1,0 +1,56 @@
+"""The Figure 5 front end: microarchitectural power simulation.
+
+Exercises the PTscalar-substitute pipeline (program -> activity ->
+power trace -> max profile) for all eight benchmarks and asserts the
+workload characters the paper's setup relies on: integer kernels heat
+the integer core, FP kernels the FP cluster, streaming kernels the L2,
+and the heavy/light total-power split survives the first-principles
+regeneration.  The timed unit is one full benchmark simulation.
+"""
+
+from repro.uarch import (
+    UnitPowerModel,
+    mibench_programs,
+    simulate_power_trace,
+)
+
+
+def test_uarch_front_end(benchmark):
+    programs = mibench_programs()
+    power_model = UnitPowerModel.for_floorplan(total_peak=120.0)
+
+    profiles = {}
+    print()
+    print(f"{'benchmark':<14}{'max total (W)':>14}  hottest unit")
+    for name, program in programs.items():
+        trace = simulate_power_trace(program, power_model,
+                                     sample_interval=0.02)
+        profile = trace.max_profile()
+        profiles[name] = profile
+        hottest = max(profile.unit_power, key=profile.unit_power.get)
+        print(f"{name:<14}{profile.total_power:>14.1f}  {hottest}")
+
+    # Workload characters.
+    assert profiles["bitcount"].unit_power["IntExec"] > \
+        profiles["bitcount"].unit_power["FPAdd"]
+    assert profiles["fft"].unit_power["FPAdd"] > \
+        profiles["fft"].unit_power["IntQ"]
+    assert profiles["djkstra"].unit_power["L2"] > \
+        profiles["bitcount"].unit_power["L2"]
+
+    # Heavy/light split: the three integer/FP kernels out-draw the
+    # memory-bound streamer.
+    assert profiles["crc32"].total_power < min(
+        profiles[name].total_power
+        for name in ("bitcount", "quicksort", "susan"))
+
+    # Traces respect the peak budget.
+    for profile in profiles.values():
+        assert profile.total_power <= power_model.total_peak + 1e-9
+
+    def simulate_one():
+        return simulate_power_trace(programs["quicksort"], power_model,
+                                    sample_interval=0.02)
+
+    trace = benchmark(simulate_one)
+    assert trace.sample_count > 0

@@ -1,0 +1,48 @@
+"""Figure 6(a) quantified: the runaway boundary across the suite.
+
+The paper reads the Basicmath surface and notes the chip needs "about
+150 RPM" of fan before any current level yields a bounded steady state.
+This bench traces that boundary precisely (bisection) for every
+benchmark and several currents, verifying the published structure: the
+boundary never reaches zero (a fan is always required), and maximum TEC
+current raises it (the pumped + Joule heat must still leave).  The
+timed unit is one bisection.
+"""
+
+from repro.analysis import (
+    find_runaway_boundary_omega,
+    format_runaway_boundaries,
+    trace_runaway_boundary,
+)
+
+CURRENTS = (0.0, 2.0, 5.0)
+
+
+def test_runaway_boundaries(tec_problem, profiles, benchmark):
+    boundaries = {}
+    for name, profile in profiles.items():
+        problem = tec_problem.with_profile(profile)
+        boundaries[name] = trace_runaway_boundary(
+            problem, currents=CURRENTS, tolerance=2.0)
+
+    print()
+    print(format_runaway_boundaries(boundaries))
+
+    for name, boundary in boundaries.items():
+        # A fan is always required (the TEC-only claim, quantified) ...
+        assert boundary.never_zero(), name
+        # ... and max current needs more fan than none.
+        assert boundary.high_current_raises_boundary(), name
+        # The zero-current boundary sits far below omega_max: runaway
+        # is a low-speed phenomenon, exactly as the surface shows.
+        assert boundary.min_omega[0] < \
+            0.3 * tec_problem.limits.omega_max, name
+
+    heavy = tec_problem.with_profile(profiles["quicksort"])
+
+    def bisect_once():
+        return find_runaway_boundary_omega(heavy, current=0.0,
+                                           tolerance=2.0)
+
+    omega = benchmark.pedantic(bisect_once, rounds=2, iterations=1)
+    assert omega > 0.0

@@ -1,0 +1,66 @@
+"""Table 2: per-benchmark OFTEC results (I*, omega*, runtime).
+
+Regenerates the paper's result table and checks its orderings: the light
+benchmarks (Basicmath, CRC32, Stringsearch) get small currents and slow
+fans, the heavy five get ampere-level currents and fast fans, Quicksort
+demands the most TEC current, and CRC32 the least.  Absolute runtimes
+differ (MATLAB + C MEX on an i7-3770 vs pure Python + SciPy here); the
+timed unit is the same quantity the paper's runtime column reports: one
+complete Algorithm 1 execution.
+"""
+
+from conftest import (
+    HEAVY_BENCHMARKS,
+    LIGHT_BENCHMARKS,
+    PAPER_TABLE2,
+)
+from repro import run_oftec
+from repro.analysis import format_table2
+from repro.units import rad_s_to_rpm
+
+
+def test_table2(campaign, tec_problem, profiles, benchmark):
+    print()
+    print(format_table2(campaign))
+    print(f"\n{'benchmark':<14}{'I* ours':>9}{'I* paper':>10}"
+          f"{'omega* ours':>13}{'omega* paper':>14}")
+    for comparison in campaign.comparisons:
+        ours = comparison.oftec_opt1
+        paper_i, paper_omega, _ = PAPER_TABLE2[comparison.name]
+        print(f"{comparison.name:<14}{ours.current_star:>9.2f}"
+              f"{paper_i:>10.2f}"
+              f"{rad_s_to_rpm(ours.omega_star):>13.0f}"
+              f"{paper_omega:>14.0f}")
+
+    results = {c.name: c.oftec_opt1 for c in campaign.comparisons}
+
+    # Ordering 1: light currents below heavy currents (both tables).
+    light_i = max(results[n].current_star for n in LIGHT_BENCHMARKS)
+    heavy_i = min(results[n].current_star for n in HEAVY_BENCHMARKS)
+    assert light_i < heavy_i
+
+    # Ordering 2: light fan speeds below heavy fan speeds.
+    light_w = max(results[n].omega_star for n in LIGHT_BENCHMARKS)
+    heavy_w = min(results[n].omega_star for n in HEAVY_BENCHMARKS)
+    assert light_w < heavy_w
+
+    # Ordering 3: Quicksort is among the hungriest two currents and
+    # CRC32 among the thriftiest two (the paper's extremes, with slack
+    # for grid-resolution jitter between close heavy benchmarks).
+    ranked = sorted(results, key=lambda n: results[n].current_star)
+    assert "quicksort" in ranked[-2:]
+    assert "crc32" in ranked[:2]
+
+    # Every benchmark solved feasibly with sane runtimes.
+    for name, result in results.items():
+        assert result.feasible, name
+        assert result.runtime_seconds < 60.0, name
+
+    # Timed unit: one full Algorithm 1 run (Table 2's runtime column).
+    heavy_problem = tec_problem.with_profile(profiles["quicksort"])
+
+    def oftec_heavy():
+        return run_oftec(heavy_problem)
+
+    result = benchmark.pedantic(oftec_heavy, rounds=2, iterations=1)
+    assert result.feasible

@@ -1,0 +1,36 @@
+"""Section 6.2 claim: a TEC-only system cannot avoid thermal runaway.
+
+Sweeps the TEC current with the fan off (natural convection only) on
+every benchmark and verifies that no current level produces a bounded
+steady state — the pumped heat plus Joule heat has nowhere to go.  The
+timed unit is one runaway detection (a failed steady-state solve), which
+is the expensive path of the evaluator.
+"""
+
+from repro.core import Evaluator
+
+
+def test_tec_only_runaway(campaign, tec_problem, profiles, benchmark):
+    print()
+    print(f"{'benchmark':<14}{'best current (A)':>17}"
+          f"{'outcome':>18}")
+    for comparison in campaign.comparisons:
+        tec_only = comparison.tec_only
+        assert tec_only is not None
+        outcome = "thermal runaway" if tec_only.runaway else "bounded"
+        print(f"{comparison.name:<14}{tec_only.current:>17.2f}"
+              f"{outcome:>18}")
+        # The paper's claim holds on every benchmark.
+        assert tec_only.runaway, comparison.name
+        assert not tec_only.feasible, comparison.name
+
+    # Timed unit: one runaway detection at omega = 0.
+    heavy_problem = tec_problem.with_profile(profiles["quicksort"])
+
+    def detect_runaway():
+        evaluator = Evaluator(heavy_problem)
+        return evaluator.evaluate(0.0, 2.0)
+
+    evaluation = benchmark.pedantic(detect_runaway, rounds=3,
+                                    iterations=1)
+    assert evaluation.runaway

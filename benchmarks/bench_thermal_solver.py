@@ -1,0 +1,68 @@
+"""Substrate performance: the sparse thermal solver itself.
+
+Not a paper figure — this bench guards the reproduction's own engine:
+model assembly cost, the per-evaluation sparse solve, and the transient
+stepper, at the production grid resolution.
+"""
+
+import numpy as np
+
+from repro.materials import default_package_stack
+from repro.geometry import Grid, alpha21264_floorplan
+from repro.tec import TECArray, default_tec_device
+from repro.thermal import build_package_model, simulate_transient, \
+    solve_steady_state
+
+
+def test_model_assembly(benchmark, resolution):
+    floorplan = alpha21264_floorplan()
+    grid = Grid.for_floorplan(floorplan, resolution, resolution)
+    array = TECArray(grid, default_tec_device())
+
+    def assemble():
+        return build_package_model(default_package_stack(), grid,
+                                   tec_array=array)
+
+    model = benchmark(assemble)
+    print(f"\n{model.network.node_count} nodes at "
+          f"{resolution}x{resolution}")
+    assert model.network.finalized
+
+
+def test_steady_solve(benchmark, tec_problem):
+    model = tec_problem.model
+    power = tec_problem.dynamic_cell_power
+
+    def solve():
+        return solve_steady_state(model, 262.0, 1.0, power,
+                                  tec_problem.leakage)
+
+    result = benchmark(solve)
+    assert result.stats.converged
+
+
+def test_steady_solve_no_leakage(benchmark, tec_problem):
+    # The raw linear-solve floor (one factorization, no outer loop).
+    model = tec_problem.model
+    power = tec_problem.dynamic_cell_power
+
+    def solve():
+        return solve_steady_state(model, 262.0, 1.0, power,
+                                  leakage=None)
+
+    result = benchmark(solve)
+    assert np.isfinite(result.max_chip_temperature)
+
+
+def test_transient_second(benchmark, tec_problem):
+    # One simulated second at 20 Hz (the boost-controller workload).
+    model = tec_problem.model
+    power = tec_problem.dynamic_cell_power
+
+    def simulate():
+        return simulate_transient(
+            model, duration=1.0, dt=0.05, omega=262.0, current=1.0,
+            dynamic_cell_power=power, leakage=tec_problem.leakage)
+
+    result = benchmark.pedantic(simulate, rounds=3, iterations=1)
+    assert not result.runaway

@@ -1,0 +1,21 @@
+"""Capstone: every paper shape, verified in one pass.
+
+Runs the executable verification of EXPERIMENTS.md against the session's
+full campaign: all eleven headline shapes must reproduce.  The timed
+unit is the verification itself (pure post-processing — the cost lives
+in the campaign fixture, shared across the bench suite).
+"""
+
+from repro.analysis import format_shape_checks, verify_paper_shapes
+
+
+def test_all_paper_shapes(campaign, benchmark):
+    checks = benchmark(lambda: verify_paper_shapes(campaign))
+
+    print()
+    print(format_shape_checks(checks))
+
+    failed = [c for c in checks if not c.passed]
+    assert not failed, "\n".join(
+        f"{c.claim}: {c.detail}" for c in failed)
+    assert len(checks) == 11

@@ -1,0 +1,91 @@
+"""Shared fixtures for the reproduction benches.
+
+Each ``bench_*`` module regenerates one table or figure of the paper and
+times a representative unit of its computation with pytest-benchmark.
+Heavy artifacts (the full three-method campaign, the objective-surface
+sweeps) are computed once per session and shared.
+
+Set ``REPRO_BENCH_RESOLUTION`` to trade fidelity for speed (default 12;
+the paper-facing numbers in EXPERIMENTS.md use 16).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import build_cooling_problem, mibench_profiles
+from repro.analysis import run_campaign, sweep_objective_surfaces
+
+
+def bench_resolution() -> int:
+    """Grid resolution used by the benches."""
+    return int(os.environ.get("REPRO_BENCH_RESOLUTION", "12"))
+
+
+@pytest.fixture(scope="session")
+def resolution():
+    return bench_resolution()
+
+
+@pytest.fixture(scope="session")
+def profiles():
+    return mibench_profiles()
+
+
+@pytest.fixture(scope="session")
+def tec_problem(profiles, resolution):
+    """TEC-equipped problem template (Basicmath workload)."""
+    return build_cooling_problem(profiles["basicmath"],
+                                 grid_resolution=resolution)
+
+
+@pytest.fixture(scope="session")
+def baseline_problem(profiles, resolution):
+    """No-TEC baseline problem template."""
+    return build_cooling_problem(profiles["basicmath"], with_tec=False,
+                                 grid_resolution=resolution)
+
+
+@pytest.fixture(scope="session")
+def campaign(profiles, tec_problem, baseline_problem):
+    """The full three-method, eight-benchmark campaign (run once)."""
+    return run_campaign(profiles, tec_problem, baseline_problem,
+                        include_tec_only=True)
+
+
+@pytest.fixture(scope="session")
+def basicmath_sweep(tec_problem):
+    """The Figure 6(a)/(b) objective-surface sweep for Basicmath."""
+    return sweep_objective_surfaces(tec_problem, omega_points=14,
+                                    current_points=11)
+
+
+# Paper-reported reference values (qualitative targets; see DESIGN.md
+# Section 6 and EXPERIMENTS.md for the comparison discipline).
+PAPER_TABLE2 = {
+    # benchmark: (I*_TEC A, omega* RPM, runtime ms)
+    "basicmath": (0.68, 1352, 426),
+    "bitcount": (2.30, 2451, 693),
+    "crc32": (0.37, 1114, 239),
+    "djkstra": (1.14, 2516, 430),
+    "fft": (0.99, 2490, 353),
+    "quicksort": (2.83, 2433, 385),
+    "stringsearch": (0.74, 1399, 278),
+    "susan": (1.81, 2509, 690),
+}
+
+PAPER_HEADLINES = {
+    "baseline_failures": 5,          # of 8 benchmarks
+    "oftec_failures": 0,
+    "saving_vs_variable_pct": 2.6,   # on the 3 comparable benchmarks
+    "saving_vs_fixed_pct": 8.1,
+    "cooler_vs_variable_c": 3.7,
+    "cooler_vs_fixed_c": 3.0,
+    "opt2_advantage_c": 13.0,
+    "avg_runtime_ms": 437,
+}
+
+LIGHT_BENCHMARKS = ("basicmath", "crc32", "stringsearch")
+HEAVY_BENCHMARKS = ("bitcount", "djkstra", "fft", "quicksort", "susan")

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Full benchmark campaign: Figures 6(c)-(f) and Table 2 in one run.
+
+Runs OFTEC, the variable-speed-fan baseline, and the fixed-speed-fan
+baseline over all eight MiBench power profiles, under both objectives
+(minimum temperature and minimum power), and prints the paper's tables:
+per-benchmark temperature/power comparisons, the feasibility counts, the
+average savings on comparable benchmarks, and the Table 2 analogue of
+(I*, omega*, runtime).
+
+Pass a grid resolution as the first argument to trade fidelity for
+speed (default 12; the library's full default is 16).
+"""
+
+import sys
+
+from repro import build_cooling_problem, mibench_profiles
+from repro.analysis import (
+    format_comparison_table,
+    format_table2,
+    run_campaign,
+)
+
+
+def main():
+    resolution = int(sys.argv[1]) if len(sys.argv) > 1 else 12
+    profiles = mibench_profiles()
+    template = mibench_profiles()["basicmath"]
+
+    print(f"Building package models at {resolution}x{resolution} grid "
+          "resolution ...")
+    tec_problem = build_cooling_problem(template,
+                                        grid_resolution=resolution)
+    baseline_problem = build_cooling_problem(
+        template, with_tec=False, grid_resolution=resolution)
+
+    print("Running the three-method campaign over eight benchmarks "
+          "(this takes a minute) ...\n")
+    campaign = run_campaign(profiles, tec_problem, baseline_problem,
+                            include_tec_only=True)
+
+    print(format_comparison_table(campaign, "opt2"))
+    print()
+    print(format_comparison_table(campaign, "opt1"))
+    print()
+    print(format_table2(campaign))
+
+    print("\nTEC-only (fan off) check per benchmark:")
+    for comparison in campaign.comparisons:
+        status = "thermal runaway" if comparison.tec_only.runaway \
+            else "bounded"
+        print(f"  {comparison.name:<14} {status}")
+    print(f"\nCampaign wall time: {campaign.wall_seconds:.1f} s")
+
+
+if __name__ == "__main__":
+    main()

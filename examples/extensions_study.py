@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Beyond the paper: multi-channel TECs, DVFS cost, Pareto frontier.
+
+Three extension studies built on the reproduction:
+
+1. **Multi-channel drive** — the paper wires every TEC in series; here
+   the int core, FP cluster, and the rest get independent currents and
+   the optimizer chooses all of them plus the fan speed.
+2. **The DVFS cost of no TECs** — the paper notes that baseline-
+   uncoolable workloads need frequency throttling; we compute exactly
+   how much frequency each system must give up.
+3. **The power/temperature Pareto frontier** — what each degree of
+   headroom costs, with and without TECs.
+"""
+
+from repro import build_cooling_problem, mibench_profiles, run_oftec
+from repro.analysis import trace_pareto_frontier
+from repro.core import (
+    EV6_DEFAULT_CHANNELS,
+    find_max_frequency,
+    run_oftec_multichannel,
+)
+from repro.units import kelvin_to_celsius, rad_s_to_rpm
+
+
+def study_multichannel(tec_problem, profiles):
+    """Independent channel currents vs the paper's single string."""
+    print("1. Multi-channel TEC drive (quicksort)")
+    heavy = tec_problem.with_profile(profiles["quicksort"])
+    single = run_oftec(heavy)
+    multi = run_oftec_multichannel(heavy, EV6_DEFAULT_CHANNELS)
+    print(f"   single string: I* = {single.current_star:.2f} A "
+          f"everywhere, P = {single.total_power:.2f} W")
+    channels = ", ".join(f"{name} {value:.2f} A" for name, value
+                         in multi.currents_by_channel().items())
+    print(f"   per channel:   {channels}, P = {multi.total_power:.2f} W")
+    saving = (single.total_power - multi.total_power) \
+        / single.total_power * 100.0
+    print(f"   -> {saving:.1f}% less power by not over-driving "
+          "lukewarm regions\n")
+
+
+def study_dvfs(tec_problem, baseline_problem, profiles):
+    """How much frequency the no-TEC system must sacrifice."""
+    print("2. DVFS throttling cost (heavy benchmarks)")
+    print(f"   {'benchmark':<12}{'no-TEC f_max':>14}{'OFTEC f_max':>13}")
+    for name in ("bitcount", "fft", "quicksort"):
+        base = find_max_frequency(
+            baseline_problem.with_profile(profiles[name]),
+            tolerance=0.02)
+        hybrid = find_max_frequency(
+            tec_problem.with_profile(profiles[name]), tolerance=0.02)
+        print(f"   {name:<12}{base.scaling:>13.2f}x"
+              f"{hybrid.scaling:>12.2f}x")
+    print("   -> the TECs buy back the throughput the baselines must "
+          "throttle away\n")
+
+
+def study_pareto(tec_problem, baseline_problem):
+    """Watts per kelvin of thermal headroom, with and without TECs."""
+    print("3. Power/temperature Pareto frontier (basicmath)")
+    hybrid = trace_pareto_frontier(tec_problem, points=6)
+    passive = trace_pareto_frontier(baseline_problem, points=6)
+    print(f"   {'T_max (C)':>10}{'hybrid P (W)':>14}"
+          f"{'passive P (W)':>15}")
+    passive_floor = min(p.t_max for p in passive.points)
+    for point in hybrid.points:
+        t_c = kelvin_to_celsius(point.t_max)
+        if point.t_max < passive_floor:
+            passive_p = f"{'unreachable':>15}"
+        else:
+            passive_p = f"{passive.power_at(point.t_max):15.2f}"
+        print(f"   {t_c:>10.1f}{point.total_power:>14.2f}{passive_p}")
+    print(f"   coolest reachable: hybrid "
+          f"{kelvin_to_celsius(hybrid.coolest_temperature):.1f} C, "
+          f"passive "
+          f"{kelvin_to_celsius(passive.coolest_temperature):.1f} C")
+    slope = hybrid.marginal_power_per_kelvin()
+    print(f"   hybrid frontier slope near T_max: {slope[-1]:.2f} W/K "
+          "(each extra degree of budget saves this much power)")
+
+
+def main():
+    resolution = 10
+    profiles = mibench_profiles()
+    tec_problem = build_cooling_problem(profiles["basicmath"],
+                                        grid_resolution=resolution)
+    baseline_problem = build_cooling_problem(
+        profiles["basicmath"], with_tec=False,
+        grid_resolution=resolution)
+
+    study_multichannel(tec_problem, profiles)
+    study_dvfs(tec_problem, baseline_problem, profiles)
+    study_pareto(tec_problem, baseline_problem)
+
+
+if __name__ == "__main__":
+    main()

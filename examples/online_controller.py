@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Online control: lookup table + simple controllers on a live trace.
+
+The paper's deployment story (Section 6.2): OFTEC takes ~hundreds of
+milliseconds, so an online controller should classify the observed power
+vector and look up a precomputed solution.  This example:
+
+1. precomputes OFTEC solutions for all eight MiBench profiles,
+2. streams a synthetic PTscalar-style trace whose phases hop between
+   workload shapes,
+3. drives the package with the LUT decision per phase and reports the
+   resulting temperatures,
+4. compares against the threshold and hysteresis controllers from the
+   related work (constant current, on/off switching).
+"""
+
+from repro import build_cooling_problem, mibench_profiles
+from repro.core import (
+    Evaluator,
+    LookupTableController,
+    run_hysteresis_controller,
+    run_threshold_controller,
+)
+from repro.power import TraceGenerator
+from repro.units import kelvin_to_celsius
+
+
+def main():
+    resolution = 10
+    profiles = mibench_profiles()
+    problem = build_cooling_problem(profiles["basicmath"],
+                                    grid_resolution=resolution)
+
+    print("Precomputing the OFTEC lookup table over all eight "
+          "profiles ...")
+    table = LookupTableController(
+        problem.coverage.floorplan.unit_names)
+    results = table.precompute(
+        problem, {name: p.unit_power for name, p in profiles.items()})
+    for name, result in results.items():
+        print(f"  {name:<14} omega* = {result.omega_star:5.0f} rad/s  "
+              f"I* = {result.current_star:4.2f} A  "
+              f"feasible = {result.feasible}")
+
+    print("\nStreaming a phase-hopping workload and applying LUT "
+          "decisions ...")
+    generator = TraceGenerator(seed=3, phase_count=4)
+    sequence = ["crc32", "fft", "quicksort", "basicmath"]
+    for name in sequence:
+        trace = generator.generate(profiles[name], duration=2.0,
+                                   sample_interval=0.1)
+        observed = trace.max_profile().unit_power
+        omega, current, entry = table.lookup(observed)
+        phase_problem = problem.with_profile(profiles[name])
+        evaluation = Evaluator(phase_problem).evaluate(omega, current)
+        print(f"  phase {name:<14} -> matched {entry.label:<14} "
+              f"applied ({omega:5.0f} rad/s, {current:4.2f} A): "
+              f"T = {kelvin_to_celsius(evaluation.max_chip_temperature):5.1f} C, "
+              f"P = {evaluation.total_power:5.2f} W")
+
+    print("\nRelated-work controllers on the FFT workload "
+          "(constant-current on/off TECs at fixed fan speed):")
+    fft_problem = problem.with_profile(profiles["fft"])
+    threshold = run_threshold_controller(
+        fft_problem, omega=350.0, on_current=2.0, threshold=352.0,
+        duration=30.0, dt=0.25)
+    hysteresis = run_hysteresis_controller(
+        fft_problem, omega=350.0, on_current=2.0, t_on=352.0,
+        t_off=349.0, duration=30.0, dt=0.25)
+    print(f"  threshold : peak "
+          f"{kelvin_to_celsius(threshold.peak_temperature):5.1f} C, "
+          f"{threshold.switch_count} switches, "
+          f"duty {threshold.duty_cycle * 100:4.1f}%")
+    print(f"  hysteresis: peak "
+          f"{kelvin_to_celsius(hysteresis.peak_temperature):5.1f} C, "
+          f"{hysteresis.switch_count} switches, "
+          f"duty {hysteresis.duty_cycle * 100:4.1f}%")
+    print("\nHysteresis trades a slightly wider temperature band for "
+          "far fewer on/off transitions — the effect the paper's "
+          "reference [5] reports.  Neither controller tunes the fan; "
+          "OFTEC's joint optimum dominates both.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Quickstart: run OFTEC on one benchmark and compare the baselines.
+
+Builds the paper's full evaluation flow (EV6 die, Table 1 package, TECs
+everywhere but the caches, McPAT-substitute leakage), runs Algorithm 1 on
+the Basicmath workload, and prints the operating point next to the two
+no-TEC baselines.
+"""
+
+from repro import (
+    build_cooling_problem,
+    mibench_profiles,
+    run_fixed_fan_baseline,
+    run_oftec,
+    run_tec_only,
+    run_variable_fan_baseline,
+)
+from repro.units import kelvin_to_celsius, rad_s_to_rpm
+
+
+def describe(label, omega, current, temperature, power, feasible):
+    """One aligned report line."""
+    status = "meets T_max" if feasible else "VIOLATES T_max"
+    print(f"  {label:<16} omega = {rad_s_to_rpm(omega):6.0f} RPM   "
+          f"I_TEC = {current:4.2f} A   "
+          f"T_max = {kelvin_to_celsius(temperature):5.1f} C   "
+          f"P = {power:6.2f} W   [{status}]")
+
+
+def main():
+    benchmark = "basicmath"
+    profile = mibench_profiles()[benchmark]
+    print(f"Benchmark: {benchmark} "
+          f"({profile.total_power:.1f} W max dynamic power)")
+
+    # The hybrid (TEC + fan) system and the paper's no-TEC baseline
+    # package (TIM1 conductivity raised per the Section 6.1 fairness
+    # rule).
+    tec_problem = build_cooling_problem(profile)
+    baseline_problem = build_cooling_problem(profile, with_tec=False)
+
+    print("\nOptimization 1: minimize P_leakage + P_TEC + P_fan "
+          "subject to T < 90 C")
+    oftec = run_oftec(tec_problem)
+    describe("OFTEC", oftec.omega_star, oftec.current_star,
+             oftec.max_chip_temperature, oftec.total_power,
+             oftec.feasible)
+
+    variable = run_variable_fan_baseline(baseline_problem)
+    describe("variable-omega", variable.omega, variable.current,
+             variable.max_chip_temperature, variable.total_power,
+             variable.feasible)
+
+    fixed = run_fixed_fan_baseline(baseline_problem)
+    describe("fixed-omega", fixed.omega, fixed.current,
+             fixed.max_chip_temperature, fixed.total_power,
+             fixed.feasible)
+
+    saving_var = (variable.total_power - oftec.total_power) \
+        / variable.total_power * 100.0
+    saving_fix = (fixed.total_power - oftec.total_power) \
+        / fixed.total_power * 100.0
+    print(f"\nOFTEC saves {saving_var:.1f}% vs the variable-speed fan "
+          f"and {saving_fix:.1f}% vs the 2000 RPM fan,")
+    print(f"while keeping the hottest spot "
+          f"{variable.max_chip_temperature - oftec.max_chip_temperature:.1f} C "
+          "cooler than the variable-speed baseline.")
+
+    print("\nAnd the Section 6.2 sanity check — TECs without a fan:")
+    tec_only = run_tec_only(tec_problem)
+    if tec_only.runaway:
+        print("  TEC-only system: thermal runaway at every current "
+              "level (no bounded steady state).")
+    else:
+        describe("tec-only", 0.0, tec_only.current,
+                 tec_only.max_chip_temperature, tec_only.total_power,
+                 tec_only.feasible)
+    print(f"\nOFTEC runtime: {oftec.runtime_seconds * 1e3:.0f} ms "
+          f"({oftec.thermal_solves} thermal solves)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""One command to reproduce the paper.
+
+Runs the complete evaluation — Figure 6(a)/(b) surfaces, the
+Figures 6(c)-(f) campaign, Table 2, the TEC-only runaway check — then
+verifies every published shape programmatically and prints a PASS/FAIL
+report.  Optionally writes the campaign JSON for archiving.
+
+Usage::
+
+    python examples/reproduce_paper.py [resolution] [output.json]
+"""
+
+import sys
+
+from repro import build_cooling_problem, mibench_profiles
+from repro.analysis import (
+    format_comparison_table,
+    format_shape_checks,
+    format_surface,
+    format_table2,
+    render_delta_map,
+    run_campaign,
+    sweep_objective_surfaces,
+    verify_paper_shapes,
+)
+from repro.core import Evaluator
+from repro.io import save_campaign
+
+
+def main():
+    resolution = int(sys.argv[1]) if len(sys.argv) > 1 else 12
+    json_path = sys.argv[2] if len(sys.argv) > 2 else None
+    profiles = mibench_profiles()
+
+    print(f"=== OFTEC reproduction at {resolution}x{resolution} "
+          "grid resolution ===\n")
+    tec_problem = build_cooling_problem(profiles["basicmath"],
+                                        grid_resolution=resolution)
+    baseline_problem = build_cooling_problem(
+        profiles["basicmath"], with_tec=False,
+        grid_resolution=resolution)
+
+    print("--- Figure 6(a)/(b): objective surfaces (Basicmath) ---")
+    sweep = sweep_objective_surfaces(tec_problem, omega_points=10,
+                                     current_points=7)
+    print(format_surface(sweep, "temperature", max_cols=7))
+    print()
+    print(format_surface(sweep, "power", max_cols=7))
+
+    print("\n--- What the TECs do to the die (delta map, I: 0 -> 1.5 A "
+          "at mid fan) ---")
+    evaluator = Evaluator(tec_problem)
+    off = evaluator.evaluate(262.0, 0.0)
+    on = evaluator.evaluate(262.0, 1.5)
+    print(render_delta_map(off.steady.chip_temperatures,
+                           on.steady.chip_temperatures,
+                           tec_problem.model.grid))
+
+    print("\n--- Figures 6(c)-(f) + Table 2: the full campaign ---")
+    campaign = run_campaign(profiles, tec_problem, baseline_problem,
+                            include_tec_only=True)
+    print(format_comparison_table(campaign, "opt2"))
+    print()
+    print(format_comparison_table(campaign, "opt1"))
+    print()
+    print(format_table2(campaign))
+
+    print("\n--- Section 6.2: TEC-only runaway check ---")
+    for comparison in campaign.comparisons:
+        status = "thermal runaway" if comparison.tec_only.runaway \
+            else "BOUNDED (unexpected)"
+        print(f"  {comparison.name:<14} {status}")
+
+    print("\n--- Verification against the published shapes ---")
+    checks = verify_paper_shapes(campaign)
+    print(format_shape_checks(checks))
+
+    if json_path:
+        save_campaign(campaign, json_path)
+        print(f"\ncampaign archived to {json_path}")
+
+    failed = [c for c in checks if not c.passed]
+    if failed:
+        print(f"\nREPRODUCTION INCOMPLETE: {len(failed)} shape(s) "
+              "failed")
+        return 1
+    print("\nREPRODUCTION COMPLETE: every published shape holds.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,75 @@
+"""Analysis utilities: design-space sweeps, benchmark campaigns, reports.
+
+:mod:`repro.analysis.sweep` regenerates the Figure 6(a)/(b) objective
+surfaces; :mod:`repro.analysis.campaign` runs the full three-method,
+eight-benchmark comparison behind Figures 6(c)-(f) and Table 2; and
+:mod:`repro.analysis.report` renders the results as aligned text tables
+(the library has no plotting dependency by design).
+"""
+
+from .sweep import SurfaceSweep, sweep_objective_surfaces
+from .campaign import (
+    BenchmarkComparison,
+    CampaignResult,
+    run_campaign,
+)
+from .report import (
+    format_comparison_table,
+    format_cop,
+    format_pareto,
+    format_surface,
+    format_table2,
+)
+from .pareto import ParetoFrontier, ParetoPoint, trace_pareto_frontier
+from .sensitivity import (
+    SensitivityEntry,
+    SensitivityReport,
+    format_sensitivity_report,
+    run_sensitivity_study,
+)
+from .cop import COPAnalysis, analyze_system_cop
+from .verification import (
+    ShapeCheck,
+    format_shape_checks,
+    verify_paper_shapes,
+)
+from .heatmap import render_delta_map, render_heatmap, \
+    render_unit_overlay
+from .runaway import (
+    RunawayBoundary,
+    find_runaway_boundary_omega,
+    format_runaway_boundaries,
+    trace_runaway_boundary,
+)
+
+__all__ = [
+    "SurfaceSweep",
+    "sweep_objective_surfaces",
+    "BenchmarkComparison",
+    "CampaignResult",
+    "run_campaign",
+    "format_comparison_table",
+    "format_cop",
+    "format_pareto",
+    "format_surface",
+    "format_table2",
+    "ParetoFrontier",
+    "ParetoPoint",
+    "trace_pareto_frontier",
+    "SensitivityEntry",
+    "SensitivityReport",
+    "format_sensitivity_report",
+    "run_sensitivity_study",
+    "COPAnalysis",
+    "analyze_system_cop",
+    "ShapeCheck",
+    "format_shape_checks",
+    "verify_paper_shapes",
+    "render_heatmap",
+    "render_unit_overlay",
+    "render_delta_map",
+    "RunawayBoundary",
+    "find_runaway_boundary_omega",
+    "format_runaway_boundaries",
+    "trace_runaway_boundary",
+]

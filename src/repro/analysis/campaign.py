@@ -1,0 +1,209 @@
+"""The full experimental campaign behind Figures 6(c)-(f) and Table 2.
+
+For every benchmark the campaign runs three cooling methods — OFTEC, the
+variable-omega baseline, and the fixed-omega baseline — through both
+optimization objectives:
+
+* **Optimization 2** (minimize the maximum die temperature): Figure 6(c)
+  temperatures and Figure 6(d) powers.
+* **Optimization 1** (minimize 𝒫 subject to 𝒯 < T_max): Figure 6(e)
+  temperatures and Figure 6(f) powers, plus Table 2's ``(I*, omega*)``.
+
+Optionally the TEC-only system is swept as well (the Section 6.2 thermal
+runaway demonstration).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+from ..core import (
+    BaselineResult,
+    CoolingProblem,
+    Evaluator,
+    OFTECResult,
+    OptimizationOutcome,
+    minimize_temperature,
+    run_fixed_fan_baseline,
+    run_oftec,
+    run_tec_only,
+    run_variable_fan_baseline,
+)
+from ..errors import ConfigurationError
+from ..power import BenchmarkProfile
+
+
+@dataclass
+class BenchmarkComparison:
+    """All methods' results on one benchmark.
+
+    Attributes:
+        name: Benchmark name.
+        oftec_opt1: Algorithm 1 outcome (Optimization 1 operating point).
+        oftec_opt2: Full Optimization 2 run on the TEC system.
+        variable_opt1: Variable-omega baseline at its Optimization 1 point.
+        variable_opt2: Variable-omega baseline minimizing temperature.
+        fixed: Fixed-omega baseline (same point for both objectives).
+        tec_only: Optional TEC-only sweep result.
+    """
+
+    name: str
+    oftec_opt1: OFTECResult
+    oftec_opt2: OptimizationOutcome
+    variable_opt1: BaselineResult
+    variable_opt2: OptimizationOutcome
+    fixed: BaselineResult
+    tec_only: Optional[BaselineResult] = None
+
+
+@dataclass
+class CampaignResult:
+    """Campaign over a set of benchmarks.
+
+    Attributes:
+        comparisons: Per-benchmark method comparison, in run order.
+        t_max: The thermal threshold used, K.
+        wall_seconds: Total campaign wall-clock time.
+    """
+
+    comparisons: List[BenchmarkComparison] = field(default_factory=list)
+    t_max: float = 0.0
+    wall_seconds: float = 0.0
+
+    def __getitem__(self, name: str) -> BenchmarkComparison:
+        for comparison in self.comparisons:
+            if comparison.name == name:
+                return comparison
+        raise ConfigurationError(f"No benchmark named {name!r}")
+
+    @property
+    def benchmark_names(self) -> List[str]:
+        """Benchmarks in run order."""
+        return [c.name for c in self.comparisons]
+
+    # -- the paper's headline aggregates ------------------------------------
+
+    def feasibility_counts(self) -> Dict[str, int]:
+        """Benchmarks meeting T_max per method (Optimization 1 points)."""
+        return {
+            "oftec": sum(c.oftec_opt1.feasible for c in self.comparisons),
+            "variable-omega": sum(c.variable_opt1.feasible
+                                  for c in self.comparisons),
+            "fixed-omega": sum(c.fixed.feasible for c in self.comparisons),
+        }
+
+    def comparable_benchmarks(self) -> List[str]:
+        """Benchmarks where *all three* methods meet the constraint.
+
+        The paper reports power/temperature deltas only on these (three
+        of its eight).
+        """
+        return [c.name for c in self.comparisons
+                if (c.oftec_opt1.feasible and c.variable_opt1.feasible
+                    and c.fixed.feasible)]
+
+    def average_power_saving(self, versus: str = "variable-omega",
+                             ) -> float:
+        """Mean relative 𝒫 saving of OFTEC on comparable benchmarks.
+
+        Positive values mean OFTEC uses less power.  ``versus`` selects
+        the baseline ("variable-omega" or "fixed-omega").
+        """
+        savings = []
+        for name in self.comparable_benchmarks():
+            comparison = self[name]
+            ours = comparison.oftec_opt1.total_power
+            theirs = (comparison.variable_opt1.total_power
+                      if versus == "variable-omega"
+                      else comparison.fixed.total_power)
+            savings.append((theirs - ours) / theirs)
+        if not savings:
+            raise ConfigurationError(
+                "No comparable benchmarks; cannot average savings")
+        return sum(savings) / len(savings)
+
+    def average_temperature_delta(self, versus: str = "variable-omega",
+                                  ) -> float:
+        """Mean 𝒯 advantage (K, positive = OFTEC cooler) on comparable
+        benchmarks at the Optimization 1 points."""
+        deltas = []
+        for name in self.comparable_benchmarks():
+            comparison = self[name]
+            theirs = (comparison.variable_opt1.max_chip_temperature
+                      if versus == "variable-omega"
+                      else comparison.fixed.max_chip_temperature)
+            deltas.append(theirs - comparison.oftec_opt1
+                          .max_chip_temperature)
+        if not deltas:
+            raise ConfigurationError(
+                "No comparable benchmarks; cannot average deltas")
+        return sum(deltas) / len(deltas)
+
+    def average_opt2_temperature_advantage(self) -> float:
+        """Mean 𝒯 advantage of OFTEC over the better baseline after
+        Optimization 2, K (the paper's "more than 13 C" claim)."""
+        deltas = []
+        for comparison in self.comparisons:
+            baseline_best = min(
+                comparison.variable_opt2.evaluation.max_chip_temperature,
+                comparison.fixed.max_chip_temperature)
+            deltas.append(baseline_best - comparison.oftec_opt2
+                          .evaluation.max_chip_temperature)
+        return sum(deltas) / len(deltas)
+
+    def average_oftec_runtime(self) -> float:
+        """Mean Algorithm 1 wall-clock runtime, s (Table 2's last column)."""
+        runtimes = [c.oftec_opt1.runtime_seconds for c in self.comparisons]
+        return sum(runtimes) / len(runtimes)
+
+
+def run_campaign(
+    profiles: Mapping[str, BenchmarkProfile],
+    tec_problem_template: CoolingProblem,
+    baseline_problem_template: CoolingProblem,
+    method: str = "slsqp",
+    include_tec_only: bool = False,
+) -> CampaignResult:
+    """Run the three-method comparison over a set of benchmark profiles.
+
+    Args:
+        profiles: Benchmark name -> power profile.
+        tec_problem_template: A TEC-equipped problem carrying a coverage
+            (retargeted per profile via :meth:`CoolingProblem.with_profile`).
+        baseline_problem_template: The matching no-TEC problem.
+        method: Solver backend for all optimizations.
+        include_tec_only: Also sweep the fan-less TEC-only system.
+    """
+    if not tec_problem_template.has_tec:
+        raise ConfigurationError(
+            "tec_problem_template must include a TEC array")
+    if baseline_problem_template.has_tec:
+        raise ConfigurationError(
+            "baseline_problem_template must not include a TEC array")
+    start = time.perf_counter()
+    result = CampaignResult(t_max=tec_problem_template.limits.t_max)
+    for name, profile in profiles.items():
+        tec_problem = tec_problem_template.with_profile(profile, name=name)
+        base_problem = baseline_problem_template.with_profile(profile,
+                                                              name=name)
+        oftec_opt1 = run_oftec(tec_problem, method=method)
+        oftec_opt2 = minimize_temperature(Evaluator(tec_problem),
+                                          method=method)
+        variable_opt1 = run_variable_fan_baseline(base_problem,
+                                                  method=method)
+        variable_opt2 = minimize_temperature(Evaluator(base_problem),
+                                             method=method)
+        fixed = run_fixed_fan_baseline(base_problem)
+        tec_only = run_tec_only(tec_problem) if include_tec_only else None
+        result.comparisons.append(BenchmarkComparison(
+            name=name,
+            oftec_opt1=oftec_opt1,
+            oftec_opt2=oftec_opt2,
+            variable_opt1=variable_opt1,
+            variable_opt2=variable_opt2,
+            fixed=fixed,
+            tec_only=tec_only))
+    result.wall_seconds = time.perf_counter() - start
+    return result

@@ -1,0 +1,106 @@
+"""Coefficient-of-performance analysis of the whole cooling package.
+
+The paper's reference [8] (the authors' own prior work) defines a COP
+for the *entire* cooling assembly rather than the bare TEC, and finds
+the current maximizing it.  We adopt the analogous definition here:
+
+    COP_sys(omega, I) = heat removed from the chip per second
+                        / cooling actuation power
+                      = (P_dynamic + P_leakage(omega, I))
+                        / (P_TEC + P_fan)
+
+(in steady state, everything the chip generates is removed).  Because
+leakage *drops* as cooling improves, the numerator is itself a function
+of the operating point — the leakage-aware subtlety that reference [8]
+introduces and that a constant-COP model (the paper's critique of its
+reference [4]) misses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..core import CoolingProblem, Evaluator
+from ..errors import ConfigurationError
+from .sweep import SurfaceSweep, sweep_objective_surfaces
+
+
+@dataclass
+class COPAnalysis:
+    """System-COP surface over the (omega, I) plane.
+
+    Attributes:
+        omegas: Fan-speed axis, rad/s.
+        currents: Current axis, A.
+        cop: COP_sys samples (NaN where runaway or zero actuation).
+        heat_removed: Numerator samples, W.
+        actuation_power: Denominator samples (P_TEC + P_fan), W.
+        problem_name: Workload label.
+    """
+
+    omegas: np.ndarray
+    currents: np.ndarray
+    cop: np.ndarray
+    heat_removed: np.ndarray
+    actuation_power: np.ndarray
+    problem_name: str
+
+    def max_cop_point(self) -> Tuple[float, float, float]:
+        """``(omega, current, COP)`` of the best sampled point."""
+        masked = np.where(np.isfinite(self.cop), self.cop, -np.inf)
+        if not np.isfinite(masked).any():
+            raise ConfigurationError("No finite COP sample")
+        flat = int(np.argmax(masked))
+        i, j = np.unravel_index(flat, masked.shape)
+        return (float(self.omegas[i]), float(self.currents[j]),
+                float(masked[i, j]))
+
+    def cop_at(self, omega: float, current: float) -> float:
+        """Nearest-sample COP lookup."""
+        i = int(np.argmin(np.abs(self.omegas - omega)))
+        j = int(np.argmin(np.abs(self.currents - current)))
+        return float(self.cop[i, j])
+
+
+def analyze_system_cop(
+    problem: CoolingProblem,
+    omega_points: int = 12,
+    current_points: int = 9,
+    evaluator: Optional[Evaluator] = None,
+    sweep: Optional[SurfaceSweep] = None,
+) -> COPAnalysis:
+    """Sample COP_sys over the operating plane.
+
+    Reuses a :class:`SurfaceSweep` when provided (the expensive part);
+    otherwise sweeps with the given resolution.
+    """
+    evaluator = evaluator or Evaluator(problem)
+    if sweep is None:
+        sweep = sweep_objective_surfaces(
+            problem, omega_points=omega_points,
+            current_points=current_points, evaluator=evaluator)
+
+    shape = (sweep.omegas.size, sweep.currents.size)
+    cop = np.full(shape, np.nan)
+    heat = np.full(shape, np.nan)
+    actuation = np.full(shape, np.nan)
+    dynamic = problem.total_dynamic_power
+    for i, omega in enumerate(sweep.omegas):
+        for j, current in enumerate(sweep.currents):
+            evaluation = evaluator.evaluate(float(omega),
+                                            float(current))
+            if evaluation.runaway:
+                continue
+            removed = dynamic + evaluation.leakage_power
+            act = evaluation.tec_power + evaluation.fan_power
+            heat[i, j] = removed
+            actuation[i, j] = act
+            if act > 1e-9:
+                cop[i, j] = removed / act
+    return COPAnalysis(
+        omegas=sweep.omegas, currents=sweep.currents,
+        cop=cop, heat_removed=heat, actuation_power=actuation,
+        problem_name=problem.name)

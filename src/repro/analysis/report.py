@@ -1,0 +1,182 @@
+"""Text-table rendering of campaign and sweep results.
+
+The library deliberately carries no plotting dependency; these renderers
+produce the same rows/series the paper's figures and tables report, as
+aligned monospace text suitable for terminals and logs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..units import kelvin_to_celsius, rad_s_to_rpm
+from .campaign import CampaignResult
+from .sweep import SurfaceSweep
+
+
+def _fmt_temp(kelvin: float) -> str:
+    if not np.isfinite(kelvin):
+        return "runaway"
+    return f"{kelvin_to_celsius(kelvin):7.1f}"
+
+
+def _fmt_power(watts: float) -> str:
+    if not np.isfinite(watts):
+        return "runaway"
+    return f"{watts:7.2f}"
+
+
+def format_comparison_table(campaign: CampaignResult,
+                            objective: str = "opt1") -> str:
+    """Render Figure 6(c)/(d) (``objective="opt2"``) or 6(e)/(f)
+    (``objective="opt1"``) as one combined text table."""
+    if objective not in ("opt1", "opt2"):
+        raise ValueError(f"objective must be 'opt1' or 'opt2', got "
+                         f"{objective!r}")
+    t_max_c = kelvin_to_celsius(campaign.t_max)
+    title = ("Optimization 1 (min cooling power, T < T_max)"
+             if objective == "opt1"
+             else "Optimization 2 (min max die temperature)")
+    lines = [
+        title,
+        f"T_max = {t_max_c:.1f} C",
+        f"{'benchmark':<14}{'method':<16}{'T_max(C)':>10}"
+        f"{'P(W)':>9}{'omega(RPM)':>12}{'I_TEC(A)':>10}{'meets':>7}",
+        "-" * 78,
+    ]
+    for comparison in campaign.comparisons:
+        if objective == "opt1":
+            rows = [
+                ("OFTEC", comparison.oftec_opt1.evaluation),
+                ("variable-omega", comparison.variable_opt1.evaluation),
+                ("fixed-omega", comparison.fixed.evaluation),
+            ]
+        else:
+            rows = [
+                ("OFTEC", comparison.oftec_opt2.evaluation),
+                ("variable-omega", comparison.variable_opt2.evaluation),
+                ("fixed-omega", comparison.fixed.evaluation),
+            ]
+        for method, evaluation in rows:
+            meets = "yes" if (not evaluation.runaway
+                              and evaluation.max_chip_temperature
+                              < campaign.t_max) else "NO"
+            lines.append(
+                f"{comparison.name:<14}{method:<16}"
+                f"{_fmt_temp(evaluation.max_chip_temperature):>10}"
+                f"{_fmt_power(evaluation.total_power):>9}"
+                f"{rad_s_to_rpm(evaluation.omega):>12.0f}"
+                f"{evaluation.current:>10.2f}{meets:>7}")
+        lines.append("-" * 78)
+    counts = campaign.feasibility_counts()
+    total = len(campaign.comparisons)
+    lines.append(
+        f"thermal constraint met: OFTEC {counts['oftec']}/{total}, "
+        f"variable-omega {counts['variable-omega']}/{total}, "
+        f"fixed-omega {counts['fixed-omega']}/{total}")
+    if objective == "opt1" and campaign.comparable_benchmarks():
+        save_var = campaign.average_power_saving("variable-omega") * 100
+        save_fix = campaign.average_power_saving("fixed-omega") * 100
+        dt_var = campaign.average_temperature_delta("variable-omega")
+        dt_fix = campaign.average_temperature_delta("fixed-omega")
+        lines.append(
+            f"comparable benchmarks {campaign.comparable_benchmarks()}: "
+            f"OFTEC saves {save_var:.1f}% vs variable-omega "
+            f"({dt_var:.1f} C cooler), {save_fix:.1f}% vs fixed-omega "
+            f"({dt_fix:.1f} C cooler)")
+    return "\n".join(lines)
+
+
+def format_table2(campaign: CampaignResult) -> str:
+    """Render the Table 2 analogue: per-benchmark (I*, omega*, runtime)."""
+    lines = [
+        "Table 2: OFTEC results",
+        f"{'benchmark':<14}{'I*_TEC (A)':>11}{'omega* (RPM)':>14}"
+        f"{'runtime (ms)':>14}",
+        "-" * 53,
+    ]
+    for comparison in campaign.comparisons:
+        result = comparison.oftec_opt1
+        lines.append(
+            f"{comparison.name:<14}{result.current_star:>11.2f}"
+            f"{rad_s_to_rpm(result.omega_star):>14.0f}"
+            f"{result.runtime_seconds * 1e3:>14.0f}")
+    lines.append("-" * 53)
+    lines.append(f"{'average':<14}{'':>11}{'':>14}"
+                 f"{campaign.average_oftec_runtime() * 1e3:>14.0f}")
+    return "\n".join(lines)
+
+
+def format_pareto(frontier) -> str:
+    """Render a :class:`repro.analysis.ParetoFrontier` as a text table."""
+    lines = [
+        f"{frontier.problem_name}: power/temperature Pareto frontier "
+        f"(coolest reachable "
+        f"{kelvin_to_celsius(frontier.coolest_temperature):.1f} C)",
+        f"{'T_max (C)':>11}{'achieved (C)':>14}{'P (W)':>9}"
+        f"{'omega (RPM)':>13}{'I (A)':>8}",
+        "-" * 55,
+    ]
+    for point in frontier.points:
+        lines.append(
+            f"{kelvin_to_celsius(point.t_max):>11.1f}"
+            f"{kelvin_to_celsius(point.achieved_temperature):>14.1f}"
+            f"{point.total_power:>9.2f}"
+            f"{rad_s_to_rpm(point.omega):>13.0f}"
+            f"{point.current:>8.2f}")
+    return "\n".join(lines)
+
+
+def format_cop(analysis) -> str:
+    """Render a :class:`repro.analysis.COPAnalysis` summary."""
+    omega, current, best = analysis.max_cop_point()
+    finite = analysis.cop[np.isfinite(analysis.cop)]
+    lines = [
+        f"{analysis.problem_name}: system COP over the (omega, I) plane",
+        f"max COP = {best:.2f} at {rad_s_to_rpm(omega):.0f} RPM / "
+        f"{current:.2f} A",
+        f"finite samples: {finite.size} of {analysis.cop.size}; "
+        f"median COP {np.median(finite):.2f}",
+    ]
+    return "\n".join(lines)
+
+
+def format_surface(sweep: SurfaceSweep, which: str = "temperature",
+                   max_cols: Optional[int] = 12) -> str:
+    """Render a :class:`SurfaceSweep` as a coarse text heat map.
+
+    ``which`` selects "temperature" (C) or "power" (W).  Runaway cells
+    render as ``***`` — the paper's dark-red infinity region.
+    """
+    if which == "temperature":
+        surface = sweep.temperature
+        convert = kelvin_to_celsius
+        unit = "C"
+    elif which == "power":
+        surface = sweep.power
+        convert = lambda x: x  # noqa: E731 - trivial identity
+        unit = "W"
+    else:
+        raise ValueError(f"which must be 'temperature' or 'power', got "
+                         f"{which!r}")
+    col_idx = np.arange(sweep.currents.size)
+    if max_cols is not None and sweep.currents.size > max_cols:
+        col_idx = np.linspace(0, sweep.currents.size - 1,
+                              max_cols).astype(int)
+    header_cells = "".join(f"{sweep.currents[j]:>8.2f}" for j in col_idx)
+    lines = [
+        f"{sweep.problem_name}: {which} surface ({unit}); rows = omega "
+        f"(RPM), cols = I_TEC (A); *** = thermal runaway",
+        f"{'omega':>9} |" + header_cells,
+        "-" * (11 + 8 * len(col_idx)),
+    ]
+    for i, omega in enumerate(sweep.omegas):
+        cells: List[str] = []
+        for j in col_idx:
+            value = surface[i, j]
+            cells.append(f"{'***':>8}" if not np.isfinite(value)
+                         else f"{convert(value):>8.1f}")
+        lines.append(f"{rad_s_to_rpm(omega):>9.0f} |" + "".join(cells))
+    return "\n".join(lines)

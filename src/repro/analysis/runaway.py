@@ -1,0 +1,133 @@
+"""Runaway-boundary analysis: the minimum fan speed that saves the chip.
+
+Figure 6(a)'s discussion quantifies the cliff: for Basicmath, "omega
+should also be increased to about 150 RPM" before any current level
+yields a bounded steady state.  This module computes that boundary
+precisely (bisection on omega at fixed current — cheaper and sharper
+than a full surface sweep) and maps it across benchmarks and currents,
+including the paper's companion observation that *raising the TEC
+current raises the required fan speed* (the pumped + Joule heat still
+needs to leave).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..core import CoolingProblem, Evaluator
+from ..errors import ConfigurationError
+from ..units import rad_s_to_rpm
+
+
+@dataclass
+class RunawayBoundary:
+    """The boundary for one workload.
+
+    Attributes:
+        problem_name: Workload label.
+        currents: Currents the boundary was traced at, A.
+        min_omega: Per-current smallest bounded fan speed, rad/s
+            (``inf`` when even omega_max runs away).
+    """
+
+    problem_name: str
+    currents: List[float]
+    min_omega: List[float]
+
+    def at_current(self, current: float) -> float:
+        """Boundary omega at the nearest traced current."""
+        if not self.currents:
+            raise ConfigurationError("Empty boundary")
+        idx = min(range(len(self.currents)),
+                  key=lambda i: abs(self.currents[i] - current))
+        return self.min_omega[idx]
+
+    def high_current_raises_boundary(self) -> bool:
+        """True if the top traced current needs more fan than I = 0.
+
+        The measured boundary is typically U-shaped: moderate current
+        *lowers* the required fan speed (net hotspot pumping beats the
+        modest Joule heat), while high current raises it steeply — the
+        paper's point that current alone cannot replace airflow.
+        """
+        finite = [w for w in self.min_omega if w != float("inf")]
+        if len(finite) < 2:
+            return False
+        return finite[-1] > finite[0]
+
+    def never_zero(self) -> bool:
+        """True if no traced current allows running with the fan off."""
+        return all(w > 0.0 for w in self.min_omega)
+
+
+def find_runaway_boundary_omega(
+    problem: CoolingProblem,
+    current: float = 0.0,
+    tolerance: float = 1.0,
+    evaluator: Evaluator = None,
+) -> float:
+    """Bisection: the smallest omega with a bounded steady state.
+
+    Returns ``inf`` when the workload runs away even at ``omega_max``
+    and 0.0 when it is bounded with the fan off.
+    """
+    if tolerance <= 0.0:
+        raise ConfigurationError("tolerance must be positive")
+    evaluator = evaluator or Evaluator(problem)
+    omega_max = problem.limits.omega_max
+
+    if not evaluator.evaluate(omega_max, current).runaway:
+        if not evaluator.evaluate(0.0, current).runaway:
+            return 0.0
+    else:
+        return float("inf")
+
+    lo, hi = 0.0, omega_max  # lo runs away, hi bounded
+    while hi - lo > tolerance:
+        mid = (lo + hi) / 2.0
+        if evaluator.evaluate(mid, current).runaway:
+            lo = mid
+        else:
+            hi = mid
+    return hi
+
+
+def trace_runaway_boundary(
+    problem: CoolingProblem,
+    currents: Sequence[float] = (0.0, 1.0, 2.0, 3.0, 4.0, 5.0),
+    tolerance: float = 1.0,
+) -> RunawayBoundary:
+    """Boundary omega across a set of currents for one workload."""
+    if not currents:
+        raise ConfigurationError("Need at least one current")
+    evaluator = Evaluator(problem)
+    min_omega = [find_runaway_boundary_omega(problem, float(current),
+                                             tolerance, evaluator)
+                 for current in currents]
+    return RunawayBoundary(problem_name=problem.name,
+                           currents=[float(c) for c in currents],
+                           min_omega=min_omega)
+
+
+def format_runaway_boundaries(
+    boundaries: Dict[str, RunawayBoundary],
+) -> str:
+    """Render per-benchmark boundaries as a text table (RPM)."""
+    if not boundaries:
+        raise ConfigurationError("No boundaries to format")
+    first = next(iter(boundaries.values()))
+    header = "".join(f"{c:>8.1f}A" for c in first.currents)
+    lines = [
+        "minimum fan speed (RPM) avoiding thermal runaway, by TEC "
+        "current:",
+        f"{'benchmark':<14}" + header,
+        "-" * (14 + 9 * len(first.currents)),
+    ]
+    for name, boundary in boundaries.items():
+        cells = []
+        for omega in boundary.min_omega:
+            cells.append("   never" if omega == float("inf")
+                         else f"{rad_s_to_rpm(omega):>8.0f}")
+        lines.append(f"{name:<14}" + "".join(cells))
+    return "\n".join(lines)

@@ -1,0 +1,206 @@
+"""Parameter sensitivity of the OFTEC optimum.
+
+Which physical parameters move the operating point?  This module
+perturbs one parameter at a time — TEC figure-of-merit ingredients
+(alpha, R, K), the fan power constant, the ambient temperature, the
+Equation (9) conductance fit — rebuilds the problem, reruns Algorithm 1,
+and reports the relative change in (omega*, I*, 𝒫).  Useful both as an
+engineering tool (what to improve first: the paper's Section 1 argues
+for better TEC materials) and as a robustness check on the calibrated
+reproduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..constants import FAN_POWER_CONSTANT, T_AMBIENT
+from ..core import CoolingProblem, OFTECResult, ProblemLimits, \
+    build_cooling_problem, run_oftec
+from ..errors import ConfigurationError
+from ..fan import FanModel, HeatSinkFanConductance
+from ..power import BenchmarkProfile
+from ..tec import TECDevice, default_tec_device
+from ..thermal import PackageModelConfig
+
+
+@dataclass
+class SensitivityEntry:
+    """Effect of one parameter perturbation.
+
+    Attributes:
+        parameter: Parameter label.
+        scale: Multiplier applied to the nominal value.
+        result: OFTEC outcome under the perturbation.
+        d_power: Relative change of 𝒫 vs nominal.
+        d_omega: Relative change of omega* vs nominal.
+        d_current: Absolute change of I* vs nominal, A.
+    """
+
+    parameter: str
+    scale: float
+    result: OFTECResult
+    d_power: float
+    d_omega: float
+    d_current: float
+
+
+@dataclass
+class SensitivityReport:
+    """Nominal result plus one entry per perturbation."""
+
+    nominal: OFTECResult
+    entries: List[SensitivityEntry]
+
+    def by_parameter(self) -> Dict[str, List[SensitivityEntry]]:
+        """Entries grouped by parameter label."""
+        grouped: Dict[str, List[SensitivityEntry]] = {}
+        for entry in self.entries:
+            grouped.setdefault(entry.parameter, []).append(entry)
+        return grouped
+
+    def most_sensitive_parameter(self) -> str:
+        """Parameter with the largest |d𝒫| across its perturbations."""
+        if not self.entries:
+            raise ConfigurationError("Empty sensitivity report")
+        grouped = self.by_parameter()
+        return max(grouped, key=lambda name: max(
+            abs(e.d_power) for e in grouped[name]))
+
+
+ProblemFactory = Callable[[float], CoolingProblem]
+
+
+def _problem_factories(
+    profile: BenchmarkProfile,
+    grid_resolution: int,
+    limits: Optional[ProblemLimits],
+) -> Dict[str, ProblemFactory]:
+    """One rebuild-with-scale factory per studied parameter."""
+    base_device = default_tec_device()
+
+    def with_device(device: TECDevice) -> CoolingProblem:
+        return build_cooling_problem(profile, tec_device=device,
+                                     grid_resolution=grid_resolution,
+                                     limits=limits)
+
+    def seebeck(scale: float) -> CoolingProblem:
+        return with_device(TECDevice(
+            base_device.seebeck_coefficient * scale,
+            base_device.electrical_resistance,
+            base_device.thermal_conductance,
+            base_device.footprint_area, base_device.max_current))
+
+    def resistance(scale: float) -> CoolingProblem:
+        return with_device(TECDevice(
+            base_device.seebeck_coefficient,
+            base_device.electrical_resistance * scale,
+            base_device.thermal_conductance,
+            base_device.footprint_area, base_device.max_current))
+
+    def conductance(scale: float) -> CoolingProblem:
+        return with_device(TECDevice(
+            base_device.seebeck_coefficient,
+            base_device.electrical_resistance,
+            base_device.thermal_conductance * scale,
+            base_device.footprint_area, base_device.max_current))
+
+    def fan_constant(scale: float) -> CoolingProblem:
+        return build_cooling_problem(
+            profile, grid_resolution=grid_resolution, limits=limits,
+            fan=FanModel(power_constant=FAN_POWER_CONSTANT * scale))
+
+    def ambient(scale: float) -> CoolingProblem:
+        return build_cooling_problem(
+            profile, grid_resolution=grid_resolution, limits=limits,
+            model_config=PackageModelConfig(ambient=T_AMBIENT * scale))
+
+    def sink_fit(scale: float) -> CoolingProblem:
+        nominal = HeatSinkFanConductance()
+        return build_cooling_problem(
+            profile, grid_resolution=grid_resolution, limits=limits,
+            sink_conductance=HeatSinkFanConductance(
+                p=nominal.p * scale, q=nominal.q,
+                r=nominal.r * scale,
+                g_natural=nominal.g_natural * scale))
+
+    return {
+        "tec_seebeck": seebeck,
+        "tec_resistance": resistance,
+        "tec_conductance": conductance,
+        "fan_power_constant": fan_constant,
+        "ambient_temperature": ambient,
+        "sink_conductance_fit": sink_fit,
+    }
+
+
+def run_sensitivity_study(
+    profile: BenchmarkProfile,
+    scales: Optional[List[float]] = None,
+    parameters: Optional[List[str]] = None,
+    grid_resolution: int = 8,
+    limits: Optional[ProblemLimits] = None,
+    method: str = "slsqp",
+) -> SensitivityReport:
+    """Perturb parameters one at a time and rerun Algorithm 1.
+
+    Args:
+        profile: The workload studied.
+        scales: Multipliers applied per parameter (default 0.8 / 1.2;
+            ambient uses the same list, so keep scales near 1).
+        parameters: Subset of parameter labels to study (default all).
+        grid_resolution: Thermal grid resolution for the study.
+        limits: Optional bounds override.
+        method: Solver backend.
+    """
+    scales = scales or [0.8, 1.2]
+    if any(s <= 0.0 for s in scales):
+        raise ConfigurationError("Scales must be positive")
+    factories = _problem_factories(profile, grid_resolution, limits)
+    if parameters is not None:
+        unknown = set(parameters) - set(factories)
+        if unknown:
+            raise ConfigurationError(
+                f"Unknown parameters: {sorted(unknown)}; choose from "
+                f"{sorted(factories)}")
+        factories = {name: factories[name] for name in parameters}
+
+    nominal_problem = build_cooling_problem(
+        profile, grid_resolution=grid_resolution, limits=limits)
+    nominal = run_oftec(nominal_problem, method=method)
+
+    entries: List[SensitivityEntry] = []
+    for name, factory in factories.items():
+        for scale in scales:
+            result = run_oftec(factory(scale), method=method)
+            entries.append(SensitivityEntry(
+                parameter=name,
+                scale=scale,
+                result=result,
+                d_power=(result.total_power - nominal.total_power)
+                / nominal.total_power,
+                d_omega=(result.omega_star - nominal.omega_star)
+                / max(nominal.omega_star, 1e-9),
+                d_current=result.current_star - nominal.current_star))
+    return SensitivityReport(nominal=nominal, entries=entries)
+
+
+def format_sensitivity_report(report: SensitivityReport) -> str:
+    """Render a sensitivity report as an aligned text table."""
+    lines = [
+        f"nominal: omega* = {report.nominal.omega_star:.0f} rad/s, "
+        f"I* = {report.nominal.current_star:.2f} A, "
+        f"P = {report.nominal.total_power:.2f} W",
+        f"{'parameter':<22}{'scale':>7}{'dP':>9}{'domega':>9}"
+        f"{'dI (A)':>9}{'feasible':>10}",
+        "-" * 66,
+    ]
+    for entry in report.entries:
+        lines.append(
+            f"{entry.parameter:<22}{entry.scale:>7.2f}"
+            f"{entry.d_power * 100:>8.1f}%"
+            f"{entry.d_omega * 100:>8.1f}%"
+            f"{entry.d_current:>9.2f}"
+            f"{str(entry.result.feasible):>10}")
+    return "\n".join(lines)

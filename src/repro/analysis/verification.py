@@ -1,0 +1,154 @@
+"""Executable paper-shape verification.
+
+EXPERIMENTS.md records the published shapes this reproduction targets;
+this module makes them machine-checkable: :func:`verify_paper_shapes`
+takes a finished campaign and returns one :class:`ShapeCheck` per claim
+— the same checks the figure benches assert, gathered in one place so a
+CI job (or the ``repro campaign`` CLI) can report reproduction health in
+a single call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..errors import ConfigurationError
+from .campaign import CampaignResult
+
+#: The paper's heavy/light split (Figure 6(c)'s red dashed box).
+LIGHT_BENCHMARKS = ("basicmath", "crc32", "stringsearch")
+HEAVY_BENCHMARKS = ("bitcount", "djkstra", "fft", "quicksort", "susan")
+
+
+@dataclass
+class ShapeCheck:
+    """One verified claim.
+
+    Attributes:
+        claim: What the paper reports.
+        passed: Whether the campaign reproduces it.
+        detail: Measured numbers backing the verdict.
+    """
+
+    claim: str
+    passed: bool
+    detail: str
+
+
+def _check(claim: str, passed: bool, detail: str) -> ShapeCheck:
+    return ShapeCheck(claim=claim, passed=bool(passed), detail=detail)
+
+
+def verify_paper_shapes(campaign: CampaignResult) -> List[ShapeCheck]:
+    """Run every headline-shape check against a campaign.
+
+    The campaign must cover the full eight-benchmark suite; partial
+    campaigns raise (their aggregates would silently change meaning).
+    """
+    names = set(campaign.benchmark_names)
+    expected = set(LIGHT_BENCHMARKS) | set(HEAVY_BENCHMARKS)
+    if names != expected:
+        raise ConfigurationError(
+            f"Shape verification needs the full suite {sorted(expected)}, "
+            f"got {sorted(names)}")
+
+    checks: List[ShapeCheck] = []
+    counts = campaign.feasibility_counts()
+
+    checks.append(_check(
+        "OFTEC meets T_max on all eight benchmarks",
+        counts["oftec"] == 8,
+        f"oftec feasible on {counts['oftec']}/8"))
+
+    checks.append(_check(
+        "Both baselines fail exactly the heavy five",
+        all(not campaign[n].variable_opt1.feasible
+            and not campaign[n].fixed.feasible
+            for n in HEAVY_BENCHMARKS)
+        and all(campaign[n].variable_opt1.feasible
+                and campaign[n].fixed.feasible
+                for n in LIGHT_BENCHMARKS),
+        f"variable feasible {counts['variable-omega']}/8, "
+        f"fixed feasible {counts['fixed-omega']}/8"))
+
+    comparable = campaign.comparable_benchmarks()
+    checks.append(_check(
+        "Comparable set is the light three",
+        set(comparable) == set(LIGHT_BENCHMARKS),
+        f"comparable = {comparable}"))
+
+    if set(comparable) == set(LIGHT_BENCHMARKS):
+        save_var = campaign.average_power_saving("variable-omega")
+        save_fix = campaign.average_power_saving("fixed-omega")
+        checks.append(_check(
+            "OFTEC saves power vs the variable-speed fan "
+            "(paper: 2.6%)",
+            save_var > 0.0,
+            f"measured {save_var * 100:.1f}%"))
+        checks.append(_check(
+            "OFTEC saves more vs the fixed fan than vs the variable "
+            "fan (paper: 8.1% vs 2.6%)",
+            save_fix > save_var,
+            f"measured {save_fix * 100:.1f}% vs {save_var * 100:.1f}%"))
+        dt_var = campaign.average_temperature_delta("variable-omega")
+        checks.append(_check(
+            "OFTEC runs cooler than the variable-speed fan at its "
+            "cheaper point (paper: 3.7 C)",
+            dt_var > 0.0,
+            f"measured {dt_var:.1f} K"))
+
+    advantage = campaign.average_opt2_temperature_advantage()
+    checks.append(_check(
+        "After Optimization 2, OFTEC is clearly cooler than both "
+        "baselines (paper: > 13 C average)",
+        advantage > 5.0,
+        f"measured {advantage:.1f} K"))
+
+    opt2_power_higher = all(
+        c.oftec_opt2.evaluation.total_power
+        > c.variable_opt2.evaluation.total_power
+        for c in campaign.comparisons)
+    checks.append(_check(
+        "After Optimization 2, OFTEC spends the most power "
+        "(the TECs run hard)",
+        opt2_power_higher,
+        "OFTEC highest on "
+        f"{sum(c.oftec_opt2.evaluation.total_power > c.variable_opt2.evaluation.total_power for c in campaign.comparisons)}/8"))
+
+    results = {c.name: c.oftec_opt1 for c in campaign.comparisons}
+    light_i = max(results[n].current_star for n in LIGHT_BENCHMARKS)
+    heavy_i = min(results[n].current_star for n in HEAVY_BENCHMARKS)
+    checks.append(_check(
+        "Table 2 current ordering: heavy benchmarks need more I* than "
+        "light ones",
+        heavy_i > light_i,
+        f"light max {light_i:.2f} A < heavy min {heavy_i:.2f} A"))
+
+    light_w = max(results[n].omega_star for n in LIGHT_BENCHMARKS)
+    heavy_w = min(results[n].omega_star for n in HEAVY_BENCHMARKS)
+    checks.append(_check(
+        "Table 2 fan-speed ordering: heavy benchmarks need more "
+        "omega* than light ones",
+        heavy_w > light_w,
+        f"light max {light_w:.0f} rad/s < heavy min {heavy_w:.0f} rad/s"))
+
+    if all(c.tec_only is not None for c in campaign.comparisons):
+        checks.append(_check(
+            "TEC-only system hits thermal runaway on every benchmark",
+            all(c.tec_only.runaway for c in campaign.comparisons),
+            f"runaway on "
+            f"{sum(c.tec_only.runaway for c in campaign.comparisons)}/8"))
+
+    return checks
+
+
+def format_shape_checks(checks: List[ShapeCheck]) -> str:
+    """Render a verification report."""
+    lines = ["paper-shape verification:"]
+    for check in checks:
+        mark = "PASS" if check.passed else "FAIL"
+        lines.append(f"  [{mark}] {check.claim} ({check.detail})")
+    passed = sum(c.passed for c in checks)
+    lines.append(f"  {passed}/{len(checks)} shapes reproduced")
+    return "\n".join(lines)

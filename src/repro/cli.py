@@ -1,0 +1,231 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the library's main entry points:
+
+* ``oftec`` — run Algorithm 1 on one benchmark and print the operating
+  point (optionally as JSON).
+* ``campaign`` — the full three-method comparison over the eight
+  benchmarks (Figures 6(c)-(f) tables + Table 2).
+* ``sweep`` — the Figure 6(a)/(b) objective surfaces for one benchmark.
+* ``profiles`` — list the built-in benchmark power profiles.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from . import __version__, build_cooling_problem, mibench_profiles, \
+    run_oftec
+from .analysis import (
+    format_comparison_table,
+    format_surface,
+    format_table2,
+    run_campaign,
+    sweep_objective_surfaces,
+)
+from .power import MIBENCH_NAMES
+from .units import kelvin_to_celsius, rad_s_to_rpm
+
+
+def _add_resolution(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--resolution", type=int, default=12, metavar="N",
+        help="thermal grid cells per die edge (default 12)")
+
+
+def _add_benchmark(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--benchmark", default="basicmath", choices=MIBENCH_NAMES,
+        help="workload profile (default basicmath)")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="OFTEC (DAC 2014) reproduction command line")
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    oftec = commands.add_parser(
+        "oftec", help="run Algorithm 1 on one benchmark")
+    _add_benchmark(oftec)
+    _add_resolution(oftec)
+    oftec.add_argument("--json", action="store_true",
+                       help="emit the result as JSON")
+    oftec.add_argument("--method", default="slsqp",
+                       choices=("slsqp", "trust-constr", "grid"),
+                       help="solver backend (default slsqp)")
+
+    campaign = commands.add_parser(
+        "campaign",
+        help="three-method comparison over all eight benchmarks")
+    _add_resolution(campaign)
+    campaign.add_argument("--tec-only", action="store_true",
+                          help="also sweep the fan-less TEC-only system")
+    campaign.add_argument("--json", metavar="PATH", default=None,
+                          help="also save the campaign as JSON")
+    campaign.add_argument("--verify", action="store_true",
+                          help="run the paper-shape verification and "
+                               "exit nonzero on any failed shape")
+
+    spice = commands.add_parser(
+        "spice",
+        help="export the thermal network as a SPICE .op netlist")
+    _add_benchmark(spice)
+    _add_resolution(spice)
+    spice.add_argument("--omega", type=float, default=262.0,
+                       help="fan speed, rad/s (default 262)")
+    spice.add_argument("--current", type=float, default=1.0,
+                       help="TEC current, A (default 1.0)")
+    spice.add_argument("--output", metavar="PATH", default=None,
+                       help="write the netlist here (default stdout)")
+
+    sweep = commands.add_parser(
+        "sweep", help="objective surfaces over the (omega, I) plane")
+    _add_benchmark(sweep)
+    _add_resolution(sweep)
+    sweep.add_argument("--omega-points", type=int, default=12)
+    sweep.add_argument("--current-points", type=int, default=9)
+
+    commands.add_parser("profiles",
+                        help="list the built-in benchmark profiles")
+    return parser
+
+
+def _cmd_oftec(args: argparse.Namespace) -> int:
+    profile = mibench_profiles()[args.benchmark]
+    problem = build_cooling_problem(profile,
+                                    grid_resolution=args.resolution)
+    result = run_oftec(problem, method=args.method)
+    if args.json:
+        payload = {
+            "benchmark": args.benchmark,
+            "feasible": result.feasible,
+            "omega_rad_s": result.omega_star,
+            "omega_rpm": rad_s_to_rpm(result.omega_star),
+            "i_tec_a": result.current_star,
+            "max_temperature_c": kelvin_to_celsius(
+                result.max_chip_temperature),
+            "total_power_w": result.total_power,
+            "leakage_power_w": result.evaluation.leakage_power,
+            "tec_power_w": result.evaluation.tec_power,
+            "fan_power_w": result.evaluation.fan_power,
+            "runtime_ms": result.runtime_seconds * 1e3,
+            "thermal_solves": result.thermal_solves,
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    status = "meets" if result.feasible else "MISSES"
+    print(f"{args.benchmark}: omega* = "
+          f"{rad_s_to_rpm(result.omega_star):.0f} RPM, "
+          f"I* = {result.current_star:.2f} A")
+    print(f"  T = {kelvin_to_celsius(result.max_chip_temperature):.1f} C "
+          f"({status} T_max), P = {result.total_power:.2f} W "
+          f"(leak {result.evaluation.leakage_power:.2f} + "
+          f"TEC {result.evaluation.tec_power:.2f} + "
+          f"fan {result.evaluation.fan_power:.2f})")
+    print(f"  runtime {result.runtime_seconds * 1e3:.0f} ms, "
+          f"{result.thermal_solves} thermal solves")
+    return 0 if result.feasible else 1
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    profiles = mibench_profiles()
+    template = profiles["basicmath"]
+    tec_problem = build_cooling_problem(
+        template, grid_resolution=args.resolution)
+    baseline_problem = build_cooling_problem(
+        template, with_tec=False, grid_resolution=args.resolution)
+    campaign = run_campaign(profiles, tec_problem, baseline_problem,
+                            include_tec_only=args.tec_only)
+    print(format_comparison_table(campaign, "opt2"))
+    print()
+    print(format_comparison_table(campaign, "opt1"))
+    print()
+    print(format_table2(campaign))
+    if args.tec_only:
+        print("\nTEC-only (fan off) outcomes:")
+        for comparison in campaign.comparisons:
+            status = "thermal runaway" if comparison.tec_only.runaway \
+                else "bounded"
+            print(f"  {comparison.name:<14} {status}")
+    if args.json:
+        from .io import save_campaign
+        save_campaign(campaign, args.json)
+        print(f"\ncampaign saved to {args.json}")
+    if args.verify:
+        from .analysis import format_shape_checks, verify_paper_shapes
+        checks = verify_paper_shapes(campaign)
+        print()
+        print(format_shape_checks(checks))
+        if not all(check.passed for check in checks):
+            return 1
+    return 0
+
+
+def _cmd_spice(args: argparse.Namespace) -> int:
+    from .thermal import export_spice_netlist
+    profile = mibench_profiles()[args.benchmark]
+    problem = build_cooling_problem(profile,
+                                    grid_resolution=args.resolution)
+    netlist = export_spice_netlist(
+        problem.model, args.omega, args.current,
+        problem.dynamic_cell_power,
+        title=f"OFTEC {args.benchmark} at omega={args.omega} rad/s, "
+              f"I={args.current} A")
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as f:
+            f.write(netlist)
+        print(f"netlist written to {args.output} "
+              f"({len(netlist.splitlines())} lines)")
+    else:
+        print(netlist, end="")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    profile = mibench_profiles()[args.benchmark]
+    problem = build_cooling_problem(profile,
+                                    grid_resolution=args.resolution)
+    sweep = sweep_objective_surfaces(
+        problem, omega_points=args.omega_points,
+        current_points=args.current_points)
+    print(format_surface(sweep, "temperature"))
+    print()
+    print(format_surface(sweep, "power"))
+    return 0
+
+
+def _cmd_profiles(_args: argparse.Namespace) -> int:
+    print(f"{'benchmark':<14}{'total (W)':>10}  hottest units")
+    for name, profile in mibench_profiles().items():
+        top = sorted(profile.unit_power.items(),
+                     key=lambda kv: -kv[1])[:3]
+        top_text = ", ".join(f"{unit} {power:.1f}W"
+                             for unit, power in top)
+        print(f"{name:<14}{profile.total_power:>10.1f}  {top_text}")
+    return 0
+
+
+_COMMANDS = {
+    "oftec": _cmd_oftec,
+    "campaign": _cmd_campaign,
+    "sweep": _cmd_sweep,
+    "profiles": _cmd_profiles,
+    "spice": _cmd_spice,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,80 @@
+"""Physical constants and the paper's experimental parameters (Section 6.1).
+
+Every number here is quoted directly from the paper text; modules treat them
+as *defaults* that callers may override through the configuration objects.
+"""
+
+from __future__ import annotations
+
+from .units import celsius_to_kelvin, rpm_to_rad_s
+
+# ---------------------------------------------------------------------------
+# Optimization bounds and thermal limits (Section 6.1).
+# ---------------------------------------------------------------------------
+
+#: Maximum fan rotation speed, rad/s (paper: 524 rad/s = 5000 RPM).
+OMEGA_MAX = 524.0
+
+#: Maximum safe TEC driving current, A (beyond this the TEC is damaged).
+I_TEC_MAX = 5.0
+
+#: Maximum allowed die temperature, K (paper: 90 C = 363 K).
+T_MAX = celsius_to_kelvin(90.0)
+
+#: Ambient temperature around the package, K (paper: 45 C = 318 K).
+T_AMBIENT = celsius_to_kelvin(45.0)
+
+# ---------------------------------------------------------------------------
+# Fan model (Equation 8) and heat-sink/fan conductance fit (Equation 9).
+# ---------------------------------------------------------------------------
+
+#: Fan power constant ``c`` in ``P_fan = c * omega**3`` (W * s^3), estimated
+#: from reference [11] of the paper.
+FAN_POWER_CONSTANT = 1.6e-7
+
+#: Fitting parameter ``p`` of ``g = p * ln(q * omega) + r`` (W/K per ln-unit).
+G_FIT_P = 0.97
+
+#: Dimension-fixing constant ``q`` of Equation (9); the paper sets it to 1 s.
+G_FIT_Q = 1.0
+
+#: Fitting parameter ``r`` of Equation (9) (W/K).
+G_FIT_R = -0.25
+
+#: Natural-convection (fan off / very slow) heat-sink conductance (W/K).
+G_HS_NATURAL = 0.525
+
+# ---------------------------------------------------------------------------
+# Baseline controllers (Section 6.1).
+# ---------------------------------------------------------------------------
+
+#: Fixed fan speed of baseline 2, rad/s (paper: 2000 RPM).
+OMEGA_FIXED_BASELINE = rpm_to_rad_s(2000.0)
+
+# ---------------------------------------------------------------------------
+# Leakage calibration protocol (Section 6.1).
+# ---------------------------------------------------------------------------
+
+#: Temperature range over which the McPAT-substitute leakage curve is sampled.
+LEAKAGE_CAL_T_MIN = 300.0
+LEAKAGE_CAL_T_MAX = 390.0
+
+#: Number of evenly spaced calibration temperatures ("ten temperature values
+#: distributed evenly in the range of 300K to 390K").
+LEAKAGE_CAL_POINTS = 10
+
+# ---------------------------------------------------------------------------
+# Numerical guards (ours, not the paper's).
+# ---------------------------------------------------------------------------
+
+#: Temperature above which a steady-state solution is declared thermal
+#: runaway.  No silicon survives anywhere near this; the linearized network
+#: only produces such values when the leakage feedback loop has no bounded
+#: fixed point.
+RUNAWAY_TEMPERATURE_CEILING = 500.0
+
+#: Convergence tolerance for the outer leakage-relinearization loop (K).
+LEAKAGE_LOOP_TOLERANCE = 1e-3
+
+#: Iteration cap for the outer leakage-relinearization loop.
+LEAKAGE_LOOP_MAX_ITER = 50

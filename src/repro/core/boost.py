@@ -1,0 +1,83 @@
+"""Transient TEC boost (Section 6.2 / reference [8] of the paper).
+
+Thin-film TECs can over-pump for short intervals: the Peltier effect acts
+immediately at the cold junction while Joule heat arrives at the die with
+the package's thermal time constant.  The paper suggests raising
+``I*_TEC`` by about 1 A for about 1 s — e.g. to bridge the interval while
+OFTEC's next solution is being computed.  :func:`plan_transient_boost`
+builds the corresponding schedules for
+:func:`repro.thermal.simulate_transient`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..errors import ConfigurationError
+from .oftec import OFTECResult
+from .problem import CoolingProblem
+
+
+@dataclass
+class TransientBoostPlan:
+    """Boost schedule around a steady OFTEC operating point.
+
+    Attributes:
+        omega: Constant fan speed, rad/s.
+        base_current: Steady current ``I*``, A.
+        boost_current: Current applied during the boost window, A.
+        boost_duration: Boost window length, s.
+    """
+
+    omega: float
+    base_current: float
+    boost_current: float
+    boost_duration: float
+
+    def current_schedule(self) -> Callable[[float], float]:
+        """Current as a function of time: boosted, then steady."""
+        def schedule(t: float) -> float:
+            return self.boost_current if t <= self.boost_duration \
+                else self.base_current
+        return schedule
+
+    def omega_schedule(self) -> Callable[[float], float]:
+        """Fan speed as a function of time (constant)."""
+        omega = self.omega
+
+        def schedule(_t: float) -> float:
+            return omega
+        return schedule
+
+    @property
+    def extra_current(self) -> float:
+        """Boost magnitude above the steady current, A."""
+        return self.boost_current - self.base_current
+
+
+def plan_transient_boost(
+    problem: CoolingProblem,
+    oftec_result: OFTECResult,
+    extra_current: float = 1.0,
+    duration: float = 1.0,
+) -> TransientBoostPlan:
+    """Build the paper's "+1 A for 1 s" boost plan at an OFTEC optimum.
+
+    The boosted current is clamped to the device's safe limit
+    (Constraint 17 still applies instantaneously).
+    """
+    if extra_current < 0.0:
+        raise ConfigurationError("extra_current must be >= 0")
+    if duration <= 0.0:
+        raise ConfigurationError("duration must be positive")
+    if not problem.has_tec:
+        raise ConfigurationError(
+            "Transient boost requires a TEC-equipped problem")
+    boosted = min(oftec_result.current_star + extra_current,
+                  problem.limits.i_tec_max)
+    return TransientBoostPlan(
+        omega=oftec_result.omega_star,
+        base_current=oftec_result.current_star,
+        boost_current=boosted,
+        boost_duration=duration)

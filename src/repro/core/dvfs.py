@@ -1,0 +1,179 @@
+"""DVFS fallback: frequency throttling when cooling alone cannot win.
+
+Section 6.2 of the paper: the benchmarks the baselines cannot cool
+"should be further cooled down using other thermal management techniques
+such as reducing the voltage/frequency of the chip or throttling
+different functional units which leads to performance degradation".
+This module quantifies that cost — the performance a no-TEC system must
+give up that OFTEC's hybrid cooling avoids.
+
+Model: at relative frequency ``s`` (1.0 = nominal) the supply voltage
+scales linearly between ``v_floor`` and 1.0, so dynamic power scales as
+
+    P_dyn(s) = P_dyn(1) * s * (v_floor + (1 - v_floor) * s)^2
+
+— the classic f*V^2 law with a voltage floor (leakage is temperature-
+driven and handled by the thermal model).  Performance is proportional
+to ``s``.  :func:`find_max_frequency` binary-searches the largest
+feasible ``s`` for a given cooling controller.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..errors import ConfigurationError
+from .baselines import run_variable_fan_baseline
+from .oftec import run_oftec
+from .problem import CoolingProblem
+
+
+@dataclass(frozen=True)
+class DVFSModel:
+    """Voltage/frequency scaling law.
+
+    Attributes:
+        v_floor: Relative supply voltage at s -> 0 (near-threshold
+            floor); typical planning value 0.6.
+        s_min: Lowest usable relative frequency.
+    """
+
+    v_floor: float = 0.6
+    s_min: float = 0.3
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.v_floor <= 1.0):
+            raise ConfigurationError("v_floor must be in (0, 1]")
+        if not (0.0 < self.s_min <= 1.0):
+            raise ConfigurationError("s_min must be in (0, 1]")
+
+    def voltage(self, scaling: float) -> float:
+        """Relative supply voltage at relative frequency ``scaling``."""
+        self._check(scaling)
+        return self.v_floor + (1.0 - self.v_floor) * scaling
+
+    def dynamic_power_factor(self, scaling: float) -> float:
+        """Dynamic-power multiplier at relative frequency ``scaling``."""
+        self._check(scaling)
+        return scaling * self.voltage(scaling) ** 2
+
+    def _check(self, scaling: float) -> None:
+        if not (0.0 <= scaling <= 1.0):
+            raise ConfigurationError(
+                f"Relative frequency must be in [0, 1], got {scaling}")
+
+
+@dataclass
+class ThrottleResult:
+    """Outcome of the max-frequency search for one cooling controller.
+
+    Attributes:
+        scaling: Largest feasible relative frequency found.
+        performance_loss: ``1 - scaling`` (throughput given up).
+        feasible: Whether *any* frequency in [s_min, 1] was coolable.
+        power_at_scaling: Total cooling-related power at the found
+            operating point, W (NaN when infeasible).
+        runtime_seconds: Search wall-clock time.
+        evaluations: Cooling-controller invocations performed.
+    """
+
+    scaling: float
+    performance_loss: float
+    feasible: bool
+    power_at_scaling: float
+    runtime_seconds: float
+    evaluations: int
+
+
+CoolingRunner = Callable[[CoolingProblem], "object"]
+
+
+def _default_runner(problem: CoolingProblem):
+    """Run the matching controller for the problem's package."""
+    if problem.has_tec:
+        return run_oftec(problem)
+    return run_variable_fan_baseline(problem)
+
+
+def scaled_problem(problem: CoolingProblem, model: DVFSModel,
+                   scaling: float) -> CoolingProblem:
+    """The same workload at relative frequency ``scaling``."""
+    factor = model.dynamic_power_factor(scaling)
+    if problem.coverage is None:
+        raise ConfigurationError(
+            "DVFS scaling requires the problem's CellCoverage")
+    from .problem import CoolingProblem as _CP
+    return _CP(f"{problem.name}@{scaling:.3f}", problem.model,
+               problem.leakage, problem.fan,
+               problem.dynamic_cell_power * factor, problem.limits,
+               problem.coverage, problem.fan_heat_fraction)
+
+
+def find_max_frequency(
+    problem: CoolingProblem,
+    dvfs: Optional[DVFSModel] = None,
+    runner: Optional[CoolingRunner] = None,
+    tolerance: float = 0.01,
+) -> ThrottleResult:
+    """Binary-search the largest coolable relative frequency.
+
+    Args:
+        problem: The workload at nominal frequency (TEC or baseline
+            package; the matching controller is chosen automatically
+            unless ``runner`` overrides it).
+        dvfs: Scaling law (defaults to the 0.6-voltage-floor model).
+        runner: Cooling controller; must return an object with a
+            ``feasible`` attribute and a ``total_power`` property.
+        tolerance: Terminal width of the frequency bracket.
+
+    The search exploits monotonicity: less frequency means less dynamic
+    power means an easier cooling problem.
+    """
+    if not (0.0 < tolerance < 1.0):
+        raise ConfigurationError("tolerance must be in (0, 1)")
+    dvfs = dvfs or DVFSModel()
+    runner = runner or _default_runner
+    start = time.perf_counter()
+    evaluations = 0
+
+    def coolable(scaling: float):
+        nonlocal evaluations
+        evaluations += 1
+        result = runner(scaled_problem(problem, dvfs, scaling))
+        return result
+
+    # Fast path: nominal frequency already coolable.
+    nominal = coolable(1.0)
+    if nominal.feasible:
+        return ThrottleResult(
+            scaling=1.0, performance_loss=0.0, feasible=True,
+            power_at_scaling=nominal.total_power,
+            runtime_seconds=time.perf_counter() - start,
+            evaluations=evaluations)
+
+    # Infeasible even at the lowest usable frequency: thermal design
+    # failure regardless of DVFS.
+    floor = coolable(dvfs.s_min)
+    if not floor.feasible:
+        return ThrottleResult(
+            scaling=dvfs.s_min, performance_loss=1.0 - dvfs.s_min,
+            feasible=False, power_at_scaling=float("nan"),
+            runtime_seconds=time.perf_counter() - start,
+            evaluations=evaluations)
+
+    lo, hi = dvfs.s_min, 1.0        # lo coolable, hi not
+    best = floor
+    while hi - lo > tolerance:
+        mid = (lo + hi) / 2.0
+        result = coolable(mid)
+        if result.feasible:
+            lo, best = mid, result
+        else:
+            hi = mid
+    return ThrottleResult(
+        scaling=lo, performance_loss=1.0 - lo, feasible=True,
+        power_at_scaling=best.total_power,
+        runtime_seconds=time.perf_counter() - start,
+        evaluations=evaluations)

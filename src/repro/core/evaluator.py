@@ -1,0 +1,163 @@
+"""Operating-point evaluation: ``(omega, I_TEC) -> (𝒯, 𝒫)``.
+
+This is the numerical oracle both optimizations consume (the paper's
+"thermal simulator" box in Figure 5): one steady-state network solve plus
+the bookkeeping of Equations (10)-(13).  Thermal runaway maps to large
+finite penalty values that grow with the diverging temperature, giving the
+outer optimizer a consistent "get out of here" signal instead of a flat
+cliff.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ThermalRunawayError
+from ..thermal import SteadyStateResult, solve_steady_state
+from .problem import CoolingProblem
+
+#: Additive power penalty (W) applied to runaway evaluations before the
+#: temperature-growth term.
+RUNAWAY_POWER_PENALTY = 1.0e3
+
+#: Cap on the runaway temperature signal, K, to keep penalties bounded.
+RUNAWAY_SIGNAL_CAP = 5.0e3
+
+
+@dataclass
+class Evaluation:
+    """One evaluated operating point.
+
+    Attributes:
+        omega: Fan speed, rad/s (clamped into bounds).
+        current: TEC driving current, A (clamped into bounds).
+        max_chip_temperature: 𝒯, K; a penalty value when ``runaway``.
+        total_power: 𝒫 = P_leakage + P_TEC + P_fan, W; penalty when
+            ``runaway``.
+        leakage_power: Equation (11) term, W.
+        tec_power: Equation (12) term, W.
+        fan_power: Equation (13) term, W.
+        feasible: ``𝒯 < T_max`` and not runaway.
+        runaway: True when no bounded steady state exists here.
+        steady: Full solver result (None for runaway points).
+    """
+
+    omega: float
+    current: float
+    max_chip_temperature: float
+    total_power: float
+    leakage_power: float
+    tec_power: float
+    fan_power: float
+    feasible: bool
+    runaway: bool
+    steady: Optional[SteadyStateResult]
+
+    @property
+    def cooling_power(self) -> float:
+        """The actuator share of 𝒫 (TEC + fan, without leakage), W."""
+        return self.tec_power + self.fan_power
+
+
+class Evaluator:
+    """Caching, warm-starting oracle for one :class:`CoolingProblem`.
+
+    Successive optimizer queries move little in ``(omega, I)``; reusing
+    the previous chip temperatures as the leakage linearization point cuts
+    the relinearization loop to 1-2 iterations, and a result cache absorbs
+    the repeated evaluations finite-difference gradients make.
+    """
+
+    def __init__(self, problem: CoolingProblem,
+                 cache_decimals: int = 9):
+        self.problem = problem
+        self._cache: Dict[Tuple[float, float], Evaluation] = {}
+        self._cache_decimals = cache_decimals
+        self._warm_chip: Optional[np.ndarray] = None
+        self.call_count = 0
+        self.solve_count = 0
+
+    def clamp(self, omega: float, current: float) -> Tuple[float, float]:
+        """Clamp a query into the box constraints (16)-(17)."""
+        limits = self.problem.limits
+        omega_c = float(min(max(omega, 0.0), limits.omega_max))
+        current_c = float(min(max(current, 0.0),
+                              self.problem.current_upper_bound))
+        return omega_c, current_c
+
+    def evaluate(self, omega: float, current: float) -> Evaluation:
+        """Evaluate 𝒯 and 𝒫 at one operating point (cached)."""
+        self.call_count += 1
+        omega, current = self.clamp(omega, current)
+        key = (round(omega, self._cache_decimals),
+               round(current, self._cache_decimals))
+        hit = self._cache.get(key)
+        if hit is not None:
+            return hit
+        result = self._solve(omega, current)
+        self._cache[key] = result
+        return result
+
+    def _solve(self, omega: float, current: float) -> Evaluation:
+        problem = self.problem
+        self.solve_count += 1
+        fan_power = problem.fan.power(omega)
+        try:
+            steady = solve_steady_state(
+                problem.model, omega, current,
+                problem.dynamic_cell_power, problem.leakage,
+                initial_guess=self._warm_chip,
+                sink_heat=problem.fan_heat_fraction * fan_power)
+        except ThermalRunawayError as err:
+            # The signal grows with the diverging temperature so the
+            # optimizer can climb out, but never drops below the runaway
+            # ceiling: a wildly unphysical solve (e.g. all-negative
+            # temperatures from an indefinite system) must still read as
+            # "worse than any bounded state".
+            floor = problem.model.config.runaway_ceiling
+            signal = min(max(err.max_temperature, floor),
+                         RUNAWAY_SIGNAL_CAP)
+            if not np.isfinite(signal):
+                signal = RUNAWAY_SIGNAL_CAP
+            return Evaluation(
+                omega=omega, current=current,
+                max_chip_temperature=signal,
+                total_power=RUNAWAY_POWER_PENALTY + signal,
+                leakage_power=float("inf"),
+                tec_power=0.0, fan_power=fan_power,
+                feasible=False, runaway=True, steady=None)
+        self._warm_chip = steady.chip_temperatures
+        total = steady.leakage_power + steady.tec_power + fan_power
+        return Evaluation(
+            omega=omega, current=current,
+            max_chip_temperature=steady.max_chip_temperature,
+            total_power=total,
+            leakage_power=steady.leakage_power,
+            tec_power=steady.tec_power,
+            fan_power=fan_power,
+            feasible=steady.max_chip_temperature < problem.limits.t_max,
+            runaway=False,
+            steady=steady)
+
+    # -- the two objective functions of Section 5 ------------------------------
+
+    def temperature_objective(self, omega: float, current: float) -> float:
+        """𝒯(omega, I): Optimization 2's objective (Equation 19)."""
+        return self.evaluate(omega, current).max_chip_temperature
+
+    def power_objective(self, omega: float, current: float) -> float:
+        """𝒫(omega, I): Optimization 1's objective (Equation 10)."""
+        return self.evaluate(omega, current).total_power
+
+    def thermal_margin(self, omega: float, current: float) -> float:
+        """``T_max - 𝒯``: positive inside Constraint (15)."""
+        return (self.problem.limits.t_max
+                - self.evaluate(omega, current).max_chip_temperature)
+
+    def clear_cache(self) -> None:
+        """Drop cached evaluations (e.g. after mutating the problem)."""
+        self._cache.clear()
+        self._warm_chip = None

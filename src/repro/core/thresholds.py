@@ -1,0 +1,171 @@
+"""Threshold and hysteresis TEC controllers (reference [5] of the paper).
+
+These are the "simple controllers" the related work proposes and the
+paper's Section 3 critiques: the TEC string is driven at a constant
+current that is switched on and off by die-temperature comparisons.
+
+* **Threshold controller** — TECs on above ``t_on``, off below it.
+* **Hysteresis controller** — on above ``t_on``, off only below a lower
+  ``t_off``, reducing the on/off switching rate (each transition stresses
+  the devices).
+
+Both run closed-loop on the transient solver: temperature feedback from
+step ``n`` decides the current applied during step ``n+1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+from scipy.sparse import diags
+from scipy.sparse.linalg import splu
+
+from ..errors import ConfigurationError
+from ..leakage import tangent_linearization
+from .problem import CoolingProblem
+
+
+@dataclass
+class ThresholdControllerResult:
+    """Closed-loop trace of a threshold-style controller.
+
+    Attributes:
+        times: Sample times, s.
+        max_chip_temperature: 𝒯(t), K.
+        current: Applied TEC current per step, A.
+        switch_count: Number of on/off transitions.
+        duty_cycle: Fraction of steps with the TEC on.
+        runaway: True if the runaway ceiling was crossed.
+    """
+
+    times: np.ndarray
+    max_chip_temperature: np.ndarray
+    current: np.ndarray
+    switch_count: int
+    duty_cycle: float
+    runaway: bool
+
+    @property
+    def peak_temperature(self) -> float:
+        """Highest 𝒯 sample, K."""
+        return float(self.max_chip_temperature.max())
+
+
+def _run_switched_controller(
+    problem: CoolingProblem,
+    omega: float,
+    on_current: float,
+    duration: float,
+    dt: float,
+    t_on: float,
+    t_off: float,
+    initial_temperatures: Optional[np.ndarray] = None,
+) -> ThresholdControllerResult:
+    """Shared closed-loop simulation for both controller flavors."""
+    if not problem.has_tec:
+        raise ConfigurationError("Switched controllers need a TEC package")
+    if duration <= 0.0 or dt <= 0.0 or dt > duration:
+        raise ConfigurationError("Require 0 < dt <= duration")
+    if t_off > t_on:
+        raise ConfigurationError("t_off must not exceed t_on")
+    if not (0.0 <= on_current <= problem.limits.i_tec_max):
+        raise ConfigurationError(
+            f"on_current must lie in [0, {problem.limits.i_tec_max}]")
+
+    model = problem.model
+    network = model.network
+    capacities = network.heat_capacities()
+    c_over_dt = capacities / dt
+    static = network.static_matrix
+    fan_heat = problem.fan_heat_fraction * problem.fan.power(omega)
+
+    n = network.node_count
+    if initial_temperatures is None:
+        temps = np.full(n, model.config.ambient, dtype=float)
+    else:
+        temps = np.asarray(initial_temperatures, dtype=float).copy()
+        if temps.shape != (n,):
+            raise ConfigurationError(
+                f"initial_temperatures must have shape ({n},)")
+
+    steps = int(round(duration / dt))
+    times = [0.0]
+    chip = model.chip_temperatures(temps)
+    trace_t = [float(chip.max())]
+    trace_i: List[float] = [0.0]
+    tec_on = False
+    switches = 0
+    on_steps = 0
+    runaway = False
+
+    for step in range(1, steps + 1):
+        t_now = step * dt
+        hottest = float(model.chip_temperatures(temps).max())
+        was_on = tec_on
+        if hottest > t_on:
+            tec_on = True
+        elif hottest < t_off:
+            tec_on = False
+        if tec_on != was_on:
+            switches += 1
+        current = on_current if tec_on else 0.0
+        if tec_on:
+            on_steps += 1
+
+        chip = model.chip_temperatures(temps)
+        taylor = tangent_linearization(problem.leakage, chip)
+        diag, rhs = model.overlays(
+            omega, current, problem.dynamic_cell_power,
+            taylor.a, taylor.constant_term(), sink_heat=fan_heat)
+        matrix = (static + diags(diag + c_over_dt)).tocsc()
+        temps = splu(matrix).solve(rhs + c_over_dt * temps)
+
+        times.append(t_now)
+        trace_t.append(float(model.chip_temperatures(temps).max()))
+        trace_i.append(current)
+        if float(temps.max()) > model.config.runaway_ceiling:
+            runaway = True
+            break
+
+    return ThresholdControllerResult(
+        times=np.array(times),
+        max_chip_temperature=np.array(trace_t),
+        current=np.array(trace_i),
+        switch_count=switches,
+        duty_cycle=on_steps / max(steps, 1),
+        runaway=runaway)
+
+
+def run_threshold_controller(
+    problem: CoolingProblem,
+    omega: float,
+    on_current: float,
+    threshold: float,
+    duration: float = 20.0,
+    dt: float = 0.05,
+    initial_temperatures: Optional[np.ndarray] = None,
+) -> ThresholdControllerResult:
+    """Single-threshold on/off TEC control (ref [5], controller 1)."""
+    return _run_switched_controller(
+        problem, omega, on_current, duration, dt,
+        t_on=threshold, t_off=threshold,
+        initial_temperatures=initial_temperatures)
+
+
+def run_hysteresis_controller(
+    problem: CoolingProblem,
+    omega: float,
+    on_current: float,
+    t_on: float,
+    t_off: float,
+    duration: float = 20.0,
+    dt: float = 0.05,
+    initial_temperatures: Optional[np.ndarray] = None,
+) -> ThresholdControllerResult:
+    """Two-threshold hysteresis TEC control (ref [5], controller 2)."""
+    return _run_switched_controller(
+        problem, omega, on_current, duration, dt,
+        t_on=t_on, t_off=t_off,
+        initial_temperatures=initial_temperatures)

@@ -1,0 +1,65 @@
+"""Exception hierarchy for the OFTEC reproduction.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still being able to discriminate the failure mode.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ConfigurationError(ReproError):
+    """A model, stack, or problem was configured with inconsistent values."""
+
+
+class GeometryError(ReproError):
+    """A floorplan or grid operation received invalid geometry."""
+
+
+class FloorplanParseError(GeometryError):
+    """A HotSpot ``.flp`` file could not be parsed."""
+
+
+class MaterialError(ReproError):
+    """A material property is missing or non-physical."""
+
+
+class SolverError(ReproError):
+    """The thermal or optimization solver failed to produce a solution."""
+
+
+class SingularNetworkError(SolverError):
+    """The thermal conductance matrix is singular (disconnected network)."""
+
+
+class ThermalRunawayError(SolverError):
+    """The leakage-temperature fixed point diverged.
+
+    Physically this is the positive-feedback loop the paper describes in
+    Section 6.2: insufficient cooling lets the temperature rise, which raises
+    the (exponentially temperature-dependent) leakage power, which raises the
+    temperature further until the chip burns.  The steady-state problem has
+    no bounded solution, so the solver raises this error instead of
+    returning one.
+    """
+
+    def __init__(self, message: str, max_temperature: float = float("inf")):
+        super().__init__(message)
+        #: Highest temperature observed before the solve was abandoned (K).
+        self.max_temperature = max_temperature
+
+
+class InfeasibleProblemError(ReproError):
+    """Optimization 2 could not find any point meeting the thermal limit.
+
+    Raised by Algorithm 1 (line 5, ``return failed``) when even the
+    temperature-minimizing operating point exceeds ``T_max``.
+    """
+
+
+class CalibrationError(ReproError):
+    """A regression / curve fit did not converge or had too few samples."""

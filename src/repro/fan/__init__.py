@@ -1,0 +1,21 @@
+"""Forced-convection substrate: fan power law and heat-sink conductance.
+
+Implements Equation (8) (``P_fan = c * omega**3``), Equation (9)
+(``g_HS&fan = p * ln(q * omega) + r`` with a natural-convection floor), and
+a physical forced-convection correlation used to re-derive the paper's
+fitted constants as a cross-check.
+"""
+
+from .fan import FanModel
+from .heatsink import HeatSinkFanConductance
+from .convection import ConvectionCorrelation, fit_log_conductance
+from .noise import FanNoiseModel, noise_limited_omega_max
+
+__all__ = [
+    "FanModel",
+    "HeatSinkFanConductance",
+    "ConvectionCorrelation",
+    "fit_log_conductance",
+    "FanNoiseModel",
+    "noise_limited_omega_max",
+]

@@ -1,0 +1,113 @@
+"""Physical forced-convection correlation and the Equation (9) curve fit.
+
+The paper obtains Equation (9) by exercising HotSpot 5's convection
+calculation at several fan speeds and curve-fitting a logarithm.  We
+reproduce the protocol: :class:`ConvectionCorrelation` is a textbook
+flat-plate correlation over the finned sink (laminar Nusselt number
+``Nu = 0.664 * Re^0.5 * Pr^(1/3)``, air velocity proportional to fan
+speed), and :func:`fit_log_conductance` performs the least-squares fit of
+``g = p * ln(q * omega) + r`` to sampled conductances.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..errors import CalibrationError, ConfigurationError
+
+# Dry air at ~320 K.
+AIR_CONDUCTIVITY = 0.027        # W/(m*K)
+AIR_KINEMATIC_VISCOSITY = 1.8e-5  # m^2/s
+AIR_PRANDTL = 0.71
+
+
+@dataclass(frozen=True)
+class ConvectionCorrelation:
+    """Laminar flat-plate convection over a finned heat sink.
+
+    Attributes:
+        fin_area: Total wetted fin + base area in m^2.
+        characteristic_length: Flow length along the fins in meters.
+        velocity_per_omega: Air velocity produced per rad/s of fan speed
+            (m/s per rad/s); encapsulates the fan volute and duct geometry.
+        natural_conductance: Free-convection conductance at zero flow, W/K.
+    """
+
+    fin_area: float = 0.09
+    characteristic_length: float = 0.06
+    velocity_per_omega: float = 0.012
+    natural_conductance: float = 0.525
+
+    def __post_init__(self) -> None:
+        for field_name in ("fin_area", "characteristic_length",
+                           "velocity_per_omega", "natural_conductance"):
+            if getattr(self, field_name) <= 0.0:
+                raise ConfigurationError(
+                    f"{field_name} must be positive")
+
+    def air_velocity(self, omega: float) -> float:
+        """Bulk air velocity through the fins at fan speed ``omega``."""
+        if omega < 0.0:
+            raise ConfigurationError(f"Fan speed must be >= 0, got {omega}")
+        return self.velocity_per_omega * omega
+
+    def heat_transfer_coefficient(self, omega: float) -> float:
+        """Convective film coefficient h in W/(m^2*K)."""
+        velocity = self.air_velocity(omega)
+        if velocity <= 0.0:
+            return 0.0
+        reynolds = velocity * self.characteristic_length \
+            / AIR_KINEMATIC_VISCOSITY
+        nusselt = 0.664 * math.sqrt(reynolds) * AIR_PRANDTL ** (1.0 / 3.0)
+        return nusselt * AIR_CONDUCTIVITY / self.characteristic_length
+
+    def conductance(self, omega: float) -> float:
+        """Sink-to-ambient conductance in W/K at fan speed ``omega``.
+
+        Forced and natural convection act on the same surface; the total is
+        the larger of the two mechanisms (they do not meaningfully add).
+        """
+        forced = self.heat_transfer_coefficient(omega) * self.fin_area
+        return max(forced, self.natural_conductance)
+
+
+def fit_log_conductance(
+    omegas: Sequence[float],
+    conductances: Sequence[float],
+    q: float = 1.0,
+) -> Tuple[float, float]:
+    """Least-squares fit of ``g = p * ln(q * omega) + r``.
+
+    Returns the fitted ``(p, r)``.  Raises :class:`CalibrationError` when
+    fewer than two distinct positive speeds are supplied or the fit is
+    degenerate.  This reproduces how the paper derives its Equation (9)
+    constants from HotSpot samples.
+    """
+    omega_arr = np.asarray(omegas, dtype=float)
+    g_arr = np.asarray(conductances, dtype=float)
+    if omega_arr.shape != g_arr.shape:
+        raise CalibrationError(
+            f"Mismatched sample shapes: {omega_arr.shape} vs {g_arr.shape}")
+    mask = omega_arr > 0.0
+    omega_arr = omega_arr[mask]
+    g_arr = g_arr[mask]
+    if omega_arr.size < 2 or np.unique(omega_arr).size < 2:
+        raise CalibrationError(
+            "Need at least two distinct positive fan speeds to fit")
+    if q <= 0.0:
+        raise CalibrationError(f"q must be positive, got {q}")
+    design = np.column_stack([np.log(q * omega_arr),
+                              np.ones_like(omega_arr)])
+    solution, _, rank, _ = np.linalg.lstsq(design, g_arr, rcond=None)
+    if rank < 2:
+        raise CalibrationError("Degenerate logarithmic fit")
+    p_fit, r_fit = float(solution[0]), float(solution[1])
+    if p_fit <= 0.0:
+        raise CalibrationError(
+            f"Fitted slope must be positive, got {p_fit}; the samples do "
+            "not describe forced convection")
+    return p_fit, r_fit

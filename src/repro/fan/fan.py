@@ -1,0 +1,54 @@
+"""Fan power model: the cubic fan law of Equation (8)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..constants import FAN_POWER_CONSTANT, OMEGA_MAX
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class FanModel:
+    """A fan obeying ``P_fan = c * omega**3`` for laminar airflow.
+
+    Attributes:
+        power_constant: The constant ``c`` in W*s^3; depends on air viscous
+            friction, air density, and blade radius (reference [14] of the
+            paper).  The paper estimates 1.6e-7 for its platform.
+        omega_max: Maximum rotation speed in rad/s (paper: 524 rad/s).
+    """
+
+    power_constant: float = FAN_POWER_CONSTANT
+    omega_max: float = OMEGA_MAX
+
+    def __post_init__(self) -> None:
+        if self.power_constant <= 0.0:
+            raise ConfigurationError(
+                f"Fan power constant must be positive, got "
+                f"{self.power_constant}")
+        if self.omega_max <= 0.0:
+            raise ConfigurationError(
+                f"omega_max must be positive, got {self.omega_max}")
+
+    def power(self, omega: float) -> float:
+        """Fan electrical power in watts at speed ``omega`` (rad/s)."""
+        if omega < 0.0:
+            raise ConfigurationError(f"Fan speed must be >= 0, got {omega}")
+        return self.power_constant * omega ** 3
+
+    def power_gradient(self, omega: float) -> float:
+        """d(P_fan)/d(omega): the marginal cost of fan speed, W*s."""
+        if omega < 0.0:
+            raise ConfigurationError(f"Fan speed must be >= 0, got {omega}")
+        return 3.0 * self.power_constant * omega ** 2
+
+    def speed_for_power(self, power: float) -> float:
+        """Inverse fan law: the speed (rad/s) that consumes ``power`` watts."""
+        if power < 0.0:
+            raise ConfigurationError(f"Power must be >= 0, got {power}")
+        return (power / self.power_constant) ** (1.0 / 3.0)
+
+    def clamp(self, omega: float) -> float:
+        """Clamp a requested speed into the physical range [0, omega_max]."""
+        return min(max(omega, 0.0), self.omega_max)

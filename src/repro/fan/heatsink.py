@@ -1,0 +1,81 @@
+"""Heat-sink + fan collective conductance to ambient (Equation 9).
+
+The paper models the sink-to-ambient thermal conductance as
+
+    g_HS&fan(omega) = p * ln(q * omega) + r,      omega >> 1 rad/s
+
+with a floor at the natural-convection conductance ``g_HS`` for small
+``omega`` ("for small values of omega, g_HS&fan can be estimated as the
+thermal conductance of heat sink").  ``q`` only fixes dimensions and is
+1 s in the paper.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..constants import G_FIT_P, G_FIT_Q, G_FIT_R, G_HS_NATURAL
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class HeatSinkFanConductance:
+    """Fan-speed-dependent conductance from heat sink to ambient.
+
+    Attributes:
+        p: Logarithmic slope of Equation (9), W/K.
+        q: Dimension-fixing constant (s); the paper uses 1.
+        r: Offset of Equation (9), W/K.
+        g_natural: Natural-convection floor ``g_HS``, W/K.
+    """
+
+    p: float = G_FIT_P
+    q: float = G_FIT_Q
+    r: float = G_FIT_R
+    g_natural: float = G_HS_NATURAL
+
+    def __post_init__(self) -> None:
+        if self.p <= 0.0:
+            raise ConfigurationError(f"p must be positive, got {self.p}")
+        if self.q <= 0.0:
+            raise ConfigurationError(f"q must be positive, got {self.q}")
+        if self.g_natural <= 0.0:
+            raise ConfigurationError(
+                f"g_natural must be positive, got {self.g_natural}")
+
+    @property
+    def crossover_speed(self) -> float:
+        """Speed where the log fit overtakes the natural floor (rad/s)."""
+        return math.exp((self.g_natural - self.r) / self.p) / self.q
+
+    def conductance(self, omega: float) -> float:
+        """Total sink-to-ambient conductance (W/K) at speed ``omega``.
+
+        Continuous and monotonically non-decreasing in ``omega``: the log
+        fit applies above the crossover speed, the natural floor below it
+        (including ``omega = 0``).
+        """
+        if omega < 0.0:
+            raise ConfigurationError(f"Fan speed must be >= 0, got {omega}")
+        if omega <= 0.0:
+            return self.g_natural
+        fitted = self.p * math.log(self.q * omega) + self.r
+        return max(fitted, self.g_natural)
+
+    def conductance_gradient(self, omega: float) -> float:
+        """d(g)/d(omega): zero on the floor, ``p/omega`` on the log branch."""
+        if omega < 0.0:
+            raise ConfigurationError(f"Fan speed must be >= 0, got {omega}")
+        if omega <= self.crossover_speed:
+            return 0.0
+        return self.p / omega
+
+    def speed_for_conductance(self, g: float) -> float:
+        """Minimum speed achieving conductance ``g`` (inverse of Eq. 9).
+
+        Returns 0 for any ``g`` at or below the natural floor.
+        """
+        if g <= self.g_natural:
+            return 0.0
+        return math.exp((g - self.r) / self.p) / self.q

@@ -1,0 +1,81 @@
+"""Fan acoustic noise and noise-capped operation.
+
+Axial-fan scaling laws put radiated sound power at roughly 50-55 times
+the log of the speed ratio:
+
+    L(omega) = L_ref + slope * log10(omega / omega_ref)   [dBA]
+
+Noise never appears in the paper's formulation, but it is the other real
+cost of fan speed, and capping it is a one-line extension of OFTEC: a
+noise limit maps to a (possibly tighter) omega_max through the inverse
+of the law.  :func:`noise_limited_omega_max` computes that bound for use
+in :class:`repro.core.ProblemLimits`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..constants import OMEGA_MAX
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class FanNoiseModel:
+    """Log-law acoustic model of an axial fan.
+
+    Attributes:
+        reference_level: Sound level at ``reference_omega``, dBA.
+        reference_omega: Speed of the reference measurement, rad/s.
+        slope: dBA per decade of speed (fan laws: 50-55).
+    """
+
+    reference_level: float = 38.0
+    reference_omega: float = 209.4  # 2000 RPM
+    slope: float = 52.0
+
+    def __post_init__(self) -> None:
+        if self.reference_omega <= 0.0:
+            raise ConfigurationError("reference_omega must be positive")
+        if self.slope <= 0.0:
+            raise ConfigurationError("slope must be positive")
+
+    def level(self, omega: float) -> float:
+        """Sound level at speed ``omega``, dBA.
+
+        Returns 0 for a stopped fan (no aerodynamic noise).
+        """
+        if omega < 0.0:
+            raise ConfigurationError(f"omega must be >= 0, got {omega}")
+        if omega == 0.0:
+            return 0.0
+        return self.reference_level + self.slope * math.log10(
+            omega / self.reference_omega)
+
+    def omega_for_level(self, level: float) -> float:
+        """Inverse law: the speed that radiates ``level`` dBA."""
+        return self.reference_omega * 10.0 ** (
+            (level - self.reference_level) / self.slope)
+
+
+def noise_limited_omega_max(
+    noise_cap: float,
+    model: FanNoiseModel = None,
+    physical_omega_max: float = OMEGA_MAX,
+) -> float:
+    """The fan-speed bound implied by an acoustic cap.
+
+    Returns ``min(omega(noise_cap), physical_omega_max)``; plug the
+    result into :class:`repro.core.ProblemLimits` to run noise-capped
+    OFTEC.  Raises when the cap is unmeetable even at standstill-
+    adjacent speeds (i.e. non-positive bound).
+    """
+    model = model or FanNoiseModel()
+    if physical_omega_max <= 0.0:
+        raise ConfigurationError("physical_omega_max must be positive")
+    omega = model.omega_for_level(noise_cap)
+    if omega <= 0.0:
+        raise ConfigurationError(
+            f"Noise cap {noise_cap} dBA is unmeetable")
+    return min(omega, physical_omega_max)

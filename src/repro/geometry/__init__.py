@@ -1,0 +1,33 @@
+"""Geometry substrate: rectangles, floorplans, grids, and the EV6 die.
+
+The thermal model discretizes each package layer into a uniform grid of
+elements over the chip footprint.  This package provides the floorplan
+representation (a set of named, non-overlapping functional-unit rectangles),
+the grid mapping used to distribute per-unit power onto grid cells, and a
+reader/writer for HotSpot ``.flp`` floorplan files.
+"""
+
+from .rect import Rect
+from .floorplan import Floorplan, FloorplanUnit
+from .grid import Grid, CellCoverage
+from .ev6 import alpha21264_floorplan, EV6_UNIT_NAMES, EV6_CACHE_UNITS
+from .cmp4 import cmp4_floorplan, cmp4_unit_power, CMP4_CACHE_UNITS
+from .flp import parse_flp, parse_flp_text, write_flp, format_flp
+
+__all__ = [
+    "Rect",
+    "Floorplan",
+    "FloorplanUnit",
+    "Grid",
+    "CellCoverage",
+    "alpha21264_floorplan",
+    "EV6_UNIT_NAMES",
+    "EV6_CACHE_UNITS",
+    "cmp4_floorplan",
+    "cmp4_unit_power",
+    "CMP4_CACHE_UNITS",
+    "parse_flp",
+    "parse_flp_text",
+    "write_flp",
+    "format_flp",
+]

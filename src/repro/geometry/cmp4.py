@@ -1,0 +1,84 @@
+"""A generic quad-core CMP floorplan.
+
+The paper's flow "is not limited to the aforementioned selections of the
+processor" (Section 6.1).  This preset demonstrates that: a 16 mm x 16 mm
+four-core chip multiprocessor with per-core EV6-style clusters and a
+shared L2 spine, usable anywhere the EV6 floorplan is.
+
+Layout (y grows upward)::
+
+    +---------+---------+
+    | core2   | core3   |     each core: EXE/REG/FPU/LSU/L1 tiles
+    +---------+---------+
+    |      shared L2    |
+    +---------+---------+
+    | core0   | core1   |
+    +---------+---------+
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from .floorplan import Floorplan, FloorplanUnit
+from .rect import Rect
+
+#: Die edge length in meters.
+CMP4_DIE_SIZE = 16.0e-3
+
+#: Cache-array units (candidates for TEC exclusion, like the EV6 caches).
+CMP4_CACHE_UNITS: List[str] = [
+    "L2", "core0_L1", "core1_L1", "core2_L1", "core3_L1",
+]
+
+# Per-core tile layout within an 8 mm x 6 mm core, (name, x, y, w, h) mm.
+_CORE_TILES: List[Tuple[str, float, float, float, float]] = [
+    ("EXE", 0.0, 3.0, 3.0, 3.0),
+    ("REG", 3.0, 3.0, 2.0, 3.0),
+    ("FPU", 5.0, 3.0, 3.0, 3.0),
+    ("LSU", 0.0, 0.0, 3.0, 3.0),
+    ("L1",  3.0, 0.0, 5.0, 3.0),
+]
+
+# Core origins (mm): two below the L2 spine, two above.
+_CORE_ORIGINS = [(0.0, 0.0), (8.0, 0.0), (0.0, 10.0), (8.0, 10.0)]
+
+#: Units that typically develop hot spots (per core).
+CMP4_HOT_TILES = ("EXE", "REG", "LSU")
+
+
+def cmp4_floorplan() -> Floorplan:
+    """Build the quad-core floorplan (dimensions in meters)."""
+    units: List[FloorplanUnit] = []
+    for core, (ox, oy) in enumerate(_CORE_ORIGINS):
+        for name, x, y, w, h in _CORE_TILES:
+            units.append(FloorplanUnit(
+                f"core{core}_{name}",
+                Rect((ox + x) * 1e-3, (oy + y) * 1e-3,
+                     w * 1e-3, h * 1e-3)))
+    # Shared L2 spine between the core rows.
+    units.append(FloorplanUnit("L2", Rect(0.0, 6.0e-3, 16.0e-3,
+                                          4.0e-3)))
+    return Floorplan(units)
+
+
+def cmp4_unit_power(core_powers: List[float],
+                    l2_power: float = 4.0) -> dict:
+    """Per-unit power map from per-core totals.
+
+    Each core's power splits over its tiles with the execution units
+    drawing the highest density; ``core_powers`` lists watts for cores
+    0..3 (asymmetric loads model thread imbalance).
+    """
+    if len(core_powers) != 4:
+        raise ValueError(
+            f"Need exactly 4 core powers, got {len(core_powers)}")
+    tile_share = {"EXE": 0.34, "REG": 0.16, "FPU": 0.16, "LSU": 0.20,
+                  "L1": 0.14}
+    powers = {"L2": l2_power}
+    for core, total in enumerate(core_powers):
+        if total < 0.0:
+            raise ValueError(f"core{core}: power must be >= 0")
+        for tile, share in tile_share.items():
+            powers[f"core{core}_{tile}"] = total * share
+    return powers

@@ -1,0 +1,65 @@
+"""Alpha 21264 (EV6)-style floorplan.
+
+The paper targets the Alpha 21264 and uses the HotSpot-distributed EV6
+floorplan.  We embed an equivalent floorplan: the same 18 functional units
+on a 15.9 mm x 15.9 mm die (Table 1 chip dimensions), arranged in the
+familiar EV6 bands — L2 arrays at the bottom and flanks, the I/D caches
+above them, the floating-point cluster next, and the integer core plus
+load/store machinery at the top (where the hotspots live).
+
+Coordinates are exact decimal millimeters converted to meters, chosen so
+each band tiles the die width exactly; the floorplan passes the overlap and
+full-coverage validations.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from .floorplan import Floorplan, FloorplanUnit
+from .rect import Rect
+
+#: Die edge length in meters (Table 1: 15.9 mm x 15.9 mm).
+EV6_DIE_SIZE = 15.9e-3
+
+# (name, x, y, width, height) in millimeters; converted to meters below.
+_EV6_UNITS_MM: List[Tuple[str, float, float, float, float]] = [
+    # Bottom band: unified L2 array.
+    ("L2",       0.0,  0.0,  15.9, 5.0),
+    # Second band: L2 side arrays flanking the I/D caches.
+    ("L2_left",  0.0,  5.0,  3.0,  4.0),
+    ("Icache",   3.0,  5.0,  4.95, 4.0),
+    ("Dcache",   7.95, 5.0,  4.95, 4.0),
+    ("L2_right", 12.9, 5.0,  3.0,  4.0),
+    # Third band: floating-point cluster, branch predictor, data TLB.
+    ("FPMap",    0.0,  9.0,  2.0,  3.0),
+    ("FPMul",    2.0,  9.0,  2.5,  3.0),
+    ("FPReg",    4.5,  9.0,  2.5,  3.0),
+    ("FPAdd",    7.0,  9.0,  2.9,  3.0),
+    ("Bpred",    9.9,  9.0,  3.0,  3.0),
+    ("DTB",      12.9, 9.0,  3.0,  3.0),
+    # Top band: integer core and load/store queue (the hot region).
+    ("IntMap",   0.0,  12.0, 2.2,  3.9),
+    ("IntQ",     2.2,  12.0, 2.2,  3.9),
+    ("IntReg",   4.4,  12.0, 2.6,  3.9),
+    ("IntExec",  7.0,  12.0, 3.9,  3.9),
+    ("FPQ",      10.9, 12.0, 1.5,  3.9),
+    ("LdStQ",    12.4, 12.0, 2.3,  3.9),
+    ("ITB",      14.7, 12.0, 1.2,  3.9),
+]
+
+#: Functional unit names in floorplan order.
+EV6_UNIT_NAMES: List[str] = [name for name, *_ in _EV6_UNITS_MM]
+
+#: Units the paper leaves uncovered by TECs ("the instruction and data
+#: caches ... do not show any hot spots in the experiments").
+EV6_CACHE_UNITS: List[str] = ["Icache", "Dcache"]
+
+
+def alpha21264_floorplan() -> Floorplan:
+    """Build the embedded EV6-style floorplan (dimensions in meters)."""
+    units = [
+        FloorplanUnit(name, Rect(x * 1e-3, y * 1e-3, w * 1e-3, h * 1e-3))
+        for name, x, y, w, h in _EV6_UNITS_MM
+    ]
+    return Floorplan(units)

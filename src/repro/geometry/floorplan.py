@@ -1,0 +1,182 @@
+"""Floorplan: a named set of functional-unit rectangles tiling a die."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from ..errors import GeometryError
+from .rect import Rect
+
+
+@dataclass(frozen=True)
+class FloorplanUnit:
+    """A functional unit: a named rectangle on the die."""
+
+    name: str
+    rect: Rect
+
+    @property
+    def area(self) -> float:
+        """Unit area in square meters."""
+        return self.rect.area
+
+
+class Floorplan:
+    """An ordered collection of non-overlapping functional units.
+
+    The floorplan defines the die outline (its bounding box) and the mapping
+    from unit names to die regions.  Unit order is preserved because power
+    vectors are indexed by unit position.
+    """
+
+    def __init__(self, units: Iterable[FloorplanUnit],
+                 validate_overlap: bool = True):
+        self._units: List[FloorplanUnit] = list(units)
+        if not self._units:
+            raise GeometryError("Floorplan requires at least one unit")
+        names = [u.name for u in self._units]
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise GeometryError(f"Duplicate unit names: {dupes}")
+        self._by_name: Dict[str, FloorplanUnit] = {
+            u.name: u for u in self._units
+        }
+        if validate_overlap:
+            self._check_overlaps()
+
+    def _check_overlaps(self) -> None:
+        # Tolerate sliver overlaps from floating-point edge placement: only
+        # overlaps exceeding 0.01% of the smaller unit's area are errors.
+        for i, a in enumerate(self._units):
+            for b in self._units[i + 1:]:
+                overlap = a.rect.intersection_area(b.rect)
+                limit = 1e-4 * min(a.area, b.area)
+                if overlap > limit:
+                    raise GeometryError(
+                        f"Units {a.name!r} and {b.name!r} overlap by "
+                        f"{overlap:.3e} m^2"
+                    )
+
+    # -- container protocol -------------------------------------------------
+
+    def __iter__(self) -> Iterator[FloorplanUnit]:
+        return iter(self._units)
+
+    def __len__(self) -> int:
+        return len(self._units)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __getitem__(self, name: str) -> FloorplanUnit:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise GeometryError(f"No unit named {name!r}") from None
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def unit_names(self) -> List[str]:
+        """Unit names in definition order."""
+        return [u.name for u in self._units]
+
+    @property
+    def units(self) -> List[FloorplanUnit]:
+        """Units in definition order (copy; mutation-safe)."""
+        return list(self._units)
+
+    def index_of(self, name: str) -> int:
+        """Position of ``name`` in the unit ordering."""
+        for i, u in enumerate(self._units):
+            if u.name == name:
+                return i
+        raise GeometryError(f"No unit named {name!r}")
+
+    @property
+    def bounding_box(self) -> Rect:
+        """Smallest rectangle containing every unit (the die outline)."""
+        x1 = min(u.rect.x for u in self._units)
+        y1 = min(u.rect.y for u in self._units)
+        x2 = max(u.rect.x2 for u in self._units)
+        y2 = max(u.rect.y2 for u in self._units)
+        return Rect(x1, y1, x2 - x1, y2 - y1)
+
+    @property
+    def width(self) -> float:
+        """Die width in meters."""
+        return self.bounding_box.width
+
+    @property
+    def height(self) -> float:
+        """Die height in meters."""
+        return self.bounding_box.height
+
+    @property
+    def total_unit_area(self) -> float:
+        """Sum of unit areas (equals die area for a full tiling)."""
+        return sum(u.area for u in self._units)
+
+    def coverage_fraction(self) -> float:
+        """Fraction of the die outline covered by units (1.0 = full tiling)."""
+        return self.total_unit_area / self.bounding_box.area
+
+    def unit_at(self, px: float, py: float) -> Optional[FloorplanUnit]:
+        """Unit containing point ``(px, py)``, or None for dead space."""
+        for u in self._units:
+            if u.rect.contains_point(px, py):
+                return u
+        return None
+
+    # -- transforms ----------------------------------------------------------
+
+    def scaled(self, factor: float) -> "Floorplan":
+        """Return a uniformly scaled copy (e.g. to resize a die)."""
+        return Floorplan(
+            [FloorplanUnit(u.name, u.rect.scaled(factor)) for u in self._units],
+            validate_overlap=False,
+        )
+
+    def normalized(self) -> "Floorplan":
+        """Return a copy translated so the bounding box origin is (0, 0)."""
+        box = self.bounding_box
+        return Floorplan(
+            [FloorplanUnit(u.name, u.rect.translated(-box.x, -box.y))
+             for u in self._units],
+            validate_overlap=False,
+        )
+
+    def area_fractions(self) -> Dict[str, float]:
+        """Each unit's share of the total unit area."""
+        total = self.total_unit_area
+        return {u.name: u.area / total for u in self._units}
+
+    def neighbors(self, name: str, gap_tolerance: float = 1e-9) -> List[str]:
+        """Names of units sharing an edge (within tolerance) with ``name``."""
+        target = self[name].rect
+        found: List[str] = []
+        for u in self._units:
+            if u.name == name:
+                continue
+            r = u.rect
+            share_x = (min(target.x2, r.x2) - max(target.x, r.x)) > 0.0
+            share_y = (min(target.y2, r.y2) - max(target.y, r.y)) > 0.0
+            touch_v = (abs(target.x2 - r.x) <= gap_tolerance
+                       or abs(r.x2 - target.x) <= gap_tolerance)
+            touch_h = (abs(target.y2 - r.y) <= gap_tolerance
+                       or abs(r.y2 - target.y) <= gap_tolerance)
+            if (touch_v and share_y) or (touch_h and share_x):
+                found.append(u.name)
+        return found
+
+
+def floorplan_from_dict(
+    spec: Dict[str, Tuple[float, float, float, float]],
+) -> Floorplan:
+    """Build a floorplan from ``{name: (x, y, width, height)}`` in meters."""
+    units = [
+        FloorplanUnit(name, Rect(x, y, w, h))
+        for name, (x, y, w, h) in spec.items()
+    ]
+    return Floorplan(units)

@@ -1,0 +1,71 @@
+"""Reader/writer for HotSpot ``.flp`` floorplan files.
+
+HotSpot's floorplan format is one unit per line::
+
+    <unit-name> <width> <height> <left-x> <bottom-y> [specific-heat] [resistivity]
+
+with all dimensions in meters, ``#`` comments, and blank lines ignored.
+The optional trailing material columns are parsed and ignored (the stack
+configuration carries material data in this library).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Union
+
+from ..errors import FloorplanParseError
+from .floorplan import Floorplan, FloorplanUnit
+from .rect import Rect
+
+
+def parse_flp_text(text: str, source: str = "<string>") -> Floorplan:
+    """Parse HotSpot ``.flp`` content from a string."""
+    units: List[FloorplanUnit] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        fields = line.split()
+        if len(fields) not in (5, 6, 7):
+            raise FloorplanParseError(
+                f"{source}:{lineno}: expected 5-7 fields, got "
+                f"{len(fields)}: {raw!r}")
+        name = fields[0]
+        try:
+            width, height, x, y = (float(v) for v in fields[1:5])
+        except ValueError as exc:
+            raise FloorplanParseError(
+                f"{source}:{lineno}: non-numeric dimension in {raw!r}"
+            ) from exc
+        if width <= 0.0 or height <= 0.0:
+            raise FloorplanParseError(
+                f"{source}:{lineno}: unit {name!r} has non-positive size")
+        units.append(FloorplanUnit(name, Rect(x, y, width, height)))
+    if not units:
+        raise FloorplanParseError(f"{source}: no units found")
+    return Floorplan(units)
+
+
+def parse_flp(path: Union[str, os.PathLike]) -> Floorplan:
+    """Parse a HotSpot ``.flp`` file from disk."""
+    with open(path, "r", encoding="utf-8") as f:
+        return parse_flp_text(f.read(), source=str(path))
+
+
+def format_flp(floorplan: Floorplan) -> str:
+    """Render a floorplan as HotSpot ``.flp`` text."""
+    lines = ["# Floorplan written by repro.geometry.flp",
+             "# <unit-name> <width> <height> <left-x> <bottom-y>"]
+    for unit in floorplan:
+        r = unit.rect
+        lines.append(
+            f"{unit.name}\t{r.width:.6e}\t{r.height:.6e}"
+            f"\t{r.x:.6e}\t{r.y:.6e}")
+    return "\n".join(lines) + "\n"
+
+
+def write_flp(floorplan: Floorplan, path: Union[str, os.PathLike]) -> None:
+    """Write a floorplan to disk in HotSpot ``.flp`` format."""
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(format_flp(floorplan))

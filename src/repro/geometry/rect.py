@@ -1,0 +1,82 @@
+"""Axis-aligned rectangle with the operations the floorplan layer needs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import GeometryError
+
+
+@dataclass(frozen=True)
+class Rect:
+    """An axis-aligned rectangle in meters.
+
+    ``x`` and ``y`` locate the lower-left corner; ``width`` extends along +x
+    and ``height`` along +y.  This matches the HotSpot ``.flp`` convention.
+    """
+
+    x: float
+    y: float
+    width: float
+    height: float
+
+    def __post_init__(self) -> None:
+        if self.width <= 0.0 or self.height <= 0.0:
+            raise GeometryError(
+                f"Rect must have positive dimensions, got "
+                f"width={self.width}, height={self.height}"
+            )
+
+    @property
+    def x2(self) -> float:
+        """Right edge coordinate."""
+        return self.x + self.width
+
+    @property
+    def y2(self) -> float:
+        """Top edge coordinate."""
+        return self.y + self.height
+
+    @property
+    def area(self) -> float:
+        """Rectangle area in square meters."""
+        return self.width * self.height
+
+    @property
+    def center(self) -> tuple:
+        """Center point ``(cx, cy)``."""
+        return (self.x + self.width / 2.0, self.y + self.height / 2.0)
+
+    def contains_point(self, px: float, py: float) -> bool:
+        """Return True if ``(px, py)`` lies inside (or on the lower/left
+        boundary of) this rectangle.
+
+        Points on the upper/right boundary are excluded so that a point on a
+        shared edge between two abutting rectangles belongs to exactly one.
+        """
+        return self.x <= px < self.x2 and self.y <= py < self.y2
+
+    def intersection_area(self, other: "Rect") -> float:
+        """Area of overlap between this rectangle and ``other`` (0 if none)."""
+        overlap_w = min(self.x2, other.x2) - max(self.x, other.x)
+        overlap_h = min(self.y2, other.y2) - max(self.y, other.y)
+        if overlap_w <= 0.0 or overlap_h <= 0.0:
+            return 0.0
+        return overlap_w * overlap_h
+
+    def intersects(self, other: "Rect") -> bool:
+        """Return True if the rectangles overlap with positive area."""
+        return self.intersection_area(other) > 0.0
+
+    def scaled(self, factor: float) -> "Rect":
+        """Return a copy uniformly scaled about the origin."""
+        if factor <= 0.0:
+            raise GeometryError(f"Scale factor must be positive, got {factor}")
+        return Rect(
+            self.x * factor, self.y * factor,
+            self.width * factor, self.height * factor,
+        )
+
+    def translated(self, dx: float, dy: float) -> "Rect":
+        """Return a copy shifted by ``(dx, dy)``."""
+        return Rect(self.x + dx, self.y + dy, self.width, self.height)

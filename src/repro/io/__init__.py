@@ -1,0 +1,48 @@
+"""Serialization: JSON configs for profiles/devices/limits, CSV traces."""
+
+from .config import (
+    device_from_dict,
+    device_to_dict,
+    limits_from_dict,
+    limits_to_dict,
+    load_profile,
+    load_profiles,
+    profile_from_dict,
+    profile_to_dict,
+    save_profile,
+    save_profiles,
+)
+from .tracefmt import load_trace, save_trace
+from .csvexport import CSV_COLUMNS, campaign_rows, save_campaign_csv
+from .results import (
+    baseline_result_to_dict,
+    campaign_to_dict,
+    comparison_to_dict,
+    evaluation_to_dict,
+    oftec_result_to_dict,
+    save_campaign,
+)
+
+__all__ = [
+    "profile_to_dict",
+    "profile_from_dict",
+    "save_profile",
+    "load_profile",
+    "save_profiles",
+    "load_profiles",
+    "device_to_dict",
+    "device_from_dict",
+    "limits_to_dict",
+    "limits_from_dict",
+    "save_trace",
+    "load_trace",
+    "evaluation_to_dict",
+    "oftec_result_to_dict",
+    "baseline_result_to_dict",
+    "comparison_to_dict",
+    "campaign_to_dict",
+    "save_campaign",
+    "CSV_COLUMNS",
+    "campaign_rows",
+    "save_campaign_csv",
+]

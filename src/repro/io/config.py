@@ -1,0 +1,123 @@
+"""JSON round-tripping of the configuration objects users share.
+
+Covers the three things a downstream user typically wants to version:
+benchmark power profiles, TEC device datasheets, and optimization limits.
+All functions are symmetric (``X_to_dict`` / ``X_from_dict``) and the
+file helpers wrap them with UTF-8 JSON.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Union
+
+from ..core import ProblemLimits
+from ..errors import ConfigurationError
+from ..power import BenchmarkProfile
+from ..tec import TECDevice
+
+PathLike = Union[str, os.PathLike]
+
+
+# -- benchmark profiles -------------------------------------------------------
+
+def profile_to_dict(profile: BenchmarkProfile) -> dict:
+    """Serialize a benchmark profile."""
+    return {"name": profile.name, "unit_power": profile.as_dict()}
+
+
+def profile_from_dict(data: dict) -> BenchmarkProfile:
+    """Deserialize a benchmark profile."""
+    try:
+        name = data["name"]
+        unit_power = data["unit_power"]
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"Profile dict missing key: {exc}") from None
+    if not isinstance(unit_power, dict):
+        raise ConfigurationError("unit_power must be a mapping")
+    return BenchmarkProfile(str(name),
+                            {str(u): float(p)
+                             for u, p in unit_power.items()})
+
+
+def save_profile(profile: BenchmarkProfile, path: PathLike) -> None:
+    """Write one profile as JSON."""
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(profile_to_dict(profile), f, indent=2, sort_keys=True)
+
+
+def load_profile(path: PathLike) -> BenchmarkProfile:
+    """Read one profile from JSON."""
+    with open(path, "r", encoding="utf-8") as f:
+        return profile_from_dict(json.load(f))
+
+
+def save_profiles(profiles: Dict[str, BenchmarkProfile],
+                  path: PathLike) -> None:
+    """Write a named set of profiles as one JSON document."""
+    payload = {name: profile_to_dict(profile)
+               for name, profile in profiles.items()}
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(payload, f, indent=2, sort_keys=True)
+
+
+def load_profiles(path: PathLike) -> Dict[str, BenchmarkProfile]:
+    """Read a named set of profiles from one JSON document."""
+    with open(path, "r", encoding="utf-8") as f:
+        payload = json.load(f)
+    if not isinstance(payload, dict):
+        raise ConfigurationError("Profile set file must hold an object")
+    return {name: profile_from_dict(data)
+            for name, data in payload.items()}
+
+
+# -- TEC devices --------------------------------------------------------------
+
+def device_to_dict(device: TECDevice) -> dict:
+    """Serialize a TEC device datasheet."""
+    return {
+        "seebeck_coefficient": device.seebeck_coefficient,
+        "electrical_resistance": device.electrical_resistance,
+        "thermal_conductance": device.thermal_conductance,
+        "footprint_area": device.footprint_area,
+        "max_current": device.max_current,
+    }
+
+
+def device_from_dict(data: dict) -> TECDevice:
+    """Deserialize a TEC device datasheet."""
+    required = ("seebeck_coefficient", "electrical_resistance",
+                "thermal_conductance", "footprint_area")
+    missing = [key for key in required if key not in data]
+    if missing:
+        raise ConfigurationError(f"Device dict missing keys: {missing}")
+    return TECDevice(
+        seebeck_coefficient=float(data["seebeck_coefficient"]),
+        electrical_resistance=float(data["electrical_resistance"]),
+        thermal_conductance=float(data["thermal_conductance"]),
+        footprint_area=float(data["footprint_area"]),
+        max_current=float(data.get("max_current", 5.0)),
+    )
+
+
+# -- limits -------------------------------------------------------------------
+
+def limits_to_dict(limits: ProblemLimits) -> dict:
+    """Serialize optimization limits."""
+    return {
+        "t_max": limits.t_max,
+        "omega_max": limits.omega_max,
+        "i_tec_max": limits.i_tec_max,
+    }
+
+
+def limits_from_dict(data: dict) -> ProblemLimits:
+    """Deserialize optimization limits (missing keys take paper values)."""
+    defaults = ProblemLimits()
+    return ProblemLimits(
+        t_max=float(data.get("t_max", defaults.t_max)),
+        omega_max=float(data.get("omega_max", defaults.omega_max)),
+        i_tec_max=float(data.get("i_tec_max", defaults.i_tec_max)),
+    )

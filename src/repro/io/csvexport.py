@@ -1,0 +1,69 @@
+"""CSV export of campaign results.
+
+One row per (benchmark, method, objective): the flat layout spreadsheet
+users and plotting scripts expect.  Columns are fixed and documented so
+downstream tooling can rely on them.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import List, Union
+
+from ..analysis.campaign import CampaignResult
+from ..core import Evaluation
+from ..units import kelvin_to_celsius, rad_s_to_rpm
+
+PathLike = Union[str, os.PathLike]
+
+#: Column order of the exported rows.
+CSV_COLUMNS = [
+    "benchmark", "method", "objective", "feasible", "runaway",
+    "omega_rpm", "i_tec_a", "max_temperature_c", "total_power_w",
+    "leakage_power_w", "tec_power_w", "fan_power_w",
+]
+
+
+def _row(benchmark: str, method: str, objective: str,
+         evaluation: Evaluation) -> List:
+    return [
+        benchmark, method, objective,
+        evaluation.feasible, evaluation.runaway,
+        round(rad_s_to_rpm(evaluation.omega), 1),
+        round(evaluation.current, 4),
+        round(kelvin_to_celsius(evaluation.max_chip_temperature), 3),
+        round(evaluation.total_power, 4),
+        round(evaluation.leakage_power, 4)
+        if evaluation.leakage_power != float("inf") else "inf",
+        round(evaluation.tec_power, 4),
+        round(evaluation.fan_power, 4),
+    ]
+
+
+def campaign_rows(campaign: CampaignResult) -> List[List]:
+    """The flat row list (without header)."""
+    rows: List[List] = []
+    for comparison in campaign.comparisons:
+        rows.append(_row(comparison.name, "oftec", "opt1",
+                         comparison.oftec_opt1.evaluation))
+        rows.append(_row(comparison.name, "oftec", "opt2",
+                         comparison.oftec_opt2.evaluation))
+        rows.append(_row(comparison.name, "variable-omega", "opt1",
+                         comparison.variable_opt1.evaluation))
+        rows.append(_row(comparison.name, "variable-omega", "opt2",
+                         comparison.variable_opt2.evaluation))
+        rows.append(_row(comparison.name, "fixed-omega", "opt1",
+                         comparison.fixed.evaluation))
+        if comparison.tec_only is not None:
+            rows.append(_row(comparison.name, "tec-only", "opt2",
+                             comparison.tec_only.evaluation))
+    return rows
+
+
+def save_campaign_csv(campaign: CampaignResult, path: PathLike) -> None:
+    """Write the campaign as CSV with the :data:`CSV_COLUMNS` header."""
+    with open(path, "w", encoding="utf-8", newline="") as f:
+        writer = csv.writer(f)
+        writer.writerow(CSV_COLUMNS)
+        writer.writerows(campaign_rows(campaign))

@@ -1,0 +1,115 @@
+"""Serialization of optimization results and campaigns.
+
+Flattens the result objects into JSON-friendly dictionaries so runs can
+be archived, diffed, and post-processed outside Python — what a
+downstream user wants from a nightly thermal-regression job.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Union
+
+from ..analysis.campaign import BenchmarkComparison, CampaignResult
+from ..core import BaselineResult, Evaluation, OFTECResult
+from ..units import kelvin_to_celsius, rad_s_to_rpm
+
+PathLike = Union[str, os.PathLike]
+
+
+def evaluation_to_dict(evaluation: Evaluation) -> dict:
+    """Serialize one operating-point evaluation."""
+    return {
+        "omega_rad_s": evaluation.omega,
+        "omega_rpm": rad_s_to_rpm(evaluation.omega),
+        "i_tec_a": evaluation.current,
+        "max_temperature_k": evaluation.max_chip_temperature,
+        "max_temperature_c": kelvin_to_celsius(
+            evaluation.max_chip_temperature),
+        "total_power_w": evaluation.total_power,
+        "leakage_power_w": evaluation.leakage_power,
+        "tec_power_w": evaluation.tec_power,
+        "fan_power_w": evaluation.fan_power,
+        "feasible": evaluation.feasible,
+        "runaway": evaluation.runaway,
+    }
+
+
+def oftec_result_to_dict(result: OFTECResult) -> dict:
+    """Serialize an Algorithm 1 outcome."""
+    return {
+        "benchmark": result.problem_name,
+        "feasible": result.feasible,
+        "omega_star_rad_s": result.omega_star,
+        "i_star_a": result.current_star,
+        "runtime_ms": result.runtime_seconds * 1e3,
+        "thermal_solves": result.thermal_solves,
+        "used_opt2_stage": result.opt2 is not None,
+        "evaluation": evaluation_to_dict(result.evaluation),
+    }
+
+
+def baseline_result_to_dict(result: BaselineResult) -> dict:
+    """Serialize a baseline-controller outcome."""
+    return {
+        "benchmark": result.problem_name,
+        "controller": result.controller,
+        "feasible": result.feasible,
+        "runaway": result.runaway,
+        "omega_rad_s": result.omega,
+        "i_tec_a": result.current,
+        "runtime_ms": result.runtime_seconds * 1e3,
+        "evaluation": evaluation_to_dict(result.evaluation),
+    }
+
+
+def comparison_to_dict(comparison: BenchmarkComparison) -> dict:
+    """Serialize one benchmark's three-method comparison."""
+    payload = {
+        "benchmark": comparison.name,
+        "oftec_opt1": oftec_result_to_dict(comparison.oftec_opt1),
+        "oftec_opt2": evaluation_to_dict(
+            comparison.oftec_opt2.evaluation),
+        "variable_omega_opt1": baseline_result_to_dict(
+            comparison.variable_opt1),
+        "variable_omega_opt2": evaluation_to_dict(
+            comparison.variable_opt2.evaluation),
+        "fixed_omega": baseline_result_to_dict(comparison.fixed),
+    }
+    if comparison.tec_only is not None:
+        payload["tec_only"] = baseline_result_to_dict(
+            comparison.tec_only)
+    return payload
+
+
+def campaign_to_dict(campaign: CampaignResult) -> dict:
+    """Serialize a full campaign with its headline aggregates."""
+    counts = campaign.feasibility_counts()
+    payload = {
+        "t_max_k": campaign.t_max,
+        "wall_seconds": campaign.wall_seconds,
+        "benchmarks": [comparison_to_dict(c)
+                       for c in campaign.comparisons],
+        "feasibility_counts": counts,
+        "comparable_benchmarks": campaign.comparable_benchmarks(),
+        "average_oftec_runtime_ms":
+            campaign.average_oftec_runtime() * 1e3,
+        "opt2_temperature_advantage_k":
+            campaign.average_opt2_temperature_advantage(),
+    }
+    if campaign.comparable_benchmarks():
+        payload["power_saving_vs_variable"] = \
+            campaign.average_power_saving("variable-omega")
+        payload["power_saving_vs_fixed"] = \
+            campaign.average_power_saving("fixed-omega")
+        payload["temperature_delta_vs_variable_k"] = \
+            campaign.average_temperature_delta("variable-omega")
+    return payload
+
+
+def save_campaign(campaign: CampaignResult, path: PathLike) -> None:
+    """Write a campaign as JSON."""
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(campaign_to_dict(campaign), f, indent=2,
+                  sort_keys=True)

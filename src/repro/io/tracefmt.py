@@ -1,0 +1,67 @@
+"""CSV serialization of power traces.
+
+Format: a header row ``time,<unit1>,<unit2>,...`` followed by one row per
+sample, all in SI units (seconds, watts).  The trace name travels in a
+``# name: <...>`` comment line so round trips are lossless.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import List, Union
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..power import PowerTrace
+
+PathLike = Union[str, os.PathLike]
+
+
+def save_trace(trace: PowerTrace, path: PathLike) -> None:
+    """Write a power trace as CSV."""
+    with open(path, "w", encoding="utf-8", newline="") as f:
+        f.write(f"# name: {trace.name}\n")
+        writer = csv.writer(f)
+        writer.writerow(["time"] + trace.unit_names)
+        for t, row in zip(trace.times, trace.samples):
+            writer.writerow([f"{t:.9g}"] + [f"{p:.9g}" for p in row])
+
+
+def load_trace(path: PathLike) -> PowerTrace:
+    """Read a power trace from CSV written by :func:`save_trace`."""
+    name = os.path.splitext(os.path.basename(str(path)))[0]
+    times: List[float] = []
+    rows: List[List[float]] = []
+    unit_names: List[str] = []
+    with open(path, "r", encoding="utf-8", newline="") as f:
+        header_seen = False
+        for raw in f:
+            line = raw.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                if line[1:].strip().startswith("name:"):
+                    name = line.split("name:", 1)[1].strip()
+                continue
+            fields = next(csv.reader([line]))
+            if not header_seen:
+                if fields[0] != "time":
+                    raise ConfigurationError(
+                        f"{path}: first column must be 'time', got "
+                        f"{fields[0]!r}")
+                unit_names = fields[1:]
+                if not unit_names:
+                    raise ConfigurationError(f"{path}: no unit columns")
+                header_seen = True
+                continue
+            if len(fields) != len(unit_names) + 1:
+                raise ConfigurationError(
+                    f"{path}: row has {len(fields)} fields, expected "
+                    f"{len(unit_names) + 1}")
+            times.append(float(fields[0]))
+            rows.append([float(v) for v in fields[1:]])
+    if not header_seen or not times:
+        raise ConfigurationError(f"{path}: no samples found")
+    return PowerTrace(name, unit_names, np.array(times), np.array(rows))

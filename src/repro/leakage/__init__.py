@@ -1,0 +1,29 @@
+"""Leakage-power substrate.
+
+Implements the exponential temperature dependence of subthreshold leakage,
+the Taylor linearization of Equation (4), the paper's ten-point McPAT-style
+calibration protocol (linear regression of leakage samples over
+300-390 K), and a lumped fixed-point reference solver used to validate the
+network solver's leakage handling.
+"""
+
+from .model import CellLeakageModel, UnitLeakageSpec, build_cell_leakage
+from .linearize import TaylorCoefficients, tangent_linearization, \
+    regression_linearization
+from .calibrate import LeakageCalibration, mcpat_substitute_samples, \
+    calibrate_from_samples
+from .iterative import lumped_fixed_point, LumpedLeakageResult
+
+__all__ = [
+    "CellLeakageModel",
+    "UnitLeakageSpec",
+    "build_cell_leakage",
+    "TaylorCoefficients",
+    "tangent_linearization",
+    "regression_linearization",
+    "LeakageCalibration",
+    "mcpat_substitute_samples",
+    "calibrate_from_samples",
+    "lumped_fixed_point",
+    "LumpedLeakageResult",
+]

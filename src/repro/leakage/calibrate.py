@@ -1,0 +1,181 @@
+"""McPAT-substitute leakage calibration (Section 6.1 protocol).
+
+The paper runs McPAT on the Alpha 21264 model at 22 nm for ten
+temperatures evenly spaced in 300-390 K, then linearly regresses the
+samples to get the Equation (4) coefficients.  McPAT is a closed C++
+tool; we substitute a physically-shaped generator: each unit's leakage is
+its area times a technology leakage density, with the BSIM-style
+temperature dependence ``(T/T_nom)^2 * exp(beta * (T - T_nom))`` — the
+same exponential-dominated shape McPAT produces.  The regression consumes
+only the sampled (T, P) pairs, so the downstream pipeline is identical to
+the paper's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..constants import (
+    LEAKAGE_CAL_POINTS,
+    LEAKAGE_CAL_T_MAX,
+    LEAKAGE_CAL_T_MIN,
+)
+from ..errors import CalibrationError
+from ..geometry import Floorplan
+
+#: Leakage power density of the 22 nm process at the nominal temperature,
+#: W/m^2.  Chosen so the Alpha 21264 die (253 mm^2) leaks a few watts at
+#: 358 K, consistent with the paper's total-power scale (Figure 6 (d)/(f)).
+DEFAULT_LEAKAGE_DENSITY = 8.5e4
+
+#: Exponential temperature sensitivity of 22 nm subthreshold leakage, 1/K.
+DEFAULT_BETA = 0.035
+
+#: Nominal temperature of the density above, K.
+DEFAULT_T_NOMINAL = 358.0
+
+#: Logic-intensity multipliers: SRAM-dominated arrays leak less per area
+#: than hot logic at matched density (high-Vt cells, power gating).
+DEFAULT_UNIT_INTENSITY: Dict[str, float] = {
+    "L2": 0.25, "L2_left": 0.25, "L2_right": 0.25,
+    "Icache": 0.4, "Dcache": 0.4,
+    "Bpred": 0.8, "DTB": 0.8, "ITB": 0.8,
+    "FPMap": 1.0, "FPMul": 1.2, "FPReg": 1.1, "FPAdd": 1.2, "FPQ": 1.0,
+    "IntMap": 1.1, "IntQ": 1.1, "IntReg": 1.4, "IntExec": 1.5,
+    "LdStQ": 1.3,
+}
+
+
+def calibration_temperatures(
+    t_min: float = LEAKAGE_CAL_T_MIN,
+    t_max: float = LEAKAGE_CAL_T_MAX,
+    points: int = LEAKAGE_CAL_POINTS,
+) -> np.ndarray:
+    """The paper's evenly spaced calibration temperatures (default 10)."""
+    if points < 2:
+        raise CalibrationError(f"Need at least 2 points, got {points}")
+    if t_min <= 0.0 or t_max <= t_min:
+        raise CalibrationError(
+            f"Invalid temperature range [{t_min}, {t_max}]")
+    return np.linspace(t_min, t_max, points)
+
+
+def mcpat_substitute_samples(
+    floorplan: Floorplan,
+    temperatures: Sequence[float] = None,
+    leakage_density: float = DEFAULT_LEAKAGE_DENSITY,
+    beta: float = DEFAULT_BETA,
+    t_nominal: float = DEFAULT_T_NOMINAL,
+    unit_intensity: Dict[str, float] = None,
+) -> Dict[str, List[Tuple[float, float]]]:
+    """Generate per-unit (temperature, leakage) samples, McPAT style.
+
+    Returns ``{unit_name: [(T_k, P_k), ...]}`` over the calibration
+    temperatures.  The generator applies the BSIM-shaped law
+    ``P(T) = P_nom * (T/T_nom)^2 * exp(beta*(T - T_nom))`` where
+    ``P_nom = density * intensity * area``.
+    """
+    if temperatures is None:
+        temperatures = calibration_temperatures()
+    temps = np.asarray(temperatures, dtype=float)
+    if (temps <= 0.0).any():
+        raise CalibrationError("Temperatures must be in kelvin (> 0)")
+    if leakage_density <= 0.0 or beta <= 0.0 or t_nominal <= 0.0:
+        raise CalibrationError("Density, beta, and t_nominal must be > 0")
+    intensities = dict(DEFAULT_UNIT_INTENSITY)
+    if unit_intensity:
+        intensities.update(unit_intensity)
+
+    samples: Dict[str, List[Tuple[float, float]]] = {}
+    for unit in floorplan:
+        intensity = intensities.get(unit.name, 1.0)
+        p_nom = leakage_density * intensity * unit.area
+        powers = p_nom * (temps / t_nominal) ** 2 \
+            * np.exp(beta * (temps - t_nominal))
+        samples[unit.name] = list(zip(temps.tolist(), powers.tolist()))
+    return samples
+
+
+@dataclass
+class LeakageCalibration:
+    """Fitted leakage description consumed by the thermal evaluator.
+
+    Attributes:
+        unit_nominal: Per-unit leakage (W) at ``t_nominal`` recovered from
+            the regression.
+        beta: Effective exponential sensitivity recovered from the samples.
+        t_nominal: Reference temperature of ``unit_nominal``, K.
+        unit_taylor: Per-unit Equation (4) coefficients ``(a, b)`` from the
+            paper's linear regression, with ``t_ref`` the sample midpoint.
+        t_ref: Midpoint temperature of the regression, K.
+    """
+
+    unit_nominal: Dict[str, float]
+    beta: float
+    t_nominal: float
+    unit_taylor: Dict[str, Tuple[float, float]] = field(default_factory=dict)
+    t_ref: float = DEFAULT_T_NOMINAL
+
+    @property
+    def total_nominal(self) -> float:
+        """Total chip leakage at the nominal temperature, W."""
+        return sum(self.unit_nominal.values())
+
+
+def calibrate_from_samples(
+    samples: Dict[str, List[Tuple[float, float]]],
+) -> LeakageCalibration:
+    """Fit Equation (4) coefficients and an exponential from samples.
+
+    Performs the paper's per-unit linear regression for ``(a, b)`` and
+    additionally recovers an effective exponential model (log-linear
+    regression) so the evaluator can relinearize at arbitrary reference
+    temperatures.
+    """
+    if not samples:
+        raise CalibrationError("No leakage samples supplied")
+
+    unit_taylor: Dict[str, Tuple[float, float]] = {}
+    unit_nominal: Dict[str, float] = {}
+    betas: List[float] = []
+    t_ref = None
+
+    for name, pairs in samples.items():
+        if len(pairs) < 2:
+            raise CalibrationError(
+                f"Unit {name!r}: need at least two samples")
+        temps = np.array([t for t, _ in pairs], dtype=float)
+        powers = np.array([p for _, p in pairs], dtype=float)
+        if (powers <= 0.0).any():
+            raise CalibrationError(
+                f"Unit {name!r}: leakage samples must be positive")
+        t_mid = float(temps.mean())
+        if t_ref is None:
+            t_ref = t_mid
+        # Paper protocol: straight-line regression for (a, b).
+        design = np.column_stack([temps - t_mid, np.ones_like(temps)])
+        (a_fit, b_fit), _, rank, _ = np.linalg.lstsq(
+            design, powers, rcond=None)
+        if rank < 2:
+            raise CalibrationError(f"Unit {name!r}: degenerate regression")
+        unit_taylor[name] = (float(a_fit), float(b_fit))
+        # Effective exponential: regress log(P) on T.
+        (beta_fit, log_p_mid), _, _, _ = np.linalg.lstsq(
+            design, np.log(powers), rcond=None)
+        betas.append(float(beta_fit))
+        unit_nominal[name] = float(np.exp(log_p_mid))
+
+    beta = float(np.mean(betas))
+    if beta <= 0.0:
+        raise CalibrationError(
+            f"Recovered beta must be positive, got {beta}")
+    return LeakageCalibration(
+        unit_nominal=unit_nominal,
+        beta=beta,
+        t_nominal=t_ref,
+        unit_taylor=unit_taylor,
+        t_ref=t_ref,
+    )

@@ -1,0 +1,96 @@
+"""Lumped leakage/temperature fixed point — the reference iteration.
+
+Section 4 of the paper describes the naive iterative scheme: compute
+leakage at an assumed temperature, update the temperature from the thermal
+model, recompute leakage, and repeat until convergence.  This module
+implements that scheme for a single lumped node
+
+    T = T_amb + (P_dyn + P_leak(T)) / g
+
+It serves three purposes: a validation oracle for the network solver's
+leakage handling, a fast analytic picture of the thermal-runaway boundary
+(the fixed point exists iff ``beta * P_leak(T*) < g`` at the solution),
+and the didactic example in ``examples/``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..errors import ConfigurationError, ThermalRunawayError
+
+
+@dataclass
+class LumpedLeakageResult:
+    """Converged lumped fixed point.
+
+    Attributes:
+        temperature: Steady-state temperature, K.
+        leakage_power: Leakage power at the converged temperature, W.
+        iterations: Number of fixed-point iterations performed.
+    """
+
+    temperature: float
+    leakage_power: float
+    iterations: int
+
+
+def lumped_fixed_point(
+    dynamic_power: float,
+    conductance: float,
+    ambient: float,
+    leakage: Callable[[float], float],
+    tolerance: float = 1e-6,
+    max_iterations: int = 1000,
+    runaway_ceiling: float = 1000.0,
+) -> LumpedLeakageResult:
+    """Solve ``T = ambient + (P_dyn + leakage(T)) / g`` by iteration.
+
+    Args:
+        dynamic_power: Temperature-independent power, W.
+        conductance: Lumped conductance to ambient, W/K.
+        ambient: Ambient temperature, K.
+        leakage: Callable mapping temperature (K) to leakage power (W).
+        tolerance: Convergence threshold on successive temperatures, K.
+        max_iterations: Iteration cap before declaring divergence.
+        runaway_ceiling: Temperature (K) above which thermal runaway is
+            declared immediately.
+
+    Raises:
+        ThermalRunawayError: If the iteration diverges — the physical
+            positive-feedback runaway of Section 6.2.
+    """
+    if conductance <= 0.0:
+        raise ConfigurationError(
+            f"Conductance must be positive, got {conductance}")
+    if dynamic_power < 0.0:
+        raise ConfigurationError(
+            f"Dynamic power must be >= 0, got {dynamic_power}")
+    if ambient <= 0.0:
+        raise ConfigurationError(
+            f"Ambient must be in kelvin (> 0), got {ambient}")
+
+    temperature = ambient
+    for iteration in range(1, max_iterations + 1):
+        p_leak = leakage(temperature)
+        if p_leak < 0.0:
+            raise ConfigurationError(
+                f"Leakage callable returned negative power {p_leak}")
+        updated = ambient + (dynamic_power + p_leak) / conductance
+        if updated > runaway_ceiling:
+            raise ThermalRunawayError(
+                f"Lumped fixed point exceeded {runaway_ceiling} K after "
+                f"{iteration} iterations",
+                max_temperature=updated)
+        if abs(updated - temperature) < tolerance:
+            return LumpedLeakageResult(
+                temperature=updated,
+                leakage_power=leakage(updated),
+                iterations=iteration,
+            )
+        temperature = updated
+    raise ThermalRunawayError(
+        f"Lumped fixed point did not converge within {max_iterations} "
+        "iterations (leakage feedback too strong)",
+        max_temperature=temperature)

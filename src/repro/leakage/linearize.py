@@ -1,0 +1,106 @@
+"""Taylor linearization of the leakage law: Equation (4).
+
+The paper (following its reference [13]) replaces the exponential leakage
+law with its linear Taylor term around a reference temperature,
+
+    p_leakage(T) = a * (T - T_ref) + b,
+
+which keeps the thermal balance equations linear in T and dramatically
+speeds up the leakage/temperature fixed point.  Two ways to get (a, b):
+
+* :func:`tangent_linearization` — the local tangent at ``T_ref`` (exact
+  slope; what the outer relinearization loop uses).
+* :func:`regression_linearization` — the paper's calibration protocol: a
+  least-squares line through sampled (T, P) pairs, e.g. the ten McPAT
+  points between 300 K and 390 K.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Union
+
+import numpy as np
+
+from ..errors import CalibrationError
+from .model import CellLeakageModel
+
+
+@dataclass(frozen=True)
+class TaylorCoefficients:
+    """Per-cell linearized leakage ``p = a*(T - t_ref) + b``.
+
+    Attributes:
+        a: Slope array, W/K per cell.
+        b: Offset array, W per cell (leakage at ``t_ref``).
+        t_ref: Reference temperature(s) the expansion is taken around, K.
+            Either a scalar (common reference) or a per-cell array.
+    """
+
+    a: np.ndarray
+    b: np.ndarray
+    t_ref: Union[float, np.ndarray]
+
+    def power(self, temperatures: np.ndarray) -> np.ndarray:
+        """Evaluate the linearized per-cell leakage at ``temperatures``."""
+        return self.a * (np.asarray(temperatures) - self.t_ref) + self.b
+
+    def constant_term(self) -> np.ndarray:
+        """The temperature-independent injection ``b - a * t_ref`` (W).
+
+        Folding ``a*T`` into the conductance matrix leaves this constant on
+        the right-hand side of ``G T = P``.
+        """
+        return self.b - self.a * self.t_ref
+
+    @property
+    def total_slope(self) -> float:
+        """Sum of slopes (W/K): the strength of the leakage feedback loop."""
+        return float(self.a.sum())
+
+
+def tangent_linearization(model: CellLeakageModel,
+                          t_ref: Union[float, np.ndarray],
+                          ) -> TaylorCoefficients:
+    """First-order Taylor expansion of the exponential law at ``t_ref``.
+
+    ``t_ref`` may be a scalar (e.g. the average chip temperature, as the
+    paper suggests) or a per-cell array (the relinearization loop passes
+    the previous solve's temperatures for fast convergence).
+    """
+    t_ref_arr = np.broadcast_to(
+        np.asarray(t_ref, dtype=float), model.nominal_powers.shape).copy()
+    if (t_ref_arr <= 0.0).any():
+        raise CalibrationError("t_ref must be in kelvin (> 0)")
+    b = model.power(t_ref_arr)
+    a = model.beta * b
+    scalar_ref = np.isscalar(t_ref) or np.asarray(t_ref).ndim == 0
+    return TaylorCoefficients(a=a, b=b,
+                              t_ref=float(t_ref) if scalar_ref else t_ref_arr)
+
+
+def regression_linearization(model: CellLeakageModel,
+                             sample_temperatures: Sequence[float],
+                             ) -> TaylorCoefficients:
+    """Least-squares line through sampled leakage values (paper protocol).
+
+    The model is evaluated at each sample temperature; a straight line
+    ``p = a*(T - T_mid) + b`` is fit per cell with ``T_mid`` the mean of
+    the sample temperatures.
+    """
+    temps = np.asarray(sample_temperatures, dtype=float)
+    if temps.size < 2 or np.unique(temps).size < 2:
+        raise CalibrationError(
+            "Need at least two distinct sample temperatures")
+    if (temps <= 0.0).any():
+        raise CalibrationError("Sample temperatures must be in kelvin (> 0)")
+    t_mid = float(temps.mean())
+    # samples[k, c] = leakage of cell c at temperature temps[k]
+    samples = np.stack([
+        model.power(np.full(model.cell_count, t)) for t in temps
+    ])
+    design = np.column_stack([temps - t_mid, np.ones_like(temps)])
+    solution, _, rank, _ = np.linalg.lstsq(design, samples, rcond=None)
+    if rank < 2:
+        raise CalibrationError("Degenerate leakage regression")
+    return TaylorCoefficients(a=solution[0], b=solution[1], t_ref=t_mid)

@@ -1,0 +1,127 @@
+"""Exponential leakage-power model at unit and grid-cell granularity.
+
+Subthreshold leakage grows exponentially with temperature.  We use the
+standard compact form
+
+    P_leak(T) = P_nom * exp(beta * (T - T_nom))
+
+per functional unit, with ``P_nom`` the unit's leakage at the nominal
+temperature ``T_nom`` and ``beta`` the technology's exponential
+sensitivity (1/K).  The thermal network needs leakage per grid cell;
+:func:`build_cell_leakage` distributes each unit's nominal leakage over
+its cells by covered area and returns a :class:`CellLeakageModel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..geometry import CellCoverage
+
+
+@dataclass(frozen=True)
+class UnitLeakageSpec:
+    """Leakage of one functional unit at the nominal temperature.
+
+    Attributes:
+        name: Functional unit name (must exist in the floorplan).
+        nominal_power: Leakage power in W at ``t_nominal``.
+    """
+
+    name: str
+    nominal_power: float
+
+    def __post_init__(self) -> None:
+        if self.nominal_power < 0.0:
+            raise ConfigurationError(
+                f"{self.name}: nominal leakage must be >= 0, got "
+                f"{self.nominal_power}")
+
+
+class CellLeakageModel:
+    """Per-grid-cell exponential leakage.
+
+    Attributes:
+        nominal_powers: Array of per-cell leakage (W) at ``t_nominal``.
+        beta: Exponential temperature sensitivity, 1/K.
+        t_nominal: Temperature at which ``nominal_powers`` holds, K.
+    """
+
+    def __init__(self, nominal_powers: np.ndarray, beta: float,
+                 t_nominal: float):
+        powers = np.asarray(nominal_powers, dtype=float)
+        if powers.ndim != 1:
+            raise ConfigurationError(
+                f"nominal_powers must be 1-D, got shape {powers.shape}")
+        if (powers < 0.0).any():
+            raise ConfigurationError("nominal_powers must be >= 0")
+        if beta <= 0.0:
+            raise ConfigurationError(f"beta must be positive, got {beta}")
+        if t_nominal <= 0.0:
+            raise ConfigurationError(
+                f"t_nominal must be in kelvin (> 0), got {t_nominal}")
+        self.nominal_powers = powers
+        self.beta = float(beta)
+        self.t_nominal = float(t_nominal)
+
+    @property
+    def cell_count(self) -> int:
+        """Number of cells the model covers."""
+        return self.nominal_powers.size
+
+    def power(self, temperatures: np.ndarray) -> np.ndarray:
+        """Per-cell leakage power (W) at the given cell temperatures (K)."""
+        temps = self._check_temps(temperatures)
+        return self.nominal_powers * np.exp(
+            self.beta * (temps - self.t_nominal))
+
+    def total_power(self, temperatures: np.ndarray) -> float:
+        """Total chip leakage (W): Equation (11)."""
+        return float(self.power(temperatures).sum())
+
+    def power_derivative(self, temperatures: np.ndarray) -> np.ndarray:
+        """dP/dT per cell at the given temperatures, W/K."""
+        return self.beta * self.power(temperatures)
+
+    def scaled(self, factor: float) -> "CellLeakageModel":
+        """Copy with all nominal powers multiplied by ``factor``."""
+        if factor < 0.0:
+            raise ConfigurationError(f"factor must be >= 0, got {factor}")
+        return CellLeakageModel(self.nominal_powers * factor, self.beta,
+                                self.t_nominal)
+
+    def _check_temps(self, temperatures: np.ndarray) -> np.ndarray:
+        temps = np.asarray(temperatures, dtype=float)
+        if temps.shape != self.nominal_powers.shape:
+            raise ConfigurationError(
+                f"Expected {self.nominal_powers.shape} temperatures, got "
+                f"{temps.shape}")
+        if (temps <= 0.0).any():
+            raise ConfigurationError("Temperatures must be in kelvin (> 0)")
+        return temps
+
+
+def build_cell_leakage(
+    coverage: CellCoverage,
+    unit_specs: Iterable[UnitLeakageSpec],
+    beta: float,
+    t_nominal: float,
+) -> CellLeakageModel:
+    """Distribute per-unit nominal leakage over grid cells by area.
+
+    Each unit's nominal leakage spreads uniformly (per unit area) over the
+    cells it covers, exactly like dynamic power in
+    :meth:`repro.geometry.CellCoverage.power_map`.
+    """
+    unit_powers: Dict[str, float] = {}
+    for spec in unit_specs:
+        if spec.name in unit_powers:
+            raise ConfigurationError(
+                f"Duplicate leakage spec for unit {spec.name!r}")
+        unit_powers[spec.name] = spec.nominal_power
+    cell_powers = coverage.power_map(unit_powers)
+    return CellLeakageModel(cell_powers, beta, t_nominal)

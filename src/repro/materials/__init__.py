@@ -1,0 +1,30 @@
+"""Materials and package-stack substrate.
+
+Defines thermal material properties, the layer abstraction for the
+seven-layer processor package of Figure 2 (PCB, chip, TIM1, TEC, heat
+spreader, TIM2, heat sink, plus the fan stage), and the Table 1 preset
+assembly used throughout the paper's experiments.
+"""
+
+from .properties import Material, SILICON, COPPER, THERMAL_PASTE, FR4, \
+    BISMUTH_TELLURIDE, ALUMINUM, AIR
+from .layers import Layer, LayerRole
+from .stack import PackageStack, default_package_stack, \
+    baseline_package_stack, table1_layers
+
+__all__ = [
+    "Material",
+    "SILICON",
+    "COPPER",
+    "THERMAL_PASTE",
+    "FR4",
+    "BISMUTH_TELLURIDE",
+    "ALUMINUM",
+    "AIR",
+    "Layer",
+    "LayerRole",
+    "PackageStack",
+    "default_package_stack",
+    "baseline_package_stack",
+    "table1_layers",
+]

@@ -1,0 +1,78 @@
+"""Layer abstraction for the package stack."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import MaterialError
+from .properties import Material
+
+
+class LayerRole(enum.Enum):
+    """What a layer does in the thermal network.
+
+    The paper's Section 4 taxonomy:
+
+    * ``CONDUCT`` — layers in ``L_conduct`` (PCB, TIM1, spreader, TIM2):
+      pure heat conduction, modeled as six resistances per element.
+    * ``CHIP`` — ``L_chip``: conducts heat and generates dynamic + leakage
+      power.
+    * ``TEC`` — the TEC layer, expanded into the three sub-layers of
+      Figure 4 (absorption, generation, rejection).
+    * ``HEATSINK`` — ``L_HS&fan``: conducts heat and couples to ambient
+      through the fan-speed-dependent conductance of Equation (9).
+    """
+
+    CONDUCT = "conduct"
+    CHIP = "chip"
+    TEC = "tec"
+    HEATSINK = "heatsink"
+
+
+@dataclass(frozen=True)
+class Layer:
+    """One physical layer of the package assembly.
+
+    Attributes:
+        name: Layer identifier (unique within a stack).
+        role: What the layer contributes to the thermal network.
+        material: Thermal material of the layer bulk.
+        thickness: Layer thickness in meters (z direction).
+        width: Lateral x extent in meters.
+        height: Lateral y extent in meters.
+    """
+
+    name: str
+    role: LayerRole
+    material: Material
+    thickness: float
+    width: float
+    height: float
+
+    def __post_init__(self) -> None:
+        if self.thickness <= 0.0:
+            raise MaterialError(
+                f"Layer {self.name!r}: thickness must be positive")
+        if self.width <= 0.0 or self.height <= 0.0:
+            raise MaterialError(
+                f"Layer {self.name!r}: lateral dimensions must be positive")
+
+    @property
+    def footprint_area(self) -> float:
+        """Lateral area in square meters."""
+        return self.width * self.height
+
+    @property
+    def vertical_conductance_per_area(self) -> float:
+        """Through-thickness conductance per unit area, W/(m^2*K)."""
+        return self.material.conductivity / self.thickness
+
+    def vertical_conductance(self, area: float) -> float:
+        """Through-thickness conductance of a patch of ``area`` m^2."""
+        return self.vertical_conductance_per_area * area
+
+    def with_material(self, material: Material) -> "Layer":
+        """Copy of this layer with a different material."""
+        return Layer(self.name, self.role, material, self.thickness,
+                     self.width, self.height)

@@ -1,0 +1,73 @@
+"""Thermal material properties.
+
+Conductivities for the package layers come from Table 1 of the paper; the
+volumetric heat capacities (needed only by the transient solver, which the
+paper's steady-state analysis does not use) are standard handbook values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import MaterialError
+
+
+@dataclass(frozen=True)
+class Material:
+    """An isotropic thermal material.
+
+    Attributes:
+        name: Human-readable identifier.
+        conductivity: Thermal conductivity k in W/(m*K).
+        volumetric_heat_capacity: rho * c_p in J/(m^3*K); used by the
+            transient solver only.
+    """
+
+    name: str
+    conductivity: float
+    volumetric_heat_capacity: float
+
+    def __post_init__(self) -> None:
+        if self.conductivity <= 0.0:
+            raise MaterialError(
+                f"{self.name}: conductivity must be positive, "
+                f"got {self.conductivity}")
+        if self.volumetric_heat_capacity <= 0.0:
+            raise MaterialError(
+                f"{self.name}: volumetric heat capacity must be positive, "
+                f"got {self.volumetric_heat_capacity}")
+
+    def with_conductivity(self, conductivity: float) -> "Material":
+        """Copy of this material with a different conductivity.
+
+        Used by the baseline fairness rule of Section 6.1, which raises the
+        TIM1 conductivity of the no-TEC baselines to the effective
+        conductivity of the TIM1 + TEC stack.
+        """
+        return Material(self.name, conductivity,
+                        self.volumetric_heat_capacity)
+
+
+# Table 1 materials (conductivity from the paper; heat capacity standard).
+
+#: Silicon die (Table 1: 100 W/(m*K); the paper derates bulk silicon for
+#: the thinned 15 um die).
+SILICON = Material("silicon", 100.0, 1.75e6)
+
+#: Thermal interface paste for TIM1 / TIM2 (Table 1: 1.75 W/(m*K)).
+THERMAL_PASTE = Material("thermal-paste", 1.75, 2.0e6)
+
+#: Copper heat spreader and heat sink (Table 1: 400 W/(m*K)).
+COPPER = Material("copper", 400.0, 3.45e6)
+
+#: PCB substrate under the die.
+FR4 = Material("fr4", 0.3, 1.8e6)
+
+#: Superlattice Bi2Te3-class thermoelectric material (thin-film TEC pellets).
+BISMUTH_TELLURIDE = Material("bismuth-telluride", 1.2, 1.2e6)
+
+#: Aluminum (alternative sink material, used in some examples).
+ALUMINUM = Material("aluminum", 237.0, 2.42e6)
+
+#: Still air (dead-space filler in uncovered TEC-layer regions).
+AIR = Material("air", 0.026, 1.2e3)

@@ -1,0 +1,232 @@
+"""The package stack: ordered layers from PCB (bottom) to heat sink (top).
+
+``default_package_stack`` reproduces the Table 1 assembly of the paper
+(Figure 2): PCB, chip, TIM1, TEC, heat spreader, TIM2, heat sink, with the
+fan acting on the heat-sink-to-ambient conductance.  The no-TEC baselines
+use ``baseline_package_stack``, which applies the paper's fairness rule:
+the TEC layer is removed and the TIM1 conductivity is raised to the
+effective series conductivity of TIM1 + TEC.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..errors import ConfigurationError
+from .layers import Layer, LayerRole
+from .properties import (
+    COPPER,
+    FR4,
+    Material,
+    SILICON,
+    THERMAL_PASTE,
+)
+
+# Table 1 dimensions (meters).
+CHIP_SIZE = 15.9e-3
+CHIP_THICKNESS = 15e-6
+TIM_THICKNESS = 20e-6
+SPREADER_SIZE = 30e-3
+SPREADER_THICKNESS = 1e-3
+SINK_SIZE = 60e-3
+SINK_THICKNESS = 7e-3
+PCB_THICKNESS = 1e-3
+
+#: Thickness of the thin-film TEC layer (tens of micrometers per Section 1).
+TEC_LAYER_THICKNESS = 20e-6
+
+#: Effective through-plane conductivity of the TEC layer material.  Chosen so
+#: the TEC stack conducts distinctly better than thermal paste, which is the
+#: mechanism Section 6.1 cites for the baselines' disadvantage before the
+#: fairness correction.
+TEC_LAYER_CONDUCTIVITY = 2.0
+
+#: Effective TEC-layer material (superlattice film + metallization).
+TEC_LAYER_MATERIAL = Material("tec-film", TEC_LAYER_CONDUCTIVITY, 1.3e6)
+
+
+class PackageStack:
+    """An ordered, validated list of package layers (bottom to top).
+
+    The stack must contain exactly one CHIP layer, exactly one HEATSINK
+    layer (topmost), and at most one TEC layer located above the chip.
+    """
+
+    def __init__(self, layers: List[Layer]):
+        if not layers:
+            raise ConfigurationError("PackageStack requires layers")
+        names = [layer.name for layer in layers]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"Duplicate layer names in {names}")
+        self._layers = list(layers)
+        self._validate()
+
+    def _validate(self) -> None:
+        chips = [i for i, l in enumerate(self._layers)
+                 if l.role is LayerRole.CHIP]
+        if len(chips) != 1:
+            raise ConfigurationError(
+                f"Stack must contain exactly one chip layer, found "
+                f"{len(chips)}")
+        sinks = [i for i, l in enumerate(self._layers)
+                 if l.role is LayerRole.HEATSINK]
+        if len(sinks) != 1 or sinks[0] != len(self._layers) - 1:
+            raise ConfigurationError(
+                "Stack must end with exactly one heat-sink layer")
+        tecs = [i for i, l in enumerate(self._layers)
+                if l.role is LayerRole.TEC]
+        if len(tecs) > 1:
+            raise ConfigurationError("Stack may contain at most one TEC layer")
+        if tecs and tecs[0] <= chips[0]:
+            raise ConfigurationError("TEC layer must sit above the chip layer")
+
+    # -- access ---------------------------------------------------------------
+
+    @property
+    def layers(self) -> List[Layer]:
+        """Layers bottom to top (copy)."""
+        return list(self._layers)
+
+    def __iter__(self):
+        return iter(self._layers)
+
+    def __len__(self) -> int:
+        return len(self._layers)
+
+    def __getitem__(self, name: str) -> Layer:
+        for layer in self._layers:
+            if layer.name == name:
+                return layer
+        raise ConfigurationError(f"No layer named {name!r}")
+
+    def index_of(self, name: str) -> int:
+        """Position of the layer named ``name`` (0 = bottom)."""
+        for i, layer in enumerate(self._layers):
+            if layer.name == name:
+                return i
+        raise ConfigurationError(f"No layer named {name!r}")
+
+    @property
+    def chip_layer(self) -> Layer:
+        """The unique chip layer."""
+        return next(l for l in self._layers if l.role is LayerRole.CHIP)
+
+    @property
+    def tec_layer(self) -> Optional[Layer]:
+        """The TEC layer, or None for a no-TEC stack."""
+        for layer in self._layers:
+            if layer.role is LayerRole.TEC:
+                return layer
+        return None
+
+    @property
+    def heatsink_layer(self) -> Layer:
+        """The topmost (heat sink) layer."""
+        return self._layers[-1]
+
+    @property
+    def has_tec(self) -> bool:
+        """True if the stack includes a TEC layer."""
+        return self.tec_layer is not None
+
+    def replace_layer(self, name: str, new_layer: Layer) -> "PackageStack":
+        """Return a stack with the named layer replaced."""
+        idx = self.index_of(name)
+        layers = list(self._layers)
+        layers[idx] = new_layer
+        return PackageStack(layers)
+
+    def without_layer(self, name: str) -> "PackageStack":
+        """Return a stack with the named layer removed."""
+        idx = self.index_of(name)
+        layers = list(self._layers)
+        del layers[idx]
+        return PackageStack(layers)
+
+
+def table1_layers() -> Dict[str, Dict[str, float]]:
+    """Table 1 of the paper as plain data (for reports and tests)."""
+    return {
+        "chip": {"conductivity": 100.0, "width": CHIP_SIZE,
+                 "height": CHIP_SIZE, "thickness": CHIP_THICKNESS},
+        "tim1": {"conductivity": 1.75, "width": CHIP_SIZE,
+                 "height": CHIP_SIZE, "thickness": TIM_THICKNESS},
+        "spreader": {"conductivity": 400.0, "width": SPREADER_SIZE,
+                     "height": SPREADER_SIZE,
+                     "thickness": SPREADER_THICKNESS},
+        "tim2": {"conductivity": 1.75, "width": SPREADER_SIZE,
+                 "height": SPREADER_SIZE, "thickness": TIM_THICKNESS},
+        "heatsink": {"conductivity": 400.0, "width": SINK_SIZE,
+                     "height": SINK_SIZE, "thickness": SINK_THICKNESS},
+    }
+
+
+def default_package_stack(chip_width: float = CHIP_SIZE,
+                          chip_height: float = CHIP_SIZE,
+                          ) -> PackageStack:
+    """The Table 1 / Figure 2 assembly with the TEC layer present.
+
+    ``chip_width``/``chip_height`` resize the die-footprint layers (PCB,
+    chip, TIM1, TEC) for non-EV6 floorplans; the spreader and sink keep
+    their Table 1 dimensions (they must remain at least chip-sized).
+    """
+    if chip_width <= 0.0 or chip_height <= 0.0:
+        raise ConfigurationError("Chip dimensions must be positive")
+    if chip_width > SPREADER_SIZE or chip_height > SPREADER_SIZE:
+        raise ConfigurationError(
+            "Chip cannot exceed the heat-spreader footprint")
+    return PackageStack([
+        Layer("pcb", LayerRole.CONDUCT, FR4,
+              PCB_THICKNESS, chip_width, chip_height),
+        Layer("chip", LayerRole.CHIP, SILICON,
+              CHIP_THICKNESS, chip_width, chip_height),
+        Layer("tim1", LayerRole.CONDUCT, THERMAL_PASTE,
+              TIM_THICKNESS, chip_width, chip_height),
+        Layer("tec", LayerRole.TEC, TEC_LAYER_MATERIAL,
+              TEC_LAYER_THICKNESS, chip_width, chip_height),
+        Layer("spreader", LayerRole.CONDUCT, COPPER,
+              SPREADER_THICKNESS, SPREADER_SIZE, SPREADER_SIZE),
+        Layer("tim2", LayerRole.CONDUCT, THERMAL_PASTE,
+              TIM_THICKNESS, SPREADER_SIZE, SPREADER_SIZE),
+        Layer("heatsink", LayerRole.HEATSINK, COPPER,
+              SINK_THICKNESS, SINK_SIZE, SINK_SIZE),
+    ])
+
+
+def effective_series_conductivity(layers: List[Layer]) -> float:
+    """Conductivity of a single slab thermally equivalent to ``layers``.
+
+    Series thermal resistances: ``k_eff = sum(t_i) / sum(t_i / k_i)``.
+    """
+    if not layers:
+        raise ConfigurationError("Need at least one layer")
+    total_thickness = sum(l.thickness for l in layers)
+    total_resistance = sum(l.thickness / l.material.conductivity
+                           for l in layers)
+    return total_thickness / total_resistance
+
+
+def baseline_package_stack(chip_width: float = CHIP_SIZE,
+                           chip_height: float = CHIP_SIZE,
+                           ) -> PackageStack:
+    """The no-TEC baseline assembly with the Section 6.1 fairness rule.
+
+    The TEC layer is removed and TIM1 is thickened to the combined
+    TIM1 + TEC thickness with the effective series conductivity, so the
+    baseline enjoys the same vertical conduction path as the TEC system
+    at zero TEC current.
+    """
+    full = default_package_stack(chip_width, chip_height)
+    tim1 = full["tim1"]
+    tec = full["tec"]
+    assert tec is not None
+    k_eff = effective_series_conductivity([tim1, tec])
+    merged_tim1 = Layer(
+        "tim1",
+        LayerRole.CONDUCT,
+        tim1.material.with_conductivity(k_eff),
+        tim1.thickness + tec.thickness,
+        tim1.width,
+        tim1.height,
+    )
+    return full.without_layer("tec").replace_layer("tim1", merged_tim1)

@@ -1,0 +1,24 @@
+"""Dynamic-power substrate (PTscalar + MiBench substitute).
+
+The paper feeds OFTEC the *maximum* dynamic power of each chip element,
+extracted from PTscalar traces of eight MiBench benchmarks (Figure 5).
+PTscalar and the original traces are not redistributable, so this package
+synthesizes them: :class:`BenchmarkProfile` holds a per-functional-unit
+maximum-power vector with the hotspot structure of each benchmark class
+(integer-bound, FP-bound, memory-bound, ...), and :mod:`repro.power.generator`
+produces full time-varying traces whose per-unit maxima reduce back to the
+profile — exercising the identical code path into the optimizer.
+"""
+
+from .profiles import BenchmarkProfile, mibench_profiles, MIBENCH_NAMES
+from .trace import PowerTrace, concatenate_traces
+from .generator import TraceGenerator
+
+__all__ = [
+    "BenchmarkProfile",
+    "mibench_profiles",
+    "MIBENCH_NAMES",
+    "PowerTrace",
+    "concatenate_traces",
+    "TraceGenerator",
+]

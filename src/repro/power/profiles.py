@@ -1,0 +1,147 @@
+"""Per-benchmark maximum dynamic power profiles (MiBench substitute).
+
+Each profile distributes a total dynamic power over the EV6 functional
+units according to the benchmark's character:
+
+* *Integer-bound* kernels (BitCount, Quicksort) concentrate power in
+  IntExec/IntReg/IntQ — the classic EV6 hotspot cluster.
+* *FP-bound* kernels (FFT, Susan, parts of Basicmath) heat the FP cluster.
+* *Memory-bound* kernels (CRC32, Dijkstra) spread power toward caches and
+  the load/store queue at lower density.
+
+Totals are calibrated (see ``benchmarks/`` and EXPERIMENTS.md) so the
+paper's qualitative split holds: the five heavy benchmarks defeat the
+no-TEC baselines while Basicmath, CRC32, and Stringsearch remain feasible
+for every method — matching Figure 6(c) and the Table 2 ordering of
+``I*`` and ``omega*``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping
+
+from ..errors import ConfigurationError
+
+#: The paper's eight MiBench benchmarks, in Table 2 order (including the
+#: paper's own spellings "Baiscmath" -> Basicmath and "Djkstra").
+MIBENCH_NAMES: List[str] = [
+    "basicmath", "bitcount", "crc32", "djkstra",
+    "fft", "quicksort", "stringsearch", "susan",
+]
+
+
+@dataclass(frozen=True)
+class BenchmarkProfile:
+    """Maximum dynamic power of one benchmark, per functional unit.
+
+    Attributes:
+        name: Benchmark name.
+        unit_power: Mapping from unit name to maximum dynamic power, W.
+    """
+
+    name: str
+    unit_power: Mapping[str, float]
+
+    def __post_init__(self) -> None:
+        if not self.unit_power:
+            raise ConfigurationError(f"{self.name}: empty power profile")
+        bad = {u: p for u, p in self.unit_power.items() if p < 0.0}
+        if bad:
+            raise ConfigurationError(
+                f"{self.name}: negative unit powers: {bad}")
+
+    @property
+    def total_power(self) -> float:
+        """Total maximum dynamic power, W."""
+        return sum(self.unit_power.values())
+
+    def scaled(self, factor: float) -> "BenchmarkProfile":
+        """Copy with every unit power multiplied by ``factor``."""
+        if factor < 0.0:
+            raise ConfigurationError(f"factor must be >= 0, got {factor}")
+        return BenchmarkProfile(
+            self.name,
+            {u: p * factor for u, p in self.unit_power.items()})
+
+    def with_total(self, total: float) -> "BenchmarkProfile":
+        """Copy rescaled so the profile sums to ``total`` watts."""
+        current = self.total_power
+        if current <= 0.0:
+            raise ConfigurationError(
+                f"{self.name}: cannot rescale an all-zero profile")
+        return self.scaled(total / current)
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict copy of the per-unit powers."""
+        return dict(self.unit_power)
+
+
+def _profile(name: str, total: float,
+             weights: Dict[str, float]) -> BenchmarkProfile:
+    """Normalize ``weights`` and scale to ``total`` watts."""
+    weight_sum = sum(weights.values())
+    return BenchmarkProfile(
+        name, {u: total * w / weight_sum for u, w in weights.items()})
+
+
+# Unit-weight patterns.  Keys missing from a pattern draw zero power.
+_INT_HEAVY = {
+    "IntExec": 0.23, "IntReg": 0.13, "IntQ": 0.08, "IntMap": 0.07,
+    "LdStQ": 0.10, "Bpred": 0.05, "ITB": 0.02, "DTB": 0.04,
+    "Icache": 0.09, "Dcache": 0.09, "L2": 0.06, "L2_left": 0.02,
+    "L2_right": 0.02,
+}
+_FP_HEAVY = {
+    "FPAdd": 0.14, "FPMul": 0.13, "FPReg": 0.09, "FPQ": 0.06,
+    "FPMap": 0.05, "IntExec": 0.12, "IntReg": 0.07, "LdStQ": 0.09,
+    "Icache": 0.07, "Dcache": 0.08, "DTB": 0.03, "Bpred": 0.03,
+    "L2": 0.03, "L2_left": 0.005, "L2_right": 0.005,
+}
+_MEM_HEAVY = {
+    "LdStQ": 0.17, "Dcache": 0.12, "DTB": 0.09, "IntExec": 0.15,
+    "IntReg": 0.09, "IntQ": 0.05, "IntMap": 0.04, "Icache": 0.07,
+    "Bpred": 0.04, "L2": 0.10, "L2_left": 0.04, "L2_right": 0.04,
+}
+_MIXED = {
+    "IntExec": 0.16, "IntReg": 0.09, "IntQ": 0.06, "IntMap": 0.05,
+    "FPAdd": 0.07, "FPMul": 0.06, "FPReg": 0.04, "FPQ": 0.03,
+    "LdStQ": 0.10, "Bpred": 0.04, "DTB": 0.04, "ITB": 0.02,
+    "Icache": 0.08, "Dcache": 0.08, "L2": 0.06, "L2_left": 0.01,
+    "L2_right": 0.01,
+}
+
+# Per-benchmark (pattern, total watts).  The totals separate the heavy
+# five from the light three; see the calibration bench.
+_BENCHMARK_SPECS = {
+    "basicmath": (_MIXED, 42.0),
+    "bitcount": (_INT_HEAVY, 63.0),
+    "crc32": (_MEM_HEAVY, 36.0),
+    "djkstra": (_MEM_HEAVY, 60.0),
+    "fft": (_FP_HEAVY, 60.0),
+    "quicksort": (_INT_HEAVY, 64.0),
+    "stringsearch": (_MIXED, 40.0),
+    "susan": (_FP_HEAVY, 62.0),
+}
+
+
+def mibench_profiles(
+    scale: float = 1.0,
+    totals: Mapping[str, float] = None,
+) -> Dict[str, BenchmarkProfile]:
+    """The eight MiBench profiles, optionally rescaled.
+
+    Args:
+        scale: Multiplier applied to every benchmark's total.
+        totals: Optional per-benchmark total-watt overrides (applied
+            before ``scale``).
+    """
+    if scale < 0.0:
+        raise ConfigurationError(f"scale must be >= 0, got {scale}")
+    profiles: Dict[str, BenchmarkProfile] = {}
+    for name in MIBENCH_NAMES:
+        pattern, default_total = _BENCHMARK_SPECS[name]
+        total = default_total if totals is None \
+            else totals.get(name, default_total)
+        profiles[name] = _profile(name, total * scale, pattern)
+    return profiles

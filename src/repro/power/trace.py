@@ -1,0 +1,135 @@
+"""Time-varying per-unit power traces.
+
+A :class:`PowerTrace` is the PTscalar-shaped artifact: a matrix of
+per-unit dynamic power samples over time.  OFTEC consumes only its
+:meth:`max_profile` reduction (Figure 5 feeds the per-element *maximum*
+power into the optimizer), but the full trace drives the transient
+controller studies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .profiles import BenchmarkProfile
+
+
+class PowerTrace:
+    """Sampled per-unit dynamic power over time.
+
+    Attributes:
+        name: Workload name.
+        unit_names: Column order of the sample matrix.
+        times: Sample instants, s (monotonically increasing).
+        samples: Array of shape (len(times), len(unit_names)), W.
+    """
+
+    def __init__(self, name: str, unit_names: Sequence[str],
+                 times: np.ndarray, samples: np.ndarray):
+        self.name = name
+        self.unit_names: List[str] = list(unit_names)
+        times_arr = np.asarray(times, dtype=float)
+        samples_arr = np.asarray(samples, dtype=float)
+        if times_arr.ndim != 1 or times_arr.size == 0:
+            raise ConfigurationError("times must be a non-empty 1-D array")
+        if (np.diff(times_arr) <= 0.0).any():
+            raise ConfigurationError("times must strictly increase")
+        if samples_arr.shape != (times_arr.size, len(self.unit_names)):
+            raise ConfigurationError(
+                f"samples must have shape ({times_arr.size}, "
+                f"{len(self.unit_names)}), got {samples_arr.shape}")
+        if (samples_arr < 0.0).any():
+            raise ConfigurationError("samples must be >= 0")
+        if len(set(self.unit_names)) != len(self.unit_names):
+            raise ConfigurationError("unit_names must be unique")
+        self.times = times_arr
+        self.samples = samples_arr
+
+    @property
+    def sample_count(self) -> int:
+        """Number of time samples."""
+        return self.times.size
+
+    @property
+    def duration(self) -> float:
+        """Trace span in seconds."""
+        return float(self.times[-1] - self.times[0])
+
+    def unit_index(self, unit: str) -> int:
+        """Column index of ``unit``."""
+        try:
+            return self.unit_names.index(unit)
+        except ValueError:
+            raise ConfigurationError(f"No unit named {unit!r}") from None
+
+    def unit_series(self, unit: str) -> np.ndarray:
+        """Power samples of one unit over time, W."""
+        return self.samples[:, self.unit_index(unit)]
+
+    def total_series(self) -> np.ndarray:
+        """Total chip dynamic power over time, W."""
+        return self.samples.sum(axis=1)
+
+    def at(self, t: float) -> Dict[str, float]:
+        """Zero-order-hold sample at time ``t`` (clamped to the span)."""
+        idx = int(np.searchsorted(self.times, t, side="right") - 1)
+        idx = min(max(idx, 0), self.sample_count - 1)
+        return dict(zip(self.unit_names, self.samples[idx]))
+
+    def max_profile(self) -> BenchmarkProfile:
+        """Per-unit maxima as a :class:`BenchmarkProfile` (Figure 5 input)."""
+        maxima = self.samples.max(axis=0)
+        return BenchmarkProfile(
+            self.name, dict(zip(self.unit_names, maxima.tolist())))
+
+    def mean_profile(self) -> BenchmarkProfile:
+        """Per-unit time-averages as a profile (for energy studies)."""
+        means = self.samples.mean(axis=0)
+        return BenchmarkProfile(
+            self.name, dict(zip(self.unit_names, means.tolist())))
+
+    def window(self, t_start: float, t_end: float) -> "PowerTrace":
+        """Sub-trace restricted to ``[t_start, t_end]``."""
+        if t_end <= t_start:
+            raise ConfigurationError("t_end must exceed t_start")
+        mask = (self.times >= t_start) & (self.times <= t_end)
+        if not mask.any():
+            raise ConfigurationError(
+                f"No samples in window [{t_start}, {t_end}]")
+        return PowerTrace(self.name, self.unit_names,
+                          self.times[mask], self.samples[mask])
+
+
+def concatenate_traces(traces: Sequence["PowerTrace"],
+                       name: str = "composite") -> "PowerTrace":
+    """Splice traces back to back on the union of their unit columns.
+
+    Each segment is shifted to start where the previous one ended;
+    units absent from a segment draw zero during it.  Used to build
+    phase-hopping workloads for the online-controller studies.
+    """
+    if not traces:
+        raise ConfigurationError("Need at least one trace")
+    unit_names = sorted({unit for trace in traces
+                         for unit in trace.unit_names})
+    time_blocks: List[np.ndarray] = []
+    sample_blocks: List[np.ndarray] = []
+    offset = 0.0
+    for trace in traces:
+        local = trace.times - trace.times[0]
+        # Keep strict monotonicity across the seam.
+        step = float(local[1] - local[0]) if local.size > 1 \
+            else max(float(trace.times[0]), 1e-6)
+        time_blocks.append(local + offset + step)
+        block = np.zeros((trace.sample_count, len(unit_names)))
+        for col, unit in enumerate(unit_names):
+            if unit in trace.unit_names:
+                block[:, col] = trace.unit_series(unit)
+        sample_blocks.append(block)
+        offset = float(time_blocks[-1][-1])
+    return PowerTrace(name, unit_names,
+                      np.concatenate(time_blocks),
+                      np.vstack(sample_blocks))

@@ -1,0 +1,24 @@
+"""Thermoelectric cooler substrate.
+
+:class:`TECDevice` implements the per-module Peltier/conduction/Joule
+equations (1)-(3) of the paper; :class:`TECArray` deploys modules over the
+grid cells of the TEC layer (all units except the I/D caches by default,
+per Section 6.1) and exposes the per-cell aggregated coefficients the
+thermal network consumes; :mod:`repro.tec.deployment` provides the
+selective-coverage optimizer in the spirit of the paper's references
+[6] and [7].
+"""
+
+from .device import TECDevice, default_tec_device
+from .array import TECArray, full_coverage_mask, coverage_mask_excluding
+from .deployment import DeploymentResult, select_tec_coverage
+
+__all__ = [
+    "TECDevice",
+    "default_tec_device",
+    "TECArray",
+    "full_coverage_mask",
+    "coverage_mask_excluding",
+    "DeploymentResult",
+    "select_tec_coverage",
+]

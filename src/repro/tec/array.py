@@ -1,0 +1,204 @@
+"""TEC array deployment over the grid cells of the TEC layer.
+
+An array is a boolean coverage mask over grid cells plus the module type.
+Per-cell coefficients (Seebeck, resistance, conductance) are the per-area
+densities of the module times the covered cell area, which makes the
+thermal model independent of grid resolution: refining the grid never
+changes the amount of deployed thermoelectric material.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Union
+
+import numpy as np
+
+from ..errors import ConfigurationError, GeometryError
+from ..geometry import CellCoverage, Grid
+from .device import TECDevice
+
+
+def full_coverage_mask(grid: Grid) -> np.ndarray:
+    """Mask covering every grid cell with TEC modules."""
+    return np.ones(grid.cell_count, dtype=bool)
+
+
+def coverage_mask_excluding(
+    coverage: CellCoverage,
+    excluded_units: Iterable[str],
+) -> np.ndarray:
+    """Mask covering every cell except those of the excluded units.
+
+    A cell belongs to a unit when that unit dominates its area.  The paper
+    excludes the instruction and data caches (Section 6.1); pass
+    :data:`repro.geometry.EV6_CACHE_UNITS` for that behaviour.
+    """
+    excluded = set(excluded_units)
+    unknown = excluded - set(coverage.floorplan.unit_names)
+    if unknown:
+        raise GeometryError(f"Unknown units in exclusion list: "
+                            f"{sorted(unknown)}")
+    dominant = coverage.dominant_unit_per_cell()
+    return np.array([name not in excluded for name in dominant], dtype=bool)
+
+
+class TECArray:
+    """A deployment of identical TEC modules over part of the die.
+
+    All deployed modules are electrically in series and share one driving
+    current (Section 6.1: "The deployed TECs are connected electrically in
+    series and driven by the same current value").
+    """
+
+    def __init__(self, grid: Grid, device: TECDevice,
+                 coverage_mask: Optional[np.ndarray] = None):
+        self.grid = grid
+        self.device = device
+        if coverage_mask is None:
+            coverage_mask = full_coverage_mask(grid)
+        mask = np.asarray(coverage_mask, dtype=bool)
+        if mask.shape != (grid.cell_count,):
+            raise ConfigurationError(
+                f"Coverage mask must have {grid.cell_count} entries, got "
+                f"{mask.shape}")
+        if not mask.any():
+            raise ConfigurationError(
+                "TECArray requires at least one covered cell; use a no-TEC "
+                "stack instead of an empty array")
+        self.coverage_mask = mask
+
+    # -- aggregate geometry ---------------------------------------------------
+
+    @property
+    def covered_cell_count(self) -> int:
+        """Number of grid cells carrying TEC modules."""
+        return int(self.coverage_mask.sum())
+
+    @property
+    def covered_area(self) -> float:
+        """Total die area under TEC modules, m^2."""
+        return self.covered_cell_count * self.grid.cell_area
+
+    @property
+    def module_count(self) -> float:
+        """Equivalent number of physical modules deployed.
+
+        Fractional values are meaningful: they express partial-area
+        coverage at coarse grid resolutions.
+        """
+        return self.covered_area / self.device.footprint_area
+
+    # -- per-cell coefficients (what the thermal network consumes) ------------
+
+    @property
+    def cell_seebeck(self) -> np.ndarray:
+        """Per-cell aggregate Seebeck coefficient, V/K (0 where uncovered)."""
+        alpha = self.device.seebeck_per_area * self.grid.cell_area
+        return np.where(self.coverage_mask, alpha, 0.0)
+
+    @property
+    def cell_resistance(self) -> np.ndarray:
+        """Per-cell aggregate electrical resistance, ohm (0 uncovered)."""
+        r = self.device.resistance_per_area * self.grid.cell_area
+        return np.where(self.coverage_mask, r, 0.0)
+
+    @property
+    def cell_conductance(self) -> np.ndarray:
+        """Per-cell aggregate thermal conductance K_TEC, W/K (0 uncovered)."""
+        k = self.device.conductance_per_area * self.grid.cell_area
+        return np.where(self.coverage_mask, k, 0.0)
+
+    # -- aggregate electrical behaviour ---------------------------------------
+
+    @property
+    def total_resistance(self) -> float:
+        """Series-string electrical resistance of the whole array, ohm."""
+        return float(self.cell_resistance.sum())
+
+    def cell_current(self, current: Union[float, np.ndarray],
+                     ) -> np.ndarray:
+        """Validate and broadcast a driving current to per-cell form.
+
+        A scalar models the paper's single series string; an array of
+        per-cell currents models independently-driven channels (the
+        multi-channel extension).  Uncovered cells must carry zero.
+        """
+        arr = np.asarray(current, dtype=float)
+        if arr.ndim == 0:
+            if arr < 0.0:
+                raise ConfigurationError(
+                    f"Driving current must be >= 0, got {float(arr)}")
+            return np.where(self.coverage_mask, float(arr), 0.0)
+        if arr.shape != (self.grid.cell_count,):
+            raise ConfigurationError(
+                f"Per-cell current must have shape "
+                f"({self.grid.cell_count},), got {arr.shape}")
+        if (arr < 0.0).any():
+            raise ConfigurationError("Driving currents must be >= 0")
+        if (arr[~self.coverage_mask] != 0.0).any():
+            raise ConfigurationError(
+                "Nonzero current on cells without TEC modules")
+        return arr
+
+    def total_power(self, cold_temps: np.ndarray, hot_temps: np.ndarray,
+                    current: Union[float, np.ndarray]) -> float:
+        """Equation (12): sum of Equation (7) over deployed cells (W).
+
+        ``P_TEC = sum_i (alpha_i * dT_i * I_i + R_i * I_i^2)`` with
+        per-cell temperature differences ``dT_i = T_hot,i - T_cold,i``.
+        """
+        self._check_temp_arrays(cold_temps, hot_temps)
+        cell_i = self.cell_current(current)
+        delta_t = hot_temps - cold_temps
+        joule = self.cell_resistance * cell_i ** 2
+        peltier_work = self.cell_seebeck * delta_t * cell_i
+        return float((joule + peltier_work)[self.coverage_mask].sum())
+
+    def total_heat_absorbed(self, cold_temps: np.ndarray,
+                            hot_temps: np.ndarray,
+                            current: Union[float, np.ndarray]) -> float:
+        """Equation (1) summed over deployed cells (W)."""
+        self._check_temp_arrays(cold_temps, hot_temps)
+        cell_i = self.cell_current(current)
+        delta_t = hot_temps - cold_temps
+        q_c = (self.cell_seebeck * cold_temps * cell_i
+               - self.cell_conductance * delta_t
+               - 0.5 * self.cell_resistance * cell_i ** 2)
+        return float(q_c[self.coverage_mask].sum())
+
+    def total_heat_released(self, cold_temps: np.ndarray,
+                            hot_temps: np.ndarray,
+                            current: Union[float, np.ndarray]) -> float:
+        """Equation (2) summed over deployed cells (W)."""
+        self._check_temp_arrays(cold_temps, hot_temps)
+        cell_i = self.cell_current(current)
+        delta_t = hot_temps - cold_temps
+        q_h = (self.cell_seebeck * hot_temps * cell_i
+               - self.cell_conductance * delta_t
+               + 0.5 * self.cell_resistance * cell_i ** 2)
+        return float(q_h[self.coverage_mask].sum())
+
+    def with_coverage(self, coverage_mask: np.ndarray) -> "TECArray":
+        """Copy of this array with a different coverage mask."""
+        return TECArray(self.grid, self.device, coverage_mask)
+
+    def coverage_summary(self, coverage: CellCoverage) -> Dict[str, float]:
+        """Fraction of each unit's cells that carry TEC modules."""
+        dominant = coverage.dominant_unit_per_cell()
+        totals: Dict[str, int] = {}
+        covered: Dict[str, int] = {}
+        for cell, name in enumerate(dominant):
+            if not name:
+                continue
+            totals[name] = totals.get(name, 0) + 1
+            if self.coverage_mask[cell]:
+                covered[name] = covered.get(name, 0) + 1
+        return {name: covered.get(name, 0) / count
+                for name, count in totals.items()}
+
+    def _check_temp_arrays(self, cold: np.ndarray, hot: np.ndarray) -> None:
+        expected = (self.grid.cell_count,)
+        if cold.shape != expected or hot.shape != expected:
+            raise ConfigurationError(
+                f"Temperature arrays must have shape {expected}, got "
+                f"{cold.shape} and {hot.shape}")

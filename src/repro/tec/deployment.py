@@ -1,0 +1,105 @@
+"""Selective TEC deployment (the "deployment" half of the paper's title).
+
+The paper tiles every unit except the I/D caches, citing its references
+[6][7]: covering units that never develop hot spots wastes TEC power and
+laterally heats neighboring modules.  This module implements that
+selection rule as an explicit optimizer: given per-unit peak temperatures
+from a thermal evaluation of the uncooled (zero-current) system, cover
+exactly the units that get hot enough to need active cooling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..geometry import CellCoverage
+from .array import coverage_mask_excluding
+
+
+@dataclass
+class DeploymentResult:
+    """Outcome of a selective-deployment decision.
+
+    Attributes:
+        covered_units: Unit names that receive TEC modules.
+        excluded_units: Unit names left uncovered.
+        coverage_mask: Boolean per-grid-cell mask for :class:`TECArray`.
+        unit_margins: Per-unit ``T_peak - threshold`` in kelvin; positive
+            values drove coverage.
+    """
+
+    covered_units: List[str]
+    excluded_units: List[str]
+    coverage_mask: np.ndarray
+    unit_margins: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def covered_fraction(self) -> float:
+        """Fraction of grid cells covered."""
+        return float(self.coverage_mask.mean())
+
+
+def select_tec_coverage(
+    coverage: CellCoverage,
+    unit_peak_temperatures: Dict[str, float],
+    hotspot_threshold: Optional[float] = None,
+    margin: float = 2.0,
+    always_exclude: Optional[List[str]] = None,
+) -> DeploymentResult:
+    """Choose which functional units to cover with TEC modules.
+
+    Args:
+        coverage: Unit/cell mapping of the chip grid.
+        unit_peak_temperatures: Peak steady-state temperature of each unit
+            (K), evaluated on the system without TEC current.
+        hotspot_threshold: Units peaking above this temperature are
+            covered.  Defaults to the area-weighted die mean plus
+            ``margin``, which reproduces the paper's observed behaviour of
+            leaving the (cool) caches uncovered without hard-coding names.
+        margin: Kelvin added to the die-mean default threshold.
+        always_exclude: Units never covered regardless of temperature.
+
+    Returns:
+        A :class:`DeploymentResult` with the chosen mask.  Raises
+        :class:`ConfigurationError` when the selection covers nothing
+        (deploy no array at all in that case).
+    """
+    names = coverage.floorplan.unit_names
+    missing = [n for n in names if n not in unit_peak_temperatures]
+    if missing:
+        raise ConfigurationError(
+            f"Missing peak temperatures for units: {missing}")
+
+    if hotspot_threshold is None:
+        fractions = coverage.floorplan.area_fractions()
+        die_mean = sum(unit_peak_temperatures[n] * fractions[n]
+                       for n in names)
+        hotspot_threshold = die_mean + margin
+
+    forced_out = set(always_exclude or [])
+    unknown = forced_out - set(names)
+    if unknown:
+        raise ConfigurationError(
+            f"Unknown units in always_exclude: {sorted(unknown)}")
+
+    margins = {n: unit_peak_temperatures[n] - hotspot_threshold
+               for n in names}
+    covered = [n for n in names
+               if n not in forced_out and margins[n] > 0.0]
+    excluded = [n for n in names if n not in covered]
+    if not covered:
+        raise ConfigurationError(
+            "No unit exceeds the hotspot threshold "
+            f"({hotspot_threshold:.2f} K); deploy no TEC array")
+
+    mask = coverage_mask_excluding(coverage, excluded)
+    return DeploymentResult(
+        covered_units=covered,
+        excluded_units=excluded,
+        coverage_mask=mask,
+        unit_margins=margins,
+    )

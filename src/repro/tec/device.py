@@ -1,0 +1,200 @@
+"""Per-module thermoelectric cooler model: Equations (1)-(3).
+
+A "module" is one packaged thin-film TEC unit covering
+``footprint_area`` of die (the paper notes unit areas below 1 mm^2).
+Modules are electrically in series — every module carries the same driving
+current — and thermally in parallel, so per-cell coefficients in the grid
+model simply scale with the number of modules per cell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..constants import I_TEC_MAX
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class TECDevice:
+    """Electro-thermal parameters of one thin-film TEC module.
+
+    Attributes:
+        seebeck_coefficient: Effective module Seebeck coefficient
+            ``alpha`` in V/K (sum over the module's N-P couples).
+        electrical_resistance: Module electrical resistance ``R_TEC``
+            in ohms.
+        thermal_conductance: Module thermal conductance ``K_TEC`` in W/K
+            (cold side to hot side, through the pellets).
+        footprint_area: Die area one module covers, in m^2.
+        max_current: Safe driving-current limit ``I_TEC,max`` in A;
+            exceeding it damages the device.
+    """
+
+    seebeck_coefficient: float
+    electrical_resistance: float
+    thermal_conductance: float
+    footprint_area: float
+    max_current: float = I_TEC_MAX
+
+    def __post_init__(self) -> None:
+        if self.seebeck_coefficient <= 0.0:
+            raise ConfigurationError("Seebeck coefficient must be positive")
+        if self.electrical_resistance <= 0.0:
+            raise ConfigurationError("Electrical resistance must be positive")
+        if self.thermal_conductance <= 0.0:
+            raise ConfigurationError("Thermal conductance must be positive")
+        if self.footprint_area <= 0.0:
+            raise ConfigurationError("Footprint area must be positive")
+        if self.max_current <= 0.0:
+            raise ConfigurationError("Max current must be positive")
+
+    # -- Equations (1)-(3), written for N series-connected modules ----------
+
+    def heat_absorbed(self, t_cold: float, t_hot: float, current: float,
+                      n_modules: int = 1) -> float:
+        """Equation (1): heat absorbed per second at the cold side (W).
+
+        ``q_c = N * (alpha*T_c*I - K*dT - R*I^2/2)`` with ``dT = T_h - T_c``.
+        Negative values mean the module *heats* its cold side (Joule and
+        back-conduction overwhelm the Peltier pumping).
+        """
+        self._check_operating_point(t_cold, t_hot, current, n_modules)
+        delta_t = t_hot - t_cold
+        return n_modules * (
+            self.seebeck_coefficient * t_cold * current
+            - self.thermal_conductance * delta_t
+            - 0.5 * self.electrical_resistance * current ** 2
+        )
+
+    def heat_released(self, t_cold: float, t_hot: float, current: float,
+                      n_modules: int = 1) -> float:
+        """Equation (2): heat released per second at the hot side (W).
+
+        ``q_h = N * (alpha*T_h*I - K*dT + R*I^2/2)``.
+        """
+        self._check_operating_point(t_cold, t_hot, current, n_modules)
+        delta_t = t_hot - t_cold
+        return n_modules * (
+            self.seebeck_coefficient * t_hot * current
+            - self.thermal_conductance * delta_t
+            + 0.5 * self.electrical_resistance * current ** 2
+        )
+
+    def power(self, t_cold: float, t_hot: float, current: float,
+              n_modules: int = 1) -> float:
+        """Equation (3): electrical power drawn by N modules (W).
+
+        ``P_TEC = q_h - q_c = N * (alpha*dT*I + R*I^2)``.
+        """
+        self._check_operating_point(t_cold, t_hot, current, n_modules)
+        delta_t = t_hot - t_cold
+        return n_modules * (
+            self.seebeck_coefficient * delta_t * current
+            + self.electrical_resistance * current ** 2
+        )
+
+    def coefficient_of_performance(self, t_cold: float, t_hot: float,
+                                   current: float) -> float:
+        """COP = heat removed per second / electrical power.
+
+        Undefined (raises) at zero current where no power is drawn.
+        """
+        p = self.power(t_cold, t_hot, current)
+        if p <= 0.0:
+            raise ConfigurationError(
+                "COP undefined at zero electrical power")
+        return self.heat_absorbed(t_cold, t_hot, current) / p
+
+    def optimal_current_max_cooling(self, t_cold: float) -> float:
+        """Current maximizing Equation (1) at fixed temperatures.
+
+        ``d(q_c)/dI = alpha*T_c - R*I = 0`` gives ``I = alpha*T_c/R``,
+        clamped to the device's safe limit.
+        """
+        if t_cold <= 0.0:
+            raise ConfigurationError("Temperatures must be in kelvin (> 0)")
+        return min(self.seebeck_coefficient * t_cold
+                   / self.electrical_resistance,
+                   self.max_current)
+
+    def max_temperature_difference(self, t_hot: float) -> float:
+        """Largest steady dT the module can hold at zero heat load.
+
+        Setting ``q_c = 0`` at the cooling-optimal current gives
+        ``dT = Z*T_c^2/2`` with ``Z = alpha^2/(R*K)``; solving it
+        self-consistently with ``T_c = T_h - dT`` (the cold side depresses
+        as dT grows) yields the quadratic whose physical root is
+        ``T_c = (sqrt(1 + 2*Z*T_h) - 1) / Z``.
+        """
+        if t_hot <= 0.0:
+            raise ConfigurationError("Temperatures must be in kelvin (> 0)")
+        z = self.figure_of_merit
+        t_cold = ((1.0 + 2.0 * z * t_hot) ** 0.5 - 1.0) / z
+        return t_hot - t_cold
+
+    @property
+    def figure_of_merit(self) -> float:
+        """The thermoelectric figure of merit ``Z = alpha^2/(R*K)``, 1/K."""
+        return (self.seebeck_coefficient ** 2
+                / (self.electrical_resistance * self.thermal_conductance))
+
+    def zt(self, temperature: float) -> float:
+        """Dimensionless figure of merit ``ZT`` at ``temperature`` (K)."""
+        if temperature <= 0.0:
+            raise ConfigurationError("Temperatures must be in kelvin (> 0)")
+        return self.figure_of_merit * temperature
+
+    # -- per-area densities (grid-resolution independent) --------------------
+
+    @property
+    def seebeck_per_area(self) -> float:
+        """alpha per square meter of covered die, V/(K*m^2)."""
+        return self.seebeck_coefficient / self.footprint_area
+
+    @property
+    def resistance_per_area(self) -> float:
+        """R_TEC per square meter of covered die, ohm/m^2.
+
+        Modules are in series, so total resistance grows with covered area.
+        """
+        return self.electrical_resistance / self.footprint_area
+
+    @property
+    def conductance_per_area(self) -> float:
+        """K_TEC per square meter of covered die, W/(K*m^2)."""
+        return self.thermal_conductance / self.footprint_area
+
+    def _check_operating_point(self, t_cold: float, t_hot: float,
+                               current: float, n_modules: int) -> None:
+        if t_cold <= 0.0 or t_hot <= 0.0:
+            raise ConfigurationError(
+                "Temperatures must be in kelvin (> 0), got "
+                f"t_cold={t_cold}, t_hot={t_hot}")
+        if current < 0.0:
+            raise ConfigurationError(
+                f"Driving current must be >= 0, got {current}")
+        if n_modules < 1:
+            raise ConfigurationError(
+                f"Need at least one module, got {n_modules}")
+
+
+def default_tec_device() -> TECDevice:
+    """The thin-film superlattice module used in the experiments.
+
+    Values describe a 1 mm^2 superlattice thin-film module in the regime
+    of the paper's reference [3] (Chowdhury et al.): ZT = 1.0 at 350 K,
+    per-area thermal conductance consistent with the 20 um TEC layer of
+    :data:`repro.materials.stack.TEC_LAYER_CONDUCTIVITY` (2.0 W/(m*K),
+    still above thermal paste, preserving the Section 6.1 observation that
+    passive TEC presence improves the stack's conduction), and a series
+    resistance that keeps the whole-die Joule budget at a few watts per
+    ampere-squared.
+    """
+    return TECDevice(
+        seebeck_coefficient=2.0e-3,
+        electrical_resistance=1.4e-2,
+        thermal_conductance=0.10,
+        footprint_area=1.0e-6,
+        max_current=I_TEC_MAX,
+    )

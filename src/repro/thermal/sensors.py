@@ -1,0 +1,138 @@
+"""On-die thermal sensors: the controller's real-world view.
+
+The paper's controllers read the true maximum die temperature; real DTM
+hardware reads a handful of noisy sensors at fixed locations and can
+*underestimate* the hotspot (sensor aliasing).  This module models that
+gap: sensors placed at unit centers (or explicit cells) return the local
+cell temperature plus offset/noise, and a
+:class:`SensorArray` reduces readings the way a DTM loop would.
+
+Pairs naturally with the threshold/hysteresis controllers and the online
+interval controller to study how much guard-band the sensor error forces
+onto T_max.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..geometry import CellCoverage
+
+
+@dataclass(frozen=True)
+class Sensor:
+    """One thermal sensor.
+
+    Attributes:
+        name: Sensor label.
+        cell: Flat grid-cell index the sensor samples.
+        offset: Systematic calibration error, K (added to readings).
+        noise_sigma: Gaussian read-noise standard deviation, K.
+    """
+
+    name: str
+    cell: int
+    offset: float = 0.0
+    noise_sigma: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.cell < 0:
+            raise ConfigurationError(
+                f"Sensor {self.name!r}: cell must be >= 0")
+        if self.noise_sigma < 0.0:
+            raise ConfigurationError(
+                f"Sensor {self.name!r}: noise_sigma must be >= 0")
+
+
+class SensorArray:
+    """A fixed set of sensors over the chip grid."""
+
+    def __init__(self, sensors: Sequence[Sensor], cell_count: int,
+                 seed: int = 0):
+        if not sensors:
+            raise ConfigurationError("SensorArray needs sensors")
+        names = [s.name for s in sensors]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"Duplicate sensor names: {names}")
+        for sensor in sensors:
+            if sensor.cell >= cell_count:
+                raise ConfigurationError(
+                    f"Sensor {sensor.name!r}: cell {sensor.cell} "
+                    f"outside grid of {cell_count} cells")
+        self.sensors: List[Sensor] = list(sensors)
+        self.cell_count = cell_count
+        self._rng = np.random.default_rng(seed)
+
+    @classmethod
+    def at_unit_centers(cls, coverage: CellCoverage,
+                        units: Sequence[str],
+                        offset: float = 0.0,
+                        noise_sigma: float = 0.0,
+                        seed: int = 0) -> "SensorArray":
+        """Place one sensor at the center cell of each named unit."""
+        grid = coverage.grid
+        sensors = []
+        for unit in units:
+            rect = coverage.floorplan[unit].rect
+            cx, cy = rect.center
+            ix = min(int(cx / grid.dx), grid.nx - 1)
+            iy = min(int(cy / grid.dy), grid.ny - 1)
+            sensors.append(Sensor(
+                name=f"sense_{unit}",
+                cell=grid.flat_index(ix, iy),
+                offset=offset, noise_sigma=noise_sigma))
+        return cls(sensors, grid.cell_count, seed=seed)
+
+    def read(self, chip_temperatures: np.ndarray) -> Dict[str, float]:
+        """Sample every sensor against a chip temperature field."""
+        temps = np.asarray(chip_temperatures, dtype=float)
+        if temps.shape != (self.cell_count,):
+            raise ConfigurationError(
+                f"Expected {self.cell_count} cell temperatures, got "
+                f"{temps.shape}")
+        readings: Dict[str, float] = {}
+        for sensor in self.sensors:
+            value = float(temps[sensor.cell]) + sensor.offset
+            if sensor.noise_sigma > 0.0:
+                value += float(self._rng.normal(0.0,
+                                                sensor.noise_sigma))
+            readings[sensor.name] = value
+        return readings
+
+    def hottest_reading(self, chip_temperatures: np.ndarray) -> float:
+        """The max-of-sensors reduction a DTM loop acts on."""
+        return max(self.read(chip_temperatures).values())
+
+    def aliasing_error(self, chip_temperatures: np.ndarray) -> float:
+        """True hotspot minus hottest reading, K (>= 0 means the
+        sensors underestimate; computed noise-free)."""
+        temps = np.asarray(chip_temperatures, dtype=float)
+        if temps.shape != (self.cell_count,):
+            raise ConfigurationError(
+                f"Expected {self.cell_count} cell temperatures, got "
+                f"{temps.shape}")
+        noise_free = max(float(temps[s.cell]) + s.offset
+                         for s in self.sensors)
+        return float(temps.max()) - noise_free
+
+
+def recommended_guard_band(array: SensorArray,
+                           chip_fields: Sequence[np.ndarray],
+                           quantile: float = 0.95) -> float:
+    """Guard band (K) covering the observed aliasing errors.
+
+    Given representative temperature fields (e.g. the steady states of
+    a benchmark suite), returns the ``quantile`` of the aliasing error —
+    the amount a DTM loop must subtract from T_max when trusting the
+    sensors.
+    """
+    if not (0.0 < quantile <= 1.0):
+        raise ConfigurationError("quantile must be in (0, 1]")
+    if not chip_fields:
+        raise ConfigurationError("Need at least one temperature field")
+    errors = [array.aliasing_error(field) for field in chip_fields]
+    return float(np.quantile(errors, quantile))

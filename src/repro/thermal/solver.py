@@ -1,0 +1,225 @@
+"""Steady-state solve of ``G(omega) T = P(omega, I_TEC)`` (Constraint 14).
+
+For fixed ``(omega, I_TEC)`` the system is linear in the temperatures
+(Section 5.1: the Peltier and linearized-leakage terms fold into the
+matrix), so one evaluation is a sparse solve.  Because the *linearization
+point* of the leakage law matters, an outer loop re-expands the Taylor
+series at the freshly solved chip temperatures until they stop moving —
+reference [13]'s protocol, which typically converges in a handful of
+iterations.  If the loop diverges, or the temperatures exceed the ceiling,
+the evaluation reports **thermal runaway** (Section 6.2: the objective
+"tends to infinity for small values of omega").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+import numpy as np
+
+from ..errors import ThermalRunawayError
+from ..leakage import CellLeakageModel, tangent_linearization
+from .assembly import PackageThermalModel
+
+
+@dataclass
+class SolveStats:
+    """Diagnostics of one steady-state evaluation.
+
+    Attributes:
+        outer_iterations: Leakage relinearization iterations performed.
+        linear_solves: Sparse linear solves performed.
+        converged: Whether the relinearization loop met its tolerance.
+        max_update: Final between-iteration chip-temperature change, K.
+    """
+
+    outer_iterations: int
+    linear_solves: int
+    converged: bool
+    max_update: float
+
+
+@dataclass
+class SteadyStateResult:
+    """Converged steady state of the package at one operating point.
+
+    Attributes:
+        temperatures: Full node-temperature vector, K.
+        chip_temperatures: Per-chip-cell temperatures, K.
+        max_chip_temperature: The paper's objective 𝒯 = max_i T_i over
+            the chip layer, K.
+        leakage_power: Total chip leakage at the converged temperatures
+            (Equation 11), W.
+        tec_power: Total TEC electrical power (Equation 12), W.
+        tec_heat_absorbed: Heat pumped out of the cold side (Eq. 1 sum), W.
+        tec_heat_released: Heat released at the hot side (Eq. 2 sum), W.
+        omega: Fan speed of the evaluation, rad/s.
+        current: TEC driving current of the evaluation, A (scalar
+            or per-cell array for multi-channel drives).
+        stats: Solver diagnostics.
+    """
+
+    temperatures: np.ndarray
+    chip_temperatures: np.ndarray
+    max_chip_temperature: float
+    leakage_power: float
+    tec_power: float
+    tec_heat_absorbed: float
+    tec_heat_released: float
+    omega: float
+    current: Union[float, np.ndarray]
+    stats: SolveStats
+
+    @property
+    def mean_chip_temperature(self) -> float:
+        """Area-weighted (uniform cells) average chip temperature, K."""
+        return float(self.chip_temperatures.mean())
+
+
+def solve_steady_state(
+    model: PackageThermalModel,
+    omega: float,
+    current: Union[float, np.ndarray],
+    dynamic_cell_power: np.ndarray,
+    leakage: Optional[CellLeakageModel] = None,
+    initial_guess: Optional[np.ndarray] = None,
+    sink_heat: float = 0.0,
+) -> SteadyStateResult:
+    """Solve the package steady state at one ``(omega, I_TEC)`` point.
+
+    Args:
+        model: Assembled package thermal model.
+        omega: Fan speed, rad/s.
+        current: TEC driving current, A (scalar, or per-cell array
+            for independently-driven channels).
+        dynamic_cell_power: Per-chip-cell dynamic power, W.
+        leakage: Temperature-dependent chip leakage; ``None`` disables
+            leakage entirely (useful for validation against analytic
+            networks).
+        initial_guess: Optional starting chip-temperature vector for the
+            linearization point (warm start across optimizer steps).
+        sink_heat: Extra heat deposited on the sink surface (recirculated
+            fan power), W.
+
+    Raises:
+        ThermalRunawayError: When no bounded steady state exists at this
+            operating point.
+    """
+    config = model.config
+    ncell = model.grid.cell_count
+    zeros = np.zeros(ncell, dtype=float)
+
+    if leakage is None:
+        diag, rhs = model.overlays(omega, current, dynamic_cell_power,
+                                   zeros, zeros, sink_heat=sink_heat)
+        temps = model.network.solve(diag, rhs)
+        _check_physical(model, temps, omega, current, iteration=1)
+        return _package_result(model, temps, omega, current,
+                               leakage_power=0.0,
+                               stats=SolveStats(1, 1, True, 0.0))
+
+    if initial_guess is not None:
+        t_ref = np.asarray(initial_guess, dtype=float).copy()
+        if t_ref.shape != (ncell,):
+            raise ValueError(
+                f"initial_guess must have shape ({ncell},), got "
+                f"{t_ref.shape}")
+    else:
+        t_ref = np.full(ncell, config.ambient + 30.0)
+
+    temps = None
+    previous_update = np.inf
+    growth_strikes = 0
+    for iteration in range(1, config.leak_max_iterations + 1):
+        taylor = tangent_linearization(leakage, t_ref)
+        diag, rhs = model.overlays(
+            omega, current, dynamic_cell_power,
+            leak_slope=taylor.a, leak_const=taylor.constant_term(),
+            sink_heat=sink_heat)
+        temps = model.network.solve(diag, rhs)
+        _check_physical(model, temps, omega, current, iteration)
+        chip = model.chip_temperatures(temps)
+        update = float(np.max(np.abs(chip - t_ref)))
+        if update < config.leak_tolerance:
+            stats = SolveStats(iteration, iteration, True, update)
+            leak_power = leakage.total_power(chip)
+            return _package_result(model, temps, omega, current,
+                                   leak_power, stats)
+        # Divergence heuristic: monotonically growing updates mean the
+        # leakage feedback gain exceeds unity — runaway.
+        if update > previous_update * 1.0001:
+            growth_strikes += 1
+            if growth_strikes >= 3:
+                raise ThermalRunawayError(
+                    f"Leakage fixed point diverging at omega={omega:.1f}, "
+                    f"I={_fmt_current(current)} (update {update:.2f} K "
+                    "and growing)",
+                    max_temperature=float(chip.max()))
+        else:
+            growth_strikes = 0
+        previous_update = update
+        t_ref = chip
+    raise ThermalRunawayError(
+        f"Leakage fixed point failed to converge within "
+        f"{config.leak_max_iterations} iterations at omega={omega:.1f}, "
+        f"I={_fmt_current(current)}",
+        max_temperature=float(np.max(t_ref)))
+
+
+def _fmt_current(current: Union[float, np.ndarray]) -> str:
+    """Render a scalar or per-cell current for error messages."""
+    arr = np.asarray(current, dtype=float)
+    if arr.ndim == 0:
+        return f"{float(arr):.2f}"
+    return f"[{arr.min():.2f}..{arr.max():.2f}]"
+
+
+def _check_physical(model: PackageThermalModel, temps: np.ndarray,
+                    omega: float, current: Union[float, np.ndarray],
+                    iteration: int) -> None:
+    """Reject solutions outside the physical envelope as runaway."""
+    config = model.config
+    t_max = float(temps.max())
+    t_min = float(temps.min())
+    if t_max > config.runaway_ceiling:
+        raise ThermalRunawayError(
+            f"Temperature {t_max:.1f} K exceeds the runaway ceiling "
+            f"({config.runaway_ceiling:.0f} K) at omega={omega:.1f}, "
+            f"I={_fmt_current(current)} (iteration {iteration})",
+            max_temperature=t_max)
+    if t_min < config.temperature_floor:
+        raise ThermalRunawayError(
+            f"Temperature {t_min:.1f} K fell below the physical floor "
+            f"({config.temperature_floor:.0f} K) at omega={omega:.1f}, "
+            f"I={_fmt_current(current)}: the linearized network has "
+            "left its "
+            "validity range",
+            max_temperature=t_max)
+
+
+def _package_result(model: PackageThermalModel, temps: np.ndarray,
+                    omega: float, current: Union[float, np.ndarray],
+                    leakage_power: float,
+                    stats: SolveStats) -> SteadyStateResult:
+    chip = model.chip_temperatures(temps)
+    tec_power = 0.0
+    q_abs = 0.0
+    q_rel = 0.0
+    if model.tec_array is not None:
+        cold, hot = model.tec_face_temperatures(temps)
+        tec_power = model.tec_array.total_power(cold, hot, current)
+        q_abs = model.tec_array.total_heat_absorbed(cold, hot, current)
+        q_rel = model.tec_array.total_heat_released(cold, hot, current)
+    return SteadyStateResult(
+        temperatures=temps,
+        chip_temperatures=chip,
+        max_chip_temperature=float(chip.max()),
+        leakage_power=leakage_power,
+        tec_power=tec_power,
+        tec_heat_absorbed=q_abs,
+        tec_heat_released=q_rel,
+        omega=omega,
+        current=current,
+        stats=stats,
+    )

@@ -1,0 +1,160 @@
+"""SPICE netlist export of the thermal-electrical dual circuit.
+
+Section 4 of the paper builds on "the duality between thermal and
+electrical phenomena": the package is an electrical circuit that "can be
+easily analyzed by using well-known circuit laws (such as KVL and KCL)
+and simulated with the aid of circuit simulators such as SPICE".  This
+module makes that concrete: it emits a SPICE ``.op`` netlist whose node
+voltages are the package's node temperatures at one linearized operating
+point.
+
+Element mapping (thermal -> electrical):
+
+* node temperature (K)        -> node voltage (V)
+* heat flow (W)               -> current (A)
+* conductance g (W/K)         -> resistor of 1/g ohms
+* ambient temperature         -> DC voltage source
+* power injection p_i         -> current source into the node
+* temperature-proportional    -> (possibly negative) resistor to the
+  terms (Peltier, leakage)       0 V reference, exactly reproducing the
+                                 diagonal overlay of the linear system
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .assembly import PackageThermalModel
+
+
+def export_spice_netlist(
+    model: PackageThermalModel,
+    omega: float,
+    current: Union[float, np.ndarray],
+    dynamic_cell_power: np.ndarray,
+    leak_slope: Optional[np.ndarray] = None,
+    leak_const: Optional[np.ndarray] = None,
+    sink_heat: float = 0.0,
+    title: str = "OFTEC package thermal network",
+) -> str:
+    """Render one linearized operating point as a SPICE netlist.
+
+    The emitted circuit solves exactly the same linear system as
+    :meth:`repro.thermal.ThermalNetwork.solve` with the overlays built
+    from these arguments; running ``.op`` in any SPICE yields the node
+    temperatures as voltages (node ``n<i>`` = network node ``i``).
+    """
+    ncell = model.grid.cell_count
+    zeros = np.zeros(ncell)
+    slope = zeros if leak_slope is None else np.asarray(leak_slope)
+    const = zeros if leak_const is None else np.asarray(leak_const)
+    diag, rhs = model.overlays(omega, current, dynamic_cell_power,
+                               slope, const, sink_heat=sink_heat)
+
+    network = model.network
+    matrix = network.static_matrix.tocoo()
+    ambient = model.config.ambient
+
+    lines: List[str] = [
+        f"* {title}",
+        f"* nodes: {network.node_count}; omega = {omega:.3f} rad/s; "
+        "temperatures appear as node voltages (kelvin)",
+        f"VAMB amb 0 DC {ambient:.6g}",
+    ]
+
+    # Static two-terminal conductances (upper triangle of the off-
+    # diagonal entries; the assembly stores g as -g off-diagonal).
+    emitted = 0
+    for i, j, value in zip(matrix.row, matrix.col, matrix.data):
+        if i < j and value < 0.0:
+            emitted += 1
+            lines.append(
+                f"R{emitted} n{i} n{j} {-1.0 / value:.6g}")
+
+    # Static grounded conductances (the board path): the static matrix
+    # diagonal holds sum(g_ij) + g_ground; recover g_ground as the
+    # difference and tie it to the ambient source.
+    dense_diag = np.asarray(matrix.tocsr().diagonal())
+    offdiag_sum = np.zeros(network.node_count)
+    for i, j, value in zip(matrix.row, matrix.col, matrix.data):
+        if i != j:
+            offdiag_sum[i] += -value
+    ground = dense_diag - offdiag_sum
+    for i, g in enumerate(ground):
+        if g > 1e-15:
+            emitted += 1
+            lines.append(f"R{emitted} n{i} amb {1.0 / g:.6g}")
+
+    # Per-evaluation diagonal overlay.  The sink-to-ambient share comes
+    # with a matching rhs term g*T_amb — emit it as a resistor to amb;
+    # everything else (leakage slopes, Peltier terms) references 0 V.
+    g_total = model.sink_conductance.conductance(omega)
+    sink_g = np.zeros(network.node_count)
+    np.add.at(sink_g, model._sink_amb_nodes,
+              g_total * model._sink_amb_weights)
+    other_diag = diag - sink_g
+    residual_rhs = rhs - sink_g * ambient \
+        - model._static_amb_g * ambient
+    for i, g in enumerate(sink_g):
+        if g > 1e-15:
+            emitted += 1
+            lines.append(f"R{emitted} n{i} amb {1.0 / g:.6g}")
+    for i, d in enumerate(other_diag):
+        if abs(d) > 1e-15:
+            emitted += 1
+            lines.append(f"R{emitted} n{i} 0 {1.0 / d:.6g}")
+
+    # Residual right-hand side: pure current injections.
+    sources = 0
+    for i, p in enumerate(residual_rhs):
+        if abs(p) > 1e-15:
+            sources += 1
+            lines.append(f"I{sources} 0 n{i} DC {p:.6g}")
+
+    lines.append(".op")
+    lines.append(".end")
+    return "\n".join(lines) + "\n"
+
+
+def parse_netlist_system(netlist: str, node_count: int):
+    """Rebuild the (A, b) system from an exported netlist.
+
+    Used for round-trip validation (and by tests): reconstructs the
+    conductance matrix and RHS that the netlist encodes, so the SPICE
+    export can be verified against the network solver without an actual
+    SPICE installation.
+    """
+    matrix = np.zeros((node_count, node_count))
+    rhs = np.zeros(node_count)
+    ambient = None
+    for line in netlist.splitlines():
+        fields = line.split()
+        if not fields or fields[0].startswith("*"):
+            continue
+        name = fields[0].upper()
+        if name == "VAMB":
+            ambient = float(fields[4])
+        elif name.startswith("R"):
+            node_a, node_b, value = fields[1], fields[2], float(fields[3])
+            g = 1.0 / value
+            for node in (node_a, node_b):
+                if node.startswith("n"):
+                    matrix[int(node[1:]), int(node[1:])] += g
+            if node_a.startswith("n") and node_b.startswith("n"):
+                i, j = int(node_a[1:]), int(node_b[1:])
+                matrix[i, j] -= g
+                matrix[j, i] -= g
+            elif node_b == "amb" and node_a.startswith("n"):
+                if ambient is None:
+                    raise ConfigurationError(
+                        "Resistor to amb before VAMB definition")
+                rhs[int(node_a[1:])] += g * ambient
+            # resistors to node 0 contribute diagonal only
+        elif name.startswith("I"):
+            target = fields[2]
+            if target.startswith("n"):
+                rhs[int(target[1:])] += float(fields[4])
+    return matrix, rhs

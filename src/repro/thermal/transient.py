@@ -1,0 +1,160 @@
+"""Transient thermal simulation (backward Euler).
+
+The paper's analysis is steady-state, but two of its discussion points are
+inherently transient: the thermal-runaway trajectory at insufficient
+cooling, and the transient TEC boost of Section 6.2 ("increase I*_TEC by
+about 1 A for 1 s" — the Peltier effect acts immediately while Joule
+heating arrives with the thermal time constant).  This solver supports
+both, plus the threshold/hysteresis controllers from the related work.
+
+Discretization: ``C dT/dt = P - G T`` stepped implicitly as
+
+    (C/dt + G + D_n) T_{n+1} = (C/dt) T_n + rhs_n
+
+with the leakage Taylor expansion and the operating point (omega, I)
+refreshed at every step (semi-implicit in the nonlinear terms).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Union
+
+import numpy as np
+from scipy.sparse import diags
+from scipy.sparse.linalg import splu
+
+from ..errors import ConfigurationError
+from ..leakage import CellLeakageModel, tangent_linearization
+from .assembly import PackageThermalModel
+
+ScalarSchedule = Union[float, Callable[[float], float]]
+PowerSchedule = Union[np.ndarray, Callable[[float], np.ndarray]]
+
+
+@dataclass
+class TransientResult:
+    """Time series produced by :func:`simulate_transient`.
+
+    Attributes:
+        times: Sample times, s (length = steps + 1, including t = 0).
+        max_chip_temperature: 𝒯(t) trace, K.
+        mean_chip_temperature: Average chip temperature trace, K.
+        leakage_power: Chip leakage trace, W.
+        final_temperatures: Full node vector at the last computed step, K.
+        runaway: True if the ceiling was crossed and integration stopped.
+        runaway_time: Time of the crossing, s (None if no runaway).
+    """
+
+    times: np.ndarray
+    max_chip_temperature: np.ndarray
+    mean_chip_temperature: np.ndarray
+    leakage_power: np.ndarray
+    final_temperatures: np.ndarray
+    runaway: bool
+    runaway_time: Optional[float]
+
+    @property
+    def settled_temperature(self) -> float:
+        """Final 𝒯 sample, K (the steady value if the run settled)."""
+        return float(self.max_chip_temperature[-1])
+
+
+def _schedule_value(schedule: ScalarSchedule, t: float) -> float:
+    return float(schedule(t)) if callable(schedule) else float(schedule)
+
+
+def _power_value(schedule: PowerSchedule, t: float) -> np.ndarray:
+    if callable(schedule):
+        return np.asarray(schedule(t), dtype=float)
+    return np.asarray(schedule, dtype=float)
+
+
+def simulate_transient(
+    model: PackageThermalModel,
+    duration: float,
+    dt: float,
+    omega: ScalarSchedule,
+    current: ScalarSchedule,
+    dynamic_cell_power: PowerSchedule,
+    leakage: Optional[CellLeakageModel] = None,
+    initial_temperatures: Optional[np.ndarray] = None,
+    sink_heat: ScalarSchedule = 0.0,
+) -> TransientResult:
+    """Integrate the package thermals over ``[0, duration]``.
+
+    ``omega``, ``current`` and ``dynamic_cell_power`` may be constants or
+    callables of time (controller schedules).  Integration stops early,
+    with ``runaway=True``, if any temperature crosses the model's runaway
+    ceiling — the transient picture of the Section 6.2 feedback loop.
+    """
+    if duration <= 0.0 or dt <= 0.0:
+        raise ConfigurationError("duration and dt must be positive")
+    if dt > duration:
+        raise ConfigurationError("dt must not exceed duration")
+
+    n = model.network.node_count
+    ncell = model.grid.cell_count
+    capacities = model.network.heat_capacities()
+    if (capacities <= 0.0).any():
+        raise ConfigurationError(
+            "Transient simulation requires positive heat capacities on "
+            "every node")
+
+    if initial_temperatures is None:
+        temps = np.full(n, model.config.ambient, dtype=float)
+    else:
+        temps = np.asarray(initial_temperatures, dtype=float).copy()
+        if temps.shape != (n,):
+            raise ConfigurationError(
+                f"initial_temperatures must have shape ({n},)")
+
+    steps = int(round(duration / dt))
+    times: List[float] = [0.0]
+    zeros = np.zeros(ncell, dtype=float)
+    chip0 = model.chip_temperatures(temps)
+    max_trace = [float(chip0.max())]
+    mean_trace = [float(chip0.mean())]
+    leak_trace = [leakage.total_power(chip0) if leakage else 0.0]
+    c_over_dt = capacities / dt
+    static = model.network.static_matrix
+    runaway = False
+    runaway_time: Optional[float] = None
+
+    for step in range(1, steps + 1):
+        t = step * dt
+        omega_t = _schedule_value(omega, t)
+        current_t = _schedule_value(current, t)
+        power_t = _power_value(dynamic_cell_power, t)
+        chip = model.chip_temperatures(temps)
+        if leakage is not None:
+            taylor = tangent_linearization(leakage, chip)
+            slope, const = taylor.a, taylor.constant_term()
+        else:
+            slope, const = zeros, zeros
+        diag, rhs = model.overlays(
+            omega_t, current_t, power_t, slope, const,
+            sink_heat=_schedule_value(sink_heat, t))
+        matrix = (static + diags(diag + c_over_dt)).tocsc()
+        solver = splu(matrix)
+        temps = solver.solve(rhs + c_over_dt * temps)
+
+        chip = model.chip_temperatures(temps)
+        times.append(t)
+        max_trace.append(float(chip.max()))
+        mean_trace.append(float(chip.mean()))
+        leak_trace.append(leakage.total_power(chip) if leakage else 0.0)
+        if float(temps.max()) > model.config.runaway_ceiling:
+            runaway = True
+            runaway_time = t
+            break
+
+    return TransientResult(
+        times=np.array(times),
+        max_chip_temperature=np.array(max_trace),
+        mean_chip_temperature=np.array(mean_trace),
+        leakage_power=np.array(leak_trace),
+        final_temperatures=temps,
+        runaway=runaway,
+        runaway_time=runaway_time,
+    )

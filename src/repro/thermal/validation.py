@@ -1,0 +1,119 @@
+"""Analytic validation of the package network: the 1-D stack limit.
+
+Under uniform chip power, no leakage, no TEC drive, and a laterally
+isothermal approximation, the package reduces to a series resistance
+chain: every layer interface temperature follows from the heat flow and
+the layer conductances.  Because each layer is taken isothermal over its
+*full* footprint, constriction/spreading resistance is ignored, making
+this a strict lower bound on the real junction temperature — the full
+3-D network must sit at or above it, and approach it as lateral
+gradients vanish.  The test suite enforces exactly that bracketing.
+
+This also yields the back-of-envelope quantities thermal engineers use
+(junction-to-ambient resistance, per-layer temperature drops), exposed
+as a readable report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..errors import ConfigurationError
+from ..fan import HeatSinkFanConductance
+from ..materials import LayerRole, PackageStack
+
+
+@dataclass
+class StackProfile:
+    """Analytic 1-D temperatures through the package.
+
+    Attributes:
+        layer_temperatures: Mid-plane temperature of each layer, K,
+            bottom to top, keyed by layer name.
+        junction_temperature: Chip mid-plane temperature, K.
+        sink_to_ambient_drop: Temperature drop across the convection
+            interface, K.
+        junction_to_ambient_resistance: Total theta_JA, K/W.
+    """
+
+    layer_temperatures: Dict[str, float]
+    junction_temperature: float
+    sink_to_ambient_drop: float
+    junction_to_ambient_resistance: float
+
+
+def layer_vertical_resistances(stack: PackageStack) -> Dict[str, float]:
+    """Through-thickness resistance of each layer over its own area, K/W."""
+    out: Dict[str, float] = {}
+    for layer in stack:
+        out[layer.name] = layer.thickness / (
+            layer.material.conductivity * layer.footprint_area)
+    return out
+
+
+def one_dimensional_stack_profile(
+    stack: PackageStack,
+    power: float,
+    omega: float,
+    ambient: float,
+    sink_conductance: HeatSinkFanConductance = None,
+) -> StackProfile:
+    """Series-chain temperatures for uniform power, laterally isothermal.
+
+    Heat flows from the chip *upward* only (the downward PCB path is
+    ignored, matching its negligible share in the full model).  Layers
+    below the chip are reported at the chip temperature.  Each layer
+    contributes half its own resistance on each side of its mid-plane.
+    """
+    if power < 0.0:
+        raise ConfigurationError(f"power must be >= 0, got {power}")
+    if ambient <= 0.0:
+        raise ConfigurationError("ambient must be in kelvin (> 0)")
+    sink_conductance = sink_conductance or HeatSinkFanConductance()
+
+    layers = stack.layers
+    chip_index = next(i for i, l in enumerate(layers)
+                      if l.role is LayerRole.CHIP)
+    resistances = layer_vertical_resistances(stack)
+
+    g_amb = sink_conductance.conductance(omega)
+    sink_drop = power / g_amb
+
+    # Walk down from ambient to each layer mid-plane.
+    temperatures: Dict[str, float] = {}
+    # Temperature at the top surface of the sink:
+    running = ambient + sink_drop
+    for layer in reversed(layers[chip_index:]):
+        half = resistances[layer.name] / 2.0
+        running += power * half          # top surface -> mid-plane
+        temperatures[layer.name] = running
+        running += power * half          # mid-plane -> bottom surface
+    junction = temperatures[layers[chip_index].name]
+    for layer in layers[:chip_index]:
+        temperatures[layer.name] = junction
+
+    theta_ja = (junction - ambient) / power if power > 0.0 \
+        else float("nan")
+    return StackProfile(
+        layer_temperatures=temperatures,
+        junction_temperature=junction,
+        sink_to_ambient_drop=sink_drop,
+        junction_to_ambient_resistance=theta_ja)
+
+
+def format_stack_profile(profile: StackProfile,
+                         stack: PackageStack) -> str:
+    """Render the analytic profile as a readable table."""
+    lines: List[str] = [
+        f"theta_JA = "
+        f"{profile.junction_to_ambient_resistance:.3f} K/W, "
+        f"sink-to-ambient drop = {profile.sink_to_ambient_drop:.2f} K",
+        f"{'layer':<12}{'T mid-plane (K)':>17}",
+        "-" * 29,
+    ]
+    for layer in reversed(stack.layers):
+        lines.append(
+            f"{layer.name:<12}"
+            f"{profile.layer_temperatures[layer.name]:>17.2f}")
+    return "\n".join(lines)

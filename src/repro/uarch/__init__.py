@@ -1,0 +1,52 @@
+"""Microarchitectural activity/power simulator (PTscalar substitute).
+
+The paper's evaluation flow (Figure 5) starts with a performance/power
+simulator that turns a benchmark into a per-functional-unit dynamic
+power trace.  PTscalar itself is unavailable, so this subpackage
+implements the same pipeline stage from first principles:
+
+* :mod:`repro.uarch.isa` — instruction classes and instruction mixes;
+* :mod:`repro.uarch.programs` — synthetic phase-structured programs with
+  the instruction mixes of the eight MiBench benchmarks;
+* :mod:`repro.uarch.pipeline` — an interval-based EV6-style activity
+  model: issue-width-limited IPC, per-unit utilizations, cache behavior
+  from a locality parameter;
+* :mod:`repro.uarch.power` — activity-proportional dynamic power
+  (P = activity * peak) emitting :class:`repro.power.PowerTrace`.
+
+The emitted traces flow into OFTEC through the identical
+``trace.max_profile()`` reduction the calibrated built-in profiles use,
+exercising the full Figure 5 path end to end.
+"""
+
+from .isa import InstructionClass, InstructionMix
+from .programs import Phase, SyntheticProgram, mibench_programs
+from .pipeline import ActivityModel, IntervalActivity, Ev6Machine
+from .power import UnitPowerModel, simulate_power_trace
+from .compare import (
+    ProfileAgreement,
+    SuiteAgreement,
+    compare_profiles,
+    compare_suites,
+    format_suite_agreement,
+    spearman_correlation,
+)
+
+__all__ = [
+    "InstructionClass",
+    "InstructionMix",
+    "Phase",
+    "SyntheticProgram",
+    "mibench_programs",
+    "ActivityModel",
+    "IntervalActivity",
+    "Ev6Machine",
+    "UnitPowerModel",
+    "simulate_power_trace",
+    "ProfileAgreement",
+    "SuiteAgreement",
+    "compare_profiles",
+    "compare_suites",
+    "format_suite_agreement",
+    "spearman_correlation",
+]

@@ -1,0 +1,149 @@
+"""Cross-validation of the two workload-power sources.
+
+The library carries two independent origins for each benchmark's power
+profile: the calibrated tables (`repro.power.mibench_profiles`, tuned to
+the paper's result shapes) and the first-principles activity simulator
+(`repro.uarch`).  If the simulator captures the benchmarks' characters,
+the two must agree on *structure* even where absolute watts differ:
+which units dominate each workload, and how the benchmarks rank against
+each other.  This module quantifies that agreement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..power import BenchmarkProfile
+
+
+def _rankdata(values: Sequence[float]) -> np.ndarray:
+    """Average-tie ranks (1-based), a minimal scipy-free rankdata."""
+    arr = np.asarray(values, dtype=float)
+    order = np.argsort(arr, kind="stable")
+    ranks = np.empty_like(arr)
+    ranks[order] = np.arange(1, arr.size + 1, dtype=float)
+    # Average ranks over ties.
+    for value in np.unique(arr):
+        mask = arr == value
+        if mask.sum() > 1:
+            ranks[mask] = ranks[mask].mean()
+    return ranks
+
+
+def spearman_correlation(a: Sequence[float],
+                         b: Sequence[float]) -> float:
+    """Spearman rank correlation of two equal-length sequences."""
+    a_arr = np.asarray(a, dtype=float)
+    b_arr = np.asarray(b, dtype=float)
+    if a_arr.shape != b_arr.shape or a_arr.size < 2:
+        raise ConfigurationError(
+            "Need two equal-length sequences of size >= 2")
+    ra, rb = _rankdata(a_arr), _rankdata(b_arr)
+    ra -= ra.mean()
+    rb -= rb.mean()
+    denom = float(np.sqrt((ra ** 2).sum() * (rb ** 2).sum()))
+    if denom == 0.0:
+        raise ConfigurationError("Rank variance is zero (all ties)")
+    return float((ra * rb).sum() / denom)
+
+
+@dataclass
+class ProfileAgreement:
+    """Structural agreement between two profiles of one benchmark.
+
+    Attributes:
+        benchmark: Workload name.
+        unit_rank_correlation: Spearman correlation of per-unit powers
+            over the shared units.
+        top_unit_match: Whether both sources name the same hottest unit.
+        shared_units: Units present in both profiles.
+    """
+
+    benchmark: str
+    unit_rank_correlation: float
+    top_unit_match: bool
+    shared_units: List[str]
+
+
+def compare_profiles(name: str, reference: BenchmarkProfile,
+                     candidate: BenchmarkProfile) -> ProfileAgreement:
+    """Structural comparison of two per-unit power profiles."""
+    shared = sorted(set(reference.unit_power)
+                    & set(candidate.unit_power))
+    if len(shared) < 3:
+        raise ConfigurationError(
+            f"{name}: profiles share only {len(shared)} units")
+    ref_values = [reference.unit_power[u] for u in shared]
+    cand_values = [candidate.unit_power[u] for u in shared]
+    correlation = spearman_correlation(ref_values, cand_values)
+    ref_top = max(reference.unit_power, key=reference.unit_power.get)
+    cand_top = max(candidate.unit_power, key=candidate.unit_power.get)
+    return ProfileAgreement(
+        benchmark=name,
+        unit_rank_correlation=correlation,
+        top_unit_match=(ref_top == cand_top),
+        shared_units=shared)
+
+
+@dataclass
+class SuiteAgreement:
+    """Agreement over a whole benchmark suite.
+
+    Attributes:
+        per_benchmark: One :class:`ProfileAgreement` per workload.
+        total_power_rank_correlation: Spearman correlation of the
+            benchmarks' *total* powers between the two sources — do the
+            suites agree on which workloads are heavy?
+    """
+
+    per_benchmark: List[ProfileAgreement]
+    total_power_rank_correlation: float
+
+    @property
+    def mean_unit_correlation(self) -> float:
+        """Average per-benchmark unit-rank correlation."""
+        return float(np.mean(
+            [a.unit_rank_correlation for a in self.per_benchmark]))
+
+
+def compare_suites(
+    reference: Dict[str, BenchmarkProfile],
+    candidate: Dict[str, BenchmarkProfile],
+) -> SuiteAgreement:
+    """Structural agreement between two profile sets (same names)."""
+    names = sorted(set(reference) & set(candidate))
+    if len(names) < 2:
+        raise ConfigurationError(
+            f"Suites share only {len(names)} benchmarks")
+    per_benchmark = [compare_profiles(n, reference[n], candidate[n])
+                     for n in names]
+    totals: Tuple[List[float], List[float]] = ([], [])
+    for n in names:
+        totals[0].append(reference[n].total_power)
+        totals[1].append(candidate[n].total_power)
+    return SuiteAgreement(
+        per_benchmark=per_benchmark,
+        total_power_rank_correlation=spearman_correlation(*totals))
+
+
+def format_suite_agreement(agreement: SuiteAgreement) -> str:
+    """Render a suite-agreement report."""
+    lines = [
+        "calibrated vs simulated profile agreement:",
+        f"{'benchmark':<14}{'unit-rank rho':>14}{'same top unit':>15}",
+        "-" * 43,
+    ]
+    for item in agreement.per_benchmark:
+        lines.append(
+            f"{item.benchmark:<14}{item.unit_rank_correlation:>14.2f}"
+            f"{str(item.top_unit_match):>15}")
+    lines.append("-" * 43)
+    lines.append(
+        f"mean unit-rank rho {agreement.mean_unit_correlation:.2f}; "
+        f"total-power rank rho "
+        f"{agreement.total_power_rank_correlation:.2f}")
+    return "\n".join(lines)

@@ -1,0 +1,103 @@
+"""Instruction classes and instruction mixes.
+
+The activity model needs only the fractions of the dynamic instruction
+stream falling into a handful of classes; each class exercises a known
+set of EV6 functional units.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+from ..errors import ConfigurationError
+
+
+class InstructionClass(enum.Enum):
+    """Dynamic-instruction categories the activity model distinguishes."""
+
+    INT_ALU = "int_alu"       # add/sub/logic/shift
+    INT_MUL = "int_mul"       # integer multiply/divide
+    FP_ADD = "fp_add"         # FP add/sub/convert
+    FP_MUL = "fp_mul"         # FP multiply/divide/sqrt
+    LOAD = "load"
+    STORE = "store"
+    BRANCH = "branch"
+
+
+@dataclass(frozen=True)
+class InstructionMix:
+    """Normalized fractions of the dynamic instruction stream.
+
+    Attributes:
+        fractions: Mapping from instruction class to its share; must sum
+            to 1 within tolerance.
+    """
+
+    fractions: Mapping[InstructionClass, float]
+
+    def __post_init__(self) -> None:
+        total = sum(self.fractions.values())
+        if abs(total - 1.0) > 1e-6:
+            raise ConfigurationError(
+                f"Instruction mix must sum to 1, got {total:.6f}")
+        bad = {c: f for c, f in self.fractions.items() if f < 0.0}
+        if bad:
+            raise ConfigurationError(f"Negative fractions: {bad}")
+
+    def fraction(self, klass: InstructionClass) -> float:
+        """Share of one instruction class (0 if absent)."""
+        return float(self.fractions.get(klass, 0.0))
+
+    @property
+    def memory_fraction(self) -> float:
+        """Loads plus stores."""
+        return self.fraction(InstructionClass.LOAD) \
+            + self.fraction(InstructionClass.STORE)
+
+    @property
+    def fp_fraction(self) -> float:
+        """All floating-point work."""
+        return self.fraction(InstructionClass.FP_ADD) \
+            + self.fraction(InstructionClass.FP_MUL)
+
+    @property
+    def int_fraction(self) -> float:
+        """All integer ALU/multiplier work."""
+        return self.fraction(InstructionClass.INT_ALU) \
+            + self.fraction(InstructionClass.INT_MUL)
+
+    def blended(self, other: "InstructionMix",
+                weight: float) -> "InstructionMix":
+        """Convex combination: ``(1-weight)*self + weight*other``."""
+        if not (0.0 <= weight <= 1.0):
+            raise ConfigurationError(
+                f"weight must be in [0, 1], got {weight}")
+        classes = set(self.fractions) | set(other.fractions)
+        return InstructionMix({
+            klass: (1.0 - weight) * self.fraction(klass)
+            + weight * other.fraction(klass)
+            for klass in classes
+        })
+
+
+def make_mix(**fractions: float) -> InstructionMix:
+    """Build a mix from keyword fractions (auto-normalized).
+
+    Keys are the lowercase :class:`InstructionClass` values, e.g.
+    ``make_mix(int_alu=0.5, load=0.3, branch=0.2)``.
+    """
+    by_value: Dict[str, InstructionClass] = {
+        klass.value: klass for klass in InstructionClass}
+    unknown = set(fractions) - set(by_value)
+    if unknown:
+        raise ConfigurationError(
+            f"Unknown instruction classes: {sorted(unknown)}")
+    total = sum(fractions.values())
+    if total <= 0.0:
+        raise ConfigurationError("Mix must have positive total weight")
+    return InstructionMix({
+        by_value[name]: value / total
+        for name, value in fractions.items()
+    })

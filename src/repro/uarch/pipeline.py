@@ -1,0 +1,153 @@
+"""Interval-based EV6 activity model.
+
+Instead of cycle-accurate simulation (PTscalar's job), the model works at
+the interval level: for each sampling interval the active phase's
+instruction mix, IPC demand, and locality produce a retired-IPC estimate
+and per-functional-unit activity factors in [0, 1].  The mapping encodes
+EV6 structure: four-wide issue, one FP adder and one FP multiplier pipe,
+two memory ports, caches fed by fetch/load traffic, and L2 arrays fed by
+miss traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..errors import ConfigurationError
+from .isa import InstructionClass as IC
+from .programs import Phase, SyntheticProgram
+
+
+@dataclass(frozen=True)
+class Ev6Machine:
+    """Machine widths and penalties.
+
+    Attributes:
+        issue_width: Sustained issue/retire width, instructions/cycle.
+        int_lanes: Integer ALU lanes.
+        fp_add_lanes: FP adder pipes.
+        fp_mul_lanes: FP multiplier pipes.
+        mem_ports: Load/store ports.
+        miss_penalty: Average stall factor coefficient for cache misses.
+    """
+
+    issue_width: float = 4.0
+    int_lanes: float = 4.0
+    fp_add_lanes: float = 1.0
+    fp_mul_lanes: float = 1.0
+    mem_ports: float = 2.0
+    miss_penalty: float = 4.0
+
+    def __post_init__(self) -> None:
+        for name in ("issue_width", "int_lanes", "fp_add_lanes",
+                     "fp_mul_lanes", "mem_ports"):
+            if getattr(self, name) <= 0.0:
+                raise ConfigurationError(f"{name} must be positive")
+        if self.miss_penalty < 0.0:
+            raise ConfigurationError("miss_penalty must be >= 0")
+
+
+@dataclass
+class IntervalActivity:
+    """Activity of one sampling interval.
+
+    Attributes:
+        time: Interval end time, s.
+        ipc: Retired instructions per cycle.
+        activities: Per-EV6-unit activity factor in [0, 1].
+    """
+
+    time: float
+    ipc: float
+    activities: Dict[str, float] = field(default_factory=dict)
+
+
+class ActivityModel:
+    """Maps program phases onto per-unit activity factors."""
+
+    def __init__(self, machine: Ev6Machine = None):
+        self.machine = machine or Ev6Machine()
+
+    def effective_ipc(self, phase: Phase) -> float:
+        """Width- and miss-limited retired IPC for a phase."""
+        machine = self.machine
+        miss_rate = (1.0 - phase.locality) * phase.mix.memory_fraction
+        stall = 1.0 / (1.0 + machine.miss_penalty * miss_rate)
+        structural = machine.issue_width
+        # Structural limits per class: can't retire more FP adds per
+        # cycle than adder pipes, etc.
+        mix = phase.mix
+        for fraction, lanes in (
+                (mix.fraction(IC.FP_ADD), machine.fp_add_lanes),
+                (mix.fraction(IC.FP_MUL), machine.fp_mul_lanes),
+                (mix.memory_fraction, machine.mem_ports),
+                (mix.int_fraction, machine.int_lanes)):
+            if fraction > 0.0:
+                structural = min(structural, lanes / fraction)
+        return min(phase.ipc_demand, structural) * stall
+
+    def unit_activities(self, phase: Phase) -> Dict[str, float]:
+        """Per-unit activity factors in [0, 1] for a phase."""
+        machine = self.machine
+        ipc = self.effective_ipc(phase)
+        mix = phase.mix
+        miss_rate = (1.0 - phase.locality) * mix.memory_fraction
+        throughput = {
+            klass: ipc * mix.fraction(klass) for klass in IC
+        }
+        mem_ops = throughput[IC.LOAD] + throughput[IC.STORE]
+        int_ops = throughput[IC.INT_ALU] + throughput[IC.INT_MUL]
+        fp_ops = throughput[IC.FP_ADD] + throughput[IC.FP_MUL]
+        miss_traffic = ipc * miss_rate
+
+        def clip(value: float) -> float:
+            return min(max(value, 0.0), 1.0)
+
+        activities = {
+            # Integer cluster.
+            "IntExec": clip(int_ops / machine.int_lanes),
+            "IntReg": clip((int_ops + mem_ops) / machine.issue_width),
+            "IntQ": clip((int_ops + mem_ops) / machine.issue_width),
+            "IntMap": clip(ipc / machine.issue_width),
+            # FP cluster.
+            "FPAdd": clip(throughput[IC.FP_ADD] / machine.fp_add_lanes),
+            "FPMul": clip(throughput[IC.FP_MUL] / machine.fp_mul_lanes),
+            "FPReg": clip(fp_ops / machine.issue_width),
+            "FPQ": clip(fp_ops / machine.issue_width),
+            "FPMap": clip(fp_ops / machine.issue_width),
+            # Memory machinery.
+            "LdStQ": clip(mem_ops / machine.mem_ports),
+            "Dcache": clip(mem_ops / machine.mem_ports),
+            "DTB": clip(mem_ops / machine.mem_ports),
+            # Front end.
+            "Icache": clip(ipc / machine.issue_width),
+            "ITB": clip(ipc / machine.issue_width),
+            "Bpred": clip(throughput[IC.BRANCH]
+                          / (machine.issue_width / 2.0)),
+            # L2 arrays see miss traffic only.
+            "L2": clip(miss_traffic / 1.0),
+            "L2_left": clip(miss_traffic / 2.0),
+            "L2_right": clip(miss_traffic / 2.0),
+        }
+        return activities
+
+    def simulate(self, program: SyntheticProgram,
+                 sample_interval: float = 0.01,
+                 ) -> List[IntervalActivity]:
+        """Sample per-unit activities over the whole program."""
+        if sample_interval <= 0.0:
+            raise ConfigurationError("sample_interval must be positive")
+        if sample_interval > program.duration:
+            raise ConfigurationError(
+                "sample_interval exceeds the program duration")
+        steps = int(round(program.duration / sample_interval))
+        intervals: List[IntervalActivity] = []
+        for step in range(1, steps + 1):
+            t = step * sample_interval
+            phase = program.phase_at(t)
+            intervals.append(IntervalActivity(
+                time=t,
+                ipc=self.effective_ipc(phase),
+                activities=self.unit_activities(phase)))
+        return intervals

@@ -1,0 +1,115 @@
+"""Activity-to-power conversion and trace emission.
+
+Per-unit dynamic power is the classic activity-proportional model:
+
+    P_unit(t) = peak_unit * (idle_fraction + (1 - idle_fraction) * a(t))
+
+with ``a(t)`` the activity factor from the pipeline model and
+``idle_fraction`` the clock-tree/sequencing floor that burns even when a
+unit does no useful work.  Peak powers default to area-proportional
+values over the EV6 floorplan, scaled to a total peak budget — the knob
+that aligns the simulator with the calibrated benchmark profiles.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..geometry import Floorplan, alpha21264_floorplan
+from ..power import PowerTrace
+from .pipeline import ActivityModel, Ev6Machine
+from .programs import SyntheticProgram
+
+#: Relative peak power density by unit (per unit area): execution units
+#: switch much harder than SRAM arrays.
+_RELATIVE_DENSITY: Dict[str, float] = {
+    "IntExec": 3.0, "IntReg": 2.6, "IntQ": 2.0, "IntMap": 1.8,
+    "FPAdd": 2.8, "FPMul": 2.8, "FPReg": 2.4, "FPQ": 1.8, "FPMap": 1.6,
+    "LdStQ": 2.4, "DTB": 1.6, "ITB": 1.6, "Bpred": 1.8,
+    "Icache": 1.0, "Dcache": 1.0,
+    "L2": 0.35, "L2_left": 0.35, "L2_right": 0.35,
+}
+
+
+class UnitPowerModel:
+    """Per-unit peak dynamic powers with an idle floor.
+
+    Attributes:
+        peak_power: Unit name -> peak dynamic power, W (at activity 1).
+        idle_fraction: Share of peak burned at zero activity.
+    """
+
+    def __init__(self, peak_power: Mapping[str, float],
+                 idle_fraction: float = 0.12):
+        if not peak_power:
+            raise ConfigurationError("peak_power must not be empty")
+        bad = {u: p for u, p in peak_power.items() if p < 0.0}
+        if bad:
+            raise ConfigurationError(f"Negative peak powers: {bad}")
+        if not (0.0 <= idle_fraction < 1.0):
+            raise ConfigurationError(
+                f"idle_fraction must be in [0, 1), got {idle_fraction}")
+        self.peak_power: Dict[str, float] = dict(peak_power)
+        self.idle_fraction = idle_fraction
+
+    @classmethod
+    def for_floorplan(cls, floorplan: Optional[Floorplan] = None,
+                      total_peak: float = 70.0,
+                      idle_fraction: float = 0.12) -> "UnitPowerModel":
+        """Area x relative-density peaks, scaled to ``total_peak`` watts."""
+        if total_peak <= 0.0:
+            raise ConfigurationError("total_peak must be positive")
+        floorplan = floorplan or alpha21264_floorplan()
+        raw = {
+            unit.name: unit.area
+            * _RELATIVE_DENSITY.get(unit.name, 1.0)
+            for unit in floorplan
+        }
+        scale = total_peak / sum(raw.values())
+        return cls({name: value * scale for name, value in raw.items()},
+                   idle_fraction=idle_fraction)
+
+    @property
+    def total_peak(self) -> float:
+        """Sum of unit peaks, W."""
+        return sum(self.peak_power.values())
+
+    def power(self, unit: str, activity: float) -> float:
+        """Dynamic power of one unit at an activity factor."""
+        if unit not in self.peak_power:
+            raise ConfigurationError(f"No peak power for unit {unit!r}")
+        if not (0.0 <= activity <= 1.0):
+            raise ConfigurationError(
+                f"activity must be in [0, 1], got {activity}")
+        peak = self.peak_power[unit]
+        return peak * (self.idle_fraction
+                       + (1.0 - self.idle_fraction) * activity)
+
+
+def simulate_power_trace(
+    program: SyntheticProgram,
+    power_model: Optional[UnitPowerModel] = None,
+    machine: Optional[Ev6Machine] = None,
+    sample_interval: float = 0.01,
+) -> PowerTrace:
+    """Run the full PTscalar-substitute pipeline for one program.
+
+    Returns a :class:`repro.power.PowerTrace` whose ``max_profile()`` is
+    ready for :func:`repro.core.build_cooling_problem` — the complete
+    Figure 5 front end.
+    """
+    power_model = power_model or UnitPowerModel.for_floorplan()
+    activity_model = ActivityModel(machine)
+    intervals = activity_model.simulate(program, sample_interval)
+
+    unit_names = sorted(power_model.peak_power)
+    times = np.array([interval.time for interval in intervals])
+    samples = np.empty((len(intervals), len(unit_names)))
+    for row, interval in enumerate(intervals):
+        for col, unit in enumerate(unit_names):
+            activity = interval.activities.get(unit, 0.0)
+            samples[row, col] = power_model.power(unit, activity)
+    return PowerTrace(program.name, unit_names, times, samples)

@@ -1,0 +1,139 @@
+"""Synthetic phase-structured programs for the eight MiBench benchmarks.
+
+Each program is a sequence of phases; a phase carries an instruction
+mix, a base IPC demand, and a cache-locality parameter.  The mixes follow
+the benchmarks' published characters: BitCount and Quicksort are integer
+kernels, FFT and Susan lean on the FP units, CRC32 and Dijkstra stream
+memory, Basicmath and Stringsearch sit in between.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..errors import ConfigurationError
+from .isa import InstructionMix, make_mix
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One program phase.
+
+    Attributes:
+        name: Phase label (for reports).
+        duration: Phase length in seconds of simulated wall time.
+        mix: Instruction mix during the phase.
+        ipc_demand: Instructions per cycle the program could retire with
+            unlimited resources (the machine clips it to its width).
+        locality: Cache locality in [0, 1]; low locality raises miss
+            rates and L2/memory activity while throttling the core.
+    """
+
+    name: str
+    duration: float
+    mix: InstructionMix
+    ipc_demand: float
+    locality: float
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0.0:
+            raise ConfigurationError(
+                f"Phase {self.name!r}: duration must be positive")
+        if self.ipc_demand <= 0.0:
+            raise ConfigurationError(
+                f"Phase {self.name!r}: ipc_demand must be positive")
+        if not (0.0 <= self.locality <= 1.0):
+            raise ConfigurationError(
+                f"Phase {self.name!r}: locality must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class SyntheticProgram:
+    """A named sequence of phases."""
+
+    name: str
+    phases: List[Phase]
+
+    def __post_init__(self) -> None:
+        if not self.phases:
+            raise ConfigurationError(
+                f"Program {self.name!r} needs at least one phase")
+
+    @property
+    def duration(self) -> float:
+        """Total simulated run time, s."""
+        return sum(phase.duration for phase in self.phases)
+
+    def phase_at(self, t: float) -> Phase:
+        """Phase active at simulated time ``t`` (clamped to the span)."""
+        if t <= 0.0:
+            return self.phases[0]
+        elapsed = 0.0
+        for phase in self.phases:
+            elapsed += phase.duration
+            if t <= elapsed:
+                return phase
+        return self.phases[-1]
+
+
+# Characteristic mixes.
+_INT_KERNEL = make_mix(int_alu=0.52, int_mul=0.04, load=0.18,
+                       store=0.08, branch=0.18)
+_FP_KERNEL = make_mix(fp_add=0.24, fp_mul=0.20, int_alu=0.22,
+                      load=0.20, store=0.08, branch=0.06)
+_MEM_STREAM = make_mix(int_alu=0.30, load=0.34, store=0.14,
+                       branch=0.18, int_mul=0.04)
+_MIXED = make_mix(int_alu=0.34, int_mul=0.04, fp_add=0.10, fp_mul=0.08,
+                  load=0.22, store=0.08, branch=0.14)
+_CONTROL = make_mix(int_alu=0.40, load=0.22, store=0.06, branch=0.28,
+                    int_mul=0.04)
+
+
+def mibench_programs() -> Dict[str, SyntheticProgram]:
+    """The eight MiBench-style synthetic programs."""
+    return {
+        "basicmath": SyntheticProgram("basicmath", [
+            Phase("setup", 0.5, _CONTROL, ipc_demand=1.6, locality=0.9),
+            Phase("solve", 2.0, _MIXED, ipc_demand=2.2, locality=0.85),
+            Phase("reduce", 0.5, _MEM_STREAM, ipc_demand=1.8,
+                  locality=0.8),
+        ]),
+        "bitcount": SyntheticProgram("bitcount", [
+            Phase("warm", 0.3, _CONTROL, ipc_demand=2.0, locality=0.95),
+            Phase("count", 2.7, _INT_KERNEL, ipc_demand=3.4,
+                  locality=0.98),
+        ]),
+        "crc32": SyntheticProgram("crc32", [
+            Phase("stream", 3.0, _MEM_STREAM, ipc_demand=1.6,
+                  locality=0.6),
+        ]),
+        "djkstra": SyntheticProgram("djkstra", [
+            Phase("build", 0.5, _MEM_STREAM, ipc_demand=1.8,
+                  locality=0.7),
+            Phase("relax", 2.5, _MEM_STREAM, ipc_demand=2.6,
+                  locality=0.55),
+        ]),
+        "fft": SyntheticProgram("fft", [
+            Phase("bitrev", 0.4, _MEM_STREAM, ipc_demand=1.8,
+                  locality=0.7),
+            Phase("butterfly", 2.6, _FP_KERNEL, ipc_demand=3.0,
+                  locality=0.85),
+        ]),
+        "quicksort": SyntheticProgram("quicksort", [
+            Phase("partition", 2.2, _INT_KERNEL, ipc_demand=3.2,
+                  locality=0.8),
+            Phase("insertion", 0.8, _INT_KERNEL, ipc_demand=3.0,
+                  locality=0.95),
+        ]),
+        "stringsearch": SyntheticProgram("stringsearch", [
+            Phase("scan", 2.0, _CONTROL, ipc_demand=2.2, locality=0.9),
+            Phase("match", 1.0, _MIXED, ipc_demand=1.8, locality=0.85),
+        ]),
+        "susan": SyntheticProgram("susan", [
+            Phase("load", 0.4, _MEM_STREAM, ipc_demand=1.8,
+                  locality=0.75),
+            Phase("filter", 2.6, _FP_KERNEL, ipc_demand=3.1,
+                  locality=0.9),
+        ]),
+    }

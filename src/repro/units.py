@@ -1,0 +1,57 @@
+"""Unit conversion helpers.
+
+The paper mixes units freely (RPM in figures, rad/s in equations, Celsius in
+result tables, Kelvin in the thermal model).  Internally the library is
+strictly SI: meters, watts, kelvin, rad/s.  These helpers live at the
+boundaries — configuration parsing, reporting, and presets.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Zero Celsius expressed in kelvin.
+ZERO_CELSIUS_K = 273.15
+
+#: One revolution per minute expressed in rad/s.
+RPM_TO_RAD_S = 2.0 * math.pi / 60.0
+
+
+def celsius_to_kelvin(temp_c: float) -> float:
+    """Convert a temperature from degrees Celsius to kelvin."""
+    return temp_c + ZERO_CELSIUS_K
+
+
+def kelvin_to_celsius(temp_k: float) -> float:
+    """Convert a temperature from kelvin to degrees Celsius."""
+    return temp_k - ZERO_CELSIUS_K
+
+
+def rpm_to_rad_s(rpm: float) -> float:
+    """Convert a rotational speed from RPM to rad/s."""
+    return rpm * RPM_TO_RAD_S
+
+
+def rad_s_to_rpm(rad_s: float) -> float:
+    """Convert a rotational speed from rad/s to RPM."""
+    return rad_s / RPM_TO_RAD_S
+
+
+def mm_to_m(mm: float) -> float:
+    """Convert a length from millimeters to meters."""
+    return mm * 1e-3
+
+
+def m_to_mm(m: float) -> float:
+    """Convert a length from meters to millimeters."""
+    return m * 1e3
+
+
+def um_to_m(um: float) -> float:
+    """Convert a length from micrometers to meters."""
+    return um * 1e-6
+
+
+def m_to_um(m: float) -> float:
+    """Convert a length from meters to micrometers."""
+    return m * 1e6

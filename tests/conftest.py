@@ -1,0 +1,155 @@
+"""Shared fixtures.
+
+Thermal models are expensive to assemble, so the fixtures build one small
+(8x8 grid) TEC system and one matching baseline system per session and
+share them; tests that mutate state build their own instances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import build_cooling_problem, mibench_profiles
+from repro.core import Evaluator
+from repro.geometry import (
+    CellCoverage,
+    EV6_CACHE_UNITS,
+    Grid,
+    alpha21264_floorplan,
+)
+from repro.leakage import UnitLeakageSpec, build_cell_leakage
+from repro.leakage.calibrate import (
+    calibrate_from_samples,
+    mcpat_substitute_samples,
+)
+from repro.materials import baseline_package_stack, default_package_stack
+from repro.power import TraceGenerator
+from repro.tec import TECArray, coverage_mask_excluding, default_tec_device
+from repro.thermal import build_package_model
+
+#: Grid resolution used throughout the test suite (speed/fidelity balance).
+TEST_RESOLUTION = 8
+
+
+@pytest.fixture(scope="session")
+def floorplan():
+    """The embedded EV6 floorplan."""
+    return alpha21264_floorplan()
+
+
+@pytest.fixture(scope="session")
+def grid(floorplan):
+    """An 8x8 grid over the EV6 die."""
+    return Grid.for_floorplan(floorplan, TEST_RESOLUTION, TEST_RESOLUTION)
+
+
+@pytest.fixture(scope="session")
+def coverage(floorplan, grid):
+    """Unit/cell coverage for the shared grid."""
+    return CellCoverage(floorplan, grid)
+
+
+@pytest.fixture(scope="session")
+def tec_mask(coverage):
+    """TEC deployment mask excluding the I/D caches."""
+    return coverage_mask_excluding(coverage, EV6_CACHE_UNITS)
+
+
+@pytest.fixture(scope="session")
+def tec_device():
+    """The default thin-film TEC module."""
+    return default_tec_device()
+
+
+@pytest.fixture(scope="session")
+def tec_array(grid, tec_device, tec_mask):
+    """TEC array over everything but the caches."""
+    return TECArray(grid, tec_device, tec_mask)
+
+
+@pytest.fixture(scope="session")
+def tec_model(grid, tec_array):
+    """Assembled TEC-equipped package model (shared, read-only)."""
+    return build_package_model(default_package_stack(), grid,
+                               tec_array=tec_array)
+
+
+@pytest.fixture(scope="session")
+def baseline_model(grid):
+    """Assembled no-TEC baseline package model (shared, read-only)."""
+    return build_package_model(baseline_package_stack(), grid)
+
+
+@pytest.fixture(scope="session")
+def leakage(floorplan, coverage):
+    """McPAT-substitute leakage model on the shared grid."""
+    calibration = calibrate_from_samples(mcpat_substitute_samples(floorplan))
+    return build_cell_leakage(
+        coverage,
+        [UnitLeakageSpec(name, power)
+         for name, power in calibration.unit_nominal.items()],
+        calibration.beta, calibration.t_nominal)
+
+
+@pytest.fixture(scope="session")
+def profiles():
+    """The eight MiBench power profiles."""
+    return mibench_profiles()
+
+
+@pytest.fixture(scope="session")
+def basicmath_power(coverage, profiles):
+    """Basicmath per-cell dynamic power map."""
+    return coverage.power_map(profiles["basicmath"].as_dict())
+
+
+@pytest.fixture(scope="session")
+def quicksort_power(coverage, profiles):
+    """Quicksort (heavy) per-cell dynamic power map."""
+    return coverage.power_map(profiles["quicksort"].as_dict())
+
+
+@pytest.fixture(scope="session")
+def tec_problem(profiles):
+    """TEC-equipped cooling problem for Basicmath at test resolution."""
+    return build_cooling_problem(profiles["basicmath"],
+                                 grid_resolution=TEST_RESOLUTION)
+
+
+@pytest.fixture(scope="session")
+def baseline_problem(profiles):
+    """No-TEC cooling problem for Basicmath at test resolution."""
+    return build_cooling_problem(profiles["basicmath"], with_tec=False,
+                                 grid_resolution=TEST_RESOLUTION)
+
+
+@pytest.fixture(scope="session")
+def heavy_tec_problem(tec_problem, profiles):
+    """TEC problem retargeted at the heavy Quicksort profile."""
+    return tec_problem.with_profile(profiles["quicksort"])
+
+
+@pytest.fixture(scope="session")
+def heavy_baseline_problem(baseline_problem, profiles):
+    """Baseline problem retargeted at the heavy Quicksort profile."""
+    return baseline_problem.with_profile(profiles["quicksort"])
+
+
+@pytest.fixture()
+def evaluator(tec_problem):
+    """Fresh evaluator per test (caches are per-instance)."""
+    return Evaluator(tec_problem)
+
+
+@pytest.fixture(scope="session")
+def trace_generator():
+    """Deterministic trace generator."""
+    return TraceGenerator(seed=42)
+
+
+@pytest.fixture(scope="session")
+def uniform_power(grid):
+    """A flat 40 W power map (for symmetry/energy-balance tests)."""
+    cells = grid.cell_count
+    return np.full(cells, 40.0 / cells)

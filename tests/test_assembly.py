@@ -1,0 +1,262 @@
+"""Package model assembly: structure, energy balance, physical sanity."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.materials import baseline_package_stack, default_package_stack
+from repro.tec import TECArray
+from repro.thermal import (
+    NodeKind,
+    PackageModelConfig,
+    build_package_model,
+    solve_steady_state,
+)
+
+
+class TestStructure:
+    def test_node_counts(self, grid, tec_model, tec_array):
+        covered = tec_array.covered_cell_count
+        uncovered = grid.cell_count - covered
+        cells = grid.cell_count
+        # pcb + chip + tim1 + (3*covered + filler) + spreader + tim2
+        # + sink, plus 4 periphery nodes each for spreader/tim2/sink.
+        expected = (cells * 3            # pcb, chip, tim1
+                    + 3 * covered + uncovered
+                    + cells * 3          # spreader, tim2, sink
+                    + 3 * 4)             # periphery rings
+        assert tec_model.network.node_count == expected
+
+    def test_baseline_has_no_tec_nodes(self, baseline_model):
+        net = baseline_model.network
+        assert net.nodes_of_kind(NodeKind.TEC_ABS) == []
+        assert net.nodes_of_kind(NodeKind.TEC_GEN) == []
+        assert net.nodes_of_kind(NodeKind.TEC_REJ) == []
+
+    def test_tec_nodes_match_coverage(self, tec_model, tec_array):
+        mask = tec_array.coverage_mask
+        assert (tec_model.tec_abs_nodes[mask] >= 0).all()
+        assert (tec_model.tec_abs_nodes[~mask] == -1).all()
+        assert (tec_model.tec_gen_nodes[mask] >= 0).all()
+        assert (tec_model.tec_rej_nodes[mask] >= 0).all()
+
+    def test_chip_nodes_cover_grid(self, grid, tec_model):
+        assert tec_model.chip_nodes.shape == (grid.cell_count,)
+        assert len(set(tec_model.chip_nodes.tolist())) == grid.cell_count
+
+    def test_periphery_only_for_wide_layers(self, tec_model):
+        net = tec_model.network
+        periphery_layers = {net.info(i).layer
+                            for i in net.nodes_of_kind(NodeKind.PERIPHERY)}
+        assert periphery_layers == {"spreader", "tim2", "heatsink"}
+
+    def test_static_matrix_symmetric(self, tec_model):
+        m = tec_model.network.static_matrix
+        asym = abs(m - m.T).max()
+        assert asym < 1e-12
+
+    def test_requires_matching_tec_array(self, grid):
+        with pytest.raises(ConfigurationError, match="TECArray is required"):
+            build_package_model(default_package_stack(), grid)
+
+    def test_rejects_array_on_baseline(self, grid, tec_array):
+        with pytest.raises(ConfigurationError, match="remove the TECArray"):
+            build_package_model(baseline_package_stack(), grid,
+                                tec_array=tec_array)
+
+    def test_grid_must_match_chip(self, tec_array, tec_device):
+        from repro.geometry import Grid
+        wrong = Grid(0.01, 0.01, 8, 8)
+        with pytest.raises(ConfigurationError, match="match the chip"):
+            build_package_model(default_package_stack(), wrong,
+                                tec_array=TECArray(wrong, tec_device))
+
+
+class TestOverlays:
+    def test_shapes(self, grid, tec_model, uniform_power):
+        zeros = np.zeros(grid.cell_count)
+        diag, rhs = tec_model.overlays(262.0, 1.0, uniform_power,
+                                       zeros, zeros)
+        n = tec_model.network.node_count
+        assert diag.shape == (n,)
+        assert rhs.shape == (n,)
+
+    def test_chip_power_lands_on_chip_nodes(self, grid, tec_model,
+                                            uniform_power):
+        zeros = np.zeros(grid.cell_count)
+        _, rhs = tec_model.overlays(262.0, 0.0, uniform_power, zeros,
+                                    zeros)
+        chip_sum = rhs[tec_model.chip_nodes].sum()
+        assert chip_sum == pytest.approx(uniform_power.sum())
+
+    def test_joule_lands_on_gen_nodes(self, grid, tec_model, tec_array,
+                                      uniform_power):
+        zeros = np.zeros(grid.cell_count)
+        current = 2.0
+        _, rhs0 = tec_model.overlays(262.0, 0.0, uniform_power, zeros,
+                                     zeros)
+        _, rhs2 = tec_model.overlays(262.0, current, uniform_power,
+                                     zeros, zeros)
+        mask = tec_array.coverage_mask
+        gen_nodes = tec_model.tec_gen_nodes[mask]
+        joule = (rhs2 - rhs0)[gen_nodes].sum()
+        expected = tec_array.total_resistance * current ** 2
+        assert joule == pytest.approx(expected)
+
+    def test_peltier_diagonals_antisymmetric(self, grid, tec_model,
+                                             tec_array, uniform_power):
+        zeros = np.zeros(grid.cell_count)
+        current = 1.5
+        diag, _ = tec_model.overlays(262.0, current, uniform_power,
+                                     zeros, zeros)
+        mask = tec_array.coverage_mask
+        abs_sum = diag[tec_model.tec_abs_nodes[mask]].sum()
+        rej_sum = diag[tec_model.tec_rej_nodes[mask]].sum()
+        assert abs_sum == pytest.approx(-rej_sum)
+        assert abs_sum > 0.0
+
+    def test_leak_slope_subtracts_from_chip_diag(self, grid, tec_model,
+                                                 uniform_power):
+        slope = np.full(grid.cell_count, 0.01)
+        const = np.zeros(grid.cell_count)
+        diag, _ = tec_model.overlays(262.0, 0.0, uniform_power, slope,
+                                     const)
+        assert diag[tec_model.chip_nodes] == pytest.approx(-0.01)
+
+    def test_current_on_baseline_rejected(self, grid, baseline_model,
+                                          uniform_power):
+        zeros = np.zeros(grid.cell_count)
+        with pytest.raises(ConfigurationError, match="without TECs"):
+            baseline_model.overlays(262.0, 1.0, uniform_power, zeros,
+                                    zeros)
+
+    def test_negative_sink_heat_rejected(self, grid, tec_model,
+                                         uniform_power):
+        zeros = np.zeros(grid.cell_count)
+        with pytest.raises(ConfigurationError):
+            tec_model.overlays(262.0, 0.0, uniform_power, zeros, zeros,
+                               sink_heat=-1.0)
+
+    def test_shape_validation(self, tec_model):
+        with pytest.raises(ConfigurationError):
+            tec_model.overlays(262.0, 0.0, np.zeros(3), np.zeros(3),
+                               np.zeros(3))
+
+
+class TestPhysicalBehaviour:
+    def test_energy_balance_no_leakage(self, grid, tec_model,
+                                       uniform_power):
+        # All injected power (chip + TEC Joule+Peltier) leaves through
+        # the sink and board paths.
+        omega, current = 262.0, 1.0
+        result = solve_steady_state(tec_model, omega, current,
+                                    uniform_power, leakage=None)
+        injected = uniform_power.sum() + result.tec_power
+        ambient = tec_model.config.ambient
+        g_sink = tec_model.sink_conductance.conductance(omega)
+        sink_nodes = tec_model._sink_amb_nodes
+        weights = tec_model._sink_amb_weights
+        sink_out = float(np.sum(
+            g_sink * weights * (result.temperatures[sink_nodes]
+                                - ambient)))
+        board_out = float(np.sum(
+            tec_model._static_amb_g * (result.temperatures - ambient)))
+        assert sink_out + board_out == pytest.approx(injected, rel=1e-6)
+
+    def test_monotone_in_fan_speed(self, grid, tec_model, uniform_power,
+                                   leakage):
+        temps = []
+        for omega in (100.0, 250.0, 450.0):
+            result = solve_steady_state(tec_model, omega, 0.0,
+                                        uniform_power, leakage)
+            temps.append(result.max_chip_temperature)
+        assert temps[0] > temps[1] > temps[2]
+
+    def test_monotone_in_power(self, grid, tec_model, leakage):
+        cells = grid.cell_count
+        temps = []
+        for total in (20.0, 40.0, 60.0):
+            result = solve_steady_state(
+                tec_model, 300.0, 0.0, np.full(cells, total / cells),
+                leakage)
+            temps.append(result.max_chip_temperature)
+        assert temps[0] < temps[1] < temps[2]
+
+    def test_uniform_power_symmetric_field(self, grid, tec_model,
+                                           uniform_power):
+        # A uniform power map on a symmetric die yields a temperature
+        # field symmetric under x-mirroring (up to solver tolerance).
+        result = solve_steady_state(tec_model, 262.0, 0.0, uniform_power,
+                                    leakage=None)
+        field = result.chip_temperatures.reshape(grid.ny, grid.nx)
+        assert np.allclose(field, field[:, ::-1], atol=1e-6)
+
+    def test_chip_hotter_than_sink(self, grid, tec_model, uniform_power):
+        result = solve_steady_state(tec_model, 262.0, 0.0, uniform_power,
+                                    leakage=None)
+        sink = tec_model.layer_temperatures(result.temperatures,
+                                            "heatsink")
+        assert result.chip_temperatures.mean() > sink.mean()
+
+    def test_everything_above_ambient_without_tec(self, grid, tec_model,
+                                                  uniform_power):
+        result = solve_steady_state(tec_model, 262.0, 0.0, uniform_power,
+                                    leakage=None)
+        assert (result.temperatures
+                > tec_model.config.ambient - 1e-9).all()
+
+    def test_tec_cools_hotspots_below_passive(self, grid, tec_model,
+                                              quicksort_power, leakage):
+        # On a hotspot-structured workload with leakage feedback, driving
+        # the TECs lowers the peak die temperature (the paper's premise).
+        # A *uniform* low-density map would not benefit: pumping pays off
+        # where local power density is high.
+        passive = solve_steady_state(tec_model, 262.0, 0.0,
+                                     quicksort_power, leakage)
+        active = solve_steady_state(tec_model, 262.0, 1.5,
+                                    quicksort_power, leakage)
+        assert active.max_chip_temperature < passive.max_chip_temperature
+
+    def test_tec_heats_hot_side(self, grid, tec_model, tec_array,
+                                uniform_power):
+        passive = solve_steady_state(tec_model, 262.0, 0.0,
+                                     uniform_power, leakage=None)
+        active = solve_steady_state(tec_model, 262.0, 2.0,
+                                    uniform_power, leakage=None)
+        _, hot_passive = tec_model.tec_face_temperatures(
+            passive.temperatures)
+        _, hot_active = tec_model.tec_face_temperatures(
+            active.temperatures)
+        mask = tec_array.coverage_mask
+        assert hot_active[mask].mean() > hot_passive[mask].mean()
+
+    def test_sink_heat_raises_temperature(self, grid, tec_model,
+                                          uniform_power):
+        base = solve_steady_state(tec_model, 262.0, 0.0, uniform_power,
+                                  leakage=None)
+        heated = solve_steady_state(tec_model, 262.0, 0.0, uniform_power,
+                                    leakage=None, sink_heat=10.0)
+        assert heated.max_chip_temperature > base.max_chip_temperature
+
+    def test_baseline_matches_passive_tec_stack(self, grid, tec_model,
+                                                baseline_model,
+                                                uniform_power):
+        # Section 6.1 fairness: at I = 0 the baseline (merged TIM1)
+        # behaves like the TEC stack within a fraction of a kelvin.
+        tec = solve_steady_state(tec_model, 262.0, 0.0, uniform_power,
+                                 leakage=None)
+        base = solve_steady_state(baseline_model, 262.0, 0.0,
+                                  uniform_power, leakage=None)
+        assert base.max_chip_temperature == pytest.approx(
+            tec.max_chip_temperature, abs=1.0)
+
+
+class TestConfig:
+    def test_invalid_config(self):
+        with pytest.raises(ConfigurationError):
+            PackageModelConfig(ambient=-1.0)
+        with pytest.raises(ConfigurationError):
+            PackageModelConfig(pcb_ambient_conductance=-0.1)
+        with pytest.raises(ConfigurationError):
+            PackageModelConfig(temperature_floor=600.0,
+                               runaway_ceiling=500.0)

@@ -1,0 +1,93 @@
+"""Baseline controllers: variable-omega, fixed-omega, TEC-only."""
+
+import pytest
+
+from repro import (
+    run_fixed_fan_baseline,
+    run_oftec,
+    run_tec_only,
+    run_variable_fan_baseline,
+)
+from repro.constants import OMEGA_FIXED_BASELINE
+from repro.errors import ConfigurationError
+
+
+class TestVariableFan:
+    def test_feasible_on_light_workload(self, baseline_problem):
+        result = run_variable_fan_baseline(baseline_problem)
+        assert result.feasible
+        assert result.current == 0.0
+        assert result.controller == "variable-omega"
+
+    def test_infeasible_on_heavy_workload(self, heavy_baseline_problem):
+        # The paper's headline: the no-TEC baseline cannot cool the
+        # heavy benchmarks even at full fan speed.
+        result = run_variable_fan_baseline(heavy_baseline_problem)
+        assert not result.feasible
+
+    def test_rejects_tec_problem(self, tec_problem):
+        with pytest.raises(ConfigurationError):
+            run_variable_fan_baseline(tec_problem)
+
+    def test_oftec_beats_baseline_power(self, tec_problem,
+                                        baseline_problem):
+        # Figure 6(f): on comparable benchmarks OFTEC consumes less.
+        oftec = run_oftec(tec_problem)
+        baseline = run_variable_fan_baseline(baseline_problem)
+        assert oftec.feasible and baseline.feasible
+        assert oftec.total_power < baseline.total_power
+
+    def test_oftec_cooler_than_baseline(self, tec_problem,
+                                        baseline_problem):
+        # Figure 6(e): OFTEC also sits cooler at its cheaper point.
+        oftec = run_oftec(tec_problem)
+        baseline = run_variable_fan_baseline(baseline_problem)
+        assert oftec.max_chip_temperature < \
+            baseline.max_chip_temperature
+
+
+class TestFixedFan:
+    def test_pinned_speed(self, baseline_problem):
+        result = run_fixed_fan_baseline(baseline_problem)
+        assert result.omega == pytest.approx(OMEGA_FIXED_BASELINE)
+        assert result.controller == "fixed-omega"
+
+    def test_custom_speed(self, baseline_problem):
+        result = run_fixed_fan_baseline(baseline_problem, omega=300.0)
+        assert result.omega == pytest.approx(300.0)
+
+    def test_infeasible_on_heavy_workload(self, heavy_baseline_problem):
+        result = run_fixed_fan_baseline(heavy_baseline_problem)
+        assert not result.feasible
+
+    def test_more_power_than_variable(self, baseline_problem):
+        # 2000 RPM is more fan than the light workloads need.
+        fixed = run_fixed_fan_baseline(baseline_problem)
+        variable = run_variable_fan_baseline(baseline_problem)
+        assert fixed.total_power > variable.total_power
+
+    def test_rejects_tec_problem(self, tec_problem):
+        with pytest.raises(ConfigurationError):
+            run_fixed_fan_baseline(tec_problem)
+
+
+class TestTECOnly:
+    def test_runaway_on_light_workload(self, tec_problem):
+        # Section 6.2: without a fan, the TEC-only system cannot avoid
+        # thermal runaway even on the lightest benchmark.
+        result = run_tec_only(tec_problem)
+        assert result.runaway
+        assert not result.feasible
+        assert result.omega == 0.0
+
+    def test_runaway_on_heavy_workload(self, heavy_tec_problem):
+        result = run_tec_only(heavy_tec_problem)
+        assert result.runaway
+
+    def test_rejects_baseline_problem(self, baseline_problem):
+        with pytest.raises(ConfigurationError):
+            run_tec_only(baseline_problem)
+
+    def test_sample_count_validation(self, tec_problem):
+        with pytest.raises(ConfigurationError):
+            run_tec_only(tec_problem, current_samples=1)

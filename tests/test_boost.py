@@ -1,0 +1,84 @@
+"""Transient boost planning and its thermal effect."""
+
+import pytest
+
+from repro import run_oftec
+from repro.core import plan_transient_boost
+from repro.errors import ConfigurationError
+from repro.thermal import simulate_transient
+
+
+@pytest.fixture(scope="module")
+def oftec_result(tec_problem):
+    return run_oftec(tec_problem)
+
+
+class TestPlan:
+    def test_default_plus_one_amp(self, tec_problem, oftec_result):
+        plan = plan_transient_boost(tec_problem, oftec_result)
+        assert plan.base_current == pytest.approx(
+            oftec_result.current_star)
+        assert plan.boost_current == pytest.approx(
+            min(oftec_result.current_star + 1.0,
+                tec_problem.limits.i_tec_max))
+        assert plan.boost_duration == 1.0
+
+    def test_clamped_to_device_limit(self, tec_problem, oftec_result):
+        plan = plan_transient_boost(tec_problem, oftec_result,
+                                    extra_current=99.0)
+        assert plan.boost_current == tec_problem.limits.i_tec_max
+
+    def test_schedules(self, tec_problem, oftec_result):
+        plan = plan_transient_boost(tec_problem, oftec_result,
+                                    extra_current=1.0, duration=2.0)
+        current = plan.current_schedule()
+        assert current(0.5) == plan.boost_current
+        assert current(2.0) == plan.boost_current
+        assert current(2.1) == plan.base_current
+        omega = plan.omega_schedule()
+        assert omega(0.0) == omega(100.0) == plan.omega
+
+    def test_extra_current_property(self, tec_problem, oftec_result):
+        plan = plan_transient_boost(tec_problem, oftec_result,
+                                    extra_current=0.5)
+        assert plan.extra_current == pytest.approx(
+            min(0.5, tec_problem.limits.i_tec_max
+                - oftec_result.current_star))
+
+    def test_validation(self, tec_problem, baseline_problem,
+                        oftec_result):
+        with pytest.raises(ConfigurationError):
+            plan_transient_boost(tec_problem, oftec_result,
+                                 extra_current=-1.0)
+        with pytest.raises(ConfigurationError):
+            plan_transient_boost(tec_problem, oftec_result,
+                                 duration=0.0)
+        with pytest.raises(ConfigurationError):
+            plan_transient_boost(baseline_problem, oftec_result)
+
+
+class TestThermalEffect:
+    def test_boost_cools_faster_initially(self, tec_problem,
+                                          oftec_result):
+        # Starting from the warm steady state, the boosted schedule
+        # must pull the hotspot down faster than the steady current
+        # during the boost window (Peltier acts immediately).
+        plan = plan_transient_boost(tec_problem, oftec_result,
+                                    extra_current=1.0, duration=1.0)
+        model = tec_problem.model
+        steady = oftec_result.evaluation.steady
+        assert steady is not None
+        boosted = simulate_transient(
+            model, duration=1.0, dt=0.05, omega=plan.omega,
+            current=plan.current_schedule(),
+            dynamic_cell_power=tec_problem.dynamic_cell_power,
+            leakage=tec_problem.leakage,
+            initial_temperatures=steady.temperatures)
+        constant = simulate_transient(
+            model, duration=1.0, dt=0.05, omega=plan.omega,
+            current=plan.base_current,
+            dynamic_cell_power=tec_problem.dynamic_cell_power,
+            leakage=tec_problem.leakage,
+            initial_temperatures=steady.temperatures)
+        assert boosted.max_chip_temperature[-1] < \
+            constant.max_chip_temperature[-1]

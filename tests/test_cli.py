@@ -1,0 +1,89 @@
+"""Command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+        capsys.readouterr()
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert "repro" in capsys.readouterr().out
+
+    def test_unknown_benchmark_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["oftec", "--benchmark", "nope"])
+        capsys.readouterr()
+
+
+class TestProfilesCommand:
+    def test_lists_all_eight(self, capsys):
+        assert main(["profiles"]) == 0
+        out = capsys.readouterr().out
+        for name in ("basicmath", "bitcount", "crc32", "djkstra",
+                     "fft", "quicksort", "stringsearch", "susan"):
+            assert name in out
+
+
+class TestOftecCommand:
+    def test_text_output(self, capsys):
+        code = main(["oftec", "--benchmark", "basicmath",
+                     "--resolution", "6"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "omega*" in out
+        assert "meets T_max" in out
+
+    def test_json_output(self, capsys):
+        code = main(["oftec", "--benchmark", "crc32",
+                     "--resolution", "6", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["benchmark"] == "crc32"
+        assert payload["feasible"] is True
+        assert 0.0 < payload["omega_rpm"] <= 5000.0
+        assert 0.0 <= payload["i_tec_a"] <= 5.0
+        assert payload["total_power_w"] == pytest.approx(
+            payload["leakage_power_w"] + payload["tec_power_w"]
+            + payload["fan_power_w"], rel=1e-6)
+
+
+class TestSpiceCommand:
+    def test_netlist_to_stdout(self, capsys):
+        code = main(["spice", "--benchmark", "crc32",
+                     "--resolution", "4"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.startswith("*")
+        assert "VAMB amb 0 DC" in out
+        assert out.rstrip().endswith(".end")
+
+    def test_netlist_to_file(self, tmp_path, capsys):
+        path = tmp_path / "net.sp"
+        code = main(["spice", "--benchmark", "crc32",
+                     "--resolution", "4", "--output", str(path)])
+        assert code == 0
+        assert "written" in capsys.readouterr().out
+        text = path.read_text()
+        assert ".op" in text
+
+
+class TestSweepCommand:
+    def test_surfaces_printed(self, capsys):
+        code = main(["sweep", "--benchmark", "basicmath",
+                     "--resolution", "6", "--omega-points", "5",
+                     "--current-points", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "temperature surface" in out
+        assert "power surface" in out
+        assert "***" in out  # the runaway row

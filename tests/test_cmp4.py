@@ -1,0 +1,85 @@
+"""Quad-core CMP floorplan and its use through the whole stack."""
+
+import pytest
+
+from repro import build_cooling_problem, run_oftec
+from repro.core import ProblemLimits
+from repro.geometry import (
+    CMP4_CACHE_UNITS,
+    CellCoverage,
+    Grid,
+    cmp4_floorplan,
+    cmp4_unit_power,
+)
+from repro.geometry.cmp4 import CMP4_DIE_SIZE
+from repro.tec import coverage_mask_excluding
+
+
+class TestFloorplan:
+    def test_unit_count(self):
+        # 4 cores x 5 tiles + shared L2.
+        assert len(cmp4_floorplan()) == 21
+
+    def test_die_size(self):
+        box = cmp4_floorplan().bounding_box
+        assert box.width == pytest.approx(CMP4_DIE_SIZE)
+        assert box.height == pytest.approx(CMP4_DIE_SIZE)
+
+    def test_full_tiling(self):
+        assert cmp4_floorplan().coverage_fraction() == \
+            pytest.approx(1.0, abs=1e-9)
+
+    def test_cache_units_exist(self):
+        fp = cmp4_floorplan()
+        for name in CMP4_CACHE_UNITS:
+            assert name in fp
+
+    def test_cores_are_disjoint_clusters(self):
+        fp = cmp4_floorplan()
+        # core0 sits in the lower-left quadrant, core3 upper-right.
+        assert fp["core0_EXE"].rect.x2 <= CMP4_DIE_SIZE / 2 + 1e-9
+        assert fp["core3_EXE"].rect.x >= CMP4_DIE_SIZE / 2 - 1e-9
+
+
+class TestUnitPower:
+    def test_conserves_totals(self):
+        powers = cmp4_unit_power([10.0, 12.0, 0.0, 8.0], l2_power=4.0)
+        assert sum(powers.values()) == pytest.approx(34.0)
+
+    def test_idle_core_draws_nothing(self):
+        powers = cmp4_unit_power([10.0, 0.0, 0.0, 0.0])
+        assert powers["core1_EXE"] == 0.0
+        assert powers["core0_EXE"] > 0.0
+
+    def test_exe_hottest_tile(self):
+        powers = cmp4_unit_power([10.0, 10.0, 10.0, 10.0])
+        assert powers["core0_EXE"] > powers["core0_L1"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            cmp4_unit_power([1.0, 2.0])
+        with pytest.raises(ValueError):
+            cmp4_unit_power([1.0, 2.0, -1.0, 0.0])
+
+
+class TestEndToEnd:
+    def test_oftec_on_cmp(self):
+        # The whole pipeline works on a non-EV6 floorplan: asymmetric
+        # thread placement, caches excluded from TEC coverage.
+        floorplan = cmp4_floorplan()
+        grid = Grid.for_floorplan(floorplan, 8, 8)
+        coverage = CellCoverage(floorplan, grid)
+        mask = coverage_mask_excluding(coverage, CMP4_CACHE_UNITS)
+        problem = build_cooling_problem(
+            cmp4_unit_power([18.0, 18.0, 4.0, 4.0], l2_power=5.0),
+            name="cmp4-imbalanced",
+            floorplan=floorplan,
+            grid_resolution=8,
+            tec_coverage_mask=mask,
+            limits=ProblemLimits())
+        result = run_oftec(problem)
+        assert result.feasible
+        # The loaded cores define the hotspot.
+        unit_temps = problem.coverage.unit_temperatures(
+            result.evaluation.steady.chip_temperatures)
+        assert unit_temps["core0_EXE"] > unit_temps["core2_EXE"]

@@ -1,0 +1,74 @@
+"""System-COP analysis (reference [8] formulation)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import analyze_system_cop, sweep_objective_surfaces
+from repro.core import Evaluator
+
+
+@pytest.fixture(scope="module")
+def analysis(tec_problem):
+    return analyze_system_cop(tec_problem, omega_points=8,
+                              current_points=5)
+
+
+class TestCOPSurface:
+    def test_shapes(self, analysis):
+        assert analysis.cop.shape == (8, 5)
+        assert analysis.heat_removed.shape == analysis.cop.shape
+
+    def test_runaway_region_is_nan(self, analysis):
+        # The omega = 0 row has no bounded steady state.
+        assert np.isnan(analysis.cop[0]).all()
+
+    def test_cop_definition(self, analysis, tec_problem):
+        # Spot-check one finite sample against a direct evaluation.
+        evaluator = Evaluator(tec_problem)
+        i, j = 4, 2
+        omega = float(analysis.omegas[i])
+        current = float(analysis.currents[j])
+        evaluation = evaluator.evaluate(omega, current)
+        expected = (tec_problem.total_dynamic_power
+                    + evaluation.leakage_power) \
+            / (evaluation.tec_power + evaluation.fan_power)
+        assert analysis.cop[i, j] == pytest.approx(expected, rel=1e-6)
+
+    def test_cop_positive_where_finite(self, analysis):
+        finite = analysis.cop[np.isfinite(analysis.cop)]
+        assert (finite > 0.0).all()
+
+    def test_cop_well_above_unity(self, analysis):
+        # The fan moves tens of watts for single watts of actuation, so
+        # the best package COP is >> 1 (unlike the bare TEC's COP).
+        _, _, best = analysis.max_cop_point()
+        assert best > 3.0
+
+    def test_max_cop_at_gentle_actuation(self, analysis, tec_problem):
+        # COP peaks where actuation is cheap: low omega (but above the
+        # runaway boundary) and low current.
+        omega, current, _ = analysis.max_cop_point()
+        assert omega < 0.6 * tec_problem.limits.omega_max
+        assert current < 0.5 * tec_problem.limits.i_tec_max
+
+    def test_cop_at_nearest_lookup(self, analysis):
+        omega, current, best = analysis.max_cop_point()
+        assert analysis.cop_at(omega, current) == pytest.approx(best)
+
+    def test_format_cop(self, analysis):
+        from repro.analysis import format_cop
+        text = format_cop(analysis)
+        assert "max COP" in text
+        assert "median COP" in text
+
+    def test_reuses_sweep(self, tec_problem):
+        evaluator = Evaluator(tec_problem)
+        sweep = sweep_objective_surfaces(tec_problem, omega_points=5,
+                                         current_points=3,
+                                         evaluator=evaluator)
+        solves = evaluator.solve_count
+        analysis = analyze_system_cop(tec_problem, evaluator=evaluator,
+                                      sweep=sweep)
+        # No extra thermal solves: everything comes from the cache.
+        assert evaluator.solve_count == solves
+        assert analysis.cop.shape == (5, 3)

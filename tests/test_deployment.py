@@ -1,0 +1,85 @@
+"""Selective TEC deployment optimizer."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.tec import select_tec_coverage
+
+
+def fake_temperatures(coverage, hot_units, hot=370.0, cool=345.0):
+    """Per-unit peak temperatures with a chosen hotspot set."""
+    return {name: (hot if name in hot_units else cool)
+            for name in coverage.floorplan.unit_names}
+
+
+class TestSelection:
+    def test_hot_units_covered(self, coverage):
+        hot = {"IntExec", "IntReg", "LdStQ"}
+        temps = fake_temperatures(coverage, hot)
+        result = select_tec_coverage(coverage, temps,
+                                     hotspot_threshold=360.0)
+        assert set(result.covered_units) == hot
+        assert "Icache" in result.excluded_units
+
+    def test_mask_matches_units(self, coverage):
+        hot = {"IntExec"}
+        temps = fake_temperatures(coverage, hot)
+        result = select_tec_coverage(coverage, temps,
+                                     hotspot_threshold=360.0)
+        dominant = coverage.dominant_unit_per_cell()
+        for cell, unit in enumerate(dominant):
+            if unit == "IntExec":
+                assert result.coverage_mask[cell]
+            elif unit in result.excluded_units and unit:
+                assert not result.coverage_mask[cell]
+
+    def test_default_threshold_uses_die_mean(self, coverage):
+        # With caches cool and the core hot, the mean+margin default
+        # reproduces the paper's cache exclusion without naming names.
+        hot = {"IntExec", "IntReg", "IntQ", "IntMap", "LdStQ", "FPAdd",
+               "FPMul"}
+        temps = fake_temperatures(coverage, hot, hot=375.0, cool=348.0)
+        result = select_tec_coverage(coverage, temps)
+        assert "Icache" in result.excluded_units
+        assert "Dcache" in result.excluded_units
+        assert "IntExec" in result.covered_units
+
+    def test_always_exclude(self, coverage):
+        hot = {"IntExec", "Dcache"}
+        temps = fake_temperatures(coverage, hot)
+        result = select_tec_coverage(coverage, temps,
+                                     hotspot_threshold=360.0,
+                                     always_exclude=["Dcache"])
+        assert "Dcache" in result.excluded_units
+        assert "IntExec" in result.covered_units
+
+    def test_margins_reported(self, coverage):
+        temps = fake_temperatures(coverage, {"IntExec"}, hot=370.0)
+        result = select_tec_coverage(coverage, temps,
+                                     hotspot_threshold=360.0)
+        assert result.unit_margins["IntExec"] == pytest.approx(10.0)
+        assert result.unit_margins["L2"] == pytest.approx(-15.0)
+
+    def test_covered_fraction(self, coverage):
+        temps = fake_temperatures(coverage, {"IntExec"})
+        result = select_tec_coverage(coverage, temps,
+                                     hotspot_threshold=360.0)
+        assert 0.0 < result.covered_fraction < 0.3
+
+
+class TestValidation:
+    def test_missing_unit_temperatures(self, coverage):
+        with pytest.raises(ConfigurationError, match="Missing"):
+            select_tec_coverage(coverage, {"IntExec": 370.0})
+
+    def test_nothing_hot_rejected(self, coverage):
+        temps = fake_temperatures(coverage, set())
+        with pytest.raises(ConfigurationError, match="No unit exceeds"):
+            select_tec_coverage(coverage, temps, hotspot_threshold=360.0)
+
+    def test_unknown_always_exclude(self, coverage):
+        temps = fake_temperatures(coverage, {"IntExec"})
+        with pytest.raises(ConfigurationError, match="Unknown"):
+            select_tec_coverage(coverage, temps,
+                                hotspot_threshold=360.0,
+                                always_exclude=["Nope"])

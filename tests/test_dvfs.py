@@ -1,0 +1,102 @@
+"""DVFS throttling fallback."""
+
+import pytest
+
+from repro.core import DVFSModel, find_max_frequency, scaled_problem
+from repro.errors import ConfigurationError
+
+
+class TestDVFSModel:
+    def test_nominal_is_identity(self):
+        model = DVFSModel()
+        assert model.voltage(1.0) == pytest.approx(1.0)
+        assert model.dynamic_power_factor(1.0) == pytest.approx(1.0)
+
+    def test_power_factor_superlinear(self):
+        # f*V^2 falls faster than f alone.
+        model = DVFSModel()
+        assert model.dynamic_power_factor(0.5) < 0.5
+
+    def test_voltage_floor(self):
+        model = DVFSModel(v_floor=0.7)
+        assert model.voltage(0.0) == pytest.approx(0.7)
+
+    def test_monotone(self):
+        model = DVFSModel()
+        factors = [model.dynamic_power_factor(s)
+                   for s in (0.3, 0.5, 0.8, 1.0)]
+        assert factors == sorted(factors)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DVFSModel(v_floor=0.0)
+        with pytest.raises(ConfigurationError):
+            DVFSModel(s_min=0.0)
+        with pytest.raises(ConfigurationError):
+            DVFSModel().voltage(1.5)
+
+
+class TestScaledProblem:
+    def test_power_scales(self, heavy_baseline_problem):
+        model = DVFSModel()
+        scaled = scaled_problem(heavy_baseline_problem, model, 0.5)
+        expected = heavy_baseline_problem.total_dynamic_power \
+            * model.dynamic_power_factor(0.5)
+        assert scaled.total_dynamic_power == pytest.approx(expected)
+
+    def test_shares_package(self, heavy_baseline_problem):
+        scaled = scaled_problem(heavy_baseline_problem, DVFSModel(), 0.8)
+        assert scaled.model is heavy_baseline_problem.model
+        assert scaled.name.startswith(heavy_baseline_problem.name)
+
+
+class TestFindMaxFrequency:
+    def test_light_workload_needs_no_throttle(self, baseline_problem):
+        result = find_max_frequency(baseline_problem, tolerance=0.05)
+        assert result.feasible
+        assert result.scaling == pytest.approx(1.0)
+        assert result.performance_loss == pytest.approx(0.0)
+
+    def test_heavy_baseline_must_throttle(self, heavy_baseline_problem):
+        # The paper's point: without TECs, the heavy benchmarks need
+        # "other thermal management techniques" that cost performance.
+        result = find_max_frequency(heavy_baseline_problem,
+                                    tolerance=0.05)
+        assert result.feasible
+        assert result.scaling < 1.0
+        assert result.performance_loss > 0.0
+
+    def test_oftec_avoids_the_throttle(self, heavy_tec_problem,
+                                       heavy_baseline_problem):
+        with_tec = find_max_frequency(heavy_tec_problem, tolerance=0.05)
+        without = find_max_frequency(heavy_baseline_problem,
+                                     tolerance=0.05)
+        assert with_tec.scaling > without.scaling
+
+    def test_found_point_is_actually_coolable(self,
+                                              heavy_baseline_problem):
+        from repro.core import run_variable_fan_baseline
+        result = find_max_frequency(heavy_baseline_problem,
+                                    tolerance=0.05)
+        check = run_variable_fan_baseline(scaled_problem(
+            heavy_baseline_problem, DVFSModel(), result.scaling))
+        assert check.feasible
+
+    def test_bad_tolerance(self, baseline_problem):
+        with pytest.raises(ConfigurationError):
+            find_max_frequency(baseline_problem, tolerance=0.0)
+
+    def test_custom_runner(self, baseline_problem):
+        calls = []
+
+        class FakeResult:
+            feasible = True
+            total_power = 1.0
+
+        def runner(problem):
+            calls.append(problem.name)
+            return FakeResult()
+
+        result = find_max_frequency(baseline_problem, runner=runner)
+        assert result.scaling == 1.0
+        assert len(calls) == 1

@@ -1,0 +1,120 @@
+"""Cross-cutting edge cases the per-module suites don't reach."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Evaluator,
+    minimize_power,
+    minimize_temperature,
+    plan_transient_boost,
+    reoptimize_policy,
+    run_online_controller,
+)
+from repro.thermal import (
+    boost_window_recommendation,
+    export_spice_netlist,
+    extract_time_constants,
+    parse_netlist_system,
+    solve_steady_state,
+)
+
+
+class TestSolverEdges:
+    def test_grid_method_on_one_dimensional_problem(self,
+                                                    baseline_problem):
+        evaluator = Evaluator(baseline_problem)
+        outcome = minimize_power(evaluator, x0=(262.0, 0.0),
+                                 method="grid")
+        assert outcome.evaluation.feasible
+        assert outcome.current == 0.0
+
+    def test_trust_constr_on_one_dimensional_problem(self,
+                                                     baseline_problem):
+        evaluator = Evaluator(baseline_problem)
+        outcome = minimize_temperature(evaluator, method="trust-constr")
+        assert outcome.current == 0.0
+        assert outcome.evaluation.feasible
+
+    def test_early_stop_on_immediately_feasible_point(self,
+                                                      tec_problem):
+        # The very first evaluation (the midpoint) is already below the
+        # threshold: the early stop must fire on it.
+        evaluator = Evaluator(tec_problem)
+        outcome = minimize_temperature(
+            evaluator, early_stop_below=tec_problem.limits.t_max)
+        assert outcome.early_stopped
+        assert outcome.evaluations <= 3
+
+    def test_minimize_power_from_boundary_start(self, tec_problem):
+        # Starting exactly on the omega upper bound must not wedge the
+        # normalized solver.
+        evaluator = Evaluator(tec_problem)
+        outcome = minimize_power(
+            evaluator, x0=(tec_problem.limits.omega_max, 0.5))
+        assert outcome.evaluation.feasible
+
+    def test_zero_current_bound_clamps_everything(self,
+                                                  baseline_problem):
+        evaluator = Evaluator(baseline_problem)
+        for current in (0.5, 5.0):
+            assert evaluator.evaluate(262.0, current).current == 0.0
+
+
+class TestSpiceEdges:
+    def test_multichannel_current_exports(self, tec_model,
+                                          basicmath_power, tec_array):
+        # Per-cell currents flow through the netlist path too.
+        cell_current = tec_array.cell_current(0.0).copy()
+        covered = np.flatnonzero(tec_array.coverage_mask)[:10]
+        cell_current[covered] = 2.0
+        steady = solve_steady_state(tec_model, 300.0, cell_current,
+                                    basicmath_power, leakage=None)
+        netlist = export_spice_netlist(tec_model, 300.0, cell_current,
+                                       basicmath_power)
+        matrix, rhs = parse_netlist_system(
+            netlist, tec_model.network.node_count)
+        temps = np.linalg.solve(matrix, rhs)
+        assert np.allclose(temps, steady.temperatures, atol=1e-6)
+
+    def test_zero_power_netlist(self, tec_model, grid):
+        netlist = export_spice_netlist(
+            tec_model, 262.0, 0.0, np.zeros(grid.cell_count))
+        matrix, rhs = parse_netlist_system(
+            netlist, tec_model.network.node_count)
+        temps = np.linalg.solve(matrix, rhs)
+        # No power anywhere: everything sits at ambient.
+        assert np.allclose(temps, tec_model.config.ambient, atol=1e-9)
+
+
+class TestBoostWindowIntegration:
+    def test_mode_analysis_feeds_boost_plan(self, tec_problem):
+        # The recommended window from the eigenmode analysis plugs
+        # straight into the boost planner.
+        from repro import run_oftec
+        analysis = extract_time_constants(tec_problem.model,
+                                          omega=262.0, modes=4)
+        window = boost_window_recommendation(analysis,
+                                             die_fraction=0.1)
+        result = run_oftec(tec_problem)
+        plan = plan_transient_boost(tec_problem, result,
+                                    duration=window)
+        assert plan.boost_duration == pytest.approx(window)
+        assert plan.boost_current >= plan.base_current
+
+
+class TestOnlineReoptimizePolicy:
+    def test_oracle_policy_drives_loop(self, tec_problem, profiles,
+                                       trace_generator):
+        # One control interval with full re-optimization (the expensive
+        # oracle the LUT approximates).
+        trace = trace_generator.generate(profiles["crc32"],
+                                         duration=0.6,
+                                         sample_interval=0.05)
+        outcome = run_online_controller(
+            tec_problem, trace, reoptimize_policy(tec_problem),
+            control_interval=0.6, dt=0.2)
+        assert len(outcome.decisions) == 1
+        decision = outcome.decisions[0]
+        assert 0.0 < decision.omega <= tec_problem.limits.omega_max
+        assert outcome.violation_time == 0.0

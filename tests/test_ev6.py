@@ -1,0 +1,63 @@
+"""The embedded Alpha 21264 (EV6) floorplan."""
+
+import pytest
+
+from repro.geometry import (
+    EV6_CACHE_UNITS,
+    EV6_UNIT_NAMES,
+    alpha21264_floorplan,
+)
+from repro.geometry.ev6 import EV6_DIE_SIZE
+
+
+class TestEV6Floorplan:
+    def test_has_18_units(self):
+        assert len(alpha21264_floorplan()) == 18
+        assert len(EV6_UNIT_NAMES) == 18
+
+    def test_die_dimensions_match_table1(self):
+        fp = alpha21264_floorplan()
+        box = fp.bounding_box
+        assert box.width == pytest.approx(15.9e-3)
+        assert box.height == pytest.approx(15.9e-3)
+        assert EV6_DIE_SIZE == pytest.approx(15.9e-3)
+
+    def test_full_tiling(self):
+        # Units tile the die exactly (no dead space, no overlap).
+        assert alpha21264_floorplan().coverage_fraction() == \
+            pytest.approx(1.0, abs=1e-9)
+
+    def test_expected_units_present(self):
+        fp = alpha21264_floorplan()
+        for name in ("IntExec", "IntReg", "FPAdd", "LdStQ", "Icache",
+                     "Dcache", "L2", "Bpred"):
+            assert name in fp
+
+    def test_cache_units_are_real_units(self):
+        fp = alpha21264_floorplan()
+        for name in EV6_CACHE_UNITS:
+            assert name in fp
+
+    def test_caches_are_large(self):
+        # I/D caches are large arrays, so their power density is low --
+        # the reason the paper leaves them TEC-free.
+        fp = alpha21264_floorplan()
+        fractions = fp.area_fractions()
+        for cache in EV6_CACHE_UNITS:
+            assert fractions[cache] > 0.05
+
+    def test_l2_is_largest_unit(self):
+        fp = alpha21264_floorplan()
+        largest = max(fp, key=lambda u: u.area)
+        assert largest.name == "L2"
+
+    def test_integer_core_in_top_band(self):
+        # Hotspot cluster sits away from the L2 at the bottom.
+        fp = alpha21264_floorplan()
+        assert fp["IntExec"].rect.y > fp["L2"].rect.y2 - 1e-9
+
+    def test_unit_name_order_matches_constant(self):
+        assert alpha21264_floorplan().unit_names == EV6_UNIT_NAMES
+
+    def test_fresh_instance_each_call(self):
+        assert alpha21264_floorplan() is not alpha21264_floorplan()

@@ -1,0 +1,105 @@
+"""Evaluator: objectives, caching, clamping, runaway penalties."""
+
+import numpy as np
+import pytest
+
+from repro.core import Evaluator
+
+
+class TestEvaluation:
+    def test_total_power_decomposition(self, evaluator):
+        ev = evaluator.evaluate(262.0, 1.0)
+        assert ev.total_power == pytest.approx(
+            ev.leakage_power + ev.tec_power + ev.fan_power)
+        assert ev.cooling_power == pytest.approx(
+            ev.tec_power + ev.fan_power)
+
+    def test_fan_power_cubic(self, evaluator, tec_problem):
+        ev = evaluator.evaluate(300.0, 0.0)
+        assert ev.fan_power == pytest.approx(
+            tec_problem.fan.power(300.0))
+
+    def test_feasibility_flag(self, evaluator, tec_problem):
+        ev = evaluator.evaluate(262.0, 1.0)
+        assert ev.feasible == (ev.max_chip_temperature
+                               < tec_problem.limits.t_max)
+
+    def test_steady_attached(self, evaluator):
+        ev = evaluator.evaluate(262.0, 0.5)
+        assert ev.steady is not None
+        assert ev.steady.omega == ev.omega
+
+    def test_objectives_match_evaluation(self, evaluator):
+        ev = evaluator.evaluate(200.0, 0.5)
+        assert evaluator.temperature_objective(200.0, 0.5) == \
+            ev.max_chip_temperature
+        assert evaluator.power_objective(200.0, 0.5) == ev.total_power
+
+    def test_thermal_margin_sign(self, evaluator, tec_problem):
+        ev = evaluator.evaluate(262.0, 1.0)
+        margin = evaluator.thermal_margin(262.0, 1.0)
+        assert margin == pytest.approx(
+            tec_problem.limits.t_max - ev.max_chip_temperature)
+
+
+class TestCaching:
+    def test_repeat_hits_cache(self, evaluator):
+        evaluator.evaluate(262.0, 1.0)
+        solves = evaluator.solve_count
+        evaluator.evaluate(262.0, 1.0)
+        assert evaluator.solve_count == solves
+        assert evaluator.call_count == 2
+
+    def test_clear_cache(self, evaluator):
+        evaluator.evaluate(262.0, 1.0)
+        evaluator.clear_cache()
+        solves = evaluator.solve_count
+        evaluator.evaluate(262.0, 1.0)
+        assert evaluator.solve_count == solves + 1
+
+    def test_distinct_points_resolve(self, evaluator):
+        evaluator.evaluate(262.0, 1.0)
+        solves = evaluator.solve_count
+        evaluator.evaluate(263.0, 1.0)
+        assert evaluator.solve_count == solves + 1
+
+
+class TestClamping:
+    def test_omega_clamped(self, evaluator, tec_problem):
+        ev = evaluator.evaluate(1e6, 0.0)
+        assert ev.omega == tec_problem.limits.omega_max
+        ev = evaluator.evaluate(-5.0, 0.5)
+        assert ev.omega == 0.0
+
+    def test_current_clamped(self, evaluator, tec_problem):
+        ev = evaluator.evaluate(262.0, 99.0)
+        assert ev.current == tec_problem.limits.i_tec_max
+
+    def test_baseline_current_clamped_to_zero(self, baseline_problem):
+        evaluator = Evaluator(baseline_problem)
+        ev = evaluator.evaluate(262.0, 3.0)
+        assert ev.current == 0.0
+
+
+class TestRunawayPenalty:
+    def test_runaway_flagged(self, heavy_tec_problem):
+        evaluator = Evaluator(heavy_tec_problem)
+        ev = evaluator.evaluate(0.0, 0.0)
+        assert ev.runaway
+        assert not ev.feasible
+        assert ev.steady is None
+
+    def test_penalty_values_large_but_finite(self, heavy_tec_problem):
+        evaluator = Evaluator(heavy_tec_problem)
+        ev = evaluator.evaluate(0.0, 0.0)
+        assert np.isfinite(ev.max_chip_temperature)
+        assert np.isfinite(ev.total_power)
+        assert ev.max_chip_temperature > \
+            heavy_tec_problem.limits.t_max + 50.0
+        assert ev.total_power > 1e3
+
+    def test_penalty_exceeds_any_feasible_power(self, heavy_tec_problem):
+        evaluator = Evaluator(heavy_tec_problem)
+        runaway = evaluator.evaluate(0.0, 0.0)
+        feasible = evaluator.evaluate(400.0, 1.0)
+        assert runaway.total_power > 10.0 * feasible.total_power

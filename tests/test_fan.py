@@ -1,0 +1,191 @@
+"""Fan power law, heat-sink conductance, and convection correlation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.constants import (
+    FAN_POWER_CONSTANT,
+    G_FIT_P,
+    G_FIT_R,
+    G_HS_NATURAL,
+    OMEGA_MAX,
+)
+from repro.errors import CalibrationError, ConfigurationError
+from repro.fan import (
+    ConvectionCorrelation,
+    FanModel,
+    HeatSinkFanConductance,
+    fit_log_conductance,
+)
+
+
+class TestFanModel:
+    def test_cubic_law(self):
+        fan = FanModel()
+        assert fan.power(0.0) == 0.0
+        assert fan.power(100.0) == pytest.approx(FAN_POWER_CONSTANT * 1e6)
+
+    def test_paper_max_power(self):
+        # At 524 rad/s with c = 1.6e-7, P = c * omega^3 ~ 23 W.
+        fan = FanModel()
+        assert fan.power(OMEGA_MAX) == pytest.approx(23.02, rel=0.01)
+
+    def test_doubling_speed_is_8x_power(self):
+        fan = FanModel()
+        assert fan.power(200.0) == pytest.approx(8.0 * fan.power(100.0))
+
+    def test_gradient(self):
+        fan = FanModel()
+        omega = 150.0
+        eps = 1e-4
+        numeric = (fan.power(omega + eps) - fan.power(omega - eps)) \
+            / (2 * eps)
+        assert fan.power_gradient(omega) == pytest.approx(numeric, rel=1e-6)
+
+    def test_speed_for_power_inverse(self):
+        fan = FanModel()
+        for omega in (10.0, 111.0, 524.0):
+            assert fan.speed_for_power(fan.power(omega)) == \
+                pytest.approx(omega)
+
+    def test_clamp(self):
+        fan = FanModel()
+        assert fan.clamp(-5.0) == 0.0
+        assert fan.clamp(9999.0) == fan.omega_max
+        assert fan.clamp(100.0) == 100.0
+
+    def test_negative_speed_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FanModel().power(-1.0)
+
+    def test_invalid_constant(self):
+        with pytest.raises(ConfigurationError):
+            FanModel(power_constant=0.0)
+
+
+class TestHeatSinkFanConductance:
+    def test_paper_constants_at_max_speed(self):
+        g = HeatSinkFanConductance()
+        expected = G_FIT_P * math.log(OMEGA_MAX) + G_FIT_R
+        assert g.conductance(OMEGA_MAX) == pytest.approx(expected)
+
+    def test_natural_floor_at_zero(self):
+        g = HeatSinkFanConductance()
+        assert g.conductance(0.0) == pytest.approx(G_HS_NATURAL)
+
+    def test_floor_below_crossover(self):
+        g = HeatSinkFanConductance()
+        omega = g.crossover_speed * 0.5
+        assert g.conductance(omega) == pytest.approx(G_HS_NATURAL)
+
+    def test_continuous_at_crossover(self):
+        g = HeatSinkFanConductance()
+        crossing = g.crossover_speed
+        assert g.conductance(crossing * 0.999) == pytest.approx(
+            g.conductance(crossing * 1.001), abs=3e-3)
+
+    def test_monotone_nondecreasing(self):
+        g = HeatSinkFanConductance()
+        speeds = np.linspace(0.0, OMEGA_MAX, 200)
+        values = [g.conductance(s) for s in speeds]
+        assert all(b >= a - 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_gradient_zero_on_floor(self):
+        g = HeatSinkFanConductance()
+        assert g.conductance_gradient(g.crossover_speed * 0.5) == 0.0
+
+    def test_gradient_on_log_branch(self):
+        g = HeatSinkFanConductance()
+        omega = 300.0
+        assert g.conductance_gradient(omega) == pytest.approx(
+            G_FIT_P / omega)
+
+    def test_speed_for_conductance_inverse(self):
+        g = HeatSinkFanConductance()
+        for omega in (50.0, 262.0, 524.0):
+            target = g.conductance(omega)
+            assert g.conductance(g.speed_for_conductance(target)) == \
+                pytest.approx(target)
+
+    def test_speed_for_small_conductance_is_zero(self):
+        g = HeatSinkFanConductance()
+        assert g.speed_for_conductance(0.1) == 0.0
+
+    def test_negative_speed_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HeatSinkFanConductance().conductance(-1.0)
+
+
+class TestConvectionCorrelation:
+    def test_zero_flow_uses_natural(self):
+        corr = ConvectionCorrelation()
+        assert corr.conductance(0.0) == pytest.approx(
+            corr.natural_conductance)
+
+    def test_monotone_in_speed(self):
+        corr = ConvectionCorrelation()
+        values = [corr.conductance(w) for w in (10, 100, 300, 524)]
+        assert values == sorted(values)
+
+    def test_sqrt_scaling(self):
+        # Laminar Nu ~ Re^0.5, so h scales with sqrt(velocity).
+        corr = ConvectionCorrelation()
+        h1 = corr.heat_transfer_coefficient(100.0)
+        h4 = corr.heat_transfer_coefficient(400.0)
+        assert h4 == pytest.approx(2.0 * h1, rel=1e-9)
+
+    def test_same_scale_as_paper_fit(self):
+        # The physical correlation should be within ~3x of the paper's
+        # fitted conductance at full speed -- a sanity cross-check.
+        corr = ConvectionCorrelation()
+        fitted = HeatSinkFanConductance().conductance(OMEGA_MAX)
+        ratio = corr.conductance(OMEGA_MAX) / fitted
+        assert 1.0 / 3.0 < ratio < 3.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            ConvectionCorrelation(fin_area=0.0)
+
+
+class TestFitLogConductance:
+    def test_recovers_exact_log_curve(self):
+        omegas = np.linspace(20.0, 524.0, 30)
+        gs = 0.97 * np.log(omegas) - 0.25
+        p, r = fit_log_conductance(omegas, gs)
+        assert p == pytest.approx(0.97, rel=1e-9)
+        assert r == pytest.approx(-0.25, abs=1e-9)
+
+    def test_fit_of_physical_correlation_has_positive_slope(self):
+        # The paper's protocol: sample HotSpot-ish conductances, fit Eq 9.
+        corr = ConvectionCorrelation()
+        omegas = np.linspace(30.0, 524.0, 20)
+        gs = [corr.conductance(w) for w in omegas]
+        p, r = fit_log_conductance(omegas, gs)
+        assert p > 0.0
+        # Reconstruction error stays small over the fitted range.
+        recon = p * np.log(omegas) + r
+        assert np.max(np.abs(recon - gs)) / np.mean(gs) < 0.25
+
+    def test_skips_zero_speed_samples(self):
+        omegas = [0.0, 100.0, 200.0, 400.0]
+        gs = [0.525, 4.0, 4.7, 5.4]
+        p, r = fit_log_conductance(omegas, gs)
+        assert p > 0.0
+
+    def test_too_few_points(self):
+        with pytest.raises(CalibrationError):
+            fit_log_conductance([100.0], [4.0])
+
+    def test_negative_slope_rejected(self):
+        with pytest.raises(CalibrationError, match="positive"):
+            fit_log_conductance([10.0, 100.0, 500.0], [5.0, 4.0, 3.0])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(CalibrationError):
+            fit_log_conductance([1.0, 2.0], [1.0, 2.0, 3.0])
+
+    def test_bad_q(self):
+        with pytest.raises(CalibrationError):
+            fit_log_conductance([10.0, 100.0], [1.0, 2.0], q=0.0)

@@ -1,0 +1,122 @@
+"""Floorplan container semantics."""
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry import Floorplan, FloorplanUnit, Rect
+from repro.geometry.floorplan import floorplan_from_dict
+
+
+def make_two_by_two():
+    """A 2x2 tiling of the unit square."""
+    return Floorplan([
+        FloorplanUnit("sw", Rect(0.0, 0.0, 1.0, 1.0)),
+        FloorplanUnit("se", Rect(1.0, 0.0, 1.0, 1.0)),
+        FloorplanUnit("nw", Rect(0.0, 1.0, 1.0, 1.0)),
+        FloorplanUnit("ne", Rect(1.0, 1.0, 1.0, 1.0)),
+    ])
+
+
+class TestConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(GeometryError):
+            Floorplan([])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(GeometryError, match="Duplicate"):
+            Floorplan([
+                FloorplanUnit("a", Rect(0, 0, 1, 1)),
+                FloorplanUnit("a", Rect(1, 0, 1, 1)),
+            ])
+
+    def test_overlap_rejected(self):
+        with pytest.raises(GeometryError, match="overlap"):
+            Floorplan([
+                FloorplanUnit("a", Rect(0, 0, 2, 2)),
+                FloorplanUnit("b", Rect(1, 1, 2, 2)),
+            ])
+
+    def test_sliver_overlap_tolerated(self):
+        # Floating-point sliver below the 0.01% threshold must pass.
+        Floorplan([
+            FloorplanUnit("a", Rect(0.0, 0.0, 1.0, 1.0)),
+            FloorplanUnit("b", Rect(1.0 - 1e-9, 0.0, 1.0, 1.0)),
+        ])
+
+    def test_from_dict(self):
+        fp = floorplan_from_dict({"a": (0, 0, 1, 1), "b": (1, 0, 1, 1)})
+        assert fp.unit_names == ["a", "b"]
+
+
+class TestQueries:
+    def test_len_iter_contains(self):
+        fp = make_two_by_two()
+        assert len(fp) == 4
+        assert [u.name for u in fp] == ["sw", "se", "nw", "ne"]
+        assert "sw" in fp
+        assert "xx" not in fp
+
+    def test_getitem(self):
+        fp = make_two_by_two()
+        assert fp["ne"].rect.x == 1.0
+        with pytest.raises(GeometryError):
+            fp["missing"]
+
+    def test_index_of_preserves_order(self):
+        fp = make_two_by_two()
+        assert fp.index_of("sw") == 0
+        assert fp.index_of("ne") == 3
+
+    def test_bounding_box(self):
+        box = make_two_by_two().bounding_box
+        assert (box.x, box.y) == (0.0, 0.0)
+        assert (box.width, box.height) == (2.0, 2.0)
+
+    def test_coverage_fraction_full(self):
+        assert make_two_by_two().coverage_fraction() == pytest.approx(1.0)
+
+    def test_coverage_fraction_partial(self):
+        fp = Floorplan([
+            FloorplanUnit("a", Rect(0, 0, 1, 1)),
+            FloorplanUnit("b", Rect(2, 2, 1, 1)),
+        ])
+        assert fp.coverage_fraction() == pytest.approx(2.0 / 9.0)
+
+    def test_unit_at(self):
+        fp = make_two_by_two()
+        assert fp.unit_at(0.5, 0.5).name == "sw"
+        assert fp.unit_at(1.5, 1.5).name == "ne"
+        assert fp.unit_at(5.0, 5.0) is None
+
+    def test_area_fractions_sum_to_one(self):
+        fractions = make_two_by_two().area_fractions()
+        assert sum(fractions.values()) == pytest.approx(1.0)
+        assert fractions["sw"] == pytest.approx(0.25)
+
+    def test_neighbors(self):
+        fp = make_two_by_two()
+        assert sorted(fp.neighbors("sw")) == ["nw", "se"]
+        assert sorted(fp.neighbors("ne")) == ["nw", "se"]
+
+    def test_neighbors_diagonal_not_included(self):
+        fp = make_two_by_two()
+        assert "ne" not in fp.neighbors("sw")
+
+
+class TestTransforms:
+    def test_scaled(self):
+        fp = make_two_by_two().scaled(0.5)
+        assert fp.bounding_box.width == pytest.approx(1.0)
+        assert fp["ne"].rect.x == pytest.approx(0.5)
+
+    def test_normalized(self):
+        fp = Floorplan([
+            FloorplanUnit("a", Rect(5.0, 7.0, 1.0, 1.0)),
+        ]).normalized()
+        assert fp.bounding_box.x == pytest.approx(0.0)
+        assert fp.bounding_box.y == pytest.approx(0.0)
+
+    def test_units_copy_is_safe(self):
+        fp = make_two_by_two()
+        fp.units.clear()
+        assert len(fp) == 4

@@ -1,0 +1,74 @@
+"""HotSpot .flp parser/writer."""
+
+import pytest
+
+from repro.errors import FloorplanParseError
+from repro.geometry import (
+    alpha21264_floorplan,
+    format_flp,
+    parse_flp,
+    parse_flp_text,
+    write_flp,
+)
+
+SAMPLE = """
+# comment line
+left   1.0e-3 2.0e-3 0.0    0.0
+right  1.0e-3 2.0e-3 1.0e-3 0.0   # trailing comment
+"""
+
+
+class TestParse:
+    def test_basic(self):
+        fp = parse_flp_text(SAMPLE)
+        assert fp.unit_names == ["left", "right"]
+        assert fp["right"].rect.x == pytest.approx(1.0e-3)
+        assert fp["left"].rect.height == pytest.approx(2.0e-3)
+
+    def test_hotspot_optional_material_columns(self):
+        text = "u1 1e-3 1e-3 0 0 1.75e6 0.01\n"
+        fp = parse_flp_text(text)
+        assert len(fp) == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(FloorplanParseError, match="no units"):
+            parse_flp_text("# only comments\n")
+
+    def test_wrong_field_count(self):
+        with pytest.raises(FloorplanParseError, match="expected 5-7"):
+            parse_flp_text("u1 1e-3 1e-3 0\n")
+
+    def test_non_numeric(self):
+        with pytest.raises(FloorplanParseError, match="non-numeric"):
+            parse_flp_text("u1 wide 1e-3 0 0\n")
+
+    def test_non_positive_size(self):
+        with pytest.raises(FloorplanParseError, match="non-positive"):
+            parse_flp_text("u1 0 1e-3 0 0\n")
+
+    def test_error_reports_line_number(self):
+        with pytest.raises(FloorplanParseError, match=":3:"):
+            parse_flp_text("u1 1e-3 1e-3 0 0\n\nbad line here extra xx y\n")
+
+
+class TestRoundTrip:
+    def test_format_then_parse(self):
+        original = alpha21264_floorplan()
+        recovered = parse_flp_text(format_flp(original))
+        assert recovered.unit_names == original.unit_names
+        for unit in original:
+            r1, r2 = unit.rect, recovered[unit.name].rect
+            assert r2.x == pytest.approx(r1.x, abs=1e-12)
+            assert r2.width == pytest.approx(r1.width, rel=1e-5)
+
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "ev6.flp"
+        write_flp(alpha21264_floorplan(), path)
+        recovered = parse_flp(path)
+        assert len(recovered) == 18
+        assert recovered.bounding_box.width == pytest.approx(15.9e-3,
+                                                             rel=1e-5)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(OSError):
+            parse_flp(tmp_path / "missing.flp")

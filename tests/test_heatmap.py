@@ -1,0 +1,97 @@
+"""ASCII heat-map rendering."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    render_delta_map,
+    render_heatmap,
+    render_unit_overlay,
+)
+from repro.core import Evaluator
+from repro.errors import ConfigurationError
+from repro.geometry import Grid
+
+
+class TestHeatmap:
+    def test_basic_rendering(self, grid):
+        field = np.linspace(320.0, 360.0, grid.cell_count)
+        text = render_heatmap(field, grid, title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "range 46.9 .. 86.9 C" in lines[1]
+        # One row per grid line, two chars per cell.
+        assert len(lines) == 2 + grid.ny
+        assert all(len(line) == 2 * grid.nx for line in lines[2:])
+
+    def test_hot_cell_gets_hottest_symbol(self, grid):
+        field = np.full(grid.cell_count, 320.0)
+        field[grid.flat_index(0, 0)] = 400.0
+        text = render_heatmap(field, grid)
+        # (0, 0) renders bottom-left (rows are north-to-south).
+        bottom_row = text.splitlines()[-1]
+        assert bottom_row.startswith("@@")
+
+    def test_pinned_range(self, grid):
+        field = np.full(grid.cell_count, 330.0)
+        text = render_heatmap(field, grid, vmin=320.0, vmax=340.0)
+        # Mid-range values render with a mid-ramp character, uniformly.
+        rows = text.splitlines()[1:]
+        assert len({row for row in rows[1:]}) == 1
+
+    def test_constant_field_renders(self, grid):
+        field = np.full(grid.cell_count, 330.0)
+        text = render_heatmap(field, grid)
+        assert text  # no divide-by-zero on a flat field
+
+    def test_shape_checked(self, grid):
+        with pytest.raises(ConfigurationError):
+            render_heatmap(np.zeros(3), grid)
+
+
+class TestUnitOverlay:
+    def test_overlay_shows_units(self, coverage):
+        text = render_unit_overlay(coverage)
+        assert "In" in text  # Int* units
+        assert "L2" in text
+
+    def test_overlay_dimensions(self, coverage):
+        lines = render_unit_overlay(coverage).splitlines()
+        assert len(lines) == 1 + coverage.grid.ny
+
+
+class TestDeltaMap:
+    def test_cooling_marked_negative(self, grid):
+        before = np.full(grid.cell_count, 350.0)
+        after = before - 5.0
+        text = render_delta_map(before, after, grid)
+        assert "-" in text
+        assert "+" not in text.splitlines()[-1]
+
+    def test_small_changes_are_dots(self, grid):
+        before = np.full(grid.cell_count, 350.0)
+        after = before + 0.1
+        text = render_delta_map(before, after, grid)
+        assert set("".join(text.splitlines()[2:])) <= {".", " "}
+
+    def test_magnitude_scaling(self, grid):
+        before = np.full(grid.cell_count, 350.0)
+        after = before.copy()
+        after[grid.flat_index(0, 0)] += 10.0
+        text = render_delta_map(before, after, grid)
+        assert "+++" in text
+
+    def test_shape_checked(self, grid):
+        with pytest.raises(ConfigurationError):
+            render_delta_map(np.zeros(3), np.zeros(3), grid)
+
+    def test_real_tec_effect(self, tec_problem):
+        # TEC on vs off: the covered hot region must show cooling.
+        evaluator = Evaluator(tec_problem)
+        off = evaluator.evaluate(300.0, 0.0)
+        on = evaluator.evaluate(300.0, 1.5)
+        text = render_delta_map(
+            off.steady.chip_temperatures,
+            on.steady.chip_temperatures,
+            tec_problem.model.grid)
+        assert "-" in text

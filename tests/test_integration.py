@@ -1,0 +1,129 @@
+"""End-to-end reproduction checks of the paper's headline claims.
+
+These run the real pipeline (at reduced grid resolution for speed) and
+assert the *shape* of the published results:
+
+* OFTEC meets the thermal constraint on every benchmark; the no-TEC
+  baselines fail on the heavy ones (paper: 5 of 8).
+* On benchmarks all methods can cool, OFTEC consumes the least total
+  power while sitting coolest.
+* A TEC-only system thermal-runs-away.
+* The Figure 6(a) landscape: runaway at low omega, interior minima.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    build_cooling_problem,
+    mibench_profiles,
+    run_fixed_fan_baseline,
+    run_oftec,
+    run_tec_only,
+    run_variable_fan_baseline,
+)
+from repro.analysis import run_campaign
+
+LIGHT = ("basicmath", "crc32", "stringsearch")
+HEAVY = ("bitcount", "djkstra", "fft", "quicksort", "susan")
+
+
+@pytest.fixture(scope="module")
+def full_campaign(tec_problem, baseline_problem, profiles):
+    return run_campaign(profiles, tec_problem, baseline_problem)
+
+
+class TestHeadlineClaims:
+    def test_oftec_meets_all_benchmarks(self, full_campaign):
+        counts = full_campaign.feasibility_counts()
+        assert counts["oftec"] == 8
+
+    def test_baselines_fail_heavy_benchmarks(self, full_campaign):
+        # Paper: baselines fail 5 of 8 (the red dashed box in Fig 6(c)).
+        for name in HEAVY:
+            comparison = full_campaign[name]
+            assert not comparison.variable_opt1.feasible, name
+            assert not comparison.fixed.feasible, name
+
+    def test_baselines_meet_light_benchmarks(self, full_campaign):
+        for name in LIGHT:
+            comparison = full_campaign[name]
+            assert comparison.variable_opt1.feasible, name
+            assert comparison.fixed.feasible, name
+
+    def test_comparable_set_is_the_light_three(self, full_campaign):
+        assert set(full_campaign.comparable_benchmarks()) == set(LIGHT)
+
+    def test_oftec_saves_power_on_comparable(self, full_campaign):
+        # Paper: 2.6% vs variable-omega and 8.1% vs fixed-omega.  We
+        # assert the sign and a sane magnitude band.
+        save_var = full_campaign.average_power_saving("variable-omega")
+        save_fix = full_campaign.average_power_saving("fixed-omega")
+        assert 0.0 < save_var < 0.30
+        assert 0.0 < save_fix < 0.40
+        assert save_fix > save_var
+
+    def test_oftec_cooler_on_comparable(self, full_campaign):
+        # Paper: 3.7 C cooler than variable-omega, 3.0 C than fixed.
+        dt_var = full_campaign.average_temperature_delta("variable-omega")
+        assert 0.0 < dt_var < 15.0
+
+    def test_opt2_advantage_over_baselines(self, full_campaign):
+        # Paper: "more than 13 C lower temperature" on average after
+        # Optimization 2.  Accept anything clearly positive.
+        assert full_campaign.average_opt2_temperature_advantage() > 5.0
+
+    def test_current_ordering_matches_table2(self, full_campaign):
+        # Heavy benchmarks demand more TEC current than light ones.
+        light_max = max(full_campaign[n].oftec_opt1.current_star
+                        for n in LIGHT)
+        heavy_min = min(full_campaign[n].oftec_opt1.current_star
+                        for n in HEAVY)
+        assert heavy_min > light_max
+
+    def test_fan_speed_ordering_matches_table2(self, full_campaign):
+        light_max = max(full_campaign[n].oftec_opt1.omega_star
+                        for n in LIGHT)
+        heavy_min = min(full_campaign[n].oftec_opt1.omega_star
+                        for n in HEAVY)
+        assert heavy_min > light_max
+
+
+class TestTecOnlyRunaway:
+    @pytest.mark.parametrize("name", ["basicmath", "quicksort"])
+    def test_runaway(self, tec_problem, profiles, name):
+        problem = tec_problem.with_profile(profiles[name])
+        result = run_tec_only(problem)
+        assert result.runaway
+
+
+class TestSingleBenchmarkEndToEnd:
+    def test_fresh_build_from_public_api(self):
+        # The README quickstart, as a test.
+        profile = mibench_profiles()["basicmath"]
+        problem = build_cooling_problem(profile, grid_resolution=6)
+        result = run_oftec(problem)
+        assert result.feasible
+        assert 0.0 < result.omega_star <= 524.0
+        assert 0.0 <= result.current_star <= 5.0
+
+    def test_three_methods_ranked(self, tec_problem, baseline_problem):
+        oftec = run_oftec(tec_problem)
+        variable = run_variable_fan_baseline(baseline_problem)
+        fixed = run_fixed_fan_baseline(baseline_problem)
+        # Figure 6(f) ordering on a comparable benchmark.
+        assert oftec.total_power < variable.total_power \
+            < fixed.total_power
+
+
+class TestGridConvergence:
+    def test_results_stable_under_refinement(self, profiles):
+        # The optimum should not swing wildly between 6x6 and 10x10.
+        results = {}
+        for res in (6, 10):
+            problem = build_cooling_problem(profiles["basicmath"],
+                                            grid_resolution=res)
+            results[res] = run_oftec(problem)
+        p6 = results[6].total_power
+        p10 = results[10].total_power
+        assert abs(p6 - p10) / p10 < 0.25

@@ -1,0 +1,145 @@
+"""Serialization round trips: JSON configs and CSV traces."""
+
+import numpy as np
+import pytest
+
+from repro.core import ProblemLimits
+from repro.errors import ConfigurationError
+from repro.io import (
+    device_from_dict,
+    device_to_dict,
+    limits_from_dict,
+    limits_to_dict,
+    load_profile,
+    load_profiles,
+    load_trace,
+    profile_from_dict,
+    profile_to_dict,
+    save_profile,
+    save_profiles,
+    save_trace,
+)
+from repro.power import BenchmarkProfile
+from repro.tec import default_tec_device
+
+
+class TestProfileIO:
+    def test_dict_roundtrip(self, profiles):
+        original = profiles["fft"]
+        recovered = profile_from_dict(profile_to_dict(original))
+        assert recovered.name == original.name
+        assert recovered.unit_power == dict(original.unit_power)
+
+    def test_file_roundtrip(self, tmp_path, profiles):
+        path = tmp_path / "profile.json"
+        save_profile(profiles["susan"], path)
+        recovered = load_profile(path)
+        assert recovered.total_power == pytest.approx(
+            profiles["susan"].total_power)
+
+    def test_profile_set_roundtrip(self, tmp_path, profiles):
+        path = tmp_path / "profiles.json"
+        save_profiles(profiles, path)
+        recovered = load_profiles(path)
+        assert set(recovered) == set(profiles)
+        for name in profiles:
+            assert recovered[name].total_power == pytest.approx(
+                profiles[name].total_power)
+
+    def test_missing_keys_rejected(self):
+        with pytest.raises(ConfigurationError):
+            profile_from_dict({"name": "x"})
+        with pytest.raises(ConfigurationError):
+            profile_from_dict({"name": "x", "unit_power": [1, 2]})
+
+    def test_bad_set_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(ConfigurationError):
+            load_profiles(path)
+
+
+class TestDeviceIO:
+    def test_roundtrip(self):
+        original = default_tec_device()
+        recovered = device_from_dict(device_to_dict(original))
+        assert recovered == original
+
+    def test_default_max_current(self):
+        data = device_to_dict(default_tec_device())
+        del data["max_current"]
+        assert device_from_dict(data).max_current == pytest.approx(5.0)
+
+    def test_missing_keys(self):
+        with pytest.raises(ConfigurationError, match="missing"):
+            device_from_dict({"seebeck_coefficient": 1e-3})
+
+
+class TestLimitsIO:
+    def test_roundtrip(self):
+        original = ProblemLimits(t_max=353.0, omega_max=400.0,
+                                 i_tec_max=3.0)
+        recovered = limits_from_dict(limits_to_dict(original))
+        assert recovered == original
+
+    def test_defaults_fill_in(self):
+        limits = limits_from_dict({})
+        assert limits == ProblemLimits()
+
+
+class TestTraceIO:
+    def test_roundtrip(self, tmp_path, profiles, trace_generator):
+        trace = trace_generator.generate(profiles["crc32"], duration=0.5,
+                                         sample_interval=0.05)
+        path = tmp_path / "trace.csv"
+        save_trace(trace, path)
+        recovered = load_trace(path)
+        assert recovered.name == trace.name
+        assert recovered.unit_names == trace.unit_names
+        assert np.allclose(recovered.times, trace.times)
+        assert np.allclose(recovered.samples, trace.samples, rtol=1e-6)
+
+    def test_max_profile_survives_roundtrip(self, tmp_path, profiles,
+                                            trace_generator):
+        trace = trace_generator.generate(profiles["fft"], duration=0.5,
+                                         sample_interval=0.05)
+        path = tmp_path / "trace.csv"
+        save_trace(trace, path)
+        recovered = load_trace(path)
+        original_max = trace.max_profile().unit_power
+        recovered_max = recovered.max_profile().unit_power
+        for unit, value in original_max.items():
+            assert recovered_max[unit] == pytest.approx(value, rel=1e-6)
+
+    def test_bad_header(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("when,a\n0.0,1.0\n")
+        with pytest.raises(ConfigurationError, match="time"):
+            load_trace(path)
+
+    def test_row_width_mismatch(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("time,a,b\n0.0,1.0\n")
+        with pytest.raises(ConfigurationError, match="fields"):
+            load_trace(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(ConfigurationError, match="no samples"):
+            load_trace(path)
+
+    def test_name_comment_optional(self, tmp_path):
+        path = tmp_path / "anon.csv"
+        path.write_text("time,a\n0.0,1.0\n1.0,2.0\n")
+        trace = load_trace(path)
+        assert trace.name == "anon"
+        assert trace.sample_count == 2
+
+
+class TestProfileValidation:
+    def test_profile_from_dict_types(self):
+        profile = profile_from_dict(
+            {"name": "n", "unit_power": {"a": "2.5"}})
+        assert isinstance(profile, BenchmarkProfile)
+        assert profile.unit_power["a"] == pytest.approx(2.5)

@@ -1,0 +1,87 @@
+"""Result/campaign serialization."""
+
+import json
+
+import pytest
+
+from repro import run_oftec, run_variable_fan_baseline
+from repro.analysis import run_campaign
+from repro.io import (
+    baseline_result_to_dict,
+    campaign_to_dict,
+    oftec_result_to_dict,
+    save_campaign,
+)
+
+
+@pytest.fixture(scope="module")
+def oftec_result(tec_problem):
+    return run_oftec(tec_problem)
+
+
+@pytest.fixture(scope="module")
+def mini_campaign(tec_problem, baseline_problem, profiles):
+    subset = {"basicmath": profiles["basicmath"]}
+    return run_campaign(subset, tec_problem, baseline_problem)
+
+
+class TestResultDicts:
+    def test_oftec_fields(self, oftec_result):
+        payload = oftec_result_to_dict(oftec_result)
+        assert payload["benchmark"] == "basicmath"
+        assert payload["feasible"] is True
+        assert payload["evaluation"]["total_power_w"] == pytest.approx(
+            oftec_result.total_power)
+        assert payload["evaluation"]["max_temperature_c"] == \
+            pytest.approx(oftec_result.max_chip_temperature - 273.15)
+
+    def test_baseline_fields(self, baseline_problem):
+        result = run_variable_fan_baseline(baseline_problem)
+        payload = baseline_result_to_dict(result)
+        assert payload["controller"] == "variable-omega"
+        assert payload["i_tec_a"] == 0.0
+
+    def test_json_serializable(self, oftec_result):
+        text = json.dumps(oftec_result_to_dict(oftec_result))
+        assert "basicmath" in text
+
+
+class TestCampaignCsv:
+    def test_rows_and_header(self, mini_campaign, tmp_path):
+        import csv
+
+        from repro.io import CSV_COLUMNS, campaign_rows, \
+            save_campaign_csv
+        rows = campaign_rows(mini_campaign)
+        # 5 rows per benchmark without the TEC-only sweep.
+        assert len(rows) == 5
+        assert all(len(row) == len(CSV_COLUMNS) for row in rows)
+        path = tmp_path / "campaign.csv"
+        save_campaign_csv(mini_campaign, path)
+        with open(path, newline="", encoding="utf-8") as f:
+            parsed = list(csv.reader(f))
+        assert parsed[0] == CSV_COLUMNS
+        assert len(parsed) == 6
+        assert parsed[1][0] == "basicmath"
+
+    def test_methods_covered(self, mini_campaign):
+        from repro.io import campaign_rows
+        methods = {row[1] for row in campaign_rows(mini_campaign)}
+        assert methods == {"oftec", "variable-omega", "fixed-omega"}
+
+
+class TestCampaignDict:
+    def test_structure(self, mini_campaign):
+        payload = campaign_to_dict(mini_campaign)
+        assert len(payload["benchmarks"]) == 1
+        assert payload["feasibility_counts"]["oftec"] == 1
+        assert payload["comparable_benchmarks"] == ["basicmath"]
+        assert payload["power_saving_vs_variable"] > 0.0
+
+    def test_save_roundtrip(self, mini_campaign, tmp_path):
+        path = tmp_path / "campaign.json"
+        save_campaign(mini_campaign, path)
+        with open(path, encoding="utf-8") as f:
+            loaded = json.load(f)
+        assert loaded["benchmarks"][0]["benchmark"] == "basicmath"
+        assert loaded["average_oftec_runtime_ms"] > 0.0

@@ -1,0 +1,267 @@
+"""Leakage model, linearization, calibration, and the lumped fixed point."""
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    CalibrationError,
+    ConfigurationError,
+    ThermalRunawayError,
+)
+from repro.leakage import (
+    CellLeakageModel,
+    UnitLeakageSpec,
+    build_cell_leakage,
+    calibrate_from_samples,
+    lumped_fixed_point,
+    mcpat_substitute_samples,
+    regression_linearization,
+    tangent_linearization,
+)
+from repro.leakage.calibrate import calibration_temperatures
+
+
+@pytest.fixture()
+def small_model():
+    return CellLeakageModel(np.array([1.0, 2.0, 0.0]), beta=0.04,
+                            t_nominal=350.0)
+
+
+class TestCellLeakageModel:
+    def test_nominal_at_reference(self, small_model):
+        temps = np.full(3, 350.0)
+        assert small_model.power(temps) == pytest.approx([1.0, 2.0, 0.0])
+
+    def test_exponential_growth(self, small_model):
+        hot = small_model.power(np.full(3, 375.0))
+        expected = np.exp(0.04 * 25.0)
+        assert hot[0] == pytest.approx(expected)
+
+    def test_total_power(self, small_model):
+        assert small_model.total_power(np.full(3, 350.0)) == \
+            pytest.approx(3.0)
+
+    def test_derivative_is_beta_times_power(self, small_model):
+        temps = np.array([340.0, 360.0, 355.0])
+        deriv = small_model.power_derivative(temps)
+        assert deriv == pytest.approx(0.04 * small_model.power(temps))
+
+    def test_derivative_matches_finite_difference(self, small_model):
+        temps = np.full(3, 362.0)
+        eps = 1e-5
+        numeric = (small_model.power(temps + eps)
+                   - small_model.power(temps - eps)) / (2 * eps)
+        assert small_model.power_derivative(temps) == pytest.approx(
+            numeric, rel=1e-6)
+
+    def test_scaled(self, small_model):
+        doubled = small_model.scaled(2.0)
+        temps = np.full(3, 350.0)
+        assert doubled.power(temps) == pytest.approx(
+            2.0 * small_model.power(temps))
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CellLeakageModel(np.array([-1.0]), 0.04, 350.0)
+        with pytest.raises(ConfigurationError):
+            CellLeakageModel(np.array([1.0]), -0.04, 350.0)
+        with pytest.raises(ConfigurationError):
+            CellLeakageModel(np.array([[1.0]]), 0.04, 350.0)
+
+    def test_temperature_validation(self, small_model):
+        with pytest.raises(ConfigurationError):
+            small_model.power(np.array([300.0, -1.0, 300.0]))
+        with pytest.raises(ConfigurationError):
+            small_model.power(np.zeros(5))
+
+
+class TestTangentLinearization:
+    def test_matches_model_at_reference(self, small_model):
+        taylor = tangent_linearization(small_model, 355.0)
+        temps = np.full(3, 355.0)
+        assert taylor.power(temps) == pytest.approx(
+            small_model.power(temps))
+
+    def test_slope_is_derivative(self, small_model):
+        taylor = tangent_linearization(small_model, 355.0)
+        assert taylor.a == pytest.approx(
+            small_model.power_derivative(np.full(3, 355.0)))
+
+    def test_first_order_accuracy(self, small_model):
+        # Error of the tangent is O(dT^2): small near the reference.
+        taylor = tangent_linearization(small_model, 360.0)
+        temps = np.full(3, 362.0)
+        exact = small_model.power(temps)
+        approx = taylor.power(temps)
+        rel_err = np.abs(approx[:2] - exact[:2]) / exact[:2]
+        assert (rel_err < 0.01).all()
+
+    def test_per_cell_reference(self, small_model):
+        refs = np.array([340.0, 350.0, 360.0])
+        taylor = tangent_linearization(small_model, refs)
+        assert taylor.power(refs) == pytest.approx(
+            small_model.power(refs))
+
+    def test_constant_term(self, small_model):
+        taylor = tangent_linearization(small_model, 355.0)
+        assert taylor.constant_term() == pytest.approx(
+            taylor.b - taylor.a * 355.0)
+
+    def test_total_slope(self, small_model):
+        taylor = tangent_linearization(small_model, 350.0)
+        assert taylor.total_slope == pytest.approx(0.04 * 3.0)
+
+    def test_invalid_reference(self, small_model):
+        with pytest.raises(CalibrationError):
+            tangent_linearization(small_model, -5.0)
+
+
+class TestRegressionLinearization:
+    def test_paper_protocol_ten_points(self, small_model):
+        temps = calibration_temperatures()
+        assert temps.size == 10
+        assert temps[0] == pytest.approx(300.0)
+        assert temps[-1] == pytest.approx(390.0)
+        taylor = regression_linearization(small_model, temps)
+        # The regression line must sit within the sampled envelope and
+        # have positive slope for cells with leakage.
+        assert taylor.a[0] > 0.0
+        assert taylor.a[2] == pytest.approx(0.0, abs=1e-12)
+
+    def test_regression_beats_tangent_far_from_reference(self,
+                                                         small_model):
+        temps = np.linspace(300.0, 390.0, 10)
+        regression = regression_linearization(small_model, temps)
+        tangent = tangent_linearization(small_model, 300.0)
+        eval_temps = np.full(3, 380.0)
+        exact = small_model.power(eval_temps)
+        err_reg = abs(regression.power(eval_temps)[0] - exact[0])
+        err_tan = abs(tangent.power(eval_temps)[0] - exact[0])
+        assert err_reg < err_tan
+
+    def test_too_few_points(self, small_model):
+        with pytest.raises(CalibrationError):
+            regression_linearization(small_model, [350.0])
+
+
+class TestBuildCellLeakage:
+    def test_distributes_by_area(self, coverage):
+        model = build_cell_leakage(
+            coverage,
+            [UnitLeakageSpec("IntExec", 2.0),
+             UnitLeakageSpec("L2", 1.0)],
+            beta=0.04, t_nominal=350.0)
+        total = model.nominal_powers.sum()
+        assert total == pytest.approx(3.0)
+
+    def test_duplicate_unit_rejected(self, coverage):
+        with pytest.raises(ConfigurationError, match="Duplicate"):
+            build_cell_leakage(
+                coverage,
+                [UnitLeakageSpec("L2", 1.0), UnitLeakageSpec("L2", 2.0)],
+                beta=0.04, t_nominal=350.0)
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(ConfigurationError):
+            UnitLeakageSpec("L2", -1.0)
+
+
+class TestMcpatSubstitute:
+    def test_samples_cover_all_units(self, floorplan):
+        samples = mcpat_substitute_samples(floorplan)
+        assert set(samples) == set(floorplan.unit_names)
+        for pairs in samples.values():
+            assert len(pairs) == 10
+
+    def test_samples_increase_with_temperature(self, floorplan):
+        samples = mcpat_substitute_samples(floorplan)
+        for pairs in samples.values():
+            powers = [p for _, p in pairs]
+            assert powers == sorted(powers)
+
+    def test_sram_leaks_less_per_area(self, floorplan):
+        samples = mcpat_substitute_samples(floorplan)
+        l2_density = samples["L2"][0][1] / floorplan["L2"].area
+        exe_density = samples["IntExec"][0][1] / floorplan["IntExec"].area
+        assert l2_density < exe_density
+
+    def test_calibration_recovers_beta(self, floorplan):
+        samples = mcpat_substitute_samples(floorplan, beta=0.04)
+        calibration = calibrate_from_samples(samples)
+        # The T^2 prefactor inflates the effective exponent slightly.
+        assert calibration.beta == pytest.approx(0.04, abs=0.01)
+
+    def test_calibration_taylor_signs(self, floorplan):
+        calibration = calibrate_from_samples(
+            mcpat_substitute_samples(floorplan))
+        for a, b in calibration.unit_taylor.values():
+            assert a > 0.0
+            assert b > 0.0
+
+    def test_total_nominal_scale(self, floorplan):
+        # The calibrated die should leak single-digit watts at T_ref --
+        # the scale the paper's figures imply.
+        calibration = calibrate_from_samples(
+            mcpat_substitute_samples(floorplan))
+        assert 3.0 < calibration.total_nominal < 20.0
+
+    def test_empty_samples_rejected(self):
+        with pytest.raises(CalibrationError):
+            calibrate_from_samples({})
+
+    def test_single_point_rejected(self):
+        with pytest.raises(CalibrationError):
+            calibrate_from_samples({"u": [(350.0, 1.0)]})
+
+    def test_nonpositive_power_rejected(self):
+        with pytest.raises(CalibrationError):
+            calibrate_from_samples({"u": [(350.0, 1.0), (360.0, 0.0)]})
+
+
+class TestLumpedFixedPoint:
+    def test_no_leakage_analytic(self):
+        result = lumped_fixed_point(
+            dynamic_power=10.0, conductance=2.0, ambient=318.0,
+            leakage=lambda t: 0.0)
+        assert result.temperature == pytest.approx(323.0)
+
+    def test_with_leakage_is_hotter(self):
+        no_leak = lumped_fixed_point(10.0, 2.0, 318.0, lambda t: 0.0)
+        with_leak = lumped_fixed_point(
+            10.0, 2.0, 318.0,
+            leakage=lambda t: 2.0 * np.exp(0.03 * (t - 350.0)))
+        assert with_leak.temperature > no_leak.temperature
+        assert with_leak.leakage_power > 0.0
+
+    def test_fixed_point_satisfies_balance(self):
+        leak = lambda t: 3.0 * np.exp(0.03 * (t - 350.0))  # noqa: E731
+        result = lumped_fixed_point(10.0, 2.0, 318.0, leak,
+                                    tolerance=1e-9)
+        balance = 318.0 + (10.0 + leak(result.temperature)) / 2.0
+        assert result.temperature == pytest.approx(balance, abs=1e-6)
+
+    def test_runaway_detected(self):
+        # beta * P_leak exceeds g at any candidate fixed point.
+        with pytest.raises(ThermalRunawayError):
+            lumped_fixed_point(
+                30.0, 0.5, 318.0,
+                leakage=lambda t: 10.0 * np.exp(0.05 * (t - 330.0)))
+
+    def test_stability_criterion(self):
+        # Just below the runaway boundary the iteration converges; the
+        # boundary is where d(leak)/dT equals the conductance.
+        g = 1.0
+        leak = lambda t: 5.0 * np.exp(0.1 * (t - 400.0))  # noqa: E731
+        result = lumped_fixed_point(5.0, g, 318.0, leak)
+        slope = 0.1 * leak(result.temperature)
+        assert slope < g
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            lumped_fixed_point(1.0, 0.0, 318.0, lambda t: 0.0)
+        with pytest.raises(ConfigurationError):
+            lumped_fixed_point(-1.0, 1.0, 318.0, lambda t: 0.0)
+        with pytest.raises(ConfigurationError):
+            lumped_fixed_point(1.0, 1.0, -318.0, lambda t: 0.0)
+        with pytest.raises(ConfigurationError):
+            lumped_fixed_point(1.0, 1.0, 318.0, lambda t: -1.0)

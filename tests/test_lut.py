@@ -1,0 +1,82 @@
+"""Lookup-table controller."""
+
+import pytest
+
+from repro.core import LookupTableController
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture()
+def table(floorplan):
+    return LookupTableController(floorplan.unit_names)
+
+
+class TestLookup:
+    def test_empty_table_rejected(self, table):
+        with pytest.raises(ConfigurationError, match="empty"):
+            table.lookup({"IntExec": 1.0})
+
+    def test_exact_match(self, table, profiles):
+        for name, profile in profiles.items():
+            table.add_entry(name, profile.unit_power, omega=100.0 + 1,
+                            current=0.5)
+        omega, current, entry = table.lookup(
+            profiles["fft"].unit_power)
+        assert entry.label == "fft"
+
+    def test_nearest_by_shape(self, table, profiles):
+        table.add_entry("int", profiles["bitcount"].unit_power, 400.0,
+                        2.0)
+        table.add_entry("fp", profiles["fft"].unit_power, 300.0, 1.0)
+        # A scaled bitcount still matches the integer representative.
+        query = profiles["bitcount"].scaled(0.9).unit_power
+        _, _, entry = table.lookup(query)
+        assert entry.label == "int"
+
+    def test_scale_penalty_separates_same_shape(self, table, profiles):
+        light = profiles["basicmath"]
+        heavy = light.scaled(1.6)
+        table.add_entry("light", light.unit_power, 150.0, 0.2)
+        table.add_entry("heavy", heavy.unit_power, 300.0, 1.0)
+        _, _, entry = table.lookup(light.scaled(1.55).unit_power)
+        assert entry.label == "heavy"
+
+    def test_returns_stored_values(self, table, profiles):
+        table.add_entry("x", profiles["crc32"].unit_power, 123.0, 0.7)
+        omega, current, _ = table.lookup(profiles["crc32"].unit_power)
+        assert omega == 123.0
+        assert current == 0.7
+
+    def test_negative_power_rejected(self, table):
+        with pytest.raises(ConfigurationError):
+            table.lookup({"IntExec": -1.0})
+
+    def test_unknown_units_ignored_as_zero(self, table, profiles):
+        table.add_entry("x", profiles["crc32"].unit_power, 100.0, 0.5)
+        # Querying with a subset of units still resolves.
+        omega, _, _ = table.lookup({"IntExec": 5.0})
+        assert omega == 100.0
+
+
+class TestPrecompute:
+    def test_precompute_runs_oftec(self, tec_problem, profiles):
+        table = LookupTableController(
+            tec_problem.coverage.floorplan.unit_names)
+        subset = {name: profiles[name].unit_power
+                  for name in ("basicmath", "crc32")}
+        results = table.precompute(tec_problem, subset)
+        assert set(results) == {"basicmath", "crc32"}
+        assert len(table.entries) == 2
+        for result in results.values():
+            assert result.feasible
+
+    def test_lookup_matches_oftec_solution(self, tec_problem, profiles):
+        table = LookupTableController(
+            tec_problem.coverage.floorplan.unit_names)
+        results = table.precompute(
+            tec_problem, {"basicmath": profiles["basicmath"].unit_power})
+        omega, current, _ = table.lookup(
+            profiles["basicmath"].unit_power)
+        assert omega == pytest.approx(results["basicmath"].omega_star)
+        assert current == pytest.approx(
+            results["basicmath"].current_star)

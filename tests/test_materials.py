@@ -1,0 +1,206 @@
+"""Materials, layers, and the package stack."""
+
+import pytest
+
+from repro.errors import ConfigurationError, MaterialError
+from repro.materials import (
+    COPPER,
+    Layer,
+    LayerRole,
+    Material,
+    PackageStack,
+    SILICON,
+    THERMAL_PASTE,
+    baseline_package_stack,
+    default_package_stack,
+    table1_layers,
+)
+from repro.materials.stack import (
+    CHIP_SIZE,
+    TEC_LAYER_CONDUCTIVITY,
+    effective_series_conductivity,
+)
+
+
+class TestMaterial:
+    def test_table1_conductivities(self):
+        assert SILICON.conductivity == pytest.approx(100.0)
+        assert THERMAL_PASTE.conductivity == pytest.approx(1.75)
+        assert COPPER.conductivity == pytest.approx(400.0)
+
+    def test_invalid_conductivity(self):
+        with pytest.raises(MaterialError):
+            Material("bad", 0.0, 1e6)
+
+    def test_invalid_heat_capacity(self):
+        with pytest.raises(MaterialError):
+            Material("bad", 1.0, -1.0)
+
+    def test_with_conductivity(self):
+        boosted = THERMAL_PASTE.with_conductivity(3.0)
+        assert boosted.conductivity == 3.0
+        assert boosted.volumetric_heat_capacity == \
+            THERMAL_PASTE.volumetric_heat_capacity
+
+
+class TestLayer:
+    def test_vertical_conductance(self):
+        layer = Layer("slab", LayerRole.CONDUCT, THERMAL_PASTE,
+                      20e-6, 0.01, 0.01)
+        # g = k * A / t
+        expected = 1.75 * 1e-4 / 20e-6
+        assert layer.vertical_conductance(1e-4) == pytest.approx(expected)
+
+    def test_footprint_area(self):
+        layer = Layer("slab", LayerRole.CONDUCT, COPPER, 1e-3, 0.03, 0.03)
+        assert layer.footprint_area == pytest.approx(9e-4)
+
+    def test_invalid_thickness(self):
+        with pytest.raises(MaterialError):
+            Layer("bad", LayerRole.CONDUCT, COPPER, 0.0, 0.01, 0.01)
+
+    def test_with_material(self):
+        layer = Layer("slab", LayerRole.CONDUCT, COPPER, 1e-3, 0.01, 0.01)
+        assert layer.with_material(SILICON).material is SILICON
+
+
+class TestDefaultStack:
+    def test_layer_order(self):
+        names = [layer.name for layer in default_package_stack()]
+        assert names == ["pcb", "chip", "tim1", "tec", "spreader",
+                         "tim2", "heatsink"]
+
+    def test_table1_dimensions(self):
+        stack = default_package_stack()
+        assert stack["chip"].width == pytest.approx(15.9e-3)
+        assert stack["chip"].thickness == pytest.approx(15e-6)
+        assert stack["tim1"].thickness == pytest.approx(20e-6)
+        assert stack["spreader"].width == pytest.approx(30e-3)
+        assert stack["spreader"].thickness == pytest.approx(1e-3)
+        assert stack["heatsink"].width == pytest.approx(60e-3)
+        assert stack["heatsink"].thickness == pytest.approx(7e-3)
+
+    def test_table1_data_matches_stack(self):
+        table = table1_layers()
+        stack = default_package_stack()
+        for name, spec in table.items():
+            layer = stack[name]
+            assert layer.material.conductivity == \
+                pytest.approx(spec["conductivity"])
+            assert layer.thickness == pytest.approx(spec["thickness"])
+
+    def test_roles(self):
+        stack = default_package_stack()
+        assert stack.chip_layer.name == "chip"
+        assert stack.heatsink_layer.name == "heatsink"
+        assert stack.has_tec
+        assert stack.tec_layer.name == "tec"
+
+    def test_tec_above_chip(self):
+        stack = default_package_stack()
+        assert stack.index_of("tec") > stack.index_of("chip")
+
+    def test_tec_conducts_better_than_paste(self):
+        # Section 6.1's premise for the fairness correction.
+        assert TEC_LAYER_CONDUCTIVITY > THERMAL_PASTE.conductivity
+
+
+class TestStackValidation:
+    def test_requires_chip(self):
+        with pytest.raises(ConfigurationError, match="chip"):
+            PackageStack([
+                Layer("sink", LayerRole.HEATSINK, COPPER, 1e-3,
+                      CHIP_SIZE, CHIP_SIZE),
+            ])
+
+    def test_requires_topmost_heatsink(self):
+        chip = Layer("chip", LayerRole.CHIP, SILICON, 15e-6,
+                     CHIP_SIZE, CHIP_SIZE)
+        sink = Layer("sink", LayerRole.HEATSINK, COPPER, 1e-3,
+                     CHIP_SIZE, CHIP_SIZE)
+        with pytest.raises(ConfigurationError, match="heat-sink"):
+            PackageStack([sink, chip])
+
+    def test_tec_below_chip_rejected(self):
+        tec = Layer("tec", LayerRole.TEC, COPPER, 20e-6,
+                    CHIP_SIZE, CHIP_SIZE)
+        chip = Layer("chip", LayerRole.CHIP, SILICON, 15e-6,
+                     CHIP_SIZE, CHIP_SIZE)
+        sink = Layer("sink", LayerRole.HEATSINK, COPPER, 1e-3,
+                     CHIP_SIZE, CHIP_SIZE)
+        with pytest.raises(ConfigurationError, match="above the chip"):
+            PackageStack([tec, chip, sink])
+
+    def test_duplicate_names_rejected(self):
+        chip = Layer("x", LayerRole.CHIP, SILICON, 15e-6,
+                     CHIP_SIZE, CHIP_SIZE)
+        sink = Layer("x", LayerRole.HEATSINK, COPPER, 1e-3,
+                     CHIP_SIZE, CHIP_SIZE)
+        with pytest.raises(ConfigurationError, match="Duplicate"):
+            PackageStack([chip, sink])
+
+    def test_replace_and_without(self):
+        stack = default_package_stack()
+        thinner = stack["tim1"]
+        stack2 = stack.replace_layer(
+            "tim1", Layer("tim1", LayerRole.CONDUCT, THERMAL_PASTE,
+                          thinner.thickness / 2, thinner.width,
+                          thinner.height))
+        assert stack2["tim1"].thickness == pytest.approx(10e-6)
+        assert not stack.without_layer("tec").has_tec
+
+    def test_unknown_layer_lookup(self):
+        with pytest.raises(ConfigurationError):
+            default_package_stack()["nope"]
+
+
+class TestBaselineStack:
+    def test_no_tec(self):
+        assert not baseline_package_stack().has_tec
+
+    def test_tim1_merged_thickness(self):
+        full = default_package_stack()
+        base = baseline_package_stack()
+        expected = full["tim1"].thickness + full["tec"].thickness
+        assert base["tim1"].thickness == pytest.approx(expected)
+
+    def test_tim1_effective_conductivity(self):
+        full = default_package_stack()
+        base = baseline_package_stack()
+        k_eff = effective_series_conductivity([full["tim1"], full["tec"]])
+        assert base["tim1"].material.conductivity == pytest.approx(k_eff)
+        # The merged layer conducts better than plain paste but worse
+        # than the TEC film alone.
+        assert THERMAL_PASTE.conductivity < k_eff < TEC_LAYER_CONDUCTIVITY
+
+    def test_fairness_same_total_resistance(self):
+        # The merged slab has exactly the series resistance of TIM1+TEC.
+        full = default_package_stack()
+        base = baseline_package_stack()
+        area = 1e-6
+        r_full = (full["tim1"].thickness
+                  / (full["tim1"].material.conductivity * area)
+                  + full["tec"].thickness
+                  / (full["tec"].material.conductivity * area))
+        r_base = (base["tim1"].thickness
+                  / (base["tim1"].material.conductivity * area))
+        assert r_base == pytest.approx(r_full)
+
+
+class TestSeriesConductivity:
+    def test_single_layer_identity(self):
+        layer = Layer("slab", LayerRole.CONDUCT, COPPER, 1e-3, 0.01, 0.01)
+        assert effective_series_conductivity([layer]) == pytest.approx(
+            COPPER.conductivity)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            effective_series_conductivity([])
+
+    def test_dominated_by_worst_conductor(self):
+        paste = Layer("paste", LayerRole.CONDUCT, THERMAL_PASTE, 20e-6,
+                      0.01, 0.01)
+        copper = Layer("cu", LayerRole.CONDUCT, COPPER, 20e-6, 0.01, 0.01)
+        k_eff = effective_series_conductivity([paste, copper])
+        assert THERMAL_PASTE.conductivity < k_eff \
+            < 2 * THERMAL_PASTE.conductivity * 1.01

@@ -1,0 +1,146 @@
+"""Multi-channel OFTEC extension."""
+
+import numpy as np
+import pytest
+
+from repro import run_oftec
+from repro.core import (
+    ChannelAssignment,
+    EV6_DEFAULT_CHANNELS,
+    MultiChannelEvaluator,
+    run_oftec_multichannel,
+)
+from repro.errors import ConfigurationError
+
+
+class TestChannelAssignment:
+    def test_default_channels_cover_everything(self, tec_problem):
+        assignment = ChannelAssignment(tec_problem,
+                                       EV6_DEFAULT_CHANNELS)
+        # Explicit channels plus the implicit rest channel.
+        assert assignment.channel_names[:2] == ["int-core", "fp-cluster"]
+        assert "rest" in assignment.channel_names
+        mask = tec_problem.model.tec_array.coverage_mask
+        assert (assignment.cell_channel[mask] >= 0).all()
+        assert (assignment.cell_channel[~mask] == -1).all()
+
+    def test_cell_counts_sum_to_coverage(self, tec_problem):
+        assignment = ChannelAssignment(tec_problem,
+                                       EV6_DEFAULT_CHANNELS)
+        counts = assignment.channel_cell_counts()
+        covered = int(tec_problem.model.tec_array.coverage_mask.sum())
+        assert sum(counts.values()) == covered
+
+    def test_cell_currents_expansion(self, tec_problem):
+        assignment = ChannelAssignment(tec_problem,
+                                       EV6_DEFAULT_CHANNELS)
+        currents = np.arange(1.0, assignment.channel_count + 1.0)
+        cell = assignment.cell_currents(currents)
+        mask = tec_problem.model.tec_array.coverage_mask
+        assert (cell[~mask] == 0.0).all()
+        for idx in range(assignment.channel_count):
+            members = assignment.cell_channel == idx
+            assert (cell[members] == currents[idx]).all()
+
+    def test_single_channel_reduces_to_uniform(self, tec_problem):
+        assignment = ChannelAssignment(tec_problem, {"all": []})
+        # Everything lands in the implicit rest channel... no: empty
+        # group means all covered cells go to "rest".
+        cell = assignment.cell_currents(
+            np.full(assignment.channel_count, 2.0))
+        mask = tec_problem.model.tec_array.coverage_mask
+        assert (cell[mask] == 2.0).all()
+
+    def test_unknown_unit_rejected(self, tec_problem):
+        with pytest.raises(ConfigurationError, match="unknown unit"):
+            ChannelAssignment(tec_problem, {"a": ["NotAUnit"]})
+
+    def test_double_assignment_rejected(self, tec_problem):
+        with pytest.raises(ConfigurationError, match="both"):
+            ChannelAssignment(tec_problem, {"a": ["IntExec"],
+                                            "b": ["IntExec"]})
+
+    def test_requires_tec(self, baseline_problem):
+        with pytest.raises(ConfigurationError):
+            ChannelAssignment(baseline_problem, EV6_DEFAULT_CHANNELS)
+
+    def test_wrong_current_count(self, tec_problem):
+        assignment = ChannelAssignment(tec_problem,
+                                       EV6_DEFAULT_CHANNELS)
+        with pytest.raises(ConfigurationError):
+            assignment.cell_currents([1.0])
+
+    def test_negative_current_rejected(self, tec_problem):
+        assignment = ChannelAssignment(tec_problem,
+                                       EV6_DEFAULT_CHANNELS)
+        with pytest.raises(ConfigurationError):
+            assignment.cell_currents(
+                np.full(assignment.channel_count, -1.0))
+
+
+class TestMultiChannelEvaluator:
+    def test_uniform_currents_match_scalar_evaluator(self, tec_problem):
+        from repro.core import Evaluator
+        assignment = ChannelAssignment(tec_problem,
+                                       EV6_DEFAULT_CHANNELS)
+        mc = MultiChannelEvaluator(assignment)
+        scalar = Evaluator(tec_problem)
+        uniform = mc.evaluate(
+            262.0, np.full(assignment.channel_count, 1.0))
+        reference = scalar.evaluate(262.0, 1.0)
+        assert uniform.max_chip_temperature == pytest.approx(
+            reference.max_chip_temperature, abs=1e-6)
+        assert uniform.total_power == pytest.approx(
+            reference.total_power, rel=1e-6)
+
+    def test_caching(self, tec_problem):
+        assignment = ChannelAssignment(tec_problem,
+                                       EV6_DEFAULT_CHANNELS)
+        mc = MultiChannelEvaluator(assignment)
+        currents = np.full(assignment.channel_count, 0.5)
+        mc.evaluate(262.0, currents)
+        solves = mc.solve_count
+        mc.evaluate(262.0, currents)
+        assert mc.solve_count == solves
+
+    def test_runaway_penalty(self, heavy_tec_problem):
+        assignment = ChannelAssignment(heavy_tec_problem,
+                                       EV6_DEFAULT_CHANNELS)
+        mc = MultiChannelEvaluator(assignment)
+        evaluation = mc.evaluate(
+            0.0, np.zeros(assignment.channel_count))
+        assert evaluation.runaway
+        assert evaluation.max_chip_temperature >= \
+            heavy_tec_problem.model.config.runaway_ceiling
+
+
+class TestMultiChannelOFTEC:
+    def test_feasible_on_heavy_workload(self, heavy_tec_problem):
+        result = run_oftec_multichannel(heavy_tec_problem,
+                                        EV6_DEFAULT_CHANNELS)
+        assert result.feasible
+        assert result.evaluation.max_chip_temperature < \
+            heavy_tec_problem.limits.t_max
+
+    def test_beats_single_channel(self, heavy_tec_problem):
+        # The whole point of the extension: per-channel currents save
+        # power by not over-driving lukewarm regions.
+        single = run_oftec(heavy_tec_problem)
+        multi = run_oftec_multichannel(heavy_tec_problem,
+                                       EV6_DEFAULT_CHANNELS)
+        assert multi.feasible and single.feasible
+        assert multi.total_power < single.total_power
+
+    def test_hot_channel_draws_most_current(self, heavy_tec_problem):
+        # Quicksort is integer-bound: the int-core channel leads.
+        result = run_oftec_multichannel(heavy_tec_problem,
+                                        EV6_DEFAULT_CHANNELS)
+        currents = result.currents_by_channel()
+        assert currents["int-core"] == max(currents.values())
+
+    def test_currents_within_bounds(self, heavy_tec_problem):
+        result = run_oftec_multichannel(heavy_tec_problem,
+                                        EV6_DEFAULT_CHANNELS)
+        limit = heavy_tec_problem.limits.i_tec_max
+        assert (result.channel_currents >= 0.0).all()
+        assert (result.channel_currents <= limit).all()

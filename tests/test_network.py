@@ -1,0 +1,193 @@
+"""Generic thermal network: assembly and analytic solves."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, SingularNetworkError
+from repro.thermal import NodeKind, ThermalNetwork
+from repro.thermal.network import NodeInfo
+
+
+def two_node_chain():
+    """ambient --g1-- n0 --g2-- n1, power injected at n1."""
+    net = ThermalNetwork()
+    n0 = net.add_node(NodeInfo("n0", NodeKind.BULK, "layer", 0, 1.0))
+    n1 = net.add_node(NodeInfo("n1", NodeKind.CHIP, "layer", 1, 2.0))
+    net.add_conductance(n0, n1, 2.0)
+    net.add_grounded_conductance(n0, 1.0)
+    net.finalize()
+    return net, n0, n1
+
+
+class TestConstruction:
+    def test_duplicate_names_rejected(self):
+        net = ThermalNetwork()
+        net.add_node(NodeInfo("a", NodeKind.BULK, "l"))
+        with pytest.raises(ConfigurationError, match="Duplicate"):
+            net.add_node(NodeInfo("a", NodeKind.BULK, "l"))
+
+    def test_self_conductance_rejected(self):
+        net = ThermalNetwork()
+        a = net.add_node(NodeInfo("a", NodeKind.BULK, "l"))
+        with pytest.raises(ConfigurationError, match="Self"):
+            net.add_conductance(a, a, 1.0)
+
+    def test_nonpositive_conductance_rejected(self):
+        net = ThermalNetwork()
+        a = net.add_node(NodeInfo("a", NodeKind.BULK, "l"))
+        b = net.add_node(NodeInfo("b", NodeKind.BULK, "l"))
+        with pytest.raises(ConfigurationError):
+            net.add_conductance(a, b, 0.0)
+        with pytest.raises(ConfigurationError):
+            net.add_grounded_conductance(a, -1.0)
+
+    def test_no_mutation_after_finalize(self):
+        net, n0, n1 = two_node_chain()
+        with pytest.raises(ConfigurationError, match="finalized"):
+            net.add_node(NodeInfo("c", NodeKind.BULK, "l"))
+        with pytest.raises(ConfigurationError, match="finalized"):
+            net.add_conductance(n0, n1, 1.0)
+
+    def test_empty_network_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ThermalNetwork().finalize()
+
+    def test_double_finalize_rejected(self):
+        net, *_ = two_node_chain()
+        with pytest.raises(ConfigurationError):
+            net.finalize()
+
+    def test_index_bounds(self):
+        net = ThermalNetwork()
+        net.add_node(NodeInfo("a", NodeKind.BULK, "l"))
+        with pytest.raises(ConfigurationError):
+            net.info(5)
+
+
+class TestQueries:
+    def test_lookup_by_name(self):
+        net, n0, n1 = two_node_chain()
+        assert net.index_of("n1") == n1
+        with pytest.raises(ConfigurationError):
+            net.index_of("missing")
+
+    def test_nodes_of_kind(self):
+        net, n0, n1 = two_node_chain()
+        assert net.nodes_of_kind(NodeKind.CHIP) == [n1]
+        assert net.nodes_of_kind(NodeKind.TEC_GEN) == []
+
+    def test_nodes_of_layer(self):
+        net, n0, n1 = two_node_chain()
+        assert net.nodes_of_layer("layer") == [n0, n1]
+
+    def test_heat_capacities(self):
+        net, *_ = two_node_chain()
+        assert net.heat_capacities() == pytest.approx([1.0, 2.0])
+
+    def test_static_matrix_symmetric(self):
+        net, *_ = two_node_chain()
+        m = net.static_matrix.toarray()
+        assert np.allclose(m, m.T)
+
+    def test_static_matrix_before_finalize(self):
+        net = ThermalNetwork()
+        net.add_node(NodeInfo("a", NodeKind.BULK, "l"))
+        with pytest.raises(ConfigurationError):
+            net.static_matrix
+
+
+class TestAnalyticSolves:
+    def test_one_node_to_ambient(self):
+        # T = T_amb + P/g for a single grounded node.
+        net = ThermalNetwork()
+        a = net.add_node(NodeInfo("a", NodeKind.BULK, "l"))
+        net.add_grounded_conductance(a, 2.0)
+        net.finalize()
+        t_amb, power = 318.0, 10.0
+        temps = net.solve(np.zeros(1),
+                          np.array([2.0 * t_amb + power]))
+        assert temps[0] == pytest.approx(t_amb + power / 2.0)
+
+    def test_two_node_chain_series(self):
+        # Heat P at n1 flows through g2 then g1 to ambient:
+        # T1 = T_amb + P/g1 + P/g2, T0 = T_amb + P/g1.
+        net, n0, n1 = two_node_chain()
+        t_amb, power = 300.0, 6.0
+        rhs = np.zeros(2)
+        rhs[n0] = 1.0 * t_amb
+        rhs[n1] = power
+        temps = net.solve(np.zeros(2), rhs)
+        assert temps[n0] == pytest.approx(t_amb + power / 1.0)
+        assert temps[n1] == pytest.approx(t_amb + power / 1.0
+                                          + power / 2.0)
+
+    def test_diagonal_overlay_acts_like_extra_ground(self):
+        # Adding d to the diagonal with d*T_amb on the RHS is exactly a
+        # conductance d to ambient.
+        net = ThermalNetwork()
+        a = net.add_node(NodeInfo("a", NodeKind.BULK, "l"))
+        net.add_grounded_conductance(a, 1.0)
+        net.finalize()
+        t_amb, power, extra = 318.0, 10.0, 3.0
+        temps = net.solve(
+            np.array([extra]),
+            np.array([1.0 * t_amb + extra * t_amb + power]))
+        assert temps[0] == pytest.approx(t_amb + power / (1.0 + extra))
+
+    def test_negative_diagonal_feedback(self):
+        # A negative diagonal entry (leakage slope a) amplifies the
+        # temperature: T = T_amb + (P + a*(T - T_ref_terms))/g ...
+        # solved exactly by the linear system.
+        net = ThermalNetwork()
+        a_idx = net.add_node(NodeInfo("a", NodeKind.CHIP, "l"))
+        net.add_grounded_conductance(a_idx, 2.0)
+        net.finalize()
+        t_amb, power, slope = 318.0, 10.0, 0.5
+        # (g - a) T = g*T_amb + power - a*t_ref  with t_ref = t_amb
+        temps = net.solve(np.array([-slope]),
+                          np.array([2.0 * t_amb + power
+                                    - slope * t_amb]))
+        expected = (2.0 * t_amb + power - slope * t_amb) / (2.0 - slope)
+        assert temps[0] == pytest.approx(expected)
+        assert temps[0] > t_amb + power / 2.0  # feedback heats it up
+
+    def test_floating_network_is_singular(self):
+        import warnings
+
+        net = ThermalNetwork()
+        a = net.add_node(NodeInfo("a", NodeKind.BULK, "l"))
+        b = net.add_node(NodeInfo("b", NodeKind.BULK, "l"))
+        net.add_conductance(a, b, 1.0)
+        net.finalize()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            with pytest.raises(SingularNetworkError):
+                net.solve(np.zeros(2), np.array([1.0, 0.0]))
+
+    def test_overlay_shape_checked(self):
+        net, *_ = two_node_chain()
+        with pytest.raises(ConfigurationError):
+            net.solve(np.zeros(3), np.zeros(2))
+
+    def test_energy_conservation(self):
+        # Sum of injected power equals sum of flow into ambient.
+        net = ThermalNetwork()
+        nodes = [net.add_node(NodeInfo(f"n{i}", NodeKind.BULK, "l"))
+                 for i in range(5)]
+        rng = np.random.default_rng(7)
+        for i in range(4):
+            net.add_conductance(nodes[i], nodes[i + 1],
+                                float(rng.uniform(0.5, 3.0)))
+        ground = {0: 1.5, 4: 0.7}
+        for idx, g in ground.items():
+            net.add_grounded_conductance(nodes[idx], g)
+        net.finalize()
+        t_amb = 318.0
+        power = rng.uniform(0.0, 5.0, size=5)
+        rhs = power.copy()
+        for idx, g in ground.items():
+            rhs[idx] += g * t_amb
+        temps = net.solve(np.zeros(5), rhs)
+        outflow = sum(g * (temps[idx] - t_amb)
+                      for idx, g in ground.items())
+        assert outflow == pytest.approx(power.sum(), rel=1e-9)

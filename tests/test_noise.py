@@ -1,0 +1,80 @@
+"""Fan acoustic model and noise-capped operation."""
+
+import pytest
+
+from repro import build_cooling_problem, mibench_profiles, run_oftec
+from repro.core import ProblemLimits
+from repro.errors import ConfigurationError
+from repro.fan import FanNoiseModel, noise_limited_omega_max
+
+
+class TestNoiseModel:
+    def test_reference_point(self):
+        model = FanNoiseModel()
+        assert model.level(model.reference_omega) == pytest.approx(
+            model.reference_level)
+
+    def test_doubling_speed_adds_about_16_dba(self):
+        # slope * log10(2) ~ 52 * 0.301 ~ 15.7 dBA per doubling.
+        model = FanNoiseModel()
+        delta = model.level(400.0) - model.level(200.0)
+        assert delta == pytest.approx(52.0 * 0.30103, abs=0.01)
+
+    def test_stopped_fan_silent(self):
+        assert FanNoiseModel().level(0.0) == 0.0
+
+    def test_inverse(self):
+        model = FanNoiseModel()
+        for omega in (100.0, 262.0, 524.0):
+            assert model.omega_for_level(model.level(omega)) == \
+                pytest.approx(omega)
+
+    def test_monotone(self):
+        model = FanNoiseModel()
+        levels = [model.level(w) for w in (50.0, 150.0, 350.0, 524.0)]
+        assert levels == sorted(levels)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FanNoiseModel(reference_omega=0.0)
+        with pytest.raises(ConfigurationError):
+            FanNoiseModel(slope=-1.0)
+        with pytest.raises(ConfigurationError):
+            FanNoiseModel().level(-1.0)
+
+
+class TestNoiseLimitedBound:
+    def test_loose_cap_keeps_physical_limit(self):
+        # A 90 dBA cap allows far beyond the physical 524 rad/s.
+        assert noise_limited_omega_max(90.0) == pytest.approx(524.0)
+
+    def test_tight_cap_shrinks_bound(self):
+        bound = noise_limited_omega_max(38.0)
+        assert bound == pytest.approx(209.4, rel=1e-3)
+
+    def test_bound_meets_cap(self):
+        model = FanNoiseModel()
+        cap = 42.0
+        bound = noise_limited_omega_max(cap, model)
+        assert model.level(bound) <= cap + 1e-9
+
+    def test_noise_capped_oftec(self):
+        # The one-line extension: a 42 dBA office cap becomes a tighter
+        # omega_max; OFTEC compensates with more TEC current on a heavy
+        # workload (or fails honestly).
+        profile = mibench_profiles()["basicmath"]
+        capped_omega = noise_limited_omega_max(42.0)
+        assert capped_omega < 524.0
+        capped = build_cooling_problem(
+            profile, grid_resolution=6,
+            limits=ProblemLimits(omega_max=capped_omega))
+        free = build_cooling_problem(profile, grid_resolution=6)
+        capped_result = run_oftec(capped)
+        free_result = run_oftec(free)
+        assert capped_result.omega_star <= capped_omega + 1e-9
+        if capped_result.feasible and free_result.feasible:
+            # The acoustic cap can only cost power, never save it
+            # (within solver tolerance; the cap may not bind at all on
+            # a light workload).
+            assert capped_result.total_power >= \
+                free_result.total_power * 0.99

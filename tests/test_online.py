@@ -1,0 +1,144 @@
+"""Online interval controller."""
+
+import numpy as np
+import pytest
+
+from repro import run_oftec
+from repro.core import (
+    LookupTableController,
+    lut_policy,
+    run_online_controller,
+    static_policy,
+)
+from repro.errors import ConfigurationError
+from repro.power import TraceGenerator
+
+
+@pytest.fixture(scope="module")
+def short_trace(profiles, trace_generator):
+    return trace_generator.generate(profiles["basicmath"],
+                                    duration=2.0,
+                                    sample_interval=0.05)
+
+
+class TestStaticPolicy:
+    def test_applies_fixed_point(self, tec_problem, short_trace):
+        result = run_online_controller(
+            tec_problem, short_trace,
+            static_policy(omega=300.0, current=0.5),
+            control_interval=0.5, dt=0.1)
+        assert (result.omega_trace == 300.0).all()
+        assert (result.current_trace == 0.5).all()
+
+    def test_energy_accumulates(self, tec_problem, short_trace):
+        result = run_online_controller(
+            tec_problem, short_trace,
+            static_policy(omega=300.0, current=0.5),
+            control_interval=0.5, dt=0.1)
+        # Fan power alone over the run bounds the energy from below.
+        fan = tec_problem.fan.power(300.0)
+        assert result.cooling_energy >= fan * short_trace.duration * 0.9
+
+    def test_no_violations_with_strong_cooling(self, tec_problem,
+                                               short_trace):
+        result = run_online_controller(
+            tec_problem, short_trace,
+            static_policy(omega=450.0, current=1.0),
+            control_interval=0.5, dt=0.1)
+        assert result.violation_time == 0.0
+        assert result.peak_temperature < tec_problem.limits.t_max
+
+    def test_weak_cooling_runs_hot(self, heavy_tec_problem, profiles,
+                                   trace_generator):
+        trace = trace_generator.generate(profiles["quicksort"],
+                                         duration=2.0,
+                                         sample_interval=0.05)
+        weak = run_online_controller(
+            heavy_tec_problem, trace, static_policy(50.0, 0.0),
+            control_interval=0.5, dt=0.1)
+        strong = run_online_controller(
+            heavy_tec_problem, trace, static_policy(450.0, 1.5),
+            control_interval=0.5, dt=0.1)
+        assert weak.peak_temperature > strong.peak_temperature
+
+    def test_decision_cadence(self, tec_problem, short_trace):
+        result = run_online_controller(
+            tec_problem, short_trace, static_policy(300.0, 0.5),
+            control_interval=0.5, dt=0.1)
+        assert len(result.decisions) == pytest.approx(
+            short_trace.duration / 0.5, abs=1)
+
+    def test_clamps_policy_output(self, tec_problem, short_trace):
+        result = run_online_controller(
+            tec_problem, short_trace, static_policy(1e6, 99.0),
+            control_interval=1.0, dt=0.25)
+        assert (result.omega_trace
+                <= tec_problem.limits.omega_max).all()
+        assert (result.current_trace
+                <= tec_problem.limits.i_tec_max).all()
+
+
+class TestLutPolicy:
+    def test_lut_tracks_workload(self, tec_problem, profiles,
+                                 trace_generator):
+        table = LookupTableController(
+            tec_problem.coverage.floorplan.unit_names)
+        results = table.precompute(
+            tec_problem,
+            {name: profiles[name].unit_power
+             for name in ("basicmath", "quicksort")})
+        trace = trace_generator.generate(profiles["basicmath"],
+                                         duration=1.0,
+                                         sample_interval=0.05)
+        outcome = run_online_controller(
+            tec_problem, trace, lut_policy(table),
+            control_interval=0.5, dt=0.1)
+        # The LUT should pick the basicmath entry, whose omega is far
+        # below quicksort's.
+        expected = results["basicmath"].omega_star
+        assert outcome.omega_trace[-1] == pytest.approx(expected,
+                                                        rel=1e-6)
+
+    def test_lut_beats_worstcase_energy(self, tec_problem, profiles,
+                                        trace_generator):
+        # Static worst-case (quicksort) cooling wastes energy on a
+        # light workload; the LUT adapts down.
+        table = LookupTableController(
+            tec_problem.coverage.floorplan.unit_names)
+        table.precompute(
+            tec_problem,
+            {name: profiles[name].unit_power
+             for name in ("basicmath", "quicksort")})
+        heavy_point = run_oftec(
+            tec_problem.with_profile(profiles["quicksort"]))
+        trace = trace_generator.generate(profiles["basicmath"],
+                                         duration=1.5,
+                                         sample_interval=0.05)
+        adaptive = run_online_controller(
+            tec_problem, trace, lut_policy(table),
+            control_interval=0.5, dt=0.1)
+        worstcase = run_online_controller(
+            tec_problem, trace,
+            static_policy(heavy_point.omega_star,
+                          heavy_point.current_star),
+            control_interval=0.5, dt=0.1)
+        assert adaptive.cooling_energy < worstcase.cooling_energy
+
+
+class TestValidation:
+    def test_bad_intervals(self, tec_problem, short_trace):
+        with pytest.raises(ConfigurationError):
+            run_online_controller(tec_problem, short_trace,
+                                  static_policy(300.0, 0.5),
+                                  control_interval=0.0, dt=0.1)
+        with pytest.raises(ConfigurationError):
+            run_online_controller(tec_problem, short_trace,
+                                  static_policy(300.0, 0.5),
+                                  control_interval=0.1, dt=0.5)
+
+    def test_bad_initial_shape(self, tec_problem, short_trace):
+        with pytest.raises(ConfigurationError):
+            run_online_controller(
+                tec_problem, short_trace, static_policy(300.0, 0.5),
+                control_interval=0.5, dt=0.1,
+                initial_temperatures=np.zeros(3))

@@ -1,0 +1,78 @@
+"""Power/temperature Pareto frontier."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import trace_pareto_frontier
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def frontier(tec_problem):
+    return trace_pareto_frontier(tec_problem, points=5)
+
+
+class TestFrontierShape:
+    def test_has_points(self, frontier):
+        assert len(frontier.points) >= 3
+
+    def test_monotone_tradeoff(self, frontier):
+        # Tighter thresholds cost more power (within solver noise the
+        # frontier is non-increasing in T_max).
+        temps = [p.t_max for p in frontier.points]
+        powers = [p.total_power for p in frontier.points]
+        assert temps == sorted(temps)
+        for p_cold, p_warm in zip(powers, powers[1:]):
+            assert p_warm <= p_cold * 1.05
+
+    def test_constraints_respected(self, frontier):
+        for point in frontier.points:
+            assert point.achieved_temperature < point.t_max
+
+    def test_coolest_anchor_below_all_thresholds(self, frontier):
+        assert frontier.coolest_temperature < frontier.points[0].t_max
+
+    def test_interpolation(self, frontier):
+        mid_t = (frontier.points[0].t_max
+                 + frontier.points[-1].t_max) / 2.0
+        p_mid = frontier.power_at(mid_t)
+        assert frontier.powers.min() <= p_mid <= frontier.powers.max()
+
+    def test_marginal_slope_negative(self, frontier):
+        # More allowed temperature => less power: negative slope.
+        slope = frontier.marginal_power_per_kelvin()
+        assert np.median(slope) < 0.0
+
+
+class TestTecValue:
+    def test_hybrid_frontier_dominates_baseline(self, tec_problem,
+                                                baseline_problem):
+        # At the thresholds both systems can reach, the hybrid system
+        # needs no more power; and it reaches colder thresholds.
+        hybrid = trace_pareto_frontier(tec_problem, points=4)
+        passive = trace_pareto_frontier(baseline_problem, points=4)
+        assert hybrid.coolest_temperature < passive.coolest_temperature
+        t_common = max(hybrid.points[0].t_max, passive.points[0].t_max)
+        assert hybrid.power_at(t_common) <= \
+            passive.power_at(t_common) * 1.05
+
+
+class TestFormatting:
+    def test_format_pareto(self, frontier):
+        from repro.analysis import format_pareto
+        text = format_pareto(frontier)
+        assert "Pareto frontier" in text
+        assert "T_max (C)" in text
+        # One line per point plus three header lines.
+        assert len(text.splitlines()) == 3 + len(frontier.points)
+
+
+class TestValidation:
+    def test_too_few_points(self, tec_problem):
+        with pytest.raises(ConfigurationError):
+            trace_pareto_frontier(tec_problem, points=1)
+
+    def test_empty_range(self, tec_problem):
+        with pytest.raises(ConfigurationError, match="Empty threshold"):
+            trace_pareto_frontier(tec_problem,
+                                  t_max_range=(400.0, 390.0))

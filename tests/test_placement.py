@@ -1,0 +1,108 @@
+"""Thermal-aware thread placement on the quad-core die."""
+
+import pytest
+
+from repro import build_cooling_problem
+from repro.core import (
+    CMP4_ADJACENCY,
+    optimize_thread_placement,
+    placement_spread_score,
+)
+from repro.errors import ConfigurationError
+from repro.geometry import (
+    CMP4_CACHE_UNITS,
+    CellCoverage,
+    Grid,
+    cmp4_floorplan,
+    cmp4_unit_power,
+)
+from repro.tec import coverage_mask_excluding
+
+
+@pytest.fixture(scope="module")
+def cmp_problem():
+    floorplan = cmp4_floorplan()
+    grid = Grid.for_floorplan(floorplan, 8, 8)
+    coverage = CellCoverage(floorplan, grid)
+    mask = coverage_mask_excluding(coverage, CMP4_CACHE_UNITS)
+    return build_cooling_problem(
+        cmp4_unit_power([5.0, 5.0, 5.0, 5.0]),
+        name="cmp-template", floorplan=floorplan, grid_resolution=8,
+        tec_coverage_mask=mask)
+
+
+class TestSpreadScore:
+    def test_adjacent_hot_pair_scores_worse(self):
+        # Two 20 W threads: adjacent cores (0, 1) vs diagonal (0, 3).
+        packed = placement_spread_score([0, 1, -1, -1], CMP4_ADJACENCY,
+                                        [20.0, 20.0])
+        spread = placement_spread_score([0, -1, -1, 1], CMP4_ADJACENCY,
+                                        [20.0, 20.0])
+        assert spread < packed
+
+    def test_idle_power_contributes(self):
+        score = placement_spread_score([-1, -1, -1, -1],
+                                       CMP4_ADJACENCY, [],
+                                       idle_power=2.0)
+        assert score > 0.0
+
+
+class TestPlacementSearch:
+    @pytest.fixture(scope="class")
+    def result(self, cmp_problem):
+        # Two heavy threads on four cores.
+        return optimize_thread_placement(
+            cmp_problem, thread_powers=[22.0, 22.0], core_count=4,
+            idle_power=2.0, l2_power=4.0)
+
+    def test_best_is_feasible(self, result):
+        assert result.oftec.feasible
+
+    def test_assignment_places_all_threads(self, result):
+        placed = [t for t in result.assignment if t >= 0]
+        assert sorted(placed) == [0, 1]
+
+    def test_symmetric_dedup_reduces_candidates(self, result):
+        # 4!/(2!·2!)·... with two identical threads and two idle cores
+        # there are only C(4,2) = 6 distinct power patterns.
+        assert result.evaluated <= 6
+
+    def test_ranking_sorted(self, result):
+        costs = [cost for _, cost in result.ranking]
+        assert costs == sorted(costs)
+
+    def test_best_matches_ranking_head(self, result):
+        head_assignment, head_cost = result.ranking[0]
+        assert head_cost == pytest.approx(result.oftec.total_power,
+                                          rel=1e-9)
+
+    def test_spreading_beats_packing(self, cmp_problem, result):
+        # The cheapest placements must not put both hot threads on
+        # adjacent cores when diagonal slots exist: compare the best
+        # diagonal candidate against the best adjacent one from the
+        # ranking.
+        def is_adjacent(assignment):
+            hot = [c for c, t in enumerate(assignment) if t >= 0]
+            return hot[1] in CMP4_ADJACENCY[hot[0]]
+
+        adjacent = [cost for a, cost in result.ranking
+                    if is_adjacent(a)]
+        diagonal = [cost for a, cost in result.ranking
+                    if not is_adjacent(a)]
+        assert diagonal and adjacent
+        assert min(diagonal) <= min(adjacent) + 1e-6
+
+
+class TestValidation:
+    def test_too_many_threads(self, cmp_problem):
+        with pytest.raises(ConfigurationError, match="exceed"):
+            optimize_thread_placement(cmp_problem,
+                                      [1.0] * 5, core_count=4)
+
+    def test_no_threads(self, cmp_problem):
+        with pytest.raises(ConfigurationError):
+            optimize_thread_placement(cmp_problem, [])
+
+    def test_negative_power(self, cmp_problem):
+        with pytest.raises(ConfigurationError):
+            optimize_thread_placement(cmp_problem, [-1.0])

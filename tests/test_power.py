@@ -1,0 +1,250 @@
+"""Benchmark profiles, power traces, and the trace generator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.power import (
+    BenchmarkProfile,
+    MIBENCH_NAMES,
+    PowerTrace,
+    TraceGenerator,
+    mibench_profiles,
+)
+
+
+class TestBenchmarkProfile:
+    def test_total_power(self):
+        profile = BenchmarkProfile("x", {"a": 1.0, "b": 2.0})
+        assert profile.total_power == pytest.approx(3.0)
+
+    def test_scaled(self):
+        profile = BenchmarkProfile("x", {"a": 1.0, "b": 2.0}).scaled(2.0)
+        assert profile.total_power == pytest.approx(6.0)
+
+    def test_with_total(self):
+        profile = BenchmarkProfile("x", {"a": 1.0, "b": 3.0})
+        rescaled = profile.with_total(8.0)
+        assert rescaled.total_power == pytest.approx(8.0)
+        assert rescaled.unit_power["a"] == pytest.approx(2.0)
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BenchmarkProfile("x", {"a": -1.0})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BenchmarkProfile("x", {})
+
+    def test_as_dict_is_copy(self):
+        profile = BenchmarkProfile("x", {"a": 1.0})
+        d = profile.as_dict()
+        d["a"] = 99.0
+        assert profile.unit_power["a"] == 1.0
+
+
+class TestMiBenchProfiles:
+    def test_eight_benchmarks(self):
+        profiles = mibench_profiles()
+        assert set(profiles) == set(MIBENCH_NAMES)
+        assert len(profiles) == 8
+
+    def test_units_exist_on_ev6(self, floorplan):
+        for profile in mibench_profiles().values():
+            for unit in profile.unit_power:
+                assert unit in floorplan
+
+    def test_heavy_light_split(self):
+        # The calibrated totals separate the paper's heavy five from the
+        # light three (Figure 6(c)'s red dashed box).
+        profiles = mibench_profiles()
+        light = {"basicmath", "crc32", "stringsearch"}
+        heavy = set(MIBENCH_NAMES) - light
+        max_light = max(profiles[n].total_power for n in light)
+        min_heavy = min(profiles[n].total_power for n in heavy)
+        assert max_light < min_heavy
+
+    def test_int_benchmarks_heat_integer_core(self):
+        profiles = mibench_profiles()
+        bitcount = profiles["bitcount"]
+        assert bitcount.unit_power["IntExec"] > \
+            bitcount.unit_power.get("FPAdd", 0.0)
+
+    def test_fp_benchmarks_heat_fp_cluster(self):
+        fft = mibench_profiles()["fft"]
+        assert fft.unit_power["FPAdd"] > fft.unit_power.get("IntQ", 0.0)
+
+    def test_global_scale(self):
+        scaled = mibench_profiles(scale=0.5)
+        normal = mibench_profiles()
+        for name in MIBENCH_NAMES:
+            assert scaled[name].total_power == pytest.approx(
+                0.5 * normal[name].total_power)
+
+    def test_per_benchmark_totals(self):
+        profiles = mibench_profiles(totals={"crc32": 99.0})
+        assert profiles["crc32"].total_power == pytest.approx(99.0)
+        assert profiles["fft"].total_power != pytest.approx(99.0)
+
+    def test_negative_scale_rejected(self):
+        with pytest.raises(ConfigurationError):
+            mibench_profiles(scale=-1.0)
+
+
+class TestPowerTrace:
+    def make_trace(self):
+        times = np.array([0.0, 1.0, 2.0, 3.0])
+        samples = np.array([[1.0, 2.0],
+                            [3.0, 1.0],
+                            [2.0, 4.0],
+                            [1.0, 1.0]])
+        return PowerTrace("demo", ["a", "b"], times, samples)
+
+    def test_basic_properties(self):
+        trace = self.make_trace()
+        assert trace.sample_count == 4
+        assert trace.duration == pytest.approx(3.0)
+
+    def test_unit_series(self):
+        trace = self.make_trace()
+        assert trace.unit_series("b") == pytest.approx([2.0, 1.0, 4.0,
+                                                        1.0])
+        with pytest.raises(ConfigurationError):
+            trace.unit_series("c")
+
+    def test_total_series(self):
+        trace = self.make_trace()
+        assert trace.total_series() == pytest.approx([3.0, 4.0, 6.0, 2.0])
+
+    def test_max_profile(self):
+        profile = self.make_trace().max_profile()
+        assert profile.unit_power == {"a": 3.0, "b": 4.0}
+
+    def test_mean_profile(self):
+        profile = self.make_trace().mean_profile()
+        assert profile.unit_power["a"] == pytest.approx(7.0 / 4.0)
+
+    def test_at_zero_order_hold(self):
+        trace = self.make_trace()
+        assert trace.at(1.5)["a"] == pytest.approx(3.0)
+        assert trace.at(-1.0)["a"] == pytest.approx(1.0)
+        assert trace.at(99.0)["b"] == pytest.approx(1.0)
+
+    def test_window(self):
+        sub = self.make_trace().window(1.0, 2.0)
+        assert sub.sample_count == 2
+        with pytest.raises(ConfigurationError):
+            self.make_trace().window(2.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            self.make_trace().window(10.0, 11.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PowerTrace("x", ["a"], np.array([0.0, 0.0]),
+                       np.zeros((2, 1)))
+        with pytest.raises(ConfigurationError):
+            PowerTrace("x", ["a"], np.array([0.0, 1.0]),
+                       np.zeros((3, 1)))
+        with pytest.raises(ConfigurationError):
+            PowerTrace("x", ["a", "a"], np.array([0.0, 1.0]),
+                       np.zeros((2, 2)))
+        with pytest.raises(ConfigurationError):
+            PowerTrace("x", ["a"], np.array([0.0, 1.0]),
+                       np.array([[1.0], [-1.0]]))
+
+
+class TestConcatenateTraces:
+    def make(self, name, units, values):
+        times = np.array([0.1, 0.2, 0.3])
+        samples = np.tile(np.asarray(values, dtype=float), (3, 1))
+        from repro.power import PowerTrace
+        return PowerTrace(name, units, times, samples)
+
+    def test_union_of_units(self):
+        from repro.power import concatenate_traces
+        a = self.make("a", ["x", "y"], [1.0, 2.0])
+        b = self.make("b", ["y", "z"], [3.0, 4.0])
+        merged = concatenate_traces([a, b])
+        assert merged.unit_names == ["x", "y", "z"]
+        assert merged.sample_count == 6
+
+    def test_absent_units_draw_zero(self):
+        from repro.power import concatenate_traces
+        a = self.make("a", ["x"], [5.0])
+        b = self.make("b", ["y"], [7.0])
+        merged = concatenate_traces([a, b])
+        x_series = merged.unit_series("x")
+        assert x_series[:3] == pytest.approx([5.0] * 3)
+        assert x_series[3:] == pytest.approx([0.0] * 3)
+
+    def test_times_strictly_increase(self):
+        from repro.power import concatenate_traces
+        a = self.make("a", ["x"], [1.0])
+        merged = concatenate_traces([a, a, a])
+        assert (np.diff(merged.times) > 0).all()
+
+    def test_max_profile_covers_all_segments(self):
+        from repro.power import concatenate_traces
+        a = self.make("a", ["x"], [1.0])
+        b = self.make("b", ["x"], [9.0])
+        merged = concatenate_traces([a, b])
+        assert merged.max_profile().unit_power["x"] == \
+            pytest.approx(9.0)
+
+    def test_empty_rejected(self):
+        from repro.power import concatenate_traces
+        with pytest.raises(ConfigurationError):
+            concatenate_traces([])
+
+
+class TestTraceGenerator:
+    def test_max_profile_roundtrip(self, trace_generator, profiles):
+        # The generated trace's maxima must reproduce the input profile,
+        # because OFTEC consumes exactly that reduction (Figure 5).
+        profile = profiles["fft"]
+        trace = trace_generator.generate(profile, duration=5.0,
+                                         sample_interval=0.01)
+        recovered = trace.max_profile()
+        for unit, power in profile.unit_power.items():
+            assert recovered.unit_power[unit] == pytest.approx(power,
+                                                               rel=1e-9)
+
+    def test_deterministic_with_seed(self, profiles):
+        gen = TraceGenerator(seed=7)
+        t1 = gen.generate(profiles["crc32"], duration=2.0)
+        t2 = TraceGenerator(seed=7).generate(profiles["crc32"],
+                                             duration=2.0)
+        assert np.array_equal(t1.samples, t2.samples)
+
+    def test_different_seeds_differ(self, profiles):
+        t1 = TraceGenerator(seed=1).generate(profiles["crc32"],
+                                             duration=2.0)
+        t2 = TraceGenerator(seed=2).generate(profiles["crc32"],
+                                             duration=2.0)
+        assert not np.array_equal(t1.samples, t2.samples)
+
+    def test_samples_within_envelope(self, trace_generator, profiles):
+        profile = profiles["susan"]
+        trace = trace_generator.generate(profile, duration=3.0)
+        ceilings = np.array([profile.unit_power[u]
+                             for u in trace.unit_names])
+        assert (trace.samples >= 0.0).all()
+        assert (trace.samples <= ceilings[None, :] + 1e-12).all()
+
+    def test_phases_create_variation(self, trace_generator, profiles):
+        trace = trace_generator.generate(profiles["susan"], duration=5.0)
+        totals = trace.total_series()
+        assert totals.std() > 0.01 * totals.mean()
+
+    def test_validation(self, trace_generator, profiles):
+        with pytest.raises(ConfigurationError):
+            trace_generator.generate(profiles["fft"], duration=0.0)
+        with pytest.raises(ConfigurationError):
+            trace_generator.generate(profiles["fft"], duration=1.0,
+                                     sample_interval=2.0)
+        with pytest.raises(ConfigurationError):
+            TraceGenerator(phase_count=0)
+        with pytest.raises(ConfigurationError):
+            TraceGenerator(noise_level=1.5)
+        with pytest.raises(ConfigurationError):
+            TraceGenerator(min_activity=0.0)

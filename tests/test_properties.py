@@ -1,0 +1,183 @@
+"""Property-based tests (hypothesis) on core data structures/invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fan import FanModel, HeatSinkFanConductance
+from repro.geometry import Floorplan, FloorplanUnit, Grid, Rect
+from repro.geometry import CellCoverage
+from repro.leakage import CellLeakageModel, tangent_linearization
+from repro.power import BenchmarkProfile
+from repro.tec import TECDevice
+from repro.thermal import NodeKind, ThermalNetwork
+from repro.thermal.network import NodeInfo
+
+finite_positive = st.floats(min_value=1e-3, max_value=1e3,
+                            allow_nan=False, allow_infinity=False)
+
+
+class TestRectProperties:
+    @given(x=st.floats(-10, 10), y=st.floats(-10, 10),
+           w=finite_positive, h=finite_positive)
+    def test_area_positive(self, x, y, w, h):
+        assert Rect(x, y, w, h).area > 0.0
+
+    @given(x1=st.floats(-5, 5), y1=st.floats(-5, 5),
+           w1=st.floats(0.1, 5), h1=st.floats(0.1, 5),
+           x2=st.floats(-5, 5), y2=st.floats(-5, 5),
+           w2=st.floats(0.1, 5), h2=st.floats(0.1, 5))
+    def test_intersection_symmetric_and_bounded(self, x1, y1, w1, h1,
+                                                x2, y2, w2, h2):
+        a = Rect(x1, y1, w1, h1)
+        b = Rect(x2, y2, w2, h2)
+        overlap = a.intersection_area(b)
+        assert overlap == pytest.approx(b.intersection_area(a))
+        assert 0.0 <= overlap <= min(a.area, b.area) * (1 + 1e-9)
+
+    @given(w=finite_positive, h=finite_positive,
+           factor=st.floats(0.1, 10))
+    def test_scaling_scales_area_quadratically(self, w, h, factor):
+        r = Rect(0.0, 0.0, w, h)
+        assert r.scaled(factor).area == pytest.approx(
+            factor ** 2 * r.area, rel=1e-9)
+
+
+class TestGridProperties:
+    @given(nx=st.integers(1, 12), ny=st.integers(1, 12))
+    def test_cells_tile_exactly(self, nx, ny):
+        g = Grid(1.0, 2.0, nx, ny)
+        total = nx * ny * g.cell_area
+        assert total == pytest.approx(2.0, rel=1e-9)
+
+    @given(nx=st.integers(1, 10), ny=st.integers(1, 10),
+           flat=st.integers(0, 99))
+    def test_flat_roundtrip(self, nx, ny, flat):
+        g = Grid(1.0, 1.0, nx, ny)
+        flat = flat % g.cell_count
+        ix, iy = g.cell_coords(flat)
+        assert g.flat_index(ix, iy) == flat
+
+
+class TestCoverageProperties:
+    @given(powers=st.lists(st.floats(0.0, 50.0), min_size=2,
+                           max_size=2),
+           res=st.integers(2, 9))
+    def test_power_map_conserves_total(self, powers, res):
+        fp = Floorplan([
+            FloorplanUnit("a", Rect(0.0, 0.0, 1.0, 2.0)),
+            FloorplanUnit("b", Rect(1.0, 0.0, 1.0, 2.0)),
+        ])
+        cov = CellCoverage(fp, Grid.for_floorplan(fp, res, res))
+        pmap = cov.power_map({"a": powers[0], "b": powers[1]})
+        assert pmap.sum() == pytest.approx(sum(powers), rel=1e-9,
+                                           abs=1e-12)
+        assert (pmap >= 0.0).all()
+
+
+class TestFanProperties:
+    @given(omega=st.floats(0.0, 524.0))
+    def test_power_nonnegative(self, omega):
+        assert FanModel().power(omega) >= 0.0
+
+    @given(omega1=st.floats(0.0, 524.0), omega2=st.floats(0.0, 524.0))
+    def test_power_monotone(self, omega1, omega2):
+        fan = FanModel()
+        lo, hi = sorted((omega1, omega2))
+        assert fan.power(lo) <= fan.power(hi) + 1e-12
+
+    @given(omega1=st.floats(0.0, 524.0), omega2=st.floats(0.0, 524.0))
+    def test_conductance_monotone(self, omega1, omega2):
+        g = HeatSinkFanConductance()
+        lo, hi = sorted((omega1, omega2))
+        assert g.conductance(lo) <= g.conductance(hi) + 1e-12
+
+    @given(omega=st.floats(0.0, 524.0))
+    def test_conductance_at_least_natural(self, omega):
+        g = HeatSinkFanConductance()
+        assert g.conductance(omega) >= g.g_natural - 1e-12
+
+
+class TestTECProperties:
+    @given(t_cold=st.floats(280.0, 380.0), dt=st.floats(-20.0, 20.0),
+           current=st.floats(0.0, 5.0))
+    def test_power_identity(self, t_cold, dt, current):
+        device = TECDevice(2e-3, 1.4e-2, 0.1, 1e-6)
+        t_hot = t_cold + dt
+        q_c = device.heat_absorbed(t_cold, t_hot, current)
+        q_h = device.heat_released(t_cold, t_hot, current)
+        p = device.power(t_cold, t_hot, current)
+        assert p == pytest.approx(q_h - q_c, rel=1e-9, abs=1e-12)
+
+    @given(t_cold=st.floats(280.0, 380.0), dt=st.floats(0.0, 20.0),
+           current=st.floats(0.0, 5.0))
+    def test_power_nonnegative_pumping_uphill(self, t_cold, dt, current):
+        # Pumping heat against a positive dT always costs energy.
+        device = TECDevice(2e-3, 1.4e-2, 0.1, 1e-6)
+        assert device.power(t_cold, t_cold + dt, current) >= -1e-12
+
+
+class TestLeakageProperties:
+    @given(p0=st.floats(0.01, 10.0), beta=st.floats(0.005, 0.08),
+           t=st.floats(300.0, 390.0))
+    def test_positive_and_increasing(self, p0, beta, t):
+        model = CellLeakageModel(np.array([p0]), beta, 350.0)
+        power_t = model.power(np.array([t]))[0]
+        power_hotter = model.power(np.array([t + 1.0]))[0]
+        assert power_t > 0.0
+        assert power_hotter > power_t
+
+    @given(p0=st.floats(0.01, 10.0), beta=st.floats(0.005, 0.08),
+           t_ref=st.floats(310.0, 380.0))
+    def test_tangent_underestimates_convex_exponential(self, p0, beta,
+                                                       t_ref):
+        # exp is convex, so its tangent lies below it everywhere.
+        model = CellLeakageModel(np.array([p0]), beta, 350.0)
+        taylor = tangent_linearization(model, t_ref)
+        for t in (t_ref - 20.0, t_ref + 20.0):
+            exact = model.power(np.array([t]))[0]
+            approx = taylor.power(np.array([t]))[0]
+            assert approx <= exact + 1e-9
+
+
+class TestProfileProperties:
+    @given(powers=st.dictionaries(
+        st.sampled_from(["a", "b", "c", "d"]),
+        st.floats(0.0, 100.0), min_size=1),
+        factor=st.floats(0.0, 10.0))
+    def test_scaling_scales_total(self, powers, factor):
+        profile = BenchmarkProfile("x", powers)
+        assert profile.scaled(factor).total_power == pytest.approx(
+            factor * profile.total_power, rel=1e-9, abs=1e-9)
+
+
+class TestNetworkProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10_000), n=st.integers(2, 12))
+    def test_random_grounded_network_conserves_energy(self, seed, n):
+        # Any connected, grounded random network: injected power equals
+        # outflow to ambient, and all temperatures sit above ambient.
+        rng = np.random.default_rng(seed)
+        net = ThermalNetwork()
+        nodes = [net.add_node(NodeInfo(f"n{i}", NodeKind.BULK, "l"))
+                 for i in range(n)]
+        for i in range(1, n):
+            j = int(rng.integers(0, i))
+            net.add_conductance(nodes[i], nodes[j],
+                                float(rng.uniform(0.1, 5.0)))
+        grounded = {0: float(rng.uniform(0.5, 2.0))}
+        if n > 4:
+            grounded[n - 1] = float(rng.uniform(0.5, 2.0))
+        for idx, g in grounded.items():
+            net.add_grounded_conductance(nodes[idx], g)
+        net.finalize()
+        t_amb = 300.0
+        power = rng.uniform(0.0, 3.0, size=n)
+        rhs = power.copy()
+        for idx, g in grounded.items():
+            rhs[idx] += g * t_amb
+        temps = net.solve(np.zeros(n), rhs)
+        outflow = sum(g * (temps[idx] - t_amb)
+                      for idx, g in grounded.items())
+        assert outflow == pytest.approx(power.sum(), rel=1e-6, abs=1e-9)
+        assert (temps >= t_amb - 1e-9).all()

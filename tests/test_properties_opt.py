@@ -1,0 +1,53 @@
+"""Property-based tests on the optimizer (hypothesis).
+
+These are expensive per example (each runs Algorithm 1), so example
+counts are small; the properties are the contract no workload may break.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import run_oftec
+from repro.core import Evaluator
+
+
+class TestOFTECProperties:
+    @settings(max_examples=5, deadline=None)
+    @given(scale=st.floats(0.5, 1.1))
+    def test_result_always_within_bounds_and_feasible(self, tec_problem,
+                                                      profiles, scale):
+        problem = tec_problem.with_profile(
+            profiles["basicmath"].scaled(scale))
+        result = run_oftec(problem)
+        limits = problem.limits
+        assert 0.0 <= result.omega_star <= limits.omega_max + 1e-9
+        assert 0.0 <= result.current_star <= limits.i_tec_max + 1e-9
+        assert result.feasible
+        assert result.max_chip_temperature < limits.t_max
+
+    @settings(max_examples=4, deadline=None)
+    @given(scale=st.floats(0.55, 0.95))
+    def test_heavier_workload_costs_at_least_as_much(self, tec_problem,
+                                                     profiles, scale):
+        light = run_oftec(tec_problem.with_profile(
+            profiles["basicmath"].scaled(scale)))
+        heavy = run_oftec(tec_problem.with_profile(
+            profiles["basicmath"].scaled(min(scale * 1.3, 1.2))))
+        # More dynamic power can never make the optimum cheaper.
+        assert heavy.total_power >= light.total_power * 0.995
+
+    @settings(max_examples=4, deadline=None)
+    @given(scale=st.floats(0.5, 1.1))
+    def test_reported_point_matches_reevaluation(self, tec_problem,
+                                                 profiles, scale):
+        # The returned (omega*, I*) reproduces the reported objective
+        # when evaluated from scratch.
+        problem = tec_problem.with_profile(
+            profiles["basicmath"].scaled(scale))
+        result = run_oftec(problem)
+        check = Evaluator(problem).evaluate(result.omega_star,
+                                            result.current_star)
+        assert check.total_power == pytest.approx(result.total_power,
+                                                  rel=1e-6)
+        assert check.max_chip_temperature == pytest.approx(
+            result.max_chip_temperature, abs=1e-3)

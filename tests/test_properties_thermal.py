@@ -1,0 +1,95 @@
+"""Property-based tests on the thermal substrate (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.thermal import simulate_transient, solve_steady_state
+
+
+class TestSteadyStateProperties:
+    @settings(max_examples=10, deadline=None)
+    @given(omega=st.floats(120.0, 524.0), current=st.floats(0.0, 3.0))
+    def test_energy_balance_everywhere(self, tec_model, uniform_power,
+                                       omega, current):
+        # At any bounded operating point, chip power plus TEC electrical
+        # power equals the outflow to ambient.
+        result = solve_steady_state(tec_model, omega, current,
+                                    uniform_power, leakage=None)
+        ambient = tec_model.config.ambient
+        g_sink = tec_model.sink_conductance.conductance(omega)
+        nodes = tec_model._sink_amb_nodes
+        weights = tec_model._sink_amb_weights
+        sink_out = float(np.sum(
+            g_sink * weights * (result.temperatures[nodes] - ambient)))
+        board_out = float(np.sum(
+            tec_model._static_amb_g
+            * (result.temperatures - ambient)))
+        injected = uniform_power.sum() + result.tec_power
+        assert sink_out + board_out == pytest.approx(injected,
+                                                     rel=1e-6)
+
+    @settings(max_examples=10, deadline=None)
+    @given(omega=st.floats(150.0, 524.0),
+           scale=st.floats(0.2, 1.5))
+    def test_no_leakage_solution_scales_linearly(self, tec_model,
+                                                 uniform_power, omega,
+                                                 scale):
+        # Without leakage and TEC current the system is linear: scaling
+        # the power scales the temperature *rise* exactly.
+        base = solve_steady_state(tec_model, omega, 0.0, uniform_power,
+                                  leakage=None)
+        scaled = solve_steady_state(tec_model, omega, 0.0,
+                                    uniform_power * scale,
+                                    leakage=None)
+        ambient = tec_model.config.ambient
+        rise_base = base.chip_temperatures - ambient
+        rise_scaled = scaled.chip_temperatures - ambient
+        assert np.allclose(rise_scaled, scale * rise_base, rtol=1e-9,
+                           atol=1e-9)
+
+    @settings(max_examples=8, deadline=None)
+    @given(omega1=st.floats(150.0, 520.0),
+           omega2=st.floats(150.0, 520.0))
+    def test_temperature_monotone_in_fan_speed(self, tec_model,
+                                               quicksort_power,
+                                               leakage, omega1,
+                                               omega2):
+        lo, hi = sorted((omega1, omega2))
+        hot = solve_steady_state(tec_model, lo, 0.0, quicksort_power,
+                                 leakage)
+        cool = solve_steady_state(tec_model, hi, 0.0, quicksort_power,
+                                  leakage)
+        assert cool.max_chip_temperature <= \
+            hot.max_chip_temperature + 1e-6
+
+
+class TestTransientProperties:
+    @settings(max_examples=5, deadline=None)
+    @given(dt=st.floats(0.2, 1.0))
+    def test_backward_euler_unconditionally_stable(self, tec_model,
+                                                   basicmath_power,
+                                                   leakage, dt):
+        # Any step size yields a bounded, non-oscillating warmup.
+        run = simulate_transient(
+            tec_model, duration=10.0 * dt, dt=dt, omega=300.0,
+            current=0.5, dynamic_cell_power=basicmath_power,
+            leakage=leakage)
+        assert not run.runaway
+        trace = run.max_chip_temperature
+        assert (np.diff(trace) > -1e-6).all()
+
+    @settings(max_examples=5, deadline=None)
+    @given(omega=st.floats(200.0, 500.0))
+    def test_transient_never_overshoots_steady_state(self, tec_model,
+                                                     basicmath_power,
+                                                     leakage, omega):
+        # Warming from ambient toward a fixed operating point, the
+        # first-order RC dynamics approach the steady value from below.
+        steady = solve_steady_state(tec_model, omega, 0.0,
+                                    basicmath_power, leakage)
+        run = simulate_transient(
+            tec_model, duration=30.0, dt=1.0, omega=omega, current=0.0,
+            dynamic_cell_power=basicmath_power, leakage=leakage)
+        assert run.max_chip_temperature.max() <= \
+            steady.max_chip_temperature + 0.5

@@ -1,0 +1,109 @@
+"""Rectangle geometry primitives."""
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry import Rect
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        r = Rect(1.0, 2.0, 3.0, 4.0)
+        assert r.x2 == pytest.approx(4.0)
+        assert r.y2 == pytest.approx(6.0)
+        assert r.area == pytest.approx(12.0)
+        assert r.center == (pytest.approx(2.5), pytest.approx(4.0))
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(GeometryError):
+            Rect(0.0, 0.0, 0.0, 1.0)
+
+    def test_negative_height_rejected(self):
+        with pytest.raises(GeometryError):
+            Rect(0.0, 0.0, 1.0, -1.0)
+
+    def test_frozen(self):
+        r = Rect(0.0, 0.0, 1.0, 1.0)
+        with pytest.raises(AttributeError):
+            r.x = 5.0
+
+
+class TestContainsPoint:
+    def test_interior(self):
+        r = Rect(0.0, 0.0, 2.0, 2.0)
+        assert r.contains_point(1.0, 1.0)
+
+    def test_lower_left_inclusive(self):
+        r = Rect(0.0, 0.0, 2.0, 2.0)
+        assert r.contains_point(0.0, 0.0)
+
+    def test_upper_right_exclusive(self):
+        # Shared edges between abutting rects belong to exactly one.
+        r = Rect(0.0, 0.0, 2.0, 2.0)
+        assert not r.contains_point(2.0, 1.0)
+        assert not r.contains_point(1.0, 2.0)
+
+    def test_outside(self):
+        r = Rect(0.0, 0.0, 2.0, 2.0)
+        assert not r.contains_point(-0.1, 1.0)
+        assert not r.contains_point(1.0, 3.0)
+
+    def test_abutting_rects_partition_shared_edge(self):
+        left = Rect(0.0, 0.0, 1.0, 1.0)
+        right = Rect(1.0, 0.0, 1.0, 1.0)
+        point = (1.0, 0.5)
+        assert not left.contains_point(*point)
+        assert right.contains_point(*point)
+
+
+class TestIntersection:
+    def test_full_overlap(self):
+        a = Rect(0.0, 0.0, 2.0, 2.0)
+        assert a.intersection_area(a) == pytest.approx(4.0)
+
+    def test_partial_overlap(self):
+        a = Rect(0.0, 0.0, 2.0, 2.0)
+        b = Rect(1.0, 1.0, 2.0, 2.0)
+        assert a.intersection_area(b) == pytest.approx(1.0)
+        assert a.intersects(b)
+
+    def test_edge_touch_is_zero(self):
+        a = Rect(0.0, 0.0, 1.0, 1.0)
+        b = Rect(1.0, 0.0, 1.0, 1.0)
+        assert a.intersection_area(b) == 0.0
+        assert not a.intersects(b)
+
+    def test_disjoint(self):
+        a = Rect(0.0, 0.0, 1.0, 1.0)
+        b = Rect(5.0, 5.0, 1.0, 1.0)
+        assert a.intersection_area(b) == 0.0
+
+    def test_symmetry(self):
+        a = Rect(0.0, 0.0, 3.0, 2.0)
+        b = Rect(1.0, -1.0, 4.0, 2.5)
+        assert a.intersection_area(b) == pytest.approx(
+            b.intersection_area(a))
+
+    def test_contained(self):
+        outer = Rect(0.0, 0.0, 10.0, 10.0)
+        inner = Rect(2.0, 2.0, 1.0, 1.0)
+        assert outer.intersection_area(inner) == pytest.approx(inner.area)
+
+
+class TestTransforms:
+    def test_scaled(self):
+        r = Rect(1.0, 1.0, 2.0, 3.0).scaled(2.0)
+        assert (r.x, r.y, r.width, r.height) == (2.0, 2.0, 4.0, 6.0)
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(GeometryError):
+            Rect(0.0, 0.0, 1.0, 1.0).scaled(0.0)
+
+    def test_translated(self):
+        r = Rect(1.0, 1.0, 2.0, 3.0).translated(-1.0, 2.0)
+        assert (r.x, r.y) == (0.0, 3.0)
+        assert (r.width, r.height) == (2.0, 3.0)
+
+    def test_scale_preserves_area_quadratically(self):
+        r = Rect(0.0, 0.0, 2.0, 3.0)
+        assert r.scaled(3.0).area == pytest.approx(9.0 * r.area)

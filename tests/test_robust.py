@@ -1,0 +1,89 @@
+"""Robust (min-max) OFTEC over a workload set."""
+
+import pytest
+
+from repro import run_oftec
+from repro.core import EnvelopeEvaluator, Evaluator, run_oftec_robust
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def workload_set(tec_problem, profiles):
+    return [tec_problem,
+            tec_problem.with_profile(profiles["fft"]),
+            tec_problem.with_profile(profiles["quicksort"])]
+
+
+class TestEnvelopeEvaluator:
+    def test_envelope_is_worst_member(self, workload_set):
+        envelope = EnvelopeEvaluator(workload_set)
+        omega, current = 300.0, 1.0
+        members = envelope.member_evaluations(omega, current)
+        env = envelope.evaluate(omega, current)
+        assert env.max_chip_temperature == pytest.approx(
+            max(m.max_chip_temperature for m in members.values()))
+        assert env.total_power == pytest.approx(
+            max(m.total_power for m in members.values()))
+
+    def test_feasible_only_if_all_members(self, workload_set):
+        envelope = EnvelopeEvaluator(workload_set)
+        # A point feasible for basicmath but not for quicksort.
+        weak = envelope.evaluate(250.0, 0.0)
+        member = Evaluator(workload_set[0]).evaluate(250.0, 0.0)
+        assert member.feasible
+        assert not weak.feasible
+
+    def test_runaway_if_any_member(self, workload_set):
+        envelope = EnvelopeEvaluator(workload_set)
+        env = envelope.evaluate(0.0, 0.0)
+        assert env.runaway
+
+    def test_requires_shared_model(self, tec_problem, profiles):
+        from repro import build_cooling_problem
+        other = build_cooling_problem(profiles["fft"],
+                                      grid_resolution=6)
+        with pytest.raises(ConfigurationError, match="share one"):
+            EnvelopeEvaluator([tec_problem, other])
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EnvelopeEvaluator([])
+
+
+class TestRobustOFTEC:
+    def test_feasible_for_every_workload(self, workload_set):
+        result = run_oftec_robust(workload_set)
+        assert result.feasible
+        for name, evaluation in result.per_workload.items():
+            assert evaluation.feasible, name
+
+    def test_worst_case_consistent(self, workload_set):
+        result = run_oftec_robust(workload_set)
+        assert result.worst_case_power == pytest.approx(
+            max(e.total_power for e in result.per_workload.values()))
+        assert result.worst_case_temperature == pytest.approx(
+            max(e.max_chip_temperature
+                for e in result.per_workload.values()))
+
+    def test_robust_point_at_least_as_expensive_as_heaviest(
+            self, workload_set, profiles):
+        # Covering the set can never beat optimizing the heaviest
+        # workload alone (the robust feasible region is a subset).
+        heavy = workload_set[0].with_profile(profiles["quicksort"])
+        individual = run_oftec(heavy)
+        robust = run_oftec_robust(workload_set)
+        assert robust.worst_case_power >= \
+            individual.total_power * 0.98
+
+    def test_single_workload_reduces_to_oftec(self, tec_problem):
+        robust = run_oftec_robust([tec_problem])
+        individual = run_oftec(tec_problem)
+        assert robust.worst_case_power == pytest.approx(
+            individual.total_power, rel=0.02)
+
+    def test_bookkeeping(self, workload_set):
+        result = run_oftec_robust(workload_set)
+        assert result.runtime_seconds > 0.0
+        assert result.evaluations > 0
+        assert set(result.per_workload) == \
+            {p.name for p in workload_set}

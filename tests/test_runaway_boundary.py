@@ -1,0 +1,75 @@
+"""Runaway-boundary bisection."""
+
+import pytest
+
+from repro.analysis import (
+    find_runaway_boundary_omega,
+    format_runaway_boundaries,
+    trace_runaway_boundary,
+)
+from repro.core import Evaluator
+from repro.errors import ConfigurationError
+
+
+class TestBisection:
+    def test_boundary_brackets_runaway(self, heavy_tec_problem):
+        boundary = find_runaway_boundary_omega(heavy_tec_problem,
+                                               current=0.0,
+                                               tolerance=2.0)
+        assert 0.0 < boundary < heavy_tec_problem.limits.omega_max
+        evaluator = Evaluator(heavy_tec_problem)
+        assert evaluator.evaluate(boundary + 2.0, 0.0).runaway is False
+        assert evaluator.evaluate(max(boundary - 4.0, 0.0),
+                                  0.0).runaway is True
+
+    def test_light_workload_also_has_boundary(self, tec_problem):
+        # Even basicmath runs away with the fan fully off.
+        boundary = find_runaway_boundary_omega(tec_problem,
+                                               current=0.0,
+                                               tolerance=2.0)
+        assert boundary > 0.0
+
+    def test_paper_scale(self, tec_problem):
+        # The paper quotes ~150 RPM (~16 rad/s) for Basicmath; our
+        # boundary lands in the same tens-of-RPM regime, far below
+        # omega_max.
+        boundary = find_runaway_boundary_omega(tec_problem,
+                                               current=0.0,
+                                               tolerance=1.0)
+        assert boundary < 0.2 * tec_problem.limits.omega_max
+
+    def test_tolerance_validation(self, tec_problem):
+        with pytest.raises(ConfigurationError):
+            find_runaway_boundary_omega(tec_problem, tolerance=0.0)
+
+
+class TestTrace:
+    @pytest.fixture(scope="class")
+    def boundary(self, heavy_tec_problem):
+        return trace_runaway_boundary(heavy_tec_problem,
+                                      currents=(0.0, 2.0, 5.0),
+                                      tolerance=2.0)
+
+    def test_u_shaped_boundary(self, boundary):
+        # Moderate current can *lower* the required fan speed (net
+        # hotspot pumping), but the paper's core point holds at high
+        # drive: maximum current demands more airflow than none, and no
+        # current level allows a stopped fan.
+        assert boundary.high_current_raises_boundary()
+        assert boundary.never_zero()
+
+    def test_at_current_lookup(self, boundary):
+        assert boundary.at_current(2.1) == boundary.min_omega[1]
+
+    def test_formatting(self, boundary):
+        text = format_runaway_boundaries({"quicksort": boundary})
+        assert "quicksort" in text
+        assert "RPM" in text
+
+    def test_empty_currents_rejected(self, heavy_tec_problem):
+        with pytest.raises(ConfigurationError):
+            trace_runaway_boundary(heavy_tec_problem, currents=())
+
+    def test_empty_format_rejected(self):
+        with pytest.raises(ConfigurationError):
+            format_runaway_boundaries({})

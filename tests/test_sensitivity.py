@@ -1,0 +1,68 @@
+"""Parameter sensitivity study."""
+
+import pytest
+
+from repro.analysis import (
+    format_sensitivity_report,
+    run_sensitivity_study,
+)
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def report(profiles):
+    # Two parameters at reduced resolution keep the module quick.
+    return run_sensitivity_study(
+        profiles["basicmath"],
+        parameters=["tec_seebeck", "fan_power_constant"],
+        scales=[0.8, 1.2],
+        grid_resolution=6)
+
+
+class TestStudy:
+    def test_entry_bookkeeping(self, report):
+        assert len(report.entries) == 4  # 2 parameters x 2 scales
+        grouped = report.by_parameter()
+        assert set(grouped) == {"tec_seebeck", "fan_power_constant"}
+        for entries in grouped.values():
+            assert len(entries) == 2
+
+    def test_nominal_feasible(self, report):
+        assert report.nominal.feasible
+
+    def test_deltas_consistent(self, report):
+        for entry in report.entries:
+            expected = (entry.result.total_power
+                        - report.nominal.total_power) \
+                / report.nominal.total_power
+            assert entry.d_power == pytest.approx(expected)
+
+    def test_cheaper_fan_saves_power(self, report):
+        # Scaling the fan constant down makes airflow cheaper, so the
+        # optimum cannot get more expensive.
+        fan_entries = report.by_parameter()["fan_power_constant"]
+        cheaper = next(e for e in fan_entries if e.scale < 1.0)
+        assert cheaper.d_power <= 0.01
+
+    def test_most_sensitive_parameter(self, report):
+        name = report.most_sensitive_parameter()
+        assert name in ("tec_seebeck", "fan_power_constant")
+
+    def test_format(self, report):
+        text = format_sensitivity_report(report)
+        assert "nominal" in text
+        assert "tec_seebeck" in text
+        assert "%" in text
+
+
+class TestValidation:
+    def test_bad_scale(self, profiles):
+        with pytest.raises(ConfigurationError):
+            run_sensitivity_study(profiles["crc32"], scales=[0.0],
+                                  grid_resolution=4)
+
+    def test_unknown_parameter(self, profiles):
+        with pytest.raises(ConfigurationError, match="Unknown"):
+            run_sensitivity_study(profiles["crc32"],
+                                  parameters=["warp_drive"],
+                                  grid_resolution=4)

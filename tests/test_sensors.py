@@ -1,0 +1,112 @@
+"""Thermal sensor array and aliasing analysis."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.thermal import (
+    Sensor,
+    SensorArray,
+    recommended_guard_band,
+    solve_steady_state,
+)
+
+
+class TestSensor:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Sensor("s", cell=-1)
+        with pytest.raises(ConfigurationError):
+            Sensor("s", cell=0, noise_sigma=-1.0)
+
+
+class TestSensorArray:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SensorArray([Sensor("a", 0), Sensor("a", 1)], cell_count=4)
+
+    def test_cell_bounds_checked(self):
+        with pytest.raises(ConfigurationError):
+            SensorArray([Sensor("a", 10)], cell_count=4)
+
+    def test_read_exact_without_noise(self):
+        array = SensorArray([Sensor("a", 1), Sensor("b", 3)],
+                            cell_count=4)
+        temps = np.array([300.0, 310.0, 320.0, 330.0])
+        readings = array.read(temps)
+        assert readings == {"a": 310.0, "b": 330.0}
+
+    def test_offset_applied(self):
+        array = SensorArray([Sensor("a", 0, offset=-2.0)], cell_count=1)
+        assert array.read(np.array([350.0]))["a"] == \
+            pytest.approx(348.0)
+
+    def test_noise_is_seeded(self):
+        def build():
+            return SensorArray([Sensor("a", 0, noise_sigma=1.0)],
+                               cell_count=1, seed=42)
+        temps = np.array([350.0])
+        assert build().read(temps) == build().read(temps)
+
+    def test_hottest_reading(self):
+        array = SensorArray([Sensor("a", 0), Sensor("b", 2)],
+                            cell_count=3)
+        temps = np.array([340.0, 380.0, 350.0])
+        assert array.hottest_reading(temps) == 350.0
+
+    def test_aliasing_error_positive_when_hotspot_missed(self):
+        array = SensorArray([Sensor("a", 0)], cell_count=3)
+        temps = np.array([340.0, 380.0, 350.0])
+        assert array.aliasing_error(temps) == pytest.approx(40.0)
+
+    def test_shape_checked(self):
+        array = SensorArray([Sensor("a", 0)], cell_count=3)
+        with pytest.raises(ConfigurationError):
+            array.read(np.zeros(5))
+
+
+class TestUnitCenterPlacement:
+    def test_sensors_land_inside_units(self, coverage):
+        array = SensorArray.at_unit_centers(
+            coverage, ["IntExec", "L2", "FPAdd"])
+        dominant = coverage.dominant_unit_per_cell()
+        for sensor in array.sensors:
+            unit = sensor.name.replace("sense_", "")
+            assert dominant[sensor.cell] == unit
+
+    def test_realistic_aliasing_study(self, coverage, tec_model,
+                                      quicksort_power, leakage):
+        # Sensors on the hot units track the die max closely; a sensor
+        # only on the L2 badly underestimates the quicksort hotspot.
+        steady = solve_steady_state(tec_model, 300.0, 0.0,
+                                    quicksort_power, leakage)
+        field = steady.chip_temperatures
+        good = SensorArray.at_unit_centers(
+            coverage, ["IntExec", "IntReg", "LdStQ"])
+        bad = SensorArray.at_unit_centers(coverage, ["L2"])
+        assert good.aliasing_error(field) < bad.aliasing_error(field)
+        assert bad.aliasing_error(field) > 3.0
+
+
+class TestGuardBand:
+    def test_quantile_of_errors(self, coverage, tec_model,
+                                basicmath_power, quicksort_power,
+                                leakage):
+        array = SensorArray.at_unit_centers(coverage,
+                                            ["IntExec", "FPAdd"])
+        fields = []
+        for power in (basicmath_power, quicksort_power):
+            steady = solve_steady_state(tec_model, 300.0, 0.0, power,
+                                        leakage)
+            fields.append(steady.chip_temperatures)
+        band = recommended_guard_band(array, fields, quantile=1.0)
+        worst = max(array.aliasing_error(f) for f in fields)
+        assert band == pytest.approx(worst)
+
+    def test_validation(self, coverage):
+        array = SensorArray.at_unit_centers(coverage, ["IntExec"])
+        with pytest.raises(ConfigurationError):
+            recommended_guard_band(array, [], quantile=0.9)
+        with pytest.raises(ConfigurationError):
+            recommended_guard_band(array, [np.zeros(array.cell_count)],
+                                   quantile=0.0)

@@ -1,0 +1,119 @@
+"""Steady-state solver: leakage loop, warm start, runaway detection."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ThermalRunawayError
+from repro.thermal import solve_steady_state
+
+
+class TestLeakageLoop:
+    def test_converges_quickly(self, tec_model, basicmath_power, leakage):
+        result = solve_steady_state(tec_model, 262.0, 0.5,
+                                    basicmath_power, leakage)
+        assert result.stats.converged
+        assert result.stats.outer_iterations <= 10
+
+    def test_warm_start_reduces_iterations(self, tec_model,
+                                           basicmath_power, leakage):
+        cold = solve_steady_state(tec_model, 262.0, 0.5, basicmath_power,
+                                  leakage)
+        warm = solve_steady_state(tec_model, 263.0, 0.5, basicmath_power,
+                                  leakage,
+                                  initial_guess=cold.chip_temperatures)
+        assert warm.stats.outer_iterations <= cold.stats.outer_iterations
+
+    def test_leakage_power_consistent_with_model(self, tec_model,
+                                                 basicmath_power,
+                                                 leakage):
+        result = solve_steady_state(tec_model, 262.0, 0.0,
+                                    basicmath_power, leakage)
+        assert result.leakage_power == pytest.approx(
+            leakage.total_power(result.chip_temperatures), rel=1e-6)
+
+    def test_leakage_makes_chip_hotter(self, tec_model, basicmath_power,
+                                       leakage):
+        without = solve_steady_state(tec_model, 262.0, 0.0,
+                                     basicmath_power, leakage=None)
+        with_leak = solve_steady_state(tec_model, 262.0, 0.0,
+                                       basicmath_power, leakage)
+        assert with_leak.max_chip_temperature > \
+            without.max_chip_temperature
+
+    def test_wrong_guess_shape_rejected(self, tec_model, basicmath_power,
+                                        leakage):
+        with pytest.raises(ValueError):
+            solve_steady_state(tec_model, 262.0, 0.0, basicmath_power,
+                               leakage, initial_guess=np.zeros(3))
+
+
+class TestResultFields:
+    def test_tec_power_identity(self, tec_model, basicmath_power,
+                                leakage):
+        result = solve_steady_state(tec_model, 262.0, 1.0,
+                                    basicmath_power, leakage)
+        assert result.tec_power == pytest.approx(
+            result.tec_heat_released - result.tec_heat_absorbed,
+            rel=1e-9)
+
+    def test_zero_current_zero_tec_power(self, tec_model,
+                                         basicmath_power, leakage):
+        result = solve_steady_state(tec_model, 262.0, 0.0,
+                                    basicmath_power, leakage)
+        assert result.tec_power == 0.0
+
+    def test_max_is_max_of_cells(self, tec_model, basicmath_power,
+                                 leakage):
+        result = solve_steady_state(tec_model, 262.0, 0.0,
+                                    basicmath_power, leakage)
+        assert result.max_chip_temperature == pytest.approx(
+            result.chip_temperatures.max())
+        assert result.mean_chip_temperature == pytest.approx(
+            result.chip_temperatures.mean())
+
+    def test_operating_point_recorded(self, tec_model, basicmath_power,
+                                      leakage):
+        result = solve_steady_state(tec_model, 111.0, 0.25,
+                                    basicmath_power, leakage)
+        assert result.omega == 111.0
+        assert result.current == 0.25
+
+
+class TestRunaway:
+    def test_runaway_at_zero_fan(self, tec_model, quicksort_power,
+                                 leakage):
+        # Figure 6(a)'s dark-red region: no bounded steady state at
+        # omega = 0 under a heavy workload.
+        with pytest.raises(ThermalRunawayError):
+            solve_steady_state(tec_model, 0.0, 0.0, quicksort_power,
+                               leakage)
+
+    def test_current_alone_cannot_rescue(self, tec_model,
+                                         quicksort_power, leakage):
+        # The paper: "increasing I_TEC alone cannot rescue the chip".
+        for current in (1.0, 3.0, 5.0):
+            with pytest.raises(ThermalRunawayError):
+                solve_steady_state(tec_model, 0.0, current,
+                                   quicksort_power, leakage)
+
+    def test_error_carries_temperature(self, tec_model, quicksort_power,
+                                       leakage):
+        with pytest.raises(ThermalRunawayError) as excinfo:
+            solve_steady_state(tec_model, 0.0, 0.0, quicksort_power,
+                               leakage)
+        assert excinfo.value.max_temperature > 400.0
+
+    def test_no_runaway_without_leakage(self, tec_model, quicksort_power):
+        # Without the leakage feedback the system always has a bounded
+        # steady state (it is a passive resistive network).
+        result = solve_steady_state(tec_model, 0.0, 0.0, quicksort_power,
+                                    leakage=None)
+        assert np.isfinite(result.max_chip_temperature)
+
+    def test_fan_rescues_from_runaway(self, tec_model, quicksort_power,
+                                      leakage):
+        # Raising omega enough restores a bounded steady state.
+        result = solve_steady_state(tec_model, 300.0, 0.0,
+                                    quicksort_power, leakage)
+        assert result.max_chip_temperature < \
+            tec_model.config.runaway_ceiling

@@ -1,0 +1,125 @@
+"""Optimization 1 & 2 solver backends."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Evaluator,
+    SOLVER_METHODS,
+    minimize_power,
+    minimize_temperature,
+)
+from repro.errors import SolverError
+
+
+class TestMinimizeTemperature:
+    def test_beats_midpoint(self, tec_problem):
+        evaluator = Evaluator(tec_problem)
+        midpoint = evaluator.evaluate(
+            tec_problem.limits.omega_max / 2.0,
+            tec_problem.current_upper_bound / 2.0)
+        outcome = minimize_temperature(evaluator)
+        assert outcome.evaluation.max_chip_temperature <= \
+            midpoint.max_chip_temperature + 1e-6
+
+    def test_beats_coarse_grid(self, tec_problem):
+        # The optimizer must match or beat an 5x5 exhaustive scan.
+        evaluator = Evaluator(tec_problem)
+        outcome = minimize_temperature(evaluator)
+        best_grid = np.inf
+        for omega in np.linspace(50.0, 524.0, 5):
+            for current in np.linspace(0.0, 5.0, 5):
+                t = evaluator.temperature_objective(float(omega),
+                                                    float(current))
+                best_grid = min(best_grid, t)
+        assert outcome.evaluation.max_chip_temperature <= best_grid + 0.5
+
+    def test_early_stop(self, heavy_tec_problem):
+        evaluator = Evaluator(heavy_tec_problem)
+        t_max = heavy_tec_problem.limits.t_max
+        outcome = minimize_temperature(evaluator, early_stop_below=t_max)
+        assert outcome.evaluation.max_chip_temperature < t_max
+        # Early-stopped runs typically use far fewer evaluations than a
+        # full minimization.
+        assert outcome.early_stopped or outcome.success
+
+    def test_baseline_one_dimensional(self, baseline_problem):
+        evaluator = Evaluator(baseline_problem)
+        outcome = minimize_temperature(evaluator)
+        assert outcome.current == 0.0
+        assert outcome.evaluation.feasible
+
+    def test_within_bounds(self, tec_problem):
+        evaluator = Evaluator(tec_problem)
+        outcome = minimize_temperature(evaluator)
+        assert 0.0 <= outcome.omega <= tec_problem.limits.omega_max
+        assert 0.0 <= outcome.current <= tec_problem.limits.i_tec_max
+
+    def test_unknown_method(self, tec_problem):
+        with pytest.raises(SolverError):
+            minimize_temperature(Evaluator(tec_problem),
+                                 method="nonsense")
+
+
+class TestMinimizePower:
+    def test_feasible_result(self, tec_problem):
+        evaluator = Evaluator(tec_problem)
+        start = minimize_temperature(evaluator)
+        outcome = minimize_power(
+            evaluator, x0=(start.omega, start.current))
+        assert outcome.evaluation.feasible
+
+    def test_improves_on_start(self, tec_problem):
+        evaluator = Evaluator(tec_problem)
+        start = minimize_temperature(evaluator)
+        outcome = minimize_power(
+            evaluator, x0=(start.omega, start.current))
+        assert outcome.evaluation.total_power <= \
+            start.evaluation.total_power + 1e-9
+
+    def test_beats_feasible_grid(self, tec_problem):
+        evaluator = Evaluator(tec_problem)
+        start = minimize_temperature(evaluator)
+        outcome = minimize_power(
+            evaluator, x0=(start.omega, start.current))
+        t_max = tec_problem.limits.t_max
+        best = np.inf
+        for omega in np.linspace(50.0, 524.0, 6):
+            for current in np.linspace(0.0, 5.0, 6):
+                ev = evaluator.evaluate(float(omega), float(current))
+                if ev.feasible:
+                    best = min(best, ev.total_power)
+        assert outcome.evaluation.total_power <= best * 1.02
+        assert outcome.evaluation.max_chip_temperature < t_max
+
+    def test_grid_method(self, tec_problem):
+        evaluator = Evaluator(tec_problem)
+        outcome = minimize_power(evaluator, x0=(262.0, 1.0),
+                                 method="grid")
+        assert outcome.evaluation.feasible
+        assert outcome.method == "grid"
+
+    def test_trust_constr_method(self, tec_problem):
+        evaluator = Evaluator(tec_problem)
+        outcome = minimize_power(evaluator, x0=(262.0, 1.0),
+                                 method="trust-constr")
+        assert outcome.evaluation.feasible
+
+    def test_methods_agree_roughly(self, tec_problem):
+        # The paper's point: all three CNLP techniques find similar
+        # optima on this mildly non-convex landscape.
+        powers = {}
+        for method in SOLVER_METHODS:
+            evaluator = Evaluator(tec_problem)
+            start = minimize_temperature(evaluator, method="slsqp")
+            outcome = minimize_power(
+                evaluator, x0=(start.omega, start.current),
+                method=method)
+            powers[method] = outcome.evaluation.total_power
+        values = list(powers.values())
+        assert max(values) < min(values) * 1.15
+
+    def test_evaluation_counter(self, tec_problem):
+        evaluator = Evaluator(tec_problem)
+        outcome = minimize_power(evaluator, x0=(262.0, 1.0))
+        assert outcome.evaluations > 0

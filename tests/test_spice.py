@@ -1,0 +1,76 @@
+"""SPICE netlist export of the thermal dual circuit."""
+
+import numpy as np
+import pytest
+
+from repro.thermal import (
+    export_spice_netlist,
+    parse_netlist_system,
+    solve_steady_state,
+)
+
+
+@pytest.fixture(scope="module")
+def netlist(tec_model, basicmath_power, leakage):
+    # Export the linearization at the converged operating point so the
+    # netlist solves the same system as the final network solve.
+    from repro.leakage import tangent_linearization
+    steady = solve_steady_state(tec_model, 262.0, 1.0, basicmath_power,
+                                leakage)
+    taylor = tangent_linearization(leakage, steady.chip_temperatures)
+    text = export_spice_netlist(
+        tec_model, 262.0, 1.0, basicmath_power,
+        leak_slope=taylor.a, leak_const=taylor.constant_term())
+    return text, steady
+
+
+class TestNetlistStructure:
+    def test_header_and_terminator(self, netlist):
+        text, _ = netlist
+        lines = text.splitlines()
+        assert lines[0].startswith("*")
+        assert ".op" in lines
+        assert lines[-1] == ".end"
+
+    def test_ambient_source(self, netlist, tec_model):
+        text, _ = netlist
+        amb_line = next(l for l in text.splitlines()
+                        if l.startswith("VAMB"))
+        assert f"{tec_model.config.ambient:.6g}" in amb_line
+
+    def test_has_resistors_and_sources(self, netlist):
+        text, _ = netlist
+        resistors = [l for l in text.splitlines() if l.startswith("R")]
+        sources = [l for l in text.splitlines() if l.startswith("I")]
+        assert len(resistors) > 1000  # the full package network
+        assert len(sources) > 10      # chip power + TEC Joule heat
+
+    def test_peltier_resistors_can_be_negative(self, netlist):
+        # The rejection-node diagonal term is negative, which exports
+        # as a negative resistance to the 0 V reference.
+        text, _ = netlist
+        negatives = [l for l in text.splitlines()
+                     if l.startswith("R") and " 0 -" in l]
+        assert negatives
+
+
+class TestRoundTrip:
+    def test_netlist_system_matches_network_solution(self, netlist,
+                                                     tec_model):
+        # Rebuild (A, b) from the netlist text and solve: the node
+        # voltages must equal the network solver's temperatures.
+        text, steady = netlist
+        n = tec_model.network.node_count
+        matrix, rhs = parse_netlist_system(text, n)
+        temps = np.linalg.solve(matrix, rhs)
+        assert np.allclose(temps, steady.temperatures, atol=1e-6)
+
+    def test_export_without_leakage(self, tec_model, basicmath_power):
+        steady = solve_steady_state(tec_model, 300.0, 0.5,
+                                    basicmath_power, leakage=None)
+        text = export_spice_netlist(tec_model, 300.0, 0.5,
+                                    basicmath_power)
+        n = tec_model.network.node_count
+        matrix, rhs = parse_netlist_system(text, n)
+        temps = np.linalg.solve(matrix, rhs)
+        assert np.allclose(temps, steady.temperatures, atol=1e-6)

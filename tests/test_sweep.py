@@ -1,0 +1,89 @@
+"""Objective-surface sweeps (Figure 6(a)/(b) machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import sweep_objective_surfaces
+from repro.core import Evaluator
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def sweep(tec_problem):
+    return sweep_objective_surfaces(tec_problem, omega_points=8,
+                                    current_points=5)
+
+
+class TestSurfaceShape:
+    def test_dimensions(self, sweep):
+        assert sweep.temperature.shape == (8, 5)
+        assert sweep.power.shape == (8, 5)
+        assert sweep.feasible.shape == (8, 5)
+
+    def test_runaway_at_zero_omega(self, sweep):
+        # Figure 6(a): the omega = 0 column is the dark-red infinity.
+        assert sweep.runaway_mask[0].all()
+
+    def test_bounded_at_high_omega(self, sweep):
+        assert not sweep.runaway_mask[-1].any()
+
+    def test_power_and_temperature_share_runaway(self, sweep):
+        assert ((~np.isfinite(sweep.power))
+                == sweep.runaway_mask).all()
+
+    def test_min_power_near_low_omega_low_current(self, sweep,
+                                                  tec_problem):
+        # Figure 6(b): the power minimum sits near the origin.
+        omega, current, _ = sweep.min_power_point()
+        assert omega < 0.5 * tec_problem.limits.omega_max
+        assert current < 0.5 * tec_problem.limits.i_tec_max
+
+    def test_min_temperature_interior_current(self, sweep, tec_problem):
+        # Figure 6(a): the temperature minimum needs nonzero current.
+        _, current, _ = sweep.min_temperature_point()
+        assert current > 0.0
+
+    def test_feasible_points_below_tmax(self, sweep, tec_problem):
+        t_max = tec_problem.limits.t_max
+        assert (sweep.temperature[sweep.feasible] < t_max).all()
+
+    def test_runaway_boundary_finite_everywhere(self, sweep):
+        # At every sampled current, some omega rescues the chip.
+        boundary = sweep.runaway_boundary_omega()
+        assert np.isfinite(boundary).all()
+        assert (boundary > 0.0).all()
+
+
+class TestOptions:
+    def test_custom_ranges(self, tec_problem):
+        sweep = sweep_objective_surfaces(
+            tec_problem, omega_points=3, current_points=2,
+            omega_range=(100.0, 400.0), current_range=(0.0, 2.0))
+        assert sweep.omegas[0] == pytest.approx(100.0)
+        assert sweep.omegas[-1] == pytest.approx(400.0)
+        assert sweep.currents[-1] == pytest.approx(2.0)
+
+    def test_single_current_column(self, baseline_problem):
+        sweep = sweep_objective_surfaces(baseline_problem,
+                                         omega_points=4,
+                                         current_points=1)
+        assert sweep.currents.tolist() == [0.0]
+
+    def test_shared_evaluator_cache(self, tec_problem):
+        evaluator = Evaluator(tec_problem)
+        sweep_objective_surfaces(tec_problem, omega_points=4,
+                                 current_points=3, evaluator=evaluator)
+        solves = evaluator.solve_count
+        sweep_objective_surfaces(tec_problem, omega_points=4,
+                                 current_points=3, evaluator=evaluator)
+        assert evaluator.solve_count == solves
+
+    def test_validation(self, tec_problem):
+        with pytest.raises(ConfigurationError):
+            sweep_objective_surfaces(tec_problem, omega_points=1)
+        with pytest.raises(ConfigurationError):
+            sweep_objective_surfaces(tec_problem,
+                                     omega_range=(400.0, 100.0))
+        with pytest.raises(ConfigurationError):
+            sweep_objective_surfaces(tec_problem,
+                                     current_range=(0.0, 99.0))

@@ -1,0 +1,133 @@
+"""TEC array deployment and aggregate behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, GeometryError
+from repro.geometry import EV6_CACHE_UNITS
+from repro.tec import (
+    TECArray,
+    coverage_mask_excluding,
+    full_coverage_mask,
+)
+
+
+class TestMasks:
+    def test_full_mask(self, grid):
+        mask = full_coverage_mask(grid)
+        assert mask.all()
+        assert mask.shape == (grid.cell_count,)
+
+    def test_cache_exclusion(self, coverage, tec_mask):
+        dominant = coverage.dominant_unit_per_cell()
+        for cell, unit in enumerate(dominant):
+            if unit in EV6_CACHE_UNITS:
+                assert not tec_mask[cell]
+            elif unit:
+                assert tec_mask[cell]
+
+    def test_unknown_unit_rejected(self, coverage):
+        with pytest.raises(GeometryError):
+            coverage_mask_excluding(coverage, ["NotAUnit"])
+
+
+class TestArrayGeometry:
+    def test_covered_area(self, grid, tec_device, tec_mask):
+        array = TECArray(grid, tec_device, tec_mask)
+        expected = tec_mask.sum() * grid.cell_area
+        assert array.covered_area == pytest.approx(expected)
+        assert array.covered_cell_count == int(tec_mask.sum())
+
+    def test_module_count_matches_area(self, tec_array, tec_device):
+        assert tec_array.module_count == pytest.approx(
+            tec_array.covered_area / tec_device.footprint_area)
+
+    def test_grid_resolution_invariance(self, floorplan, tec_device):
+        # Deployed thermoelectric material must not depend on grid size.
+        from repro.geometry import CellCoverage, Grid
+        totals = []
+        for res in (4, 8, 16):
+            g = Grid.for_floorplan(floorplan, res, res)
+            array = TECArray(g, tec_device)
+            totals.append(array.cell_resistance.sum())
+        assert totals[0] == pytest.approx(totals[1], rel=1e-9)
+        assert totals[1] == pytest.approx(totals[2], rel=1e-9)
+
+    def test_empty_mask_rejected(self, grid, tec_device):
+        with pytest.raises(ConfigurationError, match="at least one"):
+            TECArray(grid, tec_device, np.zeros(grid.cell_count, bool))
+
+    def test_wrong_mask_shape(self, grid, tec_device):
+        with pytest.raises(ConfigurationError):
+            TECArray(grid, tec_device, np.ones(5, bool))
+
+
+class TestCellCoefficients:
+    def test_zero_outside_coverage(self, tec_array):
+        mask = tec_array.coverage_mask
+        assert (tec_array.cell_seebeck[~mask] == 0.0).all()
+        assert (tec_array.cell_resistance[~mask] == 0.0).all()
+        assert (tec_array.cell_conductance[~mask] == 0.0).all()
+
+    def test_positive_inside_coverage(self, tec_array):
+        mask = tec_array.coverage_mask
+        assert (tec_array.cell_seebeck[mask] > 0.0).all()
+        assert (tec_array.cell_resistance[mask] > 0.0).all()
+        assert (tec_array.cell_conductance[mask] > 0.0).all()
+
+    def test_per_cell_value(self, grid, tec_device, tec_array):
+        covered = np.flatnonzero(tec_array.coverage_mask)[0]
+        expected = tec_device.seebeck_per_area * grid.cell_area
+        assert tec_array.cell_seebeck[covered] == pytest.approx(expected)
+
+    def test_total_resistance(self, tec_array):
+        assert tec_array.total_resistance == pytest.approx(
+            tec_array.cell_resistance.sum())
+
+
+class TestAggregatePower:
+    def test_equation_identity(self, grid, tec_array):
+        # sum(q_h) - sum(q_c) == P_TEC over the whole array.
+        cold = np.full(grid.cell_count, 350.0)
+        hot = np.full(grid.cell_count, 356.0)
+        current = 2.0
+        q_c = tec_array.total_heat_absorbed(cold, hot, current)
+        q_h = tec_array.total_heat_released(cold, hot, current)
+        p = tec_array.total_power(cold, hot, current)
+        assert p == pytest.approx(q_h - q_c, rel=1e-9)
+
+    def test_zero_current_draws_no_power(self, grid, tec_array):
+        cold = np.full(grid.cell_count, 350.0)
+        hot = np.full(grid.cell_count, 360.0)
+        assert tec_array.total_power(cold, hot, 0.0) == 0.0
+
+    def test_joule_scales_quadratically(self, grid, tec_array):
+        temps = np.full(grid.cell_count, 350.0)
+        p1 = tec_array.total_power(temps, temps, 1.0)
+        p2 = tec_array.total_power(temps, temps, 2.0)
+        # At dT = 0 the power is purely Joule: quadratic in current.
+        assert p2 == pytest.approx(4.0 * p1, rel=1e-9)
+
+    def test_negative_current_rejected(self, grid, tec_array):
+        temps = np.full(grid.cell_count, 350.0)
+        with pytest.raises(ConfigurationError):
+            tec_array.total_power(temps, temps, -1.0)
+
+    def test_wrong_temperature_shape(self, tec_array):
+        with pytest.raises(ConfigurationError):
+            tec_array.total_power(np.zeros(3), np.zeros(3), 1.0)
+
+
+class TestCoverageSummary:
+    def test_caches_zero_everything_else_full(self, coverage, tec_array):
+        summary = tec_array.coverage_summary(coverage)
+        for cache in EV6_CACHE_UNITS:
+            assert summary[cache] == pytest.approx(0.0)
+        assert summary["IntExec"] == pytest.approx(1.0)
+
+    def test_with_coverage_builds_new_array(self, grid, tec_array):
+        mask = np.zeros(grid.cell_count, dtype=bool)
+        mask[:4] = True
+        smaller = tec_array.with_coverage(mask)
+        assert smaller.covered_cell_count == 4
+        assert tec_array.covered_cell_count > 4

@@ -1,0 +1,136 @@
+"""TEC device model: Equations (1)-(3) and derived quantities."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.tec import TECDevice, default_tec_device
+
+
+@pytest.fixture()
+def device():
+    return default_tec_device()
+
+
+class TestEquationIdentities:
+    def test_power_is_qh_minus_qc(self, device):
+        # Equation (3) is exactly q_h - q_c for any operating point.
+        for t_cold, t_hot, current in [(350.0, 355.0, 1.0),
+                                       (330.0, 360.0, 3.0),
+                                       (360.0, 350.0, 0.5)]:
+            q_c = device.heat_absorbed(t_cold, t_hot, current)
+            q_h = device.heat_released(t_cold, t_hot, current)
+            assert device.power(t_cold, t_hot, current) == \
+                pytest.approx(q_h - q_c, rel=1e-12)
+
+    def test_zero_current_pure_conduction(self, device):
+        # With I = 0 the device is a resistor: q_c = q_h = -K * dT.
+        q_c = device.heat_absorbed(350.0, 360.0, 0.0)
+        q_h = device.heat_released(350.0, 360.0, 0.0)
+        expected = -device.thermal_conductance * 10.0
+        assert q_c == pytest.approx(expected)
+        assert q_h == pytest.approx(expected)
+        assert device.power(350.0, 360.0, 0.0) == 0.0
+
+    def test_zero_current_zero_dt_is_idle(self, device):
+        assert device.heat_absorbed(350.0, 350.0, 0.0) == 0.0
+        assert device.power(350.0, 350.0, 0.0) == 0.0
+
+    def test_n_modules_scale_linearly(self, device):
+        single = device.heat_absorbed(350.0, 355.0, 1.0)
+        assert device.heat_absorbed(350.0, 355.0, 1.0, n_modules=10) == \
+            pytest.approx(10.0 * single)
+
+    def test_joule_split_half_half(self, device):
+        # The R*I^2 term appears as -1/2 in q_c and +1/2 in q_h.
+        t = 350.0
+        current = 2.0
+        q_c = device.heat_absorbed(t, t, current)
+        q_h = device.heat_released(t, t, current)
+        joule = device.electrical_resistance * current ** 2
+        assert (q_h - q_c) == pytest.approx(joule)
+        peltier = device.seebeck_coefficient * t * current
+        assert q_c == pytest.approx(peltier - joule / 2.0)
+
+    def test_power_positive_dt_costs_more(self, device):
+        # Pumping against a larger temperature difference costs more.
+        base = device.power(350.0, 352.0, 2.0)
+        harder = device.power(350.0, 360.0, 2.0)
+        assert harder > base
+
+
+class TestCoolingBehaviour:
+    def test_peltier_cooling_dominates_at_small_current(self, device):
+        # At modest current, the cold side absorbs heat (q_c > 0).
+        assert device.heat_absorbed(350.0, 350.0, 0.5) > 0.0
+
+    def test_joule_dominates_at_huge_current(self, device):
+        # Far beyond the optimum, Joule heating flips the sign of q_c.
+        big = device.seebeck_coefficient * 350.0 \
+            / device.electrical_resistance * 4.0
+        assert device.heat_absorbed(350.0, 350.0, big) < 0.0
+
+    def test_optimal_current_formula(self, device):
+        unclamped = (device.seebeck_coefficient * 300.0
+                     / device.electrical_resistance)
+        expected = min(unclamped, device.max_current)
+        assert device.optimal_current_max_cooling(300.0) == \
+            pytest.approx(expected)
+
+    def test_max_dt_self_consistent(self, device):
+        # dT_max solves dT = Z*(T_h - dT)^2/2 at zero load.
+        t_hot = 350.0
+        dt = device.max_temperature_difference(t_hot)
+        z = device.figure_of_merit
+        assert dt == pytest.approx(z * (t_hot - dt) ** 2 / 2.0, rel=1e-9)
+        assert 0.0 < dt < t_hot
+
+    def test_zt_near_unity(self, device):
+        # The default module targets superlattice-class ZT ~ 1 at 350 K.
+        assert device.zt(350.0) == pytest.approx(1.0, abs=0.2)
+
+    def test_cop_positive_in_cooling_regime(self, device):
+        cop = device.coefficient_of_performance(350.0, 352.0, 1.0)
+        assert cop > 0.0
+
+    def test_cop_decreases_with_dt(self, device):
+        cop_small = device.coefficient_of_performance(350.0, 351.0, 1.0)
+        cop_large = device.coefficient_of_performance(350.0, 365.0, 1.0)
+        assert cop_large < cop_small
+
+    def test_cop_undefined_at_zero_power(self, device):
+        with pytest.raises(ConfigurationError):
+            device.coefficient_of_performance(350.0, 350.0, 0.0)
+
+
+class TestPerAreaDensities:
+    def test_densities_scale_with_footprint(self, device):
+        assert device.seebeck_per_area == pytest.approx(
+            device.seebeck_coefficient / device.footprint_area)
+        assert device.resistance_per_area == pytest.approx(
+            device.electrical_resistance / device.footprint_area)
+        assert device.conductance_per_area == pytest.approx(
+            device.thermal_conductance / device.footprint_area)
+
+
+class TestValidation:
+    def test_kelvin_required(self, device):
+        with pytest.raises(ConfigurationError):
+            device.heat_absorbed(-10.0, 350.0, 1.0)
+
+    def test_negative_current_rejected(self, device):
+        with pytest.raises(ConfigurationError):
+            device.power(350.0, 350.0, -1.0)
+
+    def test_zero_modules_rejected(self, device):
+        with pytest.raises(ConfigurationError):
+            device.heat_released(350.0, 350.0, 1.0, n_modules=0)
+
+    def test_bad_construction(self):
+        with pytest.raises(ConfigurationError):
+            TECDevice(0.0, 1.0, 1.0, 1e-6)
+        with pytest.raises(ConfigurationError):
+            TECDevice(1e-3, -1.0, 1.0, 1e-6)
+        with pytest.raises(ConfigurationError):
+            TECDevice(1e-3, 1.0, 0.0, 1e-6)
+        with pytest.raises(ConfigurationError):
+            TECDevice(1e-3, 1.0, 1.0, 0.0)

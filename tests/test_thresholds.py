@@ -1,0 +1,80 @@
+"""Threshold and hysteresis TEC controllers (ref [5] reproductions)."""
+
+import pytest
+
+from repro.core import (
+    run_hysteresis_controller,
+    run_threshold_controller,
+)
+from repro.errors import ConfigurationError
+
+
+class TestThresholdController:
+    def test_tec_engages_above_threshold(self, tec_problem):
+        result = run_threshold_controller(
+            tec_problem, omega=300.0, on_current=1.5, threshold=335.0,
+            duration=30.0, dt=0.5)
+        assert not result.runaway
+        assert result.duty_cycle > 0.0
+        assert result.current.max() == pytest.approx(1.5)
+
+    def test_tec_stays_off_when_cool(self, tec_problem):
+        # Threshold far above any reachable temperature: never engages.
+        result = run_threshold_controller(
+            tec_problem, omega=400.0, on_current=1.5, threshold=420.0,
+            duration=10.0, dt=0.5)
+        assert result.duty_cycle == 0.0
+        assert result.switch_count == 0
+
+    def test_controller_limits_peak(self, tec_problem):
+        on = run_threshold_controller(
+            tec_problem, omega=300.0, on_current=2.0, threshold=335.0,
+            duration=40.0, dt=0.5)
+        off = run_threshold_controller(
+            tec_problem, omega=300.0, on_current=0.0, threshold=335.0,
+            duration=40.0, dt=0.5)
+        assert on.peak_temperature <= off.peak_temperature + 1e-6
+
+
+class TestHysteresisController:
+    def test_fewer_switches_than_threshold(self, tec_problem):
+        # The hysteresis band's purpose (per the reference): cut the
+        # on/off transition count relative to a single threshold.
+        threshold = run_threshold_controller(
+            tec_problem, omega=300.0, on_current=2.0, threshold=336.0,
+            duration=60.0, dt=0.25)
+        hysteresis = run_hysteresis_controller(
+            tec_problem, omega=300.0, on_current=2.0, t_on=336.0,
+            t_off=333.0, duration=60.0, dt=0.25)
+        assert hysteresis.switch_count <= threshold.switch_count
+
+    def test_band_ordering_enforced(self, tec_problem):
+        with pytest.raises(ConfigurationError):
+            run_hysteresis_controller(
+                tec_problem, omega=300.0, on_current=1.0, t_on=330.0,
+                t_off=340.0)
+
+    def test_trace_lengths_consistent(self, tec_problem):
+        result = run_hysteresis_controller(
+            tec_problem, omega=300.0, on_current=1.0, t_on=340.0,
+            t_off=336.0, duration=5.0, dt=0.5)
+        assert len(result.times) == len(result.max_chip_temperature)
+        assert len(result.times) == len(result.current)
+
+
+class TestValidation:
+    def test_requires_tec(self, baseline_problem):
+        with pytest.raises(ConfigurationError):
+            run_threshold_controller(baseline_problem, omega=300.0,
+                                     on_current=1.0, threshold=340.0)
+
+    def test_current_bound(self, tec_problem):
+        with pytest.raises(ConfigurationError):
+            run_threshold_controller(tec_problem, omega=300.0,
+                                     on_current=99.0, threshold=340.0)
+
+    def test_time_step_validation(self, tec_problem):
+        with pytest.raises(ConfigurationError):
+            run_threshold_controller(tec_problem, omega=300.0,
+                                     on_current=1.0, threshold=340.0,
+                                     duration=1.0, dt=2.0)

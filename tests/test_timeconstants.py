@@ -1,0 +1,80 @@
+"""Thermal time-constant extraction."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.thermal import (
+    boost_window_recommendation,
+    extract_time_constants,
+    simulate_transient,
+)
+
+
+@pytest.fixture(scope="module")
+def analysis(tec_model):
+    return extract_time_constants(tec_model, omega=262.0, modes=6)
+
+
+class TestExtraction:
+    def test_sorted_slowest_first(self, analysis):
+        taus = analysis.time_constants
+        assert (taus[:-1] >= taus[1:]).all()
+        assert analysis.slowest == taus[0]
+        assert analysis.fastest_extracted == taus[-1]
+
+    def test_all_positive(self, analysis):
+        assert (analysis.time_constants > 0.0).all()
+
+    def test_package_scale_constants(self, analysis):
+        # The sink dominates: the slowest mode is seconds-scale; the
+        # extracted spread covers at least one order of magnitude.
+        assert 1.0 < analysis.slowest < 500.0
+        assert analysis.slowest > 5.0 * analysis.fastest_extracted
+
+    def test_faster_fan_speeds_settling(self, tec_model):
+        slow_fan = extract_time_constants(tec_model, omega=50.0,
+                                          modes=3)
+        fast_fan = extract_time_constants(tec_model, omega=500.0,
+                                          modes=3)
+        # More convection = faster dominant decay.
+        assert fast_fan.slowest < slow_fan.slowest
+
+    def test_matches_transient_settling(self, tec_model,
+                                        basicmath_power, leakage,
+                                        analysis):
+        # After ~3 dominant time constants the step response should be
+        # within a few percent of settled.
+        tau = analysis.slowest
+        run = simulate_transient(
+            tec_model, duration=5.0 * tau, dt=tau / 20.0, omega=262.0,
+            current=0.0, dynamic_cell_power=basicmath_power,
+            leakage=leakage)
+        final = run.max_chip_temperature[-1]
+        ambient = tec_model.config.ambient
+        idx_3tau = int(3.0 * tau / (tau / 20.0))
+        t_3tau = run.max_chip_temperature[idx_3tau]
+        assert (t_3tau - ambient) > 0.9 * (final - ambient)
+
+    def test_validation(self, tec_model):
+        with pytest.raises(ConfigurationError):
+            extract_time_constants(tec_model, omega=262.0, modes=0)
+        with pytest.raises(ConfigurationError):
+            extract_time_constants(
+                tec_model, omega=262.0,
+                modes=tec_model.network.node_count)
+
+
+class TestBoostWindow:
+    def test_window_between_extremes(self, analysis):
+        window = boost_window_recommendation(analysis)
+        assert analysis.fastest_extracted <= window <= analysis.slowest
+
+    def test_paper_scale(self, analysis):
+        # The paper's "+1 A for about 1 s" sits inside the window the
+        # mode analysis would recommend (same order of magnitude).
+        window = boost_window_recommendation(analysis)
+        assert 0.1 < window < 100.0
+
+    def test_validation(self, analysis):
+        with pytest.raises(ConfigurationError):
+            boost_window_recommendation(analysis, die_fraction=0.0)

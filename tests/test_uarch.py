@@ -1,0 +1,239 @@
+"""Microarchitectural activity/power simulator (PTscalar substitute)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.uarch import (
+    ActivityModel,
+    Ev6Machine,
+    InstructionClass,
+    UnitPowerModel,
+    mibench_programs,
+    simulate_power_trace,
+)
+from repro.uarch.isa import InstructionMix, make_mix
+from repro.uarch.programs import Phase
+
+
+class TestInstructionMix:
+    def test_make_mix_normalizes(self):
+        mix = make_mix(int_alu=2.0, load=1.0, branch=1.0)
+        assert mix.fraction(InstructionClass.INT_ALU) == \
+            pytest.approx(0.5)
+        assert sum(mix.fractions.values()) == pytest.approx(1.0)
+
+    def test_aggregates(self):
+        mix = make_mix(int_alu=0.4, fp_add=0.2, fp_mul=0.1, load=0.2,
+                       store=0.1)
+        assert mix.memory_fraction == pytest.approx(0.3)
+        assert mix.fp_fraction == pytest.approx(0.3)
+        assert mix.int_fraction == pytest.approx(0.4)
+
+    def test_blended(self):
+        a = make_mix(int_alu=1.0)
+        b = make_mix(fp_add=1.0)
+        mid = a.blended(b, 0.25)
+        assert mid.fraction(InstructionClass.INT_ALU) == \
+            pytest.approx(0.75)
+        assert mid.fraction(InstructionClass.FP_ADD) == \
+            pytest.approx(0.25)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            InstructionMix({InstructionClass.INT_ALU: 0.5})
+        with pytest.raises(ConfigurationError):
+            make_mix(warp_core=1.0)
+        with pytest.raises(ConfigurationError):
+            make_mix(int_alu=0.0)
+        a = make_mix(int_alu=1.0)
+        with pytest.raises(ConfigurationError):
+            a.blended(a, 2.0)
+
+
+class TestPrograms:
+    def test_eight_programs(self):
+        programs = mibench_programs()
+        assert len(programs) == 8
+        for name, program in programs.items():
+            assert program.name == name
+            assert program.duration > 0.0
+
+    def test_phase_at(self):
+        program = mibench_programs()["basicmath"]
+        assert program.phase_at(0.0) is program.phases[0]
+        assert program.phase_at(program.duration + 5.0) \
+            is program.phases[-1]
+
+    def test_phase_validation(self):
+        mix = make_mix(int_alu=1.0)
+        with pytest.raises(ConfigurationError):
+            Phase("x", duration=0.0, mix=mix, ipc_demand=1.0,
+                  locality=0.5)
+        with pytest.raises(ConfigurationError):
+            Phase("x", duration=1.0, mix=mix, ipc_demand=0.0,
+                  locality=0.5)
+        with pytest.raises(ConfigurationError):
+            Phase("x", duration=1.0, mix=mix, ipc_demand=1.0,
+                  locality=1.5)
+
+
+class TestActivityModel:
+    def test_ipc_respects_width(self):
+        model = ActivityModel(Ev6Machine(issue_width=4.0))
+        phase = Phase("x", 1.0, make_mix(int_alu=1.0),
+                      ipc_demand=10.0, locality=1.0)
+        assert model.effective_ipc(phase) <= 4.0
+
+    def test_fp_structural_limit(self):
+        # A pure FP-add stream can't beat the single adder pipe.
+        model = ActivityModel()
+        phase = Phase("x", 1.0, make_mix(fp_add=1.0), ipc_demand=4.0,
+                      locality=1.0)
+        assert model.effective_ipc(phase) <= 1.0 + 1e-9
+
+    def test_poor_locality_stalls(self):
+        model = ActivityModel()
+        mix = make_mix(int_alu=0.5, load=0.5)
+        fast = Phase("hit", 1.0, mix, ipc_demand=3.0, locality=1.0)
+        slow = Phase("miss", 1.0, mix, ipc_demand=3.0, locality=0.2)
+        assert model.effective_ipc(slow) < model.effective_ipc(fast)
+
+    def test_activities_bounded(self):
+        model = ActivityModel()
+        for program in mibench_programs().values():
+            for phase in program.phases:
+                for unit, activity in model.unit_activities(
+                        phase).items():
+                    assert 0.0 <= activity <= 1.0, (program.name, unit)
+
+    def test_int_kernel_drives_int_units(self):
+        model = ActivityModel()
+        program = mibench_programs()["bitcount"]
+        activities = model.unit_activities(program.phases[-1])
+        assert activities["IntExec"] > activities["FPAdd"]
+        assert activities["IntExec"] > activities["L2"]
+
+    def test_fp_kernel_drives_fp_units(self):
+        model = ActivityModel()
+        program = mibench_programs()["fft"]
+        activities = model.unit_activities(program.phases[-1])
+        assert activities["FPAdd"] > activities["IntExec"]
+
+    def test_streaming_drives_l2(self):
+        model = ActivityModel()
+        crc = mibench_programs()["crc32"].phases[0]
+        bit = mibench_programs()["bitcount"].phases[-1]
+        assert model.unit_activities(crc)["L2"] > \
+            model.unit_activities(bit)["L2"]
+
+    def test_simulate_interval_count(self):
+        model = ActivityModel()
+        program = mibench_programs()["crc32"]
+        intervals = model.simulate(program, sample_interval=0.1)
+        assert len(intervals) == int(round(program.duration / 0.1))
+        assert intervals[-1].time == pytest.approx(program.duration,
+                                                   abs=0.1)
+
+    def test_simulate_validation(self):
+        model = ActivityModel()
+        program = mibench_programs()["crc32"]
+        with pytest.raises(ConfigurationError):
+            model.simulate(program, sample_interval=0.0)
+        with pytest.raises(ConfigurationError):
+            model.simulate(program, sample_interval=1e9)
+
+    def test_machine_validation(self):
+        with pytest.raises(ConfigurationError):
+            Ev6Machine(issue_width=0.0)
+        with pytest.raises(ConfigurationError):
+            Ev6Machine(miss_penalty=-1.0)
+
+
+class TestUnitPowerModel:
+    def test_for_floorplan_budget(self):
+        model = UnitPowerModel.for_floorplan(total_peak=70.0)
+        assert model.total_peak == pytest.approx(70.0)
+
+    def test_execution_denser_than_sram(self, floorplan):
+        model = UnitPowerModel.for_floorplan(floorplan, total_peak=70.0)
+        density = {name: model.peak_power[name] / floorplan[name].area
+                   for name in ("IntExec", "L2")}
+        assert density["IntExec"] > 5.0 * density["L2"]
+
+    def test_idle_floor(self):
+        model = UnitPowerModel({"u": 10.0}, idle_fraction=0.2)
+        assert model.power("u", 0.0) == pytest.approx(2.0)
+        assert model.power("u", 1.0) == pytest.approx(10.0)
+        assert model.power("u", 0.5) == pytest.approx(6.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            UnitPowerModel({})
+        with pytest.raises(ConfigurationError):
+            UnitPowerModel({"u": -1.0})
+        with pytest.raises(ConfigurationError):
+            UnitPowerModel({"u": 1.0}, idle_fraction=1.0)
+        model = UnitPowerModel({"u": 1.0})
+        with pytest.raises(ConfigurationError):
+            model.power("v", 0.5)
+        with pytest.raises(ConfigurationError):
+            model.power("u", 1.5)
+
+
+class TestEndToEnd:
+    def test_trace_shape(self):
+        program = mibench_programs()["fft"]
+        trace = simulate_power_trace(program, sample_interval=0.05)
+        assert trace.duration == pytest.approx(program.duration,
+                                               abs=0.05)
+        assert (trace.samples >= 0.0).all()
+
+    def test_power_within_peaks(self):
+        model = UnitPowerModel.for_floorplan(total_peak=70.0)
+        trace = simulate_power_trace(mibench_programs()["quicksort"],
+                                     model)
+        for unit in trace.unit_names:
+            assert trace.unit_series(unit).max() <= \
+                model.peak_power[unit] + 1e-9
+
+    def test_benchmark_characters(self):
+        profiles = {
+            name: simulate_power_trace(program).max_profile()
+            for name, program in mibench_programs().items()
+        }
+        # Integer kernels heat the int core, FP kernels the FP adder.
+        assert profiles["bitcount"].unit_power["IntExec"] > \
+            profiles["bitcount"].unit_power["FPAdd"]
+        assert profiles["fft"].unit_power["FPAdd"] > \
+            profiles["fft"].unit_power["IntQ"]
+        # Streaming benchmarks push the L2 arrays hardest.
+        assert profiles["djkstra"].unit_power["L2"] > \
+            profiles["bitcount"].unit_power["L2"]
+
+    def test_heavier_benchmarks_draw_more(self):
+        profiles = {
+            name: simulate_power_trace(program).max_profile()
+            for name, program in mibench_programs().items()
+        }
+        light = ("crc32",)
+        heavy = ("bitcount", "quicksort", "susan")
+        assert max(profiles[n].total_power for n in light) < \
+            min(profiles[n].total_power for n in heavy)
+
+    def test_feeds_oftec(self):
+        # The complete Figure 5 path: program -> trace -> max profile
+        # -> cooling problem -> Algorithm 1.
+        from repro import build_cooling_problem, run_oftec
+        trace = simulate_power_trace(
+            mibench_programs()["basicmath"],
+            UnitPowerModel.for_floorplan(total_peak=70.0))
+        problem = build_cooling_problem(trace.max_profile(),
+                                        grid_resolution=6)
+        result = run_oftec(problem)
+        assert result.feasible
+
+    def test_deterministic(self):
+        t1 = simulate_power_trace(mibench_programs()["susan"])
+        t2 = simulate_power_trace(mibench_programs()["susan"])
+        assert np.array_equal(t1.samples, t2.samples)

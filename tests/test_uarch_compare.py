@@ -1,0 +1,90 @@
+"""Cross-validation of calibrated vs simulated power profiles."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.power import BenchmarkProfile, mibench_profiles
+from repro.uarch import (
+    compare_profiles,
+    compare_suites,
+    format_suite_agreement,
+    mibench_programs,
+    simulate_power_trace,
+    spearman_correlation,
+)
+
+
+class TestSpearman:
+    def test_perfect_agreement(self):
+        assert spearman_correlation([1, 2, 3], [10, 20, 30]) == \
+            pytest.approx(1.0)
+
+    def test_perfect_disagreement(self):
+        assert spearman_correlation([1, 2, 3], [30, 20, 10]) == \
+            pytest.approx(-1.0)
+
+    def test_rank_based_not_value_based(self):
+        # A monotone nonlinear transform leaves rho at 1.
+        a = [1.0, 2.0, 3.0, 4.0]
+        b = [value ** 3 for value in a]
+        assert spearman_correlation(a, b) == pytest.approx(1.0)
+
+    def test_ties_averaged(self):
+        rho = spearman_correlation([1.0, 1.0, 2.0], [1.0, 2.0, 3.0])
+        assert -1.0 <= rho <= 1.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            spearman_correlation([1.0], [2.0])
+        with pytest.raises(ConfigurationError):
+            spearman_correlation([1.0, 1.0], [1.0, 1.0])
+
+
+class TestCompareProfiles:
+    def test_identical_profiles(self):
+        profile = BenchmarkProfile("x", {"a": 1.0, "b": 2.0, "c": 3.0})
+        agreement = compare_profiles("x", profile, profile)
+        assert agreement.unit_rank_correlation == pytest.approx(1.0)
+        assert agreement.top_unit_match
+
+    def test_too_few_shared_units(self):
+        a = BenchmarkProfile("x", {"a": 1.0, "b": 2.0, "c": 3.0})
+        b = BenchmarkProfile("x", {"a": 1.0, "z": 2.0, "y": 3.0})
+        with pytest.raises(ConfigurationError, match="share only"):
+            compare_profiles("x", a, b)
+
+
+class TestSuiteCrossValidation:
+    @pytest.fixture(scope="class")
+    def agreement(self):
+        calibrated = mibench_profiles()
+        simulated = {
+            name: simulate_power_trace(program).max_profile()
+            for name, program in mibench_programs().items()
+        }
+        return compare_suites(calibrated, simulated)
+
+    def test_structural_agreement_is_strong(self, agreement):
+        # The simulator was built from the benchmarks' published
+        # characters, not fitted to the tables — yet the unit rankings
+        # must correlate well on average.
+        assert agreement.mean_unit_correlation > 0.5
+
+    def test_heavy_light_ordering_agrees(self, agreement):
+        # Both sources agree on which workloads are the heavy ones.
+        assert agreement.total_power_rank_correlation > 0.5
+
+    def test_int_kernels_match_top_unit(self, agreement):
+        per = {a.benchmark: a for a in agreement.per_benchmark}
+        assert per["bitcount"].top_unit_match
+
+    def test_report(self, agreement):
+        text = format_suite_agreement(agreement)
+        assert "unit-rank rho" in text
+        assert "bitcount" in text
+
+    def test_disjoint_suites_rejected(self):
+        a = {"only_here": BenchmarkProfile("x", {"a": 1.0})}
+        b = {"only_there": BenchmarkProfile("y", {"a": 1.0})}
+        with pytest.raises(ConfigurationError):
+            compare_suites(a, b)

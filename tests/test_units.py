@@ -1,0 +1,54 @@
+"""Unit-conversion helpers."""
+
+import math
+
+import pytest
+
+from repro import units
+
+
+class TestTemperature:
+    def test_celsius_to_kelvin_zero(self):
+        assert units.celsius_to_kelvin(0.0) == pytest.approx(273.15)
+
+    def test_celsius_to_kelvin_paper_tmax(self):
+        assert units.celsius_to_kelvin(90.0) == pytest.approx(363.15)
+
+    def test_kelvin_to_celsius_ambient(self):
+        assert units.kelvin_to_celsius(318.15) == pytest.approx(45.0)
+
+    def test_roundtrip(self):
+        for temp in (-40.0, 0.0, 25.0, 90.0, 125.0):
+            assert units.kelvin_to_celsius(
+                units.celsius_to_kelvin(temp)) == pytest.approx(temp)
+
+
+class TestRotation:
+    def test_rpm_to_rad_s_5000(self):
+        # The paper equates 5000 RPM with 524 rad/s.
+        assert units.rpm_to_rad_s(5000.0) == pytest.approx(523.6, abs=0.1)
+
+    def test_rad_s_to_rpm(self):
+        assert units.rad_s_to_rpm(2.0 * math.pi) == pytest.approx(60.0)
+
+    def test_roundtrip(self):
+        for rpm in (0.0, 150.0, 2000.0, 5000.0):
+            assert units.rad_s_to_rpm(
+                units.rpm_to_rad_s(rpm)) == pytest.approx(rpm)
+
+    def test_zero(self):
+        assert units.rpm_to_rad_s(0.0) == 0.0
+
+
+class TestLength:
+    def test_mm_to_m(self):
+        assert units.mm_to_m(15.9) == pytest.approx(0.0159)
+
+    def test_um_to_m(self):
+        assert units.um_to_m(20.0) == pytest.approx(2e-5)
+
+    def test_mm_roundtrip(self):
+        assert units.m_to_mm(units.mm_to_m(30.0)) == pytest.approx(30.0)
+
+    def test_um_roundtrip(self):
+        assert units.m_to_um(units.um_to_m(15.0)) == pytest.approx(15.0)

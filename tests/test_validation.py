@@ -1,0 +1,129 @@
+"""Analytic 1-D stack validation against the full 3-D network."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fan import HeatSinkFanConductance
+from repro.materials import baseline_package_stack, default_package_stack
+from repro.thermal import (
+    build_package_model,
+    format_stack_profile,
+    layer_vertical_resistances,
+    one_dimensional_stack_profile,
+    solve_steady_state,
+)
+
+
+class TestLayerResistances:
+    def test_tim_dominates_thin_layers(self):
+        stack = default_package_stack()
+        r = layer_vertical_resistances(stack)
+        # Paste layers resist far more than the copper plates (TIM2 vs
+        # the thick 7 mm sink is the narrowest margin).
+        assert r["tim1"] > 10.0 * r["spreader"]
+        assert r["tim2"] > 2.0 * r["heatsink"]
+
+    def test_values_match_formula(self):
+        stack = default_package_stack()
+        r = layer_vertical_resistances(stack)
+        chip = stack["chip"]
+        expected = chip.thickness / (chip.material.conductivity
+                                     * chip.footprint_area)
+        assert r["chip"] == pytest.approx(expected)
+
+
+class TestAnalyticProfile:
+    def test_temperatures_decrease_upward(self):
+        stack = baseline_package_stack()
+        profile = one_dimensional_stack_profile(
+            stack, power=40.0, omega=262.0, ambient=318.0)
+        temps = profile.layer_temperatures
+        assert temps["chip"] > temps["spreader"] > temps["heatsink"]
+        assert temps["heatsink"] > 318.0
+
+    def test_sink_drop_matches_conductance(self):
+        g = HeatSinkFanConductance()
+        profile = one_dimensional_stack_profile(
+            baseline_package_stack(), power=40.0, omega=262.0,
+            ambient=318.0, sink_conductance=g)
+        assert profile.sink_to_ambient_drop == pytest.approx(
+            40.0 / g.conductance(262.0))
+
+    def test_theta_ja_power_invariant(self):
+        # theta_JA is a property of the stack, not the load.
+        stack = baseline_package_stack()
+        p1 = one_dimensional_stack_profile(stack, 20.0, 262.0, 318.0)
+        p2 = one_dimensional_stack_profile(stack, 60.0, 262.0, 318.0)
+        assert p1.junction_to_ambient_resistance == pytest.approx(
+            p2.junction_to_ambient_resistance)
+
+    def test_zero_power_is_isothermal(self):
+        profile = one_dimensional_stack_profile(
+            baseline_package_stack(), power=0.0, omega=262.0,
+            ambient=318.0)
+        temps = list(profile.layer_temperatures.values())
+        assert all(t == pytest.approx(318.0) for t in temps)
+
+    def test_validation_errors(self):
+        stack = baseline_package_stack()
+        with pytest.raises(ConfigurationError):
+            one_dimensional_stack_profile(stack, -1.0, 262.0, 318.0)
+        with pytest.raises(ConfigurationError):
+            one_dimensional_stack_profile(stack, 1.0, 262.0, -318.0)
+
+    def test_format(self):
+        stack = baseline_package_stack()
+        profile = one_dimensional_stack_profile(stack, 40.0, 262.0,
+                                                318.0)
+        text = format_stack_profile(profile, stack)
+        assert "theta_JA" in text
+        assert "chip" in text
+
+
+class TestAgainstFullNetwork:
+    def test_network_bracketed_by_analytic_bound(self, grid):
+        # Uniform power, no leakage, no TEC: the 1-D chain ignores
+        # constriction (each layer isothermal over its full footprint),
+        # so it lower-bounds the 3-D junction temperature; the 3-D
+        # answer must sit above it but within the spreading-correction
+        # scale (not, say, 2x hotter).
+        stack = baseline_package_stack()
+        model = build_package_model(stack, grid)
+        power_total = 40.0
+        cells = grid.cell_count
+        uniform = np.full(cells, power_total / cells)
+        omega = 262.0
+        network = solve_steady_state(model, omega, 0.0, uniform,
+                                     leakage=None)
+        analytic = one_dimensional_stack_profile(
+            stack, power_total, omega, model.config.ambient)
+
+        t_network = network.mean_chip_temperature
+        t_analytic = analytic.junction_temperature
+        assert t_network >= t_analytic - 0.5
+        drop_analytic = t_analytic - model.config.ambient
+        drop_network = t_network - model.config.ambient
+        assert drop_network < 2.0 * drop_analytic
+
+    def test_sink_drop_agrees_exactly(self, grid):
+        # The sink-to-ambient interface is lumped in both models, so
+        # the *mean sink* temperature rise must match almost exactly
+        # (modulo the small PCB leak path).
+        stack = baseline_package_stack()
+        model = build_package_model(stack, grid)
+        power_total = 40.0
+        uniform = np.full(grid.cell_count,
+                          power_total / grid.cell_count)
+        omega = 262.0
+        network = solve_steady_state(model, omega, 0.0, uniform,
+                                     leakage=None)
+        analytic = one_dimensional_stack_profile(
+            stack, power_total, omega, model.config.ambient)
+        sink_nodes = model._sink_amb_nodes
+        weights = model._sink_amb_weights
+        mean_sink = float(np.sum(
+            network.temperatures[sink_nodes] * weights))
+        network_drop = mean_sink - model.config.ambient
+        assert network_drop == pytest.approx(
+            analytic.sink_to_ambient_drop, rel=0.15)

@@ -1,0 +1,55 @@
+"""Executable paper-shape verification."""
+
+import pytest
+
+from repro.analysis import (
+    format_shape_checks,
+    run_campaign,
+    verify_paper_shapes,
+)
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def full_campaign(tec_problem, baseline_problem, profiles):
+    return run_campaign(profiles, tec_problem, baseline_problem,
+                        include_tec_only=True)
+
+
+class TestVerification:
+    def test_all_shapes_reproduce(self, full_campaign):
+        checks = verify_paper_shapes(full_campaign)
+        failed = [c for c in checks if not c.passed]
+        assert not failed, format_shape_checks(checks)
+
+    def test_check_count(self, full_campaign):
+        checks = verify_paper_shapes(full_campaign)
+        # 11 headline claims when the TEC-only sweep is included.
+        assert len(checks) == 11
+
+    def test_details_populated(self, full_campaign):
+        for check in verify_paper_shapes(full_campaign):
+            assert check.claim
+            assert check.detail
+
+    def test_report_format(self, full_campaign):
+        text = format_shape_checks(verify_paper_shapes(full_campaign))
+        assert "PASS" in text
+        assert "/11 shapes reproduced" in text
+
+    def test_partial_campaign_rejected(self, tec_problem,
+                                       baseline_problem, profiles):
+        partial = run_campaign({"crc32": profiles["crc32"]},
+                               tec_problem, baseline_problem)
+        with pytest.raises(ConfigurationError, match="full suite"):
+            verify_paper_shapes(partial)
+
+    def test_tec_only_check_skipped_without_sweep(self, tec_problem,
+                                                  baseline_problem,
+                                                  profiles):
+        campaign = run_campaign(profiles, tec_problem,
+                                baseline_problem,
+                                include_tec_only=False)
+        checks = verify_paper_shapes(campaign)
+        assert len(checks) == 10
+        assert not any("TEC-only" in c.claim for c in checks)
