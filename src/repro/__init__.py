@@ -39,9 +39,14 @@ from .core import (
     run_variable_fan_baseline,
 )
 from .errors import (
+    CalibrationError,
     ConfigurationError,
+    FloorplanParseError,
+    GeometryError,
     InfeasibleProblemError,
+    MaterialError,
     ReproError,
+    SingularNetworkError,
     SolverError,
     ThermalRunawayError,
 )
@@ -66,9 +71,14 @@ __all__ = [
     "run_tec_only",
     "ReproError",
     "ConfigurationError",
+    "GeometryError",
+    "FloorplanParseError",
+    "MaterialError",
     "SolverError",
+    "SingularNetworkError",
     "ThermalRunawayError",
     "InfeasibleProblemError",
+    "CalibrationError",
     "BenchmarkProfile",
     "mibench_profiles",
     "__version__",

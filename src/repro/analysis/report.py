@@ -11,7 +11,8 @@ from typing import List, Optional
 
 import numpy as np
 
-from ..units import kelvin_to_celsius, rad_s_to_rpm
+from ..errors import ConfigurationError
+from ..units import kelvin_to_celsius, rad_s_to_rpm, s_to_ms
 from .campaign import CampaignResult
 from .sweep import SurfaceSweep
 
@@ -33,7 +34,7 @@ def format_comparison_table(campaign: CampaignResult,
     """Render Figure 6(c)/(d) (``objective="opt2"``) or 6(e)/(f)
     (``objective="opt1"``) as one combined text table."""
     if objective not in ("opt1", "opt2"):
-        raise ValueError(f"objective must be 'opt1' or 'opt2', got "
+        raise ConfigurationError(f"objective must be 'opt1' or 'opt2', got "
                          f"{objective!r}")
     t_max_c = kelvin_to_celsius(campaign.t_max)
     title = ("Optimization 1 (min cooling power, T < T_max)"
@@ -102,10 +103,10 @@ def format_table2(campaign: CampaignResult) -> str:
         lines.append(
             f"{comparison.name:<14}{result.current_star:>11.2f}"
             f"{rad_s_to_rpm(result.omega_star):>14.0f}"
-            f"{result.runtime_seconds * 1e3:>14.0f}")
+            f"{s_to_ms(result.runtime_seconds):>14.0f}")
     lines.append("-" * 53)
     lines.append(f"{'average':<14}{'':>11}{'':>14}"
-                 f"{campaign.average_oftec_runtime() * 1e3:>14.0f}")
+                 f"{s_to_ms(campaign.average_oftec_runtime()):>14.0f}")
     return "\n".join(lines)
 
 
@@ -159,7 +160,8 @@ def format_surface(sweep: SurfaceSweep, which: str = "temperature",
         convert = lambda x: x  # noqa: E731 - trivial identity
         unit = "W"
     else:
-        raise ValueError(f"which must be 'temperature' or 'power', got "
+        raise ConfigurationError(f"which must be 'temperature' or 'power', "
+                                 f"got "
                          f"{which!r}")
     col_idx = np.arange(sweep.currents.size)
     if max_cols is not None and sweep.currents.size > max_cols:

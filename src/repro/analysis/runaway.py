@@ -36,7 +36,7 @@ class RunawayBoundary:
     min_omega: List[float]
 
     def at_current(self, current: float) -> float:
-        """Boundary omega at the nearest traced current."""
+        """Boundary omega, rad/s, at the nearest traced current, A."""
         if not self.currents:
             raise ConfigurationError("Empty boundary")
         idx = min(range(len(self.currents)),
@@ -67,7 +67,8 @@ def find_runaway_boundary_omega(
     tolerance: float = 1.0,
     evaluator: Evaluator = None,
 ) -> float:
-    """Bisection: the smallest omega with a bounded steady state.
+    """Bisection: the smallest omega, rad/s, with a bounded steady
+    state at TEC current ``current``, A (``tolerance`` is in rad/s).
 
     Returns ``inf`` when the workload runs away even at ``omega_max``
     and 0.0 when it is bounded with the fan off.
@@ -98,7 +99,7 @@ def trace_runaway_boundary(
     currents: Sequence[float] = (0.0, 1.0, 2.0, 3.0, 4.0, 5.0),
     tolerance: float = 1.0,
 ) -> RunawayBoundary:
-    """Boundary omega across a set of currents for one workload."""
+    """Boundary omega, rad/s, across a set of TEC currents, A."""
     if not currents:
         raise ConfigurationError("Need at least one current")
     evaluator = Evaluator(problem)

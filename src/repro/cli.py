@@ -8,6 +8,7 @@ Commands mirror the library's main entry points:
   benchmarks (Figures 6(c)-(f) tables + Table 2).
 * ``sweep`` — the Figure 6(a)/(b) objective surfaces for one benchmark.
 * ``profiles`` — list the built-in benchmark power profiles.
+* ``lint`` — run :mod:`repro.devtools.physlint` over the tree.
 """
 
 from __future__ import annotations
@@ -27,7 +28,7 @@ from .analysis import (
     sweep_objective_surfaces,
 )
 from .power import MIBENCH_NAMES
-from .units import kelvin_to_celsius, rad_s_to_rpm
+from .units import kelvin_to_celsius, rad_s_to_rpm, s_to_ms
 
 
 def _add_resolution(parser: argparse.ArgumentParser) -> None:
@@ -94,6 +95,22 @@ def build_parser() -> argparse.ArgumentParser:
 
     commands.add_parser("profiles",
                         help="list the built-in benchmark profiles")
+
+    lint = commands.add_parser(
+        "lint",
+        help="run physlint, the domain-aware static analyzer")
+    lint.add_argument("paths", nargs="*", default=["src"],
+                      metavar="PATH",
+                      help="files or directories to lint (default: src)")
+    lint.add_argument("--format", choices=("text", "json"),
+                      default="text", dest="lint_format",
+                      help="report format (default text)")
+    lint.add_argument("--select", default="", metavar="CODES",
+                      help="comma-separated code prefixes to run")
+    lint.add_argument("--ignore", default="", metavar="CODES",
+                      help="comma-separated code prefixes to skip")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the registered rules and exit")
     return parser
 
 
@@ -115,7 +132,7 @@ def _cmd_oftec(args: argparse.Namespace) -> int:
             "leakage_power_w": result.evaluation.leakage_power,
             "tec_power_w": result.evaluation.tec_power,
             "fan_power_w": result.evaluation.fan_power,
-            "runtime_ms": result.runtime_seconds * 1e3,
+            "runtime_ms": s_to_ms(result.runtime_seconds),
             "thermal_solves": result.thermal_solves,
         }
         print(json.dumps(payload, indent=2, sort_keys=True))
@@ -129,7 +146,7 @@ def _cmd_oftec(args: argparse.Namespace) -> int:
           f"(leak {result.evaluation.leakage_power:.2f} + "
           f"TEC {result.evaluation.tec_power:.2f} + "
           f"fan {result.evaluation.fan_power:.2f})")
-    print(f"  runtime {result.runtime_seconds * 1e3:.0f} ms, "
+    print(f"  runtime {s_to_ms(result.runtime_seconds):.0f} ms, "
           f"{result.thermal_solves} thermal solves")
     return 0 if result.feasible else 1
 
@@ -201,6 +218,19 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .devtools.physlint import main as physlint_main
+    forwarded = list(args.paths)
+    forwarded += ["--format", args.lint_format]
+    if args.select:
+        forwarded += ["--select", args.select]
+    if args.ignore:
+        forwarded += ["--ignore", args.ignore]
+    if args.list_rules:
+        forwarded.append("--list-rules")
+    return physlint_main(forwarded)
+
+
 def _cmd_profiles(_args: argparse.Namespace) -> int:
     print(f"{'benchmark':<14}{'total (W)':>10}  hottest units")
     for name, profile in mibench_profiles().items():
@@ -218,6 +248,7 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "profiles": _cmd_profiles,
     "spice": _cmd_spice,
+    "lint": _cmd_lint,
 }
 
 

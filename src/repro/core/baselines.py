@@ -22,7 +22,7 @@ from typing import Optional
 import numpy as np
 
 from ..constants import OMEGA_FIXED_BASELINE
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, SolverError
 from .evaluator import Evaluation, Evaluator
 from .oftec import OFTECResult, run_oftec
 from .problem import CoolingProblem
@@ -131,7 +131,9 @@ def run_tec_only(problem: CoolingProblem,
         if best is None or (evaluation.max_chip_temperature
                             < best.max_chip_temperature):
             best = evaluation
-    assert best is not None
+    if best is None:
+        raise SolverError(
+            "TEC-only current sweep produced no evaluations")
     return BaselineResult(
         problem_name=problem.name,
         controller="tec-only",

@@ -89,7 +89,8 @@ class Evaluator:
         return omega_c, current_c
 
     def evaluate(self, omega: float, current: float) -> Evaluation:
-        """Evaluate 𝒯 and 𝒫 at one operating point (cached)."""
+        """Evaluate 𝒯 and 𝒫 at one ``(omega, current)`` operating
+        point (fan speed in rad/s, TEC current in A); cached."""
         self.call_count += 1
         omega, current = self.clamp(omega, current)
         key = (round(omega, self._cache_decimals),
@@ -142,18 +143,21 @@ class Evaluator:
             runaway=False,
             steady=steady)
 
-    # -- the two objective functions of Section 5 ------------------------------
+    # -- the two objective functions of Section 5 ---------------------
 
     def temperature_objective(self, omega: float, current: float) -> float:
-        """𝒯(omega, I): Optimization 2's objective (Equation 19)."""
+        """𝒯(omega, I) in K for omega in rad/s and I in A
+        (Optimization 2's objective, Equation 19)."""
         return self.evaluate(omega, current).max_chip_temperature
 
     def power_objective(self, omega: float, current: float) -> float:
-        """𝒫(omega, I): Optimization 1's objective (Equation 10)."""
+        """𝒫(omega, I) in W for omega in rad/s and I in A
+        (Optimization 1's objective, Equation 10)."""
         return self.evaluate(omega, current).total_power
 
     def thermal_margin(self, omega: float, current: float) -> float:
-        """``T_max - 𝒯``: positive inside Constraint (15)."""
+        """``T_max - 𝒯`` in K (omega in rad/s, current in A);
+        positive inside Constraint (15)."""
         return (self.problem.limits.t_max
                 - self.evaluate(omega, current).max_chip_temperature)
 

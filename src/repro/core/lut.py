@@ -64,7 +64,8 @@ class LookupTableController:
     def add_entry(self, label: str, unit_power: Mapping[str, float],
                   omega: float, current: float,
                   feasible: bool = True) -> None:
-        """Store one precomputed row."""
+        """Store one precomputed row: per-unit powers in W, the
+        operating point as fan speed in rad/s and TEC current in A."""
         self._entries.append(LUTEntry(
             label=label, feature=self._feature(unit_power),
             omega=omega, current=current, feasible=feasible))
@@ -112,7 +113,10 @@ class LookupTableController:
             if distance < best_distance:
                 best_distance = distance
                 best_entry = entry
-        assert best_entry is not None
+        if best_entry is None:
+            raise ConfigurationError(
+                "lookup table has no entries; add_entry() or "
+                "precompute() must run first")
         return best_entry.omega, best_entry.current, best_entry
 
 

@@ -100,7 +100,8 @@ class ChannelAssignment:
 
     def cell_currents(self, channel_currents: Sequence[float],
                       ) -> np.ndarray:
-        """Expand per-channel currents into the per-cell array."""
+        """Expand per-channel TEC currents, A, into the per-cell
+        array."""
         currents = np.asarray(channel_currents, dtype=float)
         if currents.shape != (self.channel_count,):
             raise ConfigurationError(
@@ -180,6 +181,8 @@ class MultiChannelEvaluator:
 
     def evaluate(self, omega: float, channel_currents: Sequence[float],
                  ) -> MultiChannelEvaluation:
+        """Evaluate one operating point: fan speed omega, rad/s, and
+        per-channel TEC currents, A (cached)."""
         problem = self.problem
         limits = problem.limits
         omega = float(np.clip(omega, 0.0, limits.omega_max))

@@ -114,7 +114,8 @@ def run_oftec(
             if raise_on_infeasible:
                 raise InfeasibleProblemError(
                     f"{problem.name}: even the temperature-minimizing "
-                    f"point reaches {feasible_point.max_chip_temperature:.1f} K "
+                    "point reaches "
+                    f"{feasible_point.max_chip_temperature:.1f} K "
                     f"> T_max = {t_max:.1f} K")
             return OFTECResult(
                 problem_name=problem.name,

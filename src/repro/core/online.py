@@ -81,7 +81,8 @@ class OnlineControlResult:
 
 
 def static_policy(omega: float, current: float) -> Policy:
-    """Always apply one fixed operating point."""
+    """Always apply one fixed operating point: fan speed omega,
+    rad/s, and TEC current, A."""
     def policy(_observed: Mapping[str, float]) -> Tuple[float, float]:
         return omega, current
     return policy
@@ -119,7 +120,9 @@ def run_online_controller(
     At each control-interval boundary the policy observes the trace's
     per-unit *maximum* over the upcoming interval (the same reduction
     OFTEC consumes offline) and fixes ``(omega, I)`` until the next
-    boundary; the thermals integrate forward at step ``dt``.
+    boundary; the thermals integrate forward at step ``dt``
+    (``control_interval`` and ``dt`` in s, ``initial_temperatures``
+    in K).
     """
     if control_interval <= 0.0 or dt <= 0.0:
         raise ConfigurationError(

@@ -18,7 +18,7 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, SolverError
 from ..geometry.cmp4 import cmp4_unit_power
 from .oftec import OFTECResult, run_oftec
 from .problem import CoolingProblem
@@ -119,7 +119,9 @@ def optimize_thread_placement(
             if result.feasible or best is None:
                 best = (tuple(perm), result, core_powers)
 
-    assert best is not None
+    if best is None:
+        raise SolverError(
+            "thread-placement search evaluated no permutations")
     ranking.sort(key=lambda item: item[1])
     assignment, oftec_result, core_powers = best
     return PlacementResult(
@@ -140,9 +142,10 @@ def placement_spread_score(assignment: Sequence[int],
                            adjacency: Dict[int, List[int]],
                            thread_powers: Sequence[float],
                            idle_power: float = 2.0) -> float:
-    """Heuristic score: summed power of adjacent core pairs.
+    """Heuristic score: summed power of adjacent core pairs, W².
 
-    Lower is better (hot neighbors are bad).  Useful as a cheap
+    ``thread_powers`` and ``idle_power`` are per-core dynamic powers
+    in W.  Lower is better (hot neighbors are bad).  Useful as a cheap
     pre-ranking before the thermal search on larger core counts.
     """
     powers = _assignment_core_powers(assignment, list(thread_powers),

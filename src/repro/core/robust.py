@@ -54,12 +54,14 @@ class EnvelopeEvaluator:
 
     def member_evaluations(self, omega: float, current: float,
                            ) -> Dict[str, Evaluation]:
-        """Per-workload evaluations at one operating point."""
+        """Per-workload evaluations at one operating point
+        (fan speed omega, rad/s; TEC current, A)."""
         return {p.name: e.evaluate(omega, current)
                 for p, e in zip(self.problems, self._evaluators)}
 
     def evaluate(self, omega: float, current: float) -> Evaluation:
-        """The envelope evaluation: worst member per metric."""
+        """The envelope evaluation at ``(omega, current)`` — rad/s
+        and A — taking the worst member per metric."""
         members = list(self.member_evaluations(omega, current).values())
         worst_t = max(m.max_chip_temperature for m in members)
         worst_p = max(m.total_power for m in members)

@@ -88,6 +88,8 @@ class _NormalizedProblem:
         return omega, current
 
     def to_normalized(self, omega: float, current: float) -> np.ndarray:
+        """Map a physical point — omega in rad/s, current in A — to
+        the solver's dimensionless coordinates."""
         x = [omega / self.omega_scale]
         if self.dimensions == 2:
             x.append(current / self.current_scale)

@@ -147,7 +147,12 @@ def run_threshold_controller(
     dt: float = 0.05,
     initial_temperatures: Optional[np.ndarray] = None,
 ) -> ThresholdControllerResult:
-    """Single-threshold on/off TEC control (ref [5], controller 1)."""
+    """Single-threshold on/off TEC control (ref [5], controller 1).
+
+    Fan speed ``omega`` in rad/s, switched current ``on_current`` in A,
+    ``threshold`` and ``initial_temperatures`` in K, ``duration`` and
+    ``dt`` in s.
+    """
     return _run_switched_controller(
         problem, omega, on_current, duration, dt,
         t_on=threshold, t_off=threshold,
@@ -164,7 +169,12 @@ def run_hysteresis_controller(
     dt: float = 0.05,
     initial_temperatures: Optional[np.ndarray] = None,
 ) -> ThresholdControllerResult:
-    """Two-threshold hysteresis TEC control (ref [5], controller 2)."""
+    """Two-threshold hysteresis TEC control (ref [5], controller 2).
+
+    Fan speed ``omega`` in rad/s, switched current ``on_current`` in A,
+    ``t_on``/``t_off`` and ``initial_temperatures`` in K, ``duration``
+    and ``dt`` in s.
+    """
     return _run_switched_controller(
         problem, omega, on_current, duration, dt,
         t_on=t_on, t_off=t_off,

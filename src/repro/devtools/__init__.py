@@ -1,0 +1,20 @@
+"""Developer tooling for the OFTEC reproduction.
+
+This subpackage hosts tools that guard the codebase's conventions rather
+than model any physics.  The first citizen is :mod:`repro.devtools.physlint`,
+a domain-aware static-analysis pass (units discipline, exception hygiene,
+numerics conventions) runnable as ``repro lint`` or
+``python -m repro.devtools.physlint``.
+"""
+
+from __future__ import annotations
+
+from .physlint import Finding, Rule, available_rules, lint_paths, rule
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "available_rules",
+    "lint_paths",
+    "rule",
+]

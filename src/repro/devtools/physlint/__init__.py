@@ -1,0 +1,45 @@
+"""physlint — domain-aware static analysis for the OFTEC reproduction.
+
+Run it as ``repro lint [PATH ...]`` or
+``python -m repro.devtools.physlint [PATH ...]``; use
+:func:`lint_paths` / :func:`lint_source` as the library API.
+
+See :mod:`repro.devtools.physlint.rules` for the rule catalogue and
+CONTRIBUTING.md for suppression syntax and how to add a rule.
+"""
+
+from __future__ import annotations
+
+from .cli import build_parser, main
+from .core import (
+    PARSE_ERROR_CODE,
+    Finding,
+    LintContext,
+    Rule,
+    available_rules,
+    lint_file,
+    lint_paths,
+    lint_source,
+    rule,
+)
+from .reporters import findings_to_dict, format_json, format_text
+
+# Importing the module registers the built-in rules with the registry.
+from . import rules as _builtin_rules  # noqa: F401  (import for effect)
+
+__all__ = [
+    "PARSE_ERROR_CODE",
+    "Finding",
+    "LintContext",
+    "Rule",
+    "available_rules",
+    "build_parser",
+    "findings_to_dict",
+    "format_json",
+    "format_text",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "main",
+    "rule",
+]

@@ -1,0 +1,67 @@
+"""The ``physlint`` command line (also backing ``repro lint``).
+
+Exit codes: 0 clean, 1 findings, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from ...errors import ConfigurationError
+from .core import available_rules, lint_paths
+from .reporters import format_json, format_text
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Argument parser for ``python -m repro.devtools.physlint``."""
+    parser = argparse.ArgumentParser(
+        prog="physlint",
+        description=("Domain-aware static analysis for the OFTEC "
+                     "reproduction: units discipline, exception "
+                     "hygiene, and numerics conventions."))
+    parser.add_argument(
+        "paths", nargs="*", default=["src"], metavar="PATH",
+        help="files or directories to lint (default: src)")
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default text)")
+    parser.add_argument(
+        "--select", default="", metavar="CODES",
+        help="comma-separated code prefixes to run (e.g. RPR1,RPR301)")
+    parser.add_argument(
+        "--ignore", default="", metavar="CODES",
+        help="comma-separated code prefixes to skip")
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the registered rules and exit")
+    return parser
+
+
+def _render_rule_table() -> str:
+    lines = ["registered physlint rules:"]
+    for code, rule_cls in available_rules().items():
+        lines.append(f"  {code}  {rule_cls.name:<18} "
+                     f"{rule_cls.rationale.split('.')[0].strip()}.")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        print(_render_rule_table())
+        return 0
+    select = [c for c in args.select.split(",") if c.strip()]
+    ignore = [c for c in args.ignore.split(",") if c.strip()]
+    try:
+        findings = lint_paths(args.paths, select=select, ignore=ignore)
+    except ConfigurationError as error:
+        print(f"physlint: error: {error}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(format_json(findings))
+    else:
+        print(format_text(findings))
+    return 1 if findings else 0

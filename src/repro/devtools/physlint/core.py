@@ -1,0 +1,299 @@
+"""The physlint engine: rule registry, suppressions, and file walking.
+
+``physlint`` is an AST-based linter for the *domain* conventions of this
+repository — strict-SI units, the :class:`~repro.errors.ReproError`
+exception hierarchy, and the sparse-solver discipline of the thermal
+core.  Generic style is left to ``ruff``; physlint only checks what a
+general-purpose tool cannot know.
+
+Rules are :class:`Rule` subclasses registered with the :func:`rule`
+decorator; each carries a stable ``RPRxxx`` code.  Findings on a line
+that carries a ``# physlint: disable=RPRxxx`` comment are suppressed,
+as is every finding of a code named by a file-level
+``# physlint: disable-file=RPRxxx`` comment.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+import tokenize
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Type
+
+from ...errors import ConfigurationError
+
+#: Pseudo-code attached to files physlint cannot parse at all.
+PARSE_ERROR_CODE = "RPR000"
+
+_CODE_RE = re.compile(r"^RPR\d{3}$")
+_DISABLE_RE = re.compile(
+    r"#\s*physlint:\s*disable=([A-Za-z0-9_, \t]+)")
+_DISABLE_FILE_RE = re.compile(
+    r"#\s*physlint:\s*disable-file=([A-Za-z0-9_, \t]+)")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic produced by a rule.
+
+    Attributes:
+        code: Stable rule code (``RPR101`` ...), or ``RPR000`` for
+            files that fail to parse.
+        rule: Short rule name (``unit-literal`` ...).
+        message: Human-readable description of the problem.
+        path: File the finding was raised in.
+        line: 1-based source line.
+        column: 1-based source column.
+    """
+
+    code: str
+    rule: str
+    message: str
+    path: str
+    line: int
+    column: int
+
+    def render(self) -> str:
+        """The canonical one-line text form of the finding."""
+        return (f"{self.path}:{self.line}:{self.column}: "
+                f"{self.code} {self.message} [{self.rule}]")
+
+
+@dataclass(frozen=True)
+class LintContext:
+    """Everything a rule may inspect about the file under analysis.
+
+    Attributes:
+        path: Path as given on the command line.
+        posix_path: Same path with ``/`` separators, for suffix matching.
+        source: Full file text.
+        lines: Source split into lines (1-based access via ``line - 1``).
+    """
+
+    path: str
+    posix_path: str
+    source: str
+    lines: Tuple[str, ...]
+
+
+class Rule(ast.NodeVisitor):
+    """Base class for physlint rules.
+
+    Subclasses set the class attributes below, implement ``visit_*``
+    methods, and call :meth:`emit` for each violation.  One instance is
+    created per file; the engine then calls ``visit`` on the module tree.
+
+    Attributes:
+        code: Stable ``RPRxxx`` diagnostic code.
+        name: Short kebab-case rule name shown in reports.
+        rationale: One-paragraph description of why the rule exists.
+        exempt_suffixes: Posix path suffixes the rule never applies to
+            (e.g. ``("units.py",)`` for the unit-literal rule).
+    """
+
+    code: str = ""
+    name: str = ""
+    rationale: str = ""
+    exempt_suffixes: Tuple[str, ...] = ()
+
+    def __init__(self, context: LintContext) -> None:
+        self.context = context
+        self.findings: List[Finding] = []
+
+    @classmethod
+    def applies_to(cls, posix_path: str) -> bool:
+        """Whether the rule runs on a file (suffix-based exemptions)."""
+        return not any(posix_path.endswith(suffix)
+                       for suffix in cls.exempt_suffixes)
+
+    def emit(self, node: ast.AST, message: str) -> None:
+        """Record a finding anchored at ``node``."""
+        self.findings.append(Finding(
+            code=self.code,
+            rule=self.name,
+            message=message,
+            path=self.context.path,
+            line=getattr(node, "lineno", 1),
+            column=getattr(node, "col_offset", 0) + 1,
+        ))
+
+    def run(self, tree: ast.Module) -> List[Finding]:
+        """Visit the module and return the findings."""
+        self.visit(tree)
+        return self.findings
+
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def rule(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator registering a :class:`Rule` by its code."""
+    if not _CODE_RE.match(cls.code):
+        raise ConfigurationError(
+            f"rule {cls.__name__} has invalid code {cls.code!r}; "
+            "expected the form RPRxxx")
+    if not cls.name:
+        raise ConfigurationError(
+            f"rule {cls.__name__} must set a short name")
+    if cls.code in _REGISTRY:
+        raise ConfigurationError(
+            f"duplicate rule code {cls.code}: {cls.__name__} and "
+            f"{_REGISTRY[cls.code].__name__}")
+    _REGISTRY[cls.code] = cls
+    return cls
+
+
+def available_rules() -> Dict[str, Type[Rule]]:
+    """All registered rules, keyed by code (sorted copy)."""
+    return dict(sorted(_REGISTRY.items()))
+
+
+def _match_codes(code: str, patterns: Sequence[str]) -> bool:
+    """flake8-style prefix matching: ``RPR2`` matches ``RPR201``."""
+    return any(code.startswith(pattern) for pattern in patterns)
+
+
+def _parse_code_list(text: str) -> Tuple[str, ...]:
+    return tuple(part.strip().upper() for part in text.split(",")
+                 if part.strip())
+
+
+def _suppressed_codes(line: str) -> Tuple[str, ...]:
+    """Codes disabled by a same-line ``# physlint: disable=`` comment."""
+    match = _DISABLE_RE.search(line)
+    if match is None:
+        return ()
+    return _parse_code_list(match.group(1))
+
+
+def _file_suppressed_codes(source: str) -> Tuple[str, ...]:
+    """Codes disabled for the whole file by ``disable-file`` comments."""
+    codes: List[str] = []
+    for match in _DISABLE_FILE_RE.finditer(source):
+        codes.extend(_parse_code_list(match.group(1)))
+    return tuple(codes)
+
+
+def _is_suppressed(finding: Finding, context: LintContext,
+                   file_codes: Tuple[str, ...]) -> bool:
+    if _match_codes(finding.code, file_codes) or "ALL" in file_codes:
+        return True
+    if 1 <= finding.line <= len(context.lines):
+        codes = _suppressed_codes(context.lines[finding.line - 1])
+        return _match_codes(finding.code, codes) or "ALL" in codes
+    return False
+
+
+def _selected(finding: Finding, select: Tuple[str, ...],
+              ignore: Tuple[str, ...]) -> bool:
+    if finding.code == PARSE_ERROR_CODE:
+        return not _match_codes(finding.code, ignore)
+    if select and not _match_codes(finding.code, select):
+        return False
+    return not _match_codes(finding.code, ignore)
+
+
+def validate_code_patterns(patterns: Iterable[str]) -> Tuple[str, ...]:
+    """Normalize ``--select``/``--ignore`` patterns, rejecting junk."""
+    normalized = []
+    for pattern in patterns:
+        pattern = pattern.strip().upper()
+        if not pattern:
+            continue
+        if not re.match(r"^RPR\d{0,3}$", pattern):
+            raise ConfigurationError(
+                f"invalid rule code pattern {pattern!r}; expected "
+                "RPR, RPR1, RPR10, or a full code like RPR101")
+        normalized.append(pattern)
+    return tuple(normalized)
+
+
+def lint_source(source: str, path: str,
+                select: Tuple[str, ...] = (),
+                ignore: Tuple[str, ...] = ()) -> List[Finding]:
+    """Lint one already-read source string."""
+    posix_path = path.replace(os.sep, "/")
+    context = LintContext(
+        path=path,
+        posix_path=posix_path,
+        source=source,
+        lines=tuple(source.splitlines()),
+    )
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as error:
+        finding = Finding(
+            code=PARSE_ERROR_CODE,
+            rule="parse-error",
+            message=f"file does not parse: {error.msg}",
+            path=path,
+            line=error.lineno or 1,
+            column=(error.offset or 0) + 1,
+        )
+        return [finding] if _selected(finding, select, ignore) else []
+
+    file_codes = _file_suppressed_codes(source)
+    findings: List[Finding] = []
+    for rule_cls in _REGISTRY.values():
+        if not rule_cls.applies_to(posix_path):
+            continue
+        findings.extend(rule_cls(context).run(tree))
+    findings = [f for f in findings
+                if _selected(f, select, ignore)
+                and not _is_suppressed(f, context, file_codes)]
+    findings.sort(key=lambda f: (f.path, f.line, f.column, f.code))
+    return findings
+
+
+def lint_file(path: str,
+              select: Tuple[str, ...] = (),
+              ignore: Tuple[str, ...] = ()) -> List[Finding]:
+    """Lint one file on disk."""
+    with tokenize.open(path) as handle:
+        source = handle.read()
+    return lint_source(source, path, select=select, ignore=ignore)
+
+
+def iter_python_files(paths: Sequence[str]) -> List[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    collected: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames[:] = sorted(
+                    d for d in dirnames
+                    if d not in ("__pycache__", ".git"))
+                collected.extend(
+                    os.path.join(dirpath, name)
+                    for name in sorted(filenames)
+                    if name.endswith(".py"))
+        elif path.endswith(".py"):
+            collected.append(path)
+        elif not os.path.exists(path):
+            raise ConfigurationError(f"no such file or directory: {path}")
+    return collected
+
+
+def lint_paths(paths: Sequence[str],
+               select: Optional[Sequence[str]] = None,
+               ignore: Optional[Sequence[str]] = None) -> List[Finding]:
+    """Lint files and directories; the main library entry point.
+
+    Args:
+        paths: Files and/or directories (directories are walked for
+            ``.py`` files).
+        select: Optional code prefixes to restrict the run to.
+        ignore: Optional code prefixes to drop from the results.
+
+    Returns:
+        All findings, sorted by ``(path, line, column, code)``.
+    """
+    select_codes = validate_code_patterns(select or ())
+    ignore_codes = validate_code_patterns(ignore or ())
+    findings: List[Finding] = []
+    for file_path in iter_python_files(paths):
+        findings.extend(lint_file(file_path, select=select_codes,
+                                  ignore=ignore_codes))
+    return findings

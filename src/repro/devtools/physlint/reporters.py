@@ -1,0 +1,54 @@
+"""Finding reporters: plain text and machine-readable JSON."""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Dict, List, Sequence
+
+from .core import Finding
+
+#: Bumped when the JSON schema changes shape.
+JSON_SCHEMA_VERSION = 1
+
+
+def format_text(findings: Sequence[Finding]) -> str:
+    """One line per finding plus a per-code summary footer."""
+    if not findings:
+        return "physlint: no findings"
+    lines = [finding.render() for finding in findings]
+    counts = Counter(finding.code for finding in findings)
+    summary = ", ".join(f"{code} x{count}"
+                        for code, count in sorted(counts.items()))
+    lines.append(f"physlint: {len(findings)} finding(s) ({summary})")
+    return "\n".join(lines)
+
+
+def findings_to_dict(findings: Sequence[Finding]) -> Dict[str, object]:
+    """The JSON-serializable payload (also the library-level API)."""
+    counts: Dict[str, int] = dict(
+        sorted(Counter(f.code for f in findings).items()))
+    items: List[Dict[str, object]] = [
+        {
+            "code": finding.code,
+            "rule": finding.rule,
+            "message": finding.message,
+            "path": finding.path,
+            "line": finding.line,
+            "column": finding.column,
+        }
+        for finding in findings
+    ]
+    return {
+        "tool": "physlint",
+        "schema_version": JSON_SCHEMA_VERSION,
+        "total": len(items),
+        "counts": counts,
+        "findings": items,
+    }
+
+
+def format_json(findings: Sequence[Finding]) -> str:
+    """Findings as a stable, ``json.loads``-round-trippable document."""
+    return json.dumps(findings_to_dict(findings), indent=2,
+                      sort_keys=True)

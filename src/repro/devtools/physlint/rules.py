@@ -1,0 +1,418 @@
+"""The built-in physlint rules.
+
+Each rule encodes one repository convention:
+
+==========  ==================  ==============================================
+Code        Name                Convention guarded
+==========  ==================  ==============================================
+``RPR101``  unit-literal        Unit conversions live in :mod:`repro.units`,
+                                not inline as magic factors.
+``RPR201``  exception-hygiene   Library code raises :class:`ReproError`
+                                subclasses and never catches blindly.
+``RPR202``  assert-validation   ``assert`` is for tests; it vanishes under
+                                ``python -O``.
+``RPR301``  dense-solve         Grid-sized systems go through the sparse
+                                path in ``thermal/network.py``.
+``RPR401``  docstring-units     Public functions taking physical quantities
+                                state their units.
+==========  ==================  ==============================================
+
+New rules: subclass :class:`~repro.devtools.physlint.core.Rule`, pick the
+next free code in the band (1xx units, 2xx exceptions/control flow,
+3xx numerics, 4xx documentation), and decorate with
+:func:`~repro.devtools.physlint.core.rule`.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ...units import RPM_TO_RAD_S, ZERO_CELSIUS_K
+from .core import LintContext, Rule, rule
+
+# ---------------------------------------------------------------------------
+# RPR101 — unit-literal
+# ---------------------------------------------------------------------------
+
+#: Scale factors that smell like an inline length/time unit conversion,
+#: mapped to the boundary helper that should be used instead.
+_SCALE_HINTS: Dict[float, str] = {
+    1e-3: "mm_to_m (or s_to_ms for the inverse direction)",
+    1e-6: "um_to_m",
+    1e3: "m_to_mm or s_to_ms",
+    1e6: "m_to_um",
+}
+
+_PI_NAMES = ("pi", "math.pi", "np.pi", "numpy.pi")
+
+
+def _dotted_name(node: ast.AST) -> Optional[str]:
+    """Render ``a.b.c`` attribute/name chains; None for anything else."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = _dotted_name(node.value)
+        return None if base is None else f"{base}.{node.attr}"
+    return None
+
+
+def _const_fold(node: ast.AST) -> Optional[float]:
+    """Fold a numeric expression made of literals and ``pi`` names."""
+    if isinstance(node, ast.Constant):
+        if isinstance(node.value, (int, float)) \
+                and not isinstance(node.value, bool):
+            return float(node.value)
+        return None
+    dotted = _dotted_name(node)
+    if dotted in _PI_NAMES:
+        return 3.141592653589793
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        inner = _const_fold(node.operand)
+        return None if inner is None else -inner
+    if isinstance(node, ast.BinOp):
+        left = _const_fold(node.left)
+        right = _const_fold(node.right)
+        if left is None or right is None:
+            return None
+        if isinstance(node.op, ast.Mult):
+            return left * right
+        if isinstance(node.op, ast.Div):
+            return None if right == 0.0 else left / right
+        if isinstance(node.op, ast.Add):
+            return left + right
+        if isinstance(node.op, ast.Sub):
+            return left - right
+    return None
+
+
+def _is_number(node: ast.AST) -> bool:
+    return (isinstance(node, ast.Constant)
+            and isinstance(node.value, (int, float))
+            and not isinstance(node.value, bool))
+
+
+@rule
+class UnitLiteralRule(Rule):
+    """Physical-constant literals belong in ``units.py``/``constants.py``."""
+
+    code = "RPR101"
+    name = "unit-literal"
+    rationale = (
+        "The library is strictly SI internally; conversions happen only "
+        "at the boundaries through repro.units.  An inline 273.15 or "
+        "2*pi/60 is a latent double-conversion bug.")
+    exempt_suffixes = ("/units.py", "/constants.py")
+
+    def visit_Constant(self, node: ast.Constant) -> None:
+        if isinstance(node.value, float) and node.value == ZERO_CELSIUS_K:
+            self.emit(node, (
+                "Celsius offset literal 273.15; use "
+                "repro.units.celsius_to_kelvin/kelvin_to_celsius "
+                "(or ZERO_CELSIUS_K)"))
+
+    def visit_BinOp(self, node: ast.BinOp) -> None:
+        folded = _const_fold(node)
+        if folded is not None:
+            if abs(folded - RPM_TO_RAD_S) < 1e-12:
+                self.emit(node, (
+                    "inline RPM-to-rad/s factor (2*pi/60); use "
+                    "repro.units.rpm_to_rad_s"))
+                return
+            if abs(folded - 1.0 / RPM_TO_RAD_S) < 1e-9:
+                self.emit(node, (
+                    "inline rad/s-to-RPM factor (60/(2*pi)); use "
+                    "repro.units.rad_s_to_rpm"))
+                return
+            # A fully constant expression is a definition, not a
+            # conversion of a runtime value; leave it alone.
+            self.generic_visit(node)
+            return
+        scaled = self._scale_factor(node)
+        if scaled is not None:
+            factor, hint = scaled
+            self.emit(node, (
+                f"inline scale factor {factor:g} on a runtime value; "
+                f"use the repro.units boundary helper ({hint})"))
+        self.generic_visit(node)
+
+    def _scale_factor(self, node: ast.BinOp) \
+            -> Optional[Tuple[float, str]]:
+        """Detect ``value * 1e-3``-style conversions of runtime values."""
+        if isinstance(node.op, ast.Mult):
+            for literal, other in ((node.left, node.right),
+                                   (node.right, node.left)):
+                if _is_number(literal) and not _is_number(other):
+                    value = float(literal.value)  # type: ignore[attr-defined]
+                    if value in _SCALE_HINTS:
+                        return value, _SCALE_HINTS[value]
+        elif isinstance(node.op, ast.Div):
+            if _is_number(node.right) and not _is_number(node.left):
+                value = float(node.right.value)  # type: ignore[attr-defined]
+                if value in _SCALE_HINTS:
+                    inverse = 1.0 / value
+                    hint = _SCALE_HINTS.get(inverse,
+                                            _SCALE_HINTS[value])
+                    return value, hint
+        return None
+
+
+# ---------------------------------------------------------------------------
+# RPR201 — exception-hygiene
+# ---------------------------------------------------------------------------
+
+_BUILTIN_EXCEPTIONS = frozenset({
+    "ArithmeticError",
+    "AssertionError",
+    "BaseException",
+    "Exception",
+    "IndexError",
+    "KeyError",
+    "LookupError",
+    "RuntimeError",
+    "TypeError",
+    "ValueError",
+    "ZeroDivisionError",
+})
+
+_BROAD_EXCEPTIONS = frozenset({"BaseException", "Exception"})
+
+
+@rule
+class ExceptionHygieneRule(Rule):
+    """Library code speaks :class:`ReproError`, not bare builtins."""
+
+    code = "RPR201"
+    name = "exception-hygiene"
+    rationale = (
+        "Callers catch ReproError to mean 'this package failed'.  A "
+        "raised ValueError escapes that contract, and a bare/broad "
+        "except swallows ThermalRunawayError and friends silently.")
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self.emit(node, (
+                "bare `except:` swallows every error including "
+                "ReproError; catch a specific exception"))
+        else:
+            for name in self._handler_names(node.type):
+                if name in _BROAD_EXCEPTIONS:
+                    self.emit(node, (
+                        f"overly broad `except {name}`; catch a "
+                        "specific exception (ReproError for library "
+                        "failures)"))
+        self.generic_visit(node)
+
+    @staticmethod
+    def _handler_names(node: ast.expr) -> List[str]:
+        nodes: Sequence[ast.expr] = (
+            node.elts if isinstance(node, ast.Tuple) else [node])
+        return [n.id for n in nodes if isinstance(n, ast.Name)]
+
+    def visit_Raise(self, node: ast.Raise) -> None:
+        target = node.exc
+        if isinstance(target, ast.Call):
+            target = target.func
+        if isinstance(target, ast.Name) \
+                and target.id in _BUILTIN_EXCEPTIONS:
+            self.emit(node, (
+                f"library code raises builtin {target.id}; raise a "
+                "ReproError subclass from repro.errors instead"))
+        self.generic_visit(node)
+
+
+# ---------------------------------------------------------------------------
+# RPR202 — assert-validation
+# ---------------------------------------------------------------------------
+
+@rule
+class AssertValidationRule(Rule):
+    """``assert`` is a test-suite tool, not an input validator."""
+
+    code = "RPR202"
+    name = "assert-validation"
+    rationale = (
+        "`python -O` strips assert statements, so any validation they "
+        "perform silently disappears in optimized deployments.")
+
+    def visit_Assert(self, node: ast.Assert) -> None:
+        self.emit(node, (
+            "assert statement is stripped under `python -O`; raise "
+            "ConfigurationError/GeometryError (or another ReproError) "
+            "for validation"))
+        self.generic_visit(node)
+
+
+# ---------------------------------------------------------------------------
+# RPR301 — dense-solve
+# ---------------------------------------------------------------------------
+
+_DENSE_CALLS = frozenset({"solve", "inv"})
+_DENSE_MODULES = frozenset({"numpy.linalg", "scipy.linalg"})
+
+
+@rule
+class DenseSolveRule(Rule):
+    """Grid-sized linear systems must use the sparse path."""
+
+    code = "RPR301"
+    name = "dense-solve"
+    rationale = (
+        "The conductance matrix has O(cells) nonzeros but O(cells^2) "
+        "dense entries; np.linalg.solve turns a milli-second sparse "
+        "factorization into a memory-bound dense one.  All steady-state "
+        "solves route through ThermalNetwork.solve (scipy.sparse).")
+
+    def __init__(self, context: LintContext) -> None:
+        super().__init__(context)
+        #: Local names bound to dense solve/inv by an import.
+        self._dense_names: Dict[str, str] = {}
+
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = _dotted_name(node.func)
+        if dotted is not None:
+            parts = dotted.split(".")
+            if len(parts) >= 2 and parts[-1] in _DENSE_CALLS \
+                    and parts[-2] == "linalg":
+                self.emit(node, (
+                    f"dense `{dotted}` on what is likely a grid-sized "
+                    "system; route through ThermalNetwork.solve "
+                    "(scipy.sparse) from repro.thermal"))
+            elif dotted in self._dense_names:
+                origin = self._dense_names[dotted]
+                self.emit(node, (
+                    f"dense `{dotted}` (imported from {origin}) on "
+                    "what is likely a grid-sized system; route through "
+                    "ThermalNetwork.solve (scipy.sparse) from "
+                    "repro.thermal"))
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module in _DENSE_MODULES:
+            imported = [alias for alias in node.names
+                        if alias.name in _DENSE_CALLS]
+            for alias in imported:
+                self._dense_names[alias.asname or alias.name] = \
+                    node.module
+            if imported:
+                names = ", ".join(a.name for a in imported)
+                self.emit(node, (
+                    f"importing dense {names} from "
+                    f"{node.module}; grid-sized systems must use the "
+                    "sparse path (ThermalNetwork.solve)"))
+        self.generic_visit(node)
+
+
+# ---------------------------------------------------------------------------
+# RPR401 — docstring-units
+# ---------------------------------------------------------------------------
+
+#: Words (underscore-separated components of a parameter name) that mark
+#: the parameter as a physical quantity.
+_QUANTITY_WORDS = frozenset({
+    "area",
+    "conductance",
+    "conductivity",
+    "current",
+    "currents",
+    "frequency",
+    "height",
+    "omega",
+    "power",
+    "powers",
+    "resistance",
+    "temp",
+    "temperature",
+    "temperatures",
+    "thickness",
+    "voltage",
+    "width",
+})
+
+#: Unit spellings accepted as "states the unit".  Single letters only
+#: count in quantity positions — after a comma, bracket, or "in" — so a
+#: sentence-initial "A" does not pass as amperes.
+_UNIT_TOKEN_RE = re.compile(r"""(?x)
+      rad/s | RPM | [Kk]elvin | [Cc]elsius | °C
+    | W/K | J/K | W/m | m/s | m\^?2 | m² | Hz | dB
+    | \bmm\b | µm | \bum\b | \bms\b | \bkg\b | \bPa\b
+    | watt | amp | ampere | meter | metre | joule | second | ohm
+    | [,(\[]\s*(?:K|W|A|V|m|s)\b
+    | \bin\s+(?:K|W|A|V|m|s)\b
+""")
+
+
+#: A trailing qualifier that turns a quantity name into a non-quantity:
+#: ``current_samples`` is a count and ``power_model`` an object, even
+#: though ``current``/``power`` alone would be physical.
+_QUALIFIER_SUFFIXES = frozenset({
+    "bins",
+    "count",
+    "counts",
+    "index",
+    "indices",
+    "model",
+    "models",
+    "points",
+    "resolution",
+    "samples",
+    "steps",
+})
+
+
+def _physical_params(node: ast.FunctionDef) -> List[str]:
+    names: List[str] = []
+    args = node.args
+    for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+        if arg.arg in ("self", "cls"):
+            continue
+        words = arg.arg.lower().split("_")
+        if words[-1] in _QUALIFIER_SUFFIXES:
+            continue
+        if set(words) & _QUANTITY_WORDS:
+            names.append(arg.arg)
+    return names
+
+
+@rule
+class DocstringUnitsRule(Rule):
+    """Public functions taking physical quantities document the unit."""
+
+    code = "RPR401"
+    name = "docstring-units"
+    rationale = (
+        "An `omega` could be RPM or rad/s and a `temperature` Celsius "
+        "or kelvin; the docstring is the only place the caller learns "
+        "which.  House style: 'Fan speed, rad/s.'")
+
+    def __init__(self, context: LintContext) -> None:
+        super().__init__(context)
+        self._function_depth = 0
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_function(node)
+
+    def _check_function(self, node: ast.FunctionDef) -> None:
+        nested = self._function_depth > 0
+        if not nested and not node.name.startswith("_"):
+            params = _physical_params(node)
+            if params:
+                docstring = ast.get_docstring(node)
+                listing = ", ".join(params)
+                if docstring is None:
+                    self.emit(node, (
+                        f"public function `{node.name}` takes physical "
+                        f"parameter(s) {listing} but has no docstring "
+                        "stating their units"))
+                elif not _UNIT_TOKEN_RE.search(docstring):
+                    self.emit(node, (
+                        f"docstring of `{node.name}` does not state "
+                        f"units for physical parameter(s) {listing} "
+                        "(e.g. 'Fan speed, rad/s.')"))
+        self._function_depth += 1
+        self.generic_visit(node)
+        self._function_depth -= 1

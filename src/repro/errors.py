@@ -47,7 +47,8 @@ class ThermalRunawayError(SolverError):
     returning one.
     """
 
-    def __init__(self, message: str, max_temperature: float = float("inf")):
+    def __init__(self, message: str,
+                 max_temperature: float = float("inf")) -> None:
         super().__init__(message)
         #: Highest temperature observed before the solve was abandoned (K).
         self.max_temperature = max_temperature

@@ -50,7 +50,8 @@ class ConvectionCorrelation:
                     f"{field_name} must be positive")
 
     def air_velocity(self, omega: float) -> float:
-        """Bulk air velocity through the fins at fan speed ``omega``."""
+        """Bulk air velocity, m/s, through the fins at fan speed
+        ``omega``, rad/s."""
         if omega < 0.0:
             raise ConfigurationError(f"Fan speed must be >= 0, got {omega}")
         return self.velocity_per_omega * omega

@@ -64,7 +64,8 @@ class HeatSinkFanConductance:
         return max(fitted, self.g_natural)
 
     def conductance_gradient(self, omega: float) -> float:
-        """d(g)/d(omega): zero on the floor, ``p/omega`` on the log branch."""
+        """d(g)/d(omega) in W/K per rad/s: zero on the floor,
+        ``p/omega`` on the log branch."""
         if omega < 0.0:
             raise ConfigurationError(f"Fan speed must be >= 0, got {omega}")
         if omega <= self.crossover_speed:

@@ -64,7 +64,9 @@ def noise_limited_omega_max(
     model: FanNoiseModel = None,
     physical_omega_max: float = OMEGA_MAX,
 ) -> float:
-    """The fan-speed bound implied by an acoustic cap.
+    """The fan-speed bound, rad/s, implied by an acoustic cap.
+
+    ``noise_cap`` is in dB(A); ``physical_omega_max`` in rad/s.
 
     Returns ``min(omega(noise_cap), physical_omega_max)``; plug the
     result into :class:`repro.core.ProblemLimits` to run noise-capped

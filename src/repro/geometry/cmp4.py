@@ -20,6 +20,8 @@ from __future__ import annotations
 
 from typing import List, Tuple
 
+from ..errors import ConfigurationError
+from ..units import mm_to_m
 from .floorplan import Floorplan, FloorplanUnit
 from .rect import Rect
 
@@ -54,8 +56,8 @@ def cmp4_floorplan() -> Floorplan:
         for name, x, y, w, h in _CORE_TILES:
             units.append(FloorplanUnit(
                 f"core{core}_{name}",
-                Rect((ox + x) * 1e-3, (oy + y) * 1e-3,
-                     w * 1e-3, h * 1e-3)))
+                Rect(mm_to_m(ox + x), mm_to_m(oy + y),
+                     mm_to_m(w), mm_to_m(h))))
     # Shared L2 spine between the core rows.
     units.append(FloorplanUnit("L2", Rect(0.0, 6.0e-3, 16.0e-3,
                                           4.0e-3)))
@@ -71,14 +73,14 @@ def cmp4_unit_power(core_powers: List[float],
     0..3 (asymmetric loads model thread imbalance).
     """
     if len(core_powers) != 4:
-        raise ValueError(
+        raise ConfigurationError(
             f"Need exactly 4 core powers, got {len(core_powers)}")
     tile_share = {"EXE": 0.34, "REG": 0.16, "FPU": 0.16, "LSU": 0.20,
                   "L1": 0.14}
     powers = {"L2": l2_power}
     for core, total in enumerate(core_powers):
         if total < 0.0:
-            raise ValueError(f"core{core}: power must be >= 0")
+            raise ConfigurationError(f"core{core}: power must be >= 0")
         for tile, share in tile_share.items():
             powers[f"core{core}_{tile}"] = total * share
     return powers

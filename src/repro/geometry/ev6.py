@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import List, Tuple
 
+from ..units import mm_to_m
 from .floorplan import Floorplan, FloorplanUnit
 from .rect import Rect
 
@@ -59,7 +60,8 @@ EV6_CACHE_UNITS: List[str] = ["Icache", "Dcache"]
 def alpha21264_floorplan() -> Floorplan:
     """Build the embedded EV6-style floorplan (dimensions in meters)."""
     units = [
-        FloorplanUnit(name, Rect(x * 1e-3, y * 1e-3, w * 1e-3, h * 1e-3))
+        FloorplanUnit(name, Rect(mm_to_m(x), mm_to_m(y),
+                                 mm_to_m(w), mm_to_m(h)))
         for name, x, y, w, h in _EV6_UNITS_MM
     ]
     return Floorplan(units)

@@ -134,7 +134,8 @@ class Floorplan:
     def scaled(self, factor: float) -> "Floorplan":
         """Return a uniformly scaled copy (e.g. to resize a die)."""
         return Floorplan(
-            [FloorplanUnit(u.name, u.rect.scaled(factor)) for u in self._units],
+            [FloorplanUnit(u.name, u.rect.scaled(factor))
+             for u in self._units],
             validate_overlap=False,
         )
 

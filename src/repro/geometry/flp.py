@@ -2,7 +2,8 @@
 
 HotSpot's floorplan format is one unit per line::
 
-    <unit-name> <width> <height> <left-x> <bottom-y> [specific-heat] [resistivity]
+    <unit-name> <width> <height> <left-x> <bottom-y> \
+        [specific-heat] [resistivity]
 
 with all dimensions in meters, ``#`` comments, and blank lines ignored.
 The optional trailing material columns are parsed and ignored (the stack

@@ -13,7 +13,7 @@ from typing import Union
 
 from ..analysis.campaign import BenchmarkComparison, CampaignResult
 from ..core import BaselineResult, Evaluation, OFTECResult
-from ..units import kelvin_to_celsius, rad_s_to_rpm
+from ..units import kelvin_to_celsius, rad_s_to_rpm, s_to_ms
 
 PathLike = Union[str, os.PathLike]
 
@@ -43,7 +43,7 @@ def oftec_result_to_dict(result: OFTECResult) -> dict:
         "feasible": result.feasible,
         "omega_star_rad_s": result.omega_star,
         "i_star_a": result.current_star,
-        "runtime_ms": result.runtime_seconds * 1e3,
+        "runtime_ms": s_to_ms(result.runtime_seconds),
         "thermal_solves": result.thermal_solves,
         "used_opt2_stage": result.opt2 is not None,
         "evaluation": evaluation_to_dict(result.evaluation),
@@ -59,7 +59,7 @@ def baseline_result_to_dict(result: BaselineResult) -> dict:
         "runaway": result.runaway,
         "omega_rad_s": result.omega,
         "i_tec_a": result.current,
-        "runtime_ms": result.runtime_seconds * 1e3,
+        "runtime_ms": s_to_ms(result.runtime_seconds),
         "evaluation": evaluation_to_dict(result.evaluation),
     }
 
@@ -94,7 +94,7 @@ def campaign_to_dict(campaign: CampaignResult) -> dict:
         "feasibility_counts": counts,
         "comparable_benchmarks": campaign.comparable_benchmarks(),
         "average_oftec_runtime_ms":
-            campaign.average_oftec_runtime() * 1e3,
+            s_to_ms(campaign.average_oftec_runtime()),
         "opt2_temperature_advantage_k":
             campaign.average_opt2_temperature_advantage(),
     }

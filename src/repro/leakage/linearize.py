@@ -42,7 +42,7 @@ class TaylorCoefficients:
     t_ref: Union[float, np.ndarray]
 
     def power(self, temperatures: np.ndarray) -> np.ndarray:
-        """Evaluate the linearized per-cell leakage at ``temperatures``."""
+        """Linearized per-cell leakage, W, at ``temperatures``, K."""
         return self.a * (np.asarray(temperatures) - self.t_ref) + self.b
 
     def constant_term(self) -> np.ndarray:

@@ -38,7 +38,8 @@ class Material:
                 f"got {self.volumetric_heat_capacity}")
 
     def with_conductivity(self, conductivity: float) -> "Material":
-        """Copy of this material with a different conductivity.
+        """Copy of this material with a different conductivity,
+        W/(m K).
 
         Used by the baseline fairness rule of Section 6.1, which raises the
         TIM1 conductivity of the no-TEC baselines to the effective

@@ -166,7 +166,7 @@ def default_package_stack(chip_width: float = CHIP_SIZE,
                           ) -> PackageStack:
     """The Table 1 / Figure 2 assembly with the TEC layer present.
 
-    ``chip_width``/``chip_height`` resize the die-footprint layers (PCB,
+    ``chip_width``/``chip_height``, m, resize the die-footprint layers (PCB,
     chip, TIM1, TEC) for non-EV6 floorplans; the spreader and sink keep
     their Table 1 dimensions (they must remain at least chip-sized).
     """
@@ -211,7 +211,8 @@ def baseline_package_stack(chip_width: float = CHIP_SIZE,
                            ) -> PackageStack:
     """The no-TEC baseline assembly with the Section 6.1 fairness rule.
 
-    The TEC layer is removed and TIM1 is thickened to the combined
+    ``chip_width``/``chip_height`` are in m.  The TEC layer is
+    removed and TIM1 is thickened to the combined
     TIM1 + TEC thickness with the effective series conductivity, so the
     baseline enjoys the same vertical conduction path as the TEC system
     at zero TEC current.
@@ -219,7 +220,10 @@ def baseline_package_stack(chip_width: float = CHIP_SIZE,
     full = default_package_stack(chip_width, chip_height)
     tim1 = full["tim1"]
     tec = full["tec"]
-    assert tec is not None
+    if tec is None:
+        raise ConfigurationError(
+            "default package stack has no TEC layer to merge into the "
+            "baseline TIM")
     k_eff = effective_series_conductivity([tim1, tec])
     merged_tim1 = Layer(
         "tim1",

@@ -117,7 +117,8 @@ class TECArray:
 
     def cell_current(self, current: Union[float, np.ndarray],
                      ) -> np.ndarray:
-        """Validate and broadcast a driving current to per-cell form.
+        """Validate and broadcast a driving current, A, to per-cell
+        form.
 
         A scalar models the paper's single series string; an array of
         per-cell currents models independently-driven channels (the

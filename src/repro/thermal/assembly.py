@@ -184,7 +184,9 @@ class PackageThermalModel:
 
     def _create_tec_nodes(self, layer: Layer) -> None:
         grid = self.grid
-        assert self.tec_array is not None
+        if self.tec_array is None:
+            raise ConfigurationError(
+                "stack has a TEC layer but no TEC array is configured")
         mask = self.tec_array.coverage_mask
         film_capacity = (layer.material.volumetric_heat_capacity
                          * grid.cell_area * layer.thickness)
@@ -263,7 +265,10 @@ class PackageThermalModel:
     def _lateral_conductivities(self, layer: Layer) -> np.ndarray:
         """Per-cell lateral conductivity (TEC layer mixes film/filler)."""
         if layer.role is LayerRole.TEC:
-            assert self.tec_array is not None
+            if self.tec_array is None:
+                raise ConfigurationError(
+                    "stack has a TEC layer but no TEC array is "
+                    "configured")
             film = layer.material.conductivity
             paste = self.config.filler_material.conductivity
             return np.where(self.tec_array.coverage_mask, film, paste)
@@ -296,7 +301,9 @@ class PackageThermalModel:
         K_TEC/2 stages (conductance 2*K each) connect abs-gen-rej.
         Uncovered cells: plain series conduction through the filler.
         """
-        assert self.tec_array is not None
+        if self.tec_array is None:
+            raise ConfigurationError(
+                "stack has a TEC layer but no TEC array is configured")
         grid = self.grid
         area = grid.cell_area
         mask = self.tec_array.coverage_mask
@@ -415,7 +422,7 @@ class PackageThermalModel:
         else:
             self._covered_cells = np.empty(0, dtype=int)
 
-    # -- per-evaluation overlays -----------------------------------------------
+    # -- per-evaluation overlays --------------------------------------
 
     def overlays(
         self,
@@ -504,7 +511,7 @@ class PackageThermalModel:
             rhs[self.tec_gen_nodes[cov]] += resistance * cov_current ** 2
         return diag, rhs
 
-    # -- convenient extracts ----------------------------------------------------
+    # -- convenient extracts ------------------------------------------
 
     def chip_temperatures(self, temps: np.ndarray) -> np.ndarray:
         """Per-chip-cell temperatures from a full solution vector."""
@@ -541,7 +548,9 @@ def build_package_model(
     tec_array: Optional[TECArray] = None,
     config: Optional[PackageModelConfig] = None,
 ) -> PackageThermalModel:
-    """Convenience constructor with the paper's default Equation (9) fit."""
+    """Convenience constructor with the paper's default Equation (9)
+    heat-sink/fan conductance fit (``sink_conductance`` maps fan speed
+    in rad/s to a conductance in W/K)."""
     return PackageThermalModel(
         stack=stack,
         grid=grid,

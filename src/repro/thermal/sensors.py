@@ -104,7 +104,8 @@ class SensorArray:
         return readings
 
     def hottest_reading(self, chip_temperatures: np.ndarray) -> float:
-        """The max-of-sensors reduction a DTM loop acts on."""
+        """The max-of-sensors reduction a DTM loop acts on, K
+        (``chip_temperatures`` is the per-cell field in K)."""
         return max(self.read(chip_temperatures).values())
 
     def aliasing_error(self, chip_temperatures: np.ndarray) -> float:

@@ -18,7 +18,7 @@ from typing import Optional, Union
 
 import numpy as np
 
-from ..errors import ThermalRunawayError
+from ..errors import ConfigurationError, ThermalRunawayError
 from ..leakage import CellLeakageModel, tangent_linearization
 from .assembly import PackageThermalModel
 
@@ -122,7 +122,7 @@ def solve_steady_state(
     if initial_guess is not None:
         t_ref = np.asarray(initial_guess, dtype=float).copy()
         if t_ref.shape != (ncell,):
-            raise ValueError(
+            raise ConfigurationError(
                 f"initial_guess must have shape ({ncell},), got "
                 f"{t_ref.shape}")
     else:

@@ -42,6 +42,9 @@ def export_spice_netlist(
 ) -> str:
     """Render one linearized operating point as a SPICE netlist.
 
+    ``omega`` is the fan speed, rad/s; ``current`` the TEC drive, A;
+    ``dynamic_cell_power`` the per-cell map, W.
+
     The emitted circuit solves exactly the same linear system as
     :meth:`repro.thermal.ThermalNetwork.solve` with the overlays built
     from these arguments; running ``.op`` in any SPICE yields the node

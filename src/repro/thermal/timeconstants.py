@@ -52,12 +52,12 @@ def extract_time_constants(
     omega: float,
     modes: int = 6,
 ) -> TimeConstantAnalysis:
-    """Extract the ``modes`` slowest thermal time constants.
+    """Extract the ``modes`` slowest thermal time constants, s.
 
     Solves the symmetric generalized eigenproblem ``G v = lambda C v``
     with ``G`` the static conductance matrix plus the fan-dependent
-    ambient coupling at ``omega`` (zero TEC current, no leakage — the
-    passive small-signal dynamics).
+    ambient coupling at fan speed ``omega``, rad/s (zero TEC current,
+    no leakage — the passive small-signal dynamics).
     """
     if modes < 1:
         raise ConfigurationError("modes must be >= 1")

@@ -83,8 +83,9 @@ def simulate_transient(
 ) -> TransientResult:
     """Integrate the package thermals over ``[0, duration]``.
 
-    ``omega``, ``current`` and ``dynamic_cell_power`` may be constants or
-    callables of time (controller schedules).  Integration stops early,
+    ``omega`` (rad/s), ``current`` (A) and ``dynamic_cell_power`` (W
+    per cell) may be constants or callables of time in s (controller
+    schedules); ``initial_temperatures`` is in K.  Integration stops early,
     with ``runaway=True``, if any temperature crosses the model's runaway
     ceiling — the transient picture of the Section 6.2 feedback loop.
     """

@@ -59,7 +59,8 @@ def one_dimensional_stack_profile(
     ambient: float,
     sink_conductance: HeatSinkFanConductance = None,
 ) -> StackProfile:
-    """Series-chain temperatures for uniform power, laterally isothermal.
+    """Series-chain temperatures, K, for uniform chip power, W,
+    laterally isothermal, at fan speed ``omega``, rad/s.
 
     Heat flows from the chip *upward* only (the downward PCB path is
     ignored, matching its negligible share in the full model).  Layers

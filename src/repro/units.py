@@ -55,3 +55,13 @@ def um_to_m(um: float) -> float:
 def m_to_um(m: float) -> float:
     """Convert a length from meters to micrometers."""
     return m * 1e6
+
+
+def s_to_ms(seconds: float) -> float:
+    """Convert a duration from seconds to milliseconds."""
+    return seconds * 1e3
+
+
+def ms_to_s(milliseconds: float) -> float:
+    """Convert a duration from milliseconds to seconds."""
+    return milliseconds * 1e-3

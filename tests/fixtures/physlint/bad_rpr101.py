@@ -1,0 +1,42 @@
+"""Known-bad fixture for RPR101 (unit-literal).
+
+Never imported; linted only.  Each marked line must produce exactly one
+RPR101 finding.  Docstrings state units so RPR401 stays quiet.
+"""
+
+import math
+
+
+def to_kelvin(temp_c):
+    """Temperature, K, from celsius."""
+    return temp_c + 273.15  # BAD: Celsius offset literal
+
+
+def fan_speed(rpm):
+    """Fan speed, rad/s, from RPM."""
+    return rpm * (2.0 * math.pi / 60.0)  # BAD: RPM conversion factor
+
+
+def to_rpm(rad_s):
+    """Fan speed, RPM, from rad/s."""
+    return rad_s * (60.0 / (2.0 * math.pi))  # BAD: inverse factor
+
+
+def die_width(width_mm):
+    """Die width, m, from mm."""
+    return width_mm * 1e-3  # BAD: mm scale factor on a runtime value
+
+
+def film_thickness(thickness_um):
+    """Film thickness, m, from µm."""
+    return thickness_um * 1e-6  # BAD: um scale factor
+
+
+def runtime_ms(seconds):
+    """Runtime in ms from seconds."""
+    return seconds * 1e3  # BAD: s-to-ms scale factor
+
+
+def also_division(length_m):
+    """Length in mm from meters."""
+    return length_m / 1e-3  # BAD: division by a scale factor

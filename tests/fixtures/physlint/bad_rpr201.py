@@ -1,0 +1,32 @@
+"""Known-bad fixture for RPR201 (exception-hygiene)."""
+
+
+def swallow_everything(solver):
+    try:
+        return solver.solve()
+    except:  # BAD: bare except
+        return None
+
+
+def swallow_broadly(solver):
+    try:
+        return solver.solve()
+    except Exception:  # BAD: overly broad
+        return None
+
+
+def swallow_tuple(solver):
+    try:
+        return solver.solve()
+    except (KeyError, BaseException):  # BAD: broad member
+        return None
+
+
+def validate(omega):
+    """Validate fan speed ``omega``, rad/s."""
+    if omega < 0.0:
+        raise ValueError("omega must be >= 0")  # BAD: builtin raise
+
+
+def reraise_class():
+    raise RuntimeError  # BAD: builtin raised as a bare class

@@ -1,0 +1,7 @@
+"""Known-bad fixture for RPR202 (assert-validation)."""
+
+
+def build_grid(nx, ny):
+    assert nx > 0, "nx must be positive"  # BAD: vanishes under -O
+    assert ny > 0  # BAD: vanishes under -O
+    return nx * ny

@@ -1,0 +1,14 @@
+"""Known-bad fixture for RPR301 (dense-solve)."""
+
+import numpy as np
+from numpy.linalg import inv  # BAD: dense import
+
+
+def solve_network(conductance, power):
+    """Node temperatures, K, from conductance, W/K, and power, W."""
+    return np.linalg.solve(conductance, power)  # BAD: dense solve
+
+
+def invert_network(conductance):
+    """Dense inverse of the conductance matrix, W/K."""
+    return inv(conductance)  # BAD: dense inverse via imported name

@@ -1,0 +1,10 @@
+"""Known-bad fixture for RPR401 (docstring-units)."""
+
+
+def apply_cooling(omega, current):  # BAD: no docstring at all
+    return omega + current
+
+
+def leakage_at(temperature):
+    """Leakage at the given temperature."""  # BAD: no unit stated
+    return 2.0 ** temperature

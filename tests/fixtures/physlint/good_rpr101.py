@@ -1,0 +1,39 @@
+"""Known-good fixture for RPR101 (unit-literal): boundary helpers only."""
+
+from repro.units import celsius_to_kelvin, mm_to_m, rpm_to_rad_s, s_to_ms
+
+#: A bare constant *definition* is not a conversion and is allowed.
+DEFAULT_THICKNESS = 1e-3
+
+#: Tolerances are plain numbers, not unit conversions.
+TOLERANCE = 1e-6
+
+
+def to_kelvin(temp_c):
+    """Temperature, K, from celsius."""
+    return celsius_to_kelvin(temp_c)
+
+
+def fan_speed(rpm):
+    """Fan speed, rad/s, from RPM."""
+    return rpm_to_rad_s(rpm)
+
+
+def die_width(width_mm):
+    """Die width, m, from mm."""
+    return mm_to_m(width_mm)
+
+
+def runtime_ms(seconds):
+    """Runtime in ms from seconds."""
+    return s_to_ms(seconds)
+
+
+def converged(update):
+    """Convergence check on a dimensionless update."""
+    return abs(update) < 1e-6
+
+
+def suppressed(width_mm):
+    """Die width, m, from mm (deliberately suppressed)."""
+    return width_mm * 1e-3  # physlint: disable=RPR101

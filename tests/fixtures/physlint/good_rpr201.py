@@ -1,0 +1,30 @@
+"""Known-good fixture for RPR201 (exception-hygiene)."""
+
+from repro.errors import ConfigurationError, ReproError, SolverError
+
+
+def catch_precisely(solver):
+    try:
+        return solver.solve()
+    except SolverError:
+        return None
+
+
+def catch_package_wide(solver):
+    try:
+        return solver.solve()
+    except ReproError:
+        return None
+
+
+def validate(omega):
+    """Validate fan speed ``omega``, rad/s."""
+    if omega < 0.0:
+        raise ConfigurationError("omega must be >= 0, rad/s")
+
+
+def reraise(solver):
+    try:
+        return solver.solve()
+    except KeyError:
+        raise

@@ -1,0 +1,21 @@
+"""Known-good fixture for RPR301 (dense-solve): sparse path + lstsq."""
+
+import numpy as np
+from scipy.sparse import csr_matrix
+from scipy.sparse.linalg import spsolve
+
+
+def solve_network(conductance, power):
+    """Node temperatures, K, from conductance, W/K, and power, W."""
+    return spsolve(csr_matrix(conductance), power)
+
+
+def fit_line(design, samples):
+    """Least-squares fit; tiny dimensionless systems are fine."""
+    solution, _, _, _ = np.linalg.lstsq(design, samples, rcond=None)
+    return solution
+
+
+def vector_norm(residual):
+    """Euclidean norm of a dimensionless residual vector."""
+    return float(np.linalg.norm(residual))

@@ -1,0 +1,21 @@
+"""Known-good fixture for RPR401 (docstring-units)."""
+
+
+def apply_cooling(omega, current):
+    """Drive the cooling at fan speed ``omega``, rad/s, and TEC
+    current, A."""
+    return omega + current
+
+
+def leakage_at(temperature):
+    """Leakage power, W, at the given die temperature, K."""
+    return 2.0 ** temperature
+
+
+def _private_helper(omega):
+    return omega
+
+
+def count_samples(current_samples):
+    """A count of a quantity is not a quantity."""
+    return int(current_samples)

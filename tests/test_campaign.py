@@ -104,7 +104,7 @@ class TestReports:
         assert "NO" in text
 
     def test_bad_objective(self, mini_campaign):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             format_comparison_table(mini_campaign, "opt3")
 
     def test_table2(self, mini_campaign):
@@ -121,5 +121,5 @@ class TestReports:
         assert "omega" in text
         power_text = format_surface(sweep, "power")
         assert "power surface" in power_text
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             format_surface(sweep, "entropy")

@@ -4,6 +4,7 @@ import pytest
 
 from repro import build_cooling_problem, run_oftec
 from repro.core import ProblemLimits
+from repro.errors import ConfigurationError
 from repro.geometry import (
     CMP4_CACHE_UNITS,
     CellCoverage,
@@ -56,9 +57,9 @@ class TestUnitPower:
         assert powers["core0_EXE"] > powers["core0_L1"]
 
     def test_validation(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             cmp4_unit_power([1.0, 2.0])
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             cmp4_unit_power([1.0, 2.0, -1.0, 0.0])
 
 

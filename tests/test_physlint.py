@@ -1,0 +1,181 @@
+"""Tests for repro.devtools.physlint: rules, engine, CLI, self-check."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main as repro_main
+from repro.devtools.physlint import (
+    PARSE_ERROR_CODE,
+    available_rules,
+    lint_paths,
+    lint_source,
+    main as physlint_main,
+)
+from repro.errors import ConfigurationError
+
+FIXTURES = Path(__file__).parent / "fixtures" / "physlint"
+SRC = Path(__file__).resolve().parents[1] / "src"
+
+ALL_CODES = ("RPR101", "RPR201", "RPR202", "RPR301", "RPR401")
+
+
+def codes_in(path):
+    return [f.code for f in lint_paths([str(path)])]
+
+
+class TestRegistry:
+    def test_all_rules_registered(self):
+        assert tuple(sorted(available_rules())) == ALL_CODES
+
+    def test_rules_carry_metadata(self):
+        for code, rule_cls in available_rules().items():
+            assert rule_cls.code == code
+            assert rule_cls.name
+            assert rule_cls.rationale
+
+
+class TestBadFixtures:
+    @pytest.mark.parametrize("code,expected", [
+        ("rpr101", 7),
+        ("rpr201", 5),
+        ("rpr202", 2),
+        ("rpr301", 3),
+        ("rpr401", 2),
+    ])
+    def test_bad_fixture_findings(self, code, expected):
+        found = codes_in(FIXTURES / f"bad_{code}.py")
+        assert found == [code.upper()] * expected
+
+    def test_findings_carry_position(self):
+        findings = lint_paths([str(FIXTURES / "bad_rpr202.py")])
+        assert all(f.line > 0 and f.column > 0 for f in findings)
+        assert all(f.path.endswith("bad_rpr202.py") for f in findings)
+
+
+class TestGoodFixtures:
+    @pytest.mark.parametrize("name", [
+        "good_rpr101", "good_rpr201", "good_rpr301", "good_rpr401",
+    ])
+    def test_good_fixture_clean(self, name):
+        assert codes_in(FIXTURES / f"{name}.py") == []
+
+
+class TestSuppression:
+    def test_same_line_disable(self):
+        bad = "def _f(width_mm):\n    return width_mm * 1e-3\n"
+        assert [f.code for f in lint_source(bad, "x.py")] == ["RPR101"]
+        ok = bad.replace("1e-3", "1e-3  # physlint: disable=RPR101")
+        assert lint_source(ok, "x.py") == []
+
+    def test_disable_all(self):
+        ok = ("def _f(width_mm):\n"
+              "    return width_mm * 1e-3  # physlint: disable=all\n")
+        assert lint_source(ok, "x.py") == []
+
+    def test_file_level_disable(self):
+        src = ("# physlint: disable-file=RPR202\n"
+               "def f(x):\n"
+               "    assert x > 0\n")
+        assert lint_source(src, "x.py") == []
+
+    def test_wrong_code_does_not_suppress(self):
+        src = ("def f(x):\n"
+               "    assert x > 0  # physlint: disable=RPR101\n")
+        assert [f.code for f in lint_source(src, "x.py")] == ["RPR202"]
+
+
+class TestSelectIgnore:
+    def test_select_restricts(self):
+        findings = lint_paths([str(FIXTURES / "bad_rpr101.py")],
+                              select=["RPR2"])
+        assert findings == []
+
+    def test_ignore_drops(self):
+        findings = lint_paths([str(FIXTURES / "bad_rpr202.py")],
+                              ignore=["RPR202"])
+        assert findings == []
+
+    def test_prefix_matching(self):
+        findings = lint_paths([str(FIXTURES / "bad_rpr202.py")],
+                              select=["RPR2"])
+        assert {f.code for f in findings} == {"RPR202"}
+
+    def test_invalid_pattern_rejected(self):
+        with pytest.raises(ConfigurationError):
+            lint_paths([str(FIXTURES)], select=["E501"])
+
+    def test_missing_path_rejected(self):
+        with pytest.raises(ConfigurationError):
+            lint_paths([str(FIXTURES / "does_not_exist_dir")])
+
+
+class TestExemptions:
+    def test_units_module_exempt_from_rpr101(self):
+        src = "ZERO = 273.15\n"
+        assert lint_source(src, "src/repro/units.py") == []
+        assert [f.code for f in lint_source(src, "src/repro/other.py")] \
+            == ["RPR101"]
+
+    def test_parse_error_reported(self):
+        findings = lint_source("def broken(:\n", "x.py")
+        assert [f.code for f in findings] == [PARSE_ERROR_CODE]
+
+
+class TestCli:
+    def test_exit_one_on_findings(self, capsys):
+        code = physlint_main([str(FIXTURES / "bad_rpr202.py")])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "RPR202" in out
+
+    def test_exit_zero_on_clean(self, capsys):
+        code = physlint_main([str(FIXTURES / "good_rpr201.py")])
+        assert code == 0
+        assert "no findings" in capsys.readouterr().out
+
+    def test_exit_two_on_bad_select(self, capsys):
+        code = physlint_main(["--select", "E9", str(FIXTURES)])
+        assert code == 2
+
+    def test_json_round_trips(self, capsys):
+        code = physlint_main([str(FIXTURES / "bad_rpr301.py"),
+                              "--format", "json"])
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["tool"] == "physlint"
+        assert payload["total"] == 3
+        assert payload["counts"] == {"RPR301": 3}
+        assert all(f["code"] == "RPR301"
+                   for f in payload["findings"])
+
+    def test_list_rules(self, capsys):
+        assert physlint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ALL_CODES:
+            assert code in out
+
+    def test_repro_lint_subcommand(self, capsys):
+        code = repro_main(["lint", str(FIXTURES / "bad_rpr101.py"),
+                           "--format", "json"])
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counts"] == {"RPR101": 7}
+
+    def test_python_dash_m_entry_point(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.devtools.physlint",
+             str(FIXTURES / "bad_rpr202.py")],
+            capture_output=True, text=True,
+            env={"PYTHONPATH": str(SRC), "PATH": "/usr/bin:/bin"})
+        assert proc.returncode == 1
+        assert "RPR202" in proc.stdout
+
+
+class TestSelfCheck:
+    def test_src_tree_is_clean(self):
+        findings = lint_paths([str(SRC)])
+        assert findings == [], "\n".join(f.render() for f in findings)

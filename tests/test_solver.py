@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.errors import ThermalRunawayError
+from repro.errors import ConfigurationError, ThermalRunawayError
 from repro.thermal import solve_steady_state
 
 
@@ -42,7 +42,7 @@ class TestLeakageLoop:
 
     def test_wrong_guess_shape_rejected(self, tec_model, basicmath_power,
                                         leakage):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             solve_steady_state(tec_model, 262.0, 0.0, basicmath_power,
                                leakage, initial_guess=np.zeros(3))
 
