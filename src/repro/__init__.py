@@ -30,23 +30,28 @@ from .core import (
     CoolingProblem,
     Evaluation,
     Evaluator,
+    FailureReport,
     OFTECResult,
     ProblemLimits,
+    ResiliencePolicy,
     build_cooling_problem,
     run_fixed_fan_baseline,
     run_oftec,
+    run_oftec_resilient,
     run_tec_only,
     run_variable_fan_baseline,
 )
 from .errors import (
     CalibrationError,
     ConfigurationError,
+    EvaluationBudgetError,
     FloorplanParseError,
     GeometryError,
     InfeasibleProblemError,
     MaterialError,
     ReproError,
     SingularNetworkError,
+    SolveTimeoutError,
     SolverError,
     ThermalRunawayError,
 )
@@ -66,6 +71,9 @@ __all__ = [
     "ProblemLimits",
     "build_cooling_problem",
     "run_oftec",
+    "run_oftec_resilient",
+    "ResiliencePolicy",
+    "FailureReport",
     "run_variable_fan_baseline",
     "run_fixed_fan_baseline",
     "run_tec_only",
@@ -76,6 +84,8 @@ __all__ = [
     "MaterialError",
     "SolverError",
     "SingularNetworkError",
+    "EvaluationBudgetError",
+    "SolveTimeoutError",
     "ThermalRunawayError",
     "InfeasibleProblemError",
     "CalibrationError",

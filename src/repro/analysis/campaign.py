@@ -17,21 +17,27 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional
+from typing import Callable, Dict, List, Mapping, Optional
 
 from ..core import (
+    SOLVER_METHODS,
     BaselineResult,
     CoolingProblem,
     Evaluator,
+    FailureReport,
     OFTECResult,
     OptimizationOutcome,
+    ResiliencePolicy,
+    ResilientSolver,
+    failure_report_from_exception,
     minimize_temperature,
     run_fixed_fan_baseline,
     run_oftec,
+    run_oftec_resilient,
     run_tec_only,
     run_variable_fan_baseline,
 )
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, ReproError, SolverError
 from ..power import BenchmarkProfile
 
 
@@ -66,11 +72,15 @@ class CampaignResult:
         comparisons: Per-benchmark method comparison, in run order.
         t_max: The thermal threshold used, K.
         wall_seconds: Total campaign wall-clock time.
+        failures: Structured post-mortems of benchmarks (or stages)
+            that failed; such benchmarks are omitted from
+            ``comparisons`` but do not sink the campaign.
     """
 
     comparisons: List[BenchmarkComparison] = field(default_factory=list)
     t_max: float = 0.0
     wall_seconds: float = 0.0
+    failures: List[FailureReport] = field(default_factory=list)
 
     def __getitem__(self, name: str) -> BenchmarkComparison:
         for comparison in self.comparisons:
@@ -159,12 +169,98 @@ class CampaignResult:
         return sum(runtimes) / len(runtimes)
 
 
+class _StageFailure(Exception):
+    """Internal wrapper tagging a ReproError with its pipeline stage."""
+
+    def __init__(self, stage: str, error: ReproError):
+        super().__init__(stage)
+        self.stage = stage
+        self.error = error
+
+
+def _staged(stage: str, thunk: Callable):
+    """Run one pipeline stage, tagging any library error with ``stage``."""
+    try:
+        return thunk()
+    except ReproError as exc:
+        raise _StageFailure(stage, exc) from exc
+
+
+def _run_benchmark(
+    name: str,
+    tec_problem: CoolingProblem,
+    base_problem: CoolingProblem,
+    method: str,
+    include_tec_only: bool,
+    make: Callable[[CoolingProblem], Evaluator],
+    resilient: bool,
+    policy: Optional[ResiliencePolicy],
+    failures: List[FailureReport],
+) -> BenchmarkComparison:
+    """All methods on one benchmark, each stage individually tagged."""
+    if resilient:
+        def oftec_stage() -> OFTECResult:
+            outcome = run_oftec_resilient(
+                tec_problem, policy=policy,
+                evaluator=make(tec_problem))
+            failures.extend(outcome.failures)
+            if outcome.result is None:
+                raise SolverError(
+                    f"{name}: every resilient OFTEC stage failed")
+            return outcome.result
+
+        def opt2_stage() -> OptimizationOutcome:
+            solve = ResilientSolver(make(tec_problem),
+                                    policy).minimize_temperature()
+            if solve.failure is not None:
+                failures.append(solve.failure)
+            if solve.outcome is None:
+                raise SolverError(
+                    f"{name}: Optimization 2 failed on every ladder "
+                    "rung")
+            return solve.outcome
+
+        oftec_opt1 = _staged("oftec-opt1", oftec_stage)
+        oftec_opt2 = _staged("oftec-opt2", opt2_stage)
+    else:
+        oftec_opt1 = _staged("oftec-opt1", lambda: run_oftec(
+            tec_problem, method=method, evaluator=make(tec_problem)))
+        oftec_opt2 = _staged(
+            "oftec-opt2", lambda: minimize_temperature(
+                make(tec_problem), method=method))
+    variable_opt1 = _staged(
+        "variable-opt1", lambda: run_variable_fan_baseline(
+            base_problem, method=method,
+            evaluator=make(base_problem)))
+    variable_opt2 = _staged(
+        "variable-opt2", lambda: minimize_temperature(
+            make(base_problem), method=method))
+    fixed = _staged("fixed-omega", lambda: run_fixed_fan_baseline(
+        base_problem, evaluator=make(base_problem)))
+    tec_only = _staged("tec-only", lambda: run_tec_only(
+        tec_problem, evaluator=make(tec_problem))) \
+        if include_tec_only else None
+    return BenchmarkComparison(
+        name=name,
+        oftec_opt1=oftec_opt1,
+        oftec_opt2=oftec_opt2,
+        variable_opt1=variable_opt1,
+        variable_opt2=variable_opt2,
+        fixed=fixed,
+        tec_only=tec_only)
+
+
 def run_campaign(
     profiles: Mapping[str, BenchmarkProfile],
     tec_problem_template: CoolingProblem,
     baseline_problem_template: CoolingProblem,
     method: str = "slsqp",
     include_tec_only: bool = False,
+    isolate_failures: bool = True,
+    evaluator_factory: Optional[Callable[[CoolingProblem],
+                                         Evaluator]] = None,
+    resilient: bool = False,
+    policy: Optional[ResiliencePolicy] = None,
 ) -> CampaignResult:
     """Run the three-method comparison over a set of benchmark profiles.
 
@@ -175,6 +271,18 @@ def run_campaign(
         baseline_problem_template: The matching no-TEC problem.
         method: Solver backend for all optimizations.
         include_tec_only: Also sweep the fan-less TEC-only system.
+        isolate_failures: Contain each benchmark/stage failure as a
+            :class:`~repro.core.FailureReport` on the campaign result
+            instead of letting it abort the run.  Template
+            misconfigurations always raise — they would fail every
+            benchmark identically.
+        evaluator_factory: Override how per-problem evaluators are
+            built (the fault-injection hook; defaults to
+            :class:`~repro.core.Evaluator`).
+        resilient: Route the OFTEC stages through the
+            :class:`~repro.core.ResilientSolver` fallback ladder.
+        policy: Resilience policy for ``resilient=True`` (default: the
+            ladder led by ``method``).
     """
     if not tec_problem_template.has_tec:
         raise ConfigurationError(
@@ -182,28 +290,27 @@ def run_campaign(
     if baseline_problem_template.has_tec:
         raise ConfigurationError(
             "baseline_problem_template must not include a TEC array")
+    if resilient and policy is None:
+        policy = ResiliencePolicy(ladder=(method,) + tuple(
+            m for m in SOLVER_METHODS if m != method))
+    make = evaluator_factory or Evaluator
     start = time.perf_counter()
     result = CampaignResult(t_max=tec_problem_template.limits.t_max)
     for name, profile in profiles.items():
         tec_problem = tec_problem_template.with_profile(profile, name=name)
         base_problem = baseline_problem_template.with_profile(profile,
                                                               name=name)
-        oftec_opt1 = run_oftec(tec_problem, method=method)
-        oftec_opt2 = minimize_temperature(Evaluator(tec_problem),
-                                          method=method)
-        variable_opt1 = run_variable_fan_baseline(base_problem,
-                                                  method=method)
-        variable_opt2 = minimize_temperature(Evaluator(base_problem),
-                                             method=method)
-        fixed = run_fixed_fan_baseline(base_problem)
-        tec_only = run_tec_only(tec_problem) if include_tec_only else None
-        result.comparisons.append(BenchmarkComparison(
-            name=name,
-            oftec_opt1=oftec_opt1,
-            oftec_opt2=oftec_opt2,
-            variable_opt1=variable_opt1,
-            variable_opt2=variable_opt2,
-            fixed=fixed,
-            tec_only=tec_only))
+        try:
+            comparison = _run_benchmark(
+                name, tec_problem, base_problem, method,
+                include_tec_only, make, resilient, policy,
+                result.failures)
+        except _StageFailure as failure:
+            if not isolate_failures:
+                raise failure.error
+            result.failures.append(failure_report_from_exception(
+                name, failure.stage, failure.error))
+            continue
+        result.comparisons.append(comparison)
     result.wall_seconds = time.perf_counter() - start
     return result

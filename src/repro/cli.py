@@ -8,7 +8,14 @@ Commands mirror the library's main entry points:
   benchmarks (Figures 6(c)-(f) tables + Table 2).
 * ``sweep`` — the Figure 6(a)/(b) objective surfaces for one benchmark.
 * ``profiles`` — list the built-in benchmark power profiles.
+* ``chaos`` — run the campaign under deterministic fault injection and
+  verify every fault is contained.
 * ``lint`` — run :mod:`repro.devtools.physlint` over the tree.
+
+Exit codes discriminate the failure mode so shell pipelines and CI can
+react: 0 success, 1 generic failure (failed shape checks, lint
+findings), 3 thermally infeasible instance, 4 solver failure, 5
+configuration error.
 """
 
 from __future__ import annotations
@@ -27,8 +34,17 @@ from .analysis import (
     run_campaign,
     sweep_objective_surfaces,
 )
+from .errors import ConfigurationError, InfeasibleProblemError, \
+    SolverError
 from .power import MIBENCH_NAMES
 from .units import kelvin_to_celsius, rad_s_to_rpm, s_to_ms
+
+#: Exit code for a thermally infeasible problem instance.
+EXIT_INFEASIBLE = 3
+#: Exit code for a solver failure (breakdown, budget, chaos escape).
+EXIT_SOLVER_FAILURE = 4
+#: Exit code for invalid configuration or arguments.
+EXIT_CONFIG_ERROR = 5
 
 
 def _add_resolution(parser: argparse.ArgumentParser) -> None:
@@ -96,6 +112,27 @@ def build_parser() -> argparse.ArgumentParser:
     commands.add_parser("profiles",
                         help="list the built-in benchmark profiles")
 
+    chaos = commands.add_parser(
+        "chaos",
+        help="run the campaign under deterministic fault injection")
+    _add_resolution(chaos)
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="fault-plan seed (default 0)")
+    chaos.add_argument("--rate", type=float, default=0.05,
+                       help="per-solve fault probability (default 0.05)")
+    chaos.add_argument("--faults", default="all", metavar="KINDS",
+                       help="comma-separated fault kinds (default: all)")
+    chaos.add_argument("--max-fires", type=int, default=None,
+                       metavar="N",
+                       help="cap fires per fault kind (default: none)")
+    chaos.add_argument("--benchmarks", type=int, default=0, metavar="N",
+                       help="limit to the first N benchmarks (0 = all)")
+    chaos.add_argument("--no-resilient", action="store_true",
+                       help="bypass the fallback ladder (stresses the "
+                            "campaign-level isolation alone)")
+    chaos.add_argument("--json", metavar="PATH", default=None,
+                       help="save the (partial) campaign as JSON")
+
     lint = commands.add_parser(
         "lint",
         help="run physlint, the domain-aware static analyzer")
@@ -148,7 +185,7 @@ def _cmd_oftec(args: argparse.Namespace) -> int:
           f"fan {result.evaluation.fan_power:.2f})")
     print(f"  runtime {s_to_ms(result.runtime_seconds):.0f} ms, "
           f"{result.thermal_solves} thermal solves")
-    return 0 if result.feasible else 1
+    return 0 if result.feasible else EXIT_INFEASIBLE
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
@@ -231,6 +268,48 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return physlint_main(forwarded)
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from .faults import (
+        FaultKind,
+        FaultPlan,
+        FaultSpec,
+        format_chaos_report,
+        run_chaos_campaign,
+    )
+    if args.faults.strip() == "all":
+        kinds = list(FaultKind)
+    else:
+        by_value = {kind.value: kind for kind in FaultKind}
+        kinds = []
+        for token in args.faults.split(","):
+            token = token.strip()
+            if token not in by_value:
+                raise ConfigurationError(
+                    f"unknown fault kind {token!r}; choose from "
+                    f"{sorted(by_value)}")
+            kinds.append(by_value[token])
+    plan = FaultPlan(seed=args.seed, specs=tuple(
+        FaultSpec(kind=kind, rate=args.rate, max_fires=args.max_fires)
+        for kind in kinds))
+    profiles = mibench_profiles()
+    if args.benchmarks:
+        profiles = dict(list(profiles.items())[:args.benchmarks])
+    template = mibench_profiles()["basicmath"]
+    tec_problem = build_cooling_problem(
+        template, grid_resolution=args.resolution)
+    baseline_problem = build_cooling_problem(
+        template, with_tec=False, grid_resolution=args.resolution)
+    report = run_chaos_campaign(
+        profiles, tec_problem, baseline_problem, plan=plan,
+        resilient=not args.no_resilient)
+    print(format_chaos_report(report))
+    if args.json and report.campaign is not None:
+        from .io import save_campaign
+        save_campaign(report.campaign, args.json)
+        print(f"campaign saved to {args.json}")
+    return 0 if report.ok else EXIT_SOLVER_FAILURE
+
+
 def _cmd_profiles(_args: argparse.Namespace) -> int:
     print(f"{'benchmark':<14}{'total (W)':>10}  hottest units")
     for name, profile in mibench_profiles().items():
@@ -248,14 +327,29 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "profiles": _cmd_profiles,
     "spice": _cmd_spice,
+    "chaos": _cmd_chaos,
     "lint": _cmd_lint,
 }
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Library failures map onto distinct exit codes (module docstring)
+    instead of tracebacks, so callers can branch on the failure mode.
+    """
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except InfeasibleProblemError as exc:
+        print(f"infeasible: {exc}", file=sys.stderr)
+        return EXIT_INFEASIBLE
+    except ConfigurationError as exc:
+        print(f"configuration error: {exc}", file=sys.stderr)
+        return EXIT_CONFIG_ERROR
+    except SolverError as exc:
+        print(f"solver failure: {exc}", file=sys.stderr)
+        return EXIT_SOLVER_FAILURE
 
 
 if __name__ == "__main__":

@@ -48,6 +48,16 @@ from .dvfs import (
     find_max_frequency,
     scaled_problem,
 )
+from .resilient import (
+    AttemptRecord,
+    FailureReport,
+    ResiliencePolicy,
+    ResilientOFTECResult,
+    ResilientOutcome,
+    ResilientSolver,
+    failure_report_from_exception,
+    run_oftec_resilient,
+)
 from .robust import EnvelopeEvaluator, RobustResult, run_oftec_robust
 from .placement import (
     CMP4_ADJACENCY,
@@ -96,6 +106,14 @@ __all__ = [
     "ThrottleResult",
     "find_max_frequency",
     "scaled_problem",
+    "AttemptRecord",
+    "FailureReport",
+    "ResiliencePolicy",
+    "ResilientOFTECResult",
+    "ResilientOutcome",
+    "ResilientSolver",
+    "failure_report_from_exception",
+    "run_oftec_resilient",
     "EnvelopeEvaluator",
     "RobustResult",
     "run_oftec_robust",

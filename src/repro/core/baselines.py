@@ -66,13 +66,15 @@ class BaselineResult:
 
 def run_variable_fan_baseline(problem: CoolingProblem,
                               method: str = "slsqp",
+                              evaluator: Optional[Evaluator] = None,
                               ) -> BaselineResult:
     """Baseline 1: optimize the fan speed of a no-TEC package."""
     if problem.has_tec:
         raise ConfigurationError(
             "Variable-omega baseline expects a no-TEC problem; build it "
             "with build_cooling_problem(..., with_tec=False)")
-    result: OFTECResult = run_oftec(problem, method=method)
+    result: OFTECResult = run_oftec(problem, method=method,
+                                    evaluator=evaluator)
     return BaselineResult(
         problem_name=problem.name,
         controller="variable-omega",
@@ -86,6 +88,7 @@ def run_variable_fan_baseline(problem: CoolingProblem,
 
 def run_fixed_fan_baseline(problem: CoolingProblem,
                            omega: float = OMEGA_FIXED_BASELINE,
+                           evaluator: Optional[Evaluator] = None,
                            ) -> BaselineResult:
     """Baseline 2: a no-TEC package with the fan pinned (2000 RPM)."""
     if problem.has_tec:
@@ -93,7 +96,7 @@ def run_fixed_fan_baseline(problem: CoolingProblem,
             "Fixed-omega baseline expects a no-TEC problem; build it "
             "with build_cooling_problem(..., with_tec=False)")
     start = time.perf_counter()
-    evaluator = Evaluator(problem)
+    evaluator = evaluator or Evaluator(problem)
     evaluation = evaluator.evaluate(omega, 0.0)
     return BaselineResult(
         problem_name=problem.name,

@@ -24,7 +24,7 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Optional
 
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, ReproError
 from .baselines import run_variable_fan_baseline
 from .oftec import run_oftec
 from .problem import CoolingProblem
@@ -85,9 +85,26 @@ class ThrottleResult:
     power_at_scaling: float
     runtime_seconds: float
     evaluations: int
+    #: Cooling-controller invocations that raised a ReproError and were
+    #: treated as "not coolable at this frequency" (see
+    #: :func:`find_max_frequency`'s error handling).
+    errors: int = 0
 
 
 CoolingRunner = Callable[[CoolingProblem], "object"]
+
+
+@dataclass(frozen=True)
+class _FailedCooling:
+    """Sentinel outcome for a cooling run that raised: never feasible.
+
+    The DVFS search exploits monotonicity, so a solver breakdown at
+    frequency ``s`` is safely treated as "cannot cool at ``s``" — the
+    search simply throttles further instead of aborting.
+    """
+
+    feasible: bool = False
+    total_power: float = float("nan")
 
 
 def _default_runner(problem: CoolingProblem):
@@ -137,12 +154,20 @@ def find_max_frequency(
     runner = runner or _default_runner
     start = time.perf_counter()
     evaluations = 0
+    errors = 0
 
     def coolable(scaling: float):
-        nonlocal evaluations
+        nonlocal evaluations, errors
         evaluations += 1
-        result = runner(scaled_problem(problem, dvfs, scaling))
-        return result
+        scaled = scaled_problem(problem, dvfs, scaling)
+        try:
+            return runner(scaled)
+        except ReproError:
+            # A breakdown while trying to cool at this frequency means
+            # this frequency is not demonstrably coolable; degrade the
+            # bracket rather than the whole search.
+            errors += 1
+            return _FailedCooling()
 
     # Fast path: nominal frequency already coolable.
     nominal = coolable(1.0)
@@ -151,7 +176,7 @@ def find_max_frequency(
             scaling=1.0, performance_loss=0.0, feasible=True,
             power_at_scaling=nominal.total_power,
             runtime_seconds=time.perf_counter() - start,
-            evaluations=evaluations)
+            evaluations=evaluations, errors=errors)
 
     # Infeasible even at the lowest usable frequency: thermal design
     # failure regardless of DVFS.
@@ -161,7 +186,7 @@ def find_max_frequency(
             scaling=dvfs.s_min, performance_loss=1.0 - dvfs.s_min,
             feasible=False, power_at_scaling=float("nan"),
             runtime_seconds=time.perf_counter() - start,
-            evaluations=evaluations)
+            evaluations=evaluations, errors=errors)
 
     lo, hi = dvfs.s_min, 1.0        # lo coolable, hi not
     best = floor
@@ -176,4 +201,4 @@ def find_max_frequency(
         scaling=lo, performance_loss=1.0 - lo, feasible=True,
         power_at_scaling=best.total_power,
         runtime_seconds=time.perf_counter() - start,
-        evaluations=evaluations)
+        evaluations=evaluations, errors=errors)

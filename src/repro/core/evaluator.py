@@ -15,7 +15,11 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
-from ..errors import ThermalRunawayError
+from ..errors import (
+    ConfigurationError,
+    EvaluationBudgetError,
+    ThermalRunawayError,
+)
 from ..thermal import SteadyStateResult, solve_steady_state
 from .problem import CoolingProblem
 
@@ -79,6 +83,22 @@ class Evaluator:
         self._warm_chip: Optional[np.ndarray] = None
         self.call_count = 0
         self.solve_count = 0
+        self._solve_budget: Optional[int] = None
+        self._budget_used = 0
+
+    def set_solve_budget(self, budget: Optional[int]) -> None:
+        """Cap the number of *fresh* thermal solves until the next call.
+
+        Cache hits are free.  Once the cap is reached, further solves
+        raise :class:`~repro.errors.EvaluationBudgetError` — the
+        resilient solver's per-attempt circuit breaker.  ``None`` removes
+        the cap; setting a budget resets the used counter.
+        """
+        if budget is not None and budget <= 0:
+            raise ConfigurationError(
+                f"solve budget must be positive, got {budget}")
+        self._solve_budget = budget
+        self._budget_used = 0
 
     def clamp(self, omega: float, current: float) -> Tuple[float, float]:
         """Clamp a query into the box constraints (16)-(17)."""
@@ -98,12 +118,64 @@ class Evaluator:
         hit = self._cache.get(key)
         if hit is not None:
             return hit
-        result = self._solve(omega, current)
+        result = self._guard_finite(self._solve(omega, current))
         self._cache[key] = result
         return result
 
+    def _guard_finite(self, evaluation: Evaluation) -> Evaluation:
+        """NaN/Inf guard: corrupt objective values (a NaN power entry,
+        an Inf temperature) are remapped onto the runaway penalty so the
+        outer optimizer sees a consistent "get out of here" signal
+        instead of poisoning its line search.  Finite evaluations pass
+        through untouched (runaway penalties are finite by design)."""
+        if evaluation.runaway:
+            return evaluation
+        if np.isfinite(evaluation.max_chip_temperature) \
+                and np.isfinite(evaluation.total_power):
+            return evaluation
+        return self._runaway_evaluation(
+            evaluation.omega, evaluation.current, evaluation.fan_power,
+            ThermalRunawayError(
+                "non-finite objective value at "
+                f"omega={evaluation.omega:.1f}, "
+                f"I={evaluation.current:.2f} "
+                f"(T={evaluation.max_chip_temperature}, "
+                f"P={evaluation.total_power})",
+                max_temperature=float("inf")))
+
+    def _runaway_evaluation(self, omega: float, current: float,
+                            fan_power: float,
+                            err: ThermalRunawayError) -> Evaluation:
+        """The penalty evaluation for an unbounded operating point.
+
+        The signal grows with the diverging temperature so the optimizer
+        can climb out, but never drops below the runaway ceiling: a
+        wildly unphysical solve (e.g. all-negative temperatures from an
+        indefinite system) must still read as "worse than any bounded
+        state".  (omega in rad/s, current in A, fan_power in W.)
+        """
+        floor = self.problem.model.config.runaway_ceiling
+        signal = min(max(err.max_temperature, floor),
+                     RUNAWAY_SIGNAL_CAP)
+        if not np.isfinite(signal):
+            signal = RUNAWAY_SIGNAL_CAP
+        return Evaluation(
+            omega=omega, current=current,
+            max_chip_temperature=signal,
+            total_power=RUNAWAY_POWER_PENALTY + signal,
+            leakage_power=float("inf"),
+            tec_power=0.0, fan_power=fan_power,
+            feasible=False, runaway=True, steady=None)
+
     def _solve(self, omega: float, current: float) -> Evaluation:
         problem = self.problem
+        if self._solve_budget is not None:
+            if self._budget_used >= self._solve_budget:
+                raise EvaluationBudgetError(
+                    f"evaluation budget of {self._solve_budget} thermal "
+                    f"solves exhausted at omega={omega:.1f}, "
+                    f"I={current:.2f}")
+            self._budget_used += 1
         self.solve_count += 1
         fan_power = problem.fan.power(omega)
         try:
@@ -113,23 +185,8 @@ class Evaluator:
                 initial_guess=self._warm_chip,
                 sink_heat=problem.fan_heat_fraction * fan_power)
         except ThermalRunawayError as err:
-            # The signal grows with the diverging temperature so the
-            # optimizer can climb out, but never drops below the runaway
-            # ceiling: a wildly unphysical solve (e.g. all-negative
-            # temperatures from an indefinite system) must still read as
-            # "worse than any bounded state".
-            floor = problem.model.config.runaway_ceiling
-            signal = min(max(err.max_temperature, floor),
-                         RUNAWAY_SIGNAL_CAP)
-            if not np.isfinite(signal):
-                signal = RUNAWAY_SIGNAL_CAP
-            return Evaluation(
-                omega=omega, current=current,
-                max_chip_temperature=signal,
-                total_power=RUNAWAY_POWER_PENALTY + signal,
-                leakage_power=float("inf"),
-                tec_power=0.0, fan_power=fan_power,
-                feasible=False, runaway=True, steady=None)
+            return self._runaway_evaluation(omega, current, fan_power,
+                                            err)
         self._warm_chip = steady.chip_temperatures
         total = steady.leakage_power + steady.tec_power + fan_power
         return Evaluation(

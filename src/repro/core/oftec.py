@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Tuple
 
 from ..errors import InfeasibleProblemError
 from .evaluator import Evaluation, Evaluator
@@ -69,6 +69,15 @@ class OFTECResult:
         return self.evaluation.max_chip_temperature
 
 
+def initial_operating_point(problem: CoolingProblem) -> Tuple[float,
+                                                              float]:
+    """Algorithm 1 line 1: the midpoint initial guess
+    ``(omega_max/2, I_max/2)`` in (rad/s, A) — the empirical sweet spot
+    of the Optimization 2 landscape (Figure 6(a))."""
+    return (problem.limits.omega_max / 2.0,
+            problem.current_upper_bound / 2.0)
+
+
 def run_oftec(
     problem: CoolingProblem,
     method: str = "slsqp",
@@ -97,8 +106,7 @@ def run_oftec(
     t_max = limits.t_max
 
     # Line 1: the midpoint initial guess.
-    omega0 = limits.omega_max / 2.0
-    current0 = problem.current_upper_bound / 2.0
+    omega0, current0 = initial_operating_point(problem)
     initial = evaluator.evaluate(omega0, current0)
 
     opt2: Optional[OptimizationOutcome] = None

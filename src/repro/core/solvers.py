@@ -114,7 +114,7 @@ def _run_backend(
         constraints = []
         if constraint is not None:
             constraints.append({"type": "ineq", "fun": constraint})
-        result = minimize(
+        result = _checked_minimize(
             objective, x0, method="SLSQP", bounds=bounds,
             constraints=constraints,
             options={"maxiter": max_iterations, "ftol": 1e-7,
@@ -125,7 +125,7 @@ def _run_backend(
         if constraint is not None:
             constraints.append(NonlinearConstraint(
                 constraint, 0.0, np.inf))
-        result = minimize(
+        result = _checked_minimize(
             objective, x0, method="trust-constr", bounds=bounds,
             constraints=constraints,
             options={"maxiter": max_iterations * 4, "xtol": 1e-6,
@@ -133,6 +133,23 @@ def _run_backend(
         return result.x, bool(result.success), str(result.message)
     raise SolverError(f"Unknown solver method {method!r}; "
                       f"choose one of {SOLVER_METHODS}")
+
+
+def _checked_minimize(objective, x0, **kwargs):
+    """scipy.optimize.minimize with internal breakdowns mapped onto
+    :class:`SolverError` so the resilience ladder can catch one typed
+    failure instead of scipy's assorted numerics exceptions.
+
+    Library exceptions (``ReproError`` subclasses, including the early
+    stop control flow) pass through untouched.
+    """
+    try:
+        return minimize(objective, x0, **kwargs)
+    except (ValueError, ZeroDivisionError, FloatingPointError,
+            np.linalg.LinAlgError) as exc:
+        raise SolverError(
+            f"{kwargs.get('method', 'backend')} solve broke down at "
+            f"x0={np.asarray(x0)}: {exc}") from exc
 
 
 def _grid_candidates(dimensions: int, points: int = 7) -> np.ndarray:

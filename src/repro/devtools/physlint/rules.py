@@ -11,6 +11,9 @@ Code        Name                Convention guarded
                                 subclasses and never catches blindly.
 ``RPR202``  assert-validation   ``assert`` is for tests; it vanishes under
                                 ``python -O``.
+``RPR204``  swallowed-exception A caught :class:`ReproError` must be
+                                handled, not silently dropped or merely
+                                logged.
 ``RPR301``  dense-solve         Grid-sized systems go through the sparse
                                 path in ``thermal/network.py``.
 ``RPR401``  docstring-units     Public functions taking physical quantities
@@ -242,6 +245,92 @@ class AssertValidationRule(Rule):
             "ConfigurationError/GeometryError (or another ReproError) "
             "for validation"))
         self.generic_visit(node)
+
+
+# ---------------------------------------------------------------------------
+# RPR204 — swallowed-exception
+# ---------------------------------------------------------------------------
+
+#: Every exception class exported by :mod:`repro.errors`; catching one
+#: of these and doing nothing hides a physical failure mode (thermal
+#: runaway, singular network, exhausted budget) from the caller.
+_REPRO_ERROR_NAMES = frozenset({
+    "CalibrationError",
+    "ConfigurationError",
+    "EvaluationBudgetError",
+    "FloorplanParseError",
+    "GeometryError",
+    "InfeasibleProblemError",
+    "MaterialError",
+    "ReproError",
+    "SingularNetworkError",
+    "SolveTimeoutError",
+    "SolverError",
+    "ThermalRunawayError",
+})
+
+#: Call heads considered "log-and-forget" rather than handling.
+_LOGGING_HEADS = frozenset({"log", "logger", "logging", "warnings"})
+
+
+def _is_logging_call(node: ast.expr) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    dotted = _dotted_name(node.func)
+    if dotted is None:
+        return False
+    head = dotted.split(".")[0]
+    return dotted == "print" or head in _LOGGING_HEADS
+
+
+@rule
+class SwallowedExceptionRule(Rule):
+    """A caught :class:`ReproError` deserves more than ``pass``."""
+
+    code = "RPR204"
+    name = "swallowed-exception"
+    rationale = (
+        "ThermalRunawayError and friends encode physical failure "
+        "modes; an `except SolverError: pass` (or log-and-forget) "
+        "turns a diverging chip into silence.  Handlers must record "
+        "the failure, degrade explicitly, or re-raise.")
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        caught = self._caught_repro_errors(node)
+        if caught and self._body_is_silent(node.body):
+            listing = ", ".join(caught)
+            self.emit(node, (
+                f"`except {listing}` swallows the failure (body is "
+                "only pass/continue/logging); record it, degrade "
+                "explicitly, or re-raise"))
+        self.generic_visit(node)
+
+    @staticmethod
+    def _caught_repro_errors(node: ast.ExceptHandler) -> List[str]:
+        if node.type is None:
+            return []
+        exprs: Sequence[ast.expr] = (
+            node.type.elts if isinstance(node.type, ast.Tuple)
+            else [node.type])
+        names = []
+        for expr in exprs:
+            dotted = _dotted_name(expr)
+            if dotted is not None \
+                    and dotted.split(".")[-1] in _REPRO_ERROR_NAMES:
+                names.append(dotted)
+        return names
+
+    @staticmethod
+    def _body_is_silent(body: Sequence[ast.stmt]) -> bool:
+        for statement in body:
+            if isinstance(statement, (ast.Pass, ast.Continue)):
+                continue
+            if isinstance(statement, ast.Expr) and (
+                    isinstance(statement.value, ast.Constant)
+                    or _is_logging_call(statement.value)):
+                continue
+            return False
+        return True
 
 
 # ---------------------------------------------------------------------------

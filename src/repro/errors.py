@@ -7,6 +7,8 @@ still being able to discriminate the failure mode.
 
 from __future__ import annotations
 
+from typing import Optional
+
 
 class ReproError(Exception):
     """Base class for all errors raised by :mod:`repro`."""
@@ -33,7 +35,38 @@ class SolverError(ReproError):
 
 
 class SingularNetworkError(SolverError):
-    """The thermal conductance matrix is singular (disconnected network)."""
+    """The thermal conductance matrix is singular (disconnected network).
+
+    Carries a cheap condition-number estimate of the failed system when
+    one could be computed, for post-mortem diagnosability (e.g. in a
+    :class:`repro.core.FailureReport`).
+    """
+
+    def __init__(self, message: str,
+                 condition_estimate: Optional[float] = None) -> None:
+        super().__init__(message)
+        #: 1-norm condition estimate of the failed system (None when it
+        #: could not be computed, ``inf`` for an exactly singular factor).
+        self.condition_estimate = condition_estimate
+
+
+class EvaluationBudgetError(SolverError):
+    """An optimization attempt exhausted its thermal-solve budget.
+
+    Raised by :class:`repro.core.Evaluator` when a per-attempt budget set
+    via ``set_solve_budget`` runs out; the resilient solver catches it and
+    moves to the next rung of the fallback ladder instead of letting one
+    pathological attempt consume the whole campaign.
+    """
+
+
+class SolveTimeoutError(SolverError):
+    """A single steady-state solve exceeded its (simulated) time budget.
+
+    Real sparse solves in this package are fast; this error exists for
+    the fault-injection framework (:mod:`repro.faults`) and for callers
+    wrapping the evaluator with wall-clock watchdogs.
+    """
 
 
 class ThermalRunawayError(SolverError):

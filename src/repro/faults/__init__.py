@@ -1,0 +1,32 @@
+"""Deterministic fault injection for chaos-testing the OFTEC stack.
+
+Declare *what* to break in a :class:`FaultPlan`, wrap the stack's
+evaluators (or the thermal network itself) in the injectors, and run
+the whole campaign under fire with :func:`run_chaos_campaign`.  Every
+random draw is seeded, so a failing chaos run reproduces exactly.
+"""
+
+from .chaos import ChaosReport, format_chaos_report, run_chaos_campaign
+from .inject import (
+    INJECTED_CONDITION_ESTIMATE,
+    INJECTED_DIVERGENCE_TEMPERATURE,
+    FaultInjector,
+    FaultyEvaluator,
+    FaultyNetwork,
+)
+from .plan import FaultKind, FaultPlan, FaultSpec, full_fault_plan
+
+__all__ = [
+    "FaultKind",
+    "FaultSpec",
+    "FaultPlan",
+    "full_fault_plan",
+    "FaultInjector",
+    "FaultyEvaluator",
+    "FaultyNetwork",
+    "INJECTED_CONDITION_ESTIMATE",
+    "INJECTED_DIVERGENCE_TEMPERATURE",
+    "ChaosReport",
+    "run_chaos_campaign",
+    "format_chaos_report",
+]

@@ -1,0 +1,117 @@
+"""Chaos harness: run a whole campaign under an injected fault matrix.
+
+The contract under test: with fault injection active across every
+benchmark and method, the campaign must still return — partial results
+plus structured :class:`~repro.core.FailureReport` entries — and no
+exception may escape.  :class:`ChaosReport.ok` is the single pass/fail
+bit CI asserts on.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+from ..analysis.campaign import CampaignResult, run_campaign
+from ..core import CoolingProblem
+from ..power import BenchmarkProfile
+from .inject import FaultInjector, FaultyEvaluator
+from .plan import FaultPlan, full_fault_plan
+
+
+@dataclass
+class ChaosReport:
+    """Outcome of one chaos-campaign run.
+
+    Attributes:
+        plan: The fault plan that was injected.
+        fired: Fault fires per kind (by kind value).
+        campaign: The (partial) campaign result; None only when an
+            exception escaped the isolation boundaries.
+        unhandled: ``"Type: message"`` lines for exceptions that escaped
+            — the chaos contract is that this list stays empty.
+        wall_seconds: Total harness wall-clock time.
+    """
+
+    plan: FaultPlan
+    fired: Dict[str, int] = field(default_factory=dict)
+    campaign: Optional[CampaignResult] = None
+    unhandled: List[str] = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """True when every fault was contained (no unhandled escapes)."""
+        return not self.unhandled and self.campaign is not None
+
+    @property
+    def completed_benchmarks(self) -> List[str]:
+        """Benchmarks that produced a full comparison despite faults."""
+        if self.campaign is None:
+            return []
+        return self.campaign.benchmark_names
+
+
+def run_chaos_campaign(
+    profiles: Mapping[str, BenchmarkProfile],
+    tec_problem_template: CoolingProblem,
+    baseline_problem_template: CoolingProblem,
+    plan: Optional[FaultPlan] = None,
+    method: str = "slsqp",
+    resilient: bool = True,
+) -> ChaosReport:
+    """Run the benchmark campaign with fault injection turned on.
+
+    Args:
+        profiles: Benchmark name -> power profile.
+        tec_problem_template: TEC-equipped problem template.
+        baseline_problem_template: Matching no-TEC template.
+        plan: Fault plan (default: every kind at the default rate).
+        method: Leading solver backend.
+        resilient: Route OFTEC stages through the fallback ladder
+            (False stresses the campaign-level isolation alone).
+    """
+    plan = plan if plan is not None else full_fault_plan()
+    injector = FaultInjector(plan)
+    report = ChaosReport(plan=plan)
+    start = time.perf_counter()
+    try:
+        report.campaign = run_campaign(
+            profiles, tec_problem_template, baseline_problem_template,
+            method=method, isolate_failures=True, resilient=resilient,
+            evaluator_factory=lambda p: FaultyEvaluator(p, injector))
+    except Exception as exc:  # physlint: disable=RPR201
+        # The whole point of the harness: anything reaching this
+        # handler is a resilience bug, recorded as such.
+        report.unhandled.append(f"{type(exc).__name__}: {exc}")
+    report.fired = injector.fired_counts()
+    report.wall_seconds = time.perf_counter() - start
+    return report
+
+
+def format_chaos_report(report: ChaosReport) -> str:
+    """Human-readable summary of a chaos run."""
+    lines = [
+        "chaos campaign "
+        + ("PASSED" if report.ok else "FAILED")
+        + f" (seed={report.plan.seed}, "
+        + f"{report.wall_seconds:.1f} s)",
+        "fault fires: " + (", ".join(
+            f"{kind}={count}"
+            for kind, count in sorted(report.fired.items())) or "none"),
+    ]
+    if report.campaign is not None:
+        done = report.completed_benchmarks
+        lines.append(
+            f"benchmarks completed: {len(done)} "
+            f"({', '.join(done) if done else 'none'})")
+        lines.append(
+            f"failure reports: {len(report.campaign.failures)}")
+        for failure in report.campaign.failures:
+            lines.append(
+                f"  - {failure.benchmark} [{failure.stage}] "
+                f"{failure.error_type}: {failure.message}")
+    for text in report.unhandled:
+        lines.append(f"UNHANDLED: {text}")
+    return "\n".join(lines)

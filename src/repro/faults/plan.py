@@ -1,0 +1,109 @@
+"""Declarative fault plans: what to break, how often, and when.
+
+A :class:`FaultPlan` is a pure description — it holds no randomness of
+its own.  The :class:`~repro.faults.FaultInjector` turns a plan into
+deterministic per-kind Bernoulli streams, so two runs with the same plan
+(and the same call pattern) inject byte-identical fault sequences.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..errors import ConfigurationError
+
+
+class FaultKind(enum.Enum):
+    """The failure modes the chaos harness knows how to inject."""
+
+    #: Corrupt an otherwise healthy evaluation with a NaN total power
+    #: (exercises the evaluator's NaN/Inf guard).
+    NAN_POWER = "nan-power"
+    #: Raise :class:`~repro.errors.SingularNetworkError` as a
+    #: near-singular conductance system would.
+    SINGULAR_NETWORK = "singular-network"
+    #: Report a diverging leakage relinearization loop (the thermal
+    #: runaway path) at a point that is actually fine.
+    LEAKAGE_DIVERGENCE = "leakage-divergence"
+    #: Raise :class:`~repro.errors.EvaluationBudgetError` as an
+    #: exhausted per-attempt solve budget would.
+    ITERATION_EXHAUSTION = "iteration-exhaustion"
+    #: Raise :class:`~repro.errors.SolveTimeoutError`, simulating a
+    #: wall-clock watchdog firing mid-solve.
+    SOLVE_TIMEOUT = "solve-timeout"
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault kind plus its firing schedule.
+
+    Attributes:
+        kind: The failure mode to inject.
+        rate: Bernoulli firing probability per eligible call, in [0, 1].
+        start_call: Number of initial calls that are immune (lets a
+            pipeline warm up before the chaos starts).
+        max_fires: Cap on total fires (None = unlimited).
+    """
+
+    kind: FaultKind
+    rate: float = 0.05
+    start_call: int = 0
+    max_fires: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.kind, FaultKind):
+            raise ConfigurationError(
+                f"kind must be a FaultKind, got {self.kind!r}")
+        if not (0.0 <= self.rate <= 1.0):
+            raise ConfigurationError(
+                f"rate must be in [0, 1], got {self.rate}")
+        if self.start_call < 0:
+            raise ConfigurationError(
+                f"start_call must be >= 0, got {self.start_call}")
+        if self.max_fires is not None and self.max_fires <= 0:
+            raise ConfigurationError(
+                f"max_fires must be positive or None, got "
+                f"{self.max_fires}")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seedable set of fault specs, at most one per kind.
+
+    Attributes:
+        seed: Root seed of the per-kind random streams.
+        specs: The faults to inject.
+    """
+
+    seed: int = 0
+    specs: Tuple[FaultSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        seen = set()
+        for spec in self.specs:
+            if spec.kind in seen:
+                raise ConfigurationError(
+                    f"Duplicate fault spec for {spec.kind.value!r}")
+            seen.add(spec.kind)
+
+    def spec_for(self, kind: FaultKind) -> Optional[FaultSpec]:
+        """The spec covering ``kind``, or None when it never fires."""
+        for spec in self.specs:
+            if spec.kind is kind:
+                return spec
+        return None
+
+    @property
+    def kinds(self) -> Tuple[FaultKind, ...]:
+        """The fault kinds this plan injects, in spec order."""
+        return tuple(spec.kind for spec in self.specs)
+
+
+def full_fault_plan(seed: int = 0, rate: float = 0.05,
+                    start_call: int = 0) -> FaultPlan:
+    """A plan covering every :class:`FaultKind` at a uniform rate."""
+    return FaultPlan(seed=seed, specs=tuple(
+        FaultSpec(kind=kind, rate=rate, start_call=start_call)
+        for kind in FaultKind))

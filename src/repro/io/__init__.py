@@ -15,10 +15,12 @@ from .config import (
 from .tracefmt import load_trace, save_trace
 from .csvexport import CSV_COLUMNS, campaign_rows, save_campaign_csv
 from .results import (
+    attempt_to_dict,
     baseline_result_to_dict,
     campaign_to_dict,
     comparison_to_dict,
     evaluation_to_dict,
+    failure_report_to_dict,
     oftec_result_to_dict,
     save_campaign,
 )
@@ -39,6 +41,8 @@ __all__ = [
     "evaluation_to_dict",
     "oftec_result_to_dict",
     "baseline_result_to_dict",
+    "attempt_to_dict",
+    "failure_report_to_dict",
     "comparison_to_dict",
     "campaign_to_dict",
     "save_campaign",

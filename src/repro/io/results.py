@@ -12,7 +12,13 @@ import os
 from typing import Union
 
 from ..analysis.campaign import BenchmarkComparison, CampaignResult
-from ..core import BaselineResult, Evaluation, OFTECResult
+from ..core import (
+    AttemptRecord,
+    BaselineResult,
+    Evaluation,
+    FailureReport,
+    OFTECResult,
+)
 from ..units import kelvin_to_celsius, rad_s_to_rpm, s_to_ms
 
 PathLike = Union[str, os.PathLike]
@@ -83,8 +89,44 @@ def comparison_to_dict(comparison: BenchmarkComparison) -> dict:
     return payload
 
 
+def attempt_to_dict(attempt: AttemptRecord) -> dict:
+    """Serialize one fallback-ladder attempt."""
+    return {
+        "method": attempt.method,
+        "retry": attempt.retry,
+        "success": attempt.success,
+        "error_type": attempt.error_type,
+        "message": attempt.message,
+        "evaluations": attempt.evaluations,
+    }
+
+
+def failure_report_to_dict(report: FailureReport) -> dict:
+    """Serialize one structured failure post-mortem."""
+    payload = {
+        "benchmark": report.benchmark,
+        "stage": report.stage,
+        "error_type": report.error_type,
+        "message": report.message,
+        "exception_chain": list(report.exception_chain),
+        "attempts": [attempt_to_dict(a) for a in report.attempts],
+    }
+    if report.last_iterate is not None:
+        payload["last_iterate"] = {
+            "omega_rad_s": report.last_iterate[0],
+            "i_tec_a": report.last_iterate[1],
+        }
+    if report.condition_estimate is not None:
+        payload["condition_estimate"] = report.condition_estimate
+    return payload
+
+
 def campaign_to_dict(campaign: CampaignResult) -> dict:
-    """Serialize a full campaign with its headline aggregates."""
+    """Serialize a full campaign with its headline aggregates.
+
+    Failure reports appear under ``"failures"`` only when present, so
+    fault-free campaigns serialize exactly as they always did.
+    """
     counts = campaign.feasibility_counts()
     payload = {
         "t_max_k": campaign.t_max,
@@ -93,11 +135,15 @@ def campaign_to_dict(campaign: CampaignResult) -> dict:
                        for c in campaign.comparisons],
         "feasibility_counts": counts,
         "comparable_benchmarks": campaign.comparable_benchmarks(),
-        "average_oftec_runtime_ms":
-            s_to_ms(campaign.average_oftec_runtime()),
-        "opt2_temperature_advantage_k":
-            campaign.average_opt2_temperature_advantage(),
     }
+    if campaign.comparisons:
+        payload["average_oftec_runtime_ms"] = \
+            s_to_ms(campaign.average_oftec_runtime())
+        payload["opt2_temperature_advantage_k"] = \
+            campaign.average_opt2_temperature_advantage()
+    if campaign.failures:
+        payload["failures"] = [failure_report_to_dict(f)
+                               for f in campaign.failures]
     if campaign.comparable_benchmarks():
         payload["power_saving_vs_variable"] = \
             campaign.average_power_saving("variable-omega")

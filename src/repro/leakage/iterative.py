@@ -72,6 +72,8 @@ def lumped_fixed_point(
             f"Ambient must be in kelvin (> 0), got {ambient}")
 
     temperature = ambient
+    previous_change = float("inf")
+    growth_strikes = 0
     for iteration in range(1, max_iterations + 1):
         p_leak = leakage(temperature)
         if p_leak < 0.0:
@@ -83,12 +85,29 @@ def lumped_fixed_point(
                 f"Lumped fixed point exceeded {runaway_ceiling} K after "
                 f"{iteration} iterations",
                 max_temperature=updated)
-        if abs(updated - temperature) < tolerance:
+        change = abs(updated - temperature)
+        if change < tolerance:
             return LumpedLeakageResult(
                 temperature=updated,
                 leakage_power=leakage(updated),
                 iterations=iteration,
             )
+        # Early divergence detection: monotonically growing updates mean
+        # the leakage feedback gain d(P_leak)/dT / g exceeds unity — the
+        # runaway boundary of Section 6.2 — so bail out after three
+        # consecutive growth strikes instead of walking to the ceiling.
+        if change > previous_change * 1.0001:
+            growth_strikes += 1
+            if growth_strikes >= 3:
+                gain = change / previous_change
+                raise ThermalRunawayError(
+                    f"Lumped fixed point diverging after {iteration} "
+                    f"iterations (update {change:.3f} K growing with "
+                    f"feedback gain ~{gain:.4f} >= 1)",
+                    max_temperature=updated)
+        else:
+            growth_strikes = 0
+        previous_change = change
         temperature = updated
     raise ThermalRunawayError(
         f"Lumped fixed point did not converge within {max_iterations} "

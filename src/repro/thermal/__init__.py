@@ -11,7 +11,7 @@ relinearization loop and thermal-runaway detection.  A backward-Euler
 transient solver supports the controller studies.
 """
 
-from .network import ThermalNetwork, NodeKind
+from .network import ThermalNetwork, NodeKind, condition_estimate
 from .assembly import PackageThermalModel, build_package_model, \
     PackageModelConfig
 from .solver import SteadyStateResult, SolveStats, solve_steady_state
@@ -33,6 +33,7 @@ from .timeconstants import (
 __all__ = [
     "ThermalNetwork",
     "NodeKind",
+    "condition_estimate",
     "PackageThermalModel",
     "build_package_model",
     "PackageModelConfig",

@@ -20,14 +20,26 @@ factorization of ``static + diag(overlay)``.
 from __future__ import annotations
 
 import enum
+import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 from scipy.sparse import coo_matrix, csr_matrix, diags
-from scipy.sparse.linalg import spsolve
+from scipy.sparse.linalg import (
+    LinearOperator,
+    MatrixRankWarning,
+    onenormest,
+    splu,
+    spsolve,
+)
 
 from ..errors import ConfigurationError, SingularNetworkError
+
+#: Dimensionless solution-amplification limit above which a finite
+#: sparse solve is declared numerically degenerate (see
+#: :meth:`ThermalNetwork.solve`).  Physical packages stay below ~1e6.
+_DEGENERACY_GROWTH_LIMIT = 1.0e13
 
 
 class NodeKind(enum.Enum):
@@ -209,14 +221,52 @@ class ThermalNetwork:
 
         Raises :class:`SingularNetworkError` when the matrix is singular
         (typically a node with no path to ambient) or the solution is
-        non-finite.
+        non-finite.  The error chains the underlying linear-algebra
+        diagnostic and carries a condition-number estimate of the failed
+        system.
         """
         matrix, rhs_arr = self.system(diag_overlay, rhs)
-        with np.errstate(all="ignore"):
-            temps = spsolve(matrix.tocsc(), rhs_arr)
-        if not np.all(np.isfinite(temps)):
+        csc = matrix.tocsc()
+        try:
+            with np.errstate(all="ignore"), \
+                    warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                temps = spsolve(csc, rhs_arr)
+        except (ValueError, ArithmeticError, RuntimeError) as exc:
+            estimate = condition_estimate(csc)
             raise SingularNetworkError(
-                "Thermal system is singular or numerically degenerate")
+                f"Sparse steady-state solve failed ({exc}); 1-norm "
+                f"condition estimate {estimate:.3e}",
+                condition_estimate=estimate) from exc
+        if not np.all(np.isfinite(temps)):
+            # spsolve signals an exactly singular factor through a
+            # MatrixRankWarning plus a NaN solution rather than an
+            # exception; surface the warning as the chained cause.
+            cause = next(
+                (w.message for w in caught
+                 if isinstance(w.message, MatrixRankWarning)), None)
+            estimate = condition_estimate(csc)
+            raise SingularNetworkError(
+                "Thermal system is singular or numerically degenerate "
+                f"(1-norm condition estimate {estimate:.3e})",
+                condition_estimate=estimate) from cause
+        # A matrix singular to working precision often still factors
+        # (the pivots round to tiny nonzeros) and yields an absurdly
+        # amplified, finite solution rather than NaN.  The dimensionless
+        # growth ``||x|| ||A|| / ||b||`` lower-bounds cond_1(A); healthy
+        # thermal systems sit many orders of magnitude below the limit.
+        rhs_scale = float(np.abs(rhs_arr).max())
+        if rhs_scale > 0.0:
+            growth = (float(np.abs(temps).max())
+                      * float(abs(csc).sum(axis=0).max()) / rhs_scale)
+            if growth > _DEGENERACY_GROWTH_LIMIT:
+                estimate = condition_estimate(csc)
+                raise SingularNetworkError(
+                    "Thermal system is numerically degenerate: solution "
+                    f"amplification {growth:.3e} exceeds "
+                    f"{_DEGENERACY_GROWTH_LIMIT:.1e} (1-norm condition "
+                    f"estimate {estimate:.3e})",
+                    condition_estimate=estimate)
         return temps
 
     def _check_index(self, idx: int) -> None:
@@ -224,3 +274,30 @@ class ThermalNetwork:
             raise ConfigurationError(
                 f"Node index {idx} out of range "
                 f"(network has {len(self._infos)} nodes)")
+
+
+def condition_estimate(matrix: csr_matrix) -> float:
+    """Cheap 1-norm condition estimate ``||A||_1 * est(||A^-1||_1)``.
+
+    Used on the failure path only: one sparse LU factorization plus a
+    Hager-style norm estimate, orders of magnitude cheaper than a dense
+    condition number.  Returns ``inf`` when the factorization itself
+    fails (an exactly singular system).
+    """
+    csc = matrix.tocsc()
+    norm_a = float(onenormest(csc))
+    try:
+        with np.errstate(all="ignore"), warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            lu = splu(csc)
+            # onenormest needs the adjoint too; for a real matrix that
+            # is the transposed-system solve.
+            inverse = LinearOperator(
+                csc.shape, matvec=lu.solve,
+                rmatvec=lambda b: lu.solve(b, trans="T"))
+            norm_inv = float(onenormest(inverse))
+    except (RuntimeError, ValueError, ArithmeticError):
+        return float("inf")
+    if not np.isfinite(norm_inv):
+        return float("inf")
+    return norm_a * norm_inv

@@ -18,7 +18,11 @@ from typing import Optional, Union
 
 import numpy as np
 
-from ..errors import ConfigurationError, ThermalRunawayError
+from ..errors import (
+    ConfigurationError,
+    SingularNetworkError,
+    ThermalRunawayError,
+)
 from ..leakage import CellLeakageModel, tangent_linearization
 from .assembly import PackageThermalModel
 
@@ -113,7 +117,8 @@ def solve_steady_state(
     if leakage is None:
         diag, rhs = model.overlays(omega, current, dynamic_cell_power,
                                    zeros, zeros, sink_heat=sink_heat)
-        temps = model.network.solve(diag, rhs)
+        temps = _network_solve(model, diag, rhs, omega, current,
+                               iteration=1)
         _check_physical(model, temps, omega, current, iteration=1)
         return _package_result(model, temps, omega, current,
                                leakage_power=0.0,
@@ -137,7 +142,7 @@ def solve_steady_state(
             omega, current, dynamic_cell_power,
             leak_slope=taylor.a, leak_const=taylor.constant_term(),
             sink_heat=sink_heat)
-        temps = model.network.solve(diag, rhs)
+        temps = _network_solve(model, diag, rhs, omega, current, iteration)
         _check_physical(model, temps, omega, current, iteration)
         chip = model.chip_temperatures(temps)
         update = float(np.max(np.abs(chip - t_ref)))
@@ -165,6 +170,21 @@ def solve_steady_state(
         f"{config.leak_max_iterations} iterations at omega={omega:.1f}, "
         f"I={_fmt_current(current)}",
         max_temperature=float(np.max(t_ref)))
+
+
+def _network_solve(model: PackageThermalModel, diag: np.ndarray,
+                   rhs: np.ndarray, omega: float,
+                   current: Union[float, np.ndarray],
+                   iteration: int) -> np.ndarray:
+    """One network solve; re-raises singularities with operating-point
+    context (omega in rad/s, current in A) chained onto the original."""
+    try:
+        return model.network.solve(diag, rhs)
+    except SingularNetworkError as exc:
+        raise SingularNetworkError(
+            f"{exc} during steady-state solve at omega={omega:.1f}, "
+            f"I={_fmt_current(current)} (leakage iteration {iteration})",
+            condition_estimate=exc.condition_estimate) from exc
 
 
 def _fmt_current(current: Union[float, np.ndarray]) -> str:

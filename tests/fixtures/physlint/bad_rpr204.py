@@ -1,0 +1,38 @@
+"""Known-bad fixture for RPR204 (swallowed-exception)."""
+
+import logging
+
+from repro.errors import ReproError, SolverError, ThermalRunawayError
+
+logger = logging.getLogger(__name__)
+
+
+def swallow_with_pass(solver):
+    try:
+        return solver.solve()
+    except SolverError:  # BAD: silently dropped
+        pass
+
+
+def swallow_in_loop(grid_points, solver):
+    results = []
+    for point in grid_points:
+        try:
+            results.append(solver.solve(point))
+        except ThermalRunawayError:  # BAD: continue hides runaway
+            continue
+    return results
+
+
+def swallow_with_print(solver):
+    try:
+        return solver.solve()
+    except ReproError:  # BAD: print is not handling
+        print("solve failed")
+
+
+def swallow_with_log(solver):
+    try:
+        return solver.solve()
+    except SolverError:  # BAD: log-and-forget
+        logger.warning("solve failed")

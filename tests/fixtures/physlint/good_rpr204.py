@@ -1,0 +1,39 @@
+"""Known-good fixture for RPR204 (swallowed-exception)."""
+
+import logging
+
+from repro.errors import ReproError, SolverError
+
+logger = logging.getLogger(__name__)
+
+
+def degrade_explicitly(solver, fallback):
+    try:
+        return solver.solve()
+    except SolverError:
+        return fallback
+
+
+def record_failures(grid_points, solver):
+    results, failures = [], []
+    for point in grid_points:
+        try:
+            results.append(solver.solve(point))
+        except ReproError as exc:
+            failures.append(exc)
+    return results, failures
+
+
+def log_then_reraise(solver):
+    try:
+        return solver.solve()
+    except SolverError:
+        logger.error("solve failed")
+        raise
+
+
+def suppressed_on_purpose(solver):
+    try:
+        return solver.solve()
+    except SolverError:  # physlint: disable=RPR204
+        pass

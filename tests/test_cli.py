@@ -87,3 +87,92 @@ class TestSweepCommand:
         assert "temperature surface" in out
         assert "power surface" in out
         assert "***" in out  # the runaway row
+
+
+class TestExitCodes:
+    def test_codes_are_distinct_and_reserved(self):
+        from repro.cli import (
+            EXIT_CONFIG_ERROR,
+            EXIT_INFEASIBLE,
+            EXIT_SOLVER_FAILURE,
+        )
+        codes = {EXIT_INFEASIBLE, EXIT_SOLVER_FAILURE,
+                 EXIT_CONFIG_ERROR}
+        assert codes == {3, 4, 5}
+        # 0 = success, 1 = generic failure, 2 = argparse usage error.
+        assert not codes & {0, 1, 2}
+
+    def _patched_oftec(self, monkeypatch, error):
+        import repro.cli as cli
+
+        def boom(*args, **kwargs):
+            raise error
+
+        monkeypatch.setattr(cli, "run_oftec", boom)
+
+    def test_infeasible_maps_to_3(self, monkeypatch, capsys):
+        from repro.errors import InfeasibleProblemError
+        self._patched_oftec(monkeypatch,
+                            InfeasibleProblemError("too hot"))
+        code = main(["oftec", "--resolution", "4"])
+        assert code == 3
+        assert "infeasible" in capsys.readouterr().err
+
+    def test_solver_failure_maps_to_4(self, monkeypatch, capsys):
+        from repro.errors import SolverError
+        self._patched_oftec(monkeypatch, SolverError("broke down"))
+        code = main(["oftec", "--resolution", "4"])
+        assert code == 4
+        assert "solver failure" in capsys.readouterr().err
+
+    def test_solver_subclass_maps_to_4(self, monkeypatch, capsys):
+        from repro.errors import SingularNetworkError
+        self._patched_oftec(monkeypatch,
+                            SingularNetworkError("singular"))
+        code = main(["oftec", "--resolution", "4"])
+        assert code == 4
+        capsys.readouterr()
+
+    def test_config_error_maps_to_5(self, monkeypatch, capsys):
+        from repro.errors import ConfigurationError
+        self._patched_oftec(monkeypatch, ConfigurationError("bad"))
+        code = main(["oftec", "--resolution", "4"])
+        assert code == 5
+        assert "configuration error" in capsys.readouterr().err
+
+
+class TestChaosCommand:
+    def test_contained_run_exits_zero(self, capsys):
+        code = main(["chaos", "--resolution", "4", "--benchmarks", "2",
+                     "--seed", "3", "--rate", "0.05",
+                     "--max-fires", "4"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "chaos campaign PASSED" in out
+        assert "fault fires:" in out
+        assert "benchmarks completed:" in out
+
+    def test_selected_fault_kinds(self, capsys):
+        code = main(["chaos", "--resolution", "4", "--benchmarks", "1",
+                     "--faults", "solve-timeout,nan-power",
+                     "--rate", "0.02"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "solve-timeout" in out
+        assert "singular-network" not in out
+
+    def test_unknown_fault_kind_maps_to_5(self, capsys):
+        code = main(["chaos", "--faults", "cosmic-rays"])
+        assert code == 5
+        assert "unknown fault kind" in capsys.readouterr().err
+
+    def test_json_export(self, tmp_path, capsys):
+        path = tmp_path / "chaos.json"
+        code = main(["chaos", "--resolution", "4", "--benchmarks", "1",
+                     "--rate", "0.05", "--max-fires", "2",
+                     "--json", str(path)])
+        capsys.readouterr()
+        assert code == 0
+        payload = json.loads(path.read_text())
+        assert "benchmarks" in payload
+        assert "feasibility_counts" in payload

@@ -20,7 +20,8 @@ from repro.errors import ConfigurationError
 FIXTURES = Path(__file__).parent / "fixtures" / "physlint"
 SRC = Path(__file__).resolve().parents[1] / "src"
 
-ALL_CODES = ("RPR101", "RPR201", "RPR202", "RPR301", "RPR401")
+ALL_CODES = ("RPR101", "RPR201", "RPR202", "RPR204", "RPR301",
+             "RPR401")
 
 
 def codes_in(path):
@@ -43,6 +44,7 @@ class TestBadFixtures:
         ("rpr101", 7),
         ("rpr201", 5),
         ("rpr202", 2),
+        ("rpr204", 4),
         ("rpr301", 3),
         ("rpr401", 2),
     ])
@@ -58,7 +60,8 @@ class TestBadFixtures:
 
 class TestGoodFixtures:
     @pytest.mark.parametrize("name", [
-        "good_rpr101", "good_rpr201", "good_rpr301", "good_rpr401",
+        "good_rpr101", "good_rpr201", "good_rpr204", "good_rpr301",
+        "good_rpr401",
     ])
     def test_good_fixture_clean(self, name):
         assert codes_in(FIXTURES / f"{name}.py") == []
