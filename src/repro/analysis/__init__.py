@@ -34,7 +34,7 @@ from .verification import (
     verify_paper_shapes,
 )
 from .heatmap import render_delta_map, render_heatmap, \
-    render_unit_overlay
+    render_unit_overlay, temperature_fields
 from .runaway import (
     RunawayBoundary,
     find_runaway_boundary_omega,
@@ -68,6 +68,7 @@ __all__ = [
     "render_heatmap",
     "render_unit_overlay",
     "render_delta_map",
+    "temperature_fields",
     "RunawayBoundary",
     "find_runaway_boundary_omega",
     "format_runaway_boundaries",

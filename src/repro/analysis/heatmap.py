@@ -8,12 +8,18 @@ before/after comparisons (e.g. TEC off vs on).
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..errors import ConfigurationError
 from ..geometry import CellCoverage, Grid
+from ..leakage import CellLeakageModel
+from ..thermal import (
+    PackageThermalModel,
+    SteadyStateResult,
+    solve_steady_state_batch,
+)
 from ..units import kelvin_to_celsius
 
 #: Character ramp from coolest to hottest.
@@ -63,6 +69,27 @@ def render_heatmap(
             row_chars.append(_RAMP[index] * 2)  # 2:1 aspect correction
         lines.append("".join(row_chars))
     return "\n".join(lines)
+
+
+def temperature_fields(
+    model: PackageThermalModel,
+    points: Sequence[Tuple[float, float]],
+    dynamic_cell_power: np.ndarray,
+    leakage: Optional[CellLeakageModel] = None,
+) -> List[Optional[np.ndarray]]:
+    """Chip-temperature fields at many ``(omega, current)`` points.
+
+    The bulk producer for side-by-side heat maps (TEC off vs on, a fan
+    ladder, ...): all points are dispatched through the operator layer's
+    batched solve, so leakage-free comparisons sharing an operating
+    point factor once and back-substitute per map.  Entries are per-cell
+    chip temperatures in K, or ``None`` where the point ran away.
+    """
+    outcomes = solve_steady_state_batch(
+        model, points, dynamic_cell_power, leakage=leakage)
+    return [outcome.chip_temperatures
+            if isinstance(outcome, SteadyStateResult) else None
+            for outcome in outcomes]
 
 
 def render_unit_overlay(coverage: CellCoverage) -> str:

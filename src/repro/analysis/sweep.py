@@ -122,14 +122,16 @@ def sweep_objective_surfaces(
     temperature = np.full(shape, np.inf)
     power = np.full(shape, np.inf)
     feasible = np.zeros(shape, dtype=bool)
-    for i, omega in enumerate(omegas):
-        for j, current in enumerate(currents):
-            evaluation = evaluator.evaluate(float(omega), float(current))
-            if evaluation.runaway:
-                continue
-            temperature[i, j] = evaluation.max_chip_temperature
-            power[i, j] = evaluation.total_power
-            feasible[i, j] = evaluation.feasible
+    points = [(float(omega), float(current))
+              for omega in omegas for current in currents]
+    evaluations = evaluator.evaluate_many(points)
+    for flat, evaluation in enumerate(evaluations):
+        if evaluation.runaway:
+            continue
+        i, j = divmod(flat, currents.size)
+        temperature[i, j] = evaluation.max_chip_temperature
+        power[i, j] = evaluation.total_power
+        feasible[i, j] = evaluation.feasible
     return SurfaceSweep(
         omegas=omegas, currents=currents,
         temperature=temperature, power=power, feasible=feasible,

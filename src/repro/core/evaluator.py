@@ -10,8 +10,9 @@ cliff.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -20,7 +21,12 @@ from ..errors import (
     EvaluationBudgetError,
     ThermalRunawayError,
 )
-from ..thermal import SteadyStateResult, solve_steady_state
+from ..thermal import (
+    SolveContext,
+    SteadyStateResult,
+    solve_steady_state,
+    solve_steady_state_batch,
+)
 from .problem import CoolingProblem
 
 #: Additive power penalty (W) applied to runaway evaluations before the
@@ -29,6 +35,32 @@ RUNAWAY_POWER_PENALTY = 1.0e3
 
 #: Cap on the runaway temperature signal, K, to keep penalties bounded.
 RUNAWAY_SIGNAL_CAP = 5.0e3
+
+#: Default LRU cap on cached evaluations.  Chosen far above the distinct
+#: operating-point count of any real campaign (a few hundred), so the
+#: bound only engages on pathological workloads (long chaos soaks,
+#: unbounded online sweeps) where unbounded growth used to leak full
+#: temperature vectors.
+DEFAULT_CACHE_LIMIT = 4096
+
+
+@dataclass(frozen=True)
+class CacheInfo:
+    """Snapshot of the evaluation cache counters.
+
+    Attributes:
+        hits: Queries served from the cache.
+        misses: Queries that required a fresh solve.
+        evictions: Entries dropped by the LRU cap.
+        size: Entries currently cached.
+        limit: The configured cap.
+    """
+
+    hits: int
+    misses: int
+    evictions: int
+    size: int
+    limit: int
 
 
 @dataclass
@@ -76,15 +108,43 @@ class Evaluator:
     """
 
     def __init__(self, problem: CoolingProblem,
-                 cache_decimals: int = 9):
+                 cache_decimals: int = 9,
+                 cache_limit: int = DEFAULT_CACHE_LIMIT):
+        if cache_limit < 1:
+            raise ConfigurationError(
+                f"cache_limit must be >= 1, got {cache_limit}")
         self.problem = problem
-        self._cache: Dict[Tuple[float, float], Evaluation] = {}
+        self._cache: "OrderedDict[Tuple[float, float], Evaluation]" = \
+            OrderedDict()
         self._cache_decimals = cache_decimals
-        self._warm_chip: Optional[np.ndarray] = None
+        self._cache_limit = int(cache_limit)
+        self._cache_hits = 0
+        self._cache_misses = 0
+        self._cache_evictions = 0
+        self._context = SolveContext.for_model(problem.model)
         self.call_count = 0
         self.solve_count = 0
         self._solve_budget: Optional[int] = None
         self._budget_used = 0
+
+    @property
+    def cache_limit(self) -> int:
+        """LRU cap on cached evaluations."""
+        return self._cache_limit
+
+    @property
+    def context(self) -> SolveContext:
+        """The solve context carrying the warm linearization point."""
+        return self._context
+
+    def cache_info(self) -> CacheInfo:
+        """Hit/miss/eviction counters and current size of the cache."""
+        return CacheInfo(
+            hits=self._cache_hits,
+            misses=self._cache_misses,
+            evictions=self._cache_evictions,
+            size=len(self._cache),
+            limit=self._cache_limit)
 
     def set_solve_budget(self, budget: Optional[int]) -> None:
         """Cap the number of *fresh* thermal solves until the next call.
@@ -117,10 +177,96 @@ class Evaluator:
                round(current, self._cache_decimals))
         hit = self._cache.get(key)
         if hit is not None:
+            self._cache.move_to_end(key)
+            self._cache_hits += 1
             return hit
+        self._cache_misses += 1
         result = self._guard_finite(self._solve(omega, current))
-        self._cache[key] = result
+        self._store(key, result)
         return result
+
+    def evaluate_many(self, points: Sequence[Tuple[float, float]],
+                      ) -> List[Evaluation]:
+        """Evaluate a sequence of ``(omega, current)`` points in order.
+
+        Semantically identical to calling :meth:`evaluate` per point
+        (same caching, warm-start chaining, budget accounting, and
+        penalty mapping).  On leakage-free problems the uncached points
+        are dispatched through the operator layer's batched solve, which
+        groups points sharing a system matrix and back-substitutes their
+        RHS columns through one factorization.
+        """
+        if not self._batchable():
+            return [self.evaluate(omega, current)
+                    for omega, current in points]
+        evaluations: List[Optional[Evaluation]] = [None] * len(points)
+        fresh_keys: "OrderedDict[Tuple[float, float], List[int]]" = \
+            OrderedDict()
+        clamped: List[Tuple[float, float]] = []
+        for index, (omega, current) in enumerate(points):
+            self.call_count += 1
+            omega, current = self.clamp(omega, current)
+            clamped.append((omega, current))
+            key = (round(omega, self._cache_decimals),
+                   round(current, self._cache_decimals))
+            hit = self._cache.get(key)
+            if hit is not None:
+                self._cache.move_to_end(key)
+                self._cache_hits += 1
+                evaluations[index] = hit
+            else:
+                fresh_keys.setdefault(key, []).append(index)
+        if fresh_keys:
+            solve_points = []
+            sink_heats = []
+            fan_powers = []
+            for key, members in fresh_keys.items():
+                omega, current = clamped[members[0]]
+                fan_power = self.problem.fan.power(omega)
+                solve_points.append((omega, current))
+                fan_powers.append(fan_power)
+                sink_heats.append(
+                    self.problem.fan_heat_fraction * fan_power)
+            self._cache_misses += len(fresh_keys)
+            self.solve_count += len(fresh_keys)
+            batch = solve_steady_state_batch(
+                self.problem.model, solve_points,
+                self.problem.dynamic_cell_power, leakage=None,
+                sink_heats=sink_heats, context=self._context)
+            for slot, (key, members) in enumerate(fresh_keys.items()):
+                omega, current = solve_points[slot]
+                outcome = batch[slot]
+                if isinstance(outcome, ThermalRunawayError):
+                    evaluation = self._runaway_evaluation(
+                        omega, current, fan_powers[slot], outcome)
+                else:
+                    evaluation = self._evaluation_from_steady(
+                        omega, current, fan_powers[slot], outcome)
+                evaluation = self._guard_finite(evaluation)
+                self._store(key, evaluation)
+                # Points beyond the first at the same key would have hit
+                # the cache under sequential evaluation.
+                self._cache_hits += len(members) - 1
+                for index in members:
+                    evaluations[index] = evaluation
+        return [e for e in evaluations if e is not None]
+
+    def _batchable(self) -> bool:
+        """Whether the batched fast path preserves this instance's
+        semantics: base-class solve behavior (subclasses such as the
+        fault injectors override ``_solve`` and must keep intercepting
+        every fresh solve), no leakage loop, and no active solve budget
+        (the batch entry has no per-solve circuit breaker)."""
+        return (type(self)._solve is Evaluator._solve
+                and self.problem.leakage is None
+                and self._solve_budget is None)
+
+    def _store(self, key: Tuple[float, float],
+               result: Evaluation) -> None:
+        self._cache[key] = result
+        if len(self._cache) > self._cache_limit:
+            self._cache.popitem(last=False)
+            self._cache_evictions += 1
 
     def _guard_finite(self, evaluation: Evaluation) -> Evaluation:
         """NaN/Inf guard: corrupt objective values (a NaN power entry,
@@ -182,12 +328,18 @@ class Evaluator:
             steady = solve_steady_state(
                 problem.model, omega, current,
                 problem.dynamic_cell_power, problem.leakage,
-                initial_guess=self._warm_chip,
-                sink_heat=problem.fan_heat_fraction * fan_power)
+                sink_heat=problem.fan_heat_fraction * fan_power,
+                context=self._context)
         except ThermalRunawayError as err:
             return self._runaway_evaluation(omega, current, fan_power,
                                             err)
-        self._warm_chip = steady.chip_temperatures
+        return self._evaluation_from_steady(omega, current, fan_power,
+                                            steady)
+
+    def _evaluation_from_steady(self, omega: float, current: float,
+                                fan_power: float,
+                                steady: SteadyStateResult) -> Evaluation:
+        """Package a successful steady-state solve as an evaluation."""
         total = steady.leakage_power + steady.tec_power + fan_power
         return Evaluation(
             omega=omega, current=current,
@@ -196,7 +348,8 @@ class Evaluator:
             leakage_power=steady.leakage_power,
             tec_power=steady.tec_power,
             fan_power=fan_power,
-            feasible=steady.max_chip_temperature < problem.limits.t_max,
+            feasible=steady.max_chip_temperature
+            < self.problem.limits.t_max,
             runaway=False,
             steady=steady)
 
@@ -219,6 +372,7 @@ class Evaluator:
                 - self.evaluate(omega, current).max_chip_temperature)
 
     def clear_cache(self) -> None:
-        """Drop cached evaluations (e.g. after mutating the problem)."""
+        """Drop cached evaluations and the warm linearization point
+        (e.g. after mutating the problem)."""
         self._cache.clear()
-        self._warm_chip = None
+        self._context.reset()

@@ -17,6 +17,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from ..errors import ConfigurationError
+from .evaluator import Evaluation, Evaluator
 from .oftec import OFTECResult, run_oftec
 from .problem import CoolingProblem
 
@@ -118,6 +119,27 @@ class LookupTableController:
                 "lookup table has no entries; add_entry() or "
                 "precompute() must run first")
         return best_entry.omega, best_entry.current, best_entry
+
+    def screen_entries(self, problem: CoolingProblem,
+                       evaluator: Optional[Evaluator] = None,
+                       ) -> List[Evaluation]:
+        """Evaluate every stored operating point against ``problem``.
+
+        Answers "what would each table row actually do on this
+        workload?" — the validation pass that catches stale rows after
+        a power-model change.  All rows go through
+        :meth:`Evaluator.evaluate_many`, so they share the model's
+        build-once operator (and, on leakage-free problems, batch into
+        grouped multi-RHS solves).  Returns one
+        :class:`~repro.core.evaluator.Evaluation` per entry, in table
+        order.
+        """
+        if not self._entries:
+            raise ConfigurationError("Lookup table is empty")
+        evaluator = evaluator or Evaluator(problem)
+        points = [(entry.omega, entry.current)
+                  for entry in self._entries]
+        return evaluator.evaluate_many(points)
 
 
 def _safe_normalize(vector: np.ndarray) -> np.ndarray:

@@ -23,8 +23,6 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
-from scipy.sparse import diags
-from scipy.sparse.linalg import splu
 
 from ..errors import ConfigurationError
 from ..leakage import tangent_linearization
@@ -137,7 +135,6 @@ def run_online_controller(
     network = model.network
     capacities = network.heat_capacities()
     c_over_dt = capacities / dt
-    static = network.static_matrix
     limits = problem.limits
 
     n = network.node_count
@@ -198,8 +195,10 @@ def run_online_controller(
             omega, current, cell_power_at(t), taylor.a,
             taylor.constant_term(),
             sink_heat=problem.fan_heat_fraction * fan_power)
-        matrix = (static + diags(diag + c_over_dt)).tocsc()
-        temps = splu(matrix).solve(rhs + c_over_dt * temps)
+        # Backward-Euler step through the network's build-once
+        # operator; steady control phases reuse cached factorizations.
+        temps = network.solve(diag + c_over_dt,
+                              rhs + c_over_dt * temps)
 
         chip = model.chip_temperatures(temps)
         hottest = float(chip.max())

@@ -124,6 +124,9 @@ class AttemptRecord:
             else None.
         message: Backend status message or exception text.
         evaluations: Thermal solves this attempt consumed.
+        factorizations: Sparse LU factorizations this attempt consumed
+            (strictly less than ``evaluations`` when the operator
+            layer's factor cache is pulling its weight).
     """
 
     method: str
@@ -132,6 +135,7 @@ class AttemptRecord:
     error_type: Optional[str]
     message: str
     evaluations: int
+    factorizations: int = 0
 
 
 @dataclass
@@ -279,10 +283,12 @@ class ResilientSolver:
         best: Optional[OptimizationOutcome] = None
         last_error: Optional[SolverError] = None
         point = (float(x0[0]), float(x0[1]))
+        operator = self.evaluator.context.operator
         for method in policy.ladder:
             for retry in range(policy.retries_per_method + 1):
                 start = point if retry == 0 else self._perturb(point)
                 solves_before = self.evaluator.solve_count
+                factor_before = operator.stats.factorizations
                 self.evaluator.set_solve_budget(policy.max_evaluations)
                 try:
                     outcome = runner(method, start)
@@ -293,7 +299,9 @@ class ResilientSolver:
                         error_type=type(exc).__name__,
                         message=str(exc),
                         evaluations=(self.evaluator.solve_count
-                                     - solves_before)))
+                                     - solves_before),
+                        factorizations=(operator.stats.factorizations
+                                        - factor_before)))
                     continue
                 finally:
                     self.evaluator.set_solve_budget(None)
@@ -301,7 +309,9 @@ class ResilientSolver:
                     method=method, retry=retry,
                     success=bool(outcome.success), error_type=None,
                     message=outcome.message,
-                    evaluations=outcome.evaluations))
+                    evaluations=outcome.evaluations,
+                    factorizations=(operator.stats.factorizations
+                                    - factor_before)))
                 best = self._better(best, outcome, prefer)
                 if outcome.success:
                     return ResilientOutcome(best, attempts, None)

@@ -204,7 +204,8 @@ def minimize_temperature(
         if method == "grid":
             x_best, success, message = _grid_then_polish(
                 norm, objective, constraint=None,
-                max_iterations=max_iterations)
+                max_iterations=max_iterations,
+                prefetch=early_stop_below is None)
         else:
             x_best, success, message = _run_backend(
                 norm, objective, x0_n, method,
@@ -285,9 +286,17 @@ def _grid_then_polish(
     objective: Callable[[np.ndarray], float],
     constraint: Optional[Callable[[np.ndarray], float]],
     max_iterations: int,
+    prefetch: bool = True,
 ) -> Tuple[np.ndarray, bool, str]:
     """Coarse grid scan, then SLSQP from the best grid point."""
     candidates = _grid_candidates(norm.dimensions)
+    if prefetch:
+        # Warm the evaluator cache through the batched entry point (one
+        # grouped solve per distinct system matrix); the scan below then
+        # reads cached evaluations.  Skipped when the objective can
+        # early-stop, where the scan must not probe past the stop point.
+        norm.evaluator.evaluate_many(
+            [norm.to_physical(x) for x in candidates])
     best_x = None
     best_val = np.inf
     for x in candidates:

@@ -19,8 +19,6 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 import numpy as np
-from scipy.sparse import diags
-from scipy.sparse.linalg import splu
 
 from ..errors import ConfigurationError
 from ..leakage import tangent_linearization
@@ -78,7 +76,6 @@ def _run_switched_controller(
     network = model.network
     capacities = network.heat_capacities()
     c_over_dt = capacities / dt
-    static = network.static_matrix
     fan_heat = problem.fan_heat_fraction * problem.fan.power(omega)
 
     n = network.node_count
@@ -119,8 +116,10 @@ def _run_switched_controller(
         diag, rhs = model.overlays(
             omega, current, problem.dynamic_cell_power,
             taylor.a, taylor.constant_term(), sink_heat=fan_heat)
-        matrix = (static + diags(diag + c_over_dt)).tocsc()
-        temps = splu(matrix).solve(rhs + c_over_dt * temps)
+        # Backward-Euler step through the network's build-once
+        # operator; steady control phases reuse cached factorizations.
+        temps = network.solve(diag + c_over_dt,
+                              rhs + c_over_dt * temps)
 
         times.append(t_now)
         trace_t.append(float(model.chip_temperatures(temps).max()))

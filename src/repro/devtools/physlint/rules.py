@@ -16,6 +16,9 @@ Code        Name                Convention guarded
                                 logged.
 ``RPR301``  dense-solve         Grid-sized systems go through the sparse
                                 path in ``thermal/network.py``.
+``RPR302``  solver-in-loop      Factorizations and format conversions are
+                                hoisted out of loops; the operator layer in
+                                ``thermal/operator.py`` caches them.
 ``RPR401``  docstring-units     Public functions taking physical quantities
                                 state their units.
 ==========  ==================  ==============================================
@@ -390,6 +393,89 @@ class DenseSolveRule(Rule):
                     f"importing dense {names} from "
                     f"{node.module}; grid-sized systems must use the "
                     "sparse path (ThermalNetwork.solve)"))
+        self.generic_visit(node)
+
+
+# ---------------------------------------------------------------------------
+# RPR302 — solver-in-loop
+# ---------------------------------------------------------------------------
+
+#: Function names whose call performs (or prepares) a fresh sparse
+#: factorization; calling one per loop iteration discards the work the
+#: operator layer exists to cache.
+_FACTOR_CALLS = frozenset({"factorized", "splu", "spsolve"})
+
+#: Sparse-format conversion methods; in a loop they rebuild index
+#: arrays that the precomputed diagonal map makes unnecessary.
+_CONVERSION_METHODS = frozenset({"tocsc", "tocsr"})
+
+
+@rule
+class SolverInLoopRule(Rule):
+    """Factorizations and format conversions do not belong in loops."""
+
+    code = "RPR302"
+    name = "solver-in-loop"
+    rationale = (
+        "spsolve/splu inside a for/while loop refactorizes a matrix "
+        "with the same sparsity pattern every iteration, and .tocsc()/"
+        ".tocsr() rebuilds its index arrays; both throw away work that "
+        "ThermalOperator caches.  Route repeated solves through "
+        "ThermalNetwork.solve / solve_many (repro.thermal), which "
+        "update the factorized system in place.")
+
+    def __init__(self, context: LintContext) -> None:
+        super().__init__(context)
+        self._loop_depth = 0
+
+    def visit_For(self, node: ast.For) -> None:
+        self._visit_loop(node)
+
+    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
+        self._visit_loop(node)
+
+    def visit_While(self, node: ast.While) -> None:
+        self._visit_loop(node)
+
+    def _visit_loop(self, node: ast.AST) -> None:
+        self._loop_depth += 1
+        self.generic_visit(node)
+        self._loop_depth -= 1
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_scope(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_scope(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._visit_scope(node)
+
+    def _visit_scope(self, node: ast.AST) -> None:
+        # A def nested in a loop body runs when *called*, not once per
+        # iteration, so the loop context does not carry into it.
+        saved = self._loop_depth
+        self._loop_depth = 0
+        self.generic_visit(node)
+        self._loop_depth = saved
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self._loop_depth > 0:
+            dotted = _dotted_name(node.func)
+            tail = dotted.split(".")[-1] if dotted else None
+            if tail in _FACTOR_CALLS:
+                self.emit(node, (
+                    f"`{tail}` inside a loop refactorizes the system "
+                    "every iteration; factor once before the loop or "
+                    "route through ThermalNetwork.solve/solve_many, "
+                    "which cache factorizations (repro.thermal)"))
+            elif isinstance(node.func, ast.Attribute) \
+                    and node.func.attr in _CONVERSION_METHODS:
+                self.emit(node, (
+                    f"`.{node.func.attr}()` inside a loop rebuilds "
+                    "sparse index arrays every iteration; convert once "
+                    "before the loop or use the operator layer's "
+                    "in-place diagonal update (repro.thermal)"))
         self.generic_visit(node)
 
 

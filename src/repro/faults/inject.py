@@ -20,7 +20,7 @@ call pattern = same fault sequence.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Dict
+from typing import Dict, Optional
 
 import numpy as np
 
@@ -144,16 +144,40 @@ class FaultyNetwork:
                  injector: FaultInjector):
         self._network = network
         self._injector = injector
+        self._static_row_sums: Optional[np.ndarray] = None
 
     def __getattr__(self, name: str):
         return getattr(self._network, name)
+
+    def _row_sums(self, overlay: np.ndarray) -> np.ndarray:
+        """Row sums of ``static + diag(overlay)`` without assembling the
+        matrix: the static share is computed once and cached (the
+        network is immutable after finalization), the overlay lands on
+        the diagonal so it adds straight onto its row."""
+        if self._static_row_sums is None:
+            self._static_row_sums = np.asarray(
+                self._network.static_matrix.sum(axis=1),
+                dtype=float).ravel()
+        return self._static_row_sums + overlay
 
     def solve(self, diag_overlay: np.ndarray,
               rhs: np.ndarray) -> np.ndarray:
         """Solve the (possibly sabotaged) steady-state system."""
         if self._injector.should_fire(FaultKind.SINGULAR_NETWORK):
             overlay = np.asarray(diag_overlay, dtype=float)
-            matrix, _ = self._network.system(overlay, rhs)
-            row_sums = np.asarray(matrix.sum(axis=1)).ravel()
-            return self._network.solve(overlay - row_sums, rhs)
+            return self._network.solve(
+                overlay - self._row_sums(overlay), rhs)
         return self._network.solve(diag_overlay, rhs)
+
+    def solve_many(self, diag_overlay: np.ndarray,
+                   rhs_columns: np.ndarray) -> np.ndarray:
+        """Batched counterpart of :meth:`solve` on the same fault seam.
+
+        One firing decision covers the whole block — a batched solve is
+        one factorization, which is the unit the fault models.
+        """
+        if self._injector.should_fire(FaultKind.SINGULAR_NETWORK):
+            overlay = np.asarray(diag_overlay, dtype=float)
+            return self._network.solve_many(
+                overlay - self._row_sums(overlay), rhs_columns)
+        return self._network.solve_many(diag_overlay, rhs_columns)

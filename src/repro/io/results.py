@@ -98,6 +98,7 @@ def attempt_to_dict(attempt: AttemptRecord) -> dict:
         "error_type": attempt.error_type,
         "message": attempt.message,
         "evaluations": attempt.evaluations,
+        "factorizations": attempt.factorizations,
     }
 
 

@@ -12,9 +12,16 @@ transient solver supports the controller studies.
 """
 
 from .network import ThermalNetwork, NodeKind, condition_estimate
+from .operator import Factorization, OperatorStats, ThermalOperator
 from .assembly import PackageThermalModel, build_package_model, \
     PackageModelConfig
-from .solver import SteadyStateResult, SolveStats, solve_steady_state
+from .solver import (
+    SolveContext,
+    SolveStats,
+    SteadyStateResult,
+    solve_steady_state,
+    solve_steady_state_batch,
+)
 from .transient import TransientResult, simulate_transient
 from .validation import (
     StackProfile,
@@ -34,12 +41,17 @@ __all__ = [
     "ThermalNetwork",
     "NodeKind",
     "condition_estimate",
+    "Factorization",
+    "OperatorStats",
+    "ThermalOperator",
     "PackageThermalModel",
     "build_package_model",
     "PackageModelConfig",
+    "SolveContext",
     "SteadyStateResult",
     "SolveStats",
     "solve_steady_state",
+    "solve_steady_state_batch",
     "TransientResult",
     "simulate_transient",
     "StackProfile",

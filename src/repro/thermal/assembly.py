@@ -421,6 +421,29 @@ class PackageThermalModel:
                 self.tec_array.coverage_mask)
         else:
             self._covered_cells = np.empty(0, dtype=int)
+        # Structure-side precomputation for overlays(): the sink node
+        # indices are unique, so fancy-index adds replace np.add.at;
+        # the static ambient RHS never changes; the covered-cell TEC
+        # node/coefficient gathers are hoisted out of the per-solve path.
+        n = self.network.node_count
+        self._diag_buf = np.zeros(n, dtype=float)
+        self._rhs_buf = np.zeros(n, dtype=float)
+        self._static_amb_rhs = self._static_amb_g * self.config.ambient
+        cov = self._covered_cells
+        if self.tec_array is not None and cov.size:
+            self._cov_abs_nodes = self.tec_abs_nodes[cov]
+            self._cov_rej_nodes = self.tec_rej_nodes[cov]
+            self._cov_gen_nodes = self.tec_gen_nodes[cov]
+            self._cov_seebeck = self.tec_array.cell_seebeck[cov]
+            self._cov_resistance = self.tec_array.cell_resistance[cov]
+        else:
+            empty_i = np.empty(0, dtype=int)
+            empty_f = np.empty(0, dtype=float)
+            self._cov_abs_nodes = empty_i
+            self._cov_rej_nodes = empty_i
+            self._cov_gen_nodes = empty_i
+            self._cov_seebeck = empty_f
+            self._cov_resistance = empty_f
 
     # -- per-evaluation overlays --------------------------------------
 
@@ -454,8 +477,11 @@ class PackageThermalModel:
         on the rejection node subtracts it.  Leakage slope ``a`` subtracts
         from chip diagonals.  All temperature-independent injections land
         on the RHS.
+
+        Returns views of preallocated per-model buffers: the arrays are
+        overwritten by the next :meth:`overlays` call on this model, so
+        callers that retain them past the following solve must copy.
         """
-        n = self.network.node_count
         ncell = self.grid.cell_count
         dyn = np.asarray(dynamic_cell_power, dtype=float)
         slope = np.asarray(leak_slope, dtype=float)
@@ -477,38 +503,39 @@ class PackageThermalModel:
         else:
             cell_current = self.tec_array.cell_current(current)
 
-        diag = np.zeros(n, dtype=float)
-        rhs = np.zeros(n, dtype=float)
+        diag = self._diag_buf
+        rhs = self._rhs_buf
+        diag.fill(0.0)
+        rhs.fill(0.0)
         ambient = self.config.ambient
 
-        # Fan-dependent sink-to-ambient coupling.
+        # omega-dependent sink-to-ambient coupling (the sink node index
+        # array is duplicate-free, so += is the scatter-add).
         g_total = self.sink_conductance.conductance(omega)
         g_nodes = g_total * self._sink_amb_weights
-        np.add.at(diag, self._sink_amb_nodes, g_nodes)
-        np.add.at(rhs, self._sink_amb_nodes, g_nodes * ambient)
+        diag[self._sink_amb_nodes] += g_nodes
+        rhs[self._sink_amb_nodes] += g_nodes * ambient
         if sink_heat < 0.0:
             raise ConfigurationError(
                 f"sink_heat must be >= 0, got {sink_heat}")
         if sink_heat > 0.0:
-            np.add.at(rhs, self._sink_amb_nodes,
-                      sink_heat * self._sink_amb_weights)
+            rhs[self._sink_amb_nodes] += sink_heat * self._sink_amb_weights
 
         # Static (board) ambient path: diagonal already in the base matrix.
-        rhs += self._static_amb_g * ambient
+        rhs += self._static_amb_rhs
 
         # Chip power: dynamic + linearized leakage.
         rhs[self.chip_nodes] += dyn + const
         diag[self.chip_nodes] -= slope
 
-        # TEC terms.
-        if cell_current is not None and self._covered_cells.size:
-            cov = self._covered_cells
-            alpha = self.tec_array.cell_seebeck[cov]
-            resistance = self.tec_array.cell_resistance[cov]
-            cov_current = cell_current[cov]
-            diag[self.tec_abs_nodes[cov]] += alpha * cov_current
-            diag[self.tec_rej_nodes[cov]] -= alpha * cov_current
-            rhs[self.tec_gen_nodes[cov]] += resistance * cov_current ** 2
+        # I-dependent TEC terms through the cached covered-node gathers.
+        if cell_current is not None and self._cov_abs_nodes.size:
+            cov_current = cell_current[self._covered_cells]
+            peltier = self._cov_seebeck * cov_current
+            diag[self._cov_abs_nodes] += peltier
+            diag[self._cov_rej_nodes] -= peltier
+            rhs[self._cov_gen_nodes] += \
+                self._cov_resistance * cov_current ** 2
         return diag, rhs
 
     # -- convenient extracts ------------------------------------------

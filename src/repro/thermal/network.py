@@ -13,33 +13,36 @@ written in matrix form ``G T = P``.  The network splits into
   and right-hand-side injections (dynamic power, Joule heat, leakage
   constants, ambient sources),
 
-so that one ``(omega, I_TEC)`` evaluation costs a single sparse
-factorization of ``static + diag(overlay)``.
+so that one ``(omega, I_TEC)`` evaluation costs at most a single sparse
+factorization of ``static + diag(overlay)`` — and often none at all:
+solving is delegated to a lazily built
+:class:`~repro.thermal.operator.ThermalOperator`, which applies overlays
+in place through a precomputed diagonal index map and reuses cached
+``splu`` factorizations across solves at the same operating point.
 """
 
 from __future__ import annotations
 
 import enum
-import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 from scipy.sparse import coo_matrix, csr_matrix, diags
-from scipy.sparse.linalg import (
-    LinearOperator,
-    MatrixRankWarning,
-    onenormest,
-    splu,
-    spsolve,
+
+from ..errors import ConfigurationError
+from .operator import (
+    _DEGENERACY_GROWTH_LIMIT,
+    ThermalOperator,
+    condition_estimate,
 )
 
-from ..errors import ConfigurationError, SingularNetworkError
-
-#: Dimensionless solution-amplification limit above which a finite
-#: sparse solve is declared numerically degenerate (see
-#: :meth:`ThermalNetwork.solve`).  Physical packages stay below ~1e6.
-_DEGENERACY_GROWTH_LIMIT = 1.0e13
+__all__ = [
+    "NodeInfo",
+    "NodeKind",
+    "ThermalNetwork",
+    "condition_estimate",
+]
 
 
 class NodeKind(enum.Enum):
@@ -90,6 +93,7 @@ class ThermalNetwork:
         self._cols: List[int] = []
         self._vals: List[float] = []
         self._static: Optional[csr_matrix] = None
+        self._operator: Optional[ThermalOperator] = None
 
     # -- phase 1: construction ------------------------------------------------
 
@@ -201,9 +205,78 @@ class ThermalNetwork:
 
     # -- phase 2: solving -----------------------------------------------------
 
+    @property
+    def operator(self) -> ThermalOperator:
+        """The build-once/update-many solve engine (lazily constructed).
+
+        One operator per finalized network: it owns the precomputed CSC
+        structure, the diagonal index map, and the LRU of cached
+        factorizations.  All :meth:`solve`/:meth:`solve_many` calls route
+        through it, so factor reuse accumulates across every consumer of
+        this network.
+        """
+        if self._static is None:
+            raise ConfigurationError("Network not finalized")
+        if self._operator is None:
+            self._operator = ThermalOperator(self._static)
+        return self._operator
+
+    def configure_operator(self, factor_capacity: int,
+                           overlay_quantum: float = 0.0) -> ThermalOperator:
+        """Replace the operator with one using the given cache settings.
+
+        ``overlay_quantum > 0`` trades bit-exactness for extra factor
+        reuse (see :mod:`repro.thermal.operator`); the default of 0 keys
+        the cache on exact overlay bytes.
+        """
+        if self._static is None:
+            raise ConfigurationError("Network not finalized")
+        self._operator = ThermalOperator(
+            self._static, factor_capacity=factor_capacity,
+            overlay_quantum=overlay_quantum)
+        return self._operator
+
     def system(self, diag_overlay: np.ndarray, rhs: np.ndarray,
                ) -> Tuple[csr_matrix, np.ndarray]:
-        """Assemble ``(static + diag(overlay), rhs)`` for one evaluation."""
+        """Assemble ``(static + diag(overlay), rhs)`` for one evaluation.
+
+        This materializes a fresh matrix — diagnostics and fault
+        injection use it; the hot solve paths go through
+        :attr:`operator` instead.
+        """
+        if self._static is None:
+            raise ConfigurationError("Network not finalized")
+        overlay, rhs_arr = self._checked_overlays(diag_overlay, rhs)
+        matrix = self._static + diags(overlay, format="csr")
+        return matrix, rhs_arr
+
+    def solve(self, diag_overlay: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+        """Solve one linear system ``(static + diag) T = rhs``.
+
+        Raises :class:`~repro.errors.SingularNetworkError` when the
+        matrix is singular (typically a node with no path to ambient) or
+        the solution is non-finite.  The error chains the underlying
+        linear-algebra diagnostic and carries a condition-number estimate
+        of the failed system.
+        """
+        overlay, rhs_arr = self._checked_overlays(diag_overlay, rhs)
+        return self.operator.solve(overlay, rhs_arr)
+
+    def solve_many(self, diag_overlay: np.ndarray,
+                   rhs_columns: np.ndarray) -> np.ndarray:
+        """Solve one matrix against an ``(n, k)`` block of RHS columns.
+
+        Factorizes (or reuses a cached factor) once and back-substitutes
+        every column; returns the ``(n, k)`` temperature block.  Same
+        failure semantics as :meth:`solve`.
+        """
+        if self._static is None:
+            raise ConfigurationError("Network not finalized")
+        return self.operator.solve_many(diag_overlay, rhs_columns)
+
+    def _checked_overlays(self, diag_overlay: np.ndarray,
+                          rhs: np.ndarray,
+                          ) -> Tuple[np.ndarray, np.ndarray]:
         if self._static is None:
             raise ConfigurationError("Network not finalized")
         n = self.node_count
@@ -213,91 +286,10 @@ class ThermalNetwork:
             raise ConfigurationError(
                 f"Overlay/RHS must have shape ({n},), got "
                 f"{overlay.shape} and {rhs_arr.shape}")
-        matrix = self._static + diags(overlay, format="csr")
-        return matrix, rhs_arr
-
-    def solve(self, diag_overlay: np.ndarray, rhs: np.ndarray) -> np.ndarray:
-        """Solve one linear system ``(static + diag) T = rhs``.
-
-        Raises :class:`SingularNetworkError` when the matrix is singular
-        (typically a node with no path to ambient) or the solution is
-        non-finite.  The error chains the underlying linear-algebra
-        diagnostic and carries a condition-number estimate of the failed
-        system.
-        """
-        matrix, rhs_arr = self.system(diag_overlay, rhs)
-        csc = matrix.tocsc()
-        try:
-            with np.errstate(all="ignore"), \
-                    warnings.catch_warnings(record=True) as caught:
-                warnings.simplefilter("always")
-                temps = spsolve(csc, rhs_arr)
-        except (ValueError, ArithmeticError, RuntimeError) as exc:
-            estimate = condition_estimate(csc)
-            raise SingularNetworkError(
-                f"Sparse steady-state solve failed ({exc}); 1-norm "
-                f"condition estimate {estimate:.3e}",
-                condition_estimate=estimate) from exc
-        if not np.all(np.isfinite(temps)):
-            # spsolve signals an exactly singular factor through a
-            # MatrixRankWarning plus a NaN solution rather than an
-            # exception; surface the warning as the chained cause.
-            cause = next(
-                (w.message for w in caught
-                 if isinstance(w.message, MatrixRankWarning)), None)
-            estimate = condition_estimate(csc)
-            raise SingularNetworkError(
-                "Thermal system is singular or numerically degenerate "
-                f"(1-norm condition estimate {estimate:.3e})",
-                condition_estimate=estimate) from cause
-        # A matrix singular to working precision often still factors
-        # (the pivots round to tiny nonzeros) and yields an absurdly
-        # amplified, finite solution rather than NaN.  The dimensionless
-        # growth ``||x|| ||A|| / ||b||`` lower-bounds cond_1(A); healthy
-        # thermal systems sit many orders of magnitude below the limit.
-        rhs_scale = float(np.abs(rhs_arr).max())
-        if rhs_scale > 0.0:
-            growth = (float(np.abs(temps).max())
-                      * float(abs(csc).sum(axis=0).max()) / rhs_scale)
-            if growth > _DEGENERACY_GROWTH_LIMIT:
-                estimate = condition_estimate(csc)
-                raise SingularNetworkError(
-                    "Thermal system is numerically degenerate: solution "
-                    f"amplification {growth:.3e} exceeds "
-                    f"{_DEGENERACY_GROWTH_LIMIT:.1e} (1-norm condition "
-                    f"estimate {estimate:.3e})",
-                    condition_estimate=estimate)
-        return temps
+        return overlay, rhs_arr
 
     def _check_index(self, idx: int) -> None:
         if not (0 <= idx < len(self._infos)):
             raise ConfigurationError(
                 f"Node index {idx} out of range "
                 f"(network has {len(self._infos)} nodes)")
-
-
-def condition_estimate(matrix: csr_matrix) -> float:
-    """Cheap 1-norm condition estimate ``||A||_1 * est(||A^-1||_1)``.
-
-    Used on the failure path only: one sparse LU factorization plus a
-    Hager-style norm estimate, orders of magnitude cheaper than a dense
-    condition number.  Returns ``inf`` when the factorization itself
-    fails (an exactly singular system).
-    """
-    csc = matrix.tocsc()
-    norm_a = float(onenormest(csc))
-    try:
-        with np.errstate(all="ignore"), warnings.catch_warnings():
-            warnings.simplefilter("ignore")
-            lu = splu(csc)
-            # onenormest needs the adjoint too; for a real matrix that
-            # is the transposed-system solve.
-            inverse = LinearOperator(
-                csc.shape, matvec=lu.solve,
-                rmatvec=lambda b: lu.solve(b, trans="T"))
-            norm_inv = float(onenormest(inverse))
-    except (RuntimeError, ValueError, ArithmeticError):
-        return float("inf")
-    if not np.isfinite(norm_inv):
-        return float("inf")
-    return norm_a * norm_inv

@@ -13,8 +13,8 @@ the evaluation reports **thermal runaway** (Section 6.2: the objective
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional, Union
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -25,6 +25,43 @@ from ..errors import (
 )
 from ..leakage import CellLeakageModel, tangent_linearization
 from .assembly import PackageThermalModel
+from .operator import ThermalOperator
+
+
+@dataclass
+class SolveContext:
+    """Mutable per-problem solve state threaded through evaluations.
+
+    Replaces the hidden warm-start state the evaluator used to keep in
+    ``Evaluator._warm_chip``: the previous converged chip temperatures
+    (the leakage linearization point that makes successive nearby
+    queries converge in 1-2 iterations) live here explicitly, and the
+    context hands out the network's build-once
+    :class:`~repro.thermal.operator.ThermalOperator`.
+
+    Attributes:
+        model: The package model the context solves against.
+        warm_chip: Chip-temperature vector (K) of the last successful
+            solve, used as the next linearization point; ``None`` falls
+            back to the ambient + 30 K cold start.
+    """
+
+    model: PackageThermalModel
+    warm_chip: Optional[np.ndarray] = field(default=None)
+
+    @classmethod
+    def for_model(cls, model: PackageThermalModel) -> "SolveContext":
+        """Fresh context bound to ``model``."""
+        return cls(model=model)
+
+    @property
+    def operator(self) -> ThermalOperator:
+        """The model's shared build-once/update-many solve engine."""
+        return self.model.network.operator
+
+    def reset(self) -> None:
+        """Forget the warm linearization point (cold-start next solve)."""
+        self.warm_chip = None
 
 
 @dataclass
@@ -89,6 +126,7 @@ def solve_steady_state(
     leakage: Optional[CellLeakageModel] = None,
     initial_guess: Optional[np.ndarray] = None,
     sink_heat: float = 0.0,
+    context: Optional[SolveContext] = None,
 ) -> SteadyStateResult:
     """Solve the package steady state at one ``(omega, I_TEC)`` point.
 
@@ -102,9 +140,12 @@ def solve_steady_state(
             leakage entirely (useful for validation against analytic
             networks).
         initial_guess: Optional starting chip-temperature vector for the
-            linearization point (warm start across optimizer steps).
+            linearization point; overrides the context's warm point.
         sink_heat: Extra heat deposited on the sink surface (recirculated
             fan power), W.
+        context: Optional :class:`SolveContext` carrying the warm
+            linearization point across calls; updated in place on every
+            successful solve.
 
     Raises:
         ThermalRunawayError: When no bounded steady state exists at this
@@ -120,10 +161,16 @@ def solve_steady_state(
         temps = _network_solve(model, diag, rhs, omega, current,
                                iteration=1)
         _check_physical(model, temps, omega, current, iteration=1)
-        return _package_result(model, temps, omega, current,
-                               leakage_power=0.0,
-                               stats=SolveStats(1, 1, True, 0.0))
+        result = _package_result(model, temps, omega, current,
+                                 leakage_power=0.0,
+                                 stats=SolveStats(1, 1, True, 0.0))
+        if context is not None:
+            context.warm_chip = result.chip_temperatures
+        return result
 
+    if initial_guess is None and context is not None \
+            and context.warm_chip is not None:
+        initial_guess = context.warm_chip
     if initial_guess is not None:
         t_ref = np.asarray(initial_guess, dtype=float).copy()
         if t_ref.shape != (ncell,):
@@ -149,8 +196,11 @@ def solve_steady_state(
         if update < config.leak_tolerance:
             stats = SolveStats(iteration, iteration, True, update)
             leak_power = leakage.total_power(chip)
-            return _package_result(model, temps, omega, current,
-                                   leak_power, stats)
+            result = _package_result(model, temps, omega, current,
+                                     leak_power, stats)
+            if context is not None:
+                context.warm_chip = result.chip_temperatures
+            return result
         # Divergence heuristic: monotonically growing updates mean the
         # leakage feedback gain exceeds unity — runaway.
         if update > previous_update * 1.0001:
@@ -170,6 +220,123 @@ def solve_steady_state(
         f"{config.leak_max_iterations} iterations at omega={omega:.1f}, "
         f"I={_fmt_current(current)}",
         max_temperature=float(np.max(t_ref)))
+
+
+def solve_steady_state_batch(
+    model: PackageThermalModel,
+    points: Sequence[Tuple[float, Union[float, np.ndarray]]],
+    dynamic_cell_power: np.ndarray,
+    leakage: Optional[CellLeakageModel] = None,
+    sink_heats: Optional[Sequence[float]] = None,
+    context: Optional[SolveContext] = None,
+) -> List[Union[SteadyStateResult, ThermalRunawayError]]:
+    """Solve many ``(omega, I_TEC)`` points against one power map.
+
+    The multi-RHS entry point of the operator layer: without leakage the
+    system matrix depends only on ``(omega, I)``, so points sharing an
+    operating point are grouped and solved through one factorization
+    with their RHS columns batched (sweep grids, lookup-table screens,
+    per-workload heat maps).  With leakage each point runs the
+    relinearization loop sequentially — in input order, warm-chaining
+    through ``context`` exactly like repeated
+    :func:`solve_steady_state` calls — and still reuses cached
+    factorizations at repeated linearization points.
+
+    Args:
+        model: Assembled package thermal model.
+        points: ``(omega, current)`` pairs, rad/s and A.
+        dynamic_cell_power: Per-chip-cell dynamic power, W (shared by
+            all points).
+        leakage: Optional temperature-dependent chip leakage.
+        sink_heats: Optional per-point sink heat, W (default 0).
+        context: Optional warm-start context for the leakage path.
+
+    Returns:
+        One entry per point, in order: the
+        :class:`SteadyStateResult`, or the
+        :class:`~repro.errors.ThermalRunawayError` raised at that point
+        (so one unbounded cell cannot abort a whole sweep).
+    """
+    count = len(points)
+    if sink_heats is None:
+        heats: Sequence[float] = [0.0] * count
+    else:
+        heats = sink_heats
+        if len(heats) != count:
+            raise ConfigurationError(
+                f"sink_heats must have {count} entries, got {len(heats)}")
+
+    results: List[Union[SteadyStateResult, ThermalRunawayError]] = \
+        [None] * count  # type: ignore[list-item]
+
+    if leakage is not None:
+        for index, (omega, current) in enumerate(points):
+            try:
+                results[index] = solve_steady_state(
+                    model, omega, current, dynamic_cell_power,
+                    leakage=leakage, sink_heat=heats[index],
+                    context=context)
+            except ThermalRunawayError as err:
+                results[index] = err
+        return results
+
+    ncell = model.grid.cell_count
+    zeros = np.zeros(ncell, dtype=float)
+    # Group points by the exact bytes of their diagonal overlay: equal
+    # overlays share one factorization and back-substitute as one
+    # multi-RHS block.
+    groups: "dict[bytes, List[int]]" = {}
+    diags_by_key: "dict[bytes, np.ndarray]" = {}
+    rhs_list: List[np.ndarray] = []
+    for index, (omega, current) in enumerate(points):
+        diag, rhs = model.overlays(omega, current, dynamic_cell_power,
+                                   zeros, zeros,
+                                   sink_heat=heats[index])
+        key = diag.tobytes()
+        groups.setdefault(key, []).append(index)
+        if key not in diags_by_key:
+            diags_by_key[key] = diag.copy()
+        rhs_list.append(rhs.copy())
+    for key, members in groups.items():
+        diag = diags_by_key[key]
+        block = np.stack([rhs_list[i] for i in members], axis=1)
+        temps_block = _network_solve_many(
+            model, diag, block, points, members)
+        for column, index in enumerate(members):
+            omega, current = points[index]
+            temps = temps_block[:, column]
+            try:
+                _check_physical(model, temps, omega, current,
+                                iteration=1)
+            except ThermalRunawayError as err:
+                results[index] = err
+                continue
+            results[index] = _package_result(
+                model, temps, omega, current, leakage_power=0.0,
+                stats=SolveStats(1, 1, True, 0.0))
+    if context is not None:
+        for entry in reversed(results):
+            if isinstance(entry, SteadyStateResult):
+                context.warm_chip = entry.chip_temperatures
+                break
+    return results
+
+
+def _network_solve_many(model: PackageThermalModel, diag: np.ndarray,
+                        rhs_block: np.ndarray,
+                        points: Sequence[Tuple[float,
+                                               Union[float, np.ndarray]]],
+                        members: Sequence[int]) -> np.ndarray:
+    """One batched network solve with operating-point error context."""
+    try:
+        return model.network.solve_many(diag, rhs_block)
+    except SingularNetworkError as exc:
+        omega, current = points[members[0]]
+        raise SingularNetworkError(
+            f"{exc} during batched steady-state solve at "
+            f"omega={omega:.1f}, I={_fmt_current(current)} "
+            f"({len(members)} grouped points)",
+            condition_estimate=exc.condition_estimate) from exc
 
 
 def _network_solve(model: PackageThermalModel, diag: np.ndarray,

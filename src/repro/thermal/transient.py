@@ -21,8 +21,6 @@ from dataclasses import dataclass
 from typing import Callable, List, Optional, Union
 
 import numpy as np
-from scipy.sparse import diags
-from scipy.sparse.linalg import splu
 
 from ..errors import ConfigurationError
 from ..leakage import CellLeakageModel, tangent_linearization
@@ -118,7 +116,7 @@ def simulate_transient(
     mean_trace = [float(chip0.mean())]
     leak_trace = [leakage.total_power(chip0) if leakage else 0.0]
     c_over_dt = capacities / dt
-    static = model.network.static_matrix
+    network = model.network
     runaway = False
     runaway_time: Optional[float] = None
 
@@ -136,9 +134,11 @@ def simulate_transient(
         diag, rhs = model.overlays(
             omega_t, current_t, power_t, slope, const,
             sink_heat=_schedule_value(sink_heat, t))
-        matrix = (static + diags(diag + c_over_dt)).tocsc()
-        solver = splu(matrix)
-        temps = solver.solve(rhs + c_over_dt * temps)
+        # Backward-Euler step through the build-once operator: the
+        # capacity term rides on the diagonal overlay, so constant
+        # schedules reuse one cached factorization across all steps.
+        temps = network.solve(diag + c_over_dt,
+                              rhs + c_over_dt * temps)
 
         chip = model.chip_temperatures(temps)
         times.append(t)

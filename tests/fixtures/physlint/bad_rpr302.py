@@ -1,0 +1,23 @@
+"""Known-bad fixture for RPR302 (solver-in-loop)."""
+
+from scipy.sparse.linalg import splu, spsolve
+
+
+def relinearize(static, overlays, loads):
+    """Temperatures, K, from conductance, W/K, and heat loads, W."""
+    temps = []
+    for overlay, load in zip(overlays, loads):
+        system = (static + overlay).tocsc()  # BAD: convert per step
+        temps.append(spsolve(system, load))  # BAD: refactor per step
+    return temps
+
+
+def march(static, capacitance, load, steps):
+    """Transient march; capacitance in J/K, load in W."""
+    temps = load * 0.0
+    step = 0
+    while step < steps:
+        lu = splu((static + capacitance).tocsc())  # BAD: both calls
+        temps = lu.solve(load + capacitance @ temps)
+        step += 1
+    return temps

@@ -1,0 +1,25 @@
+"""Known-good fixture for RPR302: factor once, solve many."""
+
+from scipy.sparse.linalg import splu, spsolve
+
+
+def march(static, capacitance, load, steps):
+    """Transient march; capacitance in J/K, load in W."""
+    lu = splu((static + capacitance).tocsc())
+    temps = load * 0.0
+    for _ in range(steps):
+        temps = lu.solve(load + capacitance @ temps)
+    return temps
+
+
+def calibrate(systems, loads):
+    """Solve unrelated systems, W/K, against heat loads, W.
+
+    Every iteration sees a different sparsity pattern, so there is
+    nothing to cache; the suppression comment records that judgment.
+    """
+    out = []
+    for system, load in zip(systems, loads):
+        csc = system.tocsc()  # physlint: disable=RPR302
+        out.append(spsolve(csc, load))  # physlint: disable=RPR302
+    return out

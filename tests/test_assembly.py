@@ -93,8 +93,11 @@ class TestOverlays:
                                       uniform_power):
         zeros = np.zeros(grid.cell_count)
         current = 2.0
+        # overlays() returns views of reused buffers; copy to retain
+        # the first result across the second call.
         _, rhs0 = tec_model.overlays(262.0, 0.0, uniform_power, zeros,
                                      zeros)
+        rhs0 = rhs0.copy()
         _, rhs2 = tec_model.overlays(262.0, current, uniform_power,
                                      zeros, zeros)
         mask = tec_array.coverage_mask

@@ -3,7 +3,9 @@
 import numpy as np
 import pytest
 
+from repro import build_cooling_problem
 from repro.core import Evaluator
+from repro.errors import ConfigurationError
 
 
 class TestEvaluation:
@@ -62,6 +64,114 @@ class TestCaching:
         solves = evaluator.solve_count
         evaluator.evaluate(263.0, 1.0)
         assert evaluator.solve_count == solves + 1
+
+
+class TestCacheBounds:
+    def test_cache_limit_validated(self, tec_problem):
+        with pytest.raises(ConfigurationError):
+            Evaluator(tec_problem, cache_limit=0)
+
+    def test_cache_info_counters(self, evaluator):
+        info = evaluator.cache_info()
+        assert (info.hits, info.misses, info.size) == (0, 0, 0)
+        assert info.limit == evaluator.cache_limit
+        evaluator.evaluate(200.0, 1.0)
+        evaluator.evaluate(200.0, 1.0)
+        info = evaluator.cache_info()
+        assert info.misses == 1
+        assert info.hits == 1
+        assert info.size == 1
+        assert info.evictions == 0
+
+    def test_eviction_at_limit(self, tec_problem):
+        evaluator = Evaluator(tec_problem, cache_limit=2)
+        for omega in (200.0, 210.0, 220.0):
+            evaluator.evaluate(omega, 1.0)
+        info = evaluator.cache_info()
+        assert info.size == 2
+        assert info.evictions == 1
+        # The oldest entry (omega = 200) was dropped: fresh solve.
+        solves = evaluator.solve_count
+        evaluator.evaluate(200.0, 1.0)
+        assert evaluator.solve_count == solves + 1
+
+    def test_recency_protects_hot_entry(self, tec_problem):
+        evaluator = Evaluator(tec_problem, cache_limit=2)
+        evaluator.evaluate(200.0, 1.0)
+        evaluator.evaluate(210.0, 1.0)
+        evaluator.evaluate(200.0, 1.0)  # refresh before the cap bites
+        evaluator.evaluate(220.0, 1.0)  # evicts omega = 210 instead
+        solves = evaluator.solve_count
+        evaluator.evaluate(200.0, 1.0)
+        assert evaluator.solve_count == solves
+
+    def test_clear_cache_resets_warm_context(self, evaluator):
+        evaluator.evaluate(200.0, 1.0)
+        assert evaluator.context.warm_chip is not None
+        evaluator.clear_cache()
+        assert evaluator.context.warm_chip is None
+        assert evaluator.cache_info().size == 0
+
+
+class TestEvaluateMany:
+    def test_matches_sequential_with_leakage(self, tec_problem):
+        points = [(200.0, 1.0), (250.0, 0.5), (200.0, 1.0)]
+        batched = Evaluator(tec_problem)
+        sequential = Evaluator(tec_problem)
+        many = batched.evaluate_many(points)
+        singles = [sequential.evaluate(o, i) for o, i in points]
+        for ours, theirs in zip(many, singles):
+            assert ours.max_chip_temperature \
+                == theirs.max_chip_temperature
+            assert ours.total_power == theirs.total_power
+        assert batched.solve_count == sequential.solve_count
+
+    @pytest.fixture()
+    def leakage_free_problem(self, profiles):
+        problem = build_cooling_problem(profiles["basicmath"],
+                                        grid_resolution=4)
+        # Disabling leakage removes the relinearization loop, making
+        # evaluations batchable through the multi-RHS operator path.
+        problem.leakage = None
+        return problem
+
+    def test_batched_path_bitwise_matches_sequential(
+            self, leakage_free_problem):
+        points = [(200.0, 1.0), (200.0, 1.0), (250.0, 0.5),
+                  (200.0, 0.5)]
+        batched = Evaluator(leakage_free_problem)
+        sequential = Evaluator(leakage_free_problem)
+        many = batched.evaluate_many(points)
+        singles = [sequential.evaluate(o, i) for o, i in points]
+        for ours, theirs in zip(many, singles):
+            assert ours.max_chip_temperature \
+                == theirs.max_chip_temperature
+            assert ours.total_power == theirs.total_power
+            assert (ours.steady.temperatures
+                    == theirs.steady.temperatures).all()
+
+    def test_batched_path_accounting(self, leakage_free_problem):
+        evaluator = Evaluator(leakage_free_problem)
+        points = [(200.0, 1.0), (200.0, 1.0), (250.0, 0.5)]
+        evaluator.evaluate_many(points)
+        # Two distinct operating points: one solve each, and the
+        # duplicate counts as the cache hit it would have been
+        # sequentially.
+        assert evaluator.solve_count == 2
+        info = evaluator.cache_info()
+        assert info.misses == 2
+        assert info.hits == 1
+        # A second pass is served entirely from the cache.
+        evaluator.evaluate_many(points)
+        assert evaluator.solve_count == 2
+        assert evaluator.cache_info().hits == 4
+
+    def test_budgeted_evaluator_falls_back(self, leakage_free_problem):
+        evaluator = Evaluator(leakage_free_problem)
+        evaluator.set_solve_budget(1)
+        from repro.errors import EvaluationBudgetError
+        with pytest.raises(EvaluationBudgetError):
+            evaluator.evaluate_many([(200.0, 1.0), (250.0, 0.5)])
 
 
 class TestClamping:

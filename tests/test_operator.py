@@ -1,0 +1,371 @@
+"""ThermalOperator: structure/state split, factor LRU, bit-identity.
+
+The bit-identity tests here back the operator module's claim that the
+build-once/update-many path (``splu`` through the precomputed diagonal
+index map) reproduces the legacy construction (``spsolve`` on a freshly
+assembled ``static + diag(overlay)``) bit for bit, fault-free, across
+all eight MiBench benchmarks.
+"""
+
+import numpy as np
+import pytest
+from scipy.sparse import csr_matrix, diags
+from scipy.sparse.linalg import spsolve
+
+from repro.errors import ConfigurationError, SingularNetworkError
+from repro.thermal import (
+    OperatorStats,
+    SolveContext,
+    ThermalOperator,
+    condition_estimate,
+    solve_steady_state,
+    solve_steady_state_batch,
+)
+
+BENCHMARKS = ("basicmath", "bitcount", "crc32", "djkstra", "fft",
+              "quicksort", "stringsearch", "susan")
+
+#: Operating points spanning the fan/TEC box for equivalence checks.
+POINTS = ((180.0, 0.5), (320.0, 1.5))
+
+
+def model_overlays(problem, omega, current):
+    """Leakage-free (diag, rhs) copies for one operating point."""
+    model = problem.model
+    zeros = np.zeros(model.grid.cell_count)
+    fan_power = problem.fan.power(omega)
+    diag, rhs = model.overlays(
+        omega, current, problem.dynamic_cell_power, zeros, zeros,
+        sink_heat=problem.fan_heat_fraction * fan_power)
+    # overlays() hands out views of reused buffers; copy to retain.
+    return diag.copy(), rhs.copy()
+
+
+def legacy_solve(network, overlay, rhs):
+    """The pre-operator construction: assemble then spsolve."""
+    matrix = network.static_matrix + diags(overlay, format="csr")
+    return spsolve(matrix.tocsc(), rhs)
+
+
+def fresh_operator(network, **kwargs):
+    """Independent operator over a copy of the network's structure."""
+    return ThermalOperator(network.static_matrix, **kwargs)
+
+
+def grounded_laplacian(n=6, ground=1.0):
+    """Path-graph Laplacian with one node tied to ambient, W/K."""
+    main = np.full(n, 2.0)
+    main[0] = main[-1] = 1.0
+    main[0] += ground
+    off = np.full(n - 1, -1.0)
+    return csr_matrix(diags([off, main, off], [-1, 0, 1]))
+
+
+class TestStructure:
+    def test_validation(self, tec_problem):
+        static = tec_problem.model.network.static_matrix
+        with pytest.raises(ConfigurationError):
+            ThermalOperator(static, factor_capacity=0)
+        with pytest.raises(ConfigurationError):
+            ThermalOperator(static, overlay_quantum=-1e-9)
+        with pytest.raises(ConfigurationError):
+            ThermalOperator(csr_matrix(np.ones((2, 3))))
+
+    def test_shape_checks(self, tec_problem):
+        operator = fresh_operator(tec_problem.model.network)
+        n = operator.node_count
+        with pytest.raises(ConfigurationError):
+            operator.solve(np.zeros(n - 1), np.ones(n))
+        with pytest.raises(ConfigurationError):
+            operator.solve(np.zeros(n), np.ones(n - 1))
+        with pytest.raises(ConfigurationError):
+            operator.solve_many(np.zeros(n), np.ones(n))  # not (n, k)
+
+    def test_zero_static_diagonal_gets_a_slot(self):
+        # An antisymmetric-coupling matrix with an empty diagonal: the
+        # operator must still have diagonal storage for the overlay.
+        static = csr_matrix(np.array([[0.0, 1.0], [1.0, 0.0]]))
+        operator = ThermalOperator(static)
+        overlay = np.array([3.0, 4.0])
+        rhs = np.array([1.0, 2.0])
+        expected = np.linalg.solve(
+            static.toarray() + np.diag(overlay), rhs)
+        np.testing.assert_allclose(operator.solve(overlay, rhs),
+                                   expected, rtol=1e-12)
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("workload", BENCHMARKS)
+    def test_operator_matches_legacy_spsolve(self, tec_problem,
+                                             profiles, workload):
+        problem = tec_problem.with_profile(profiles[workload])
+        network = problem.model.network
+        for omega, current in POINTS:
+            overlay, rhs = model_overlays(problem, omega, current)
+            ours = network.solve(overlay, rhs)
+            theirs = legacy_solve(network, overlay, rhs)
+            assert (ours == theirs).all(), \
+                f"{workload} at omega={omega}, I={current}"
+
+    def test_solve_many_columns_match_single_solves(self, tec_problem):
+        network = tec_problem.model.network
+        overlay, rhs = model_overlays(tec_problem, *POINTS[0])
+        block = np.stack([rhs, 2.0 * rhs, rhs + 1.0], axis=1)
+        batched = network.solve_many(overlay, block)
+        for column in range(block.shape[1]):
+            single = network.solve(overlay, block[:, column])
+            assert (batched[:, column] == single).all()
+
+    def test_repeated_solve_reuses_factor_bitwise(self, tec_problem):
+        operator = fresh_operator(tec_problem.model.network)
+        overlay, rhs = model_overlays(tec_problem, *POINTS[1])
+        first = operator.solve(overlay, rhs)
+        second = operator.solve(overlay, rhs)
+        assert (first == second).all()
+        assert operator.stats.factorizations == 1
+        assert operator.stats.cache_hits == 1
+
+
+class TestFactorCache:
+    def test_hit_and_solve_counters(self, tec_problem):
+        operator = fresh_operator(tec_problem.model.network)
+        overlay, rhs = model_overlays(tec_problem, *POINTS[0])
+        operator.solve(overlay, rhs)
+        operator.solve(overlay, 2.0 * rhs)
+        stats = operator.stats
+        assert stats == OperatorStats(solves=2, factorizations=1,
+                                      cache_hits=1, cache_evictions=0)
+        assert stats.reuse_ratio == 0.5
+
+    def test_batched_solves_count_columns(self, tec_problem):
+        operator = fresh_operator(tec_problem.model.network)
+        overlay, rhs = model_overlays(tec_problem, *POINTS[0])
+        operator.solve_many(overlay, np.stack([rhs, rhs], axis=1))
+        assert operator.stats.solves == 2
+        assert operator.stats.factorizations == 1
+
+    def test_lru_capacity_evicts_oldest(self, tec_problem):
+        operator = fresh_operator(tec_problem.model.network,
+                                  factor_capacity=2)
+        overlay, rhs = model_overlays(tec_problem, *POINTS[0])
+        for shift in (0.0, 1.0, 2.0):
+            operator.solve(overlay + shift, rhs)
+        assert operator.cached_factor_count == 2
+        assert operator.stats.cache_evictions == 1
+        # The evicted (oldest) overlay must refactorize.
+        operator.solve(overlay, rhs)
+        assert operator.stats.factorizations == 4
+
+    def test_recent_use_protects_against_eviction(self, tec_problem):
+        operator = fresh_operator(tec_problem.model.network,
+                                  factor_capacity=2)
+        overlay, rhs = model_overlays(tec_problem, *POINTS[0])
+        operator.solve(overlay, rhs)
+        operator.solve(overlay + 1.0, rhs)
+        operator.solve(overlay, rhs)        # refresh the first factor
+        operator.solve(overlay + 2.0, rhs)  # evicts overlay + 1.0
+        operator.solve(overlay, rhs)
+        assert operator.stats.factorizations == 3
+        assert operator.stats.cache_hits == 2
+
+    def test_clear_drops_factors_keeps_counters(self, tec_problem):
+        operator = fresh_operator(tec_problem.model.network)
+        overlay, rhs = model_overlays(tec_problem, *POINTS[0])
+        operator.solve(overlay, rhs)
+        operator.clear()
+        assert operator.cached_factor_count == 0
+        assert operator.stats.factorizations == 1
+        operator.solve(overlay, rhs)
+        assert operator.stats.factorizations == 2
+
+    def test_reset_stats_keeps_factors(self, tec_problem):
+        operator = fresh_operator(tec_problem.model.network)
+        overlay, rhs = model_overlays(tec_problem, *POINTS[0])
+        operator.solve(overlay, rhs)
+        operator.reset_stats()
+        assert operator.stats == OperatorStats(0, 0, 0, 0)
+        operator.solve(overlay, rhs)
+        assert operator.stats.cache_hits == 1
+        assert operator.stats.factorizations == 0
+
+
+class TestQuantizedDigest:
+    def test_exact_keying_separates_close_overlays(self, tec_problem):
+        operator = fresh_operator(tec_problem.model.network)
+        overlay, rhs = model_overlays(tec_problem, *POINTS[0])
+        operator.solve(overlay, rhs)
+        operator.solve(overlay + 1e-9, rhs)
+        assert operator.stats.factorizations == 2
+
+    def test_quantized_keying_merges_close_overlays(self, tec_problem):
+        quantum = 1e-3
+        operator = fresh_operator(tec_problem.model.network,
+                                  overlay_quantum=quantum)
+        overlay, rhs = model_overlays(tec_problem, *POINTS[0])
+        # Snap to exact multiples of the quantum so a perturbation of
+        # quantum/4 provably rounds to the same key.
+        overlay = np.round(overlay / quantum) * quantum
+        first = operator.solve(overlay, rhs)
+        second = operator.solve(overlay + quantum / 4.0, rhs)
+        assert operator.stats.factorizations == 1
+        assert operator.stats.cache_hits == 1
+        # Reuse serves the *cached* factor: bitwise-equal solutions.
+        assert (first == second).all()
+
+
+class TestFailurePaths:
+    def test_singular_system_raises_typed_error(self):
+        operator = ThermalOperator(grounded_laplacian(ground=0.0))
+        n = operator.node_count
+        with pytest.raises(SingularNetworkError) as excinfo:
+            operator.solve(np.zeros(n), np.ones(n))
+        error = excinfo.value
+        assert "singular" in str(error) or "degenerate" in str(error)
+        assert error.condition_estimate is not None
+
+    def test_degenerate_growth_guard(self):
+        # Factors fine, but one 1e-14 W/K path to ambient amplifies the
+        # solution by ~1e14: the growth guard must reject it.
+        operator = ThermalOperator(grounded_laplacian(ground=1e-14))
+        n = operator.node_count
+        with pytest.raises(SingularNetworkError, match="degenerate"):
+            operator.solve(np.zeros(n), np.ones(n))
+
+    def test_failures_are_not_cached(self):
+        operator = ThermalOperator(grounded_laplacian(ground=1.0))
+        n = operator.node_count
+        healthy = operator.solve(np.zeros(n), np.ones(n))
+        assert np.all(np.isfinite(healthy))
+        before = operator.cached_factor_count
+        with pytest.raises(SingularNetworkError):
+            # Cancel the grounding via the overlay: singular again.
+            sabotage = np.zeros(n)
+            sabotage[0] = -1.0
+            operator.solve(sabotage, np.ones(n))
+        assert operator.cached_factor_count == before
+
+    def test_condition_estimate_blows_up_when_singular(self):
+        estimate = condition_estimate(grounded_laplacian(ground=0.0))
+        assert estimate > 1e12
+        healthy = condition_estimate(grounded_laplacian(ground=1.0))
+        assert healthy < 1e6
+
+
+class TestSolveContext:
+    def test_warm_chip_follows_solves(self, tec_problem):
+        problem = tec_problem
+        context = SolveContext.for_model(problem.model)
+        assert context.warm_chip is None
+        result = solve_steady_state(
+            problem.model, 250.0, 1.0, problem.dynamic_cell_power,
+            problem.leakage, context=context)
+        assert context.warm_chip is not None
+        assert (context.warm_chip == result.chip_temperatures).all()
+        context.reset()
+        assert context.warm_chip is None
+
+    def test_context_operator_is_shared_network_engine(self, tec_problem):
+        context = SolveContext.for_model(tec_problem.model)
+        assert context.operator is tec_problem.model.network.operator
+
+    def test_warm_start_preserves_converged_result(self, tec_problem):
+        problem = tec_problem
+        cold = solve_steady_state(
+            problem.model, 250.0, 1.0, problem.dynamic_cell_power,
+            problem.leakage)
+        context = SolveContext.for_model(problem.model)
+        solve_steady_state(problem.model, 252.0, 1.0,
+                           problem.dynamic_cell_power, problem.leakage,
+                           context=context)
+        warm = solve_steady_state(
+            problem.model, 250.0, 1.0, problem.dynamic_cell_power,
+            problem.leakage, context=context)
+        # Warm starts change iteration counts, not the fixed point.
+        assert warm.max_chip_temperature == pytest.approx(
+            cold.max_chip_temperature, abs=2.0 *
+            problem.model.config.leak_tolerance)
+
+
+class TestBatchedSteadyState:
+    def test_batch_matches_sequential_bitwise(self, tec_problem):
+        problem = tec_problem
+        points = [(200.0, 0.5), (200.0, 0.5), (300.0, 1.0)]
+        batch = solve_steady_state_batch(
+            problem.model, points, problem.dynamic_cell_power,
+            leakage=None)
+        for (omega, current), result in zip(points, batch):
+            single = solve_steady_state(
+                problem.model, omega, current,
+                problem.dynamic_cell_power, leakage=None)
+            assert (result.temperatures == single.temperatures).all()
+            assert result.max_chip_temperature \
+                == single.max_chip_temperature
+            assert result.tec_power == single.tec_power
+
+    def test_grouped_points_share_factorizations(self, tec_problem):
+        problem = tec_problem
+        operator = problem.model.network.operator
+        # Same overlay, different RHS (sink heat): one factor, n solves.
+        points = [(260.0, 0.75)] * 4
+        before = operator.stats
+        solve_steady_state_batch(
+            problem.model, points, problem.dynamic_cell_power,
+            leakage=None, sink_heats=[0.0, 1.0, 2.0, 3.0])
+        after = operator.stats
+        assert after.solves - before.solves == 4
+        assert after.factorizations - before.factorizations <= 1
+
+    def test_batch_isolates_runaway_points(self, heavy_tec_problem):
+        problem = heavy_tec_problem
+        points = [(0.0, 0.0), (400.0, 1.0)]
+        results = solve_steady_state_batch(
+            problem.model, points, problem.dynamic_cell_power,
+            leakage=None)
+        # omega = 0 has no sink coupling: unbounded, but contained.
+        assert isinstance(results[0], Exception) \
+            or results[0].max_chip_temperature > 400.0
+        assert results[1].max_chip_temperature < 400.0
+
+    def test_sink_heats_length_validated(self, tec_problem):
+        with pytest.raises(ConfigurationError):
+            solve_steady_state_batch(
+                tec_problem.model, [(200.0, 0.5)],
+                tec_problem.dynamic_cell_power, leakage=None,
+                sink_heats=[0.0, 1.0])
+
+    def test_leakage_batch_warm_chains_like_sequential(self,
+                                                       tec_problem):
+        problem = tec_problem
+        points = [(220.0, 0.5), (240.0, 1.0)]
+        batch_ctx = SolveContext.for_model(problem.model)
+        batch = solve_steady_state_batch(
+            problem.model, points, problem.dynamic_cell_power,
+            leakage=problem.leakage, context=batch_ctx)
+        seq_ctx = SolveContext.for_model(problem.model)
+        for (omega, current), result in zip(points, batch):
+            single = solve_steady_state(
+                problem.model, omega, current,
+                problem.dynamic_cell_power, leakage=problem.leakage,
+                context=seq_ctx)
+            assert (result.temperatures == single.temperatures).all()
+        assert (batch_ctx.warm_chip == seq_ctx.warm_chip).all()
+
+
+class TestFactorReuseWorkloads:
+    def test_fewer_factorizations_than_solves_after_cache_clear(
+            self, tec_problem):
+        from repro.core import Evaluator
+
+        evaluator = Evaluator(tec_problem)
+        operator = evaluator.context.operator
+        evaluator.evaluate(230.0, 0.8)
+        mid = operator.stats
+        # Dropping the evaluation cache forgets the results but not the
+        # factor LRU: the rerun repeats the same relinearization
+        # sequence and back-substitutes against cached factors only.
+        evaluator.clear_cache()
+        evaluator.evaluate(230.0, 0.8)
+        after = operator.stats
+        assert after.solves > mid.solves
+        assert after.factorizations == mid.factorizations
+        assert after.cache_hits > mid.cache_hits

@@ -21,7 +21,7 @@ FIXTURES = Path(__file__).parent / "fixtures" / "physlint"
 SRC = Path(__file__).resolve().parents[1] / "src"
 
 ALL_CODES = ("RPR101", "RPR201", "RPR202", "RPR204", "RPR301",
-             "RPR401")
+             "RPR302", "RPR401")
 
 
 def codes_in(path):
@@ -46,6 +46,7 @@ class TestBadFixtures:
         ("rpr202", 2),
         ("rpr204", 4),
         ("rpr301", 3),
+        ("rpr302", 4),
         ("rpr401", 2),
     ])
     def test_bad_fixture_findings(self, code, expected):
@@ -61,7 +62,7 @@ class TestBadFixtures:
 class TestGoodFixtures:
     @pytest.mark.parametrize("name", [
         "good_rpr101", "good_rpr201", "good_rpr204", "good_rpr301",
-        "good_rpr401",
+        "good_rpr302", "good_rpr401",
     ])
     def test_good_fixture_clean(self, name):
         assert codes_in(FIXTURES / f"{name}.py") == []
@@ -89,6 +90,49 @@ class TestSuppression:
         src = ("def f(x):\n"
                "    assert x > 0  # physlint: disable=RPR101\n")
         assert [f.code for f in lint_source(src, "x.py")] == ["RPR202"]
+
+
+class TestSolverInLoop:
+    def test_while_loop_flags_both_calls(self):
+        src = ("from scipy.sparse.linalg import spsolve\n"
+               "def f(m, b, n):\n"
+               "    while n:\n"
+               "        b = spsolve(m.tocsc(), b)\n"
+               "        n -= 1\n"
+               "    return b\n")
+        assert [f.code for f in lint_source(src, "x.py")] \
+            == ["RPR302", "RPR302"]
+
+    def test_call_outside_loop_clean(self):
+        src = ("from scipy.sparse.linalg import splu\n"
+               "def f(m):\n"
+               "    return splu(m.tocsc())\n")
+        assert lint_source(src, "x.py") == []
+
+    def test_nested_def_resets_loop_context(self):
+        # The nested function runs when called, not per iteration.
+        src = ("from scipy.sparse.linalg import splu\n"
+               "def outer(ms):\n"
+               "    for m in ms:\n"
+               "        def probe(x):\n"
+               "            return splu(x)\n"
+               "        yield probe\n")
+        assert lint_source(src, "x.py") == []
+
+    def test_dotted_call_flagged(self):
+        src = ("import scipy.sparse.linalg as sla\n"
+               "def f(ms, b):\n"
+               "    return [sla.spsolve(m, b) for m in ms][0]\n")
+        # Comprehensions are not for/while statements; only statement
+        # loops are flagged.
+        assert lint_source(src, "x.py") == []
+        loop = ("import scipy.sparse.linalg as sla\n"
+                "def f(ms, b):\n"
+                "    out = []\n"
+                "    for m in ms:\n"
+                "        out.append(sla.spsolve(m, b))\n"
+                "    return out\n")
+        assert [f.code for f in lint_source(loop, "x.py")] == ["RPR302"]
 
 
 class TestSelectIgnore:
