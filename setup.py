@@ -5,7 +5,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro",
-    version="1.0.0",
+    version="1.2.0",
     description=(
         "OFTEC: power-aware deployment and control of forced-convection "
         "and thermoelectric coolers (DAC 2014 reproduction)"

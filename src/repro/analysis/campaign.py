@@ -15,7 +15,6 @@ runaway demonstration).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional
 
@@ -38,6 +37,8 @@ from ..core import (
     run_variable_fan_baseline,
 )
 from ..errors import ConfigurationError, ReproError, SolverError
+from ..obs import runtime as _obs
+from ..obs.clock import stopwatch
 from ..power import BenchmarkProfile
 
 
@@ -181,7 +182,10 @@ class _StageFailure(Exception):
 def _staged(stage: str, thunk: Callable):
     """Run one pipeline stage, tagging any library error with ``stage``."""
     try:
-        return thunk()
+        # The stage span sits inside the try so a failing stage is
+        # recorded on its own span before the campaign isolator wraps it.
+        with _obs.span("stage", stage):
+            return thunk()
     except ReproError as exc:
         raise _StageFailure(stage, exc) from exc
 
@@ -294,23 +298,28 @@ def run_campaign(
         policy = ResiliencePolicy(ladder=(method,) + tuple(
             m for m in SOLVER_METHODS if m != method))
     make = evaluator_factory or Evaluator
-    start = time.perf_counter()
-    result = CampaignResult(t_max=tec_problem_template.limits.t_max)
-    for name, profile in profiles.items():
-        tec_problem = tec_problem_template.with_profile(profile, name=name)
-        base_problem = baseline_problem_template.with_profile(profile,
-                                                              name=name)
-        try:
-            comparison = _run_benchmark(
-                name, tec_problem, base_problem, method,
-                include_tec_only, make, resilient, policy,
-                result.failures)
-        except _StageFailure as failure:
-            if not isolate_failures:
-                raise failure.error
-            result.failures.append(failure_report_from_exception(
-                name, failure.stage, failure.error))
-            continue
-        result.comparisons.append(comparison)
-    result.wall_seconds = time.perf_counter() - start
+    watch = stopwatch("campaign.wall_seconds")
+    with watch, _obs.span("campaign", benchmarks=len(profiles)):
+        result = CampaignResult(
+            t_max=tec_problem_template.limits.t_max)
+        for name, profile in profiles.items():
+            tec_problem = tec_problem_template.with_profile(profile,
+                                                            name=name)
+            base_problem = baseline_problem_template.with_profile(
+                profile, name=name)
+            try:
+                with _obs.span("benchmark", name), \
+                        stopwatch("campaign.benchmark_seconds"):
+                    comparison = _run_benchmark(
+                        name, tec_problem, base_problem, method,
+                        include_tec_only, make, resilient, policy,
+                        result.failures)
+            except _StageFailure as failure:
+                if not isolate_failures:
+                    raise failure.error
+                result.failures.append(failure_report_from_exception(
+                    name, failure.stage, failure.error))
+                continue
+            result.comparisons.append(comparison)
+    result.wall_seconds = watch.elapsed
     return result

@@ -10,7 +10,11 @@ Commands mirror the library's main entry points:
 * ``profiles`` — list the built-in benchmark power profiles.
 * ``chaos`` — run the campaign under deterministic fault injection and
   verify every fault is contained.
+* ``trace`` — inspect a JSONL span trace recorded with ``--trace``.
 * ``lint`` — run :mod:`repro.devtools.physlint` over the tree.
+
+``oftec``, ``campaign``, and ``chaos`` accept ``--trace FILE`` to record
+a telemetry session (hierarchical spans + metrics) while they run.
 
 Exit codes discriminate the failure mode so shell pipelines and CI can
 react: 0 success, 1 generic failure (failed shape checks, lint
@@ -23,7 +27,8 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import List, Optional
+from contextlib import contextmanager
+from typing import Iterator, List, Optional
 
 from . import __version__, build_cooling_problem, mibench_profiles, \
     run_oftec
@@ -59,6 +64,37 @@ def _add_benchmark(parser: argparse.ArgumentParser) -> None:
         help="workload profile (default basicmath)")
 
 
+def _add_trace(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="record a telemetry session and write the span trace "
+             "here as JSONL (inspect with `repro trace summarize`)")
+
+
+@contextmanager
+def _traced(path: Optional[str]) -> Iterator[Optional[dict]]:
+    """Run the body under a telemetry session when ``path`` is given.
+
+    Yields None (telemetry disabled, zero overhead) or a holder dict
+    that gains a ``"telemetry"`` metrics snapshot on exit; the span
+    trace is written to ``path`` even when the body fails, so a crashed
+    run still leaves its trace behind.
+    """
+    if not path:
+        yield None
+        return
+    from .obs import save_trace, telemetry_session
+    holder: dict = {}
+    with telemetry_session() as (tracer, metrics):
+        try:
+            yield holder
+        finally:
+            holder["telemetry"] = metrics.snapshot()
+            count = save_trace(tracer, path)
+            print(f"trace written to {path} ({count} spans)",
+                  file=sys.stderr)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -77,6 +113,7 @@ def build_parser() -> argparse.ArgumentParser:
     oftec.add_argument("--method", default="slsqp",
                        choices=("slsqp", "trust-constr", "grid"),
                        help="solver backend (default slsqp)")
+    _add_trace(oftec)
 
     campaign = commands.add_parser(
         "campaign",
@@ -89,6 +126,7 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--verify", action="store_true",
                           help="run the paper-shape verification and "
                                "exit nonzero on any failed shape")
+    _add_trace(campaign)
 
     spice = commands.add_parser(
         "spice",
@@ -132,6 +170,17 @@ def build_parser() -> argparse.ArgumentParser:
                             "campaign-level isolation alone)")
     chaos.add_argument("--json", metavar="PATH", default=None,
                        help="save the (partial) campaign as JSON")
+    _add_trace(chaos)
+
+    trace = commands.add_parser(
+        "trace", help="inspect a recorded telemetry trace")
+    trace_commands = trace.add_subparsers(dest="trace_command",
+                                          required=True)
+    summarize = trace_commands.add_parser(
+        "summarize",
+        help="per-span-kind count/total/p50/p95 summary tree")
+    summarize.add_argument("file", metavar="FILE",
+                           help="JSONL trace written by --trace")
 
     lint = commands.add_parser(
         "lint",
@@ -155,7 +204,8 @@ def _cmd_oftec(args: argparse.Namespace) -> int:
     profile = mibench_profiles()[args.benchmark]
     problem = build_cooling_problem(profile,
                                     grid_resolution=args.resolution)
-    result = run_oftec(problem, method=args.method)
+    with _traced(args.trace):
+        result = run_oftec(problem, method=args.method)
     if args.json:
         payload = {
             "benchmark": args.benchmark,
@@ -195,8 +245,9 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         template, grid_resolution=args.resolution)
     baseline_problem = build_cooling_problem(
         template, with_tec=False, grid_resolution=args.resolution)
-    campaign = run_campaign(profiles, tec_problem, baseline_problem,
-                            include_tec_only=args.tec_only)
+    with _traced(args.trace) as session:
+        campaign = run_campaign(profiles, tec_problem, baseline_problem,
+                                include_tec_only=args.tec_only)
     print(format_comparison_table(campaign, "opt2"))
     print()
     print(format_comparison_table(campaign, "opt1"))
@@ -210,7 +261,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             print(f"  {comparison.name:<14} {status}")
     if args.json:
         from .io import save_campaign
-        save_campaign(campaign, args.json)
+        telemetry = session.get("telemetry") if session else None
+        save_campaign(campaign, args.json, telemetry=telemetry)
         print(f"\ncampaign saved to {args.json}")
     if args.verify:
         from .analysis import format_shape_checks, verify_paper_shapes
@@ -299,15 +351,24 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         template, grid_resolution=args.resolution)
     baseline_problem = build_cooling_problem(
         template, with_tec=False, grid_resolution=args.resolution)
-    report = run_chaos_campaign(
-        profiles, tec_problem, baseline_problem, plan=plan,
-        resilient=not args.no_resilient)
+    with _traced(args.trace) as session:
+        report = run_chaos_campaign(
+            profiles, tec_problem, baseline_problem, plan=plan,
+            resilient=not args.no_resilient)
     print(format_chaos_report(report))
     if args.json and report.campaign is not None:
         from .io import save_campaign
-        save_campaign(report.campaign, args.json)
+        telemetry = session.get("telemetry") if session else None
+        save_campaign(report.campaign, args.json, telemetry=telemetry)
         print(f"campaign saved to {args.json}")
     return 0 if report.ok else EXIT_SOLVER_FAILURE
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .obs import format_trace_summary, load_trace
+    spans = load_trace(args.file)
+    print(format_trace_summary(spans))
+    return 0
 
 
 def _cmd_profiles(_args: argparse.Namespace) -> int:
@@ -328,6 +389,7 @@ _COMMANDS = {
     "profiles": _cmd_profiles,
     "spice": _cmd_spice,
     "chaos": _cmd_chaos,
+    "trace": _cmd_trace,
     "lint": _cmd_lint,
 }
 

@@ -15,7 +15,6 @@ that a TEC-only system (no fan) cannot escape thermal runaway:
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Optional
 
@@ -23,6 +22,7 @@ import numpy as np
 
 from ..constants import OMEGA_FIXED_BASELINE
 from ..errors import ConfigurationError, SolverError
+from ..obs.clock import stopwatch
 from .evaluator import Evaluation, Evaluator
 from .oftec import OFTECResult, run_oftec
 from .problem import CoolingProblem
@@ -95,7 +95,7 @@ def run_fixed_fan_baseline(problem: CoolingProblem,
         raise ConfigurationError(
             "Fixed-omega baseline expects a no-TEC problem; build it "
             "with build_cooling_problem(..., with_tec=False)")
-    start = time.perf_counter()
+    watch = stopwatch()
     evaluator = evaluator or Evaluator(problem)
     evaluation = evaluator.evaluate(omega, 0.0)
     return BaselineResult(
@@ -106,7 +106,7 @@ def run_fixed_fan_baseline(problem: CoolingProblem,
         evaluation=evaluation,
         feasible=evaluation.feasible,
         runaway=evaluation.runaway,
-        runtime_seconds=time.perf_counter() - start)
+        runtime_seconds=watch.elapsed)
 
 
 def run_tec_only(problem: CoolingProblem,
@@ -122,7 +122,7 @@ def run_tec_only(problem: CoolingProblem,
         raise ConfigurationError("TEC-only controller needs a TEC package")
     if current_samples < 2:
         raise ConfigurationError("current_samples must be >= 2")
-    start = time.perf_counter()
+    watch = stopwatch()
     evaluator = evaluator or Evaluator(problem)
     best: Optional[Evaluation] = None
     all_runaway = True
@@ -145,4 +145,4 @@ def run_tec_only(problem: CoolingProblem,
         evaluation=best,
         feasible=best.feasible,
         runaway=all_runaway,
-        runtime_seconds=time.perf_counter() - start)
+        runtime_seconds=watch.elapsed)

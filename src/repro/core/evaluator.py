@@ -21,6 +21,7 @@ from ..errors import (
     EvaluationBudgetError,
     ThermalRunawayError,
 )
+from ..obs import runtime as _obs
 from ..thermal import (
     SolveContext,
     SteadyStateResult,
@@ -179,9 +180,19 @@ class Evaluator:
         if hit is not None:
             self._cache.move_to_end(key)
             self._cache_hits += 1
+            if _obs.STATE.enabled:
+                _obs.STATE.metrics.counter(
+                    "evaluator.cache.hits").inc()
             return hit
         self._cache_misses += 1
-        result = self._guard_finite(self._solve(omega, current))
+        if _obs.STATE.enabled:
+            _obs.STATE.metrics.counter("evaluator.cache.misses").inc()
+            with _obs.STATE.tracer.span("evaluate", omega=omega,
+                                        current=current):
+                result = self._guard_finite(
+                    self._solve(omega, current))
+        else:
+            result = self._guard_finite(self._solve(omega, current))
         self._store(key, result)
         return result
 
@@ -203,6 +214,7 @@ class Evaluator:
         fresh_keys: "OrderedDict[Tuple[float, float], List[int]]" = \
             OrderedDict()
         clamped: List[Tuple[float, float]] = []
+        hits_before = self._cache_hits
         for index, (omega, current) in enumerate(points):
             self.call_count += 1
             omega, current = self.clamp(omega, current)
@@ -229,10 +241,21 @@ class Evaluator:
                     self.problem.fan_heat_fraction * fan_power)
             self._cache_misses += len(fresh_keys)
             self.solve_count += len(fresh_keys)
-            batch = solve_steady_state_batch(
-                self.problem.model, solve_points,
-                self.problem.dynamic_cell_power, leakage=None,
-                sink_heats=sink_heats, context=self._context)
+            if _obs.STATE.enabled:
+                _obs.STATE.metrics.counter(
+                    "evaluator.cache.misses").inc(len(fresh_keys))
+                with _obs.STATE.tracer.span(
+                        "evaluate_many", points=len(points),
+                        fresh=len(fresh_keys)):
+                    batch = solve_steady_state_batch(
+                        self.problem.model, solve_points,
+                        self.problem.dynamic_cell_power, leakage=None,
+                        sink_heats=sink_heats, context=self._context)
+            else:
+                batch = solve_steady_state_batch(
+                    self.problem.model, solve_points,
+                    self.problem.dynamic_cell_power, leakage=None,
+                    sink_heats=sink_heats, context=self._context)
             for slot, (key, members) in enumerate(fresh_keys.items()):
                 omega, current = solve_points[slot]
                 outcome = batch[slot]
@@ -249,6 +272,9 @@ class Evaluator:
                 self._cache_hits += len(members) - 1
                 for index in members:
                     evaluations[index] = evaluation
+        if _obs.STATE.enabled:
+            _obs.STATE.metrics.counter("evaluator.cache.hits").inc(
+                self._cache_hits - hits_before)
         return [e for e in evaluations if e is not None]
 
     def _batchable(self) -> bool:
@@ -317,6 +343,13 @@ class Evaluator:
         problem = self.problem
         if self._solve_budget is not None:
             if self._budget_used >= self._solve_budget:
+                if _obs.STATE.enabled:
+                    _obs.STATE.tracer.event(
+                        "budget.exhausted",
+                        budget=self._solve_budget,
+                        omega=omega, current=current)
+                    _obs.STATE.metrics.counter(
+                        "evaluator.budget.exhausted").inc()
                 raise EvaluationBudgetError(
                     f"evaluation budget of {self._solve_budget} thermal "
                     f"solves exhausted at omega={omega:.1f}, "

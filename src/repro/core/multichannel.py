@@ -16,7 +16,6 @@ formulation.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -24,6 +23,7 @@ import numpy as np
 from scipy.optimize import minimize
 
 from ..errors import ConfigurationError, ThermalRunawayError
+from ..obs.clock import stopwatch
 from ..thermal import solve_steady_state
 from .evaluator import RUNAWAY_POWER_PENALTY, RUNAWAY_SIGNAL_CAP
 from .problem import CoolingProblem
@@ -242,7 +242,7 @@ def run_oftec_multichannel(
     appears; stage 2 minimizes 𝒫 subject to ``𝒯 < T_max``, both with
     SLSQP over normalized ``(omega, I_1, ..., I_k)``.
     """
-    start_time = time.perf_counter()
+    watch = stopwatch()
     assignment = ChannelAssignment(problem, channel_units)
     evaluator = MultiChannelEvaluator(assignment)
     limits = problem.limits
@@ -281,7 +281,7 @@ def run_oftec_multichannel(
                 omega_star=evaluation.omega,
                 channel_currents=evaluation.channel_currents,
                 evaluation=evaluation, feasible=False,
-                runtime_seconds=time.perf_counter() - start_time,
+                runtime_seconds=watch.elapsed,
                 evaluations=evaluator.solve_count,
                 channel_names=list(assignment.channel_names))
         best_feasible = candidate
@@ -317,7 +317,7 @@ def run_oftec_multichannel(
         channel_currents=evaluation.channel_currents,
         evaluation=evaluation,
         feasible=evaluation.feasible,
-        runtime_seconds=time.perf_counter() - start_time,
+        runtime_seconds=watch.elapsed,
         evaluations=evaluator.solve_count,
         channel_names=list(assignment.channel_names))
 

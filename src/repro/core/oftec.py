@@ -16,11 +16,12 @@ The paper's pipeline:
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from ..errors import InfeasibleProblemError
+from ..obs import runtime as _obs
+from ..obs.clock import stopwatch
 from .evaluator import Evaluation, Evaluator
 from .problem import CoolingProblem
 from .solvers import (
@@ -99,7 +100,20 @@ def run_oftec(
         An :class:`OFTECResult`; when infeasible, it carries the best
         temperature-minimizing point found with ``feasible=False``.
     """
-    start = time.perf_counter()
+    with _obs.span("oftec", problem.name):
+        return _run_oftec_impl(problem, method, evaluator,
+                               raise_on_infeasible, max_iterations)
+
+
+def _run_oftec_impl(
+    problem: CoolingProblem,
+    method: str,
+    evaluator: Optional[Evaluator],
+    raise_on_infeasible: bool,
+    max_iterations: int,
+) -> OFTECResult:
+    """The Algorithm 1 body of :func:`run_oftec`."""
+    watch = stopwatch()
     evaluator = evaluator or Evaluator(problem)
     solves_before = evaluator.solve_count
     limits = problem.limits
@@ -118,7 +132,7 @@ def run_oftec(
         feasible_point = opt2.evaluation
         if feasible_point.max_chip_temperature > t_max:
             # Lines 4-5: no solution exists.
-            runtime = time.perf_counter() - start
+            runtime = watch.elapsed
             if raise_on_infeasible:
                 raise InfeasibleProblemError(
                     f"{problem.name}: even the temperature-minimizing "
@@ -141,7 +155,7 @@ def run_oftec(
     # Line 6: minimize the cooling-related power from the feasible point.
     opt1 = minimize_power(evaluator, x0=start_point, method=method,
                           max_iterations=max_iterations)
-    runtime = time.perf_counter() - start
+    runtime = watch.elapsed
     return OFTECResult(
         problem_name=problem.name,
         omega_star=opt1.omega,

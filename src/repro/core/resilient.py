@@ -27,7 +27,6 @@ budget as the plain solvers, so fault-free results are identical.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Tuple
 
@@ -39,6 +38,8 @@ from ..errors import (
     SingularNetworkError,
     SolverError,
 )
+from ..obs import runtime as _obs
+from ..obs.clock import stopwatch
 from .dvfs import DVFSModel, ThrottleResult, find_max_frequency
 from .evaluator import Evaluation, Evaluator
 from .oftec import OFTECResult, initial_operating_point
@@ -156,6 +157,9 @@ class FailureReport:
         condition_estimate: 1-norm condition estimate recovered from a
             :class:`~repro.errors.SingularNetworkError` in the chain,
             when present.
+        trace_excerpt: Rendered lines of the most recent spans of the
+            active tracer at report time (empty when telemetry is
+            disabled) — the failing attempt's local history.
     """
 
     benchmark: str
@@ -166,6 +170,7 @@ class FailureReport:
     attempts: List[AttemptRecord] = field(default_factory=list)
     last_iterate: Optional[Tuple[float, float]] = None
     condition_estimate: Optional[float] = None
+    trace_excerpt: List[str] = field(default_factory=list)
 
 
 def failure_report_from_exception(
@@ -175,7 +180,13 @@ def failure_report_from_exception(
     attempts: Sequence[AttemptRecord] = (),
     last_iterate: Optional[Tuple[float, float]] = None,
 ) -> FailureReport:
-    """Condense an exception (and its cause chain) into a report."""
+    """Condense an exception (and its cause chain) into a report.
+
+    When a telemetry session is active, the report also captures the
+    tracer's excerpt of the most recent spans, so every caller (the
+    ladder, the campaign isolator, the chaos harness) gets the failing
+    attempt's trace context for free.
+    """
     chain: List[str] = []
     condition: Optional[float] = None
     seen = set()
@@ -187,6 +198,9 @@ def failure_report_from_exception(
                                             SingularNetworkError):
             condition = current.condition_estimate
         current = current.__cause__ or current.__context__
+    excerpt: List[str] = []
+    if _obs.STATE.enabled:
+        excerpt = _obs.STATE.tracer.excerpt()
     return FailureReport(
         benchmark=benchmark,
         stage=stage,
@@ -195,7 +209,8 @@ def failure_report_from_exception(
         exception_chain=chain,
         attempts=list(attempts),
         last_iterate=last_iterate,
-        condition_estimate=condition)
+        condition_estimate=condition,
+        trace_excerpt=excerpt)
 
 
 @dataclass
@@ -284,37 +299,51 @@ class ResilientSolver:
         last_error: Optional[SolverError] = None
         point = (float(x0[0]), float(x0[1]))
         operator = self.evaluator.context.operator
-        for method in policy.ladder:
-            for retry in range(policy.retries_per_method + 1):
-                start = point if retry == 0 else self._perturb(point)
-                solves_before = self.evaluator.solve_count
-                factor_before = operator.stats.factorizations
-                self.evaluator.set_solve_budget(policy.max_evaluations)
-                try:
-                    outcome = runner(method, start)
-                except SolverError as exc:
-                    last_error = exc
+        with _obs.span("ladder", stage):
+            for method in policy.ladder:
+                for retry in range(policy.retries_per_method + 1):
+                    start = point if retry == 0 \
+                        else self._perturb(point)
+                    solves_before = self.evaluator.solve_count
+                    factor_before = operator.stats.factorizations
+                    self.evaluator.set_solve_budget(
+                        policy.max_evaluations)
+                    try:
+                        # The attempt span sits inside the try so a
+                        # SolverError is recorded on it before the
+                        # handler below absorbs the exception.
+                        with _obs.span("attempt", method, retry=retry):
+                            outcome = runner(method, start)
+                    except SolverError as exc:
+                        last_error = exc
+                        if _obs.STATE.enabled:
+                            _obs.STATE.metrics.counter(
+                                "resilient.attempts.failed").inc()
+                        attempts.append(AttemptRecord(
+                            method=method, retry=retry, success=False,
+                            error_type=type(exc).__name__,
+                            message=str(exc),
+                            evaluations=(self.evaluator.solve_count
+                                         - solves_before),
+                            factorizations=(
+                                operator.stats.factorizations
+                                - factor_before)))
+                        continue
+                    finally:
+                        self.evaluator.set_solve_budget(None)
+                        if _obs.STATE.enabled:
+                            _obs.STATE.metrics.counter(
+                                "resilient.attempts").inc()
                     attempts.append(AttemptRecord(
-                        method=method, retry=retry, success=False,
-                        error_type=type(exc).__name__,
-                        message=str(exc),
-                        evaluations=(self.evaluator.solve_count
-                                     - solves_before),
+                        method=method, retry=retry,
+                        success=bool(outcome.success), error_type=None,
+                        message=outcome.message,
+                        evaluations=outcome.evaluations,
                         factorizations=(operator.stats.factorizations
                                         - factor_before)))
-                    continue
-                finally:
-                    self.evaluator.set_solve_budget(None)
-                attempts.append(AttemptRecord(
-                    method=method, retry=retry,
-                    success=bool(outcome.success), error_type=None,
-                    message=outcome.message,
-                    evaluations=outcome.evaluations,
-                    factorizations=(operator.stats.factorizations
-                                    - factor_before)))
-                best = self._better(best, outcome, prefer)
-                if outcome.success:
-                    return ResilientOutcome(best, attempts, None)
+                    best = self._better(best, outcome, prefer)
+                    if outcome.success:
+                        return ResilientOutcome(best, attempts, None)
         if best is not None:
             # No rung reported success, but we do hold a best iterate —
             # return it as a soft failure (success=False on the outcome).
@@ -408,7 +437,27 @@ def run_oftec_resilient(
     policy = policy or ResiliencePolicy()
     evaluator = evaluator or Evaluator(problem)
     solver = ResilientSolver(evaluator, policy)
-    start = time.perf_counter()
+    if not _obs.STATE.enabled:
+        return _run_oftec_resilient_impl(problem, policy, evaluator,
+                                         solver, dvfs)
+    with _obs.STATE.tracer.span("oftec", problem.name):
+        outcome = _run_oftec_resilient_impl(problem, policy, evaluator,
+                                            solver, dvfs)
+        if outcome.degraded_to_dvfs:
+            _obs.STATE.tracer.event("dvfs.degraded")
+            _obs.STATE.metrics.counter("resilient.dvfs.degraded").inc()
+        return outcome
+
+
+def _run_oftec_resilient_impl(
+    problem: CoolingProblem,
+    policy: ResiliencePolicy,
+    evaluator: Evaluator,
+    solver: ResilientSolver,
+    dvfs: Optional[DVFSModel],
+) -> ResilientOFTECResult:
+    """The stage-by-stage body of :func:`run_oftec_resilient`."""
+    watch = stopwatch()
     solves_before = evaluator.solve_count
     attempts: List[AttemptRecord] = []
     failures: List[FailureReport] = []
@@ -465,7 +514,7 @@ def run_oftec_resilient(
             current_star=chosen.current,
             evaluation=chosen,
             feasible=chosen.feasible,
-            runtime_seconds=time.perf_counter() - start,
+            runtime_seconds=watch.elapsed,
             opt2=opt2, opt1=opt1,
             thermal_solves=evaluator.solve_count - solves_before)
         return ResilientOFTECResult(result, attempts, failures)
@@ -480,7 +529,7 @@ def run_oftec_resilient(
             current_star=best_eval.current,
             evaluation=best_eval,
             feasible=False,
-            runtime_seconds=time.perf_counter() - start,
+            runtime_seconds=watch.elapsed,
             opt2=opt2, opt1=None,
             thermal_solves=evaluator.solve_count - solves_before)
     throttle: Optional[ThrottleResult] = None

@@ -21,11 +21,14 @@ Code        Name                Convention guarded
                                 ``thermal/operator.py`` caches them.
 ``RPR401``  docstring-units     Public functions taking physical quantities
                                 state their units.
+``RPR501``  print-in-library    Library code returns data, raises, or emits
+                                telemetry through :mod:`repro.obs`; only the
+                                CLI layer prints.
 ==========  ==================  ==============================================
 
 New rules: subclass :class:`~repro.devtools.physlint.core.Rule`, pick the
 next free code in the band (1xx units, 2xx exceptions/control flow,
-3xx numerics, 4xx documentation), and decorate with
+3xx numerics, 4xx documentation, 5xx observability), and decorate with
 :func:`~repro.devtools.physlint.core.rule`.
 """
 
@@ -591,3 +594,45 @@ class DocstringUnitsRule(Rule):
         self._function_depth += 1
         self.generic_visit(node)
         self._function_depth -= 1
+
+
+# ---------------------------------------------------------------------------
+# RPR501 — print-in-library
+# ---------------------------------------------------------------------------
+
+#: Path suffixes where printing is the job, not a smell.
+_PRINT_EXEMPT_SUFFIXES = ("/cli.py", "/__main__.py")
+
+#: Path fragments marking presentation or tooling layers where stdout
+#: is the intended interface.
+_PRINT_EXEMPT_FRAGMENTS = ("/devtools/", "/examples/", "/benchmarks/")
+
+
+@rule
+class PrintInLibraryRule(Rule):
+    """Library code must not write to stdout; that is the CLI's job."""
+
+    code = "RPR501"
+    name = "print-in-library"
+    rationale = (
+        "A print() buried in a solver corrupts JSON pipelines "
+        "(`repro ... --json | jq`), vanishes in batch jobs, and cannot "
+        "be aggregated.  Library code returns data, raises a "
+        "ReproError, or records telemetry through repro.obs; only the "
+        "CLI and reporter layers print.")
+
+    @classmethod
+    def applies_to(cls, posix_path: str) -> bool:
+        if any(posix_path.endswith(suffix)
+               for suffix in _PRINT_EXEMPT_SUFFIXES):
+            return False
+        return not any(fragment in posix_path
+                       for fragment in _PRINT_EXEMPT_FRAGMENTS)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if isinstance(node.func, ast.Name) and node.func.id == "print":
+            self.emit(node, (
+                "print() in library code; return the data, raise a "
+                "ReproError, or record it via repro.obs (events/"
+                "metrics) and let the CLI layer present it"))
+        self.generic_visit(node)

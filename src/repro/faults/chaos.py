@@ -9,12 +9,13 @@ bit CI asserts on.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional
 
 from ..analysis.campaign import CampaignResult, run_campaign
 from ..core import CoolingProblem
+from ..obs import runtime as _obs
+from ..obs.clock import stopwatch
 from ..power import BenchmarkProfile
 from .inject import FaultInjector, FaultyEvaluator
 from .plan import FaultPlan, full_fault_plan
@@ -75,18 +76,26 @@ def run_chaos_campaign(
     plan = plan if plan is not None else full_fault_plan()
     injector = FaultInjector(plan)
     report = ChaosReport(plan=plan)
-    start = time.perf_counter()
-    try:
-        report.campaign = run_campaign(
-            profiles, tec_problem_template, baseline_problem_template,
-            method=method, isolate_failures=True, resilient=resilient,
-            evaluator_factory=lambda p: FaultyEvaluator(p, injector))
-    except Exception as exc:  # physlint: disable=RPR201
-        # The whole point of the harness: anything reaching this
-        # handler is a resilience bug, recorded as such.
-        report.unhandled.append(f"{type(exc).__name__}: {exc}")
+    watch = stopwatch("chaos.wall_seconds")
+    with watch, _obs.span("chaos", seed=plan.seed):
+        try:
+            report.campaign = run_campaign(
+                profiles, tec_problem_template,
+                baseline_problem_template,
+                method=method, isolate_failures=True,
+                resilient=resilient,
+                evaluator_factory=lambda p: FaultyEvaluator(p,
+                                                            injector))
+        except Exception as exc:  # physlint: disable=RPR201
+            # The whole point of the harness: anything reaching this
+            # handler is a resilience bug, recorded as such.
+            report.unhandled.append(f"{type(exc).__name__}: {exc}")
+            _obs.event("chaos.unhandled", error=type(exc).__name__)
     report.fired = injector.fired_counts()
-    report.wall_seconds = time.perf_counter() - start
+    if _obs.STATE.enabled:
+        for kind, count in report.fired.items():
+            _obs.STATE.metrics.gauge(f"chaos.fired.{kind}").set(count)
+    report.wall_seconds = watch.elapsed
     return report
 
 

@@ -32,6 +32,7 @@ from ..errors import (
     SolveTimeoutError,
     ThermalRunawayError,
 )
+from ..obs import runtime as _obs
 from ..thermal import ThermalNetwork
 from .plan import FaultKind, FaultPlan
 
@@ -76,6 +77,13 @@ class FaultInjector:
         if not self._rngs[kind].random() < spec.rate:
             return False
         self._fired[kind] += 1
+        if _obs.STATE.enabled:
+            # The decision is made inside the solve the fault is about
+            # to perturb, so the event lands on that solve's open span.
+            _obs.STATE.tracer.event("fault.injected", kind=kind.value,
+                                    fire=self._fired[kind])
+            _obs.STATE.metrics.counter(
+                f"faults.injected.{kind.value}").inc()
         return True
 
     def fired_counts(self) -> Dict[str, int]:

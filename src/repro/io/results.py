@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import json
 import os
-from typing import Union
+from typing import Optional, Union
 
 from ..analysis.campaign import BenchmarkComparison, CampaignResult
 from ..core import (
@@ -119,14 +119,23 @@ def failure_report_to_dict(report: FailureReport) -> dict:
         }
     if report.condition_estimate is not None:
         payload["condition_estimate"] = report.condition_estimate
+    if report.trace_excerpt:
+        payload["trace_excerpt"] = list(report.trace_excerpt)
     return payload
 
 
-def campaign_to_dict(campaign: CampaignResult) -> dict:
+def campaign_to_dict(campaign: CampaignResult,
+                     telemetry: Optional[dict] = None) -> dict:
     """Serialize a full campaign with its headline aggregates.
 
-    Failure reports appear under ``"failures"`` only when present, so
-    fault-free campaigns serialize exactly as they always did.
+    Failure reports appear under ``"failures"`` only when present, and
+    the ``"telemetry"`` block only when a metrics snapshot is passed
+    explicitly, so campaigns run without telemetry serialize exactly as
+    they always did (byte-identical output).
+
+    Args:
+        telemetry: Optional metrics snapshot (the value of
+            :meth:`repro.obs.MetricsRegistry.snapshot`) to embed.
     """
     counts = campaign.feasibility_counts()
     payload = {
@@ -152,11 +161,14 @@ def campaign_to_dict(campaign: CampaignResult) -> dict:
             campaign.average_power_saving("fixed-omega")
         payload["temperature_delta_vs_variable_k"] = \
             campaign.average_temperature_delta("variable-omega")
+    if telemetry is not None:
+        payload["telemetry"] = telemetry
     return payload
 
 
-def save_campaign(campaign: CampaignResult, path: PathLike) -> None:
-    """Write a campaign as JSON."""
+def save_campaign(campaign: CampaignResult, path: PathLike,
+                  telemetry: Optional[dict] = None) -> None:
+    """Write a campaign as JSON (optionally with a telemetry block)."""
     with open(path, "w", encoding="utf-8") as f:
-        json.dump(campaign_to_dict(campaign), f, indent=2,
-                  sort_keys=True)
+        json.dump(campaign_to_dict(campaign, telemetry=telemetry), f,
+                  indent=2, sort_keys=True)

@@ -19,6 +19,8 @@ from dataclasses import dataclass
 from typing import Callable
 
 from ..errors import ConfigurationError, ThermalRunawayError
+from ..obs import runtime as _obs
+from ..obs.metrics import DEFAULT_COUNT_BUCKETS
 
 
 @dataclass
@@ -87,6 +89,10 @@ def lumped_fixed_point(
                 max_temperature=updated)
         change = abs(updated - temperature)
         if change < tolerance:
+            if _obs.STATE.enabled:
+                _obs.STATE.metrics.histogram(
+                    "leakage.lumped.iterations",
+                    buckets=DEFAULT_COUNT_BUCKETS).observe(iteration)
             return LumpedLeakageResult(
                 temperature=updated,
                 leakage_power=leakage(updated),

@@ -1,0 +1,83 @@
+"""repro.obs — tracing, metrics, and telemetry export.
+
+The observability plane for the OFTEC pipeline (see
+docs/OBSERVABILITY.md for the span taxonomy and metric table).  Usage:
+
+    from repro.obs import telemetry_session, save_trace
+
+    with telemetry_session() as (tracer, metrics):
+        result = run_oftec(problem)
+    save_trace(tracer, "run.jsonl")
+    snapshot = metrics.snapshot()
+
+Everything defaults to a zero-overhead no-op: without an active
+session, instrumented seams cost one attribute check and results are
+bit-identical to an un-instrumented build.
+"""
+
+from .clock import Stopwatch, monotonic, stopwatch
+from .export import (
+    TRACE_FORMAT_VERSION,
+    format_trace_summary,
+    load_trace,
+    read_trace_jsonl,
+    save_trace,
+    span_to_dict,
+    summarize_spans,
+    write_trace_jsonl,
+)
+from .metrics import (
+    DEFAULT_COUNT_BUCKETS,
+    DEFAULT_TIME_BUCKETS_S,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetrics,
+)
+from .runtime import (
+    event,
+    get_metrics,
+    get_tracer,
+    install,
+    is_enabled,
+    reset,
+    span,
+    telemetry_session,
+    traced,
+)
+from .tracing import NoopTracer, Span, SpanEvent, Tracer
+
+__all__ = [
+    "Counter",
+    "DEFAULT_COUNT_BUCKETS",
+    "DEFAULT_TIME_BUCKETS_S",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NoopTracer",
+    "NullMetrics",
+    "Span",
+    "SpanEvent",
+    "Stopwatch",
+    "TRACE_FORMAT_VERSION",
+    "Tracer",
+    "event",
+    "format_trace_summary",
+    "get_metrics",
+    "get_tracer",
+    "install",
+    "is_enabled",
+    "load_trace",
+    "monotonic",
+    "read_trace_jsonl",
+    "reset",
+    "save_trace",
+    "span",
+    "span_to_dict",
+    "stopwatch",
+    "summarize_spans",
+    "telemetry_session",
+    "traced",
+    "write_trace_jsonl",
+]

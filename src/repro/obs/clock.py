@@ -1,0 +1,88 @@
+"""Monotonic timing helpers shared by every instrumented layer.
+
+Before this module existed, wall-clock measurement was five hand-rolled
+``time.perf_counter()`` start/stop pairs scattered across the chaos
+harness, the campaign runner, the resilient solver, and the
+multi-channel optimizer — none of which landed anywhere a run artifact
+could see.  :func:`stopwatch` centralizes the idiom: a started
+:class:`Stopwatch` whose ``elapsed`` property can be read mid-flight
+(for result objects with several return points) and which, used as a
+context manager with a ``metric`` name, lands its duration in the
+active :class:`~repro.obs.MetricsRegistry` histogram on exit.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+
+def monotonic() -> float:
+    """The telemetry clock: monotonic seconds (``time.perf_counter``)."""
+    return time.perf_counter()
+
+
+class Stopwatch:
+    """A started monotonic stopwatch.
+
+    The watch starts on construction.  ``elapsed`` reads the live
+    duration (s) while running and the frozen duration after
+    :meth:`stop` (or context-manager exit).  When constructed with a
+    ``metric`` name and used as a context manager, the final duration
+    is observed into that histogram of the active metrics registry —
+    a no-op when telemetry is disabled.
+    """
+
+    __slots__ = ("metric", "_start", "_frozen")
+
+    def __init__(self, metric: Optional[str] = None):
+        self.metric = metric
+        self._start = monotonic()
+        self._frozen: Optional[float] = None
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds since start (frozen once stopped)."""
+        if self._frozen is not None:
+            return self._frozen
+        return monotonic() - self._start
+
+    @property
+    def running(self) -> bool:
+        """True until :meth:`stop` (or ``__exit__``) freezes the watch."""
+        return self._frozen is None
+
+    def restart(self) -> None:
+        """Re-arm the watch from now (unfreezes a stopped watch)."""
+        self._start = monotonic()
+        self._frozen = None
+
+    def stop(self) -> float:
+        """Freeze and return the elapsed duration, s (idempotent)."""
+        if self._frozen is None:
+            self._frozen = monotonic() - self._start
+        return self._frozen
+
+    def __enter__(self) -> "Stopwatch":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        duration = self.stop()
+        if self.metric is not None:
+            from .runtime import STATE
+            if STATE.enabled:
+                STATE.metrics.histogram(self.metric).observe(duration)
+
+
+def stopwatch(metric: Optional[str] = None) -> Stopwatch:
+    """A freshly started :class:`Stopwatch`.
+
+    Args:
+        metric: Optional histogram name (``*_seconds`` convention) the
+            duration is recorded under when the watch is used as a
+            context manager and telemetry is enabled.
+    """
+    return Stopwatch(metric=metric)
+
+
+__all__ = ["Stopwatch", "monotonic", "stopwatch"]

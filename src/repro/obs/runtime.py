@@ -1,0 +1,163 @@
+"""Process-wide telemetry state and the hot-path access helpers.
+
+One mutable holder (:data:`STATE`) carries the active tracer and
+metrics registry.  Both default to the shared no-op singletons, so the
+cost of an un-instrumented run is a single attribute check per seam:
+
+    from ..obs import runtime as _OBS
+
+    if _OBS.STATE.enabled:
+        _OBS.STATE.metrics.counter("operator.cache.hits").inc()
+
+Enablement is all-or-nothing by design — the pipeline seams are cheap
+enough that separately toggling tracing and metrics buys nothing but
+matrix-testing surface.  :func:`telemetry_session` is the frontend used
+by the CLI and tests: it installs a fresh ``(Tracer, MetricsRegistry)``
+pair, yields them, and restores the previous state on exit even when
+the traced run fails.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator, Optional, Tuple, TypeVar
+
+from .metrics import NOOP_METRICS, MetricsRegistry
+from .tracing import NOOP_TRACER, NULL_SPAN_CONTEXT, Tracer
+
+F = TypeVar("F", bound=Callable[..., Any])
+
+
+class ObsState:
+    """The mutable holder for the active telemetry backends.
+
+    ``enabled`` is the single hot-path flag: True exactly when a real
+    tracer/registry pair is installed.
+    """
+
+    __slots__ = ("tracer", "metrics", "enabled")
+
+    def __init__(self) -> None:
+        self.tracer = NOOP_TRACER
+        self.metrics = NOOP_METRICS
+        self.enabled = False
+
+
+#: The process-wide telemetry state.  Read it through the accessors
+#: below (or directly on hot paths, guarded by ``STATE.enabled``).
+STATE = ObsState()
+
+
+def get_tracer():
+    """The active tracer (the no-op singleton when disabled)."""
+    return STATE.tracer
+
+
+def get_metrics():
+    """The active metrics registry (the no-op singleton when disabled)."""
+    return STATE.metrics
+
+
+def is_enabled() -> bool:
+    """True when a real telemetry session is installed."""
+    return STATE.enabled
+
+
+def install(tracer: Optional[Tracer] = None,
+            metrics: Optional[MetricsRegistry] = None,
+            ) -> Tuple[Tracer, MetricsRegistry]:
+    """Install (and return) an active tracer/registry pair.
+
+    Omitted arguments get fresh instances.  Prefer
+    :func:`telemetry_session` outside of long-lived embeddings — it
+    restores the previous state on exit.
+    """
+    active_tracer = tracer if tracer is not None else Tracer()
+    active_metrics = metrics if metrics is not None \
+        else MetricsRegistry()
+    STATE.tracer = active_tracer
+    STATE.metrics = active_metrics
+    STATE.enabled = True
+    return active_tracer, active_metrics
+
+
+def reset() -> None:
+    """Return to the disabled (no-op) state."""
+    STATE.tracer = NOOP_TRACER
+    STATE.metrics = NOOP_METRICS
+    STATE.enabled = False
+
+
+@contextmanager
+def telemetry_session(tracer: Optional[Tracer] = None,
+                      metrics: Optional[MetricsRegistry] = None,
+                      ) -> Iterator[Tuple[Tracer, MetricsRegistry]]:
+    """Enable telemetry for the enclosed block.
+
+    Yields the installed ``(tracer, metrics)`` pair and restores the
+    previous state afterwards, so sessions nest and a failing traced
+    run cannot leak an enabled tracer into later work.
+    """
+    previous = (STATE.tracer, STATE.metrics, STATE.enabled)
+    pair = install(tracer, metrics)
+    try:
+        yield pair
+    finally:
+        STATE.tracer, STATE.metrics, STATE.enabled = previous
+
+
+def span(kind: str, name: Optional[str] = None, **attributes: Any):
+    """A span context manager on the active tracer.
+
+    The disabled path returns the shared null context manager without
+    touching the tracer — suitable for warm seams.  The hottest loops
+    guard on ``STATE.enabled`` directly instead.
+    """
+    if STATE.enabled:
+        return STATE.tracer.span(kind, name, **attributes)
+    return NULL_SPAN_CONTEXT
+
+
+def event(name: str, **attributes: Any) -> None:
+    """Attach an event to the current span of the active tracer."""
+    if STATE.enabled:
+        STATE.tracer.event(name, **attributes)
+
+
+def traced(kind: str, name: Optional[str] = None) -> Callable[[F], F]:
+    """Decorator form of :func:`span`.
+
+    Wraps the function body in a span of ``kind`` (named after the
+    function unless ``name`` is given).  The wrapper adds one flag
+    check when telemetry is disabled.
+    """
+    import functools
+
+    def decorate(func: F) -> F:
+        span_name = name if name is not None else func.__name__
+
+        @functools.wraps(func)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            if not STATE.enabled:
+                return func(*args, **kwargs)
+            with STATE.tracer.span(kind, span_name):
+                return func(*args, **kwargs)
+
+        return wrapper  # type: ignore[return-value]
+
+    return decorate
+
+
+__all__ = [
+    "ObsState",
+    "STATE",
+    "event",
+    "get_metrics",
+    "get_tracer",
+    "install",
+    "is_enabled",
+    "reset",
+    "span",
+    "telemetry_session",
+    "traced",
+]

@@ -50,6 +50,8 @@ from scipy.sparse import coo_matrix, csc_matrix, csr_matrix
 from scipy.sparse.linalg import LinearOperator, onenormest, splu
 
 from ..errors import ConfigurationError, SingularNetworkError
+from ..obs import runtime as _obs
+from ..obs.clock import monotonic
 
 #: Dimensionless solution-amplification limit above which a finite
 #: sparse solve is declared numerically degenerate (see
@@ -258,7 +260,10 @@ class ThermalOperator:
         if cached is not None:
             self._lru.move_to_end(key)
             self._hits += 1
+            if _obs.STATE.enabled:
+                _obs.STATE.metrics.counter("operator.factor.hits").inc()
             return cached
+        started = monotonic() if _obs.STATE.enabled else 0.0
         csc = self._load(overlay)
         norm1 = float(np.abs(csc).sum(axis=0).max())
         try:
@@ -274,9 +279,21 @@ class ThermalOperator:
         self._factorizations += 1
         factorization = Factorization(lu, key, norm1)
         self._lru[key] = factorization
+        evicted = False
         if len(self._lru) > self._capacity:
             self._lru.popitem(last=False)
             self._evictions += 1
+            evicted = True
+        if _obs.STATE.enabled:
+            metrics = _obs.STATE.metrics
+            metrics.counter("operator.factorizations").inc()
+            metrics.histogram("operator.factorize_seconds").observe(
+                monotonic() - started)
+            if evicted:
+                metrics.counter("operator.factor.evictions").inc()
+            _obs.STATE.tracer.event(
+                "operator.factorize", cached=len(self._lru),
+                evicted=evicted)
         return factorization
 
     # -- solving ------------------------------------------------------
@@ -296,10 +313,16 @@ class ThermalOperator:
         if rhs_arr.shape != (self._n,):
             raise ConfigurationError(
                 f"RHS must have shape ({self._n},), got {rhs_arr.shape}")
+        started = monotonic() if _obs.STATE.enabled else 0.0
         factorization = self.factor(overlay)
         temps = factorization.solve(rhs_arr)
         self._solves += 1
         self._guard(temps, rhs_arr, overlay, factorization.norm1)
+        if _obs.STATE.enabled:
+            metrics = _obs.STATE.metrics
+            metrics.counter("operator.solves").inc()
+            metrics.histogram("operator.solve_seconds").observe(
+                monotonic() - started)
         return temps
 
     def solve_many(self, diag_overlay: np.ndarray,
@@ -317,10 +340,16 @@ class ThermalOperator:
             raise ConfigurationError(
                 f"RHS block must have shape ({self._n}, k), got "
                 f"{block.shape}")
+        started = monotonic() if _obs.STATE.enabled else 0.0
         factorization = self.factor(overlay)
         temps = factorization.solve(block)
         self._solves += block.shape[1]
         self._guard(temps, block, overlay, factorization.norm1)
+        if _obs.STATE.enabled:
+            metrics = _obs.STATE.metrics
+            metrics.counter("operator.solves").inc(block.shape[1])
+            metrics.histogram("operator.solve_seconds").observe(
+                monotonic() - started)
         return temps
 
     def _guard(self, temps: np.ndarray, rhs: np.ndarray,

@@ -24,6 +24,8 @@ from ..errors import (
     ThermalRunawayError,
 )
 from ..leakage import CellLeakageModel, tangent_linearization
+from ..obs import runtime as _obs
+from ..obs.metrics import DEFAULT_COUNT_BUCKETS
 from .assembly import PackageThermalModel
 from .operator import ThermalOperator
 
@@ -195,6 +197,10 @@ def solve_steady_state(
         update = float(np.max(np.abs(chip - t_ref)))
         if update < config.leak_tolerance:
             stats = SolveStats(iteration, iteration, True, update)
+            if _obs.STATE.enabled:
+                _obs.STATE.metrics.histogram(
+                    "leakage.iterations",
+                    buckets=DEFAULT_COUNT_BUCKETS).observe(iteration)
             leak_power = leakage.total_power(chip)
             result = _package_result(model, temps, omega, current,
                                      leak_power, stats)
@@ -206,6 +212,12 @@ def solve_steady_state(
         if update > previous_update * 1.0001:
             growth_strikes += 1
             if growth_strikes >= 3:
+                if _obs.STATE.enabled:
+                    _obs.STATE.tracer.event(
+                        "leakage.diverged", iteration=iteration,
+                        update_k=update)
+                    _obs.STATE.metrics.counter(
+                        "leakage.diverged").inc()
                 raise ThermalRunawayError(
                     f"Leakage fixed point diverging at omega={omega:.1f}, "
                     f"I={_fmt_current(current)} (update {update:.2f} K "
@@ -215,6 +227,11 @@ def solve_steady_state(
             growth_strikes = 0
         previous_update = update
         t_ref = chip
+    if _obs.STATE.enabled:
+        _obs.STATE.tracer.event(
+            "leakage.exhausted",
+            iterations=config.leak_max_iterations)
+        _obs.STATE.metrics.counter("leakage.diverged").inc()
     raise ThermalRunawayError(
         f"Leakage fixed point failed to converge within "
         f"{config.leak_max_iterations} iterations at omega={omega:.1f}, "

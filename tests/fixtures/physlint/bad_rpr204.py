@@ -28,7 +28,7 @@ def swallow_with_print(solver):
     try:
         return solver.solve()
     except ReproError:  # BAD: print is not handling
-        print("solve failed")
+        print("solve failed")  # physlint: disable=RPR501
 
 
 def swallow_with_log(solver):

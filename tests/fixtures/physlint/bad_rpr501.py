@@ -1,0 +1,23 @@
+"""Known-bad fixture for RPR501 (print-in-library)."""
+
+import sys
+
+from repro.errors import SolverError
+
+
+def report_progress(iteration, residual):
+    print(f"iteration {iteration}: residual {residual:.3e}")  # BAD
+    return residual
+
+
+def solve_with_debug_output(solver):
+    try:
+        return solver.solve()
+    except SolverError as exc:
+        print("solver failed:", exc, file=sys.stderr)  # BAD: stderr too
+        raise
+
+
+def summarize(results):
+    for result in results:
+        print(result)  # BAD: presentation belongs in the CLI layer

@@ -1,0 +1,26 @@
+"""Known-good fixture for RPR501 (print-in-library)."""
+
+import logging
+
+from repro.errors import SolverError
+from repro.obs import runtime as obs
+
+logger = logging.getLogger(__name__)
+
+
+def report_progress(iteration, residual):
+    obs.event("solver.progress", iteration=iteration,
+              residual=residual)
+    return residual
+
+
+def solve_with_recorded_failure(solver):
+    try:
+        return solver.solve()
+    except SolverError:
+        logger.warning("solver failed")
+        raise
+
+
+def summarize(results):
+    return "\n".join(str(result) for result in results)

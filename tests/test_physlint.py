@@ -21,7 +21,7 @@ FIXTURES = Path(__file__).parent / "fixtures" / "physlint"
 SRC = Path(__file__).resolve().parents[1] / "src"
 
 ALL_CODES = ("RPR101", "RPR201", "RPR202", "RPR204", "RPR301",
-             "RPR302", "RPR401")
+             "RPR302", "RPR401", "RPR501")
 
 
 def codes_in(path):
@@ -48,6 +48,7 @@ class TestBadFixtures:
         ("rpr301", 3),
         ("rpr302", 4),
         ("rpr401", 2),
+        ("rpr501", 3),
     ])
     def test_bad_fixture_findings(self, code, expected):
         found = codes_in(FIXTURES / f"bad_{code}.py")
@@ -62,7 +63,7 @@ class TestBadFixtures:
 class TestGoodFixtures:
     @pytest.mark.parametrize("name", [
         "good_rpr101", "good_rpr201", "good_rpr204", "good_rpr301",
-        "good_rpr302", "good_rpr401",
+        "good_rpr302", "good_rpr401", "good_rpr501",
     ])
     def test_good_fixture_clean(self, name):
         assert codes_in(FIXTURES / f"{name}.py") == []
@@ -166,6 +167,16 @@ class TestExemptions:
         assert lint_source(src, "src/repro/units.py") == []
         assert [f.code for f in lint_source(src, "src/repro/other.py")] \
             == ["RPR101"]
+
+    def test_cli_and_devtools_exempt_from_rpr501(self):
+        src = "def f(x):\n    print(x)\n"
+        assert lint_source(src, "src/repro/cli.py") == []
+        assert lint_source(src, "src/repro/__main__.py") == []
+        assert lint_source(
+            src, "src/repro/devtools/physlint/reporters.py") == []
+        assert [f.code
+                for f in lint_source(src, "src/repro/core/oftec.py")] \
+            == ["RPR501"]
 
     def test_parse_error_reported(self):
         findings = lint_source("def broken(:\n", "x.py")
