@@ -13,18 +13,14 @@ repository root:
   only applies at resolution >= 8).
 """
 
-import json
-import os
 import time
 
 import numpy as np
 
+from _common import emit_bench_json, paired_medians
 from repro import run_oftec
 from repro.core import Evaluator
 from repro.obs import telemetry_session
-
-BENCH_JSON = os.path.join(os.path.dirname(os.path.abspath(__file__)),
-                          os.pardir, "BENCH_4.json")
 
 
 def _solve_sample(network, overlay, rhs, rounds):
@@ -35,24 +31,17 @@ def _solve_sample(network, overlay, rhs, rounds):
     return (time.perf_counter() - start) / rounds
 
 
-def _paired_warm_solve_seconds(network, overlay, rhs, rounds,
-                               repeats=7):
-    """Median (disabled, enabled) seconds per warm solve.
-
-    The two configurations are sampled back to back within each repeat
-    so machine drift (frequency scaling, noisy neighbors) hits both
-    equally instead of biasing whichever ran first.
-    """
+def _paired_warm_solve_seconds(network, overlay, rhs, rounds):
+    """Median (disabled, enabled) seconds per warm solve."""
     network.solve(overlay, rhs)  # prime the factor cache
-    disabled, enabled = [], []
-    for _ in range(repeats):
-        disabled.append(_solve_sample(network, overlay, rhs, rounds))
+
+    def enabled_sample():
         with telemetry_session():
-            enabled.append(_solve_sample(network, overlay, rhs,
-                                         rounds))
-    disabled.sort()
-    enabled.sort()
-    return disabled[repeats // 2], enabled[repeats // 2]
+            return _solve_sample(network, overlay, rhs, rounds)
+
+    return paired_medians(
+        lambda: _solve_sample(network, overlay, rhs, rounds),
+        enabled_sample)
 
 
 def _oftec_sample(problem):
@@ -65,14 +54,12 @@ def _oftec_sample(problem):
 
 def _paired_oftec_seconds(problem, repeats=3):
     """Median (disabled, enabled) wall seconds, sampled interleaved."""
-    disabled, enabled = [], []
-    for _ in range(repeats):
-        disabled.append(_oftec_sample(problem))
+    def enabled_sample():
         with telemetry_session():
-            enabled.append(_oftec_sample(problem))
-    disabled.sort()
-    enabled.sort()
-    return disabled[repeats // 2], enabled[repeats // 2]
+            return _oftec_sample(problem)
+
+    return paired_medians(lambda: _oftec_sample(problem),
+                          enabled_sample, repeats=repeats)
 
 
 def test_obs_overhead_and_emit(tec_problem, resolution):
@@ -128,9 +115,7 @@ def test_obs_overhead_and_emit(tec_problem, resolution):
             "spans": spans,
         },
     }
-    with open(BENCH_JSON, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    emit_bench_json("BENCH_4.json", payload)
 
     # The session actually instrumented the solves it covered.
     assert solve_count >= 1

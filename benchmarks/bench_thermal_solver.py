@@ -8,21 +8,17 @@ throughput, factorizations per solve over the Table 2 campaign) are
 written to ``BENCH_3.json`` at the repository root.
 """
 
-import json
-import os
 import time
 
 import numpy as np
 
+from _common import emit_bench_json
 from repro.analysis import run_campaign
 from repro.materials import default_package_stack
 from repro.geometry import Grid, alpha21264_floorplan
 from repro.tec import TECArray, default_tec_device
 from repro.thermal import build_package_model, simulate_transient, \
     solve_steady_state
-
-BENCH_JSON = os.path.join(os.path.dirname(os.path.abspath(__file__)),
-                          os.pardir, "BENCH_3.json")
 
 
 def test_model_assembly(benchmark, resolution):
@@ -131,9 +127,7 @@ def test_operator_reuse_and_emit(tec_problem, baseline_problem,
             "factor_cache_hits": hits,
         },
     }
-    with open(BENCH_JSON, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    emit_bench_json("BENCH_3.json", payload)
 
     assert len(campaign.comparisons) == len(profiles)
     # The structure/state split must pay for itself: strictly fewer

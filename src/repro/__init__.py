@@ -57,7 +57,7 @@ from .errors import (
 )
 from .power import BenchmarkProfile, mibench_profiles
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "I_TEC_MAX",

@@ -82,6 +82,11 @@ class CampaignResult:
     t_max: float = 0.0
     wall_seconds: float = 0.0
     failures: List[FailureReport] = field(default_factory=list)
+    #: Per-worker cache-locality statistics of a parallel run (see
+    #: :func:`repro.exec.worker_statistics`); empty for serial runs.
+    #: Never serialized — result JSON stays identical across worker
+    #: counts.
+    worker_stats: Dict[str, object] = field(default_factory=dict)
 
     def __getitem__(self, name: str) -> BenchmarkComparison:
         for comparison in self.comparisons:
@@ -265,6 +270,7 @@ def run_campaign(
                                          Evaluator]] = None,
     resilient: bool = False,
     policy: Optional[ResiliencePolicy] = None,
+    workers: Optional[int] = None,
 ) -> CampaignResult:
     """Run the three-method comparison over a set of benchmark profiles.
 
@@ -287,6 +293,15 @@ def run_campaign(
             :class:`~repro.core.ResilientSolver` fallback ladder.
         policy: Resilience policy for ``resilient=True`` (default: the
             ladder led by ``method``).
+        workers: Worker-process count for the parallel engine
+            (``repro.exec``): None defers to ``REPRO_WORKERS`` (then
+            serial), 0 forces the classic serial loop, 1 runs the
+            decomposed units in-process, N > 1 shards benchmarks
+            across N processes.  Parallel output is bit-identical to
+            serial.  Incompatible with ``evaluator_factory`` (a live
+            factory cannot cross process boundaries; chaos runs use
+            :func:`repro.faults.run_chaos_campaign`'s own parallel
+            path).
     """
     if not tec_problem_template.has_tec:
         raise ConfigurationError(
@@ -297,6 +312,19 @@ def run_campaign(
     if resilient and policy is None:
         policy = ResiliencePolicy(ladder=(method,) + tuple(
             m for m in SOLVER_METHODS if m != method))
+    worker_count = 0
+    if evaluator_factory is None:
+        from ..exec import resolve_workers
+        worker_count = resolve_workers(workers)
+    elif workers:
+        raise ConfigurationError(
+            "workers cannot be combined with evaluator_factory (the "
+            "factory closure cannot cross a process boundary)")
+    if worker_count >= 1:
+        return _run_campaign_parallel(
+            profiles, tec_problem_template, baseline_problem_template,
+            method, include_tec_only, isolate_failures, resilient,
+            policy, worker_count)
     make = evaluator_factory or Evaluator
     watch = stopwatch("campaign.wall_seconds")
     with watch, _obs.span("campaign", benchmarks=len(profiles)):
@@ -321,5 +349,51 @@ def run_campaign(
                     name, failure.stage, failure.error))
                 continue
             result.comparisons.append(comparison)
+    result.wall_seconds = watch.elapsed
+    return result
+
+
+def _run_campaign_parallel(
+    profiles: Mapping[str, BenchmarkProfile],
+    tec_problem_template: CoolingProblem,
+    baseline_problem_template: CoolingProblem,
+    method: str,
+    include_tec_only: bool,
+    isolate_failures: bool,
+    resilient: bool,
+    policy: Optional[ResiliencePolicy],
+    workers: int,
+) -> CampaignResult:
+    """The decomposed campaign path: one work unit per benchmark.
+
+    Merging happens in submission order and each unit reproduces the
+    serial per-benchmark pipeline exactly (same stages, same fresh
+    evaluators, same failure-report ordering), so the returned result
+    — and its JSON — is bit-identical to the serial loop's.
+    """
+    from ..exec import run_campaign_units
+    watch = stopwatch("campaign.wall_seconds")
+    with watch, _obs.span("campaign", benchmarks=len(profiles),
+                          workers=workers):
+        merge = run_campaign_units(
+            profiles, tec_problem_template, baseline_problem_template,
+            method=method, include_tec_only=include_tec_only,
+            resilient=resilient, policy=policy, fault_plan=None,
+            workers=workers)
+        if merge.unhandled:
+            # A non-library exception in a worker is a bug, not a
+            # result; surface the first one instead of a silent hole
+            # in the comparisons.
+            raise RuntimeError(  # physlint: disable=RPR201
+                f"unhandled worker exception: {merge.unhandled[0]}")
+        if merge.errors and not isolate_failures:
+            name, stage, error_type, message = merge.errors[0]
+            raise SolverError(
+                f"{name} [{stage}] {error_type}: {message}")
+        result = CampaignResult(
+            comparisons=merge.comparisons,
+            t_max=tec_problem_template.limits.t_max,
+            failures=merge.failures,
+            worker_stats=merge.worker_stats)
     result.wall_seconds = watch.elapsed
     return result

@@ -91,11 +91,16 @@ def sweep_objective_surfaces(
     omega_range: Optional[Tuple[float, float]] = None,
     current_range: Optional[Tuple[float, float]] = None,
     evaluator: Optional[Evaluator] = None,
+    workers: Optional[int] = None,
 ) -> SurfaceSweep:
     """Evaluate 𝒯 and 𝒫 on a rectangular (omega, I) sample grid.
 
     Runaway points record ``inf`` in both surfaces (the paper plots them
     as the saturated "dark red" region).
+
+    ``workers`` fans the grid across worker processes, one omega row
+    per chunk (None defers to ``REPRO_WORKERS``; 0 stays in-process).
+    Surfaces are identical across worker counts.
     """
     if omega_points < 2 or current_points < 1:
         raise ConfigurationError(
@@ -124,7 +129,19 @@ def sweep_objective_surfaces(
     feasible = np.zeros(shape, dtype=bool)
     points = [(float(omega), float(current))
               for omega in omegas for current in currents]
-    evaluations = evaluator.evaluate_many(points)
+    evaluations = None
+    if evaluator._batchable():
+        from ..exec import evaluate_points, resolve_workers
+        worker_count = resolve_workers(workers)
+        if worker_count >= 1:
+            # One omega row per chunk: row boundaries are fixed by the
+            # grid (not the worker count), and every point in a row
+            # shares its fan operating point, so a chunk's solves
+            # group under few factorizations.
+            evaluations = evaluate_points(
+                problem, points, worker_count, chunk=currents.size)
+    if evaluations is None:
+        evaluations = evaluator.evaluate_many(points)
     for flat, evaluation in enumerate(evaluations):
         if evaluation.runaway:
             continue

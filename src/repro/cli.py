@@ -71,6 +71,14 @@ def _add_trace(parser: argparse.ArgumentParser) -> None:
              "here as JSONL (inspect with `repro trace summarize`)")
 
 
+def _add_workers(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker processes for the parallel engine (default: "
+             "REPRO_WORKERS or serial; 0 forces serial; output is "
+             "bit-identical across worker counts)")
+
+
 @contextmanager
 def _traced(path: Optional[str]) -> Iterator[Optional[dict]]:
     """Run the body under a telemetry session when ``path`` is given.
@@ -126,6 +134,11 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--verify", action="store_true",
                           help="run the paper-shape verification and "
                                "exit nonzero on any failed shape")
+    campaign.add_argument("--canonical", action="store_true",
+                          help="write --json in canonical form: "
+                               "timing fields zeroed and telemetry "
+                               "dropped, so runs diff cleanly")
+    _add_workers(campaign)
     _add_trace(campaign)
 
     spice = commands.add_parser(
@@ -146,6 +159,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_resolution(sweep)
     sweep.add_argument("--omega-points", type=int, default=12)
     sweep.add_argument("--current-points", type=int, default=9)
+    _add_workers(sweep)
 
     commands.add_parser("profiles",
                         help="list the built-in benchmark profiles")
@@ -170,6 +184,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "campaign-level isolation alone)")
     chaos.add_argument("--json", metavar="PATH", default=None,
                        help="save the (partial) campaign as JSON")
+    _add_workers(chaos)
     _add_trace(chaos)
 
     trace = commands.add_parser(
@@ -247,7 +262,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         template, with_tec=False, grid_resolution=args.resolution)
     with _traced(args.trace) as session:
         campaign = run_campaign(profiles, tec_problem, baseline_problem,
-                                include_tec_only=args.tec_only)
+                                include_tec_only=args.tec_only,
+                                workers=args.workers)
     print(format_comparison_table(campaign, "opt2"))
     print()
     print(format_comparison_table(campaign, "opt1"))
@@ -262,7 +278,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     if args.json:
         from .io import save_campaign
         telemetry = session.get("telemetry") if session else None
-        save_campaign(campaign, args.json, telemetry=telemetry)
+        save_campaign(campaign, args.json, telemetry=telemetry,
+                      canonical=args.canonical)
         print(f"\ncampaign saved to {args.json}")
     if args.verify:
         from .analysis import format_shape_checks, verify_paper_shapes
@@ -300,7 +317,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                                     grid_resolution=args.resolution)
     sweep = sweep_objective_surfaces(
         problem, omega_points=args.omega_points,
-        current_points=args.current_points)
+        current_points=args.current_points, workers=args.workers)
     print(format_surface(sweep, "temperature"))
     print()
     print(format_surface(sweep, "power"))
@@ -354,7 +371,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     with _traced(args.trace) as session:
         report = run_chaos_campaign(
             profiles, tec_problem, baseline_problem, plan=plan,
-            resilient=not args.no_resilient)
+            resilient=not args.no_resilient, workers=args.workers)
     print(format_chaos_report(report))
     if args.json and report.campaign is not None:
         from .io import save_campaign

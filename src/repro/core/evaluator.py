@@ -197,6 +197,7 @@ class Evaluator:
         return result
 
     def evaluate_many(self, points: Sequence[Tuple[float, float]],
+                      workers: Optional[int] = None,
                       ) -> List[Evaluation]:
         """Evaluate a sequence of ``(omega, current)`` points in order.
 
@@ -206,10 +207,26 @@ class Evaluator:
         are dispatched through the operator layer's batched solve, which
         groups points sharing a system matrix and back-substitutes their
         RHS columns through one factorization.
+
+        ``workers`` fans point chunks across worker processes via
+        ``repro.exec`` (None defers to ``REPRO_WORKERS``; 0 stays
+        in-process).  The fan-out is *pure*: chunks are evaluated by
+        fresh worker-side evaluators against the same problem, values
+        are independent of chunking, and this instance's cache and
+        counters are left untouched.  It engages only where the
+        batched path applies (leakage-free, base-class solve, no
+        budget) — elsewhere points fall back to the in-process path,
+        whose warm-start chaining a fan-out would perturb.
         """
         if not self._batchable():
             return [self.evaluate(omega, current)
                     for omega, current in points]
+        if workers is not None or len(points) > 1:
+            from ..exec import evaluate_points, resolve_workers
+            worker_count = resolve_workers(workers)
+            if worker_count >= 1 and len(points) > 1:
+                return evaluate_points(self.problem, list(points),
+                                       worker_count)
         evaluations: List[Optional[Evaluation]] = [None] * len(points)
         fresh_keys: "OrderedDict[Tuple[float, float], List[int]]" = \
             OrderedDict()

@@ -24,11 +24,15 @@ Code        Name                Convention guarded
 ``RPR501``  print-in-library    Library code returns data, raises, or emits
                                 telemetry through :mod:`repro.obs`; only the
                                 CLI layer prints.
+``RPR601``  process-state       Module globals stay process-safe: no
+                                module-level mutable caches, no unseeded
+                                RNG construction (``repro.exec`` workers).
 ==========  ==================  ==============================================
 
 New rules: subclass :class:`~repro.devtools.physlint.core.Rule`, pick the
 next free code in the band (1xx units, 2xx exceptions/control flow,
-3xx numerics, 4xx documentation, 5xx observability), and decorate with
+3xx numerics, 4xx documentation, 5xx observability, 6xx process/parallel
+safety), and decorate with
 :func:`~repro.devtools.physlint.core.rule`.
 """
 
@@ -636,3 +640,104 @@ class PrintInLibraryRule(Rule):
                 "ReproError, or record it via repro.obs (events/"
                 "metrics) and let the CLI layer present it"))
         self.generic_visit(node)
+
+
+# ---------------------------------------------------------------------------
+# RPR601 — process-state
+# ---------------------------------------------------------------------------
+
+#: Constructor call tails that build a mutable container regardless of
+#: their arguments (``defaultdict(list)`` is still an empty cache).
+_CACHE_CONSTRUCTORS = frozenset({
+    "Counter",
+    "OrderedDict",
+    "defaultdict",
+    "deque",
+})
+
+#: Builtin container constructors; only the zero-argument form is an
+#: empty-cache smell (``dict(a=1)`` is a constant table).
+_BUILTIN_CONTAINERS = frozenset({"dict", "list", "set"})
+
+#: RNG constructor tails that must receive an explicit seed.
+_RNG_CONSTRUCTORS = frozenset({"Random", "RandomState", "default_rng"})
+
+
+def _empty_mutable_init(node: ast.expr) -> Optional[str]:
+    """Describe an empty-mutable-container initializer; None otherwise."""
+    if isinstance(node, ast.Dict) and not node.keys:
+        return "{}"
+    if isinstance(node, ast.List) and not node.elts:
+        return "[]"
+    if isinstance(node, ast.Call):
+        dotted = _dotted_name(node.func)
+        tail = dotted.split(".")[-1] if dotted else None
+        if tail in _CACHE_CONSTRUCTORS:
+            return f"{tail}(...)"
+        if tail in _BUILTIN_CONTAINERS and not node.args \
+                and not node.keywords:
+            return f"{tail}()"
+    return None
+
+
+@rule
+class ProcessStateRule(Rule):
+    """Module globals and RNGs must survive worker processes."""
+
+    code = "RPR601"
+    name = "process-state"
+    rationale = (
+        "repro.exec runs work in worker processes: under spawn every "
+        "module re-imports, under fork inherited telemetry state is "
+        "reset.  A module-level mutable cache silently becomes one "
+        "independent copy per process whose contents never merge "
+        "back, and an unseeded RNG draws a different stream in every "
+        "process — both break the parallel bit-identity contract.")
+
+    def visit_Module(self, node: ast.Module) -> None:
+        for statement in node.body:
+            targets: Sequence[ast.expr] = ()
+            value: Optional[ast.expr] = None
+            if isinstance(statement, ast.Assign):
+                targets, value = statement.targets, statement.value
+            elif isinstance(statement, ast.AnnAssign):
+                targets, value = [statement.target], statement.value
+            if value is None:
+                continue
+            described = _empty_mutable_init(value)
+            if described is None:
+                continue
+            names = ", ".join(
+                name for name in (_dotted_name(t) for t in targets)
+                if name is not None) or "<target>"
+            self.emit(statement, (
+                f"module-level mutable container `{names} = "
+                f"{described}` is per-process state: every repro.exec "
+                "worker gets an independent copy whose contents never "
+                "merge back; scope the cache to an object (or justify "
+                "import-time-only population with a disable comment)"))
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = _dotted_name(node.func)
+        tail = dotted.split(".")[-1] if dotted else None
+        if tail in _RNG_CONSTRUCTORS and self._unseeded(node):
+            self.emit(node, (
+                f"`{dotted}` constructed without a seed draws a "
+                "different stream in every process and every run; "
+                "pass an explicit seed (derive per-worker streams "
+                "with SeedSequence or FaultPlan.derive)"))
+        self.generic_visit(node)
+
+    @staticmethod
+    def _unseeded(node: ast.Call) -> bool:
+        if not node.args and not node.keywords:
+            return True
+        seed: Optional[ast.expr] = node.args[0] if node.args else None
+        if seed is None:
+            for keyword in node.keywords:
+                if keyword.arg == "seed":
+                    seed = keyword.value
+                    break
+        return (isinstance(seed, ast.Constant)
+                and seed.value is None)

@@ -1,0 +1,50 @@
+"""Parallel execution engine: process-pool scheduling of work units.
+
+Campaigns, chaos campaigns, ``(omega, I_TEC)`` sweeps, heat-map
+batches, and LUT builds are all embarrassingly parallel; this package
+decomposes them into picklable :class:`WorkUnit`\\ s and runs them on a
+``ProcessPoolExecutor`` with worker-local evaluator/operator caches, a
+serial in-process fallback, deterministic (submission-order) merging —
+parallel campaigns produce bit-identical JSON to serial ones — and
+per-unit telemetry capture that re-parents worker spans under the
+coordinating trace.
+
+See docs/PARALLELISM.md for the worker model, the determinism
+contract, and the cache-locality story.
+"""
+
+from .scheduler import (
+    CampaignMerge,
+    START_METHOD_ENV,
+    WORKERS_ENV,
+    default_chunk,
+    evaluate_points,
+    resolve_workers,
+    run_campaign_units,
+    run_oftec_units,
+    run_units,
+    solve_fields,
+    worker_statistics,
+)
+from .units import UNIT_KINDS, UnitResult, WorkUnit, WorkerContext
+from .workers import initialize, run_unit
+
+__all__ = [
+    "CampaignMerge",
+    "START_METHOD_ENV",
+    "UNIT_KINDS",
+    "UnitResult",
+    "WORKERS_ENV",
+    "WorkUnit",
+    "WorkerContext",
+    "default_chunk",
+    "evaluate_points",
+    "initialize",
+    "resolve_workers",
+    "run_campaign_units",
+    "run_oftec_units",
+    "run_unit",
+    "run_units",
+    "solve_fields",
+    "worker_statistics",
+]

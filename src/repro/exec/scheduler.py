@@ -1,0 +1,433 @@
+"""The work-unit scheduler: fan out, run, merge deterministically.
+
+The coordinator's half of the parallel engine.  A job is decomposed
+into :class:`~repro.exec.units.WorkUnit`\\ s, the shared inputs are
+pickled once into a :class:`~repro.exec.units.WorkerContext`, and the
+units run on a ``ProcessPoolExecutor`` whose initializer installs the
+context per worker.  Three properties the rest of the library leans
+on:
+
+* **Deterministic merge.**  Results are collected in submission order
+  (``futures`` are awaited positionally, never as-completed), and every
+  unit is self-contained, so a parallel campaign's merged output is
+  bit-identical to the serial loop's — regardless of worker count,
+  scheduling order, or start method.
+* **Serial fallback.**  ``workers <= 1`` (and any pool that fails to
+  start or breaks mid-run) executes the same units in-process through
+  the same worker shim, so the decomposed path never needs a working
+  ``multiprocessing`` to produce results.
+* **Telemetry adoption.**  When the coordinator's telemetry is
+  enabled, each worker runs its units under worker-side sessions and
+  ships exported spans/metrics home; :func:`run_units` re-parents them
+  under per-unit ``unit`` spans on the live tracer, so
+  ``repro trace summarize`` sees one merged tree.
+
+Worker count resolution: an explicit argument wins, then the
+``REPRO_WORKERS`` environment variable, then 0 (= classic serial path,
+no unit decomposition).  The ``REPRO_START_METHOD`` environment
+variable (``fork``/``spawn``/``forkserver``) overrides the platform's
+default start method; see docs/PARALLELISM.md for the trade-offs.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from ..core import CoolingProblem, FailureReport, ResiliencePolicy
+from ..errors import ConfigurationError, SolverError
+from ..faults.plan import FaultPlan
+from ..obs import runtime as _obs
+from . import workers as _workers
+from .units import UnitResult, WorkUnit, WorkerContext
+
+#: Environment variable supplying the default worker count.
+WORKERS_ENV = "REPRO_WORKERS"
+
+#: Environment variable overriding the multiprocessing start method.
+START_METHOD_ENV = "REPRO_START_METHOD"
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """Resolve a worker count: argument, then environment, then 0.
+
+    The returned count selects the execution path: ``0`` keeps the
+    classic serial code (no unit decomposition at all), ``1`` runs the
+    decomposed units through the in-process serial executor, ``N > 1``
+    uses a process pool of N workers.
+    """
+    if workers is None:
+        text = os.environ.get(WORKERS_ENV, "").strip()
+        if not text:
+            return 0
+        try:
+            workers = int(text)
+        except ValueError:
+            raise ConfigurationError(
+                f"{WORKERS_ENV} must be an integer, got {text!r}")
+    count = int(workers)
+    if count < 0:
+        raise ConfigurationError(
+            f"worker count must be >= 0, got {count}")
+    return count
+
+
+def _run_serial(payload: bytes,
+                units: Sequence[WorkUnit]) -> List[UnitResult]:
+    """Execute units in-process through the worker shim."""
+    _workers.install_context(payload)
+    try:
+        return [_workers.run_unit(unit) for unit in units]
+    finally:
+        _workers.clear_context()
+
+
+def _run_pool(payload: bytes, units: Sequence[WorkUnit],
+              max_workers: int) -> List[UnitResult]:
+    """Execute units on a process pool, collecting in submission order."""
+    mp_context = None
+    method = os.environ.get(START_METHOD_ENV, "").strip()
+    if method:
+        import multiprocessing
+        mp_context = multiprocessing.get_context(method)
+    with ProcessPoolExecutor(
+            max_workers=max_workers,
+            mp_context=mp_context,
+            initializer=_workers.initialize,
+            initargs=(payload,)) as pool:
+        futures = [pool.submit(_workers.run_unit, unit)
+                   for unit in units]
+        # Awaiting positionally (not as_completed) is the merge
+        # contract: results line up with submissions no matter which
+        # worker finished first.
+        return [future.result() for future in futures]
+
+
+def run_units(context: WorkerContext, units: Sequence[WorkUnit],
+              workers: int) -> List[UnitResult]:
+    """Run units with ``workers`` processes; merge in submission order.
+
+    ``workers <= 1`` (or a single unit) executes serially in-process.
+    A pool that cannot start or breaks mid-run falls back to the
+    serial executor — the units are pure functions of the context, so
+    re-execution is safe — and records an ``exec.pool_fallback``
+    event.  Worker telemetry is adopted onto the live tracer before
+    returning.
+    """
+    units = list(units)
+    payload = pickle.dumps(context)
+    results: Optional[List[UnitResult]] = None
+    if workers > 1 and len(units) > 1:
+        try:
+            results = _run_pool(payload, units,
+                                min(workers, len(units)))
+        except (OSError, BrokenProcessPool, pickle.PicklingError) \
+                as exc:
+            _obs.event("exec.pool_fallback",
+                       error=type(exc).__name__)
+            results = None
+    if results is None:
+        results = _run_serial(payload, units)
+    _adopt_telemetry(results)
+    return results
+
+
+def _adopt_telemetry(results: Sequence[UnitResult]) -> None:
+    """Re-parent worker spans/metrics under the coordinating trace.
+
+    Each unit gets a ``unit`` span on the live tracer whose extent is
+    the unit's worker wall time (ending at adoption); the worker's
+    exported spans are grafted under it with their clocks shifted to
+    the unit span's origin, and its metrics snapshot is folded into
+    the live registry.
+    """
+    if not _obs.STATE.enabled:
+        return
+    tracer = _obs.STATE.tracer
+    metrics = _obs.STATE.metrics
+    for result in results:
+        unit_span = tracer.start_span(
+            "unit", result.name, index=result.index,
+            worker_pid=result.stats.get("pid"))
+        tracer.end_span(unit_span)
+        if unit_span.end_s is not None:
+            unit_span.start_s = max(
+                unit_span.end_s - result.wall_seconds, 0.0)
+        if result.spans:
+            tracer.adopt_records(result.spans, parent=unit_span,
+                                 time_offset=unit_span.start_s)
+        if result.metrics:
+            metrics.merge_snapshot(result.metrics)
+
+
+def worker_statistics(results: Sequence[UnitResult]) -> Dict[str, Any]:
+    """Aggregate per-unit stats into per-worker cache-locality totals.
+
+    Returns ``{"per_worker": [...], "units": [...]}`` where each
+    per-worker entry sums the operator counters of every unit that
+    process executed — the numbers that show each worker's factor
+    cache warming once and then serving its whole share of the job.
+    """
+    per_worker: Dict[Any, Dict[str, Any]] = {}
+    unit_rows: List[Dict[str, Any]] = []
+    for result in results:
+        pid = result.stats.get("pid")
+        row = {
+            "unit": result.name,
+            "pid": pid,
+            "wall_seconds": result.wall_seconds,
+            "solves": int(result.stats.get("solves") or 0),
+            "factorizations": int(
+                result.stats.get("factorizations") or 0),
+            "factor_cache_hits": int(
+                result.stats.get("factor_cache_hits") or 0),
+        }
+        unit_rows.append(row)
+        entry = per_worker.setdefault(pid, {
+            "pid": pid, "units": 0, "wall_seconds": 0.0,
+            "solves": 0, "factorizations": 0,
+            "factor_cache_hits": 0})
+        entry["units"] += 1
+        entry["wall_seconds"] += result.wall_seconds
+        for key in ("solves", "factorizations", "factor_cache_hits"):
+            entry[key] += row[key]
+    ordered = sorted(per_worker.values(),
+                     key=lambda e: (e["pid"] is None, e["pid"]))
+    return {"per_worker": ordered, "units": unit_rows}
+
+
+# -- campaign decomposition -----------------------------------------------
+
+
+@dataclass
+class CampaignMerge:
+    """The deterministic merge of a unit-decomposed campaign.
+
+    Attributes:
+        comparisons: Successful per-benchmark comparisons, in
+            submission (= profile) order.
+        failures: Structured failure reports, in the same order the
+            serial loop would have appended them.
+        errors: ``(benchmark, stage, error_type, message)`` for every
+            unit whose pipeline failed terminally — the non-isolated
+            path raises from the first of these.
+        fired: Total fault fires per kind value (chaos runs).
+        unhandled: Non-library exception lines from workers (the chaos
+            contract requires this to stay empty).
+        worker_stats: :func:`worker_statistics` of the run.
+    """
+
+    comparisons: List[Any] = field(default_factory=list)
+    failures: List[FailureReport] = field(default_factory=list)
+    errors: List[Tuple[str, str, str, str]] = field(
+        default_factory=list)
+    fired: Dict[str, int] = field(default_factory=dict)
+    unhandled: List[str] = field(default_factory=list)
+    worker_stats: Dict[str, Any] = field(default_factory=dict)
+
+
+def run_campaign_units(
+    profiles: Mapping[str, Any],
+    tec_template: CoolingProblem,
+    baseline_template: CoolingProblem,
+    method: str,
+    include_tec_only: bool,
+    resilient: bool,
+    policy: Optional[ResiliencePolicy],
+    fault_plan: Optional[FaultPlan],
+    workers: int,
+) -> CampaignMerge:
+    """Decompose a campaign into benchmark units, run, and merge.
+
+    One unit per benchmark; the problem templates travel once per
+    worker on the context.  ``fault_plan`` switches the workers to
+    chaos mode (per-unit derived injectors).  The caller owns the
+    surrounding ``campaign`` span and the :class:`CampaignResult`
+    assembly — this function returns the raw merge.
+    """
+    context = WorkerContext(
+        tec_template=tec_template,
+        baseline_template=baseline_template,
+        profiles=dict(profiles),
+        method=method,
+        include_tec_only=include_tec_only,
+        resilient=resilient,
+        policy=policy,
+        fault_plan=fault_plan,
+        telemetry=_obs.STATE.enabled)
+    units = [WorkUnit(index=index, kind="benchmark", name=name)
+             for index, name in enumerate(profiles)]
+    results = run_units(context, units, workers)
+    merge = CampaignMerge(worker_stats=worker_statistics(results))
+    for result in results:
+        merge.failures.extend(result.failures)
+        merge.unhandled.extend(result.unhandled)
+        for kind, count in result.fired.items():
+            merge.fired[kind] = merge.fired.get(kind, 0) + count
+        if result.error is not None:
+            stage, error_type, message = result.error
+            merge.errors.append(
+                (result.name, stage, error_type, message))
+        elif result.value is not None:
+            merge.comparisons.append(result.value)
+    return merge
+
+
+# -- point/field fan-out --------------------------------------------------
+
+
+def _chunk_units(points: Sequence[Tuple[float, float]], kind: str,
+                 chunk: int) -> List[WorkUnit]:
+    units = []
+    for index, start in enumerate(range(0, len(points), chunk)):
+        units.append(WorkUnit(
+            index=index, kind=kind, name=f"chunk-{index}",
+            params=tuple(points[start:start + chunk])))
+    return units
+
+
+def default_chunk(point_count: int, workers: int) -> int:
+    """Chunk size giving each worker a few units (amortizes dispatch
+    while keeping the pool load-balanced)."""
+    return max(1, math.ceil(point_count / max(workers, 1) / 4))
+
+
+def evaluate_points(
+    problem: CoolingProblem,
+    points: Sequence[Tuple[float, float]],
+    workers: int,
+    chunk: Optional[int] = None,
+) -> List[Any]:
+    """Evaluate ``(omega, I)`` points by fanning chunks across workers.
+
+    Pure fan-out: each chunk is evaluated by a fresh worker-side
+    evaluator, so the returned evaluations are independent of chunk
+    boundaries and worker count.  Only valid for problems where the
+    evaluator's batched path applies (leakage-free, base-class solve);
+    callers gate on :meth:`Evaluator._batchable`-equivalent conditions.
+    """
+    points = [(float(omega), float(current))
+              for omega, current in points]
+    if not points:
+        return []
+    if chunk is None:
+        chunk = default_chunk(len(points), workers)
+    context = WorkerContext(point_problem=problem,
+                            telemetry=_obs.STATE.enabled)
+    units = _chunk_units(points, "points", chunk)
+    results = run_units(context, units, workers)
+    evaluations: List[Any] = []
+    for result in results:
+        if result.error is not None:
+            stage, error_type, message = result.error
+            raise SolverError(
+                f"parallel evaluation failed in {stage} unit "
+                f"{result.name}: {error_type}: {message}")
+        evaluations.extend(result.value)
+    return evaluations
+
+
+def solve_fields(
+    model: Any,
+    points: Sequence[Tuple[float, float]],
+    dynamic_cell_power: Any,
+    leakage: Any,
+    workers: int,
+    chunk: Optional[int] = None,
+) -> List[Any]:
+    """Temperature fields at many points, fanned across workers.
+
+    The parallel backend of
+    :func:`repro.analysis.temperature_fields`; entries are per-cell
+    chip temperatures in K, or None where the point ran away, in
+    input order.
+
+    Args:
+        model: Package thermal model to solve against.
+        points: ``(omega, current)`` pairs — fan speed in rad/s, TEC
+            current in A.
+        dynamic_cell_power: Per-cell dynamic power, W.
+        leakage: Optional cell leakage model (None for leakage-free).
+        workers: Worker process count (>= 1).
+        chunk: Points per work unit (default :func:`default_chunk`).
+    """
+    points = [(float(omega), float(current))
+              for omega, current in points]
+    if not points:
+        return []
+    if chunk is None:
+        chunk = default_chunk(len(points), workers)
+    context = WorkerContext(field_model=model,
+                            field_power=dynamic_cell_power,
+                            field_leakage=leakage,
+                            telemetry=_obs.STATE.enabled)
+    units = _chunk_units(points, "fields", chunk)
+    results = run_units(context, units, workers)
+    fields: List[Any] = []
+    for result in results:
+        if result.error is not None:
+            stage, error_type, message = result.error
+            raise SolverError(
+                f"parallel field solve failed in unit {result.name}: "
+                f"{error_type}: {message}")
+        fields.extend(result.value)
+    return fields
+
+
+def run_oftec_units(
+    template: CoolingProblem,
+    profiles: Mapping[str, Mapping[str, float]],
+    method: str,
+    workers: int,
+) -> Dict[str, Any]:
+    """OFTEC per representative profile (LUT precompute), in parallel.
+
+    Returns label -> :class:`~repro.core.OFTECResult` in profile
+    order.
+    """
+    context = WorkerContext(
+        oftec_template=template,
+        oftec_profiles={label: dict(powers)
+                        for label, powers in profiles.items()},
+        method=method,
+        telemetry=_obs.STATE.enabled)
+    units = [WorkUnit(index=index, kind="oftec", name=label)
+             for index, label in enumerate(profiles)]
+    results = run_units(context, units, workers)
+    table: Dict[str, Any] = {}
+    for result in results:
+        if result.error is not None:
+            stage, error_type, message = result.error
+            raise SolverError(
+                f"parallel OFTEC failed for {result.name!r}: "
+                f"{error_type}: {message}")
+        table[result.name] = result.value
+    return table
+
+
+__all__ = [
+    "CampaignMerge",
+    "START_METHOD_ENV",
+    "WORKERS_ENV",
+    "default_chunk",
+    "evaluate_points",
+    "resolve_workers",
+    "run_campaign_units",
+    "run_oftec_units",
+    "run_units",
+    "solve_fields",
+    "worker_statistics",
+]

@@ -1,0 +1,152 @@
+"""Work units: the picklable currency of the parallel scheduler.
+
+A :class:`WorkUnit` names one independent slice of a larger job — one
+campaign benchmark, one chunk of sweep points, one heat-map batch, one
+LUT row — small enough to pickle cheaply (the heavy problem templates
+travel once per worker inside the :class:`WorkerContext`, not per
+unit).  A :class:`UnitResult` carries everything the coordinator needs
+to merge deterministically: the payload value, structured failures,
+fault fires, per-unit telemetry exports, and worker identity/cache
+statistics.
+
+Both ends of the pipe are plain data on purpose: no live evaluators,
+no SuperLU factors, no open spans ever cross the process boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..core import CoolingProblem, FailureReport, ResiliencePolicy
+from ..errors import ConfigurationError
+from ..faults.plan import FaultPlan
+
+#: The unit kinds the worker shim knows how to execute.
+UNIT_KINDS = ("benchmark", "points", "fields", "oftec")
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """One independent slice of a decomposed job.
+
+    Attributes:
+        index: Submission position; the merge key (results are always
+            combined in ascending index order, which is what makes
+            parallel output bit-identical to serial).
+        kind: One of :data:`UNIT_KINDS`.
+        name: Unit label — the benchmark/profile name for
+            ``benchmark``/``oftec`` units, a chunk label otherwise.
+        params: Kind-specific payload (e.g. the ``(omega, I)`` tuples
+            of a ``points`` or ``fields`` chunk).  Must stay picklable
+            and small; bulk shared inputs belong on the context.
+    """
+
+    index: int
+    kind: str
+    name: str
+    params: Tuple = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in UNIT_KINDS:
+            raise ConfigurationError(
+                f"unknown work-unit kind {self.kind!r}; expected one "
+                f"of {UNIT_KINDS}")
+        if self.index < 0:
+            raise ConfigurationError(
+                f"unit index must be >= 0, got {self.index}")
+
+
+@dataclass
+class UnitResult:
+    """Everything one executed unit sends back to the coordinator.
+
+    Attributes:
+        index: Echo of :attr:`WorkUnit.index` (the merge key).
+        name: Echo of :attr:`WorkUnit.name`.
+        value: The unit's payload — a
+            :class:`~repro.analysis.campaign.BenchmarkComparison`, a
+            list of evaluations, a list of temperature fields, or an
+            :class:`~repro.core.OFTECResult` — or None when the unit
+            failed.
+        failures: Structured post-mortems, in occurrence order
+            (identical to what the serial path would have appended).
+        error: ``(stage, error_type, message)`` when a pipeline stage
+            failed terminally — the picklable stand-in for the original
+            exception, which may not survive the trip home.
+        unhandled: ``"Type: message"`` lines for non-library exceptions
+            (the chaos contract's escape hatch).
+        fired: Fault fires per kind value, for chaos merges.
+        stats: Worker identity and cache-locality counters: ``pid``
+            plus the unit's operator/evaluator deltas.
+        spans: Exported span records
+            (:func:`repro.obs.span_to_dict` dictionaries) when the
+            coordinator asked for telemetry, else None.
+        metrics: The worker session's metrics snapshot, else None.
+        wall_seconds: Unit wall-clock time in the worker.
+    """
+
+    index: int
+    name: str
+    value: Any = None
+    failures: List[FailureReport] = field(default_factory=list)
+    error: Optional[Tuple[str, str, str]] = None
+    unhandled: List[str] = field(default_factory=list)
+    fired: Dict[str, int] = field(default_factory=dict)
+    stats: Dict[str, Any] = field(default_factory=dict)
+    spans: Optional[List[dict]] = None
+    metrics: Optional[dict] = None
+    wall_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """True when the unit produced its payload."""
+        return self.error is None and not self.unhandled
+
+
+@dataclass
+class WorkerContext:
+    """The shared inputs every worker receives exactly once.
+
+    Pickled by the coordinator and unpickled in each worker's
+    initializer, so per-unit submissions stay tiny and each worker's
+    lazily built evaluators/operators (the splu factor cache, the LRU
+    evaluation cache) stay hot across all units it executes.
+
+    Only the fields relevant to the job's unit kinds need to be set;
+    the rest default to None.
+    """
+
+    # -- benchmark units ----------------------------------------------
+    tec_template: Optional[CoolingProblem] = None
+    baseline_template: Optional[CoolingProblem] = None
+    profiles: Optional[Dict[str, Any]] = None
+    method: str = "slsqp"
+    include_tec_only: bool = False
+    resilient: bool = False
+    policy: Optional[ResiliencePolicy] = None
+    #: Chaos root plan; each benchmark unit derives its own sub-plan
+    #: via :meth:`~repro.faults.FaultPlan.derive`, so fault streams are
+    #: independent of scheduling order and worker count.
+    fault_plan: Optional[FaultPlan] = None
+    # -- points units -------------------------------------------------
+    point_problem: Optional[CoolingProblem] = None
+    # -- fields units -------------------------------------------------
+    field_model: Any = None
+    field_power: Any = None
+    field_leakage: Any = None
+    # -- oftec units --------------------------------------------------
+    oftec_template: Optional[CoolingProblem] = None
+    oftec_profiles: Optional[Dict[str, Any]] = None
+    # -- telemetry ----------------------------------------------------
+    #: When True, each unit runs under its own worker-side
+    #: telemetry session and ships spans + a metrics snapshot home.
+    telemetry: bool = False
+
+
+__all__ = [
+    "UNIT_KINDS",
+    "UnitResult",
+    "WorkUnit",
+    "WorkerContext",
+]

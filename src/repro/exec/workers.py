@@ -1,0 +1,269 @@
+"""The code that runs inside pool workers.
+
+One :func:`initialize` call per worker process unpickles the shared
+:class:`~repro.exec.units.WorkerContext`; after that every
+:func:`run_unit` call executes one :class:`~repro.exec.units.WorkUnit`
+against the worker's *own* lazily built evaluators and thermal
+operators.  That locality is the whole point: the splu factor cache on
+each problem template's model warms once per worker and then serves
+every subsequent unit, so N workers pay N cold starts — not one per
+unit.
+
+Nothing in this module assumes a separate process.  The scheduler's
+serial fallback calls :func:`install_context`/:func:`run_unit` in the
+coordinating process (leaving its telemetry state alone), which is
+also what makes the shim trivially testable.
+
+Failure discipline mirrors the serial campaign exactly: library errors
+(:class:`~repro.errors.ReproError`) become structured
+:class:`~repro.core.FailureReport` entries plus a picklable
+``(stage, type, message)`` tag — original exception objects never
+cross the process boundary, because subclasses with extra constructor
+arguments do not survive unpickling.  Non-library exceptions are
+recorded on :attr:`UnitResult.unhandled` (the chaos contract) for the
+coordinator to judge.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from typing import Callable, Optional
+
+from ..analysis.campaign import _run_benchmark, _StageFailure
+from ..core import (
+    CoolingProblem,
+    Evaluator,
+    failure_report_from_exception,
+    run_oftec,
+)
+from ..errors import ConfigurationError, ReproError
+from ..faults.inject import FaultInjector, FaultyEvaluator
+from ..obs import runtime as _obs
+from ..obs.clock import monotonic, stopwatch
+from ..obs.export import span_to_dict
+from ..thermal import SteadyStateResult, solve_steady_state_batch
+from .units import UnitResult, WorkUnit, WorkerContext
+
+
+class _WorkerRuntime:
+    """Per-process state: the unpickled context and derived handles."""
+
+    __slots__ = ("context",)
+
+    def __init__(self, context: WorkerContext):
+        self.context = context
+
+
+#: The installed runtime (rebound, never mutated, by
+#: :func:`initialize`).  None until the worker is initialized.
+_RUNTIME: Optional[_WorkerRuntime] = None
+
+
+def install_context(payload: bytes) -> None:
+    """Install the shared context from its pickled form.
+
+    ``payload`` is ``pickle.dumps(WorkerContext)`` — pickled explicitly
+    by the coordinator so the fork and spawn start methods (and the
+    in-process serial executor) all exercise the identical
+    serialization path.
+    """
+    global _RUNTIME
+    _RUNTIME = _WorkerRuntime(pickle.loads(payload))
+
+
+def clear_context() -> None:
+    """Uninstall the worker context (the serial executor's cleanup)."""
+    global _RUNTIME
+    _RUNTIME = None
+
+
+def initialize(payload: bytes) -> None:
+    """Pool-worker initializer: reset telemetry, install the context.
+
+    Telemetry state is reset defensively (the at-fork hook already
+    handles forked children; spawned workers import fresh) so a worker
+    never inherits an enabled tracer it cannot report to.  The serial
+    executor calls :func:`install_context` instead — resetting the
+    coordinator's own telemetry mid-campaign would discard its trace.
+    """
+    _obs.reset()
+    install_context(payload)
+
+
+def run_unit(unit: WorkUnit) -> UnitResult:
+    """Execute one work unit and package everything the merge needs.
+
+    When the context asks for telemetry the unit runs under its own
+    :func:`~repro.obs.telemetry_session`; the finished spans and a
+    metrics snapshot ride home on the result for the coordinator to
+    adopt (see :meth:`repro.obs.Tracer.adopt_records`).
+    """
+    runtime = _RUNTIME
+    if runtime is None:
+        raise ConfigurationError(
+            "worker runtime not initialized; initialize() must run "
+            "before run_unit()")
+    context = runtime.context
+    result = UnitResult(index=unit.index, name=unit.name)
+    start = monotonic()
+    if context.telemetry:
+        with _obs.telemetry_session() as (tracer, metrics):
+            _execute(context, unit, result)
+            result.spans = [span_to_dict(span)
+                            for span in tracer.finished]
+            result.metrics = metrics.snapshot()
+    else:
+        _execute(context, unit, result)
+    result.wall_seconds = monotonic() - start
+    result.stats["pid"] = os.getpid()
+    result.stats["wall_seconds"] = result.wall_seconds
+    return result
+
+
+def _execute(context: WorkerContext, unit: WorkUnit,
+             result: UnitResult) -> None:
+    if unit.kind == "benchmark":
+        _execute_benchmark(context, unit, result)
+    elif unit.kind == "points":
+        _execute_points(context, unit, result)
+    elif unit.kind == "fields":
+        _execute_fields(context, unit, result)
+    else:
+        _execute_oftec(context, unit, result)
+
+
+def _operator_deltas(result: UnitResult, befores, afters) -> None:
+    """Record the unit's operator-counter deltas on ``result.stats``."""
+    result.stats["solves"] = sum(
+        a.solves - b.solves for b, a in zip(befores, afters))
+    result.stats["factorizations"] = sum(
+        a.factorizations - b.factorizations
+        for b, a in zip(befores, afters))
+    result.stats["factor_cache_hits"] = sum(
+        a.cache_hits - b.cache_hits for b, a in zip(befores, afters))
+
+
+def _execute_benchmark(context: WorkerContext, unit: WorkUnit,
+                       result: UnitResult) -> None:
+    """One campaign benchmark: all methods, both objectives.
+
+    Identical staging to the serial loop in
+    :func:`repro.analysis.run_campaign` — same
+    :func:`~repro.analysis.campaign._run_benchmark` body, same span
+    nesting, same failure-report ordering — which is what the
+    bit-identity contract rests on.
+    """
+    name = unit.name
+    if context.tec_template is None or context.profiles is None:
+        raise ConfigurationError(
+            "benchmark units need tec/baseline templates and profiles "
+            "on the worker context")
+    profile = context.profiles[name]
+    tec_problem = context.tec_template.with_profile(profile, name=name)
+    base_problem = context.baseline_template.with_profile(
+        profile, name=name)
+    injector: Optional[FaultInjector] = None
+    make: Callable[[CoolingProblem], Evaluator]
+    if context.fault_plan is not None:
+        # Each unit owns a derived injector: the fault stream depends
+        # only on (root seed, benchmark name), never on which worker
+        # runs the unit or in what order.
+        injector = FaultInjector(context.fault_plan.derive(name))
+        local_injector = injector
+
+        def make(problem: CoolingProblem) -> Evaluator:
+            return FaultyEvaluator(problem, local_injector)
+    else:
+        make = Evaluator
+    operators = (tec_problem.model.network.operator,
+                 base_problem.model.network.operator)
+    befores = tuple(op.stats for op in operators)
+    try:
+        with _obs.span("benchmark", name), \
+                stopwatch("campaign.benchmark_seconds"):
+            result.value = _run_benchmark(
+                name, tec_problem, base_problem, context.method,
+                context.include_tec_only, make, context.resilient,
+                context.policy, result.failures)
+    except _StageFailure as failure:
+        result.failures.append(failure_report_from_exception(
+            name, failure.stage, failure.error))
+        result.error = (failure.stage,
+                        type(failure.error).__name__,
+                        str(failure.error))
+    except Exception as exc:  # physlint: disable=RPR201
+        # The worker-side chaos boundary: a non-library exception is a
+        # resilience bug, reported as such rather than poisoning the
+        # pool with an unpicklable traceback.
+        result.unhandled.append(f"{type(exc).__name__}: {exc}")
+    if injector is not None:
+        result.fired = injector.fired_counts()
+    _operator_deltas(result, befores,
+                     tuple(op.stats for op in operators))
+
+
+def _execute_points(context: WorkerContext, unit: WorkUnit,
+                    result: UnitResult) -> None:
+    """One chunk of ``(omega, I)`` evaluations.
+
+    A fresh evaluator per chunk keeps the values independent of chunk
+    boundaries; the expensive state (the operator factor cache on the
+    shared problem model) persists across chunks within the worker.
+    """
+    if context.point_problem is None:
+        raise ConfigurationError(
+            "points units need point_problem on the worker context")
+    operator = context.point_problem.model.network.operator
+    before = operator.stats
+    evaluator = Evaluator(context.point_problem)
+    try:
+        with _obs.span("points", unit.name, count=len(unit.params)):
+            result.value = evaluator.evaluate_many(list(unit.params))
+    except ReproError as exc:
+        result.error = (unit.kind, type(exc).__name__, str(exc))
+    _operator_deltas(result, (before,), (operator.stats,))
+
+
+def _execute_fields(context: WorkerContext, unit: WorkUnit,
+                    result: UnitResult) -> None:
+    """One chunk of temperature-field solves (heat-map batches)."""
+    if context.field_model is None:
+        raise ConfigurationError(
+            "fields units need field_model/field_power on the worker "
+            "context")
+    operator = context.field_model.network.operator
+    before = operator.stats
+    try:
+        with _obs.span("fields", unit.name, count=len(unit.params)):
+            outcomes = solve_steady_state_batch(
+                context.field_model, list(unit.params),
+                context.field_power, leakage=context.field_leakage)
+        result.value = [
+            outcome.chip_temperatures
+            if isinstance(outcome, SteadyStateResult) else None
+            for outcome in outcomes]
+    except ReproError as exc:
+        result.error = (unit.kind, type(exc).__name__, str(exc))
+    _operator_deltas(result, (before,), (operator.stats,))
+
+
+def _execute_oftec(context: WorkerContext, unit: WorkUnit,
+                   result: UnitResult) -> None:
+    """One LUT row: a full OFTEC run on one representative profile."""
+    if context.oftec_template is None or context.oftec_profiles is None:
+        raise ConfigurationError(
+            "oftec units need oftec_template/oftec_profiles on the "
+            "worker context")
+    operator = context.oftec_template.model.network.operator
+    before = operator.stats
+    problem = context.oftec_template.with_profile(
+        dict(context.oftec_profiles[unit.name]), name=unit.name)
+    try:
+        result.value = run_oftec(problem, method=context.method)
+    except ReproError as exc:
+        result.error = (unit.kind, type(exc).__name__, str(exc))
+    _operator_deltas(result, (before,), (operator.stats,))
+
+
+__all__ = ["initialize", "run_unit"]

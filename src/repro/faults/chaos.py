@@ -61,6 +61,7 @@ def run_chaos_campaign(
     plan: Optional[FaultPlan] = None,
     method: str = "slsqp",
     resilient: bool = True,
+    workers: Optional[int] = None,
 ) -> ChaosReport:
     """Run the benchmark campaign with fault injection turned on.
 
@@ -72,8 +73,25 @@ def run_chaos_campaign(
         method: Leading solver backend.
         resilient: Route OFTEC stages through the fallback ladder
             (False stresses the campaign-level isolation alone).
+        workers: Worker-process count (None defers to
+            ``REPRO_WORKERS``, 0 = serial).  Parallel chaos gives each
+            benchmark unit its own injector seeded by
+            :meth:`~repro.faults.FaultPlan.derive`, so its fault
+            sequence is deterministic for a given plan *and worker
+            count regime* but intentionally differs from the serial
+            single-stream sequence (one shared injector cannot be
+            split across processes).  Unhandled worker exceptions are
+            contained per unit, so a parallel chaos report can carry
+            both a partial campaign and a non-empty ``unhandled``
+            list.
     """
     plan = plan if plan is not None else full_fault_plan()
+    from ..exec import resolve_workers
+    worker_count = resolve_workers(workers)
+    if worker_count >= 1:
+        return _run_chaos_parallel(
+            profiles, tec_problem_template, baseline_problem_template,
+            plan, method, resilient, worker_count)
     injector = FaultInjector(plan)
     report = ChaosReport(plan=plan)
     watch = stopwatch("chaos.wall_seconds")
@@ -92,9 +110,56 @@ def run_chaos_campaign(
             report.unhandled.append(f"{type(exc).__name__}: {exc}")
             _obs.event("chaos.unhandled", error=type(exc).__name__)
     report.fired = injector.fired_counts()
+    _record_fired_gauges(report)
+    report.wall_seconds = watch.elapsed
+    return report
+
+
+def _record_fired_gauges(report: ChaosReport) -> None:
     if _obs.STATE.enabled:
         for kind, count in report.fired.items():
             _obs.STATE.metrics.gauge(f"chaos.fired.{kind}").set(count)
+
+
+def _run_chaos_parallel(
+    profiles: Mapping[str, BenchmarkProfile],
+    tec_problem_template: CoolingProblem,
+    baseline_problem_template: CoolingProblem,
+    plan: FaultPlan,
+    method: str,
+    resilient: bool,
+    workers: int,
+) -> ChaosReport:
+    """Chaos campaign over the parallel engine.
+
+    The fault plan travels to the workers on the context; every
+    benchmark unit builds a :class:`FaultyEvaluator` around its own
+    derived injector, and fault events land on that unit's worker
+    spans (adopted under the coordinating ``unit`` span).  Fires are
+    summed across units into :attr:`ChaosReport.fired`.
+    """
+    from ..exec import run_campaign_units
+    report = ChaosReport(plan=plan)
+    watch = stopwatch("chaos.wall_seconds")
+    with watch, _obs.span("chaos", seed=plan.seed, workers=workers):
+        merge = run_campaign_units(
+            profiles, tec_problem_template, baseline_problem_template,
+            method=method, include_tec_only=False,
+            resilient=resilient, policy=None, fault_plan=plan,
+            workers=workers)
+        report.unhandled.extend(merge.unhandled)
+        for text in merge.unhandled:
+            _obs.event("chaos.unhandled",
+                       error=text.split(":", 1)[0])
+        report.fired = merge.fired
+        campaign = CampaignResult(
+            comparisons=merge.comparisons,
+            t_max=tec_problem_template.limits.t_max,
+            failures=merge.failures,
+            worker_stats=merge.worker_stats)
+        report.campaign = campaign
+    report.campaign.wall_seconds = watch.elapsed
+    _record_fired_gauges(report)
     report.wall_seconds = watch.elapsed
     return report
 

@@ -100,6 +100,22 @@ class FaultPlan:
         """The fault kinds this plan injects, in spec order."""
         return tuple(spec.kind for spec in self.specs)
 
+    def derive(self, label: str) -> "FaultPlan":
+        """A sub-plan with the same specs and a label-derived seed.
+
+        Parallel chaos gives each work-unit its own injector; deriving
+        the unit's seed from ``(seed, label)`` keeps every unit's fault
+        stream independent of scheduling order and worker count — the
+        same plan and label always yield the same stream, no matter
+        which process runs the unit or in what order.
+        """
+        import hashlib
+        digest = hashlib.blake2b(
+            f"{self.seed}:{label}".encode("utf-8"),
+            digest_size=8).digest()
+        derived_seed = int.from_bytes(digest, "big")
+        return FaultPlan(seed=derived_seed, specs=self.specs)
+
 
 def full_fault_plan(seed: int = 0, rate: float = 0.05,
                     start_call: int = 0) -> FaultPlan:

@@ -15,9 +15,11 @@ from .config import (
 from .tracefmt import load_trace, save_trace
 from .csvexport import CSV_COLUMNS, campaign_rows, save_campaign_csv
 from .results import (
+    VOLATILE_KEYS,
     attempt_to_dict,
     baseline_result_to_dict,
     campaign_to_dict,
+    canonicalize,
     comparison_to_dict,
     evaluation_to_dict,
     failure_report_to_dict,
@@ -45,6 +47,8 @@ __all__ = [
     "failure_report_to_dict",
     "comparison_to_dict",
     "campaign_to_dict",
+    "canonicalize",
+    "VOLATILE_KEYS",
     "save_campaign",
     "CSV_COLUMNS",
     "campaign_rows",

@@ -124,8 +124,36 @@ def failure_report_to_dict(report: FailureReport) -> dict:
     return payload
 
 
+#: Keys zeroed by canonical serialization: every field whose value
+#: depends on wall-clock timing rather than on the computed physics.
+VOLATILE_KEYS = frozenset({
+    "wall_seconds", "runtime_ms", "average_oftec_runtime_ms"})
+
+
+def canonicalize(payload: dict) -> dict:
+    """A timing-free deep copy of a result dictionary.
+
+    Zeroes every :data:`VOLATILE_KEYS` entry (recursively) and drops
+    the ``telemetry`` block.  Two runs that computed the same physics
+    — serial vs parallel, traced vs untraced — canonicalize to the
+    same bytes, which is what the bit-identity tests and the CI
+    serial-vs-parallel diff compare.
+    """
+    def walk(value):
+        if isinstance(value, dict):
+            return {key: (0.0 if key in VOLATILE_KEYS else walk(item))
+                    for key, item in value.items()
+                    if key != "telemetry"}
+        if isinstance(value, list):
+            return [walk(item) for item in value]
+        return value
+
+    return walk(payload)
+
+
 def campaign_to_dict(campaign: CampaignResult,
-                     telemetry: Optional[dict] = None) -> dict:
+                     telemetry: Optional[dict] = None,
+                     canonical: bool = False) -> dict:
     """Serialize a full campaign with its headline aggregates.
 
     Failure reports appear under ``"failures"`` only when present, and
@@ -136,6 +164,9 @@ def campaign_to_dict(campaign: CampaignResult,
     Args:
         telemetry: Optional metrics snapshot (the value of
             :meth:`repro.obs.MetricsRegistry.snapshot`) to embed.
+        canonical: Strip run-volatile content (see
+            :func:`canonicalize`) so outputs diff cleanly across runs
+            and worker counts.
     """
     counts = campaign.feasibility_counts()
     payload = {
@@ -163,12 +194,20 @@ def campaign_to_dict(campaign: CampaignResult,
             campaign.average_temperature_delta("variable-omega")
     if telemetry is not None:
         payload["telemetry"] = telemetry
+    if canonical:
+        payload = canonicalize(payload)
     return payload
 
 
 def save_campaign(campaign: CampaignResult, path: PathLike,
-                  telemetry: Optional[dict] = None) -> None:
-    """Write a campaign as JSON (optionally with a telemetry block)."""
+                  telemetry: Optional[dict] = None,
+                  canonical: bool = False) -> None:
+    """Write a campaign as JSON (optionally with a telemetry block).
+
+    ``canonical=True`` writes the timing-free form (see
+    :func:`canonicalize`) for run-to-run diffing.
+    """
     with open(path, "w", encoding="utf-8") as f:
-        json.dump(campaign_to_dict(campaign, telemetry=telemetry), f,
+        json.dump(campaign_to_dict(campaign, telemetry=telemetry,
+                                   canonical=canonical), f,
                   indent=2, sort_keys=True)

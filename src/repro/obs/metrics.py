@@ -238,6 +238,46 @@ class MetricsRegistry:
         return sorted([*self._counters, *self._gauges,
                        *self._histograms])
 
+    def merge_snapshot(self, snapshot: dict) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        Used by the ``repro.exec`` scheduler to aggregate per-worker
+        metrics: counters add, gauges take the incoming value (last
+        write wins, matching :meth:`Gauge.set`), histograms add
+        per-bucket counts plus count/sum and widen min/max.  Instruments
+        absent here are created; a histogram that exists with different
+        bucket bounds raises
+        :class:`~repro.errors.ConfigurationError` (summing mismatched
+        buckets would silently corrupt the distribution).
+        """
+        for name, value in (snapshot.get("counters") or {}).items():
+            self.counter(name).inc(int(value))
+        for name, value in (snapshot.get("gauges") or {}).items():
+            self.gauge(name).set(value)
+        for name, entry in (snapshot.get("histograms") or {}).items():
+            bounds = tuple(float(pair[0])
+                           for pair in entry.get("buckets") or ())
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                histogram = self.histogram(
+                    name, bounds or DEFAULT_TIME_BUCKETS_S)
+            if histogram.buckets != (bounds or histogram.buckets):
+                raise ConfigurationError(
+                    f"histogram {name!r} bucket bounds differ between "
+                    f"registries: {histogram.buckets} vs {bounds}")
+            for index, pair in enumerate(entry.get("buckets") or ()):
+                histogram.bucket_counts[index] += int(pair[1])
+            histogram.bucket_counts[-1] += int(
+                entry.get("overflow") or 0)
+            count = int(entry.get("count") or 0)
+            histogram.count += count
+            histogram.total += float(entry.get("sum") or 0.0)
+            if count:
+                histogram.min = min(histogram.min,
+                                    float(entry["min"]))
+                histogram.max = max(histogram.max,
+                                    float(entry["max"]))
+
     def snapshot(self) -> dict:
         """Flatten the registry into a JSON-friendly dictionary.
 

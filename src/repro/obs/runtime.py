@@ -15,10 +15,21 @@ matrix-testing surface.  :func:`telemetry_session` is the frontend used
 by the CLI and tests: it installs a fresh ``(Tracer, MetricsRegistry)``
 pair, yields them, and restores the previous state on exit even when
 the traced run fails.
+
+Process semantics (see docs/PARALLELISM.md): :data:`STATE` is
+per-process.  Under the ``spawn`` start method a worker imports this
+module fresh and starts disabled; under ``fork`` the child would
+inherit a copy of the parent's *enabled* state pointing at a tracer
+the parent can never read back, so an ``os.register_at_fork`` hook
+resets forked children to the disabled no-op state.  Workers that want
+telemetry open their own :func:`telemetry_session` and ship the
+exported spans/snapshot home (the ``repro.exec`` scheduler re-parents
+them under the coordinating span).
 """
 
 from __future__ import annotations
 
+import os
 from contextlib import contextmanager
 from typing import Any, Callable, Iterator, Optional, Tuple, TypeVar
 
@@ -88,6 +99,23 @@ def reset() -> None:
     STATE.enabled = False
 
 
+def _reset_after_fork() -> None:
+    """Drop inherited telemetry state in a forked child.
+
+    A fork clones an enabled parent's tracer into the child, where
+    every span it records is invisible to the parent — worse than
+    useless, because the child pays the tracing cost for data nobody
+    can collect.  Children therefore start disabled and opt back in
+    with their own :func:`telemetry_session` (which the ``repro.exec``
+    worker shim does when the coordinator asked for telemetry).
+    """
+    reset()
+
+
+if hasattr(os, "register_at_fork"):  # pragma: no branch - POSIX only
+    os.register_at_fork(after_in_child=_reset_after_fork)
+
+
 @contextmanager
 def telemetry_session(tracer: Optional[Tracer] = None,
                       metrics: Optional[MetricsRegistry] = None,
@@ -97,6 +125,12 @@ def telemetry_session(tracer: Optional[Tracer] = None,
     Yields the installed ``(tracer, metrics)`` pair and restores the
     previous state afterwards, so sessions nest and a failing traced
     run cannot leak an enabled tracer into later work.
+
+    Safe to open inside pool workers: each process has its own
+    :data:`STATE` (fork-inherited copies are reset by the at-fork
+    hook), so a worker session never races the coordinator's.  Export
+    the finished spans and a metrics snapshot before the worker
+    returns — in-memory state dies with the process.
     """
     previous = (STATE.tracer, STATE.metrics, STATE.enabled)
     pair = install(tracer, metrics)

@@ -273,6 +273,62 @@ class Tracer:
             self.orphan_events.append(SpanEvent(
                 name=name, time_s=self.now(), attributes=attributes))
 
+    # -- adoption -----------------------------------------------------
+
+    def adopt_records(self, records: List[Dict[str, Any]],
+                      parent: Optional[Span] = None,
+                      time_offset: float = 0.0) -> int:
+        """Graft exported span records into this tracer's tree.
+
+        ``records`` is a batch of :func:`repro.obs.span_to_dict`
+        dictionaries from another tracer — typically one pool worker's
+        finished spans, whose ids and clock are meaningless here.  Each
+        record gets a fresh id from this tracer, parent links *within*
+        the batch are remapped to the fresh ids, batch roots are
+        attached to ``parent`` (or to the current span when omitted),
+        and all times are shifted by ``time_offset`` so the adopted
+        spans land where the unit ran on this tracer's clock.
+
+        Records are adopted in batch order, which preserves the
+        worker's finish order, and count against the max-span cap like
+        locally finished spans.  Returns the number adopted.
+        """
+        if parent is None:
+            parent = self.current_span
+        default_parent = parent.span_id if parent is not None else None
+        # First pass: assign fresh ids to the whole batch.  The batch
+        # arrives in finish order (children before parents), so parent
+        # remapping has to see every id before any span is built.
+        id_map: Dict[int, int] = {}
+        for record in records:
+            id_map[record["span_id"]] = self._next_id
+            self._next_id += 1
+        adopted = 0
+        for record in records:
+            new_parent = id_map.get(record.get("parent_id"),
+                                    default_parent)
+            span = Span(
+                span_id=id_map[record["span_id"]],
+                parent_id=new_parent,
+                kind=record["kind"],
+                name=record.get("name"),
+                start_s=float(record.get("start_s") or 0.0)
+                + time_offset,
+                attributes=dict(record.get("attributes") or {}))
+            end_s = record.get("end_s")
+            span.end_s = None if end_s is None \
+                else float(end_s) + time_offset
+            span.status = record.get("status", "ok")
+            span.error = record.get("error")
+            for event in record.get("events") or ():
+                span.add_event(event["name"],
+                               float(event.get("time_s") or 0.0)
+                               + time_offset,
+                               **(event.get("attributes") or {}))
+            self._keep(span)
+            adopted += 1
+        return adopted
+
     # -- inspection ---------------------------------------------------
 
     def spans_of_kind(self, kind: str) -> List[Span]:

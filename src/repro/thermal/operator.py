@@ -224,6 +224,25 @@ class ThermalOperator:
         self._hits = 0
         self._evictions = 0
 
+    # -- pickling -----------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        """Pickle the structure, not the process-local state.
+
+        SuperLU factor objects hold pointers into native memory and
+        cannot cross a process boundary, so the LRU is dropped and the
+        lifetime counters are zeroed: an unpickled operator starts cold
+        in its new process (the worker rebuilds factors on demand,
+        which is exactly the exec layer's cache-locality contract).
+        """
+        state = self.__dict__.copy()
+        state["_lru"] = OrderedDict()
+        state["_solves"] = 0
+        state["_factorizations"] = 0
+        state["_hits"] = 0
+        state["_evictions"] = 0
+        return state
+
     # -- state application --------------------------------------------
 
     def _checked_overlay(self, diag_overlay: np.ndarray) -> np.ndarray:

@@ -1,0 +1,316 @@
+"""The parallel execution engine: scheduler, workers, deterministic merge."""
+
+import hashlib
+import json
+import pickle
+
+import pytest
+
+from repro import build_cooling_problem
+from repro.analysis import run_campaign, sweep_objective_surfaces
+from repro.analysis.heatmap import temperature_fields
+from repro.core import Evaluator
+from repro.errors import ConfigurationError
+from repro.exec import (
+    WORKERS_ENV,
+    WorkUnit,
+    default_chunk,
+    evaluate_points,
+    resolve_workers,
+)
+from repro.exec import scheduler as exec_scheduler
+from repro.faults import full_fault_plan, run_chaos_campaign
+from repro.io import campaign_to_dict
+from repro.obs import telemetry_session
+from repro.obs.export import span_to_dict
+
+
+def canonical_digest(campaign):
+    """sha256 of the timing-free canonical JSON of a campaign."""
+    payload = campaign_to_dict(campaign, canonical=True)
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+@pytest.fixture(scope="module")
+def leakage_free_problem(profiles):
+    problem = build_cooling_problem(profiles["basicmath"],
+                                    grid_resolution=4)
+    # Disabling leakage removes the relinearization loop, making
+    # evaluations batchable — the precondition for the points fan-out.
+    problem.leakage = None
+    return problem
+
+
+class TestResolveWorkers:
+    def test_default_is_in_process(self, monkeypatch):
+        monkeypatch.delenv(WORKERS_ENV, raising=False)
+        assert resolve_workers(None) == 0
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "3")
+        assert resolve_workers(None) == 3
+
+    def test_explicit_overrides_env(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "3")
+        assert resolve_workers(0) == 0
+        assert resolve_workers(2) == 2
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            resolve_workers(-1)
+
+    def test_junk_env_rejected(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "many")
+        with pytest.raises(ConfigurationError):
+            resolve_workers(None)
+
+
+class TestWorkUnit:
+    def test_kind_validated(self):
+        with pytest.raises(ConfigurationError):
+            WorkUnit(index=0, kind="nonsense", name="x")
+
+    def test_index_validated(self):
+        with pytest.raises(ConfigurationError):
+            WorkUnit(index=-1, kind="benchmark", name="x")
+
+    def test_default_chunk_positive(self):
+        assert default_chunk(1, 4) == 1
+        assert default_chunk(100, 4) >= 1
+        assert default_chunk(100, 1) >= 1
+
+
+class TestFaultPlanDerive:
+    def test_deterministic(self):
+        plan = full_fault_plan(seed=11, rate=0.05)
+        assert plan.derive("basicmath").seed \
+            == plan.derive("basicmath").seed
+        assert plan.derive("basicmath").specs == plan.specs
+
+    def test_label_and_seed_dependent(self):
+        plan = full_fault_plan(seed=11, rate=0.05)
+        other = full_fault_plan(seed=12, rate=0.05)
+        assert plan.derive("a").seed != plan.derive("b").seed
+        assert plan.derive("a").seed != other.derive("a").seed
+        assert plan.derive("a").seed != plan.seed
+
+
+class TestOperatorPickle:
+    def test_factor_cache_dropped_and_clone_solves(self, tec_problem):
+        evaluator = Evaluator(tec_problem)
+        original = evaluator.evaluate(262.0, 1.0)
+        clone = pickle.loads(pickle.dumps(tec_problem))
+        stats = clone.model.network.operator.stats
+        # The SuperLU factors and counters never cross the boundary.
+        assert stats.solves == 0
+        assert stats.factorizations == 0
+        assert stats.cache_hits == 0
+        result = Evaluator(clone).evaluate(262.0, 1.0)
+        assert result.max_chip_temperature \
+            == original.max_chip_temperature
+        assert result.total_power == original.total_power
+
+
+class TestPointsFanOut:
+    POINTS = [(200.0, 0.5), (220.0, 1.0), (240.0, 1.5),
+              (260.0, 2.0), (280.0, 2.5)]
+
+    def test_evaluate_points_matches_in_process(
+            self, leakage_free_problem):
+        serial = Evaluator(leakage_free_problem).evaluate_many(
+            self.POINTS)
+        fanned = evaluate_points(leakage_free_problem,
+                                 self.POINTS, 2, chunk=2)
+        assert len(fanned) == len(serial)
+        for ours, theirs in zip(fanned, serial):
+            assert ours.max_chip_temperature \
+                == theirs.max_chip_temperature
+            assert ours.total_power == theirs.total_power
+            assert ours.feasible == theirs.feasible
+
+    def test_wired_through_evaluate_many(self, leakage_free_problem):
+        local = Evaluator(leakage_free_problem)
+        fanned = local.evaluate_many(self.POINTS, workers=2)
+        serial = Evaluator(leakage_free_problem).evaluate_many(
+            self.POINTS)
+        for ours, theirs in zip(fanned, serial):
+            assert ours.max_chip_temperature \
+                == theirs.max_chip_temperature
+        # The fan-out is pure: the local instance solved nothing.
+        assert local.solve_count == 0
+
+    def test_sweep_parity(self, leakage_free_problem):
+        serial = sweep_objective_surfaces(
+            leakage_free_problem, omega_points=4, current_points=3,
+            workers=0)
+        fanned = sweep_objective_surfaces(
+            leakage_free_problem, omega_points=4, current_points=3,
+            workers=2)
+        assert (serial.temperature == fanned.temperature).all()
+        assert (serial.power == fanned.power).all()
+        assert (serial.feasible == fanned.feasible).all()
+
+    def test_fields_parity(self, tec_problem):
+        points = [(200.0, 0.0), (200.0, 1.0), (260.0, 1.0),
+                  (260.0, 2.0)]
+        serial = temperature_fields(
+            tec_problem.model, points, tec_problem.dynamic_cell_power,
+            leakage=None, workers=0)
+        fanned = temperature_fields(
+            tec_problem.model, points, tec_problem.dynamic_cell_power,
+            leakage=None, workers=2)
+        assert len(serial) == len(fanned)
+        for ours, theirs in zip(fanned, serial):
+            assert (ours == theirs).all()
+
+
+class TestPoolFallback:
+    def test_falls_back_to_in_process(self, monkeypatch,
+                                      leakage_free_problem):
+        def broken_pool(payload, units, max_workers):
+            raise OSError("no pool for you")
+
+        monkeypatch.setattr(exec_scheduler, "_run_pool", broken_pool)
+        points = [(200.0, 0.5), (240.0, 1.5), (280.0, 2.5)]
+        fanned = evaluate_points(leakage_free_problem, points, 2,
+                                 chunk=1)
+        serial = Evaluator(leakage_free_problem).evaluate_many(points)
+        for ours, theirs in zip(fanned, serial):
+            assert ours.max_chip_temperature \
+                == theirs.max_chip_temperature
+
+
+class TestTelemetryMerge:
+    def test_adopt_records_reparents_and_shifts(self):
+        with telemetry_session() as (tracer, _metrics):
+            parent = tracer.start_span("benchmark", "basicmath")
+            child = tracer.start_span("stage", "oftec")
+            tracer.event("fault.injected", kind="demo")
+            tracer.end_span(child)
+            tracer.end_span(parent)
+            # finished is in finish order: children before parents —
+            # the exact shape adopt_records must remap correctly.
+            records = [span_to_dict(s) for s in tracer.finished]
+
+        with telemetry_session() as (tracer, _metrics):
+            host = tracer.start_span("unit", "basicmath")
+            tracer.end_span(host)
+            adopted = tracer.adopt_records(records, parent=host,
+                                           time_offset=100.0)
+            assert adopted == 2
+            spans = {s.kind: s for s in tracer.finished}
+            assert spans["stage"].parent_id \
+                == spans["benchmark"].span_id
+            assert spans["benchmark"].parent_id == host.span_id
+            assert spans["stage"].events[0].name == "fault.injected"
+            assert spans["benchmark"].start_s >= 100.0
+
+    def test_merge_snapshot_accumulates(self):
+        with telemetry_session() as (_tracer, metrics):
+            metrics.counter("exec.test.count").inc(2)
+            metrics.gauge("exec.test.gauge").set(5.0)
+            histogram = metrics.histogram("exec.test.hist", (1.0, 2.0))
+            histogram.observe(0.5)
+            metrics.merge_snapshot(metrics.snapshot())
+            merged = metrics.snapshot()
+            assert merged["counters"]["exec.test.count"] == 4
+            assert merged["gauges"]["exec.test.gauge"] == 5.0
+            assert merged["histograms"]["exec.test.hist"]["count"] == 2
+
+    def test_merge_snapshot_bound_mismatch_rejected(self):
+        with telemetry_session() as (_tracer, metrics):
+            metrics.histogram("exec.test.hist", (1.0, 2.0))
+            foreign = {"histograms": {"exec.test.hist": {
+                "buckets": [(5.0, 1)], "overflow": 0,
+                "count": 1, "sum": 0.1, "min": 0.1, "max": 0.1}}}
+            with pytest.raises(ConfigurationError):
+                metrics.merge_snapshot(foreign)
+
+
+@pytest.fixture(scope="module")
+def identity_problems(profiles):
+    tec = build_cooling_problem(profiles["basicmath"],
+                                grid_resolution=6)
+    base = build_cooling_problem(profiles["basicmath"], with_tec=False,
+                                 grid_resolution=6)
+    return tec, base
+
+
+class TestCampaignBitIdentity:
+    def test_all_benchmarks_digest_equality(self, profiles,
+                                            identity_problems):
+        """The headline contract: `--workers N` output is bit-identical
+        to serial over the full eight-benchmark campaign."""
+        tec, base = identity_problems
+        serial = run_campaign(profiles, tec, base,
+                              include_tec_only=True, workers=0)
+        parallel = run_campaign(profiles, tec, base,
+                                include_tec_only=True, workers=2)
+        assert canonical_digest(parallel) == canonical_digest(serial)
+        per_worker = parallel.worker_stats["per_worker"]
+        assert per_worker
+        # A genuine pool ran: distinct worker pids with live caches.
+        assert len({row["pid"] for row in per_worker}) == 2
+        for row in per_worker:
+            assert row["solves"] > 0
+            assert row["factorizations"] > 0
+
+    def test_in_process_executor_digest(self, profiles,
+                                        identity_problems):
+        tec, base = identity_problems
+        subset = {name: profiles[name]
+                  for name in ("basicmath", "crc32")}
+        serial = run_campaign(subset, tec, base, workers=0)
+        staged = run_campaign(subset, tec, base, workers=1)
+        assert canonical_digest(staged) == canonical_digest(serial)
+
+    def test_workers_exclusive_with_factory(self, profiles,
+                                            identity_problems):
+        tec, base = identity_problems
+        subset = {"basicmath": profiles["basicmath"]}
+        with pytest.raises(ConfigurationError):
+            run_campaign(subset, tec, base, workers=2,
+                         evaluator_factory=Evaluator)
+
+
+class TestChaosUnderParallelism:
+    def test_fault_events_land_on_worker_spans(self, profiles):
+        tec = build_cooling_problem(profiles["basicmath"],
+                                    grid_resolution=4)
+        base = build_cooling_problem(profiles["basicmath"],
+                                     with_tec=False, grid_resolution=4)
+        subset = {name: profiles[name]
+                  for name in ("basicmath", "bitcount")}
+        plan = full_fault_plan(seed=11, rate=0.05)
+        with telemetry_session() as (tracer, metrics):
+            report = run_chaos_campaign(subset, tec, base, plan=plan,
+                                        workers=2)
+            spans = list(tracer.finished)
+            snapshot = metrics.snapshot()
+        assert report.ok, report.unhandled
+        assert sum(report.fired.values()) > 0
+        # Worker metrics merged home.
+        assert any(name.startswith("faults.injected")
+                   for name in snapshot["counters"])
+        by_id = {span.span_id: span for span in spans}
+        fault_spans = [
+            span for span in spans
+            if any(event.name == "fault.injected"
+                   for event in span.events)]
+        assert fault_spans
+        for span in fault_spans:
+            benchmark = None
+            unit = None
+            cursor = span
+            while cursor is not None:
+                if cursor.kind == "benchmark" and benchmark is None:
+                    benchmark = cursor.name
+                if cursor.kind == "unit":
+                    unit = cursor.name
+                cursor = by_id.get(cursor.parent_id)
+            # Every injected fault re-parents under the unit span of
+            # the benchmark it actually hit.
+            assert unit is not None
+            assert benchmark == unit
+            assert unit in subset
