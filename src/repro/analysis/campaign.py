@@ -301,7 +301,13 @@ def run_campaign(
             serial.  Incompatible with ``evaluator_factory`` (a live
             factory cannot cross process boundaries; chaos runs use
             :func:`repro.faults.run_chaos_campaign`'s own parallel
-            path).
+            path).  Error surfacing differs from serial in one way:
+            exception objects do not cross the process boundary, so
+            where the serial loop re-raises the original exception
+            (with its traceback), the parallel path raises
+            :class:`~repro.errors.SolverError` for library failures
+            and ``RuntimeError`` listing every unhandled worker
+            exception as ``"Type: message"`` text.
     """
     if not tec_problem_template.has_tec:
         raise ConfigurationError(
@@ -382,10 +388,11 @@ def _run_campaign_parallel(
             workers=workers)
         if merge.unhandled:
             # A non-library exception in a worker is a bug, not a
-            # result; surface the first one instead of a silent hole
-            # in the comparisons.
+            # result; surface every entry instead of a silent hole in
+            # the comparisons.
             raise RuntimeError(  # physlint: disable=RPR201
-                f"unhandled worker exception: {merge.unhandled[0]}")
+                f"{len(merge.unhandled)} unhandled worker "
+                f"exception(s): " + "; ".join(merge.unhandled))
         if merge.errors and not isolate_failures:
             name, stage, error_type, message = merge.errors[0]
             raise SolverError(

@@ -295,8 +295,11 @@ def _grid_then_polish(
         # grouped solve per distinct system matrix); the scan below then
         # reads cached evaluations.  Skipped when the objective can
         # early-stop, where the scan must not probe past the stop point.
+        # workers=0 opts out of the REPRO_WORKERS fan-out: worker-side
+        # evaluations would be discarded, leaving this cache cold and
+        # the solve counters perturbed.
         norm.evaluator.evaluate_many(
-            [norm.to_physical(x) for x in candidates])
+            [norm.to_physical(x) for x in candidates], workers=0)
     best_x = None
     best_val = np.inf
     for x in candidates:

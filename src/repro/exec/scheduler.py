@@ -24,7 +24,10 @@ on:
 
 Worker count resolution: an explicit argument wins, then the
 ``REPRO_WORKERS`` environment variable, then 0 (= classic serial path,
-no unit decomposition).  The ``REPRO_START_METHOD`` environment
+no unit decomposition).  Inside a worker — which inherits the
+coordinator's environment — resolution always yields 0, so decomposed
+entry points reached from a unit body never nest pools (see
+:func:`resolve_workers`).  The ``REPRO_START_METHOD`` environment
 variable (``fork``/``spawn``/``forkserver``) overrides the platform's
 default start method; see docs/PARALLELISM.md for the trade-offs.
 """
@@ -68,7 +71,17 @@ def resolve_workers(workers: Optional[int] = None) -> int:
     classic serial code (no unit decomposition at all), ``1`` runs the
     decomposed units through the in-process serial executor, ``N > 1``
     uses a process pool of N workers.
+
+    Inside a worker (pool process or serial executor) the answer is
+    always 0: pool workers inherit ``REPRO_WORKERS`` from the
+    coordinator's environment, and honoring it there would nest
+    process pools (or re-enter the serial executor) every time a unit
+    internally calls a decomposed entry point such as
+    :meth:`~repro.core.Evaluator.evaluate_many`.  Only the
+    coordinator ever fans out.
     """
+    if _workers.in_worker():
+        return 0
     if workers is None:
         text = os.environ.get(WORKERS_ENV, "").strip()
         if not text:
@@ -85,14 +98,21 @@ def resolve_workers(workers: Optional[int] = None) -> int:
     return count
 
 
-def _run_serial(payload: bytes,
+def _run_serial(context: WorkerContext,
                 units: Sequence[WorkUnit]) -> List[UnitResult]:
-    """Execute units in-process through the worker shim."""
-    _workers.install_context(payload)
+    """Execute units in-process through the worker shim.
+
+    Re-entrant: the previously installed runtime (if any) is saved and
+    restored around the run, so a nested :func:`run_units` call — a
+    unit whose body reaches a decomposed entry point — degrades to
+    serial execution instead of corrupting the enclosing executor's
+    state.
+    """
+    previous = _workers.install_runtime(context)
     try:
         return [_workers.run_unit(unit) for unit in units]
     finally:
-        _workers.clear_context()
+        _workers.restore_runtime(previous)
 
 
 def _run_pool(payload: bytes, units: Sequence[WorkUnit],
@@ -120,17 +140,28 @@ def run_units(context: WorkerContext, units: Sequence[WorkUnit],
               workers: int) -> List[UnitResult]:
     """Run units with ``workers`` processes; merge in submission order.
 
-    ``workers <= 1`` (or a single unit) executes serially in-process.
-    A pool that cannot start or breaks mid-run falls back to the
-    serial executor — the units are pure functions of the context, so
-    re-execution is safe — and records an ``exec.pool_fallback``
-    event.  Worker telemetry is adopted onto the live tracer before
-    returning.
+    ``workers <= 1`` (or a single unit, or a call issued from inside a
+    worker) executes serially in-process.  A context that fails to
+    pickle, or a pool that cannot start or breaks mid-run, falls back
+    to the serial executor — the units are pure functions of the
+    context, so re-execution is safe — and records an
+    ``exec.pool_fallback`` event.  Worker telemetry is adopted onto
+    the live tracer before returning.
     """
     units = list(units)
-    payload = pickle.dumps(context)
+    payload: Optional[bytes] = None
+    try:
+        payload = pickle.dumps(context)
+    except Exception as exc:  # physlint: disable=RPR201
+        # An unpicklable context (a policy or leakage model holding a
+        # closure, say) cannot cross a process boundary, but the serial
+        # executor can still run it directly — entry points that
+        # auto-engage on REPRO_WORKERS must not start crashing merely
+        # because the env var is set.
+        _obs.event("exec.pool_fallback", error=type(exc).__name__)
     results: Optional[List[UnitResult]] = None
-    if workers > 1 and len(units) > 1:
+    if payload is not None and workers > 1 and len(units) > 1 \
+            and not _workers.in_worker():
         try:
             results = _run_pool(payload, units,
                                 min(workers, len(units)))
@@ -140,7 +171,11 @@ def run_units(context: WorkerContext, units: Sequence[WorkUnit],
                        error=type(exc).__name__)
             results = None
     if results is None:
-        results = _run_serial(payload, units)
+        # Round-trip through the payload when possible so serial and
+        # pool runs exercise the identical serialization path.
+        serial_context = context if payload is None \
+            else pickle.loads(payload)
+        results = _run_serial(serial_context, units)
     _adopt_telemetry(results)
     return results
 

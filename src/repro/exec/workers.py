@@ -60,6 +60,40 @@ class _WorkerRuntime:
 _RUNTIME: Optional[_WorkerRuntime] = None
 
 
+def in_worker() -> bool:
+    """True while a worker context is installed.
+
+    This is the nested-fan-out guard: while it holds, implicit
+    (environment-driven) worker resolution stays serial, so a unit
+    that internally calls :meth:`~repro.core.Evaluator.evaluate_many`
+    or another decomposed entry point can never spawn a pool inside a
+    pool worker — or, through the serial executor, clobber the
+    enclosing executor's state.  True for the lifetime of a pool
+    worker process and for the duration of a serial-executor run.
+    """
+    return _RUNTIME is not None
+
+
+def install_runtime(context: WorkerContext,
+                    ) -> Optional[_WorkerRuntime]:
+    """Install a context object; return the displaced runtime.
+
+    The return value is the previous runtime (None when there was
+    none), to be handed back to :func:`restore_runtime` — the
+    save/restore pair that makes the serial executor safely nestable.
+    """
+    global _RUNTIME
+    previous = _RUNTIME
+    _RUNTIME = _WorkerRuntime(context)
+    return previous
+
+
+def restore_runtime(previous: Optional[_WorkerRuntime]) -> None:
+    """Reinstate the runtime displaced by :func:`install_runtime`."""
+    global _RUNTIME
+    _RUNTIME = previous
+
+
 def install_context(payload: bytes) -> None:
     """Install the shared context from its pickled form.
 
@@ -68,12 +102,11 @@ def install_context(payload: bytes) -> None:
     in-process serial executor) all exercise the identical
     serialization path.
     """
-    global _RUNTIME
-    _RUNTIME = _WorkerRuntime(pickle.loads(payload))
+    install_runtime(pickle.loads(payload))
 
 
 def clear_context() -> None:
-    """Uninstall the worker context (the serial executor's cleanup)."""
+    """Uninstall the worker context unconditionally (test teardown)."""
     global _RUNTIME
     _RUNTIME = None
 

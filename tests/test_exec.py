@@ -14,11 +14,13 @@ from repro.errors import ConfigurationError
 from repro.exec import (
     WORKERS_ENV,
     WorkUnit,
+    WorkerContext,
     default_chunk,
     evaluate_points,
     resolve_workers,
 )
 from repro.exec import scheduler as exec_scheduler
+from repro.exec import workers as exec_workers
 from repro.faults import full_fault_plan, run_chaos_campaign
 from repro.io import campaign_to_dict
 from repro.obs import telemetry_session
@@ -64,6 +66,21 @@ class TestResolveWorkers:
         monkeypatch.setenv(WORKERS_ENV, "many")
         with pytest.raises(ConfigurationError):
             resolve_workers(None)
+
+    def test_inside_worker_always_serial(self, monkeypatch):
+        """Workers inherit REPRO_WORKERS from the coordinator's env;
+        honoring it there would nest pools, so resolution inside an
+        installed worker context must always be 0."""
+        monkeypatch.setenv(WORKERS_ENV, "3")
+        previous = exec_workers.install_runtime(WorkerContext())
+        try:
+            assert exec_workers.in_worker()
+            assert resolve_workers(None) == 0
+            assert resolve_workers(4) == 0
+        finally:
+            exec_workers.restore_runtime(previous)
+        assert not exec_workers.in_worker()
+        assert resolve_workers(None) == 3
 
 
 class TestWorkUnit:
@@ -180,6 +197,68 @@ class TestPoolFallback:
             assert ours.max_chip_temperature \
                 == theirs.max_chip_temperature
 
+    def test_unpicklable_context_falls_back(self, monkeypatch,
+                                            leakage_free_problem):
+        """A context that cannot pickle must degrade to the serial
+        executor (with the original object), not raise — env-driven
+        fan-out engages on previously-working serial call sites."""
+        def exploding_pool(payload, units, max_workers):
+            raise AssertionError("pool must not start")
+
+        monkeypatch.setattr(exec_scheduler, "_run_pool",
+                            exploding_pool)
+        context = WorkerContext(point_problem=leakage_free_problem,
+                                policy=lambda: None)
+        with pytest.raises(Exception):
+            pickle.dumps(context)
+        points = [(200.0, 0.5), (240.0, 1.5), (280.0, 2.5)]
+        units = exec_scheduler._chunk_units(points, "points", 2)
+        results = exec_scheduler.run_units(context, units, 2)
+        fanned = [evaluation for result in results
+                  for evaluation in result.value]
+        serial = Evaluator(leakage_free_problem).evaluate_many(points)
+        for ours, theirs in zip(fanned, serial):
+            assert ours.max_chip_temperature \
+                == theirs.max_chip_temperature
+
+
+class TestNestedFanOut:
+    """The worker-side guard: units that internally reach decomposed
+    entry points must stay serial instead of re-entering the engine."""
+
+    def test_serial_executor_is_reentrant(self, leakage_free_problem):
+        """A nested run_units must restore the enclosing runtime, not
+        wipe it to None."""
+        outer = WorkerContext()
+        previous = exec_workers.install_runtime(outer)
+        try:
+            context = WorkerContext(
+                point_problem=leakage_free_problem)
+            units = exec_scheduler._chunk_units(
+                [(200.0, 0.5), (240.0, 1.5)], "points", 1)
+            results = exec_scheduler.run_units(context, units, 1)
+            assert all(result.ok for result in results)
+            assert exec_workers._RUNTIME is not None
+            assert exec_workers._RUNTIME.context is outer
+        finally:
+            exec_workers.restore_runtime(previous)
+
+    def test_env_workers_sweep_parity(self, monkeypatch,
+                                      leakage_free_problem):
+        """REPRO_WORKERS=1 + sweep: the worker-side evaluate_many used
+        to re-enter the engine and clobber the runtime (deterministic
+        SolverError); it must stay serial and match workers=0."""
+        monkeypatch.delenv(WORKERS_ENV, raising=False)
+        serial = sweep_objective_surfaces(
+            leakage_free_problem, omega_points=4, current_points=3,
+            workers=0)
+        monkeypatch.setenv(WORKERS_ENV, "1")
+        fanned = sweep_objective_surfaces(
+            leakage_free_problem, omega_points=4, current_points=3)
+        assert (serial.temperature == fanned.temperature).all()
+        assert (serial.power == fanned.power).all()
+        assert (serial.feasible == fanned.feasible).all()
+
 
 class TestTelemetryMerge:
     def test_adopt_records_reparents_and_shifts(self):
@@ -264,6 +343,40 @@ class TestCampaignBitIdentity:
         serial = run_campaign(subset, tec, base, workers=0)
         staged = run_campaign(subset, tec, base, workers=1)
         assert canonical_digest(staged) == canonical_digest(serial)
+
+    def test_env_workers_campaign_digest(self, monkeypatch, profiles,
+                                         identity_problems):
+        """The env-driven path the CLI gate misses: workers resolved
+        from REPRO_WORKERS, which pool workers then inherit — their
+        in-worker guard must keep unit bodies serial."""
+        tec, base = identity_problems
+        subset = {name: profiles[name]
+                  for name in ("basicmath", "crc32")}
+        monkeypatch.delenv(WORKERS_ENV, raising=False)
+        serial = run_campaign(subset, tec, base, workers=0)
+        monkeypatch.setenv(WORKERS_ENV, "2")
+        enved = run_campaign(subset, tec, base)
+        assert canonical_digest(enved) == canonical_digest(serial)
+
+    def test_unhandled_lists_every_entry(self, monkeypatch, profiles,
+                                         identity_problems):
+        tec, base = identity_problems
+        subset = {"basicmath": profiles["basicmath"]}
+
+        def fake_units(*args, **kwargs):
+            from repro.exec import CampaignMerge
+            return CampaignMerge(
+                unhandled=["ValueError: first", "KeyError: second"])
+
+        import repro.exec
+        monkeypatch.setattr(repro.exec, "run_campaign_units",
+                            fake_units)
+        with pytest.raises(RuntimeError) as excinfo:
+            run_campaign(subset, tec, base, workers=2)
+        message = str(excinfo.value)
+        assert "2 unhandled" in message
+        assert "ValueError: first" in message
+        assert "KeyError: second" in message
 
     def test_workers_exclusive_with_factory(self, profiles,
                                             identity_problems):
