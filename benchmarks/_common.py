@@ -69,3 +69,32 @@ def paired_medians(sample_a: Callable[[], float],
     a_values.sort()
     b_values.sort()
     return a_values[repeats // 2], b_values[repeats // 2]
+
+
+def paired_overhead_pct(sample_a: Callable[[], float],
+                        sample_b: Callable[[], float],
+                        repeats: int = 7,
+                        ) -> Tuple[float, float, float]:
+    """Median per-repeat overhead of B over A, in percent.
+
+    :func:`paired_medians` medians each arm separately, which leaves
+    slow drift *between* repeats (frequency scaling ramping over the
+    run) attributed to whichever arm it coincided with.  Here the
+    ratio is formed inside each interleaved repeat — the two samples
+    of a pair run back to back, so drift cancels — and the median is
+    taken over the per-pair overheads.  Returns
+    ``(median_a, median_b, median_overhead_pct)``; the first two are
+    the usual per-arm medians for rate reporting.
+    """
+    a_values, b_values, pcts = [], [], []
+    for _ in range(repeats):
+        a = sample_a()
+        b = sample_b()
+        a_values.append(a)
+        b_values.append(b)
+        pcts.append(100.0 * (b - a) / a)
+    a_values.sort()
+    b_values.sort()
+    pcts.sort()
+    return (a_values[repeats // 2], b_values[repeats // 2],
+            pcts[repeats // 2])

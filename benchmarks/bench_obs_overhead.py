@@ -17,7 +17,7 @@ import time
 
 import numpy as np
 
-from _common import emit_bench_json, paired_medians
+from _common import emit_bench_json, paired_overhead_pct
 from repro import run_oftec
 from repro.core import Evaluator
 from repro.obs import telemetry_session
@@ -32,14 +32,14 @@ def _solve_sample(network, overlay, rhs, rounds):
 
 
 def _paired_warm_solve_seconds(network, overlay, rhs, rounds):
-    """Median (disabled, enabled) seconds per warm solve."""
+    """Median (disabled, enabled, overhead pct) per warm solve."""
     network.solve(overlay, rhs)  # prime the factor cache
 
     def enabled_sample():
         with telemetry_session():
             return _solve_sample(network, overlay, rhs, rounds)
 
-    return paired_medians(
+    return paired_overhead_pct(
         lambda: _solve_sample(network, overlay, rhs, rounds),
         enabled_sample)
 
@@ -52,14 +52,14 @@ def _oftec_sample(problem):
     return time.perf_counter() - start
 
 
-def _paired_oftec_seconds(problem, repeats=3):
-    """Median (disabled, enabled) wall seconds, sampled interleaved."""
+def _paired_oftec_seconds(problem, repeats=7):
+    """Median (disabled, enabled, overhead pct) wall seconds."""
     def enabled_sample():
         with telemetry_session():
             return _oftec_sample(problem)
 
-    return paired_medians(lambda: _oftec_sample(problem),
-                          enabled_sample, repeats=repeats)
+    return paired_overhead_pct(lambda: _oftec_sample(problem),
+                               enabled_sample, repeats=repeats)
 
 
 def test_obs_overhead_and_emit(tec_problem, resolution):
@@ -82,16 +82,14 @@ def test_obs_overhead_and_emit(tec_problem, resolution):
         network.solve(diag, rhs)
         solve_count = \
             metrics.snapshot()["counters"]["operator.solves"]
-    disabled, enabled = _paired_warm_solve_seconds(network, diag, rhs,
-                                                   rounds)
-    solve_overhead_pct = 100.0 * (enabled - disabled) / disabled
+    disabled, enabled, solve_overhead_pct = \
+        _paired_warm_solve_seconds(network, diag, rhs, rounds)
 
     with telemetry_session() as (tracer, _metrics):
         _oftec_sample(tec_problem)
         spans = len(tracer.finished)
-    oftec_disabled, oftec_enabled = _paired_oftec_seconds(tec_problem)
-    oftec_overhead_pct = 100.0 * (oftec_enabled - oftec_disabled) \
-        / oftec_disabled
+    oftec_disabled, oftec_enabled, oftec_overhead_pct = \
+        _paired_oftec_seconds(tec_problem)
 
     print(f"\nwarm solve: disabled {1.0 / disabled:.0f}/s, enabled "
           f"{1.0 / enabled:.0f}/s ({solve_overhead_pct:+.2f}%)")

@@ -54,10 +54,11 @@ from .errors import (
     SolveTimeoutError,
     SolverError,
     ThermalRunawayError,
+    WorkerCrashError,
 )
 from .power import BenchmarkProfile, mibench_profiles
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "I_TEC_MAX",
@@ -89,6 +90,7 @@ __all__ = [
     "ThermalRunawayError",
     "InfeasibleProblemError",
     "CalibrationError",
+    "WorkerCrashError",
     "BenchmarkProfile",
     "mibench_profiles",
     "__version__",

@@ -36,7 +36,12 @@ from ..core import (
     run_tec_only,
     run_variable_fan_baseline,
 )
-from ..errors import ConfigurationError, ReproError, SolverError
+from ..errors import (
+    ConfigurationError,
+    ReproError,
+    SolverError,
+    WorkerCrashError,
+)
 from ..obs import runtime as _obs
 from ..obs.clock import stopwatch
 from ..power import BenchmarkProfile
@@ -306,8 +311,8 @@ def run_campaign(
             where the serial loop re-raises the original exception
             (with its traceback), the parallel path raises
             :class:`~repro.errors.SolverError` for library failures
-            and ``RuntimeError`` listing every unhandled worker
-            exception as ``"Type: message"`` text.
+            and :class:`~repro.errors.WorkerCrashError` listing every
+            unhandled worker exception as ``"Type: message"`` text.
     """
     if not tec_problem_template.has_tec:
         raise ConfigurationError(
@@ -390,9 +395,10 @@ def _run_campaign_parallel(
             # A non-library exception in a worker is a bug, not a
             # result; surface every entry instead of a silent hole in
             # the comparisons.
-            raise RuntimeError(  # physlint: disable=RPR201
+            raise WorkerCrashError(
                 f"{len(merge.unhandled)} unhandled worker "
-                f"exception(s): " + "; ".join(merge.unhandled))
+                f"exception(s): " + "; ".join(merge.unhandled),
+                reports=merge.unhandled)
         if merge.errors and not isolate_failures:
             name, stage, error_type, message = merge.errors[0]
             raise SolverError(

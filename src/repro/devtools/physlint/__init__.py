@@ -2,14 +2,24 @@
 
 Run it as ``repro lint [PATH ...]`` or
 ``python -m repro.devtools.physlint [PATH ...]``; use
-:func:`lint_paths` / :func:`lint_source` as the library API.
+:func:`lint_paths` / :func:`lint_source` (per-file rules) or
+:func:`lint_project` (the v2 whole-program engine: dimensional flow,
+process-safety reachability, incremental cache) as the library API.
 
-See :mod:`repro.devtools.physlint.rules` for the rule catalogue and
-CONTRIBUTING.md for suppression syntax and how to add a rule.
+See :mod:`repro.devtools.physlint.rules` for the per-file rule
+catalogue, :mod:`repro.devtools.physlint.projectrules` for the
+whole-program rules, and docs/LINTING.md for the engine guide,
+suppression syntax, and baseline/SARIF workflow.
 """
 
 from __future__ import annotations
 
+from .baseline import (
+    filter_new,
+    fingerprint,
+    load_baseline,
+    write_baseline,
+)
 from .cli import build_parser, main
 from .core import (
     PARSE_ERROR_CODE,
@@ -22,24 +32,49 @@ from .core import (
     lint_source,
     rule,
 )
-from .reporters import findings_to_dict, format_json, format_text
+from .project import (
+    ProjectGraph,
+    ProjectReport,
+    ProjectRule,
+    available_project_rules,
+    lint_project,
+    project_rule,
+)
+from .reporters import (
+    findings_to_dict,
+    format_json,
+    format_sarif,
+    format_text,
+)
 
-# Importing the module registers the built-in rules with the registry.
+# Importing these modules registers the built-in rules.
 from . import rules as _builtin_rules  # noqa: F401  (import for effect)
+from . import projectrules as _builtin_project_rules  # noqa: F401
 
 __all__ = [
     "PARSE_ERROR_CODE",
     "Finding",
     "LintContext",
+    "ProjectGraph",
+    "ProjectReport",
+    "ProjectRule",
     "Rule",
+    "available_project_rules",
     "available_rules",
     "build_parser",
+    "filter_new",
     "findings_to_dict",
+    "fingerprint",
     "format_json",
+    "format_sarif",
     "format_text",
     "lint_file",
     "lint_paths",
+    "lint_project",
     "lint_source",
+    "load_baseline",
     "main",
+    "project_rule",
     "rule",
+    "write_baseline",
 ]

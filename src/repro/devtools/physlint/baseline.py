@@ -1,0 +1,98 @@
+"""Committed-baseline mode: fail CI only on *new* findings.
+
+A baseline is a committed JSON document mapping finding fingerprints
+to how many times each occurs.  Fingerprints are deliberately
+*line-free* — blake2b over ``path | code | message`` — so editing an
+unrelated part of a file does not churn the baseline, while moving a
+finding to another file or changing what it says does.
+
+``repro lint --baseline physlint-baseline.json`` drops every finding
+covered by the baseline (up to its recorded count) and reports only
+the excess; ``--update-baseline`` rewrites the file from the current
+findings.  An empty baseline therefore means "the tree is clean and
+must stay clean".
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from collections import Counter
+from typing import Dict, List, Sequence
+
+from ...errors import ConfigurationError
+from .core import Finding
+
+#: Bumped when the baseline document shape changes.
+BASELINE_VERSION = 1
+
+
+def fingerprint(finding: Finding) -> str:
+    """The stable, line-free identity of one finding."""
+    posix = finding.path.replace(os.sep, "/").replace("\\", "/")
+    payload = f"{posix}|{finding.code}|{finding.message}"
+    return hashlib.blake2b(payload.encode("utf-8"),
+                           digest_size=12).hexdigest()
+
+
+def write_baseline(findings: Sequence[Finding], path: str) -> None:
+    """Persist the current findings as the accepted baseline."""
+    counts = Counter(fingerprint(f) for f in findings)
+    document = {
+        "tool": "physlint",
+        "version": BASELINE_VERSION,
+        "fingerprints": dict(sorted(counts.items())),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_baseline(path: str) -> Dict[str, int]:
+    """Read a baseline file; raises ConfigurationError on problems."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except OSError as error:
+        raise ConfigurationError(
+            f"cannot read baseline {path}: {error}") from error
+    except ValueError as error:
+        raise ConfigurationError(
+            f"baseline {path} is not valid JSON: {error}") from error
+    if not isinstance(document, dict) \
+            or document.get("tool") != "physlint" \
+            or not isinstance(document.get("fingerprints"), dict):
+        raise ConfigurationError(
+            f"baseline {path} is not a physlint baseline document")
+    fingerprints = document["fingerprints"]
+    return {str(key): int(value)
+            for key, value in fingerprints.items()}
+
+
+def filter_new(findings: Sequence[Finding],
+               baseline: Dict[str, int]) -> List[Finding]:
+    """Findings not covered by the baseline.
+
+    Each fingerprint absorbs up to its recorded count, first
+    occurrence first, so a file that *gains* a second identical
+    finding still fails the gate.
+    """
+    remaining = dict(baseline)
+    new: List[Finding] = []
+    for finding in findings:
+        key = fingerprint(finding)
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            continue
+        new.append(finding)
+    return new
+
+
+__all__ = [
+    "BASELINE_VERSION",
+    "filter_new",
+    "fingerprint",
+    "load_baseline",
+    "write_baseline",
+]

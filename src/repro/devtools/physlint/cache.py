@@ -1,0 +1,134 @@
+"""The incremental analysis cache.
+
+``physlint`` v2 analyzes each file once and remembers the result: the
+per-file findings (post-suppression, pre-select), the suppression
+maps, and the whole-program :class:`~.project.FileSummary`.  Entries
+are keyed by the file's posix path and a blake2b digest of its
+*content*, so touching a file's mtime without changing it costs
+nothing, and the whole-program rules re-run every time from the cached
+summaries without re-parsing a single unchanged file.
+
+The cache is invalidated wholesale by a *salt* derived from the engine
+version and the registered rule set — adding a rule, or changing the
+analysis in a way that bumps :data:`CACHE_VERSION`, discards stale
+entries instead of serving findings a newer engine would not produce.
+
+Corrupt, unreadable, or foreign cache files are treated as empty: the
+cache can only ever cost a re-analysis, never a wrong result.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from typing import Any, Dict, Optional, Set
+
+#: Bump when the analysis semantics change in a way the rule list
+#: alone does not capture (e.g. the unit vocabulary grows).
+CACHE_VERSION = 1
+
+
+def content_digest(source: str) -> str:
+    """The blake2b content key of one file's text."""
+    return hashlib.blake2b(source.encode("utf-8"),
+                           digest_size=16).hexdigest()
+
+
+def engine_salt(rule_codes: Any) -> str:
+    """The whole-cache invalidation key for a rule set."""
+    payload = json.dumps([CACHE_VERSION, sorted(rule_codes)])
+    return hashlib.blake2b(payload.encode("utf-8"),
+                           digest_size=8).hexdigest()
+
+
+class AnalysisCache:
+    """Per-file analysis results, persisted as one JSON document.
+
+    Usage: :meth:`load`, then :meth:`lookup`/:meth:`store` per file,
+    then :meth:`save`.  Only entries touched during the run are
+    written back, so deleting a tree also shrinks its cache.
+    """
+
+    def __init__(self, salt: str) -> None:
+        self.salt = salt
+        self.entries: Dict[str, Dict[str, Any]] = {}
+        self.hits = 0
+        self.misses = 0
+        self._touched: Set[str] = set()
+
+    @classmethod
+    def load(cls, path: Optional[str], salt: str) -> "AnalysisCache":
+        """Read a cache file; any problem yields an empty cache."""
+        cache = cls(salt)
+        if path is None or not os.path.exists(path):
+            return cache
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            return cache
+        if not isinstance(payload, dict) \
+                or payload.get("salt") != salt:
+            return cache
+        entries = payload.get("entries")
+        if isinstance(entries, dict):
+            cache.entries = {
+                key: value for key, value in entries.items()
+                if isinstance(value, dict) and "digest" in value}
+        return cache
+
+    def lookup(self, posix_path: str,
+               digest: str) -> Optional[Dict[str, Any]]:
+        """The stored entry for an unchanged file, else None.
+
+        Counts a hit or a miss either way; the counters are how tests
+        assert the "second run re-parses zero files" property.
+        """
+        self._touched.add(posix_path)
+        entry = self.entries.get(posix_path)
+        if entry is not None and entry.get("digest") == digest:
+            self.hits += 1
+            return entry
+        self.misses += 1
+        return None
+
+    def store(self, posix_path: str, digest: str,
+              payload: Dict[str, Any]) -> None:
+        """Record a fresh analysis for one file."""
+        self._touched.add(posix_path)
+        entry = dict(payload)
+        entry["digest"] = digest
+        self.entries[posix_path] = entry
+
+    def save(self, path: Optional[str]) -> None:
+        """Atomically persist the entries touched this run."""
+        if path is None:
+            return
+        document = {
+            "tool": "physlint",
+            "salt": self.salt,
+            "entries": {key: self.entries[key]
+                        for key in sorted(self._touched)
+                        if key in self.entries},
+        }
+        directory = os.path.dirname(os.path.abspath(path))
+        try:
+            os.makedirs(directory, exist_ok=True)
+            handle = tempfile.NamedTemporaryFile(
+                "w", dir=directory, suffix=".tmp",
+                encoding="utf-8", delete=False)
+            with handle:
+                json.dump(document, handle, sort_keys=True)
+            os.replace(handle.name, path)
+        except OSError:
+            pass  # a cache that fails to persist is just cold
+
+
+__all__ = [
+    "CACHE_VERSION",
+    "AnalysisCache",
+    "content_digest",
+    "engine_salt",
+]

@@ -178,14 +178,32 @@ def _file_suppressed_codes(source: str) -> Tuple[str, ...]:
     return tuple(codes)
 
 
-def _is_suppressed(finding: Finding, context: LintContext,
-                   file_codes: Tuple[str, ...]) -> bool:
+def extract_suppressions(source: str,
+                         ) -> Tuple[Tuple[str, ...],
+                                    Dict[int, Tuple[str, ...]]]:
+    """The file's suppression state, as serializable maps.
+
+    Returns ``(file codes, {1-based line: same-line codes})`` — the
+    form the incremental cache stores so whole-program findings can be
+    suppression-filtered without re-reading the file.
+    """
+    file_codes = _file_suppressed_codes(source)
+    line_codes: Dict[int, Tuple[str, ...]] = {}
+    for number, line in enumerate(source.splitlines(), start=1):
+        codes = _suppressed_codes(line)
+        if codes:
+            line_codes[number] = codes
+    return file_codes, line_codes
+
+
+def suppressed_by_maps(finding: Finding,
+                       file_codes: Tuple[str, ...],
+                       line_codes: Dict[int, Tuple[str, ...]]) -> bool:
+    """Whether the suppression maps silence ``finding``."""
     if _match_codes(finding.code, file_codes) or "ALL" in file_codes:
         return True
-    if 1 <= finding.line <= len(context.lines):
-        codes = _suppressed_codes(context.lines[finding.line - 1])
-        return _match_codes(finding.code, codes) or "ALL" in codes
-    return False
+    codes = line_codes.get(finding.line, ())
+    return _match_codes(finding.code, codes) or "ALL" in codes
 
 
 def _selected(finding: Finding, select: Tuple[str, ...],
@@ -212,10 +230,34 @@ def validate_code_patterns(patterns: Iterable[str]) -> Tuple[str, ...]:
     return tuple(normalized)
 
 
-def lint_source(source: str, path: str,
-                select: Tuple[str, ...] = (),
-                ignore: Tuple[str, ...] = ()) -> List[Finding]:
-    """Lint one already-read source string."""
+@dataclass
+class FileAnalysis:
+    """The cacheable result of running every per-file rule on a file.
+
+    ``findings`` are post-suppression but *pre* ``--select``/
+    ``--ignore`` — selection is cheap and run-specific, so the cache
+    stores the superset and the engine filters on the way out.
+    :data:`PARSE_ERROR_CODE` findings are never suppressible: a file
+    that does not parse cannot be trusted to have meant its own
+    suppression comments.
+
+    Attributes:
+        context: The :class:`LintContext` the rules saw.
+        tree: Parsed module, or None when the file failed to parse.
+        findings: Per-file findings, suppressed entries removed.
+        file_codes: File-level suppression codes.
+        line_codes: Same-line suppression codes, by 1-based line.
+    """
+
+    context: LintContext
+    tree: Optional[ast.Module]
+    findings: List[Finding]
+    file_codes: Tuple[str, ...]
+    line_codes: Dict[int, Tuple[str, ...]]
+
+
+def analyze_source(source: str, path: str) -> FileAnalysis:
+    """Run every applicable per-file rule on one source string."""
     posix_path = path.replace(os.sep, "/")
     context = LintContext(
         path=path,
@@ -223,30 +265,39 @@ def lint_source(source: str, path: str,
         source=source,
         lines=tuple(source.splitlines()),
     )
+    file_codes, line_codes = extract_suppressions(source)
     try:
-        tree = ast.parse(source, filename=path)
+        tree: Optional[ast.Module] = ast.parse(source, filename=path)
     except SyntaxError as error:
-        finding = Finding(
+        findings = [Finding(
             code=PARSE_ERROR_CODE,
             rule="parse-error",
             message=f"file does not parse: {error.msg}",
             path=path,
             line=error.lineno or 1,
             column=(error.offset or 0) + 1,
-        )
-        return [finding] if _selected(finding, select, ignore) else []
-
-    file_codes = _file_suppressed_codes(source)
-    findings: List[Finding] = []
+        )]
+        return FileAnalysis(context, None, findings,
+                            file_codes, line_codes)
+    findings = []
     for rule_cls in _REGISTRY.values():
         if not rule_cls.applies_to(posix_path):
             continue
         findings.extend(rule_cls(context).run(tree))
     findings = [f for f in findings
-                if _selected(f, select, ignore)
-                and not _is_suppressed(f, context, file_codes)]
+                if not suppressed_by_maps(f, file_codes, line_codes)]
     findings.sort(key=lambda f: (f.path, f.line, f.column, f.code))
-    return findings
+    return FileAnalysis(context, tree, findings,
+                        file_codes, line_codes)
+
+
+def lint_source(source: str, path: str,
+                select: Tuple[str, ...] = (),
+                ignore: Tuple[str, ...] = ()) -> List[Finding]:
+    """Lint one already-read source string."""
+    analysis = analyze_source(source, path)
+    return [f for f in analysis.findings
+            if _selected(f, select, ignore)]
 
 
 def lint_file(path: str,

@@ -1,0 +1,522 @@
+"""Dimensional-flow analysis: the RPR7xx band.
+
+A lightweight abstract interpretation over each function body: local
+names carry :mod:`~repro.devtools.physlint.unitlang` units seeded from
+the docstring parameter declarations (the RPR401 convention) and from
+inline ``# unit:`` annotations, and propagate through assignments,
+arithmetic (multiplication and division combine units; addition and
+subtraction require agreement), subscripts, and same-file call
+returns.  Three findings come out of it:
+
+``RPR701`` (here)
+    An addition/subtraction whose operands carry *different known*
+    units — ``power_w + current_a`` is meaningless no matter the
+    values.
+``RPR702`` (here)
+    A comparison between different known units — ``omega_rad_s >
+    omega_rpm`` is the classic fan-speed bug the paper's Table 2
+    depends on not having.
+``RPR703`` (:mod:`~repro.devtools.physlint.project`)
+    A call-site argument whose unit disagrees with the parameter's
+    declared unit; cross-module resolution happens in the project
+    layer, fed by the call records this module extracts.
+
+The analysis never guesses: a name with no declared or inferred unit
+is *unknown*, and unknown participates in nothing.  Wrong findings
+cost trust; missed ones cost nothing.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from .core import LintContext, Rule, rule
+from .unitlang import (
+    Unit,
+    divide,
+    docstring_units,
+    inline_unit,
+    multiply,
+    power,
+    render_unit,
+)
+
+#: Builtin call heads that preserve the unit of their first argument.
+_UNIT_PRESERVING_CALLS = frozenset({
+    "abs", "float", "max", "min", "round", "sum",
+})
+
+
+@dataclass
+class CallRecord:
+    """One call site with whatever argument units the flow knew.
+
+    Attributes:
+        callee: The callee exactly as written (``mod.fn`` / ``fn``).
+        line: 1-based call line.
+        column: 1-based call column.
+        args: ``(position-or-keyword, unit)`` for every argument whose
+            unit was known at the call.
+    """
+
+    callee: str
+    line: int
+    column: int
+    args: List[Tuple[Union[int, str], Unit]] = field(
+        default_factory=list)
+
+
+@dataclass
+class MismatchSite:
+    """One unit-incompatible operation found by the flow."""
+
+    line: int
+    column: int
+    message: str
+
+
+@dataclass
+class FlowResult:
+    """Everything one function's flow analysis produced."""
+
+    arith: List[MismatchSite] = field(default_factory=list)
+    compare: List[MismatchSite] = field(default_factory=list)
+    calls: List[CallRecord] = field(default_factory=list)
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = _dotted(node.value)
+        return None if base is None else f"{base}.{node.attr}"
+    return None
+
+
+def function_signature_units(node: ast.AST,
+                             ) -> Tuple[Dict[str, Unit],
+                                        Optional[Unit]]:
+    """Declared ``(parameter units, return unit)`` of a function."""
+    docstring = ast.get_docstring(node) \
+        if isinstance(node, (ast.FunctionDef,
+                             ast.AsyncFunctionDef)) else None
+    return docstring_units(docstring)
+
+
+def module_return_units(tree: ast.Module) -> Dict[str, Unit]:
+    """Return units of a module's top-level functions, by name."""
+    returns: Dict[str, Unit] = {}
+    for statement in tree.body:
+        if isinstance(statement, (ast.FunctionDef,
+                                  ast.AsyncFunctionDef)):
+            _, ret = function_signature_units(statement)
+            if ret is not None:
+                returns[statement.name] = ret
+    return returns
+
+
+class _UnitFlow:
+    """The per-function walker (statement order, one pass)."""
+
+    def __init__(self, context: LintContext,
+                 function: Union[ast.FunctionDef, ast.AsyncFunctionDef],
+                 local_returns: Dict[str, Unit]):
+        self.context = context
+        self.function = function
+        self.local_returns = local_returns
+        self.result = FlowResult()
+        self.env: Dict[str, Unit] = {}
+        params, _ = function_signature_units(function)
+        args = function.args
+        for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+            unit = params.get(arg.arg)
+            if unit is not None:
+                self.env[arg.arg] = unit
+
+    # -- driving ------------------------------------------------------
+
+    def run(self) -> FlowResult:
+        """Walk the function body and return the findings."""
+        self._walk_body(self.function.body)
+        return self.result
+
+    def _walk_body(self, body: List[ast.stmt]) -> None:
+        for statement in body:
+            self._walk_statement(statement)
+
+    def _walk_statement(self, statement: ast.stmt) -> None:
+        if isinstance(statement, (ast.FunctionDef,
+                                  ast.AsyncFunctionDef,
+                                  ast.ClassDef)):
+            return  # nested scopes are analyzed on their own
+        if isinstance(statement, ast.Assign):
+            unit = self._infer(statement.value)
+            declared = self._line_annotation(statement)
+            if declared is not None:
+                unit = declared
+            for target in statement.targets:
+                self._bind(target, unit)
+        elif isinstance(statement, ast.AnnAssign):
+            if statement.value is not None:
+                unit = self._infer(statement.value)
+                declared = self._line_annotation(statement)
+                if declared is not None:
+                    unit = declared
+                self._bind(statement.target, unit)
+        elif isinstance(statement, ast.AugAssign):
+            target_unit = self._infer(statement.target)
+            value_unit = self._infer(statement.value)
+            if isinstance(statement.op, (ast.Add, ast.Sub)):
+                self._check_additive(statement, target_unit,
+                                     value_unit, statement.value)
+            elif target_unit is not None and value_unit is not None:
+                if isinstance(statement.op, ast.Mult):
+                    self._bind(statement.target,
+                               multiply(target_unit, value_unit))
+                elif isinstance(statement.op, ast.Div):
+                    self._bind(statement.target,
+                               divide(target_unit, value_unit))
+        elif isinstance(statement, (ast.Expr, ast.Return)):
+            if statement.value is not None:
+                self._infer(statement.value)
+        elif isinstance(statement, ast.If):
+            self._infer(statement.test)
+            self._walk_body(statement.body)
+            self._walk_body(statement.orelse)
+        elif isinstance(statement, (ast.For, ast.AsyncFor)):
+            iter_unit = self._infer(statement.iter)
+            self._bind(statement.target, iter_unit)
+            self._walk_body(statement.body)
+            self._walk_body(statement.orelse)
+        elif isinstance(statement, ast.While):
+            self._infer(statement.test)
+            self._walk_body(statement.body)
+            self._walk_body(statement.orelse)
+        elif isinstance(statement, (ast.With, ast.AsyncWith)):
+            for item in statement.items:
+                self._infer(item.context_expr)
+            self._walk_body(statement.body)
+        elif isinstance(statement, ast.Try):
+            self._walk_body(statement.body)
+            for handler in statement.handlers:
+                self._walk_body(handler.body)
+            self._walk_body(statement.orelse)
+            self._walk_body(statement.finalbody)
+        elif isinstance(statement, (ast.Assert, ast.Raise)):
+            for child in ast.iter_child_nodes(statement):
+                if isinstance(child, ast.expr):
+                    self._infer(child)
+
+    def _line_annotation(self, statement: ast.stmt) -> Optional[Unit]:
+        line = statement.lineno
+        if 1 <= line <= len(self.context.lines):
+            return inline_unit(self.context.lines[line - 1])
+        return None
+
+    def _bind(self, target: ast.expr, unit: Optional[Unit]) -> None:
+        if isinstance(target, ast.Name):
+            if unit is None:
+                self.env.pop(target.id, None)
+            else:
+                self.env[target.id] = unit
+
+    # -- inference ----------------------------------------------------
+
+    def _infer(self, node: ast.expr) -> Optional[Unit]:
+        if isinstance(node, ast.Name):
+            return self.env.get(node.id)
+        if isinstance(node, ast.Constant):
+            return None
+        if isinstance(node, ast.UnaryOp):
+            return self._infer(node.operand)
+        if isinstance(node, ast.Subscript):
+            self._infer(node.slice)
+            return self._infer(node.value)
+        if isinstance(node, ast.BinOp):
+            return self._infer_binop(node)
+        if isinstance(node, ast.Compare):
+            self._infer_compare(node)
+            return None
+        if isinstance(node, ast.BoolOp):
+            for value in node.values:
+                self._infer(value)
+            return None
+        if isinstance(node, ast.Call):
+            return self._infer_call(node)
+        if isinstance(node, ast.IfExp):
+            self._infer(node.test)
+            left = self._infer(node.body)
+            right = self._infer(node.orelse)
+            return left if left == right else None
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            units = {self._unit_key(self._infer(e)) for e in node.elts}
+            if len(units) == 1 and node.elts:
+                return self._infer(node.elts[0])
+            return None
+        if isinstance(node, (ast.ListComp, ast.SetComp,
+                             ast.GeneratorExp)):
+            return self._infer_comprehension(node)
+        if isinstance(node, ast.Starred):
+            return self._infer(node.value)
+        # Attributes, lambdas, dicts, f-strings: unknown.
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self._infer(child)
+        return None
+
+    @staticmethod
+    def _unit_key(unit: Optional[Unit]) -> Optional[Tuple[Tuple[str,
+                                                                int],
+                                                          ...]]:
+        return None if unit is None else tuple(sorted(unit.items()))
+
+    def _infer_comprehension(self, node: ast.expr) -> Optional[Unit]:
+        saved = dict(self.env)
+        for comp in getattr(node, "generators", ()):
+            self._bind(comp.target, self._infer(comp.iter))
+            for condition in comp.ifs:
+                self._infer(condition)
+        unit = self._infer(node.elt) \
+            if hasattr(node, "elt") else None
+        self.env = saved
+        return unit
+
+    def _infer_binop(self, node: ast.BinOp) -> Optional[Unit]:
+        left = self._infer(node.left)
+        right = self._infer(node.right)
+        if isinstance(node.op, (ast.Add, ast.Sub)):
+            return self._check_additive(node, left, right, node.right)
+        if isinstance(node.op, ast.Mult):
+            if left is not None and right is not None:
+                return multiply(left, right)
+            return self._scaled(node, left, right)
+        if isinstance(node.op, ast.Div):
+            if left is not None and right is not None:
+                return divide(left, right)
+            if left is not None and _is_number(node.right):
+                return left
+            if right is not None and _is_number(node.left):
+                return divide({}, right)
+            return None
+        if isinstance(node.op, ast.Pow):
+            if left is not None and isinstance(node.right,
+                                               ast.Constant) \
+                    and isinstance(node.right.value, int):
+                return power(left, node.right.value)
+            return None
+        return None
+
+    @staticmethod
+    def _scaled(node: ast.BinOp, left: Optional[Unit],
+                right: Optional[Unit]) -> Optional[Unit]:
+        """A known unit scaled by a bare number keeps its unit."""
+        if left is not None and _is_number(node.right):
+            return left
+        if right is not None and _is_number(node.left):
+            return right
+        return None
+
+    def _check_additive(self, node: ast.AST, left: Optional[Unit],
+                        right: Optional[Unit],
+                        right_node: ast.expr) -> Optional[Unit]:
+        if left is not None and right is not None:
+            if left != right:
+                self.result.arith.append(MismatchSite(
+                    line=getattr(node, "lineno", 1),
+                    column=getattr(node, "col_offset", 0) + 1,
+                    message=(f"adding/subtracting {render_unit(left)} "
+                             f"and {render_unit(right)}")))
+                return None
+            return left
+        # A unit plus a bare literal is an offset in the same unit.
+        if left is not None and isinstance(right_node, ast.Constant):
+            return left
+        return None
+
+    def _infer_compare(self, node: ast.Compare) -> None:
+        units = [self._infer(node.left)]
+        units.extend(self._infer(comp) for comp in node.comparators)
+        operands = [node.left, *node.comparators]
+        for index in range(len(units) - 1):
+            left, right = units[index], units[index + 1]
+            op = node.ops[index]
+            if isinstance(op, (ast.Is, ast.IsNot, ast.In, ast.NotIn)):
+                continue
+            if left is not None and right is not None and left != right:
+                anchor = operands[index + 1]
+                self.result.compare.append(MismatchSite(
+                    line=getattr(anchor, "lineno", node.lineno),
+                    column=getattr(anchor, "col_offset",
+                                   node.col_offset) + 1,
+                    message=(f"comparing {render_unit(left)} with "
+                             f"{render_unit(right)}")))
+
+    def _infer_call(self, node: ast.Call) -> Optional[Unit]:
+        callee = _dotted(node.func)
+        record: Optional[CallRecord] = None
+        if callee is not None:
+            record = CallRecord(callee=callee, line=node.lineno,
+                                column=node.col_offset + 1)
+        arg_units: List[Optional[Unit]] = []
+        for index, arg in enumerate(node.args):
+            unit = self._infer(arg)
+            arg_units.append(unit)
+            if record is not None and unit is not None \
+                    and not isinstance(arg, ast.Starred):
+                record.args.append((index, unit))
+        for keyword in node.keywords:
+            unit = self._infer(keyword.value)
+            if record is not None and unit is not None \
+                    and keyword.arg is not None:
+                record.args.append((keyword.arg, unit))
+        if record is not None:
+            self.result.calls.append(record)
+        if callee is not None:
+            tail = callee.split(".")[-1]
+            if callee in self.local_returns:
+                return self.local_returns[callee]
+            if tail in _UNIT_PRESERVING_CALLS:
+                known = [u for u in arg_units if u is not None]
+                if known and all(u == known[0] for u in known):
+                    return known[0]
+        return None
+
+
+def analyze_functions(context: LintContext, tree: ast.Module,
+                      ) -> List[Tuple[str, ast.AST, FlowResult]]:
+    """Run the unit flow over every function in a module.
+
+    Returns ``(qualified name, def node, flow result)`` triples;
+    methods are qualified ``Class.method``.  Nested function bodies
+    are analyzed independently of their enclosing function.
+    """
+    local_returns = module_return_units(tree)
+    results: List[Tuple[str, ast.AST, FlowResult]] = []
+
+    def _walk(nodes: List[ast.stmt], prefix: str) -> None:
+        for statement in nodes:
+            if isinstance(statement, (ast.FunctionDef,
+                                      ast.AsyncFunctionDef)):
+                name = f"{prefix}{statement.name}"
+                flow = _UnitFlow(context, statement, local_returns)
+                results.append((name, statement, flow.run()))
+                _walk(statement.body, f"{name}.")
+            elif isinstance(statement, ast.ClassDef):
+                _walk(statement.body, f"{prefix}{statement.name}.")
+
+    _walk(tree.body, "")
+    return results
+
+
+def _is_number(node: ast.AST) -> bool:
+    if isinstance(node, ast.UnaryOp):
+        return _is_number(node.operand)
+    return (isinstance(node, ast.Constant)
+            and isinstance(node.value, (int, float))
+            and not isinstance(node.value, bool))
+
+
+@rule
+class UnitArithmeticRule(Rule):
+    """Addition and subtraction require unit agreement.
+
+    Fail::
+
+        def total(power_w, current_a):
+            \"\"\"Args:
+                power_w: Package power, W.
+                current_a: TEC current, A.
+            \"\"\"
+            return power_w + current_a
+
+    Pass::
+
+        def total(power_w, tec_power_w):
+            \"\"\"Args:
+                power_w: Package power, W.
+                tec_power_w: TEC input power, W.
+            \"\"\"
+            return power_w + tec_power_w
+    """
+
+    code = "RPR701"
+    name = "unit-arith"
+    rationale = (
+        "Adding watts to amperes (or kelvin to degC offsets) is "
+        "meaningless regardless of the values; the flow analysis "
+        "propagates the units declared in docstrings and inline "
+        "`# unit:` annotations through each function body and flags "
+        "additive operations whose operands disagree.")
+
+    def visit_Module(self, node: ast.Module) -> None:
+        for _name, _fn, flow in analyze_functions(self.context, node):
+            for site in flow.arith:
+                self._emit_site(site)
+
+    def _emit_site(self, site: MismatchSite) -> None:
+        from .core import Finding
+        self.findings.append(Finding(
+            code=self.code, rule=self.name,
+            message=(f"{site.message}; convert at the boundary "
+                     "(repro.units) so both operands share a unit"),
+            path=self.context.path, line=site.line,
+            column=site.column))
+
+
+@rule
+class UnitCompareRule(Rule):
+    """Comparisons require unit agreement.
+
+    Fail::
+
+        def over_limit(omega, omega_rpm_max):
+            \"\"\"Args:
+                omega: Fan speed, rad/s.
+                omega_rpm_max: Speed ceiling, RPM.
+            \"\"\"
+            return omega > omega_rpm_max
+
+    Pass::
+
+        def over_limit(omega, omega_max):
+            \"\"\"Args:
+                omega: Fan speed, rad/s.
+                omega_max: Speed ceiling, rad/s.
+            \"\"\"
+            return omega > omega_max
+    """
+
+    code = "RPR702"
+    name = "unit-compare"
+    rationale = (
+        "A threshold check comparing rad/s against RPM (or K against "
+        "degC) silently passes or fails by a constant factor — the "
+        "classic fan-speed bug.  Both sides of a comparison must "
+        "carry the same declared unit.")
+
+    def visit_Module(self, node: ast.Module) -> None:
+        for _name, _fn, flow in analyze_functions(self.context, node):
+            for site in flow.compare:
+                self.findings.append(
+                    self._site_finding(site))
+
+    def _site_finding(self, site: MismatchSite):
+        from .core import Finding
+        return Finding(
+            code=self.code, rule=self.name,
+            message=(f"{site.message}; convert one side "
+                     "(repro.units) before comparing"),
+            path=self.context.path, line=site.line,
+            column=site.column)
+
+
+__all__ = [
+    "CallRecord",
+    "FlowResult",
+    "MismatchSite",
+    "analyze_functions",
+    "function_signature_units",
+    "module_return_units",
+]

@@ -1,0 +1,747 @@
+"""The whole-program analysis layer: symbol table, call graph, engine.
+
+Per-file rules (:mod:`~repro.devtools.physlint.rules`) see one module
+at a time.  The bug classes that motivated physlint v2 — nested pool
+fan-out reached through three modules, a rad/s value handed to a
+parameter documented in RPM — only exist *between* files, so this
+module builds the project-wide picture:
+
+* :func:`extract_summary` condenses one parsed file into a
+  serializable :class:`FileSummary` — import aliases, per-function
+  parameter/return units, call sites with known argument units,
+  ``global`` statements, module-attribute writes, and pool-submission
+  targets.  Summaries are pure functions of file content, which is
+  what makes the incremental cache sound.
+* :class:`ProjectGraph` stitches summaries into a symbol table and
+  cross-module call graph, resolves call sites through import aliases
+  and re-exports, discovers worker entry points from pool-submission
+  sites, and computes worker reachability.  Functions that consult
+  :func:`~repro.exec.workers.in_worker` (or a ``resolve_workers``
+  guard built on it) are *barriers*: they demonstrably check their
+  process context before acting, so traversal stops there — the
+  static encoding of the PR 5 fix.
+* :func:`lint_project` is the v2 engine: per-file analysis through
+  the :class:`~repro.devtools.physlint.cache.AnalysisCache`, then the
+  registered :class:`ProjectRule` set over the graph.  On a warm
+  cache an unchanged tree re-parses zero files.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import tokenize
+from collections import deque
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Type,
+)
+
+from ...errors import ConfigurationError
+from .cache import AnalysisCache, content_digest, engine_salt
+from .core import (
+    Finding,
+    LintContext,
+    _selected,
+    analyze_source,
+    available_rules,
+    iter_python_files,
+    suppressed_by_maps,
+    validate_code_patterns,
+)
+from .dimensional import (
+    CallRecord,
+    analyze_functions,
+    function_signature_units,
+)
+from .unitlang import Unit
+
+#: Callee tails treated as process-context guards: a function that
+#: calls one of these checks where it runs before acting, so
+#: reachability does not traverse it.
+GUARD_TAILS = frozenset({"in_worker", "resolve_workers"})
+
+#: Method names whose first positional argument is submitted to a
+#: pool as work (plus the spawn keywords handled separately).
+_SUBMIT_METHODS = frozenset({
+    "submit", "apply_async", "map", "map_async", "imap",
+    "imap_unordered", "starmap", "starmap_async",
+})
+
+#: Call keywords whose value runs in a child process.
+_SPAWN_KEYWORDS = frozenset({"initializer", "target"})
+
+
+def module_name_for(path: str) -> Tuple[Optional[str], bool]:
+    """The dotted module name a file would import as.
+
+    Walks parent directories while they contain ``__init__.py``.
+    Returns ``(module, is_package)``; module is None for non-Python
+    paths.
+    """
+    directory, filename = os.path.split(os.path.abspath(path))
+    if not filename.endswith(".py"):
+        return None, False
+    stem = filename[: -len(".py")]
+    is_package = stem == "__init__"
+    parts: List[str] = [] if is_package else [stem]
+    while os.path.isfile(os.path.join(directory, "__init__.py")):
+        directory, name = os.path.split(directory)
+        if not name:
+            break
+        parts.insert(0, name)
+    if not parts:
+        return None, is_package
+    return ".".join(parts), is_package
+
+
+@dataclass
+class Site:
+    """One location-bearing fact about a function body."""
+
+    desc: str
+    line: int
+    column: int
+
+    def to_list(self) -> List[Any]:
+        return [self.desc, self.line, self.column]
+
+    @classmethod
+    def from_list(cls, data: Sequence[Any]) -> "Site":
+        return cls(desc=str(data[0]), line=int(data[1]),
+                   column=int(data[2]))
+
+
+@dataclass
+class FunctionSummary:
+    """Everything the project layer knows about one function."""
+
+    name: str
+    line: int
+    column: int
+    params: List[str]
+    param_units: Dict[str, Unit]
+    return_unit: Optional[Unit]
+    calls: List[CallRecord] = field(default_factory=list)
+    nested: List[str] = field(default_factory=list)
+    global_names: List[Site] = field(default_factory=list)
+    attr_writes: List[Site] = field(default_factory=list)
+    submits: List[Site] = field(default_factory=list)
+    guard: bool = False
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "line": self.line,
+            "column": self.column,
+            "params": list(self.params),
+            "param_units": dict(self.param_units),
+            "return_unit": self.return_unit,
+            "calls": [
+                {"callee": c.callee, "line": c.line,
+                 "column": c.column,
+                 "args": [[k, u] for k, u in c.args]}
+                for c in self.calls],
+            "nested": list(self.nested),
+            "global_names": [s.to_list() for s in self.global_names],
+            "attr_writes": [s.to_list() for s in self.attr_writes],
+            "submits": [s.to_list() for s in self.submits],
+            "guard": self.guard,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FunctionSummary":
+        calls = [
+            CallRecord(
+                callee=c["callee"], line=c["line"],
+                column=c["column"],
+                args=[(k, u) for k, u in c["args"]])
+            for c in data["calls"]]
+        return cls(
+            name=data["name"],
+            line=data["line"],
+            column=data["column"],
+            params=list(data["params"]),
+            param_units={k: dict(v)
+                         for k, v in data["param_units"].items()},
+            return_unit=data["return_unit"],
+            calls=calls,
+            nested=list(data["nested"]),
+            global_names=[Site.from_list(s)
+                          for s in data["global_names"]],
+            attr_writes=[Site.from_list(s)
+                         for s in data["attr_writes"]],
+            submits=[Site.from_list(s) for s in data["submits"]],
+            guard=bool(data["guard"]),
+        )
+
+
+@dataclass
+class FileSummary:
+    """One file's contribution to the project graph."""
+
+    path: str
+    module: Optional[str]
+    is_package: bool
+    aliases: Dict[str, str]
+    from_imports: Dict[str, str]
+    functions: Dict[str, FunctionSummary]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "path": self.path,
+            "module": self.module,
+            "is_package": self.is_package,
+            "aliases": dict(self.aliases),
+            "from_imports": dict(self.from_imports),
+            "functions": {qual: fn.to_dict()
+                          for qual, fn in self.functions.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FileSummary":
+        return cls(
+            path=data["path"],
+            module=data["module"],
+            is_package=bool(data["is_package"]),
+            aliases=dict(data["aliases"]),
+            from_imports=dict(data["from_imports"]),
+            functions={
+                qual: FunctionSummary.from_dict(fn)
+                for qual, fn in data["functions"].items()},
+        )
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = _dotted(node.value)
+        return None if base is None else f"{base}.{node.attr}"
+    return None
+
+
+def _relative_base(module: Optional[str], is_package: bool,
+                   level: int) -> Optional[str]:
+    """The absolute package a ``from ...`` import resolves against."""
+    if module is None:
+        return None
+    parts = module.split(".")
+    cut = len(parts) - level + (1 if is_package else 0)
+    if cut < 0:
+        return None
+    return ".".join(parts[:cut])
+
+
+def _collect_imports(tree: ast.Module, module: Optional[str],
+                     is_package: bool,
+                     ) -> Tuple[Dict[str, str], Dict[str, str]]:
+    """All import bindings anywhere in the file.
+
+    Function-local imports are folded into the module-level maps —
+    an approximation that can only widen resolution, never corrupt
+    per-file findings.
+    """
+    aliases: Dict[str, str] = {}
+    from_imports: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname is not None:
+                    aliases[alias.asname] = alias.name
+                else:
+                    head = alias.name.split(".")[0]
+                    aliases[head] = head
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                base = _relative_base(module, is_package, node.level)
+                if base is None:
+                    continue
+                origin = f"{base}.{node.module}" if node.module \
+                    else base
+                origin = origin.lstrip(".")
+            else:
+                origin = node.module or ""
+            if not origin:
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                bound = alias.asname or alias.name
+                from_imports[bound] = f"{origin}.{alias.name}"
+    return aliases, from_imports
+
+
+def _shallow_nodes(function: ast.AST) -> Iterable[ast.AST]:
+    """Every node in a function body, excluding nested def bodies."""
+    stack: List[ast.AST] = list(getattr(function, "body", []))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _is_bound_head(dotted: str, aliases: Dict[str, str],
+                   from_imports: Dict[str, str]) -> bool:
+    head = dotted.split(".")[0]
+    return head in aliases or head in from_imports
+
+
+def extract_summary(context: LintContext,
+                    tree: ast.Module) -> FileSummary:
+    """Condense one parsed file into its :class:`FileSummary`."""
+    module, is_package = module_name_for(context.path)
+    aliases, from_imports = _collect_imports(tree, module, is_package)
+    functions: Dict[str, FunctionSummary] = {}
+
+    for qual, node, flow in analyze_functions(context, tree):
+        if not isinstance(node, (ast.FunctionDef,
+                                 ast.AsyncFunctionDef)):
+            continue
+        params_units, return_unit = function_signature_units(node)
+        args = node.args
+        ordered = [a.arg for a in (*args.posonlyargs, *args.args)]
+        summary = FunctionSummary(
+            name=qual,
+            line=node.lineno,
+            column=node.col_offset + 1,
+            params=ordered,
+            param_units=params_units,
+            return_unit=return_unit,
+            calls=flow.calls,
+            guard=any(
+                call.callee.split(".")[-1] in GUARD_TAILS
+                for call in flow.calls),
+        )
+        for item in _shallow_nodes(node):
+            if isinstance(item, ast.Global):
+                for name in item.names:
+                    summary.global_names.append(Site(
+                        desc=name, line=item.lineno,
+                        column=item.col_offset + 1))
+            elif isinstance(item, (ast.Assign, ast.AugAssign,
+                                   ast.AnnAssign)):
+                targets = item.targets \
+                    if isinstance(item, ast.Assign) else [item.target]
+                for target in targets:
+                    if not isinstance(target, ast.Attribute):
+                        continue
+                    dotted = _dotted(target)
+                    if dotted is not None and _is_bound_head(
+                            dotted, aliases, from_imports):
+                        summary.attr_writes.append(Site(
+                            desc=dotted, line=target.lineno,
+                            column=target.col_offset + 1))
+            elif isinstance(item, ast.Call):
+                func = item.func
+                if isinstance(func, ast.Attribute) \
+                        and func.attr in _SUBMIT_METHODS \
+                        and item.args:
+                    target_name = _dotted(item.args[0])
+                    if target_name is not None:
+                        summary.submits.append(Site(
+                            desc=target_name, line=item.lineno,
+                            column=item.col_offset + 1))
+                for keyword in item.keywords:
+                    if keyword.arg in _SPAWN_KEYWORDS:
+                        target_name = _dotted(keyword.value)
+                        if target_name is not None:
+                            summary.submits.append(Site(
+                                desc=target_name, line=item.lineno,
+                                column=item.col_offset + 1))
+        functions[qual] = summary
+
+    for qual in functions:
+        if "." in qual:
+            parent = qual.rsplit(".", 1)[0]
+            if parent in functions:
+                functions[parent].nested.append(qual)
+
+    return FileSummary(
+        path=context.path,
+        module=module,
+        is_package=is_package,
+        aliases=aliases,
+        from_imports=from_imports,
+        functions=functions,
+    )
+
+
+#: A node key in the project graph: ``(module, qualified name)``.
+NodeKey = Tuple[str, str]
+
+
+class ProjectGraph:
+    """Symbol table + call graph over a set of file summaries."""
+
+    def __init__(self, summaries: Dict[str, FileSummary]) -> None:
+        #: posix path -> summary (only files with a resolvable module
+        #: participate in cross-module resolution).
+        self.summaries = summaries
+        self.module_map: Dict[str, str] = {}
+        self.nodes: Dict[NodeKey,
+                         Tuple[FileSummary, FunctionSummary]] = {}
+        for path in sorted(summaries):
+            summary = summaries[path]
+            if summary.module is None:
+                continue
+            self.module_map.setdefault(summary.module, path)
+            for qual, fn in summary.functions.items():
+                self.nodes.setdefault((summary.module, qual),
+                                      (summary, fn))
+        self._reachable: Optional[Dict[NodeKey,
+                                       Tuple[str, ...]]] = None
+
+    # -- name resolution ----------------------------------------------
+
+    def resolve_name(self, summary: FileSummary,
+                     dotted: str) -> str:
+        """Rewrite a local dotted name through the import bindings."""
+        parts = dotted.split(".")
+        head = parts[0]
+        if head in summary.from_imports:
+            full = summary.from_imports[head]
+        elif head in summary.aliases:
+            full = summary.aliases[head]
+        else:
+            return dotted
+        return ".".join([full, *parts[1:]])
+
+    def resolve_call(self, module: str, caller_qual: str,
+                     callee: str,
+                     ) -> Optional[Tuple[NodeKey, bool]]:
+        """The project function a call site lands on, if known.
+
+        Returns ``(node key, implicit_self)``; ``implicit_self`` is
+        True when the callee receives ``self`` implicitly (method via
+        ``self.``/``cls.``, or class instantiation hitting
+        ``__init__``), shifting positional arguments by one.
+        Conservative: unresolvable calls are simply None.
+        """
+        path = self.module_map.get(module)
+        if path is None:
+            return None
+        summary = self.summaries[path]
+        parts = callee.split(".")
+        head = parts[0]
+        if head in ("self", "cls") and len(parts) == 2 \
+                and "." in caller_qual:
+            owner = caller_qual.rsplit(".", 1)[0]
+            key = (module, f"{owner}.{parts[1]}")
+            if key in self.nodes:
+                return key, True
+            return None
+        if head not in summary.from_imports \
+                and head not in summary.aliases:
+            for qual, implicit in (
+                    (callee, False),
+                    (f"{callee}.__init__", True),
+                    (f"{caller_qual}.{callee}", False)):
+                key = (module, qual)
+                if key in self.nodes:
+                    return key, implicit
+            return None
+        return self._resolve_full(
+            self.resolve_name(summary, callee), 0)
+
+    def _resolve_full(self, full: str, depth: int,
+                      ) -> Optional[Tuple[NodeKey, bool]]:
+        parts = full.split(".")
+        for cut in range(len(parts) - 1, 0, -1):
+            target_module = ".".join(parts[:cut])
+            if target_module not in self.module_map:
+                continue
+            rest = parts[cut:]
+            if len(rest) == 1:
+                key = (target_module, rest[0])
+                if key in self.nodes:
+                    return key, False
+                key = (target_module, f"{rest[0]}.__init__")
+                if key in self.nodes:
+                    return key, True
+            elif len(rest) == 2:
+                key = (target_module, f"{rest[0]}.{rest[1]}")
+                if key in self.nodes:
+                    return key, False
+            # Follow one re-export hop (e.g. a package __init__
+            # forwarding a function defined in a submodule).
+            target = self.summaries[self.module_map[target_module]]
+            forwarded = target.from_imports.get(rest[0])
+            if forwarded is not None and depth < 5:
+                return self._resolve_full(
+                    ".".join([forwarded, *rest[1:]]), depth + 1)
+            return None
+        return None
+
+    # -- worker reachability ------------------------------------------
+
+    def worker_roots(self) -> List[NodeKey]:
+        """Functions handed to a pool anywhere in the project."""
+        roots: Set[NodeKey] = set()
+        for module, qual in sorted(self.nodes):
+            _, fn = self.nodes[(module, qual)]
+            for site in fn.submits:
+                resolved = self.resolve_call(module, qual, site.desc)
+                if resolved is not None:
+                    roots.add(resolved[0])
+        return sorted(roots)
+
+    def _edges(self, key: NodeKey) -> List[NodeKey]:
+        module, qual = key
+        summary, fn = self.nodes[key]
+        out: List[NodeKey] = []
+        for call in fn.calls:
+            resolved = self.resolve_call(module, qual, call.callee)
+            if resolved is not None:
+                out.append(resolved[0])
+        for nested in fn.nested:
+            nested_key = (module, nested)
+            if nested_key in self.nodes:
+                out.append(nested_key)
+        return out
+
+    def worker_reachable(self) -> Dict[NodeKey, Tuple[str, ...]]:
+        """Functions reachable from worker entry points.
+
+        Maps each reachable node to a witness call chain (qualified
+        names, entry point first).  Guard barriers — functions that
+        call ``in_worker``/``resolve_workers`` — terminate traversal
+        and are never themselves reported.
+        """
+        if self._reachable is not None:
+            return self._reachable
+        chains: Dict[NodeKey, Tuple[str, ...]] = {}
+        queue: "deque[NodeKey]" = deque()
+        for key in self.worker_roots():
+            _, fn = self.nodes[key]
+            if fn.guard or key in chains:
+                continue
+            chains[key] = (key[1],)
+            queue.append(key)
+        while queue:
+            key = queue.popleft()
+            for target in self._edges(key):
+                if target in chains:
+                    continue
+                _, fn = self.nodes[target]
+                if fn.guard:
+                    continue
+                chains[target] = (*chains[key], target[1])
+                queue.append(target)
+        self._reachable = chains
+        return chains
+
+
+# -- project rule registry -----------------------------------------------
+
+
+class ProjectRule:
+    """Base class for whole-program rules.
+
+    Like :class:`~repro.devtools.physlint.core.Rule` but runs once
+    per project over the :class:`ProjectGraph` instead of once per
+    file over an AST.  Findings carry the path of the file they
+    anchor in, so per-file suppression comments still apply.
+    """
+
+    code: str = ""
+    name: str = ""
+    rationale: str = ""
+
+    def __init__(self) -> None:
+        self.findings: List[Finding] = []
+
+    def emit(self, path: str, line: int, column: int,
+             message: str) -> None:
+        """Record a finding at an explicit location."""
+        self.findings.append(Finding(
+            code=self.code, rule=self.name, message=message,
+            path=path, line=line, column=column))
+
+    def run(self, graph: ProjectGraph) -> List[Finding]:
+        """Analyze the graph; subclasses override :meth:`check`."""
+        self.check(graph)
+        return self.findings
+
+    def check(self, graph: ProjectGraph) -> None:
+        raise NotImplementedError
+
+
+_ProjectRules = Dict[str, Type[ProjectRule]]
+
+# Populated only at import time by @project_rule, then read-only:
+# identical in every process, so exempt from the per-process-state rule.
+_PROJECT_REGISTRY: _ProjectRules = {}  # physlint: disable=RPR601
+
+
+def project_rule(cls: Type[ProjectRule]) -> Type[ProjectRule]:
+    """Class decorator registering a :class:`ProjectRule`."""
+    if not cls.code or not cls.name:
+        raise ConfigurationError(
+            f"project rule {cls.__name__} must set code and name")
+    if cls.code in _PROJECT_REGISTRY or cls.code in available_rules():
+        raise ConfigurationError(
+            f"duplicate rule code {cls.code}: {cls.__name__}")
+    _PROJECT_REGISTRY[cls.code] = cls
+    return cls
+
+
+def available_project_rules() -> Dict[str, Type[ProjectRule]]:
+    """All registered project rules, keyed by code (sorted copy)."""
+    return dict(sorted(_PROJECT_REGISTRY.items()))
+
+
+# -- the v2 engine -------------------------------------------------------
+
+
+@dataclass
+class ProjectReport:
+    """What one :func:`lint_project` run did and found.
+
+    Attributes:
+        findings: All findings after suppression and selection,
+            sorted by ``(path, line, column, code)``.
+        files: Number of files covered.
+        parsed: Files actually parsed this run (cache misses).
+        cache_hits: Files served entirely from the cache.
+        cache_misses: Files analyzed fresh.
+    """
+
+    findings: List[Finding]
+    files: int
+    parsed: int
+    cache_hits: int
+    cache_misses: int
+
+
+def _finding_to_dict(finding: Finding) -> Dict[str, Any]:
+    return {
+        "code": finding.code, "rule": finding.rule,
+        "message": finding.message, "path": finding.path,
+        "line": finding.line, "column": finding.column,
+    }
+
+
+def _finding_from_dict(data: Dict[str, Any]) -> Finding:
+    return Finding(
+        code=str(data["code"]), rule=str(data["rule"]),
+        message=str(data["message"]), path=str(data["path"]),
+        line=int(data["line"]), column=int(data["column"]))
+
+
+def lint_project(paths: Sequence[str],
+                 select: Optional[Sequence[str]] = None,
+                 ignore: Optional[Sequence[str]] = None,
+                 cache_path: Optional[str] = None) -> ProjectReport:
+    """Run the full v2 analysis: per-file rules + project rules.
+
+    Args:
+        paths: Files and/or directories to analyze.
+        select: Optional code prefixes to restrict the run to.
+        ignore: Optional code prefixes to drop from the results.
+        cache_path: Optional incremental cache file; unchanged files
+            are served from it without re-parsing.
+
+    Returns:
+        A :class:`ProjectReport` with the findings and cache stats.
+    """
+    select_codes = validate_code_patterns(select or ())
+    ignore_codes = validate_code_patterns(ignore or ())
+    salt = engine_salt([*available_rules(), *_PROJECT_REGISTRY])
+    cache = AnalysisCache.load(cache_path, salt)
+
+    findings: List[Finding] = []
+    suppressions: Dict[str, Tuple[Tuple[str, ...],
+                                  Dict[int, Tuple[str, ...]]]] = {}
+    summaries: Dict[str, FileSummary] = {}
+    parsed = 0
+
+    file_list = iter_python_files(paths)
+    for path in file_list:
+        with tokenize.open(path) as handle:
+            source = handle.read()
+        posix = path.replace(os.sep, "/")
+        digest = content_digest(source)
+        entry = cache.lookup(posix, digest)
+        summary: Optional[FileSummary]
+        if entry is None:
+            parsed += 1
+            analysis = analyze_source(source, path)
+            summary = extract_summary(analysis.context, analysis.tree) \
+                if analysis.tree is not None else None
+            cache.store(posix, digest, {
+                "findings": [_finding_to_dict(f)
+                             for f in analysis.findings],
+                "summary": None if summary is None
+                else summary.to_dict(),
+                "file_codes": list(analysis.file_codes),
+                "line_codes": {str(line): list(codes)
+                               for line, codes
+                               in analysis.line_codes.items()},
+            })
+            file_findings = analysis.findings
+            file_codes = analysis.file_codes
+            line_codes = analysis.line_codes
+        else:
+            file_findings = [_finding_from_dict(d)
+                             for d in entry["findings"]]
+            file_codes = tuple(entry["file_codes"])
+            line_codes = {int(line): tuple(codes)
+                          for line, codes
+                          in entry["line_codes"].items()}
+            summary = None if entry["summary"] is None \
+                else FileSummary.from_dict(entry["summary"])
+        suppressions[posix] = (file_codes, line_codes)
+        if summary is not None:
+            summaries[posix] = summary
+        findings.extend(file_findings)
+
+    graph = ProjectGraph(summaries)
+    for rule_cls in available_project_rules().values():
+        for finding in rule_cls().run(graph):
+            posix = finding.path.replace(os.sep, "/")
+            maps = suppressions.get(posix)
+            if maps is not None and suppressed_by_maps(
+                    finding, maps[0], maps[1]):
+                continue
+            findings.append(finding)
+
+    findings = [f for f in findings
+                if _selected(f, select_codes, ignore_codes)]
+    findings.sort(key=lambda f: (f.path, f.line, f.column, f.code))
+    cache.save(cache_path)
+    return ProjectReport(
+        findings=findings,
+        files=len(file_list),
+        parsed=parsed,
+        cache_hits=cache.hits,
+        cache_misses=cache.misses,
+    )
+
+
+__all__ = [
+    "FileSummary",
+    "FunctionSummary",
+    "GUARD_TAILS",
+    "NodeKey",
+    "ProjectGraph",
+    "ProjectReport",
+    "ProjectRule",
+    "Site",
+    "available_project_rules",
+    "extract_summary",
+    "lint_project",
+    "module_name_for",
+    "project_rule",
+]

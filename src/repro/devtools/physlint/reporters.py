@@ -1,12 +1,12 @@
-"""Finding reporters: plain text and machine-readable JSON."""
+"""Finding reporters: plain text, machine JSON, and SARIF 2.1.0."""
 
 from __future__ import annotations
 
 import json
 from collections import Counter
-from typing import Dict, List, Sequence
+from typing import Any, Dict, List, Sequence
 
-from .core import Finding
+from .core import PARSE_ERROR_CODE, Finding
 
 #: Bumped when the JSON schema changes shape.
 JSON_SCHEMA_VERSION = 1
@@ -52,3 +52,66 @@ def format_json(findings: Sequence[Finding]) -> str:
     """Findings as a stable, ``json.loads``-round-trippable document."""
     return json.dumps(findings_to_dict(findings), indent=2,
                       sort_keys=True)
+
+
+#: The SARIF schema this reporter emits.
+SARIF_VERSION = "2.1.0"
+_SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/"
+                 "sarif-spec/master/Schemata/sarif-schema-2.1.0.json")
+
+
+def _sarif_rules() -> List[Dict[str, Any]]:
+    # Imported lazily so the reporter works regardless of which rule
+    # modules have been imported for registration side effects.
+    from .core import available_rules
+    from .project import available_project_rules
+    catalogue: List[Dict[str, Any]] = []
+    entries = {**available_rules(), **available_project_rules()}
+    for code in sorted(entries):
+        rule_cls = entries[code]
+        catalogue.append({
+            "id": code,
+            "name": rule_cls.name,
+            "shortDescription": {
+                "text": rule_cls.rationale.split(".")[0].strip() + ".",
+            },
+            "fullDescription": {"text": rule_cls.rationale},
+        })
+    return catalogue
+
+
+def format_sarif(findings: Sequence[Finding]) -> str:
+    """Findings as a SARIF 2.1.0 log, for code-scanning upload."""
+    results: List[Dict[str, Any]] = []
+    for finding in findings:
+        results.append({
+            "ruleId": finding.code,
+            "level": ("error" if finding.code == PARSE_ERROR_CODE
+                      else "warning"),
+            "message": {"text": finding.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path.replace("\\", "/"),
+                    },
+                    "region": {
+                        "startLine": finding.line,
+                        "startColumn": finding.column,
+                    },
+                },
+            }],
+        })
+    document = {
+        "$schema": _SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "physlint",
+                    "rules": _sarif_rules(),
+                },
+            },
+            "results": results,
+        }],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)

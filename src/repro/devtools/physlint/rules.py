@@ -24,16 +24,29 @@ Code        Name                Convention guarded
 ``RPR501``  print-in-library    Library code returns data, raises, or emits
                                 telemetry through :mod:`repro.obs`; only the
                                 CLI layer prints.
+``RPR502``  span-hygiene        Tracer spans and stopwatches are closed on
+                                every path (context manager or try/finally).
 ``RPR601``  process-state       Module globals stay process-safe: no
                                 module-level mutable caches, no unseeded
                                 RNG construction (``repro.exec`` workers).
+``RPR701``  unit-arith          Addition/subtraction operands carry the
+                                same declared unit (dimensional flow).
+``RPR702``  unit-compare        Comparison operands carry the same
+                                declared unit (dimensional flow).
 ==========  ==================  ==============================================
+
+The whole-program rules — ``RPR602`` worker-state, ``RPR603``
+worker-fanout, ``RPR703`` unit-call — live in
+:mod:`~repro.devtools.physlint.projectrules` and run over the project
+graph instead of a single file.
 
 New rules: subclass :class:`~repro.devtools.physlint.core.Rule`, pick the
 next free code in the band (1xx units, 2xx exceptions/control flow,
 3xx numerics, 4xx documentation, 5xx observability, 6xx process/parallel
-safety), and decorate with
-:func:`~repro.devtools.physlint.core.rule`.
+safety, 7xx dimensional flow), decorate with
+:func:`~repro.devtools.physlint.core.rule`, and give the class docstring
+``Fail::`` and ``Pass::`` example blocks — ``repro lint --explain``
+prints them.
 """
 
 from __future__ import annotations
@@ -108,7 +121,20 @@ def _is_number(node: ast.AST) -> bool:
 
 @rule
 class UnitLiteralRule(Rule):
-    """Physical-constant literals belong in ``units.py``/``constants.py``."""
+    """Physical-constant literals belong in ``units.py``/``constants.py``.
+
+    Fail::
+
+        omega = rpm * 2 * pi / 60
+        t_c = t_k - 273.15
+
+    Pass::
+
+        from repro.units import kelvin_to_celsius, rpm_to_rad_s
+
+        omega = rpm_to_rad_s(rpm)
+        t_c = kelvin_to_celsius(t_k)
+    """
 
     code = "RPR101"
     name = "unit-literal"
@@ -194,7 +220,24 @@ _BROAD_EXCEPTIONS = frozenset({"BaseException", "Exception"})
 
 @rule
 class ExceptionHygieneRule(Rule):
-    """Library code speaks :class:`ReproError`, not bare builtins."""
+    """Library code speaks :class:`ReproError`, not bare builtins.
+
+    Fail::
+
+        try:
+            solve(network)
+        except Exception:
+            return None
+        raise ValueError("negative thickness")
+
+    Pass::
+
+        try:
+            solve(network)
+        except SolverError:
+            return fallback(network)
+        raise GeometryError("negative thickness")
+    """
 
     code = "RPR201"
     name = "exception-hygiene"
@@ -241,7 +284,19 @@ class ExceptionHygieneRule(Rule):
 
 @rule
 class AssertValidationRule(Rule):
-    """``assert`` is a test-suite tool, not an input validator."""
+    """``assert`` is a test-suite tool, not an input validator.
+
+    Fail::
+
+        def set_current(self, current_a):
+            assert current_a >= 0.0
+
+    Pass::
+
+        def set_current(self, current_a):
+            if current_a < 0.0:
+                raise ConfigurationError("current must be >= 0")
+    """
 
     code = "RPR202"
     name = "assert-validation"
@@ -295,7 +350,23 @@ def _is_logging_call(node: ast.expr) -> bool:
 
 @rule
 class SwallowedExceptionRule(Rule):
-    """A caught :class:`ReproError` deserves more than ``pass``."""
+    """A caught :class:`ReproError` deserves more than ``pass``.
+
+    Fail::
+
+        try:
+            temps = operator.solve(loads)
+        except SolverError:
+            pass
+
+    Pass::
+
+        try:
+            temps = operator.solve(loads)
+        except SolverError as exc:
+            record_failure(exc)
+            temps = last_known_good
+    """
 
     code = "RPR204"
     name = "swallowed-exception"
@@ -353,7 +424,18 @@ _DENSE_MODULES = frozenset({"numpy.linalg", "scipy.linalg"})
 
 @rule
 class DenseSolveRule(Rule):
-    """Grid-sized linear systems must use the sparse path."""
+    """Grid-sized linear systems must use the sparse path.
+
+    Fail::
+
+        import numpy as np
+
+        temps = np.linalg.solve(conductance, loads)
+
+    Pass::
+
+        temps = network.solve(loads)   # scipy.sparse inside
+    """
 
     code = "RPR301"
     name = "dense-solve"
@@ -419,7 +501,19 @@ _CONVERSION_METHODS = frozenset({"tocsc", "tocsr"})
 
 @rule
 class SolverInLoopRule(Rule):
-    """Factorizations and format conversions do not belong in loops."""
+    """Factorizations and format conversions do not belong in loops.
+
+    Fail::
+
+        for loads in cases:
+            temps = spsolve(matrix.tocsc(), loads)
+
+    Pass::
+
+        solve = factorized(matrix.tocsc())
+        for loads in cases:
+            temps = solve(loads)
+    """
 
     code = "RPR302"
     name = "solver-in-loop"
@@ -559,7 +653,22 @@ def _physical_params(node: ast.FunctionDef) -> List[str]:
 
 @rule
 class DocstringUnitsRule(Rule):
-    """Public functions taking physical quantities document the unit."""
+    """Public functions taking physical quantities document the unit.
+
+    Fail::
+
+        def fan_power(omega):
+            \"\"\"Fan input power.\"\"\"
+
+    Pass::
+
+        def fan_power(omega):
+            \"\"\"Fan input power, W.
+
+            Args:
+                omega: Fan speed, rad/s.
+            \"\"\"
+    """
 
     code = "RPR401"
     name = "docstring-units"
@@ -614,7 +723,18 @@ _PRINT_EXEMPT_FRAGMENTS = ("/devtools/", "/examples/", "/benchmarks/")
 
 @rule
 class PrintInLibraryRule(Rule):
-    """Library code must not write to stdout; that is the CLI's job."""
+    """Library code must not write to stdout; that is the CLI's job.
+
+    Fail::
+
+        def solve(self, loads):
+            print("solving", len(loads))
+
+    Pass::
+
+        def solve(self, loads):
+            _obs.event("solve.start", cells=len(loads))
+    """
 
     code = "RPR501"
     name = "print-in-library"
@@ -682,7 +802,21 @@ def _empty_mutable_init(node: ast.expr) -> Optional[str]:
 
 @rule
 class ProcessStateRule(Rule):
-    """Module globals and RNGs must survive worker processes."""
+    """Module globals and RNGs must survive worker processes.
+
+    Fail::
+
+        _CACHE = {}
+        rng = np.random.default_rng()
+
+    Pass::
+
+        class OperatorCache:
+            def __init__(self):
+                self._entries = {}
+
+        rng = np.random.default_rng(seed)
+    """
 
     code = "RPR601"
     name = "process-state"
@@ -741,3 +875,204 @@ class ProcessStateRule(Rule):
                     break
         return (isinstance(seed, ast.Constant)
                 and seed.value is None)
+
+
+# ---------------------------------------------------------------------------
+# RPR502 — span-hygiene
+# ---------------------------------------------------------------------------
+
+#: Call tails that open a span when their result is bound to a name.
+_SPAN_OPENERS = frozenset({"start_span"})
+
+#: Call tails that create a stopwatch when bound to a name.
+_WATCH_OPENERS = frozenset({"stopwatch", "Stopwatch"})
+
+#: Close spellings per resource kind: a call tail receiving the
+#: resource (spans), or a method on the resource (stopwatches).
+_SPAN_CLOSER_TAILS = frozenset({"end_span"})
+_WATCH_CLOSER_METHODS = frozenset({"stop"})
+
+
+def _open_assignment(statement: ast.stmt,
+                     ) -> Optional[Tuple[str, str, ast.stmt]]:
+    """``(name, kind, anchor)`` for ``x = start_span(...)`` shapes."""
+    if not isinstance(statement, ast.Assign) \
+            or len(statement.targets) != 1 \
+            or not isinstance(statement.targets[0], ast.Name) \
+            or not isinstance(statement.value, ast.Call):
+        return None
+    dotted = _dotted_name(statement.value.func)
+    tail = dotted.split(".")[-1] if dotted else None
+    if tail in _SPAN_OPENERS:
+        return statement.targets[0].id, "span", statement
+    if tail in _WATCH_OPENERS:
+        return statement.targets[0].id, "stopwatch", statement
+    return None
+
+
+def _deep_nodes(statements: Sequence[ast.stmt]) -> List[ast.AST]:
+    """All nodes under the statements, excluding nested def bodies."""
+    out: List[ast.AST] = []
+    stack: List[ast.AST] = list(statements)
+    while stack:
+        node = stack.pop()
+        out.append(node)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+    return out
+
+
+def _is_closer(node: ast.AST, name: str, kind: str) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    if kind == "span":
+        dotted = _dotted_name(node.func)
+        tail = dotted.split(".")[-1] if dotted else None
+        if tail not in _SPAN_CLOSER_TAILS:
+            return False
+        return any(isinstance(arg, ast.Name) and arg.id == name
+                   for arg in node.args)
+    return (isinstance(node.func, ast.Attribute)
+            and node.func.attr in _WATCH_CLOSER_METHODS
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == name)
+
+
+def _closes(statements: Sequence[ast.stmt], name: str,
+            kind: str) -> bool:
+    return any(_is_closer(node, name, kind)
+               for node in _deep_nodes(statements))
+
+
+def _escapes(statements: Sequence[ast.stmt], name: str,
+             kind: str) -> bool:
+    """Whether ownership of ``name`` is handed off downstream.
+
+    Returning/yielding the resource, storing it, or passing it to a
+    non-closing call transfers responsibility; entering it as a
+    context manager discharges it outright.
+    """
+
+    def _mentions(node: ast.AST) -> bool:
+        return any(isinstance(sub, ast.Name) and sub.id == name
+                   for sub in ast.walk(node))
+
+    for node in _deep_nodes(statements):
+        if isinstance(node, (ast.Return, ast.Yield, ast.YieldFrom)) \
+                and node.value is not None and _mentions(node.value):
+            return True
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if isinstance(item.context_expr, ast.Name) \
+                        and item.context_expr.id == name:
+                    return True
+        if isinstance(node, ast.Call) \
+                and not _is_closer(node, name, kind):
+            operands = [*node.args,
+                        *(kw.value for kw in node.keywords)]
+            if any(_mentions(arg) for arg in operands):
+                return True
+        if isinstance(node, ast.Assign) and _mentions(node.value):
+            return True
+    return False
+
+
+@rule
+class SpanHygieneRule(Rule):
+    """Spans and stopwatches must be closed on every exit path.
+
+    Fail::
+
+        span = tracer.start_span("solve")
+        temps = operator.solve(loads)   # may raise: span leaks
+        tracer.end_span(span)
+
+    Pass::
+
+        span = tracer.start_span("solve")
+        try:
+            temps = operator.solve(loads)
+        finally:
+            tracer.end_span(span)
+    """
+
+    code = "RPR502"
+    name = "span-hygiene"
+    rationale = (
+        "A span opened with start_span and closed only on the happy "
+        "path stays open forever when the guarded code raises: the "
+        "trace shows a phantom multi-second span, nesting depth "
+        "drifts, and stopwatch metrics silently never record.  Close "
+        "in a try/finally, use the context-manager form, or hand the "
+        "resource off explicitly.")
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_scope(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self,
+                               node: ast.AsyncFunctionDef) -> None:
+        self._check_scope(node)
+        self.generic_visit(node)
+
+    def _check_scope(self, function: ast.AST) -> None:
+        for body in self._statement_lists(function):
+            for index, statement in enumerate(body):
+                opened = _open_assignment(statement)
+                if opened is None:
+                    continue
+                name, kind, anchor = opened
+                self._judge(name, kind, anchor, body[index + 1:])
+
+    def _judge(self, name: str, kind: str, anchor: ast.stmt,
+               rest: Sequence[ast.stmt]) -> None:
+        if rest:
+            first = rest[0]
+            if _is_closer_stmt(first, name, kind):
+                return  # closed before anything can raise
+            if isinstance(first, ast.Try) \
+                    and _closes(first.finalbody, name, kind):
+                return
+        if _escapes(rest, name, kind):
+            return
+        if _closes(rest, name, kind):
+            self.emit(anchor, (
+                f"{kind} `{name}` is closed on the happy path only; "
+                "an exception in between leaks it — close in a "
+                "try/finally or use the context-manager form"))
+        else:
+            self.emit(anchor, (
+                f"{kind} `{name}` is never closed in this scope; "
+                "close it in a try/finally, use the context-manager "
+                "form, or hand it off explicitly"))
+
+    @staticmethod
+    def _statement_lists(function: ast.AST,
+                         ) -> List[List[ast.stmt]]:
+        """Every statement list in the function, excluding nested
+        defs (they are checked as their own scopes)."""
+        lists: List[List[ast.stmt]] = []
+        stack: List[ast.AST] = [function]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef,
+                                 ast.AsyncFunctionDef)) \
+                    and node is not function:
+                continue
+            if isinstance(node, ast.ClassDef):
+                continue
+            for field_name in ("body", "orelse", "finalbody"):
+                block = getattr(node, field_name, None)
+                if isinstance(block, list) and block \
+                        and isinstance(block[0], ast.stmt):
+                    lists.append(block)
+            stack.extend(ast.iter_child_nodes(node))
+        return lists
+
+
+def _is_closer_stmt(statement: ast.stmt, name: str,
+                    kind: str) -> bool:
+    return (isinstance(statement, ast.Expr)
+            and _is_closer(statement.value, name, kind))

@@ -1,0 +1,283 @@
+"""The physlint unit vocabulary: parsing, algebra, and extraction.
+
+Dimensional-flow analysis (the RPR7xx band) works on *units as opaque
+algebraic tokens*, not on physical dimensions: ``RPM`` and ``rad/s``
+are both angular velocities, but mixing them is exactly the bug class
+the paper's model invites (fan speed enters the fan law in rad/s and
+the datasheets in RPM), so the two deliberately do not unify.  A unit
+is a mapping ``token -> integer exponent`` (``K/W`` is ``{"K": 1,
+"W": -1}``); multiplication and division combine exponents, while
+addition, subtraction, and comparison require exact equality.
+
+Units enter the analysis from two sources:
+
+* the docstring convention already mandated by RPR401 — a parameter
+  description ending ``..., rad/s.`` (or ``... in K.``) declares the
+  parameter's unit, and a ``Returns:`` block declares the return
+  unit;
+* the inline annotation form ``x = expr  # unit: K/W``, for locals
+  whose unit the flow analysis cannot infer.
+
+Anything that fails to parse is simply *unknown* — the analysis never
+guesses, so an unparsed description can only cost coverage, never a
+false finding.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+#: A unit: token -> non-zero integer exponent.  {} is dimensionless.
+Unit = Dict[str, int]
+
+#: Accepted atom spellings (lowercased) -> canonical token.  Single
+#: letters are included because the docstring convention puts them in
+#: quantity position (", K."), where ambiguity with prose is gone.
+_ATOM_ALIASES: Dict[str, str] = {
+    "k": "K", "kelvin": "K",
+    "degc": "degC", "°c": "degC", "celsius": "degC",
+    "w": "W", "watt": "W", "watts": "W",
+    "a": "A", "amp": "A", "amps": "A", "ampere": "A", "amperes": "A",
+    "v": "V", "volt": "V", "volts": "V",
+    "m": "m", "meter": "m", "meters": "m", "metre": "m", "metres": "m",
+    "mm": "mm", "um": "um", "µm": "um",
+    "s": "s", "sec": "s", "second": "s", "seconds": "s",
+    "ms": "ms",
+    "rad": "rad",
+    "rpm": "RPM",
+    "hz": "Hz", "hertz": "Hz",
+    "j": "J", "joule": "J", "joules": "J",
+    "kg": "kg",
+    "pa": "Pa",
+    "n": "N", "newton": "N",
+    "ohm": "ohm", "ohms": "ohm", "Ω": "ohm",
+    "db": "dB",
+    "dba": "dBA",
+    "cell": "cell", "cells": "cell",
+}
+
+_ATOM_RE = re.compile(r"^([^\s^0-9]+?)(?:\^?(-?\d+)|([²³]))?$")
+
+_SUPERSCRIPTS = {"²": 2, "³": 3}
+
+#: The inline annotation: ``expr  # unit: K/W``.
+INLINE_UNIT_RE = re.compile(r"#\s*unit:\s*(\S+)")
+
+
+def _parse_atom(text: str, sign: int, into: Unit) -> bool:
+    """Fold one ``atom[^exp]`` into ``into``; False when unparsable."""
+    match = _ATOM_RE.match(text.strip())
+    if match is None:
+        return False
+    name, exp_text, sup = match.groups()
+    token = _ATOM_ALIASES.get(name.lower())
+    if token is None:
+        return False
+    exponent = 1
+    if exp_text is not None:
+        exponent = int(exp_text)
+    elif sup is not None:
+        exponent = _SUPERSCRIPTS[sup]
+    power = into.get(token, 0) + sign * exponent
+    if power:
+        into[token] = power
+    else:
+        into.pop(token, None)
+    return True
+
+
+def parse_unit(text: str) -> Optional[Unit]:
+    """Parse a unit expression like ``K/W``, ``W·s``, or ``m^2``.
+
+    Grammar: atoms joined by ``*``/``·`` (multiply) and ``/`` (divide,
+    left-associative over the following product), with optional
+    integer exponents (``m^2``, ``m2`` is *not* accepted — a trailing
+    digit without ``^`` is too often a word).  The literal ``1`` is an
+    empty numerator (``1/s``).  Returns None when any part fails to
+    parse — unknown, never wrong.
+    """
+    text = text.strip().rstrip(".")
+    if not text or len(text) > 40 or " " in text:
+        return None
+    unit: Unit = {}
+    sign = 1
+    for chunk in re.split(r"(/)", text):
+        if chunk == "/":
+            sign = -1
+            continue
+        for atom in re.split(r"[*·]", chunk):
+            atom = atom.strip()
+            if atom == "1" and sign == 1:
+                continue
+            if not _parse_atom(atom, sign, unit):
+                return None
+    return unit
+
+
+def render_unit(unit: Unit) -> str:
+    """The canonical human form of a unit (``K/W``, ``1/s``, ``1``)."""
+    if not unit:
+        return "1"
+    num = sorted((t, e) for t, e in unit.items() if e > 0)
+    den = sorted((t, -e) for t, e in unit.items() if e < 0)
+
+    def _side(parts: List[Tuple[str, int]]) -> str:
+        return "*".join(t if e == 1 else f"{t}^{e}" for t, e in parts)
+
+    if not den:
+        return _side(num)
+    return f"{_side(num) or '1'}/{_side(den)}"
+
+
+def multiply(left: Unit, right: Unit) -> Unit:
+    """The unit of a product."""
+    out = dict(left)
+    for token, exponent in right.items():
+        power = out.get(token, 0) + exponent
+        if power:
+            out[token] = power
+        else:
+            out.pop(token, None)
+    return out
+
+
+def divide(left: Unit, right: Unit) -> Unit:
+    """The unit of a quotient."""
+    return multiply(left, {t: -e for t, e in right.items()})
+
+
+def power(base: Unit, exponent: int) -> Unit:
+    """The unit of an integer power."""
+    return {t: e * exponent for t, e in base.items()} if exponent \
+        else {}
+
+
+# -- extraction from docstrings ------------------------------------------
+
+#: ``..., rad/s.`` — the unit is the last comma-separated chunk of the
+#: first sentence.
+_TRAILING_UNIT_RE = re.compile(r",\s*([^\s,]+)\s*$")
+
+#: ``... in K`` as a fallback spelling.
+_IN_UNIT_RE = re.compile(r"\bin\s+([^\s,]+)\s*$")
+
+
+def unit_of_description(text: str) -> Optional[Unit]:
+    """The declared unit of one parameter/return description.
+
+    Looks at the first sentence only; accepts the house style
+    (``'Fan speed, rad/s.'``) and the ``'... in K'`` fallback.
+    """
+    sentence = text.split(".")[0].strip()
+    for pattern in (_TRAILING_UNIT_RE, _IN_UNIT_RE):
+        match = pattern.search(sentence)
+        if match is not None:
+            unit = parse_unit(match.group(1))
+            if unit is not None:
+                return unit
+    return None
+
+
+_ARGS_HEADER_RE = re.compile(r"^\s*(Args|Arguments|Parameters):\s*$")
+_RETURNS_HEADER_RE = re.compile(r"^\s*(Returns|Yields):\s*$")
+_SECTION_HEADER_RE = re.compile(r"^\s*\w[\w ]*:\s*$")
+_PARAM_LINE_RE = re.compile(r"^(\s*)(\*{0,2}\w+)\s*(?:\([^)]*\))?:\s*(.*)$")
+
+
+def docstring_units(docstring: Optional[str],
+                    ) -> Tuple[Dict[str, Unit], Optional[Unit]]:
+    """Extract declared parameter and return units from a docstring.
+
+    Parses the Google-style ``Args:`` block (one ``name: description``
+    entry per parameter, continuation lines indented deeper) and the
+    first line of the ``Returns:`` block.  Returns ``(param units,
+    return unit)``; parameters whose description states no parsable
+    unit are simply absent.
+    """
+    params: Dict[str, Unit] = {}
+    returns: Optional[Unit] = None
+    if not docstring:
+        return params, returns
+    lines = docstring.splitlines()
+    index = 0
+    while index < len(lines):
+        line = lines[index]
+        if _ARGS_HEADER_RE.match(line):
+            index = _parse_args_block(lines, index + 1, params)
+            continue
+        if _RETURNS_HEADER_RE.match(line):
+            text, index = _collect_block(lines, index + 1)
+            if text:
+                returns = unit_of_description(text)
+            continue
+        index += 1
+    return params, returns
+
+
+def _collect_block(lines: List[str], start: int) -> Tuple[str, int]:
+    """Join an indented block into one string; stop at a dedent."""
+    collected: List[str] = []
+    index = start
+    while index < len(lines):
+        line = lines[index]
+        if not line.strip():
+            break
+        if _SECTION_HEADER_RE.match(line):
+            break
+        collected.append(line.strip())
+        index += 1
+    return " ".join(collected), index
+
+
+def _parse_args_block(lines: List[str], start: int,
+                      params: Dict[str, Unit]) -> int:
+    index = start
+    entry_indent: Optional[int] = None
+    name: Optional[str] = None
+    description: List[str] = []
+
+    def _flush() -> None:
+        if name is not None and description:
+            unit = unit_of_description(" ".join(description))
+            if unit is not None:
+                params[name.lstrip("*")] = unit
+
+    while index < len(lines):
+        line = lines[index]
+        if not line.strip() or _SECTION_HEADER_RE.match(line):
+            break
+        match = _PARAM_LINE_RE.match(line)
+        indent = len(line) - len(line.lstrip())
+        if match is not None and (entry_indent is None
+                                  or indent <= entry_indent):
+            _flush()
+            entry_indent = len(match.group(1))
+            name = match.group(2)
+            description = [match.group(3)]
+        else:
+            description.append(line.strip())
+        index += 1
+    _flush()
+    return index
+
+
+def inline_unit(line: str) -> Optional[Unit]:
+    """The unit declared by a same-line ``# unit: ...`` annotation."""
+    match = INLINE_UNIT_RE.search(line)
+    if match is None:
+        return None
+    return parse_unit(match.group(1))
+
+
+__all__ = [
+    "Unit",
+    "divide",
+    "docstring_units",
+    "inline_unit",
+    "multiply",
+    "parse_unit",
+    "power",
+    "render_unit",
+    "unit_of_description",
+]

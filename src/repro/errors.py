@@ -7,7 +7,7 @@ still being able to discriminate the failure mode.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence, Tuple
 
 
 class ReproError(Exception):
@@ -97,3 +97,23 @@ class InfeasibleProblemError(ReproError):
 
 class CalibrationError(ReproError):
     """A regression / curve fit did not converge or had too few samples."""
+
+
+class WorkerCrashError(ReproError):
+    """A pool worker hit an exception outside the library contract.
+
+    Stage failures (a :class:`SolverError` during a unit, say) are
+    *results* — packaged into failure reports and merged.  An
+    exception that instead escapes to the worker's chaos boundary is
+    a resilience bug in the library itself; the coordinator raises
+    this error carrying every worker's report so none is silently
+    dropped.
+    """
+
+    def __init__(self, message: str,
+                 reports: Optional[Sequence[str]] = None) -> None:
+        super().__init__(message)
+        #: The per-worker ``"ExcType: message"`` strings, in merge
+        #: order (empty when the caller did not collect them).
+        self.reports: Tuple[str, ...] = \
+            tuple(reports) if reports is not None else ()

@@ -153,11 +153,14 @@ def run_units(context: WorkerContext, units: Sequence[WorkUnit],
     try:
         payload = pickle.dumps(context)
     except Exception as exc:  # physlint: disable=RPR201
-        # An unpicklable context (a policy or leakage model holding a
-        # closure, say) cannot cross a process boundary, but the serial
-        # executor can still run it directly — entry points that
-        # auto-engage on REPRO_WORKERS must not start crashing merely
-        # because the env var is set.
+        # Broad by necessity: pickle.dumps reports unpicklability as
+        # whatever the object's __reduce__ raises (TypeError,
+        # AttributeError, PicklingError, ...), so no narrower tuple
+        # covers the probe.  An unpicklable context (a policy or
+        # leakage model holding a closure, say) cannot cross a process
+        # boundary, but the serial executor can still run it directly
+        # — entry points that auto-engage on REPRO_WORKERS must not
+        # start crashing merely because the env var is set.
         _obs.event("exec.pool_fallback", error=type(exc).__name__)
     results: Optional[List[UnitResult]] = None
     if payload is not None and workers > 1 and len(units) > 1 \

@@ -82,7 +82,10 @@ def install_runtime(context: WorkerContext,
     none), to be handed back to :func:`restore_runtime` — the
     save/restore pair that makes the serial executor safely nestable.
     """
-    global _RUNTIME
+    # _RUNTIME is *deliberately* per-process: it IS the worker-local
+    # runtime that in_worker() reads, installed by the pool
+    # initializer in each child.  Nothing merges back by design.
+    global _RUNTIME  # physlint: disable=RPR602
     previous = _RUNTIME
     _RUNTIME = _WorkerRuntime(context)
     return previous
@@ -226,9 +229,12 @@ def _execute_benchmark(context: WorkerContext, unit: WorkUnit,
                         type(failure.error).__name__,
                         str(failure.error))
     except Exception as exc:  # physlint: disable=RPR201
-        # The worker-side chaos boundary: a non-library exception is a
-        # resilience bug, reported as such rather than poisoning the
-        # pool with an unpicklable traceback.
+        # Deliberately broader than ReproError: library errors are
+        # already packaged as structured failures above, so whatever
+        # reaches this handler is by definition outside the library
+        # contract — a resilience bug the chaos contract says to
+        # record and merge, never to poison the pool with an
+        # unpicklable traceback.
         result.unhandled.append(f"{type(exc).__name__}: {exc}")
     if injector is not None:
         result.fired = injector.fired_counts()

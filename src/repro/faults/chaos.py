@@ -105,8 +105,10 @@ def run_chaos_campaign(
                 evaluator_factory=lambda p: FaultyEvaluator(p,
                                                             injector))
         except Exception as exc:  # physlint: disable=RPR201
-            # The whole point of the harness: anything reaching this
-            # handler is a resilience bug, recorded as such.
+            # The chaos boundary is the whole point of the harness: a
+            # narrower catch would let exactly the surprising
+            # exception classes under test escape.  Anything reaching
+            # this handler is a resilience bug, recorded as such.
             report.unhandled.append(f"{type(exc).__name__}: {exc}")
             _obs.event("chaos.unhandled", error=type(exc).__name__)
     report.fired = injector.fired_counts()

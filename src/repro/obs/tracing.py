@@ -254,8 +254,11 @@ class Tracer:
         try:
             yield span
         except BaseException as exc:  # physlint: disable=RPR201
-            # Record-and-reraise: even KeyboardInterrupt should mark the
-            # span failed on its way out; nothing is swallowed.
+            # Record-and-reraise, not a handler: even KeyboardInterrupt
+            # should mark the span failed on its way out, and the bare
+            # `raise` below guarantees nothing is swallowed — which is
+            # why BaseException is safe here and a narrower catch
+            # would silently lose span status.
             span.record_exception(exc)
             raise
         finally:

@@ -113,6 +113,54 @@ class Factorization:
             return self._lu.solve(rhs)
 
 
+class _OperatorInstruments:
+    """Telemetry handles resolved once per installed registry.
+
+    ``metrics.counter(name)`` is a dict lookup plus a string hash per
+    call; on the warm-solve path (a few hundred microseconds of
+    back-substitution) that resolution cost plus two clock reads was
+    the bulk of the enabled-session overhead measured by
+    ``benchmarks/bench_obs_overhead.py``.  One of these is built the
+    first time an operator observes a given registry and reused until
+    a different registry is installed (sessions install fresh
+    registries, so identity comparison is the correct invalidation).
+    """
+
+    __slots__ = ("metrics", "solves", "solve_seconds", "factor_hits",
+                 "factorizations", "factorize_seconds",
+                 "factor_evictions", "_tick")
+
+    #: Only every Nth warm solve is timed: the latency histogram needs
+    #: a sample, not a census, and the two ``monotonic()`` reads are
+    #: the single largest per-solve cost of an enabled session.
+    SAMPLE_EVERY = 16
+
+    def __init__(self, metrics) -> None:
+        self.metrics = metrics
+        self.solves = metrics.counter("operator.solves")
+        self.solve_seconds = metrics.histogram(
+            "operator.solve_seconds")
+        self.factor_hits = metrics.counter("operator.factor.hits")
+        self.factorizations = metrics.counter(
+            "operator.factorizations")
+        self.factorize_seconds = metrics.histogram(
+            "operator.factorize_seconds")
+        self.factor_evictions = metrics.counter(
+            "operator.factor.evictions")
+        self._tick = 0
+
+    def sample_solve(self) -> bool:
+        """True on the solves whose latency should be observed.
+
+        The first solve under a fresh registry always samples, so even
+        a one-solve session snapshots a latency histogram; after that,
+        one solve in :data:`SAMPLE_EVERY`.
+        """
+        tick = self._tick
+        self._tick = tick + 1
+        return tick % self.SAMPLE_EVERY == 0
+
+
 class ThermalOperator:
     """Structure/state split over one finalized static matrix.
 
@@ -166,6 +214,16 @@ class ThermalOperator:
         self._factorizations = 0
         self._hits = 0
         self._evictions = 0
+        self._obs_handles: Optional[_OperatorInstruments] = None
+
+    def _instruments(self) -> _OperatorInstruments:
+        """Handles for the currently installed registry (cached)."""
+        handles = self._obs_handles
+        metrics = _obs.STATE.metrics
+        if handles is None or handles.metrics is not metrics:
+            handles = _OperatorInstruments(metrics)
+            self._obs_handles = handles
+        return handles
 
     @staticmethod
     def _build_diag_index(csc: csc_matrix) -> np.ndarray:
@@ -241,6 +299,7 @@ class ThermalOperator:
         state["_factorizations"] = 0
         state["_hits"] = 0
         state["_evictions"] = 0
+        state["_obs_handles"] = None
         return state
 
     # -- state application --------------------------------------------
@@ -280,7 +339,7 @@ class ThermalOperator:
             self._lru.move_to_end(key)
             self._hits += 1
             if _obs.STATE.enabled:
-                _obs.STATE.metrics.counter("operator.factor.hits").inc()
+                self._instruments().factor_hits.inc()
             return cached
         started = monotonic() if _obs.STATE.enabled else 0.0
         csc = self._load(overlay)
@@ -304,12 +363,11 @@ class ThermalOperator:
             self._evictions += 1
             evicted = True
         if _obs.STATE.enabled:
-            metrics = _obs.STATE.metrics
-            metrics.counter("operator.factorizations").inc()
-            metrics.histogram("operator.factorize_seconds").observe(
-                monotonic() - started)
+            handles = self._instruments()
+            handles.factorizations.inc()
+            handles.factorize_seconds.observe(monotonic() - started)
             if evicted:
-                metrics.counter("operator.factor.evictions").inc()
+                handles.factor_evictions.inc()
             _obs.STATE.tracer.event(
                 "operator.factorize", cached=len(self._lru),
                 evicted=evicted)
@@ -332,16 +390,17 @@ class ThermalOperator:
         if rhs_arr.shape != (self._n,):
             raise ConfigurationError(
                 f"RHS must have shape ({self._n},), got {rhs_arr.shape}")
-        started = monotonic() if _obs.STATE.enabled else 0.0
+        handles = self._instruments() if _obs.STATE.enabled else None
+        sampled = handles is not None and handles.sample_solve()
+        started = monotonic() if sampled else 0.0
         factorization = self.factor(overlay)
         temps = factorization.solve(rhs_arr)
         self._solves += 1
         self._guard(temps, rhs_arr, overlay, factorization.norm1)
-        if _obs.STATE.enabled:
-            metrics = _obs.STATE.metrics
-            metrics.counter("operator.solves").inc()
-            metrics.histogram("operator.solve_seconds").observe(
-                monotonic() - started)
+        if handles is not None:
+            handles.solves.inc()
+            if sampled:
+                handles.solve_seconds.observe(monotonic() - started)
         return temps
 
     def solve_many(self, diag_overlay: np.ndarray,
@@ -359,16 +418,17 @@ class ThermalOperator:
             raise ConfigurationError(
                 f"RHS block must have shape ({self._n}, k), got "
                 f"{block.shape}")
-        started = monotonic() if _obs.STATE.enabled else 0.0
+        handles = self._instruments() if _obs.STATE.enabled else None
+        sampled = handles is not None and handles.sample_solve()
+        started = monotonic() if sampled else 0.0
         factorization = self.factor(overlay)
         temps = factorization.solve(block)
         self._solves += block.shape[1]
         self._guard(temps, block, overlay, factorization.norm1)
-        if _obs.STATE.enabled:
-            metrics = _obs.STATE.metrics
-            metrics.counter("operator.solves").inc(block.shape[1])
-            metrics.histogram("operator.solve_seconds").observe(
-                monotonic() - started)
+        if handles is not None:
+            handles.solves.inc(block.shape[1])
+            if sampled:
+                handles.solve_seconds.observe(monotonic() - started)
         return temps
 
     def _guard(self, temps: np.ndarray, rhs: np.ndarray,

@@ -1,0 +1,3 @@
+# physlint: disable-file=RPR000
+def broken(:
+    pass

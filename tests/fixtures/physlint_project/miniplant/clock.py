@@ -1,0 +1,13 @@
+"""Minimal stopwatch factory so the fixture package hangs together."""
+
+
+class Stopwatch:
+    """A watch that must be stopped once started."""
+
+    def stop(self):
+        """Stop the watch."""
+
+
+def stopwatch(name):
+    """Create a named :class:`Stopwatch`."""
+    return Stopwatch()

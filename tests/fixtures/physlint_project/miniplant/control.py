@@ -1,0 +1,32 @@
+"""Controller with the three seeded dimensional mismatch shapes."""
+
+from miniplant.fan import fan_power
+
+
+def mixed_sum(power_w, current_a):
+    """Nonsense total: adds power to current.
+
+    Args:
+        power_w: Package power, W.
+        current_a: TEC drive current, A.
+    """
+    return power_w + current_a  # seeded RPR701
+
+
+def over_limit(omega_rpm, omega_max):
+    """Threshold check across unit systems.
+
+    Args:
+        omega_rpm: Commanded fan speed, RPM.
+        omega_max: Speed ceiling, rad/s.
+    """
+    return omega_rpm > omega_max  # seeded RPR702
+
+
+def step(omega_rpm):
+    """Hands RPM straight to a rad/s parameter.
+
+    Args:
+        omega_rpm: Commanded fan speed, RPM.
+    """
+    return fan_power(omega_rpm)  # seeded RPR703

@@ -1,0 +1,13 @@
+"""Fan model: the documented callee for the RPR703 fixtures."""
+
+
+def fan_power(omega):
+    """Cubic-law electrical power drawn by the fan.
+
+    Args:
+        omega: Fan speed, rad/s.
+
+    Returns:
+        Electrical input power, W.
+    """
+    return 1.0e-6 * omega ** 3

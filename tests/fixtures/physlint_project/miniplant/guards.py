@@ -1,0 +1,8 @@
+"""The process-context guard consulted by safe worker stages."""
+
+from miniplant import state
+
+
+def in_worker():
+    """True while a worker context is installed."""
+    return state.RUNTIME is not None

@@ -1,0 +1,12 @@
+"""Calls through the package re-export (one-hop resolution)."""
+
+from miniplant import fan_power
+
+
+def panel_power(omega_rpm):
+    """Sums fan power over one panel, still in RPM.
+
+    Args:
+        omega_rpm: Commanded fan speed, RPM.
+    """
+    return fan_power(omega_rpm)  # seeded RPR703 via re-export

@@ -1,0 +1,9 @@
+"""The nested stage: spawns its own pool when reached from a worker."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def expand_parallel(unit):
+    """Fans out again — flagged (RPR603) when worker-reachable."""
+    with ProcessPoolExecutor() as pool:
+        return list(pool.map(str, [unit]))

@@ -1,0 +1,17 @@
+"""Coordinator: fans units out to a pool (worker-root discovery).
+
+``run_all`` itself spawns a pool but is coordinator-only — it must
+never be flagged; only code reachable from the submitted entry point
+(``workers.run_unit``) is worker territory.
+"""
+
+from concurrent.futures import ProcessPoolExecutor
+
+from miniplant.workers import run_unit
+
+
+def run_all(units):
+    """Submit every unit to a fresh pool and collect the results."""
+    with ProcessPoolExecutor() as pool:
+        futures = [pool.submit(run_unit, unit) for unit in units]
+    return [future.result() for future in futures]

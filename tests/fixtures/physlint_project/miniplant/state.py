@@ -1,0 +1,5 @@
+"""Coordinator-side mutable module state (the RPR602 bait)."""
+
+# physlint: disable-file=RPR601
+
+RUNTIME = None

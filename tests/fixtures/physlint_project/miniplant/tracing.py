@@ -1,0 +1,41 @@
+"""Span/stopwatch hygiene fixtures (RPR502)."""
+
+from miniplant.clock import stopwatch
+
+
+def leaky_solve(tracer, operator, loads):
+    """Closed on the happy path only: a raise in between leaks it."""
+    span = tracer.start_span("solve")  # seeded RPR502
+    temps = operator.solve(loads)
+    tracer.end_span(span)
+    return temps
+
+
+def never_closed(tracer, operator, loads):
+    """Opened and forgotten entirely."""
+    span = tracer.start_span("solve")  # seeded RPR502
+    return operator.solve(loads)
+
+
+def leaky_watch(operator, loads):
+    """Stopwatch stopped on the happy path only."""
+    watch = stopwatch("solve_seconds")  # seeded RPR502
+    temps = operator.solve(loads)
+    watch.stop()
+    return temps
+
+
+def clean_solve(tracer, operator, loads):
+    """The canonical try/finally close: clean."""
+    span = tracer.start_span("solve")
+    try:
+        return operator.solve(loads)
+    finally:
+        tracer.end_span(span)
+
+
+def handed_off(tracer, registry, operator, loads):
+    """Ownership transferred to another holder: clean."""
+    span = tracer.start_span("solve")
+    registry.adopt(span)
+    return operator.solve(loads)

@@ -1,0 +1,52 @@
+"""Worker units: seeded process-safety violations (RPR602/603).
+
+``run_unit`` is the pool entry point (submitted by
+``scheduler.run_all``); everything it calls is worker-reachable.
+``safe_expand`` consults ``in_worker()`` before fanning out, making it
+a guard barrier the traversal must stop at — its pool use is clean.
+"""
+
+import random
+
+from miniplant import state
+from miniplant.guards import in_worker
+from miniplant.pools import expand_parallel
+
+TOTALS = {}  # physlint: disable=RPR601
+
+
+def run_unit(unit):
+    """The pool entry point: one unit in, one merged record out."""
+    tally(unit)
+    mark(unit)
+    shake(unit)
+    safe_expand(unit)
+    return step(unit)
+
+
+def tally(unit):
+    """Rebinding a module global from a worker (seeded RPR602)."""
+    global TOTALS
+    TOTALS = {unit: 1}
+
+
+def mark(unit):
+    """Writing an imported module's attribute (seeded RPR602)."""
+    state.RUNTIME = unit
+
+
+def shake(unit):
+    """Drawing from the ambient RNG stream (seeded RPR602)."""
+    return random.random()
+
+
+def step(unit):
+    """The PR 5 shape: reaches a nested fan-out (seeded RPR603)."""
+    return expand_parallel(unit)
+
+
+def safe_expand(unit):
+    """Guard barrier: checks its process context first (clean)."""
+    if in_worker():
+        return [unit]
+    return expand_parallel(unit)

@@ -10,7 +10,7 @@ from repro import build_cooling_problem
 from repro.analysis import run_campaign, sweep_objective_surfaces
 from repro.analysis.heatmap import temperature_fields
 from repro.core import Evaluator
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, WorkerCrashError
 from repro.exec import (
     WORKERS_ENV,
     WorkUnit,
@@ -371,12 +371,14 @@ class TestCampaignBitIdentity:
         import repro.exec
         monkeypatch.setattr(repro.exec, "run_campaign_units",
                             fake_units)
-        with pytest.raises(RuntimeError) as excinfo:
+        with pytest.raises(WorkerCrashError) as excinfo:
             run_campaign(subset, tec, base, workers=2)
         message = str(excinfo.value)
         assert "2 unhandled" in message
         assert "ValueError: first" in message
         assert "KeyError: second" in message
+        assert excinfo.value.reports == ("ValueError: first",
+                                         "KeyError: second")
 
     def test_workers_exclusive_with_factory(self, profiles,
                                             identity_problems):

@@ -10,6 +10,7 @@ import pytest
 from repro.cli import main as repro_main
 from repro.devtools.physlint import (
     PARSE_ERROR_CODE,
+    available_project_rules,
     available_rules,
     lint_paths,
     lint_source,
@@ -21,7 +22,9 @@ FIXTURES = Path(__file__).parent / "fixtures" / "physlint"
 SRC = Path(__file__).resolve().parents[1] / "src"
 
 ALL_CODES = ("RPR101", "RPR201", "RPR202", "RPR204", "RPR301",
-             "RPR302", "RPR401", "RPR501", "RPR601")
+             "RPR302", "RPR401", "RPR501", "RPR502", "RPR601",
+             "RPR701", "RPR702")
+PROJECT_CODES = ("RPR602", "RPR603", "RPR703")
 
 
 def codes_in(path):
@@ -32,11 +35,29 @@ class TestRegistry:
     def test_all_rules_registered(self):
         assert tuple(sorted(available_rules())) == ALL_CODES
 
+    def test_project_rules_registered(self):
+        assert tuple(sorted(available_project_rules())) == PROJECT_CODES
+
+    def test_registries_do_not_overlap(self):
+        assert not set(available_rules()) & set(available_project_rules())
+
     def test_rules_carry_metadata(self):
-        for code, rule_cls in available_rules().items():
+        registries = dict(available_rules())
+        registries.update(available_project_rules())
+        for code, rule_cls in registries.items():
             assert rule_cls.code == code
             assert rule_cls.name
             assert rule_cls.rationale
+
+    def test_rule_docstrings_carry_examples(self):
+        # --explain renders these; every rule must ship a minimal
+        # failing and passing example in its docstring.
+        registries = dict(available_rules())
+        registries.update(available_project_rules())
+        for rule_cls in registries.values():
+            doc = rule_cls.__doc__ or ""
+            assert "Fail::" in doc, rule_cls.code
+            assert "Pass::" in doc, rule_cls.code
 
 
 class TestBadFixtures:
@@ -214,7 +235,7 @@ class TestCli:
     def test_list_rules(self, capsys):
         assert physlint_main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for code in ALL_CODES:
+        for code in ALL_CODES + PROJECT_CODES:
             assert code in out
 
     def test_repro_lint_subcommand(self, capsys):
