@@ -48,6 +48,8 @@ from .errors import (
     FloorplanParseError,
     GeometryError,
     InfeasibleProblemError,
+    JournalCorruptionError,
+    JournalError,
     MaterialError,
     ReproError,
     SingularNetworkError,
@@ -58,7 +60,7 @@ from .errors import (
 )
 from .power import BenchmarkProfile, mibench_profiles
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "I_TEC_MAX",
@@ -91,6 +93,8 @@ __all__ = [
     "InfeasibleProblemError",
     "CalibrationError",
     "WorkerCrashError",
+    "JournalError",
+    "JournalCorruptionError",
     "BenchmarkProfile",
     "mibench_profiles",
     "__version__",

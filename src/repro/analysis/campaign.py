@@ -81,16 +81,23 @@ class CampaignResult:
         failures: Structured post-mortems of benchmarks (or stages)
             that failed; such benchmarks are omitted from
             ``comparisons`` but do not sink the campaign.
+        quarantined: Supervised runs only — units that exhausted their
+            retry budget (:class:`repro.exec.QuarantinedUnit` entries,
+            with per-attempt post-mortems).  The campaign *completes*
+            around them; the JSON carries them in a ``quarantined``
+            section.
     """
 
     comparisons: List[BenchmarkComparison] = field(default_factory=list)
     t_max: float = 0.0
     wall_seconds: float = 0.0
     failures: List[FailureReport] = field(default_factory=list)
+    quarantined: List[object] = field(default_factory=list)
     #: Per-worker cache-locality statistics of a parallel run (see
     #: :func:`repro.exec.worker_statistics`); empty for serial runs.
     #: Never serialized — result JSON stays identical across worker
-    #: counts.
+    #: counts.  Supervised runs add a ``"supervision"`` block
+    #: (retries, replacements, circuit state).
     worker_stats: Dict[str, object] = field(default_factory=dict)
 
     def __getitem__(self, name: str) -> BenchmarkComparison:
@@ -276,6 +283,9 @@ def run_campaign(
     resilient: bool = False,
     policy: Optional[ResiliencePolicy] = None,
     workers: Optional[int] = None,
+    supervision: Optional[object] = None,
+    journal_path: Optional[str] = None,
+    resume_from: Optional[str] = None,
 ) -> CampaignResult:
     """Run the three-method comparison over a set of benchmark profiles.
 
@@ -312,7 +322,22 @@ def run_campaign(
             (with its traceback), the parallel path raises
             :class:`~repro.errors.SolverError` for library failures
             and :class:`~repro.errors.WorkerCrashError` listing every
-            unhandled worker exception as ``"Type: message"`` text.
+            unhandled worker exception as ``"Type: message"`` text
+            (with the failing unit labels and attempt counts on
+            ``.units``).
+        supervision: A :class:`repro.exec.SupervisionPolicy` routing
+            the benchmarks through the supervised executor: worker
+            death/hangs become retries, poison units quarantine, and
+            the campaign completes instead of raising.  Forces the
+            decomposed path (``workers`` floors at 1).
+        journal_path: Write an append-only crash-consistent journal of
+            completed units to this path (fresh file; see
+            :mod:`repro.exec.journal`).  Implies supervision.
+        resume_from: Resume from an existing journal: completed units
+            are loaded and skipped, new completions are appended to
+            the same file, and the merged result — its canonical JSON
+            in particular — is bit-identical to an uninterrupted run.
+            Mutually exclusive with ``journal_path``.
     """
     if not tec_problem_template.has_tec:
         raise ConfigurationError(
@@ -323,6 +348,12 @@ def run_campaign(
     if resilient and policy is None:
         policy = ResiliencePolicy(ladder=(method,) + tuple(
             m for m in SOLVER_METHODS if m != method))
+    if journal_path is not None and resume_from is not None:
+        raise ConfigurationError(
+            "journal_path (fresh journal) and resume_from (continue "
+            "one) are mutually exclusive")
+    supervised = supervision is not None or journal_path is not None \
+        or resume_from is not None
     worker_count = 0
     if evaluator_factory is None:
         from ..exec import resolve_workers
@@ -331,11 +362,21 @@ def run_campaign(
         raise ConfigurationError(
             "workers cannot be combined with evaluator_factory (the "
             "factory closure cannot cross a process boundary)")
+    elif supervised:
+        raise ConfigurationError(
+            "supervision/journal/resume cannot be combined with "
+            "evaluator_factory (the factory closure cannot cross a "
+            "process boundary)")
+    if supervised and worker_count < 1:
+        # Journaling and resume need the decomposed per-unit path;
+        # one in-process worker preserves serial bit-identity.
+        worker_count = 1
     if worker_count >= 1:
         return _run_campaign_parallel(
             profiles, tec_problem_template, baseline_problem_template,
             method, include_tec_only, isolate_failures, resilient,
-            policy, worker_count)
+            policy, worker_count, supervision, journal_path,
+            resume_from)
     make = evaluator_factory or Evaluator
     watch = stopwatch("campaign.wall_seconds")
     with watch, _obs.span("campaign", benchmarks=len(profiles)):
@@ -374,6 +415,9 @@ def _run_campaign_parallel(
     resilient: bool,
     policy: Optional[ResiliencePolicy],
     workers: int,
+    supervision: Optional[object] = None,
+    journal_path: Optional[str] = None,
+    resume_from: Optional[str] = None,
 ) -> CampaignResult:
     """The decomposed campaign path: one work unit per benchmark.
 
@@ -382,31 +426,63 @@ def _run_campaign_parallel(
     evaluators, same failure-report ordering), so the returned result
     — and its JSON — is bit-identical to the serial loop's.
     """
-    from ..exec import run_campaign_units
+    from ..exec import (
+        JournalWriter,
+        run_campaign_units,
+        unit_fingerprint,
+    )
+    journal = None
+    completed = None
+    supervised = supervision is not None or journal_path is not None \
+        or resume_from is not None
+    if journal_path is not None or resume_from is not None:
+        fingerprint = unit_fingerprint(
+            tuple(profiles),
+            f"campaign:{method}:{int(include_tec_only)}:"
+            f"{int(resilient)}")
+        journal = JournalWriter(
+            resume_from or journal_path,
+            meta={"fingerprint": fingerprint, "job": "campaign"},
+            resume=resume_from is not None)
+        completed = journal.completed
     watch = stopwatch("campaign.wall_seconds")
-    with watch, _obs.span("campaign", benchmarks=len(profiles),
-                          workers=workers):
-        merge = run_campaign_units(
-            profiles, tec_problem_template, baseline_problem_template,
-            method=method, include_tec_only=include_tec_only,
-            resilient=resilient, policy=policy, fault_plan=None,
-            workers=workers)
-        if merge.unhandled:
-            # A non-library exception in a worker is a bug, not a
-            # result; surface every entry instead of a silent hole in
-            # the comparisons.
-            raise WorkerCrashError(
-                f"{len(merge.unhandled)} unhandled worker "
-                f"exception(s): " + "; ".join(merge.unhandled),
-                reports=merge.unhandled)
-        if merge.errors and not isolate_failures:
-            name, stage, error_type, message = merge.errors[0]
-            raise SolverError(
-                f"{name} [{stage}] {error_type}: {message}")
-        result = CampaignResult(
-            comparisons=merge.comparisons,
-            t_max=tec_problem_template.limits.t_max,
-            failures=merge.failures,
-            worker_stats=merge.worker_stats)
+    try:
+        with watch, _obs.span("campaign", benchmarks=len(profiles),
+                              workers=workers):
+            merge = run_campaign_units(
+                profiles, tec_problem_template,
+                baseline_problem_template,
+                method=method, include_tec_only=include_tec_only,
+                resilient=resilient, policy=policy, fault_plan=None,
+                workers=workers,
+                supervision=supervision if supervised else None,
+                journal=journal, completed=completed)
+            if merge.unhandled:
+                # A non-library exception in a worker is a bug, not a
+                # result; surface every entry instead of a silent hole
+                # in the comparisons.
+                detail = "; ".join(
+                    f"{name} (attempt {attempts}): {line}"
+                    for name, attempts, line in merge.crashed) \
+                    or "; ".join(merge.unhandled)
+                raise WorkerCrashError(
+                    f"{len(merge.unhandled)} unhandled worker "
+                    f"exception(s): " + detail,
+                    reports=merge.unhandled,
+                    units=[(name, attempts)
+                           for name, attempts, _ in merge.crashed])
+            if merge.errors and not isolate_failures:
+                name, stage, error_type, message = merge.errors[0]
+                raise SolverError(
+                    f"{name} [{stage}] {error_type}: {message}")
+            result = CampaignResult(
+                comparisons=merge.comparisons,
+                t_max=tec_problem_template.limits.t_max,
+                failures=merge.failures,
+                quarantined=list(merge.quarantined),
+                worker_stats=merge.worker_stats)
+    finally:
+        if journal is not None:
+            journal.close()
     result.wall_seconds = watch.elapsed
     return result

@@ -5,7 +5,9 @@ Commands mirror the library's main entry points:
 * ``oftec`` — run Algorithm 1 on one benchmark and print the operating
   point (optionally as JSON).
 * ``campaign`` — the full three-method comparison over the eight
-  benchmarks (Figures 6(c)-(f) tables + Table 2).
+  benchmarks (Figures 6(c)-(f) tables + Table 2); ``--journal`` /
+  ``--resume`` give crash-consistent checkpointing through the
+  supervised executor.
 * ``sweep`` — the Figure 6(a)/(b) objective surfaces for one benchmark.
 * ``profiles`` — list the built-in benchmark power profiles.
 * ``chaos`` — run the campaign under deterministic fault injection and
@@ -79,6 +81,32 @@ def _add_workers(parser: argparse.ArgumentParser) -> None:
              "bit-identical across worker counts)")
 
 
+def _add_supervision(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--unit-deadline", type=float, default=None, metavar="SECONDS",
+        dest="unit_deadline",
+        help="supervised executor: kill and retry any work unit "
+             "running longer than this (engages supervision)")
+    parser.add_argument(
+        "--max-attempts", type=int, default=None, metavar="N",
+        dest="max_attempts",
+        help="supervised executor: quarantine a unit after N failed "
+             "attempts (engages supervision)")
+
+
+def _supervision_from_args(args: argparse.Namespace):
+    """A SupervisionPolicy when any supervision flag was given."""
+    if args.unit_deadline is None and args.max_attempts is None:
+        return None
+    from .exec import SupervisionPolicy
+    overrides = {}
+    if args.unit_deadline is not None:
+        overrides["unit_deadline_seconds"] = args.unit_deadline
+    if args.max_attempts is not None:
+        overrides["max_attempts"] = args.max_attempts
+    return SupervisionPolicy(**overrides)
+
+
 @contextmanager
 def _traced(path: Optional[str]) -> Iterator[Optional[dict]]:
     """Run the body under a telemetry session when ``path`` is given.
@@ -138,6 +166,19 @@ def build_parser() -> argparse.ArgumentParser:
                           help="write --json in canonical form: "
                                "timing fields zeroed and telemetry "
                                "dropped, so runs diff cleanly")
+    campaign.add_argument("--benchmarks", type=int, default=0,
+                          metavar="N",
+                          help="limit to the first N benchmarks "
+                               "(0 = all)")
+    campaign.add_argument("--journal", metavar="PATH", default=None,
+                          help="write a crash-consistent journal of "
+                               "completed units here (engages the "
+                               "supervised executor)")
+    campaign.add_argument("--resume", metavar="PATH", default=None,
+                          help="resume an interrupted campaign from "
+                               "its journal; completed units are "
+                               "replayed, the rest run fresh")
+    _add_supervision(campaign)
     _add_workers(campaign)
     _add_trace(campaign)
 
@@ -173,7 +214,10 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--rate", type=float, default=0.05,
                        help="per-solve fault probability (default 0.05)")
     chaos.add_argument("--faults", default="all", metavar="KINDS",
-                       help="comma-separated fault kinds (default: all)")
+                       help="comma-separated fault kinds (default: "
+                            "all evaluator-level kinds; process-level "
+                            "kinds like worker-kill must be named "
+                            "explicitly and need --workers >= 1)")
     chaos.add_argument("--max-fires", type=int, default=None,
                        metavar="N",
                        help="cap fires per fault kind (default: none)")
@@ -184,6 +228,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "campaign-level isolation alone)")
     chaos.add_argument("--json", metavar="PATH", default=None,
                        help="save the (partial) campaign as JSON")
+    _add_supervision(chaos)
     _add_workers(chaos)
     _add_trace(chaos)
 
@@ -270,7 +315,9 @@ def _cmd_oftec(args: argparse.Namespace) -> int:
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
     profiles = mibench_profiles()
-    template = profiles["basicmath"]
+    if args.benchmarks:
+        profiles = dict(list(profiles.items())[:args.benchmarks])
+    template = mibench_profiles()["basicmath"]
     tec_problem = build_cooling_problem(
         template, grid_resolution=args.resolution)
     baseline_problem = build_cooling_problem(
@@ -278,7 +325,10 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     with _traced(args.trace) as session:
         campaign = run_campaign(profiles, tec_problem, baseline_problem,
                                 include_tec_only=args.tec_only,
-                                workers=args.workers)
+                                workers=args.workers,
+                                supervision=_supervision_from_args(args),
+                                journal_path=args.journal,
+                                resume_from=args.resume)
     print(format_comparison_table(campaign, "opt2"))
     print()
     print(format_comparison_table(campaign, "opt1"))
@@ -290,6 +340,12 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             status = "thermal runaway" if comparison.tec_only.runaway \
                 else "bounded"
             print(f"  {comparison.name:<14} {status}")
+    if campaign.quarantined:
+        print(f"\nquarantined units: {len(campaign.quarantined)}")
+        for entry in campaign.quarantined:
+            last = entry.errors[-1] if entry.errors else "?"
+            print(f"  {entry.name} after {entry.attempts} "
+                  f"attempt(s): {last}")
     if args.json:
         from .io import save_campaign
         telemetry = session.get("telemetry") if session else None
@@ -364,6 +420,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
     from .faults import (
+        EVALUATOR_FAULT_KINDS,
         FaultKind,
         FaultPlan,
         FaultSpec,
@@ -371,12 +428,12 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         run_chaos_campaign,
     )
     if args.faults.strip() == "all":
-        kinds = list(FaultKind)
+        kinds = list(EVALUATOR_FAULT_KINDS)
     else:
         by_value = {kind.value: kind for kind in FaultKind}
         kinds = []
         for token in args.faults.split(","):
-            token = token.strip()
+            token = token.strip().replace("_", "-")
             if token not in by_value:
                 raise ConfigurationError(
                     f"unknown fault kind {token!r}; choose from "
@@ -396,7 +453,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     with _traced(args.trace) as session:
         report = run_chaos_campaign(
             profiles, tec_problem, baseline_problem, plan=plan,
-            resilient=not args.no_resilient, workers=args.workers)
+            resilient=not args.no_resilient, workers=args.workers,
+            supervision=_supervision_from_args(args))
     print(format_chaos_report(report))
     if args.json and report.campaign is not None:
         from .io import save_campaign

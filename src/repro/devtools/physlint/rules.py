@@ -26,6 +26,8 @@ Code        Name                Convention guarded
                                 CLI layer prints.
 ``RPR502``  span-hygiene        Tracer spans and stopwatches are closed on
                                 every path (context manager or try/finally).
+``RPR503``  wall-clock-deadline Deadline and timeout arithmetic uses the
+                                monotonic clock, never ``time.time()``.
 ``RPR601``  process-state       Module globals stay process-safe: no
                                 module-level mutable caches, no unseeded
                                 RNG construction (``repro.exec`` workers).
@@ -1076,3 +1078,107 @@ def _is_closer_stmt(statement: ast.stmt, name: str,
                     kind: str) -> bool:
     return (isinstance(statement, ast.Expr)
             and _is_closer(statement.value, name, kind))
+
+
+# ---------------------------------------------------------------------------
+# RPR503 — wall-clock-deadline
+# ---------------------------------------------------------------------------
+
+#: Call spellings that read the wall clock.
+_WALL_CLOCK_DOTTED = frozenset({"time.time"})
+
+#: Assignment-target name fragments that mark a deadline/timeout value.
+_DEADLINE_NAME_RE = re.compile(
+    r"deadline|timeout|time_out|expir|expires|cutoff|due_at",
+    re.IGNORECASE)
+
+
+def _wall_clock_calls(node: ast.AST) -> List[ast.Call]:
+    """Every ``time.time()`` call in the expression subtree."""
+    return [sub for sub in ast.walk(node)
+            if isinstance(sub, ast.Call)
+            and _dotted_name(sub.func) in _WALL_CLOCK_DOTTED]
+
+
+@rule
+class WallClockDeadlineRule(Rule):
+    """Deadline arithmetic must use the monotonic clock.
+
+    Fail::
+
+        deadline = time.time() + budget
+        while time.time() < deadline:
+            poll()
+
+    Pass::
+
+        deadline = Deadline(budget)       # repro.obs.clock
+        while not deadline.expired:
+            poll()
+    """
+
+    code = "RPR503"
+    name = "wall-clock-deadline"
+
+    def __init__(self, context: LintContext) -> None:
+        super().__init__(context)
+        self._emitted: set = set()
+
+    rationale = (
+        "time.time() follows the wall clock, which NTP slews and "
+        "steps: a deadline computed from it can fire hours early or "
+        "never, and a watchdog comparing wall-clock readings taken in "
+        "different processes compares two unrelated clocks.  Deadline "
+        "and timeout logic goes through repro.obs.clock — "
+        "monotonic(), Deadline, or stopwatch() — which only ever "
+        "moves forward.  Wall-clock reads are fine as metadata "
+        "(timestamps in a report header), just not as operands of "
+        "elapsed-time arithmetic or comparisons.")
+
+    def visit_BinOp(self, node: ast.BinOp) -> None:
+        if isinstance(node.op, (ast.Add, ast.Sub)):
+            self._flag(node)
+        self.generic_visit(node)
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        self._flag(node)
+        self.generic_visit(node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self._check_binding(node.targets, node.value)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._check_binding([node.target], node.value)
+        self.generic_visit(node)
+
+    def _flag(self, node: ast.AST) -> None:
+        for call in _wall_clock_calls(node):
+            if id(call) in self._emitted:
+                continue
+            self._emitted.add(id(call))
+            self.emit(call, (
+                "time.time() used in elapsed-time arithmetic; the "
+                "wall clock jumps under NTP — use "
+                "repro.obs.clock.monotonic() or a Deadline"))
+
+    def _check_binding(self, targets: Sequence[ast.expr],
+                       value: ast.expr) -> None:
+        named = []
+        for target in targets:
+            if isinstance(target, ast.Name):
+                named.append(target.id)
+            elif isinstance(target, ast.Attribute):
+                named.append(target.attr)
+        if not any(_DEADLINE_NAME_RE.search(name) for name in named):
+            return
+        for call in _wall_clock_calls(value):
+            if id(call) in self._emitted:
+                continue
+            self._emitted.add(id(call))
+            self.emit(call, (
+                "deadline/timeout bound to a wall-clock reading; "
+                "time.time() jumps under NTP — arm a "
+                "repro.obs.clock.Deadline (or store monotonic()) "
+                "instead"))

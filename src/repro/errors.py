@@ -107,13 +107,53 @@ class WorkerCrashError(ReproError):
     exception that instead escapes to the worker's chaos boundary is
     a resilience bug in the library itself; the coordinator raises
     this error carrying every worker's report so none is silently
-    dropped.
+    dropped, plus the work-unit labels and attempt counts so a
+    post-mortem names the benchmark/stage that died without replaying
+    the campaign.
     """
 
     def __init__(self, message: str,
-                 reports: Optional[Sequence[str]] = None) -> None:
+                 reports: Optional[Sequence[str]] = None,
+                 units: Optional[Sequence[Tuple[str, int]]] = None,
+                 ) -> None:
         super().__init__(message)
         #: The per-worker ``"ExcType: message"`` strings, in merge
         #: order (empty when the caller did not collect them).
         self.reports: Tuple[str, ...] = \
             tuple(reports) if reports is not None else ()
+        #: ``(unit_label, attempts)`` pairs naming the work units whose
+        #: execution produced the reports, in merge order.  Attempts is
+        #: 1 for the unsupervised pool (which never retries) and the
+        #: final attempt count under supervision.
+        self.units: Tuple[Tuple[str, int], ...] = \
+            tuple((str(label), int(attempts))
+                  for label, attempts in units) if units is not None \
+            else ()
+
+
+class JournalError(ReproError):
+    """A campaign journal could not be opened, read, or written.
+
+    Raised for structural problems that are not data corruption — a
+    missing file on resume, a journal written by a different campaign
+    (fingerprint mismatch), or an unsupported journal version.
+    """
+
+
+class JournalCorruptionError(JournalError):
+    """A campaign journal failed its integrity checks.
+
+    The write-ahead journal chains every record to its predecessor
+    with a blake2b digest; a record whose chain digest does not
+    verify, or two records for the same unit index carrying different
+    payloads, mean the file was tampered with or silently damaged.
+    Only an *incomplete final line* is tolerated (the expected shape
+    of a crash mid-write) — everything before it must verify.
+    """
+
+    def __init__(self, message: str,
+                 record_index: Optional[int] = None) -> None:
+        super().__init__(message)
+        #: Zero-based index of the first record that failed to verify
+        #: (None when the failure is not attributable to one record).
+        self.record_index = record_index

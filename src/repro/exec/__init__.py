@@ -13,6 +13,13 @@ See docs/PARALLELISM.md for the worker model, the determinism
 contract, and the cache-locality story.
 """
 
+from .journal import (
+    JOURNAL_VERSION,
+    JournalRecovery,
+    JournalWriter,
+    read_journal,
+    unit_fingerprint,
+)
 from .scheduler import (
     CampaignMerge,
     START_METHOD_ENV,
@@ -26,12 +33,24 @@ from .scheduler import (
     solve_fields,
     worker_statistics,
 )
+from .supervisor import (
+    QuarantinedUnit,
+    SupervisedOutcome,
+    SupervisionPolicy,
+    run_units_supervised,
+)
 from .units import UNIT_KINDS, UnitResult, WorkUnit, WorkerContext
 from .workers import initialize, run_unit
 
 __all__ = [
     "CampaignMerge",
+    "JOURNAL_VERSION",
+    "JournalRecovery",
+    "JournalWriter",
+    "QuarantinedUnit",
     "START_METHOD_ENV",
+    "SupervisedOutcome",
+    "SupervisionPolicy",
     "UNIT_KINDS",
     "UnitResult",
     "WORKERS_ENV",
@@ -40,11 +59,13 @@ __all__ = [
     "default_chunk",
     "evaluate_points",
     "initialize",
+    "read_journal",
     "resolve_workers",
     "run_campaign_units",
     "run_oftec_units",
     "run_unit",
     "run_units",
     "solve_fields",
+    "unit_fingerprint",
     "worker_statistics",
 ]

@@ -262,10 +262,20 @@ class CampaignMerge:
         errors: ``(benchmark, stage, error_type, message)`` for every
             unit whose pipeline failed terminally — the non-isolated
             path raises from the first of these.
-        fired: Total fault fires per kind value (chaos runs).
+        fired: Total fault fires per kind value (chaos runs; includes
+            process-level kinds under supervision).
         unhandled: Non-library exception lines from workers (the chaos
             contract requires this to stay empty).
+        crashed: ``(unit_label, attempts, message)`` for every
+            unhandled line, so a :class:`~repro.errors.WorkerCrashError`
+            can name the benchmark that died and how many attempts it
+            consumed.
         worker_stats: :func:`worker_statistics` of the run.
+        quarantined: Supervised runs only — units that exhausted their
+            retry budget (:class:`~repro.exec.QuarantinedUnit`).
+        retries: Supervised runs only — attempts beyond the first.
+        circuit_opened: Supervised runs only — True when the run
+            degraded to the serial executor.
     """
 
     comparisons: List[Any] = field(default_factory=list)
@@ -274,7 +284,11 @@ class CampaignMerge:
         default_factory=list)
     fired: Dict[str, int] = field(default_factory=dict)
     unhandled: List[str] = field(default_factory=list)
+    crashed: List[Tuple[str, int, str]] = field(default_factory=list)
     worker_stats: Dict[str, Any] = field(default_factory=dict)
+    quarantined: List[Any] = field(default_factory=list)
+    retries: int = 0
+    circuit_opened: bool = False
 
 
 def run_campaign_units(
@@ -287,14 +301,23 @@ def run_campaign_units(
     policy: Optional[ResiliencePolicy],
     fault_plan: Optional[FaultPlan],
     workers: int,
+    supervision: Optional[Any] = None,
+    journal: Optional[Any] = None,
+    completed: Optional[Mapping[int, UnitResult]] = None,
 ) -> CampaignMerge:
     """Decompose a campaign into benchmark units, run, and merge.
 
     One unit per benchmark; the problem templates travel once per
     worker on the context.  ``fault_plan`` switches the workers to
-    chaos mode (per-unit derived injectors).  The caller owns the
-    surrounding ``campaign`` span and the :class:`CampaignResult`
-    assembly — this function returns the raw merge.
+    chaos mode (per-unit derived injectors).  ``supervision`` (a
+    :class:`~repro.exec.SupervisionPolicy`), ``journal`` (a
+    :class:`~repro.exec.JournalWriter`), or ``completed`` (journaled
+    results keyed by unit index) route the units through the
+    supervised executor — worker death becomes retries/quarantine
+    instead of a raise, and completed units are skipped.  The caller
+    owns the surrounding ``campaign`` span and the
+    :class:`CampaignResult` assembly — this function returns the raw
+    merge.
     """
     context = WorkerContext(
         tec_template=tec_template,
@@ -308,11 +331,38 @@ def run_campaign_units(
         telemetry=_obs.STATE.enabled)
     units = [WorkUnit(index=index, kind="benchmark", name=name)
              for index, name in enumerate(profiles)]
-    results = run_units(context, units, workers)
-    merge = CampaignMerge(worker_stats=worker_statistics(results))
+    supervised = supervision is not None or journal is not None \
+        or bool(completed)
+    merge = CampaignMerge()
+    if supervised:
+        # Late import: supervisor imports this module at its top.
+        from .supervisor import run_units_supervised
+        outcome = run_units_supervised(
+            context, units, workers, policy=supervision,
+            journal=journal, completed=completed)
+        results = outcome.completed
+        merge.quarantined = list(outcome.quarantined)
+        merge.retries = outcome.retries
+        merge.circuit_opened = outcome.circuit_opened
+        for kind, count in outcome.process_fired.items():
+            merge.fired[kind] = merge.fired.get(kind, 0) + count
+    else:
+        results = run_units(context, units, workers)
+    merge.worker_stats = worker_statistics(results)
+    if supervised:
+        merge.worker_stats["supervision"] = {
+            "retries": merge.retries,
+            "replacements": outcome.replacements,
+            "quarantined": len(merge.quarantined),
+            "circuit_opened": merge.circuit_opened,
+            "process_faults_fired": dict(
+                sorted(outcome.process_fired.items())),
+        }
     for result in results:
         merge.failures.extend(result.failures)
         merge.unhandled.extend(result.unhandled)
+        for line in result.unhandled:
+            merge.crashed.append((result.name, 1, line))
         for kind, count in result.fired.items():
             merge.fired[kind] = merge.fired.get(kind, 0) + count
         if result.error is not None:

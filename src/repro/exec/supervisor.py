@@ -1,0 +1,696 @@
+"""Supervised execution: heartbeats, deadlines, retries, quarantine.
+
+The plain pool (:func:`repro.exec.run_units`) assumes workers are
+immortal: a hung SLSQP solve stalls the campaign forever and an
+OOM-killed worker surfaces as a ``BrokenProcessPool`` that forfeits
+every completed unit.  The supervisor replaces the executor with
+directly managed ``multiprocessing`` workers the coordinator can
+actually observe and kill:
+
+* **Heartbeats.**  Each worker runs a daemon thread bumping a shared
+  per-slot counter; the coordinator tracks *when each counter last
+  changed* (its own monotonic clock — nothing compares clocks across
+  processes), kills workers whose beats go silent, and replaces them.
+* **Deadlines.**  Every dispatched unit arms a monotonic
+  :class:`~repro.obs.Deadline`; a worker that holds a unit past it is
+  killed and replaced.  Wall-clock (``time.time``) never participates,
+  so NTP steps and suspend/resume cannot fire or starve a watchdog.
+* **Retries.**  A failed attempt (crash, deadline, silence, unhandled
+  exception) is re-queued with exponential backoff plus deterministic
+  jitter.  Every unit execution re-derives its fault/RNG streams from
+  its own label (see :meth:`repro.faults.FaultPlan.derive`), so a
+  retried unit computes bit-identical physics to an undisturbed run.
+* **Quarantine.**  A unit that fails ``max_attempts`` times is
+  quarantined with its per-attempt post-mortems; the campaign
+  *completes* with a structured ``quarantined`` section instead of
+  raising away every healthy unit's work.
+* **Circuit breaker.**  Repeated pool-level infrastructure failures
+  (workers that cannot even be spawned) open the circuit: an
+  ``exec.circuit_open`` event fires and the remaining units degrade
+  to the in-process serial executor.
+
+Process-level chaos (``worker-kill`` / ``worker-hang`` /
+``worker-slow`` in a :class:`~repro.faults.FaultPlan`) is injected
+*here*, by the supervised worker loop itself — the serial executor and
+the plain pool ignore those kinds, because an unsupervised
+``os._exit`` would take the whole campaign with it.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import queue as _queue
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from ..errors import ConfigurationError
+from ..faults.plan import FaultKind, process_fault_decision
+from ..obs import runtime as _obs
+from ..obs.clock import Deadline, monotonic
+from . import workers as _workers
+from .journal import JournalWriter
+from .scheduler import START_METHOD_ENV, _adopt_telemetry
+from .units import UnitResult, WorkUnit, WorkerContext
+
+#: Exit code a worker dies with when a ``worker-kill`` fault fires —
+#: distinguishable from real crashes in the quarantine post-mortems.
+KILL_EXIT_CODE = 113
+
+#: Stall injected by a ``worker-slow`` fault before the unit runs (s).
+#: Long enough to be visible next to the heartbeat interval, short
+#: enough never to threaten a sane deadline.
+SLOW_FAULT_DELAY_S = 0.25
+
+
+@dataclass(frozen=True)
+class SupervisionPolicy:
+    """Knobs of the supervised executor.
+
+    Attributes:
+        unit_deadline_seconds: Monotonic wall budget per unit attempt
+            (s); a worker holding a unit longer is killed and the
+            attempt counted as failed.
+        heartbeat_interval_seconds: Period of the worker heartbeat
+            thread (s).
+        heartbeat_timeout_seconds: Silence tolerated before a live
+            worker is declared hung and killed (s); must exceed the
+            interval by a comfortable margin.
+        max_attempts: Total attempts per unit before quarantine
+            (1 = never retry).
+        backoff_base_seconds: Delay before the first retry (s).
+        backoff_factor: Multiplier applied per subsequent retry.
+        backoff_max_seconds: Ceiling on any single backoff delay (s).
+        backoff_jitter: Fractional deterministic jitter in
+            ``[0, 1)`` — each (unit, attempt) perturbs its delay by a
+            hash-derived factor in ``[1 - j, 1 + j]``, decorrelating
+            retry bursts without introducing nondeterminism.
+        circuit_breaker_failures: Worker *spawn* failures tolerated
+            before the circuit opens and the remaining units run
+            serially in-process.
+        poll_interval_seconds: Coordinator supervision poll period (s).
+    """
+
+    unit_deadline_seconds: float = 300.0
+    heartbeat_interval_seconds: float = 0.1
+    heartbeat_timeout_seconds: float = 5.0
+    max_attempts: int = 3
+    backoff_base_seconds: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max_seconds: float = 2.0
+    backoff_jitter: float = 0.25
+    circuit_breaker_failures: int = 3
+    poll_interval_seconds: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.unit_deadline_seconds <= 0.0:
+            raise ConfigurationError(
+                f"unit_deadline_seconds must be > 0, got "
+                f"{self.unit_deadline_seconds}")
+        if self.heartbeat_interval_seconds <= 0.0:
+            raise ConfigurationError(
+                f"heartbeat_interval_seconds must be > 0, got "
+                f"{self.heartbeat_interval_seconds}")
+        if self.heartbeat_timeout_seconds \
+                < 2.0 * self.heartbeat_interval_seconds:
+            raise ConfigurationError(
+                "heartbeat_timeout_seconds must be at least twice the "
+                "interval or every healthy worker looks hung")
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.backoff_base_seconds < 0.0:
+            raise ConfigurationError(
+                f"backoff_base_seconds must be >= 0, got "
+                f"{self.backoff_base_seconds}")
+        if self.backoff_factor < 1.0:
+            raise ConfigurationError(
+                f"backoff_factor must be >= 1, got "
+                f"{self.backoff_factor}")
+        if self.backoff_max_seconds < self.backoff_base_seconds:
+            raise ConfigurationError(
+                "backoff_max_seconds must be >= backoff_base_seconds")
+        if not (0.0 <= self.backoff_jitter < 1.0):
+            raise ConfigurationError(
+                f"backoff_jitter must be in [0, 1), got "
+                f"{self.backoff_jitter}")
+        if self.circuit_breaker_failures < 1:
+            raise ConfigurationError(
+                f"circuit_breaker_failures must be >= 1, got "
+                f"{self.circuit_breaker_failures}")
+        if self.poll_interval_seconds <= 0.0:
+            raise ConfigurationError(
+                f"poll_interval_seconds must be > 0, got "
+                f"{self.poll_interval_seconds}")
+
+    def backoff_seconds(self, label: str, attempt: int) -> float:
+        """Delay before retrying ``label`` after failed attempt N (s).
+
+        Exponential in the attempt number, capped, and jittered by a
+        blake2b hash of ``(label, attempt)`` — deterministic, so a
+        replayed campaign schedules byte-identical retries, yet
+        decorrelated across units so a mass failure does not thunder
+        back as one herd.
+        """
+        import hashlib
+        delay = min(
+            self.backoff_base_seconds
+            * self.backoff_factor ** max(attempt - 1, 0),
+            self.backoff_max_seconds)
+        if self.backoff_jitter > 0.0 and delay > 0.0:
+            digest = hashlib.blake2b(
+                f"{label}:{attempt}".encode("utf-8"),
+                digest_size=8).digest()
+            unit_draw = int.from_bytes(digest, "big") / float(2 ** 64)
+            delay *= 1.0 + self.backoff_jitter * (2.0 * unit_draw - 1.0)
+        return delay
+
+
+@dataclass
+class QuarantinedUnit:
+    """Post-mortem of a unit that exhausted its attempts.
+
+    Attributes:
+        index: Submission index of the unit.
+        name: Unit label (benchmark name / chunk id).
+        attempts: Attempts consumed (== policy ``max_attempts``).
+        errors: One ``"reason"`` line per failed attempt, in order.
+    """
+
+    index: int
+    name: str
+    attempts: int
+    errors: List[str] = field(default_factory=list)
+
+
+@dataclass
+class SupervisedOutcome:
+    """Everything a supervised run produced.
+
+    Attributes:
+        results: Per-unit results in submission order; None where the
+            unit was quarantined.
+        quarantined: Post-mortems of the units that never completed.
+        retries: Attempts beyond the first, summed over units.
+        replacements: Workers killed-and-respawned (deadline,
+            heartbeat, crash) plus spawn failures.
+        process_fired: Injected process-level fault fires per kind
+            value (recomputed from the plan — the coordinator never
+            needs the worker to report its own death).
+        circuit_opened: True when the run degraded to the serial
+            executor.
+    """
+
+    results: List[Optional[UnitResult]]
+    quarantined: List[QuarantinedUnit] = field(default_factory=list)
+    retries: int = 0
+    replacements: int = 0
+    process_fired: Dict[str, int] = field(default_factory=dict)
+    circuit_opened: bool = False
+
+    @property
+    def completed(self) -> List[UnitResult]:
+        """The non-quarantined results, in submission order."""
+        return [result for result in self.results if result is not None]
+
+
+def _heartbeat_loop(slot: int, heartbeats: Any, interval: float,
+                    silenced: threading.Event) -> None:
+    """Worker-side daemon: bump the shared slot until silenced."""
+    while not silenced.is_set():
+        with heartbeats.get_lock():
+            heartbeats[slot] += 1.0
+        silenced.wait(interval)
+
+
+def _supervised_main(slot: int, payload: bytes, task_queue: Any,
+                     result_queue: Any, heartbeats: Any,
+                     interval: float) -> None:
+    """Entry point of a supervised worker process.
+
+    Installs the shared context, starts the heartbeat thread, then
+    serves ``(unit, attempt)`` tasks until the ``None`` sentinel.
+    Process-level faults from the context's plan are decided here —
+    deterministically, per (unit label, attempt) — before the unit
+    runs, so the coordinator can recompute every decision without a
+    side channel.
+    """
+    _workers.initialize(payload)
+    silenced = threading.Event()
+    beat = threading.Thread(
+        target=_heartbeat_loop,
+        args=(slot, heartbeats, interval, silenced), daemon=True)
+    beat.start()
+    context = _workers.current_context()
+    plan = context.fault_plan if context is not None else None
+    while True:
+        item = task_queue.get()
+        if item is None:
+            silenced.set()
+            return
+        unit, attempt = item
+        fault = process_fault_decision(plan, unit.name, attempt)
+        if fault is FaultKind.WORKER_KILL:
+            os._exit(KILL_EXIT_CODE)
+        if fault is FaultKind.WORKER_HANG:
+            # A real hang takes the heartbeat with it (a deadlocked
+            # process beats no drums); silencing the thread makes the
+            # injected hang indistinguishable from one.
+            silenced.set()
+            while True:
+                time.sleep(interval)
+        if fault is FaultKind.WORKER_SLOW:
+            time.sleep(SLOW_FAULT_DELAY_S)
+        try:
+            result = _workers.run_unit(unit)
+        except Exception as exc:  # physlint: disable=RPR201
+            # Broad by contract: run_unit already packages library
+            # errors, so anything landing here is outside the library
+            # contract.  The supervisor treats it as a failed attempt
+            # (retry, then quarantine) — raising would kill the worker
+            # and cost a respawn for an error we can report precisely.
+            result = UnitResult(index=unit.index, name=unit.name)
+            result.unhandled.append(f"{type(exc).__name__}: {exc}")
+        result_queue.put((slot, unit.index, attempt, result))
+
+
+class _WorkerHandle:
+    """Coordinator-side view of one supervised worker slot."""
+
+    __slots__ = ("slot", "process", "queue", "unit", "attempt",
+                 "deadline", "last_beat", "beat_seen_at")
+
+    def __init__(self, slot: int) -> None:
+        self.slot = slot
+        self.process: Any = None
+        self.queue: Any = None
+        self.unit: Optional[WorkUnit] = None
+        self.attempt = 0
+        self.deadline: Optional[Deadline] = None
+        self.last_beat = 0.0
+        self.beat_seen_at = 0.0
+
+    @property
+    def busy(self) -> bool:
+        return self.unit is not None
+
+
+def _counter(name: str) -> None:
+    """Increment an obs counter when telemetry is live (else no-op)."""
+    if _obs.STATE.enabled:
+        _obs.STATE.metrics.counter(name).inc()
+
+
+class _Supervisor:
+    """One supervised run: owns the workers, the retry queue, and the
+    quarantine ledger for the duration of :meth:`run`."""
+
+    def __init__(self, context: WorkerContext,
+                 units: Sequence[WorkUnit], workers: int,
+                 policy: SupervisionPolicy,
+                 journal: Optional[JournalWriter],
+                 completed: Optional[Mapping[int, UnitResult]]) -> None:
+        self.context = context
+        self.units = list(units)
+        self.workers = max(int(workers), 1)
+        self.policy = policy
+        self.journal = journal
+        self.outcome = SupervisedOutcome(
+            results=[None] * len(self.units))
+        self._by_index = {unit.index: unit for unit in self.units}
+        self._position = {unit.index: pos
+                          for pos, unit in enumerate(self.units)}
+        self._failures: Dict[int, List[str]] = {}
+        self._pending: List[tuple] = []  # (ready_at, index, attempt)
+        self._quarantined_ids: set = set()
+        self._spawn_failures = 0
+        self._fresh: List[UnitResult] = []
+        seeded = dict(completed or {})
+        for unit in self.units:
+            prior = seeded.get(unit.index)
+            if prior is not None:
+                self.outcome.results[self._position[unit.index]] = prior
+            else:
+                self._pending.append((0.0, unit.index, 1))
+        self._pending.sort()
+
+    # -- lifecycle ----------------------------------------------------
+
+    def run(self) -> SupervisedOutcome:
+        """Execute every non-journaled unit to completion or quarantine."""
+        if not self._pending:
+            return self.outcome
+        payload: Optional[bytes] = None
+        try:
+            payload = pickle.dumps(self.context)
+        except Exception as exc:  # physlint: disable=RPR201
+            # Same broad probe as run_units: unpicklability surfaces
+            # as whatever __reduce__ raises.  An unpicklable context
+            # cannot be supervised across processes, but the serial
+            # path still runs it.
+            _obs.event("exec.pool_fallback", error=type(exc).__name__)
+        if payload is None or self.workers < 2 \
+                or _workers.in_worker():
+            self._run_serial_remaining(self.context)
+            return self.outcome
+        self._run_pool(payload)
+        _adopt_telemetry(
+            sorted(self._fresh, key=lambda r: self._position[r.index]))
+        return self.outcome
+
+    def _run_pool(self, payload: bytes) -> None:
+        import multiprocessing
+        method = os.environ.get(START_METHOD_ENV, "").strip()
+        mp_context = multiprocessing.get_context(method or None)
+        slots = min(self.workers, len(self._pending))
+        heartbeats = mp_context.Array("d", slots)
+        result_queue = mp_context.Queue()
+        handles = [_WorkerHandle(slot) for slot in range(slots)]
+        try:
+            for handle in handles:
+                self._spawn(handle, mp_context, payload, heartbeats,
+                            result_queue)
+                if self._circuit_should_open():
+                    break
+            if not any(h.process is not None and h.process.is_alive()
+                       for h in handles):
+                self._open_circuit(handles)
+                return
+            while not self._finished():
+                if self._circuit_should_open():
+                    self._open_circuit(handles)
+                    return
+                self._dispatch(handles)
+                self._collect(result_queue, handles)
+                self._sweep(handles, mp_context, payload, heartbeats,
+                            result_queue)
+        finally:
+            self._shutdown(handles)
+
+    # -- worker management --------------------------------------------
+
+    def _spawn(self, handle: _WorkerHandle, mp_context: Any,
+               payload: bytes, heartbeats: Any,
+               result_queue: Any) -> None:
+        """(Re)start the worker process occupying ``handle``'s slot."""
+        handle.queue = mp_context.Queue()
+        process = mp_context.Process(
+            target=_supervised_main,
+            args=(handle.slot, payload, handle.queue, result_queue,
+                  heartbeats, self.policy.heartbeat_interval_seconds),
+            daemon=True)
+        try:
+            process.start()
+        except OSError as exc:
+            handle.process = None
+            self._spawn_failures += 1
+            self.outcome.replacements += 1
+            _obs.event("exec.worker_spawn_failed", slot=handle.slot,
+                       error=type(exc).__name__)
+            _counter("exec.supervisor.spawn_failures")
+            return
+        handle.process = process
+        handle.unit = None
+        handle.attempt = 0
+        handle.deadline = None
+        handle.last_beat = heartbeats[handle.slot]
+        handle.beat_seen_at = monotonic()
+
+    def _kill(self, handle: _WorkerHandle) -> None:
+        """Forcibly stop the process in ``handle``'s slot."""
+        process = handle.process
+        if process is None:
+            return
+        if process.is_alive():
+            process.terminate()
+            process.join(1.0)
+            if process.is_alive():
+                process.kill()
+                process.join(1.0)
+        if handle.queue is not None:
+            handle.queue.cancel_join_thread()
+        handle.process = None
+
+    def _replace(self, handle: _WorkerHandle, reason: str,
+                 mp_context: Any, payload: bytes, heartbeats: Any,
+                 result_queue: Any) -> None:
+        """Kill and respawn one worker, accounting the replacement."""
+        self._kill(handle)
+        self.outcome.replacements += 1
+        _obs.event("exec.worker_replaced", slot=handle.slot,
+                   reason=reason)
+        _counter("exec.supervisor.replacements")
+        self._spawn(handle, mp_context, payload, heartbeats,
+                    result_queue)
+
+    def _shutdown(self, handles: Sequence[_WorkerHandle]) -> None:
+        """Stop every worker; gentle sentinel first, then terminate."""
+        for handle in handles:
+            if handle.process is not None and handle.process.is_alive()\
+                    and handle.queue is not None and not handle.busy:
+                try:
+                    handle.queue.put(None)
+                except (OSError, ValueError):
+                    pass
+        deadline = Deadline(1.0)
+        for handle in handles:
+            process = handle.process
+            if process is not None and process.is_alive():
+                process.join(max(deadline.remaining(), 0.05))
+        for handle in handles:
+            self._kill(handle)
+
+    # -- scheduling ---------------------------------------------------
+
+    def _finished(self) -> bool:
+        done = sum(1 for result in self.outcome.results
+                   if result is not None)
+        return done + len(self.outcome.quarantined) >= len(self.units)
+
+    def _dispatch(self, handles: Sequence[_WorkerHandle]) -> None:
+        """Hand ready units to idle live workers, lowest index first."""
+        now = monotonic()
+        for handle in handles:
+            if handle.busy or handle.process is None \
+                    or not handle.process.is_alive():
+                continue
+            # Purge retries whose unit a kill-raced late result has
+            # already completed, then take the first ready entry.
+            self._pending = [
+                entry for entry in self._pending
+                if self.outcome.results[self._position[entry[1]]]
+                is None and entry[1] not in self._quarantined_ids]
+            chosen = None
+            for position, (ready_at, index, attempt) in \
+                    enumerate(self._pending):
+                if ready_at <= now:
+                    chosen = position
+                    break
+            if chosen is None:
+                return
+            ready_at, index, attempt = self._pending.pop(chosen)
+            unit = self._by_index[index]
+            fault = process_fault_decision(self.context.fault_plan,
+                                           unit.name, attempt)
+            if fault is not None:
+                self.outcome.process_fired[fault.value] = \
+                    self.outcome.process_fired.get(fault.value, 0) + 1
+                _counter(f"faults.injected.{fault.value}")
+            handle.queue.put((unit, attempt))
+            handle.unit = unit
+            handle.attempt = attempt
+            handle.deadline = Deadline(
+                self.policy.unit_deadline_seconds)
+            handle.beat_seen_at = now
+
+    def _collect(self, result_queue: Any,
+                 handles: Sequence[_WorkerHandle]) -> None:
+        """Drain finished attempts; block briefly as the poll sleep."""
+        block = True
+        while True:
+            try:
+                message = result_queue.get(
+                    timeout=self.policy.poll_interval_seconds
+                    if block else 0.0)
+            except _queue.Empty:
+                return
+            block = False
+            slot, index, attempt, result = message
+            owner = None
+            for handle in handles:
+                if handle.busy and handle.unit.index == index \
+                        and handle.attempt == attempt:
+                    owner = handle
+                    break
+            if owner is not None:
+                owner.unit = None
+                owner.deadline = None
+            position = self._position.get(index)
+            if position is None \
+                    or self.outcome.results[position] is not None \
+                    or index in self._quarantined_ids:
+                continue  # stale duplicate from a replaced worker
+            if result.unhandled:
+                for line in result.unhandled:
+                    self._attempt_failed(index, attempt,
+                                         f"unhandled: {line}")
+            else:
+                self._complete(result)
+
+    def _sweep(self, handles: Sequence[_WorkerHandle], mp_context: Any,
+               payload: bytes, heartbeats: Any,
+               result_queue: Any) -> None:
+        """Deadline/heartbeat/liveness pass over the busy workers."""
+        now = monotonic()
+        for handle in handles:
+            process = handle.process
+            if process is None:
+                if not self._circuit_should_open():
+                    self._spawn(handle, mp_context, payload,
+                                heartbeats, result_queue)
+                continue
+            beat = heartbeats[handle.slot]
+            if beat != handle.last_beat:
+                handle.last_beat = beat
+                handle.beat_seen_at = now
+            if not handle.busy:
+                if not process.is_alive():
+                    # Idle death is infrastructure, not unit failure.
+                    self._spawn_failures += 1
+                    self._replace(handle, "idle-death", mp_context,
+                                  payload, heartbeats, result_queue)
+                continue
+            index = handle.unit.index
+            attempt = handle.attempt
+            if not process.is_alive():
+                code = process.exitcode
+                self._attempt_failed(
+                    index, attempt,
+                    f"worker died with exit code {code}")
+                self._replace(handle, "crash", mp_context, payload,
+                              heartbeats, result_queue)
+            elif handle.deadline is not None \
+                    and handle.deadline.expired:
+                self._attempt_failed(
+                    index, attempt,
+                    f"unit deadline exceeded "
+                    f"({self.policy.unit_deadline_seconds:g} s)")
+                _counter("exec.supervisor.deadline_kills")
+                self._replace(handle, "deadline", mp_context, payload,
+                              heartbeats, result_queue)
+            elif now - handle.beat_seen_at \
+                    > self.policy.heartbeat_timeout_seconds:
+                self._attempt_failed(
+                    index, attempt,
+                    f"worker heartbeats silent for "
+                    f"{self.policy.heartbeat_timeout_seconds:g} s")
+                _counter("exec.supervisor.heartbeat_kills")
+                self._replace(handle, "heartbeat", mp_context,
+                              payload, heartbeats, result_queue)
+
+    # -- attempt bookkeeping ------------------------------------------
+
+    def _complete(self, result: UnitResult) -> None:
+        """Record a successful unit: merge slot, journal, telemetry."""
+        position = self._position[result.index]
+        self.outcome.results[position] = result
+        self._fresh.append(result)
+        if self.journal is not None:
+            self.journal.append(result)
+
+    def _attempt_failed(self, index: int, attempt: int,
+                        reason: str) -> None:
+        """Count one failed attempt; schedule a retry or quarantine."""
+        failures = self._failures.setdefault(index, [])
+        failures.append(reason)
+        unit = self._by_index[index]
+        if attempt >= self.policy.max_attempts:
+            self._quarantined_ids.add(index)
+            self.outcome.quarantined.append(QuarantinedUnit(
+                index=index, name=unit.name, attempts=attempt,
+                errors=list(failures)))
+            _obs.event("exec.quarantine", unit=unit.name,
+                       attempts=attempt)
+            _counter("exec.supervisor.quarantined")
+            return
+        self.outcome.retries += 1
+        delay = self.policy.backoff_seconds(unit.name, attempt)
+        ready_at = monotonic() + delay
+        _obs.event("exec.retry", unit=unit.name, attempt=attempt,
+                   reason=reason, backoff_seconds=delay)
+        _counter("exec.supervisor.retries")
+        self._pending.append((ready_at, index, attempt + 1))
+        self._pending.sort()
+
+    # -- degraded paths -----------------------------------------------
+
+    def _circuit_should_open(self) -> bool:
+        return self._spawn_failures \
+            >= self.policy.circuit_breaker_failures
+
+    def _open_circuit(self, handles: Sequence[_WorkerHandle]) -> None:
+        """Degrade: stop the pool, run the rest in-process serially."""
+        self.outcome.circuit_opened = True
+        _obs.event("exec.circuit_open",
+                   spawn_failures=self._spawn_failures)
+        _counter("exec.supervisor.circuit_open")
+        self._shutdown(handles)
+        self._run_serial_remaining(self.context)
+
+    def _run_serial_remaining(self, context: WorkerContext) -> None:
+        """Run every still-incomplete unit through the serial shim.
+
+        Process-level faults do not fire here — there is no worker to
+        kill that is not also the coordinator — and in-process library
+        failures are structured *results*, so no retry loop applies;
+        this is exactly the plain serial executor plus journaling.
+        """
+        remaining = [unit for unit in self.units
+                     if self.outcome.results[self._position[unit.index]]
+                     is None and unit.index not in self._quarantined_ids]
+        if not remaining:
+            return
+        previous = _workers.install_runtime(context)
+        try:
+            for unit in remaining:
+                self._complete(_workers.run_unit(unit))
+        finally:
+            _workers.restore_runtime(previous)
+        self._pending = []
+
+
+def run_units_supervised(
+    context: WorkerContext,
+    units: Sequence[WorkUnit],
+    workers: int,
+    policy: Optional[SupervisionPolicy] = None,
+    journal: Optional[JournalWriter] = None,
+    completed: Optional[Mapping[int, UnitResult]] = None,
+) -> SupervisedOutcome:
+    """Run units under supervision; never raises for worker death.
+
+    The supervised counterpart of :func:`repro.exec.run_units`: same
+    submission-order merge and bit-identical results, but worker
+    crashes, hangs, and slowdowns are absorbed by retries and — past
+    ``policy.max_attempts`` — quarantine.  ``journal`` durably records
+    every completed unit; ``completed`` (from
+    :func:`repro.exec.read_journal`) pre-seeds results so a resumed
+    campaign skips finished work.  ``workers < 2`` runs the serial
+    executor with journaling (nothing to supervise in-process).
+    """
+    supervisor = _Supervisor(context, units, workers,
+                             policy or SupervisionPolicy(),
+                             journal, completed)
+    return supervisor.run()
+
+
+__all__ = [
+    "KILL_EXIT_CODE",
+    "QuarantinedUnit",
+    "SLOW_FAULT_DELAY_S",
+    "SupervisedOutcome",
+    "SupervisionPolicy",
+    "run_units_supervised",
+]

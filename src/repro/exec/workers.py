@@ -74,6 +74,18 @@ def in_worker() -> bool:
     return _RUNTIME is not None
 
 
+def current_context() -> Optional[WorkerContext]:
+    """The installed worker context, or None outside a worker.
+
+    The supervised worker loop reads the shared
+    :class:`~repro.exec.units.WorkerContext` back (for the fault plan
+    driving process-level injection) without reaching into the private
+    runtime holder.
+    """
+    runtime = _RUNTIME
+    return runtime.context if runtime is not None else None
+
+
 def install_runtime(context: WorkerContext,
                     ) -> Optional[_WorkerRuntime]:
     """Install a context object; return the displaced runtime.

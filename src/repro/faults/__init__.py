@@ -14,13 +14,26 @@ from .inject import (
     FaultyEvaluator,
     FaultyNetwork,
 )
-from .plan import FaultKind, FaultPlan, FaultSpec, full_fault_plan
+from .plan import (
+    EVALUATOR_FAULT_KINDS,
+    PROCESS_FAULT_KINDS,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    full_fault_plan,
+    process_fault_decision,
+    process_fault_plan,
+)
 
 __all__ = [
     "FaultKind",
     "FaultSpec",
     "FaultPlan",
     "full_fault_plan",
+    "process_fault_plan",
+    "process_fault_decision",
+    "EVALUATOR_FAULT_KINDS",
+    "PROCESS_FAULT_KINDS",
     "FaultInjector",
     "FaultyEvaluator",
     "FaultyNetwork",

@@ -62,6 +62,7 @@ def run_chaos_campaign(
     method: str = "slsqp",
     resilient: bool = True,
     workers: Optional[int] = None,
+    supervision: Optional[object] = None,
 ) -> ChaosReport:
     """Run the benchmark campaign with fault injection turned on.
 
@@ -69,7 +70,12 @@ def run_chaos_campaign(
         profiles: Benchmark name -> power profile.
         tec_problem_template: TEC-equipped problem template.
         baseline_problem_template: Matching no-TEC template.
-        plan: Fault plan (default: every kind at the default rate).
+        plan: Fault plan (default: every evaluator-level kind at the
+            default rate).  Process-level kinds (``worker-kill`` /
+            ``worker-hang`` / ``worker-slow``) auto-engage the
+            supervised executor on parallel runs and are inert on
+            serial ones (an unsupervised ``os._exit`` would kill the
+            coordinator itself).
         method: Leading solver backend.
         resilient: Route OFTEC stages through the fallback ladder
             (False stresses the campaign-level isolation alone).
@@ -84,14 +90,22 @@ def run_chaos_campaign(
             contained per unit, so a parallel chaos report can carry
             both a partial campaign and a non-empty ``unhandled``
             list.
+        supervision: A :class:`repro.exec.SupervisionPolicy` routing
+            the parallel path through the supervised executor (worker
+            death becomes retries/quarantine).  Defaults to the stock
+            policy when the plan carries process-level kinds.
     """
     plan = plan if plan is not None else full_fault_plan()
     from ..exec import resolve_workers
     worker_count = resolve_workers(workers)
+    if supervision is None and plan.process_kinds and \
+            worker_count >= 1:
+        from ..exec import SupervisionPolicy
+        supervision = SupervisionPolicy()
     if worker_count >= 1:
         return _run_chaos_parallel(
             profiles, tec_problem_template, baseline_problem_template,
-            plan, method, resilient, worker_count)
+            plan, method, resilient, worker_count, supervision)
     injector = FaultInjector(plan)
     report = ChaosReport(plan=plan)
     watch = stopwatch("chaos.wall_seconds")
@@ -131,6 +145,7 @@ def _run_chaos_parallel(
     method: str,
     resilient: bool,
     workers: int,
+    supervision: Optional[object] = None,
 ) -> ChaosReport:
     """Chaos campaign over the parallel engine.
 
@@ -138,7 +153,8 @@ def _run_chaos_parallel(
     benchmark unit builds a :class:`FaultyEvaluator` around its own
     derived injector, and fault events land on that unit's worker
     spans (adopted under the coordinating ``unit`` span).  Fires are
-    summed across units into :attr:`ChaosReport.fired`.
+    summed across units into :attr:`ChaosReport.fired` — including
+    process-level fires when the supervised executor is engaged.
     """
     from ..exec import run_campaign_units
     report = ChaosReport(plan=plan)
@@ -148,7 +164,7 @@ def _run_chaos_parallel(
             profiles, tec_problem_template, baseline_problem_template,
             method=method, include_tec_only=False,
             resilient=resilient, policy=None, fault_plan=plan,
-            workers=workers)
+            workers=workers, supervision=supervision)
         report.unhandled.extend(merge.unhandled)
         for text in merge.unhandled:
             _obs.event("chaos.unhandled",
@@ -158,6 +174,7 @@ def _run_chaos_parallel(
             comparisons=merge.comparisons,
             t_max=tec_problem_template.limits.t_max,
             failures=merge.failures,
+            quarantined=list(merge.quarantined),
             worker_stats=merge.worker_stats)
         report.campaign = campaign
     report.campaign.wall_seconds = watch.elapsed
@@ -188,6 +205,14 @@ def format_chaos_report(report: ChaosReport) -> str:
             lines.append(
                 f"  - {failure.benchmark} [{failure.stage}] "
                 f"{failure.error_type}: {failure.message}")
+        if report.campaign.quarantined:
+            lines.append(
+                f"quarantined units: "
+                f"{len(report.campaign.quarantined)}")
+            for entry in report.campaign.quarantined:
+                lines.append(
+                    f"  - {entry.name} after {entry.attempts} "
+                    f"attempt(s): {entry.errors[-1] if entry.errors else '?'}")
     for text in report.unhandled:
         lines.append(f"UNHANDLED: {text}")
     return "\n".join(lines)

@@ -24,6 +24,7 @@ from .results import (
     evaluation_to_dict,
     failure_report_to_dict,
     oftec_result_to_dict,
+    quarantined_to_dict,
     save_campaign,
 )
 
@@ -45,6 +46,7 @@ __all__ = [
     "baseline_result_to_dict",
     "attempt_to_dict",
     "failure_report_to_dict",
+    "quarantined_to_dict",
     "comparison_to_dict",
     "campaign_to_dict",
     "canonicalize",

@@ -124,6 +124,21 @@ def failure_report_to_dict(report: FailureReport) -> dict:
     return payload
 
 
+def quarantined_to_dict(entry) -> dict:
+    """Serialize one quarantined unit (supervised campaigns).
+
+    ``entry`` is a :class:`repro.exec.QuarantinedUnit`; the per-attempt
+    error lines ride along verbatim so the JSON is a complete
+    post-mortem of why the unit never completed.
+    """
+    return {
+        "unit": entry.name,
+        "index": entry.index,
+        "attempts": entry.attempts,
+        "errors": list(entry.errors),
+    }
+
+
 #: Keys zeroed by canonical serialization: every field whose value
 #: depends on wall-clock timing rather than on the computed physics.
 VOLATILE_KEYS = frozenset({
@@ -185,6 +200,9 @@ def campaign_to_dict(campaign: CampaignResult,
     if campaign.failures:
         payload["failures"] = [failure_report_to_dict(f)
                                for f in campaign.failures]
+    if campaign.quarantined:
+        payload["quarantined"] = [quarantined_to_dict(entry)
+                                  for entry in campaign.quarantined]
     if campaign.comparable_benchmarks():
         payload["power_saving_vs_variable"] = \
             campaign.average_power_saving("variable-omega")

@@ -15,7 +15,7 @@ session, instrumented seams cost one attribute check and results are
 bit-identical to an un-instrumented build.
 """
 
-from .clock import Stopwatch, monotonic, stopwatch
+from .clock import Deadline, Stopwatch, deadline, monotonic, stopwatch
 from .export import (
     TRACE_FORMAT_VERSION,
     format_trace_summary,
@@ -51,6 +51,8 @@ from .tracing import NoopTracer, Span, SpanEvent, Tracer
 __all__ = [
     "Counter",
     "DEFAULT_COUNT_BUCKETS",
+    "Deadline",
+    "deadline",
     "DEFAULT_TIME_BUCKETS_S",
     "Gauge",
     "Histogram",

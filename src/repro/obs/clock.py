@@ -85,4 +85,53 @@ def stopwatch(metric: Optional[str] = None) -> Stopwatch:
     return Stopwatch(metric=metric)
 
 
-__all__ = ["Stopwatch", "monotonic", "stopwatch"]
+class Deadline:
+    """A monotonic deadline: ``budget`` seconds from construction.
+
+    Wall-clock arithmetic (``time.time() + budget``) misfires when the
+    system clock steps — NTP corrections and suspend/resume can fire a
+    deadline instantly or starve it forever.  A :class:`Deadline` is
+    anchored to the monotonic clock instead, so only *elapsed process
+    time* counts.  Supervisors poll :attr:`expired`; sleepers size
+    their waits with :meth:`remaining`.
+
+    Args:
+        budget: Seconds until expiry, > 0 (s).
+    """
+
+    __slots__ = ("budget", "_armed_at")
+
+    def __init__(self, budget: float):
+        if budget <= 0.0:
+            from ..errors import ConfigurationError
+            raise ConfigurationError(
+                f"deadline budget must be > 0 s, got {budget}")
+        self.budget = float(budget)
+        self._armed_at = monotonic()
+
+    @property
+    def expired(self) -> bool:
+        """True once ``budget`` monotonic seconds have elapsed."""
+        return monotonic() - self._armed_at >= self.budget
+
+    def remaining(self) -> float:
+        """Monotonic seconds left before expiry (clamped at 0.0, s)."""
+        left = self.budget - (monotonic() - self._armed_at)
+        return left if left > 0.0 else 0.0
+
+    def elapsed(self) -> float:
+        """Monotonic seconds since the deadline was armed (s)."""
+        return monotonic() - self._armed_at
+
+    def restart(self) -> None:
+        """Re-arm the full budget from now."""
+        self._armed_at = monotonic()
+
+
+def deadline(budget: float) -> Deadline:
+    """A freshly armed :class:`Deadline` of ``budget`` seconds."""
+    return Deadline(budget)
+
+
+__all__ = ["Deadline", "Stopwatch", "deadline", "monotonic",
+           "stopwatch"]

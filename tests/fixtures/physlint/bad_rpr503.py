@@ -1,0 +1,23 @@
+"""Known-bad fixture for RPR503 (wall-clock-deadline)."""
+
+import time
+
+
+def wait_for_result(poller, budget):
+    deadline = time.time() + budget  # BAD: wall-clock deadline
+    while time.time() < deadline:  # BAD: wall-clock comparison
+        if poller.ready():
+            return poller.value
+    return None
+
+
+def remaining_budget(deadline):
+    return deadline - time.time()  # BAD: elapsed-time arithmetic
+
+
+class Watchdog:
+    def arm(self):
+        self.timeout_at = time.time()  # BAD: timeout from wall clock
+
+    def tripped(self):
+        return time.time() > self.timeout_at  # BAD: comparison

@@ -1,0 +1,31 @@
+"""Known-good fixture for RPR503 (wall-clock-deadline)."""
+
+import time
+
+from repro.obs.clock import Deadline, monotonic
+
+
+def wait_for_result(poller, budget):
+    deadline = Deadline(budget)
+    while not deadline.expired:
+        if poller.ready():
+            return poller.value
+    return None
+
+
+def remaining_budget(deadline):
+    return deadline.remaining()
+
+
+def trace_header():
+    # Wall-clock reads are fine as metadata; only elapsed-time
+    # arithmetic and deadline bindings are flagged.
+    return {"created_unix": time.time()}
+
+
+class Watchdog:
+    def arm(self):
+        self.armed_at = monotonic()
+
+    def tripped(self, budget):
+        return monotonic() - self.armed_at > budget

@@ -11,6 +11,8 @@ from repro.errors import (
     SolveTimeoutError,
 )
 from repro.faults import (
+    EVALUATOR_FAULT_KINDS,
+    PROCESS_FAULT_KINDS,
     INJECTED_CONDITION_ESTIMATE,
     INJECTED_DIVERGENCE_TEMPERATURE,
     FaultInjector,
@@ -53,12 +55,16 @@ class TestFaultPlan:
         with pytest.raises(ConfigurationError):
             FaultSpec(kind=FaultKind.NAN_POWER, max_fires=0)
 
-    def test_full_plan_covers_every_kind(self):
+    def test_full_plan_covers_every_evaluator_kind(self):
         plan = full_fault_plan(seed=3, rate=0.1)
-        assert set(plan.kinds) == set(FaultKind)
-        for kind in FaultKind:
+        # Process-level kinds are deliberately excluded: they are
+        # inert without supervision and must be named explicitly.
+        assert set(plan.kinds) == set(EVALUATOR_FAULT_KINDS)
+        for kind in EVALUATOR_FAULT_KINDS:
             spec = plan.spec_for(kind)
             assert spec is not None and spec.rate == 0.1
+        for kind in PROCESS_FAULT_KINDS:
+            assert plan.spec_for(kind) is None
 
     def test_spec_for_uncovered_kind(self):
         plan = single_fault_plan(FaultKind.NAN_POWER)
@@ -239,8 +245,10 @@ class TestChaosCampaign:
         # The chaos contract: no exception escapes, ever.
         assert report.ok, report.unhandled
         assert report.unhandled == []
-        # Every fault kind actually exercised the stack.
-        assert set(report.fired) == {kind.value for kind in FaultKind}
+        # Every evaluator-level fault kind actually exercised the
+        # stack (process-level kinds only fire under supervision).
+        assert set(report.fired) == {
+            kind.value for kind in EVALUATOR_FAULT_KINDS}
         assert all(count > 0 for count in report.fired.values())
         # Partial results: every benchmark either completed or left a
         # structured failure report naming it.

@@ -1,0 +1,273 @@
+"""Crash-consistent journal: chain verification, recovery, resume."""
+
+import base64
+import hashlib
+import json
+import pickle
+
+import pytest
+
+from repro import build_cooling_problem
+from repro.analysis import run_campaign
+from repro.errors import (
+    ConfigurationError,
+    JournalCorruptionError,
+    JournalError,
+)
+from repro.exec import (
+    JOURNAL_VERSION,
+    JournalWriter,
+    UnitResult,
+    read_journal,
+    unit_fingerprint,
+)
+from repro.exec.journal import _CHAIN_ROOT, _encode_body, _record_digest
+from repro.io import campaign_to_dict
+
+
+def make_result(index, name=None):
+    return UnitResult(index=index, name=name or f"unit-{index}",
+                      value=("payload", index))
+
+
+def write_journal(path, count=3, meta=None):
+    with JournalWriter(str(path), meta=meta) as journal:
+        for index in range(count):
+            journal.append(make_result(index))
+    return str(path)
+
+
+class TestRoundTrip:
+    def test_results_and_meta_survive(self, tmp_path):
+        meta = {"fingerprint": "abc", "job": "campaign"}
+        path = write_journal(tmp_path / "j.jsonl", count=3, meta=meta)
+        recovery = read_journal(path)
+        assert recovery.meta == meta
+        assert recovery.records == 3
+        assert not recovery.truncated
+        assert sorted(recovery.results) == [0, 1, 2]
+        assert recovery.results[1].value == ("payload", 1)
+
+    def test_append_is_idempotent_per_index(self, tmp_path):
+        with JournalWriter(str(tmp_path / "j.jsonl")) as journal:
+            journal.append(make_result(0))
+            journal.append(make_result(0))
+            journal.append(make_result(1))
+        recovery = read_journal(str(tmp_path / "j.jsonl"))
+        assert recovery.records == 2
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(JournalError):
+            read_journal(str(tmp_path / "nope.jsonl"))
+
+    def test_fingerprint_depends_on_names_and_job(self):
+        base = unit_fingerprint(("a", "b"), "campaign")
+        assert unit_fingerprint(("a", "b"), "campaign") == base
+        assert unit_fingerprint(("b", "a"), "campaign") != base
+        assert unit_fingerprint(("a", "b"), "sweep") != base
+
+
+class TestCorruption:
+    def test_truncated_final_record_is_tolerated(self, tmp_path):
+        path = write_journal(tmp_path / "j.jsonl", count=3)
+        with open(path, "rb") as handle:
+            data = handle.read()
+        with open(path, "wb") as handle:
+            handle.write(data[:-30])  # chop into the final record
+        recovery = read_journal(path)
+        assert recovery.truncated
+        assert recovery.records == 2
+        assert sorted(recovery.results) == [0, 1]
+
+    def test_mid_file_garbage_raises_with_index(self, tmp_path):
+        path = write_journal(tmp_path / "j.jsonl", count=3)
+        lines = open(path, "rb").read().splitlines()
+        lines[2] = b"{not json"
+        with open(path, "wb") as handle:
+            handle.write(b"\n".join(lines) + b"\n")
+        with pytest.raises(JournalCorruptionError) as excinfo:
+            read_journal(path)
+        assert excinfo.value.record_index == 2
+
+    def test_tampered_payload_breaks_the_chain(self, tmp_path):
+        path = write_journal(tmp_path / "j.jsonl", count=3)
+        lines = open(path, "rb").read().splitlines()
+        record = json.loads(lines[1])
+        record["unit"] = "forged"
+        lines[1] = json.dumps(record, sort_keys=True,
+                              separators=(",", ":")).encode()
+        with open(path, "wb") as handle:
+            handle.write(b"\n".join(lines) + b"\n")
+        with pytest.raises(JournalCorruptionError) as excinfo:
+            read_journal(path)
+        assert excinfo.value.record_index == 1
+
+    def test_duplicate_identical_record_is_idempotent(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        journal = JournalWriter(path)
+        journal.append(make_result(0))
+        # Replay of an acknowledged append: same body, valid chain.
+        payload = pickle.dumps(journal.completed[0])
+        journal._write({
+            "kind": "unit", "index": 0, "unit": "unit-0",
+            "payload": base64.b64encode(payload).decode("ascii")})
+        journal.close()
+        recovery = read_journal(path)
+        assert recovery.records == 1
+
+    def test_duplicate_conflicting_record_is_corruption(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        journal = JournalWriter(path)
+        journal.append(make_result(0))
+        payload = pickle.dumps(make_result(0, name="impostor"))
+        journal._write({
+            "kind": "unit", "index": 0, "unit": "impostor",
+            "payload": base64.b64encode(payload).decode("ascii")})
+        journal.close()
+        with pytest.raises(JournalCorruptionError) as excinfo:
+            read_journal(path)
+        assert excinfo.value.record_index == 2
+
+    def test_unknown_record_kind_is_corruption(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        journal = JournalWriter(path)
+        journal._write({"kind": "mystery"})
+        journal.append(make_result(0))
+        journal.close()
+        with pytest.raises(JournalCorruptionError):
+            read_journal(path)
+
+    def test_missing_header_is_corruption(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        body = {"kind": "unit", "index": 0, "unit": "u",
+                "payload": base64.b64encode(
+                    pickle.dumps(make_result(0))).decode("ascii")}
+        record = dict(body)
+        record["digest"] = _record_digest(_CHAIN_ROOT,
+                                          _encode_body(body))
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, sort_keys=True,
+                                    separators=(",", ":")) + "\n")
+        with pytest.raises(JournalCorruptionError) as excinfo:
+            read_journal(path)
+        assert excinfo.value.record_index == 0
+
+    def test_unsupported_version_raises(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        body = {"kind": "header", "version": JOURNAL_VERSION + 7,
+                "meta": {}}
+        record = dict(body)
+        record["digest"] = _record_digest(_CHAIN_ROOT,
+                                          _encode_body(body))
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, sort_keys=True,
+                                    separators=(",", ":")) + "\n")
+        with pytest.raises(JournalError):
+            read_journal(path)
+
+
+class TestResumeWriter:
+    def test_resume_continues_the_chain(self, tmp_path):
+        path = write_journal(tmp_path / "j.jsonl", count=2,
+                             meta={"fingerprint": "fp"})
+        with JournalWriter(path, meta={"fingerprint": "fp"},
+                           resume=True) as journal:
+            assert sorted(journal.completed) == [0, 1]
+            journal.append(make_result(2))
+        recovery = read_journal(path)
+        assert recovery.records == 3
+        assert not recovery.truncated
+
+    def test_resume_rewrites_a_truncated_tail(self, tmp_path):
+        path = write_journal(tmp_path / "j.jsonl", count=3,
+                             meta={"fingerprint": "fp"})
+        with open(path, "rb") as handle:
+            data = handle.read()
+        with open(path, "wb") as handle:
+            handle.write(data[:-25])
+        with JournalWriter(path, meta={"fingerprint": "fp"},
+                           resume=True) as journal:
+            assert sorted(journal.completed) == [0, 1]
+            journal.append(make_result(2))
+        recovery = read_journal(path)
+        assert recovery.records == 3
+        assert not recovery.truncated
+
+    def test_foreign_fingerprint_is_rejected(self, tmp_path):
+        path = write_journal(tmp_path / "j.jsonl", count=1,
+                             meta={"fingerprint": "theirs"})
+        with pytest.raises(JournalError):
+            JournalWriter(path, meta={"fingerprint": "ours"},
+                          resume=True)
+
+
+@pytest.fixture(scope="module")
+def journal_problems(profiles):
+    tec = build_cooling_problem(profiles["basicmath"],
+                                grid_resolution=4)
+    base = build_cooling_problem(profiles["basicmath"], with_tec=False,
+                                 grid_resolution=4)
+    return tec, base
+
+
+def canonical_digest(campaign):
+    payload = campaign_to_dict(campaign, canonical=True)
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+class TestCampaignResume:
+    def test_journal_and_resume_are_bit_identical(self, profiles,
+                                                  journal_problems,
+                                                  tmp_path):
+        tec, base = journal_problems
+        subset = dict(list(profiles.items())[:2])
+        serial = run_campaign(subset, tec, base, workers=0)
+
+        path = str(tmp_path / "campaign.journal")
+        journaled = run_campaign(subset, tec, base, workers=1,
+                                 journal_path=path)
+        assert canonical_digest(journaled) == canonical_digest(serial)
+
+        # Simulate a crash after the first completed unit: keep the
+        # header plus one unit record, then resume.
+        lines = open(path, "rb").read().splitlines()
+        with open(path, "wb") as handle:
+            handle.write(b"\n".join(lines[:2]) + b"\n")
+        resumed = run_campaign(subset, tec, base, workers=1,
+                               resume_from=path)
+        assert canonical_digest(resumed) == canonical_digest(serial)
+        recovery = read_journal(path)
+        assert recovery.records == len(subset)
+
+    def test_fully_journaled_run_replays_without_solving(
+            self, profiles, journal_problems, tmp_path):
+        tec, base = journal_problems
+        subset = dict(list(profiles.items())[:2])
+        path = str(tmp_path / "campaign.journal")
+        first = run_campaign(subset, tec, base, workers=1,
+                             journal_path=path)
+        replay = run_campaign(subset, tec, base, workers=1,
+                              resume_from=path)
+        assert canonical_digest(replay) == canonical_digest(first)
+
+    def test_journal_and_resume_are_exclusive(self, profiles,
+                                              journal_problems,
+                                              tmp_path):
+        tec, base = journal_problems
+        subset = {"basicmath": profiles["basicmath"]}
+        with pytest.raises(ConfigurationError):
+            run_campaign(subset, tec, base,
+                         journal_path=str(tmp_path / "a"),
+                         resume_from=str(tmp_path / "b"))
+
+    def test_resume_rejects_foreign_campaign(self, profiles,
+                                             journal_problems,
+                                             tmp_path):
+        tec, base = journal_problems
+        subset = dict(list(profiles.items())[:2])
+        path = str(tmp_path / "campaign.journal")
+        run_campaign(subset, tec, base, workers=1, journal_path=path)
+        other = dict(list(profiles.items())[2:4])
+        with pytest.raises(JournalError):
+            run_campaign(other, tec, base, workers=1, resume_from=path)

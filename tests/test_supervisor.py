@@ -1,0 +1,293 @@
+"""Supervised executor: policy, process faults, retries, quarantine."""
+
+import hashlib
+import json
+
+import pytest
+
+from repro import build_cooling_problem
+from repro.analysis import run_campaign
+from repro.errors import ConfigurationError, WorkerCrashError
+from repro.exec import CampaignMerge, SupervisionPolicy
+from repro.exec import supervisor as exec_supervisor
+from repro.faults import (
+    EVALUATOR_FAULT_KINDS,
+    PROCESS_FAULT_KINDS,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    format_chaos_report,
+    full_fault_plan,
+    process_fault_decision,
+    process_fault_plan,
+    run_chaos_campaign,
+)
+from repro.io import campaign_to_dict
+from repro.obs.clock import Deadline
+
+
+def canonical_digest(campaign):
+    payload = campaign_to_dict(campaign, canonical=True)
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+@pytest.fixture(scope="module")
+def small_problems(profiles):
+    tec = build_cooling_problem(profiles["basicmath"],
+                                grid_resolution=4)
+    base = build_cooling_problem(profiles["basicmath"], with_tec=False,
+                                 grid_resolution=4)
+    return tec, base
+
+
+@pytest.fixture(scope="module")
+def two_profiles(profiles):
+    return dict(list(profiles.items())[:2])
+
+
+class TestSupervisionPolicy:
+    @pytest.mark.parametrize("overrides", [
+        {"unit_deadline_seconds": 0.0},
+        {"heartbeat_interval_seconds": -1.0},
+        {"heartbeat_timeout_seconds": 0.1,
+         "heartbeat_interval_seconds": 0.1},
+        {"max_attempts": 0},
+        {"backoff_base_seconds": -0.1},
+        {"backoff_factor": 0.5},
+        {"backoff_max_seconds": 0.01, "backoff_base_seconds": 0.05},
+        {"backoff_jitter": 1.0},
+        {"circuit_breaker_failures": 0},
+        {"poll_interval_seconds": 0.0},
+    ])
+    def test_invalid_knobs_rejected(self, overrides):
+        with pytest.raises(ConfigurationError):
+            SupervisionPolicy(**overrides)
+
+    def test_backoff_is_deterministic_and_bounded(self):
+        policy = SupervisionPolicy(backoff_base_seconds=0.1,
+                                   backoff_factor=2.0,
+                                   backoff_max_seconds=1.0,
+                                   backoff_jitter=0.25)
+        for attempt in (1, 2, 3, 7):
+            first = policy.backoff_seconds("basicmath", attempt)
+            assert first == policy.backoff_seconds("basicmath",
+                                                   attempt)
+            nominal = min(0.1 * 2.0 ** (attempt - 1), 1.0)
+            assert 0.75 * nominal <= first <= 1.25 * nominal
+        # Jitter decorrelates units.
+        assert policy.backoff_seconds("basicmath", 1) \
+            != policy.backoff_seconds("bitcount", 1)
+
+    def test_zero_jitter_is_exact_exponential(self):
+        policy = SupervisionPolicy(backoff_base_seconds=0.1,
+                                   backoff_factor=3.0,
+                                   backoff_max_seconds=10.0,
+                                   backoff_jitter=0.0)
+        assert policy.backoff_seconds("x", 1) == pytest.approx(0.1)
+        assert policy.backoff_seconds("x", 3) == pytest.approx(0.9)
+
+
+class TestDeadline:
+    def test_budget_validated(self):
+        with pytest.raises(ConfigurationError):
+            Deadline(0.0)
+
+    def test_lifecycle(self):
+        deadline = Deadline(60.0)
+        assert not deadline.expired
+        assert 0.0 < deadline.remaining() <= 60.0
+        assert deadline.elapsed() >= 0.0
+        deadline.restart()
+        assert not deadline.expired
+
+
+class TestProcessFaultPlan:
+    def test_rejects_evaluator_kinds(self):
+        with pytest.raises(ConfigurationError):
+            process_fault_plan(kinds=(FaultKind.NAN_POWER,))
+
+    def test_process_kinds_property(self):
+        plan = process_fault_plan(rate=0.5)
+        assert set(plan.process_kinds) == set(PROCESS_FAULT_KINDS)
+        assert full_fault_plan().process_kinds == ()
+
+    def test_full_plan_stays_evaluator_only(self):
+        kinds = {spec.kind for spec in full_fault_plan().specs}
+        assert kinds == set(EVALUATOR_FAULT_KINDS)
+
+    def test_decision_is_deterministic(self):
+        plan = process_fault_plan(seed=3, rate=0.5, max_fires=None)
+        draws = [process_fault_decision(plan, "basicmath", attempt)
+                 for attempt in range(1, 20)]
+        again = [process_fault_decision(plan, "basicmath", attempt)
+                 for attempt in range(1, 20)]
+        assert draws == again
+        assert any(d is not None for d in draws)
+        assert any(d is None for d in draws)
+
+    def test_decision_edge_cases(self):
+        plan = process_fault_plan(rate=1.0)
+        assert process_fault_decision(None, "x", 1) is None
+        assert process_fault_decision(plan, "x", 0) is None
+
+    def test_start_call_immunizes_early_attempts(self):
+        plan = FaultPlan(seed=0, specs=(FaultSpec(
+            kind=FaultKind.WORKER_KILL, rate=1.0, start_call=2),))
+        assert process_fault_decision(plan, "x", 1) is None
+        assert process_fault_decision(plan, "x", 2) is None
+        assert process_fault_decision(plan, "x", 3) \
+            is FaultKind.WORKER_KILL
+
+    def test_max_fires_caps_strikable_attempts(self):
+        plan = FaultPlan(seed=0, specs=(FaultSpec(
+            kind=FaultKind.WORKER_KILL, rate=1.0, max_fires=1),))
+        assert process_fault_decision(plan, "x", 1) \
+            is FaultKind.WORKER_KILL
+        # Attempts beyond start_call + max_fires can never fire, so a
+        # retried unit is guaranteed to complete.
+        assert process_fault_decision(plan, "x", 2) is None
+
+    def test_evaluator_kinds_never_fire_as_process_faults(self):
+        assert process_fault_decision(full_fault_plan(rate=1.0),
+                                      "x", 1) is None
+
+
+class TestSupervisedBitIdentity:
+    def test_supervised_matches_serial(self, two_profiles,
+                                       small_problems):
+        tec, base = small_problems
+        serial = run_campaign(two_profiles, tec, base, workers=0)
+        supervised = run_campaign(two_profiles, tec, base, workers=2,
+                                  supervision=SupervisionPolicy())
+        assert canonical_digest(supervised) == canonical_digest(serial)
+        stats = supervised.worker_stats["supervision"]
+        assert stats["retries"] == 0
+        assert stats["quarantined"] == 0
+        assert not stats["circuit_opened"]
+
+
+class TestKillRecovery:
+    def test_killed_workers_are_replaced_and_units_retried(
+            self, two_profiles, small_problems):
+        tec, base = small_problems
+        plan = FaultPlan(seed=1, specs=(FaultSpec(
+            kind=FaultKind.WORKER_KILL, rate=1.0, max_fires=1),))
+        report = run_chaos_campaign(
+            two_profiles, tec, base, plan=plan, workers=2,
+            supervision=SupervisionPolicy(
+                unit_deadline_seconds=120.0,
+                backoff_base_seconds=0.01))
+        assert report.ok, report.unhandled
+        assert report.fired.get("worker-kill") == 2
+        assert len(report.campaign.comparisons) == 2
+        stats = report.campaign.worker_stats["supervision"]
+        assert stats["retries"] == 2
+        assert stats["replacements"] >= 2
+        assert stats["quarantined"] == 0
+
+    def test_chaos_auto_engages_supervision(self, two_profiles,
+                                            small_problems):
+        tec, base = small_problems
+        plan = FaultPlan(seed=1, specs=(FaultSpec(
+            kind=FaultKind.WORKER_SLOW, rate=1.0, max_fires=1),))
+        report = run_chaos_campaign(two_profiles, tec, base, plan=plan,
+                                    workers=2)
+        assert report.ok
+        assert report.fired.get("worker-slow") == 2
+        assert "supervision" in report.campaign.worker_stats
+
+
+class TestHangRecovery:
+    def test_silent_workers_are_killed_by_heartbeat(
+            self, two_profiles, small_problems):
+        tec, base = small_problems
+        plan = FaultPlan(seed=1, specs=(FaultSpec(
+            kind=FaultKind.WORKER_HANG, rate=1.0, max_fires=1),))
+        policy = SupervisionPolicy(
+            unit_deadline_seconds=120.0,
+            heartbeat_interval_seconds=0.05,
+            heartbeat_timeout_seconds=1.0,
+            backoff_base_seconds=0.01)
+        report = run_chaos_campaign(two_profiles, tec, base, plan=plan,
+                                    workers=2, supervision=policy)
+        assert report.ok, report.unhandled
+        assert report.fired.get("worker-hang") == 2
+        assert len(report.campaign.comparisons) == 2
+        stats = report.campaign.worker_stats["supervision"]
+        assert stats["retries"] == 2
+        assert stats["replacements"] >= 2
+
+
+class TestQuarantine:
+    def test_poison_units_quarantine_and_campaign_completes(
+            self, two_profiles, small_problems):
+        tec, base = small_problems
+        plan = FaultPlan(seed=2, specs=(FaultSpec(
+            kind=FaultKind.WORKER_KILL, rate=1.0),))
+        policy = SupervisionPolicy(unit_deadline_seconds=120.0,
+                                   max_attempts=2,
+                                   backoff_base_seconds=0.01)
+        report = run_chaos_campaign(two_profiles, tec, base, plan=plan,
+                                    workers=2, supervision=policy)
+        assert report.ok, report.unhandled
+        quarantined = report.campaign.quarantined
+        assert len(quarantined) == 2
+        assert report.campaign.comparisons == []
+        for entry in quarantined:
+            assert entry.attempts == 2
+            assert len(entry.errors) == 2
+            assert "exit code 113" in entry.errors[-1]
+
+        payload = campaign_to_dict(report.campaign)
+        assert [q["unit"] for q in payload["quarantined"]] \
+            == sorted(two_profiles)
+        text = format_chaos_report(report)
+        assert "quarantined units: 2" in text
+
+
+class TestCircuitBreaker:
+    def test_spawn_failures_degrade_to_serial(self, monkeypatch,
+                                              two_profiles,
+                                              small_problems):
+        tec, base = small_problems
+
+        def failing_spawn(self, handle, *args, **kwargs):
+            handle.process = None
+            self._spawn_failures += 1
+            self.outcome.replacements += 1
+
+        monkeypatch.setattr(exec_supervisor._Supervisor, "_spawn",
+                            failing_spawn)
+        serial = run_campaign(two_profiles, tec, base, workers=0)
+        supervised = run_campaign(two_profiles, tec, base, workers=2,
+                                  supervision=SupervisionPolicy())
+        assert canonical_digest(supervised) == canonical_digest(serial)
+        stats = supervised.worker_stats["supervision"]
+        assert stats["circuit_opened"]
+
+
+class TestWorkerCrashAttribution:
+    def test_error_carries_unit_labels_and_attempts(self):
+        error = WorkerCrashError("boom", reports=["ValueError: x"],
+                                 units=[("basicmath", 3)])
+        assert error.units == (("basicmath", 3),)
+        assert WorkerCrashError("boom").units == ()
+
+    def test_campaign_raise_names_failing_units(self, monkeypatch,
+                                                two_profiles,
+                                                small_problems):
+        tec, base = small_problems
+
+        def fake_units(*args, **kwargs):
+            return CampaignMerge(
+                unhandled=["ValueError: boom"],
+                crashed=[("basicmath", 2, "ValueError: boom")])
+
+        import repro.exec
+        monkeypatch.setattr(repro.exec, "run_campaign_units",
+                            fake_units)
+        with pytest.raises(WorkerCrashError) as excinfo:
+            run_campaign(two_profiles, tec, base, workers=2)
+        assert excinfo.value.units == (("basicmath", 2),)
+        assert "basicmath (attempt 2)" in str(excinfo.value)
