@@ -217,13 +217,14 @@ def _run_benchmark(
     resilient: bool,
     policy: Optional[ResiliencePolicy],
     failures: List[FailureReport],
+    jac: str = "analytic",
 ) -> BenchmarkComparison:
     """All methods on one benchmark, each stage individually tagged."""
     if resilient:
         def oftec_stage() -> OFTECResult:
             outcome = run_oftec_resilient(
                 tec_problem, policy=policy,
-                evaluator=make(tec_problem))
+                evaluator=make(tec_problem), jac=jac)
             failures.extend(outcome.failures)
             if outcome.result is None:
                 raise SolverError(
@@ -231,8 +232,8 @@ def _run_benchmark(
             return outcome.result
 
         def opt2_stage() -> OptimizationOutcome:
-            solve = ResilientSolver(make(tec_problem),
-                                    policy).minimize_temperature()
+            solve = ResilientSolver(make(tec_problem), policy,
+                                    jac=jac).minimize_temperature()
             if solve.failure is not None:
                 failures.append(solve.failure)
             if solve.outcome is None:
@@ -245,17 +246,18 @@ def _run_benchmark(
         oftec_opt2 = _staged("oftec-opt2", opt2_stage)
     else:
         oftec_opt1 = _staged("oftec-opt1", lambda: run_oftec(
-            tec_problem, method=method, evaluator=make(tec_problem)))
+            tec_problem, method=method, evaluator=make(tec_problem),
+            jac=jac))
         oftec_opt2 = _staged(
             "oftec-opt2", lambda: minimize_temperature(
-                make(tec_problem), method=method))
+                make(tec_problem), method=method, jac=jac))
     variable_opt1 = _staged(
         "variable-opt1", lambda: run_variable_fan_baseline(
             base_problem, method=method,
-            evaluator=make(base_problem)))
+            evaluator=make(base_problem), jac=jac))
     variable_opt2 = _staged(
         "variable-opt2", lambda: minimize_temperature(
-            make(base_problem), method=method))
+            make(base_problem), method=method, jac=jac))
     fixed = _staged("fixed-omega", lambda: run_fixed_fan_baseline(
         base_problem, evaluator=make(base_problem)))
     tec_only = _staged("tec-only", lambda: run_tec_only(
@@ -286,6 +288,7 @@ def run_campaign(
     supervision: Optional[object] = None,
     journal_path: Optional[str] = None,
     resume_from: Optional[str] = None,
+    jac: str = "analytic",
 ) -> CampaignResult:
     """Run the three-method comparison over a set of benchmark profiles.
 
@@ -338,6 +341,11 @@ def run_campaign(
             the same file, and the merged result — its canonical JSON
             in particular — is bit-identical to an uninterrupted run.
             Mutually exclusive with ``journal_path``.
+        jac: Gradient mode for every optimization stage
+            (:data:`repro.core.JAC_MODES`): ``"analytic"`` (default)
+            drives the solvers with adjoint gradients, ``"fd"`` is the
+            campaign-wide escape hatch restoring backend finite
+            differencing.
     """
     if not tec_problem_template.has_tec:
         raise ConfigurationError(
@@ -376,7 +384,7 @@ def run_campaign(
             profiles, tec_problem_template, baseline_problem_template,
             method, include_tec_only, isolate_failures, resilient,
             policy, worker_count, supervision, journal_path,
-            resume_from)
+            resume_from, jac=jac)
     make = evaluator_factory or Evaluator
     watch = stopwatch("campaign.wall_seconds")
     with watch, _obs.span("campaign", benchmarks=len(profiles)):
@@ -393,7 +401,7 @@ def run_campaign(
                     comparison = _run_benchmark(
                         name, tec_problem, base_problem, method,
                         include_tec_only, make, resilient, policy,
-                        result.failures)
+                        result.failures, jac=jac)
             except _StageFailure as failure:
                 if not isolate_failures:
                     raise failure.error
@@ -418,6 +426,7 @@ def _run_campaign_parallel(
     supervision: Optional[object] = None,
     journal_path: Optional[str] = None,
     resume_from: Optional[str] = None,
+    jac: str = "analytic",
 ) -> CampaignResult:
     """The decomposed campaign path: one work unit per benchmark.
 
@@ -439,7 +448,7 @@ def _run_campaign_parallel(
         fingerprint = unit_fingerprint(
             tuple(profiles),
             f"campaign:{method}:{int(include_tec_only)}:"
-            f"{int(resilient)}")
+            f"{int(resilient)}:{jac}")
         journal = JournalWriter(
             resume_from or journal_path,
             meta={"fingerprint": fingerprint, "job": "campaign"},
@@ -456,7 +465,7 @@ def _run_campaign_parallel(
                 resilient=resilient, policy=policy, fault_plan=None,
                 workers=workers,
                 supervision=supervision if supervised else None,
-                journal=journal, completed=completed)
+                journal=journal, completed=completed, jac=jac)
             if merge.unhandled:
                 # A non-library exception in a worker is a bug, not a
                 # result; surface every entry instead of a silent hole

@@ -73,6 +73,13 @@ def _add_trace(parser: argparse.ArgumentParser) -> None:
              "here as JSONL (inspect with `repro trace summarize`)")
 
 
+def _add_jac(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jac", default="analytic", choices=("analytic", "fd"),
+        help="solver gradient mode: adjoint analytic gradients "
+             "(default) or scipy finite differences (escape hatch)")
+
+
 def _add_workers(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--workers", type=int, default=None, metavar="N",
@@ -149,6 +156,7 @@ def build_parser() -> argparse.ArgumentParser:
     oftec.add_argument("--method", default="slsqp",
                        choices=("slsqp", "trust-constr", "grid"),
                        help="solver backend (default slsqp)")
+    _add_jac(oftec)
     _add_trace(oftec)
 
     campaign = commands.add_parser(
@@ -178,6 +186,7 @@ def build_parser() -> argparse.ArgumentParser:
                           help="resume an interrupted campaign from "
                                "its journal; completed units are "
                                "replayed, the rest run fresh")
+    _add_jac(campaign)
     _add_supervision(campaign)
     _add_workers(campaign)
     _add_trace(campaign)
@@ -280,7 +289,7 @@ def _cmd_oftec(args: argparse.Namespace) -> int:
     problem = build_cooling_problem(profile,
                                     grid_resolution=args.resolution)
     with _traced(args.trace):
-        result = run_oftec(problem, method=args.method)
+        result = run_oftec(problem, method=args.method, jac=args.jac)
     if args.json:
         payload = {
             "benchmark": args.benchmark,
@@ -328,7 +337,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                                 workers=args.workers,
                                 supervision=_supervision_from_args(args),
                                 journal_path=args.journal,
-                                resume_from=args.resume)
+                                resume_from=args.resume,
+                                jac=args.jac)
     print(format_comparison_table(campaign, "opt2"))
     print()
     print(format_comparison_table(campaign, "opt1"))

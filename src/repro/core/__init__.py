@@ -14,8 +14,9 @@ alongside.
 """
 
 from .problem import CoolingProblem, ProblemLimits, build_cooling_problem
-from .evaluator import Evaluation, Evaluator
+from .evaluator import Evaluation, EvaluationGradient, Evaluator
 from .solvers import (
+    JAC_MODES,
     OptimizationOutcome,
     minimize_power,
     minimize_temperature,
@@ -79,7 +80,9 @@ __all__ = [
     "ProblemLimits",
     "build_cooling_problem",
     "Evaluation",
+    "EvaluationGradient",
     "Evaluator",
+    "JAC_MODES",
     "OptimizationOutcome",
     "minimize_power",
     "minimize_temperature",

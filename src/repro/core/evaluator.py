@@ -27,6 +27,7 @@ from ..thermal import (
     SteadyStateResult,
     solve_steady_state,
     solve_steady_state_batch,
+    steady_state_gradients,
 )
 from .problem import CoolingProblem
 
@@ -36,6 +37,12 @@ RUNAWAY_POWER_PENALTY = 1.0e3
 
 #: Cap on the runaway temperature signal, K, to keep penalties bounded.
 RUNAWAY_SIGNAL_CAP = 5.0e3
+
+#: Relative step of the finite-difference gradient fallback, as a
+#: fraction of each variable's box span — matching the solvers' own
+#: normalized ``_FD_STEP`` so the fallback reproduces the legacy
+#: backend differencing.
+FD_STEP_FRACTION = 1.0e-3
 
 #: Default LRU cap on cached evaluations.  Chosen far above the distinct
 #: operating-point count of any real campaign (a few hundred), so the
@@ -55,6 +62,10 @@ class CacheInfo:
         evictions: Entries dropped by the LRU cap.
         size: Entries currently cached.
         limit: The configured cap.
+        gradient_hits: :meth:`Evaluator.evaluate_with_grad` queries
+            served a gradient already attached to a cached evaluation.
+        gradient_misses: Gradient queries that had to compute one
+            (adjoint block solve or finite-difference fallback).
     """
 
     hits: int
@@ -62,6 +73,39 @@ class CacheInfo:
     evictions: int
     size: int
     limit: int
+    gradient_hits: int = 0
+    gradient_misses: int = 0
+
+
+@dataclass(frozen=True)
+class EvaluationGradient:
+    """First derivatives of one evaluation with respect to ``(omega, I)``.
+
+    Attributes:
+        d_temp_omega: ``d𝒯/d(omega)``, K/(rad/s).
+        d_temp_current: ``d𝒯/d(I_TEC)``, K/A.
+        d_power_omega: ``d𝒫/d(omega)``, W/(rad/s) — total power
+            including the explicit fan term.
+        d_power_current: ``d𝒫/d(I_TEC)``, W/A.
+        mode: ``"adjoint"`` when computed by the transpose-solve path,
+            ``"fd"`` when by the finite-difference fallback.
+    """
+
+    d_temp_omega: float
+    d_temp_current: float
+    d_power_omega: float
+    d_power_current: float
+    mode: str = "adjoint"
+
+    @property
+    def d_margin_omega(self) -> float:
+        """``d(T_max - 𝒯)/d(omega)`` = the negated temperature slope."""
+        return -self.d_temp_omega
+
+    @property
+    def d_margin_current(self) -> float:
+        """``d(T_max - 𝒯)/d(I_TEC)``."""
+        return -self.d_temp_current
 
 
 @dataclass
@@ -80,6 +124,9 @@ class Evaluation:
         feasible: ``𝒯 < T_max`` and not runaway.
         runaway: True when no bounded steady state exists here.
         steady: Full solver result (None for runaway points).
+        gradient: Derivatives attached lazily by
+            :meth:`Evaluator.evaluate_with_grad` (None until a gradient
+            query lands on this point).
     """
 
     omega: float
@@ -92,6 +139,7 @@ class Evaluation:
     feasible: bool
     runaway: bool
     steady: Optional[SteadyStateResult]
+    gradient: Optional[EvaluationGradient] = None
 
     @property
     def cooling_power(self) -> float:
@@ -125,6 +173,9 @@ class Evaluator:
         self._context = SolveContext.for_model(problem.model)
         self.call_count = 0
         self.solve_count = 0
+        self.adjoint_solve_count = 0
+        self._gradient_hits = 0
+        self._gradient_misses = 0
         self._solve_budget: Optional[int] = None
         self._budget_used = 0
 
@@ -145,7 +196,9 @@ class Evaluator:
             misses=self._cache_misses,
             evictions=self._cache_evictions,
             size=len(self._cache),
-            limit=self._cache_limit)
+            limit=self._cache_limit,
+            gradient_hits=self._gradient_hits,
+            gradient_misses=self._gradient_misses)
 
     def set_solve_budget(self, budget: Optional[int]) -> None:
         """Cap the number of *fresh* thermal solves until the next call.
@@ -195,6 +248,105 @@ class Evaluator:
             result = self._guard_finite(self._solve(omega, current))
         self._store(key, result)
         return result
+
+    def evaluate_with_grad(self, omega: float,
+                           current: float) -> Evaluation:
+        """Evaluate one point and attach its ``(d𝒯, d𝒫)`` gradient
+        (``omega`` is the fan speed, rad/s; ``current`` the TEC driving
+        current, A).
+
+        The forward value goes through :meth:`evaluate` (same cache,
+        same budget accounting); the gradient rides the adjoint path —
+        one transposed ``(n, 2)`` block back-substitution against the
+        forward solve's cached LU factor, counted in
+        :attr:`adjoint_solve_count` and in the operator's
+        ``adjoint_solves``, never against the solve budget.  Gradients
+        attach to the cached :class:`Evaluation` in place, so repeat
+        queries at one operating point are gradient cache hits.
+
+        Subclasses that override ``_solve`` (the fault injectors) and
+        runaway penalty points degrade to a central finite-difference
+        fallback built from bounded, cached, budget-accounted
+        :meth:`evaluate` calls.
+        """
+        evaluation = self.evaluate(omega, current)
+        if evaluation.gradient is not None:
+            self._gradient_hits += 1
+            return evaluation
+        self._gradient_misses += 1
+        if self._adjoint_capable() and not evaluation.runaway:
+            evaluation.gradient = self._adjoint_gradient(evaluation)
+        else:
+            evaluation.gradient = self._fd_gradient(evaluation)
+        return evaluation
+
+    def _adjoint_capable(self) -> bool:
+        """Whether the analytic adjoint path applies to this instance.
+
+        Subclasses that intercept ``_solve`` (fault injection) must see
+        every solve the gradient spends, so they take the
+        finite-difference fallback built on :meth:`evaluate`.
+        """
+        return type(self)._solve is Evaluator._solve
+
+    def _adjoint_gradient(self, evaluation: Evaluation,
+                          ) -> EvaluationGradient:
+        """One adjoint block solve at a converged evaluation."""
+        problem = self.problem
+        fan_gradient = problem.fan.power_gradient(evaluation.omega)
+        grads = steady_state_gradients(
+            problem.model, evaluation.steady,
+            problem.dynamic_cell_power,
+            leakage=problem.leakage,
+            sink_heat=problem.fan_heat_fraction * evaluation.fan_power,
+            sink_heat_gradient=problem.fan_heat_fraction * fan_gradient)
+        self.adjoint_solve_count += 2
+        if _obs.STATE.enabled:
+            _obs.STATE.metrics.counter(
+                "evaluator.adjoint.solves").inc(2)
+        return EvaluationGradient(
+            d_temp_omega=grads.d_temp_omega,
+            d_temp_current=grads.d_temp_current,
+            d_power_omega=grads.d_power_omega + fan_gradient,
+            d_power_current=grads.d_power_current,
+            mode="adjoint")
+
+    def _fd_gradient(self, evaluation: Evaluation) -> EvaluationGradient:
+        """Central-difference fallback (fault seams, runaway points).
+
+        Differences :meth:`evaluate` itself, so every probe is clamped,
+        cached, budget-accounted, and — on fault-injecting subclasses —
+        intercepted like any other solve.  Steps shrink to one-sided
+        differences against an active bound.
+        """
+        limits = self.problem.limits
+        d_temp = [0.0, 0.0]
+        d_power = [0.0, 0.0]
+        spans = (limits.omega_max, self.problem.current_upper_bound)
+        point = (evaluation.omega, evaluation.current)
+        for axis, span in enumerate(spans):
+            if span <= 0.0:
+                continue
+            step = FD_STEP_FRACTION * span
+            lo = max(point[axis] - step, 0.0)
+            hi = min(point[axis] + step, span)
+            if hi <= lo:
+                continue
+            probe_hi = list(point)
+            probe_lo = list(point)
+            probe_hi[axis] = hi
+            probe_lo[axis] = lo
+            hi_eval = self.evaluate(*probe_hi)
+            lo_eval = self.evaluate(*probe_lo)
+            width = hi - lo
+            d_temp[axis] = (hi_eval.max_chip_temperature  # physlint: disable=RPR303
+                            - lo_eval.max_chip_temperature) / width
+            d_power[axis] = (hi_eval.total_power  # physlint: disable=RPR303
+                             - lo_eval.total_power) / width
+        return EvaluationGradient(
+            d_temp_omega=d_temp[0], d_temp_current=d_temp[1],
+            d_power_omega=d_power[0], d_power_current=d_power[1],
+            mode="fd")
 
     def evaluate_many(self, points: Sequence[Tuple[float, float]],
                       workers: Optional[int] = None,

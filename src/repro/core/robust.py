@@ -21,7 +21,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
 from ..errors import ConfigurationError
-from .evaluator import Evaluation, Evaluator
+from .evaluator import Evaluation, EvaluationGradient, Evaluator
 from .problem import CoolingProblem
 from .solvers import minimize_power, minimize_temperature
 
@@ -30,8 +30,9 @@ class EnvelopeEvaluator:
     """Max-over-workloads wrapper with the Evaluator interface.
 
     Exposes exactly the attributes/methods the solver backends use
-    (``problem``, ``solve_count``, ``evaluate``), so
-    :func:`repro.core.minimize_power` runs unchanged on the envelope.
+    (``problem``, ``solve_count``, ``evaluate``,
+    ``evaluate_with_grad``), so :func:`repro.core.minimize_power` runs
+    unchanged on the envelope.
     """
 
     def __init__(self, problems: Sequence[CoolingProblem]):
@@ -77,6 +78,33 @@ class EnvelopeEvaluator:
             runaway=any(m.runaway for m in members),
             steady=worst.steady)
 
+    def evaluate_with_grad(self, omega: float,
+                           current: float) -> Evaluation:
+        """Envelope evaluation with the active-member subgradient.
+
+        Away from crossings ``max_w f_w`` is differentiable and its
+        gradient is the argmax member's; the temperature slope comes
+        from the worst-𝒯 workload and the power slope from the
+        worst-𝒫 workload, each through that member evaluator's own
+        (adjoint-backed) :meth:`Evaluator.evaluate_with_grad`.  At a
+        tie this is one valid subgradient — exactly the smoothness
+        caveat the min-max formulation already carries.  (``omega`` in
+        rad/s, ``current`` in A.)
+        """
+        members = [e.evaluate_with_grad(omega, current)
+                   for e in self._evaluators]
+        envelope = self.evaluate(omega, current)
+        worst_t = max(members, key=lambda m: m.max_chip_temperature)
+        worst_p = max(members, key=lambda m: m.total_power)
+        modes = {worst_t.gradient.mode, worst_p.gradient.mode}
+        envelope.gradient = EvaluationGradient(
+            d_temp_omega=worst_t.gradient.d_temp_omega,
+            d_temp_current=worst_t.gradient.d_temp_current,
+            d_power_omega=worst_p.gradient.d_power_omega,
+            d_power_current=worst_p.gradient.d_power_current,
+            mode="adjoint" if modes == {"adjoint"} else "fd")
+        return envelope
+
 
 @dataclass
 class RobustResult:
@@ -104,11 +132,14 @@ class RobustResult:
 
 
 def run_oftec_robust(problems: Sequence[CoolingProblem],
-                     method: str = "slsqp") -> RobustResult:
+                     method: str = "slsqp",
+                     jac: str = "analytic") -> RobustResult:
     """Algorithm 1 on the workload envelope.
 
     The usual two-stage pipeline (feasibility hunt, then power
     minimization) applied to the max-over-workloads objectives.
+    ``jac`` selects the gradient mode (:data:`repro.core.JAC_MODES`);
+    the analytic path uses the envelope's active-member subgradient.
     """
     start = time.perf_counter()
     envelope = EnvelopeEvaluator(problems)
@@ -120,7 +151,7 @@ def run_oftec_robust(problems: Sequence[CoolingProblem],
                                  / 2.0)
     if midpoint.max_chip_temperature > t_max:
         stage1 = minimize_temperature(envelope, method=method,
-                                      early_stop_below=t_max)
+                                      early_stop_below=t_max, jac=jac)
         start_point = (stage1.omega, stage1.current)
         if stage1.evaluation.max_chip_temperature > t_max:
             per_workload = envelope.member_evaluations(*start_point)
@@ -136,7 +167,8 @@ def run_oftec_robust(problems: Sequence[CoolingProblem],
     else:
         start_point = (midpoint.omega, midpoint.current)
 
-    outcome = minimize_power(envelope, x0=start_point, method=method)
+    outcome = minimize_power(envelope, x0=start_point, method=method,
+                             jac=jac)
     per_workload = envelope.member_evaluations(outcome.omega,
                                                outcome.current)
     return RobustResult(

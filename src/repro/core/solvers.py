@@ -23,15 +23,39 @@ from typing import Callable, Optional, Sequence, Tuple
 import numpy as np
 from scipy.optimize import NonlinearConstraint, minimize
 
-from ..errors import SolverError
+from ..errors import ConfigurationError, SolverError
 from .evaluator import Evaluation, Evaluator
 
 #: Supported solver backends.
 SOLVER_METHODS = ("slsqp", "trust-constr", "grid")
 
+#: Supported gradient modes: ``"analytic"`` feeds the evaluator's
+#: adjoint gradients to the backend as ``jac=`` callables (one
+#: transposed back-substitution per iterate); ``"fd"`` is the legacy
+#: escape hatch that lets the backend finite-difference the objective
+#: and constraints itself.
+JAC_MODES = ("analytic", "fd")
+
 #: Normalized finite-difference step; large enough to rise above the
 #: relinearization-loop noise floor, small enough for curvature.
 _FD_STEP = 1e-3
+
+#: Strict-feasibility backoff (K) on the thermal constraint when the
+#: backend consumes analytic Jacobians.  Exact gradients drive the
+#: active-set method onto the margin = 0 boundary to machine precision,
+#: where ``T == T_max`` reads as infeasible under the strict
+#: ``𝒯 < T_max`` contract; backing the constraint off by a sliver
+#: keeps the converged point strictly interior.  The power cost is the
+#: constraint multiplier times the backoff — orders of magnitude below
+#: solver tolerance.  (The finite-difference path keeps its legacy
+#: unshifted constraint: its gradient noise already stops inside.)
+_MARGIN_BACKOFF_K = 1e-4
+
+
+def _check_jac(jac: str) -> None:
+    if jac not in JAC_MODES:
+        raise ConfigurationError(
+            f"Unknown jac mode {jac!r}; choose one of {JAC_MODES}")
 
 
 @dataclass
@@ -99,6 +123,37 @@ class _NormalizedProblem:
         omega, current = self.to_physical(x)
         return self.evaluator.evaluate(omega, current)
 
+    # Normalization chain rule: the backend differentiates with respect
+    # to x = (omega/omega_scale, I/current_scale), so each physical
+    # slope is multiplied by its scale.  The [0,1] clip in to_physical
+    # is transparent inside the box the backend's bounds enforce.
+
+    def _chain(self, d_omega: float, d_current: float) -> np.ndarray:
+        if self.dimensions == 2:
+            return np.array([d_omega * self.omega_scale,
+                             d_current * self.current_scale])
+        return np.array([d_omega * self.omega_scale])
+
+    def temperature_gradient(self, x: Sequence[float]) -> np.ndarray:
+        """``d𝒯/dx`` in normalized coordinates (adjoint-backed)."""
+        omega, current = self.to_physical(x)
+        gradient = self.evaluator.evaluate_with_grad(
+            omega, current).gradient
+        return self._chain(gradient.d_temp_omega,
+                           gradient.d_temp_current)
+
+    def power_gradient(self, x: Sequence[float]) -> np.ndarray:
+        """``d𝒫/dx`` in normalized coordinates (adjoint-backed)."""
+        omega, current = self.to_physical(x)
+        gradient = self.evaluator.evaluate_with_grad(
+            omega, current).gradient
+        return self._chain(gradient.d_power_omega,
+                           gradient.d_power_current)
+
+    def margin_gradient(self, x: Sequence[float]) -> np.ndarray:
+        """``d(T_max - 𝒯)/dx`` in normalized coordinates."""
+        return -self.temperature_gradient(x)
+
 
 def _run_backend(
     norm: _NormalizedProblem,
@@ -107,27 +162,43 @@ def _run_backend(
     method: str,
     constraint: Optional[Callable[[np.ndarray], float]] = None,
     max_iterations: int = 60,
+    objective_grad: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+    constraint_grad: Optional[Callable[[np.ndarray], np.ndarray]] = None,
 ) -> Tuple[np.ndarray, bool, str]:
-    """Dispatch one local solve; returns (x_best, success, message)."""
+    """Dispatch one local solve; returns (x_best, success, message).
+
+    With gradient callables the backend consumes analytic Jacobians
+    (``jac=`` on the objective, constraint Jacobians on the constraint
+    specs); without them it finite-differences exactly as before — the
+    ``eps``/``finite_diff_rel_step`` options are inert when every
+    Jacobian is supplied.
+    """
     bounds = [(0.0, 1.0)] * norm.dimensions
     if method == "slsqp":
         constraints = []
         if constraint is not None:
-            constraints.append({"type": "ineq", "fun": constraint})
+            spec = {"type": "ineq", "fun": constraint}
+            if constraint_grad is not None:
+                spec["jac"] = constraint_grad
+            constraints.append(spec)
         result = _checked_minimize(
             objective, x0, method="SLSQP", bounds=bounds,
-            constraints=constraints,
+            jac=objective_grad, constraints=constraints,
             options={"maxiter": max_iterations, "ftol": 1e-7,
                      "eps": _FD_STEP})
         return result.x, bool(result.success), str(result.message)
     if method == "trust-constr":
         constraints = []
         if constraint is not None:
-            constraints.append(NonlinearConstraint(
-                constraint, 0.0, np.inf))
+            if constraint_grad is not None:
+                constraints.append(NonlinearConstraint(
+                    constraint, 0.0, np.inf, jac=constraint_grad))
+            else:
+                constraints.append(NonlinearConstraint(
+                    constraint, 0.0, np.inf))
         result = _checked_minimize(
             objective, x0, method="trust-constr", bounds=bounds,
-            constraints=constraints,
+            jac=objective_grad, constraints=constraints,
             options={"maxiter": max_iterations * 4, "xtol": 1e-6,
                      "finite_diff_rel_step": _FD_STEP})
         return result.x, bool(result.success), str(result.message)
@@ -168,6 +239,7 @@ def minimize_temperature(
     method: str = "slsqp",
     early_stop_below: Optional[float] = None,
     max_iterations: int = 60,
+    jac: str = "analytic",
 ) -> OptimizationOutcome:
     """Optimization 2: minimize 𝒯 subject to the box constraints.
 
@@ -179,7 +251,11 @@ def minimize_temperature(
         early_stop_below: If given, stop as soon as an iterate achieves
             𝒯 strictly below this value (Algorithm 1 line 3).
         max_iterations: Backend iteration budget.
+        jac: One of :data:`JAC_MODES` — ``"analytic"`` (default) hands
+            the backend adjoint gradients, ``"fd"`` restores the legacy
+            backend finite differencing.
     """
+    _check_jac(jac)
     norm = _NormalizedProblem(evaluator)
     solves_before = evaluator.solve_count
     if x0 is None:
@@ -199,17 +275,21 @@ def minimize_temperature(
             raise _EarlyStop(np.array(x, dtype=float))
         return t
 
+    objective_grad = norm.temperature_gradient \
+        if jac == "analytic" else None
     early = False
     try:
         if method == "grid":
             x_best, success, message = _grid_then_polish(
                 norm, objective, constraint=None,
                 max_iterations=max_iterations,
-                prefetch=early_stop_below is None)
+                prefetch=early_stop_below is None,
+                objective_grad=objective_grad)
         else:
             x_best, success, message = _run_backend(
                 norm, objective, x0_n, method,
-                max_iterations=max_iterations)
+                max_iterations=max_iterations,
+                objective_grad=objective_grad)
     except _EarlyStop as stop:
         x_best, success, message = stop.x, True, "early stop below T_max"
         early = True
@@ -232,12 +312,17 @@ def minimize_power(
     x0: Tuple[float, float],
     method: str = "slsqp",
     max_iterations: int = 60,
+    jac: str = "analytic",
 ) -> OptimizationOutcome:
     """Optimization 1: minimize 𝒫 subject to 𝒯 < T_max and the boxes.
 
     ``x0`` must be a thermally feasible physical point — Algorithm 1
-    guarantees one via Optimization 2 before calling this.
+    guarantees one via Optimization 2 before calling this.  ``jac``
+    selects the gradient mode (:data:`JAC_MODES`): analytic adjoint
+    Jacobians for both the objective and the thermal-margin constraint,
+    or the legacy backend finite differencing.
     """
+    _check_jac(jac)
     norm = _NormalizedProblem(evaluator)
     solves_before = evaluator.solve_count
     x0_n = norm.to_normalized(*x0)
@@ -253,18 +338,30 @@ def minimize_power(
             best["x"] = np.array(x, dtype=float)
         return p
 
-    def margin(x: np.ndarray) -> float:
-        # Positive inside the feasible region, in kelvin.
-        return t_max - norm.evaluate(x).max_chip_temperature
+    backoff = _MARGIN_BACKOFF_K if jac == "analytic" else 0.0
 
+    def margin(x: np.ndarray) -> float:
+        # Positive inside the feasible region, in kelvin.  The backoff
+        # is a constant shift, so margin_gradient stays exact.
+        return t_max - backoff - norm.evaluate(x).max_chip_temperature
+
+    if jac == "analytic":
+        objective_grad = norm.power_gradient
+        constraint_grad = norm.margin_gradient
+    else:
+        objective_grad = constraint_grad = None
     if method == "grid":
         x_best, success, message = _grid_then_polish(
             norm, objective, constraint=margin,
-            max_iterations=max_iterations)
+            max_iterations=max_iterations,
+            objective_grad=objective_grad,
+            constraint_grad=constraint_grad)
     else:
         x_best, success, message = _run_backend(
             norm, objective, x0_n, method, constraint=margin,
-            max_iterations=max_iterations)
+            max_iterations=max_iterations,
+            objective_grad=objective_grad,
+            constraint_grad=constraint_grad)
     # Prefer the best feasible iterate seen over the solver's return
     # value when the latter is infeasible or worse.
     final = norm.evaluate(x_best)
@@ -287,6 +384,8 @@ def _grid_then_polish(
     constraint: Optional[Callable[[np.ndarray], float]],
     max_iterations: int,
     prefetch: bool = True,
+    objective_grad: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+    constraint_grad: Optional[Callable[[np.ndarray], np.ndarray]] = None,
 ) -> Tuple[np.ndarray, bool, str]:
     """Coarse grid scan, then SLSQP from the best grid point."""
     candidates = _grid_candidates(norm.dimensions)
@@ -316,4 +415,6 @@ def _grid_then_polish(
                      key=lambda x: -constraint(x) if constraint else 0.0)
     return _run_backend(norm, objective, np.asarray(best_x), "slsqp",
                         constraint=constraint,
-                        max_iterations=max_iterations)
+                        max_iterations=max_iterations,
+                        objective_grad=objective_grad,
+                        constraint_grad=constraint_grad)

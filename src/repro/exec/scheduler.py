@@ -232,15 +232,18 @@ def worker_statistics(results: Sequence[UnitResult]) -> Dict[str, Any]:
                 result.stats.get("factorizations") or 0),
             "factor_cache_hits": int(
                 result.stats.get("factor_cache_hits") or 0),
+            "adjoint_solves": int(
+                result.stats.get("adjoint_solves") or 0),
         }
         unit_rows.append(row)
         entry = per_worker.setdefault(pid, {
             "pid": pid, "units": 0, "wall_seconds": 0.0,
             "solves": 0, "factorizations": 0,
-            "factor_cache_hits": 0})
+            "factor_cache_hits": 0, "adjoint_solves": 0})
         entry["units"] += 1
         entry["wall_seconds"] += result.wall_seconds
-        for key in ("solves", "factorizations", "factor_cache_hits"):
+        for key in ("solves", "factorizations", "factor_cache_hits",
+                    "adjoint_solves"):
             entry[key] += row[key]
     ordered = sorted(per_worker.values(),
                      key=lambda e: (e["pid"] is None, e["pid"]))
@@ -304,6 +307,7 @@ def run_campaign_units(
     supervision: Optional[Any] = None,
     journal: Optional[Any] = None,
     completed: Optional[Mapping[int, UnitResult]] = None,
+    jac: str = "analytic",
 ) -> CampaignMerge:
     """Decompose a campaign into benchmark units, run, and merge.
 
@@ -324,6 +328,7 @@ def run_campaign_units(
         baseline_template=baseline_template,
         profiles=dict(profiles),
         method=method,
+        jac=jac,
         include_tec_only=include_tec_only,
         resilient=resilient,
         policy=policy,
@@ -480,6 +485,7 @@ def run_oftec_units(
     profiles: Mapping[str, Mapping[str, float]],
     method: str,
     workers: int,
+    jac: str = "analytic",
 ) -> Dict[str, Any]:
     """OFTEC per representative profile (LUT precompute), in parallel.
 
@@ -491,6 +497,7 @@ def run_oftec_units(
         oftec_profiles={label: dict(powers)
                         for label, powers in profiles.items()},
         method=method,
+        jac=jac,
         telemetry=_obs.STATE.enabled)
     units = [WorkUnit(index=index, kind="oftec", name=label)
              for index, label in enumerate(profiles)]

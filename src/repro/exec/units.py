@@ -122,6 +122,9 @@ class WorkerContext:
     baseline_template: Optional[CoolingProblem] = None
     profiles: Optional[Dict[str, Any]] = None
     method: str = "slsqp"
+    #: Gradient mode threaded into every solver call a unit makes
+    #: (see :data:`repro.core.JAC_MODES`).
+    jac: str = "analytic"
     include_tec_only: bool = False
     resilient: bool = False
     policy: Optional[ResiliencePolicy] = None

@@ -190,6 +190,9 @@ def _operator_deltas(result: UnitResult, befores, afters) -> None:
         for b, a in zip(befores, afters))
     result.stats["factor_cache_hits"] = sum(
         a.cache_hits - b.cache_hits for b, a in zip(befores, afters))
+    result.stats["adjoint_solves"] = sum(
+        a.adjoint_solves - b.adjoint_solves
+        for b, a in zip(befores, afters))
 
 
 def _execute_benchmark(context: WorkerContext, unit: WorkUnit,
@@ -233,7 +236,7 @@ def _execute_benchmark(context: WorkerContext, unit: WorkUnit,
             result.value = _run_benchmark(
                 name, tec_problem, base_problem, context.method,
                 context.include_tec_only, make, context.resilient,
-                context.policy, result.failures)
+                context.policy, result.failures, jac=context.jac)
     except _StageFailure as failure:
         result.failures.append(failure_report_from_exception(
             name, failure.stage, failure.error))
@@ -311,7 +314,8 @@ def _execute_oftec(context: WorkerContext, unit: WorkUnit,
     problem = context.oftec_template.with_profile(
         dict(context.oftec_profiles[unit.name]), name=unit.name)
     try:
-        result.value = run_oftec(problem, method=context.method)
+        result.value = run_oftec(problem, method=context.method,
+                                 jac=context.jac)
     except ReproError as exc:
         result.error = (unit.kind, type(exc).__name__, str(exc))
     _operator_deltas(result, (before,), (operator.stats,))

@@ -104,6 +104,14 @@ class FaultyEvaluator(Evaluator):
     a cached evaluation involves no linear algebra).  The NaN-power
     fault corrupts the result *after* a healthy solve, so the base
     class's NaN/Inf guard is what keeps it from reaching the optimizer.
+
+    Because ``_solve`` is overridden here, the gradient path degrades
+    automatically: :meth:`Evaluator.evaluate_with_grad` detects the
+    override and takes its central finite-difference fallback, built
+    from ordinary :meth:`Evaluator.evaluate` calls — so every solve a
+    gradient spends stays inside this injection seam (the adjoint's
+    transposed back-substitutions would bypass it), and chaos coverage
+    extends to gradient-driven solver runs unchanged.
     """
 
     def __init__(self, problem: CoolingProblem, injector: FaultInjector,

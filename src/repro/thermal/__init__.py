@@ -13,6 +13,7 @@ transient solver supports the controller studies.
 
 from .network import ThermalNetwork, NodeKind, condition_estimate
 from .operator import Factorization, OperatorStats, ThermalOperator
+from .adjoint import SteadyStateGradients, steady_state_gradients
 from .assembly import PackageThermalModel, build_package_model, \
     PackageModelConfig
 from .solver import (
@@ -48,6 +49,8 @@ __all__ = [
     "build_package_model",
     "PackageModelConfig",
     "SolveContext",
+    "SteadyStateGradients",
+    "steady_state_gradients",
     "SteadyStateResult",
     "SolveStats",
     "solve_steady_state",

@@ -538,6 +538,107 @@ class PackageThermalModel:
                 self._cov_resistance * cov_current ** 2
         return diag, rhs
 
+    # -- structure derivatives (adjoint forcing vectors) ---------------
+
+    def _scalar_current(self, current: Union[float, np.ndarray]) -> float:
+        """The series driving current as a scalar (gradient paths only).
+
+        The optimizer differentiates with respect to the paper's single
+        series current; per-cell current arrays have no scalar
+        derivative direction and are rejected.
+        """
+        arr = np.asarray(current, dtype=float)
+        if arr.ndim != 0:
+            raise ConfigurationError(
+                "gradient paths need a scalar series TEC current, got "
+                f"shape {arr.shape}")
+        return float(arr)
+
+    def overlay_omega_gradient(self, omega: float, temps: np.ndarray,
+                               sink_heat_gradient: float = 0.0,
+                               ) -> np.ndarray:
+        """Adjoint forcing vector ``d(rhs - diag*T)/d(omega)``.
+
+        Only the sink-to-ambient coupling depends on the fan speed
+        ``omega`` (rad/s): the Equation (9) fit contributes
+        ``g'(omega)`` (zero on the natural-convection floor below the
+        crossover speed, ``p/omega`` above it) to both the diagonal and
+        the ambient injection, and the recirculated fan heat
+        contributes ``sink_heat_gradient`` (the caller's
+        ``d(sink_heat)/d(omega)``, W/(rad/s)) to the RHS.  ``temps`` is
+        the converged node-temperature vector, K.
+        """
+        forcing = np.zeros(self.network.node_count)
+        g_prime = self.sink_conductance.conductance_gradient(omega)
+        sink_temps = temps[self._sink_amb_nodes]
+        forcing[self._sink_amb_nodes] = self._sink_amb_weights * (
+            g_prime * (self.config.ambient - sink_temps)
+            + sink_heat_gradient)
+        return forcing
+
+    def overlay_current_gradient(self, current: Union[float, np.ndarray],
+                                 temps: np.ndarray) -> np.ndarray:
+        """Adjoint forcing vector ``d(rhs - diag*T)/d(I_TEC)``.
+
+        ``current`` is the series driving current, A; ``temps`` the
+        converged node temperatures, K.  Per covered cell: the Peltier
+        diagonal terms contribute ``-alpha*T`` on the absorption node
+        and ``+alpha*T`` on the rejection node, and the Joule RHS term
+        ``R*I**2`` contributes ``2*R*I`` on the generation node.
+        """
+        forcing = np.zeros(self.network.node_count)
+        if self.tec_array is None or not self._cov_abs_nodes.size:
+            return forcing
+        i_tec = self._scalar_current(current)
+        alpha = self._cov_seebeck
+        forcing[self._cov_abs_nodes] -= \
+            alpha * temps[self._cov_abs_nodes]
+        forcing[self._cov_rej_nodes] += \
+            alpha * temps[self._cov_rej_nodes]
+        forcing[self._cov_gen_nodes] += \
+            2.0 * self._cov_resistance * i_tec
+        return forcing
+
+    def power_temperature_gradient(self,
+                                   current: Union[float, np.ndarray],
+                                   leak_slope: np.ndarray) -> np.ndarray:
+        """``d(P_leak + P_TEC)/dT`` over the full node vector, W/K.
+
+        ``current`` is the series driving current, A.  Leakage
+        contributes its linearized slope ``a`` (``leak_slope``, W/K per
+        cell) on the chip nodes (exact when ``a`` is the tangent at the
+        converged temperatures); TEC pumping power
+        ``alpha*(T_hot - T_cold)*I`` contributes ``+alpha*I`` on each
+        covered rejection node and ``-alpha*I`` on each covered
+        absorption node.
+        """
+        gradient = np.zeros(self.network.node_count)
+        gradient[self.chip_nodes] = np.asarray(leak_slope, dtype=float)
+        if self.tec_array is not None and self._cov_abs_nodes.size:
+            i_tec = self._scalar_current(current)
+            peltier = self._cov_seebeck * i_tec
+            gradient[self._cov_rej_nodes] += peltier
+            gradient[self._cov_abs_nodes] -= peltier
+        return gradient
+
+    def tec_power_current_gradient(self,
+                                   current: Union[float, np.ndarray],
+                                   temps: np.ndarray) -> float:
+        """Explicit ``dP_TEC/dI`` (W/A) at fixed temperatures.
+
+        ``current`` is the series driving current, A; ``temps`` the
+        converged node temperatures, K.
+        ``P_TEC = sum(R*I**2 + alpha*(T_hot - T_cold)*I)`` over covered
+        cells, so the partial is ``sum(2*R*I + alpha*(T_hot - T_cold))``.
+        """
+        if self.tec_array is None or not self._cov_abs_nodes.size:
+            return 0.0
+        i_tec = self._scalar_current(current)
+        delta = (temps[self._cov_rej_nodes]
+                 - temps[self._cov_abs_nodes])
+        return float(np.sum(2.0 * self._cov_resistance * i_tec
+                            + self._cov_seebeck * delta))
+
     # -- convenient extracts ------------------------------------------
 
     def chip_temperatures(self, temps: np.ndarray) -> np.ndarray:

@@ -75,12 +75,16 @@ class OperatorStats:
         factorizations: Sparse LU factorizations performed.
         cache_hits: Solves served from a cached factorization.
         cache_evictions: Factorizations dropped by the LRU cap.
+        adjoint_solves: Transposed-system right-hand sides solved by
+            the gradient path (counted separately from ``solves`` so
+            forward-solve comparisons stay meaningful).
     """
 
     solves: int
     factorizations: int
     cache_hits: int
     cache_evictions: int
+    adjoint_solves: int = 0
 
     @property
     def reuse_ratio(self) -> float:
@@ -111,6 +115,18 @@ class Factorization:
         self.solve_count += 1
         with np.errstate(all="ignore"):
             return self._lu.solve(rhs)
+
+    def solve_transpose(self, rhs: np.ndarray) -> np.ndarray:
+        """Back-substitute the *transposed* system ``A^T x = rhs``.
+
+        The adjoint entry point: SuperLU stores one factorization of
+        ``A`` and serves both ``A x = b`` and ``A^T x = b`` from it, so
+        a gradient costs a back-substitution — never a second
+        factorization.  Accepts one RHS vector or an ``(n, k)`` block.
+        """
+        self.solve_count += 1
+        with np.errstate(all="ignore"):
+            return self._lu.solve(rhs, trans="T")
 
 
 class _OperatorInstruments:
@@ -214,6 +230,7 @@ class ThermalOperator:
         self._factorizations = 0
         self._hits = 0
         self._evictions = 0
+        self._adjoint_solves = 0
         self._obs_handles: Optional[_OperatorInstruments] = None
 
     def _instruments(self) -> _OperatorInstruments:
@@ -269,7 +286,8 @@ class ThermalOperator:
             solves=self._solves,
             factorizations=self._factorizations,
             cache_hits=self._hits,
-            cache_evictions=self._evictions)
+            cache_evictions=self._evictions,
+            adjoint_solves=self._adjoint_solves)
 
     def clear(self) -> None:
         """Drop every cached factorization (counters are kept)."""
@@ -281,6 +299,7 @@ class ThermalOperator:
         self._factorizations = 0
         self._hits = 0
         self._evictions = 0
+        self._adjoint_solves = 0
 
     # -- pickling -----------------------------------------------------
 
@@ -299,6 +318,7 @@ class ThermalOperator:
         state["_factorizations"] = 0
         state["_hits"] = 0
         state["_evictions"] = 0
+        state["_adjoint_solves"] = 0
         state["_obs_handles"] = None
         return state
 
@@ -396,7 +416,7 @@ class ThermalOperator:
         factorization = self.factor(overlay)
         temps = factorization.solve(rhs_arr)
         self._solves += 1
-        self._guard(temps, rhs_arr, overlay, factorization.norm1)
+        self._guard(temps, rhs_arr, overlay, factorization)
         if handles is not None:
             handles.solves.inc()
             if sampled:
@@ -424,34 +444,66 @@ class ThermalOperator:
         factorization = self.factor(overlay)
         temps = factorization.solve(block)
         self._solves += block.shape[1]
-        self._guard(temps, block, overlay, factorization.norm1)
+        self._guard(temps, block, overlay, factorization)
         if handles is not None:
             handles.solves.inc(block.shape[1])
             if sampled:
                 handles.solve_seconds.observe(monotonic() - started)
         return temps
 
+    def solve_adjoint(self, diag_overlay: np.ndarray,
+                      rhs: np.ndarray) -> np.ndarray:
+        """Solve the transposed system ``(static + diag(overlay))^T x = rhs``.
+
+        The gradient entry point: factors through the same LRU as the
+        forward path (an adjoint at a just-solved operating point is a
+        guaranteed cache hit) and back-substitutes the transposed
+        system from the shared factor.  Accepts one RHS vector or an
+        ``(n, k)`` block of adjoint right-hand sides; the solve count
+        lands in :attr:`OperatorStats.adjoint_solves`, never in
+        ``solves``, so forward-solve comparisons stay clean.
+        """
+        overlay = self._checked_overlay(diag_overlay)
+        rhs_arr = np.asarray(rhs, dtype=float)
+        if rhs_arr.shape[0] != self._n or rhs_arr.ndim > 2:
+            raise ConfigurationError(
+                f"Adjoint RHS must have shape ({self._n},) or "
+                f"({self._n}, k), got {rhs_arr.shape}")
+        factorization = self.factor(overlay)
+        duals = factorization.solve_transpose(rhs_arr)
+        count = 1 if rhs_arr.ndim == 1 else rhs_arr.shape[1]
+        self._adjoint_solves += count
+        self._guard(duals, rhs_arr, overlay, factorization)
+        return duals
+
     def _guard(self, temps: np.ndarray, rhs: np.ndarray,
-               overlay: np.ndarray, norm1: float) -> None:
-        """Singularity/degeneracy checks shared by both solve paths.
+               overlay: np.ndarray,
+               factorization: Factorization) -> None:
+        """Singularity/degeneracy checks shared by every solve path.
 
         A singular-to-working-precision matrix often still factors (the
         pivots round to tiny nonzeros) and yields an absurdly amplified
         or non-finite solution; the dimensionless growth
         ``||x|| ||A|| / ||b||`` lower-bounds ``cond_1(A)``, and healthy
         thermal systems sit many orders of magnitude below the limit.
+        The live factor is handed to :func:`condition_estimate` so the
+        diagnostic reuses it instead of refactorizing the matrix it
+        just factored.
         """
         if not np.all(np.isfinite(temps)):
-            estimate = condition_estimate(self._load(overlay))
+            estimate = condition_estimate(self._load(overlay),
+                                          lu=factorization._lu)
             raise SingularNetworkError(
                 "Thermal system is singular or numerically degenerate "
                 f"(1-norm condition estimate {estimate:.3e})",
                 condition_estimate=estimate)
         rhs_scale = float(np.abs(rhs).max())
         if rhs_scale > 0.0:
-            growth = (float(np.abs(temps).max()) * norm1 / rhs_scale)
+            growth = (float(np.abs(temps).max())
+                      * factorization.norm1 / rhs_scale)
             if growth > _DEGENERACY_GROWTH_LIMIT:
-                estimate = condition_estimate(self._load(overlay))
+                estimate = condition_estimate(self._load(overlay),
+                                              lu=factorization._lu)
                 raise SingularNetworkError(
                     "Thermal system is numerically degenerate: solution "
                     f"amplification {growth:.3e} exceeds "
@@ -460,20 +512,24 @@ class ThermalOperator:
                     condition_estimate=estimate)
 
 
-def condition_estimate(matrix) -> float:
+def condition_estimate(matrix, lu=None) -> float:
     """Cheap 1-norm condition estimate ``||A||_1 * est(||A^-1||_1)``.
 
-    Used on the failure path only: one sparse LU factorization plus a
-    Hager-style norm estimate, orders of magnitude cheaper than a dense
-    condition number.  Returns ``inf`` when the factorization itself
-    fails (an exactly singular system).
+    Used on the failure path only: a Hager-style norm estimate against
+    a sparse LU factor, orders of magnitude cheaper than a dense
+    condition number.  When the caller already holds a factorization of
+    ``matrix`` (the operator's guard path always does), pass it as
+    ``lu`` and the estimate is pure back-substitution — no second
+    ``splu`` of a matrix that was just factored.  Returns ``inf`` when
+    the factorization fails (an exactly singular system).
     """
     csc = matrix.tocsc()
     norm_a = float(onenormest(csc))
     try:
         with np.errstate(all="ignore"), warnings.catch_warnings():
             warnings.simplefilter("ignore")
-            lu = splu(csc)
+            if lu is None:
+                lu = splu(csc)
             # onenormest needs the adjoint too; for a real matrix that
             # is the transposed-system solve.
             inverse = LinearOperator(

@@ -1,0 +1,41 @@
+"""Known-bad fixture for RPR303 (fd-gradient-in-loop)."""
+
+
+def sensitivity_sweep(evaluator, points, step):
+    """Power slope, W per rad/s, at each operating point."""
+    slopes = []
+    for omega, current in points:
+        hi_eval = evaluator.evaluate(omega + step, current)
+        lo_eval = evaluator.evaluate(omega - step, current)
+        slopes.append((hi_eval.total_power
+                       - lo_eval.total_power) / (2 * step))  # BAD
+    return slopes
+
+
+def jacobian(evaluator, omega, current, steps):
+    """Temperature gradient, K per (rad/s, A), by forward differences."""
+    base_eval = evaluator.evaluate(omega, current)
+    grad = []
+    for axis, step in enumerate(steps):
+        probe = [omega, current]
+        probe[axis] += step
+        # BAD twice: temperature and power quotients per axis.
+        grad.append(
+            (evaluator.evaluate(*probe).max_chip_temperature
+             - base_eval.max_chip_temperature) / step)
+        grad.append((evaluator.evaluate(*probe).total_power
+                     - base_eval.total_power) / step)
+    return grad
+
+
+def line_search(evaluator, omega, current, step):
+    """Descend the power slope, W per A, until it flattens."""
+    while step > 1e-6:
+        hi_eval = evaluator.evaluate(omega, current + step)
+        lo_eval = evaluator.evaluate(omega, current - step)
+        slope = (hi_eval.total_power
+                 - lo_eval.total_power) / (2 * step)  # BAD
+        if abs(slope) < 1e-9:
+            break
+        current -= slope * step
+    return current

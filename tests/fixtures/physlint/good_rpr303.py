@@ -1,0 +1,28 @@
+"""Known-good fixture for RPR303: adjoint gradients, no FD loops."""
+
+
+def sensitivity_sweep(evaluator, points):
+    """Power slope, W per rad/s, at each operating point."""
+    slopes = []
+    for omega, current in points:
+        gradient = evaluator.evaluate_with_grad(omega, current).gradient
+        slopes.append(gradient.d_power_omega)
+    return slopes
+
+
+def relative_drop(evaluations, reference):
+    """Power drop fraction per candidate; not a difference quotient —
+    the denominator is a power, W, not a step."""
+    drops = []
+    for candidate in evaluations:
+        drops.append((reference.total_power - candidate.total_power)
+                     / reference.total_power)
+    return drops
+
+
+def one_shot_slope(evaluator, omega, current, step):
+    """A single difference quotient, W per A, outside any loop is the
+    sanctioned probe shape (the evaluator's own guarded fallback)."""
+    hi_eval = evaluator.evaluate(omega, current + step)
+    lo_eval = evaluator.evaluate(omega, current - step)
+    return (hi_eval.total_power - lo_eval.total_power) / (2 * step)

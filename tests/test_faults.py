@@ -306,11 +306,16 @@ class TestChaosCampaign:
         assert report.campaign.failures == []
         ours = report.campaign.comparisons[0]
         theirs = plain.comparisons[0]
-        assert ours.oftec_opt1.omega_star == theirs.oftec_opt1.omega_star
-        assert ours.oftec_opt1.current_star \
-            == theirs.oftec_opt1.current_star
-        assert ours.oftec_opt1.total_power \
-            == theirs.oftec_opt1.total_power
+        # FaultyEvaluator takes the finite-difference gradient seam
+        # even with a quiet plan, so the optima agree only within
+        # solver tolerance (not bit-exactly) against the plain
+        # campaign's adjoint gradients.
+        assert ours.oftec_opt1.omega_star == pytest.approx(
+            theirs.oftec_opt1.omega_star, rel=1e-4)
+        assert ours.oftec_opt1.current_star == pytest.approx(
+            theirs.oftec_opt1.current_star, rel=1e-3, abs=1e-4)
+        assert ours.oftec_opt1.total_power == pytest.approx(
+            theirs.oftec_opt1.total_power, rel=1e-5)
 
     def test_report_formatting(self, profiles, chaos_problems):
         tec, base = chaos_problems

@@ -22,8 +22,8 @@ FIXTURES = Path(__file__).parent / "fixtures" / "physlint"
 SRC = Path(__file__).resolve().parents[1] / "src"
 
 ALL_CODES = ("RPR101", "RPR201", "RPR202", "RPR204", "RPR301",
-             "RPR302", "RPR401", "RPR501", "RPR502", "RPR503",
-             "RPR601", "RPR701", "RPR702")
+             "RPR302", "RPR303", "RPR401", "RPR501", "RPR502",
+             "RPR503", "RPR601", "RPR701", "RPR702")
 PROJECT_CODES = ("RPR602", "RPR603", "RPR703")
 
 
@@ -68,6 +68,7 @@ class TestBadFixtures:
         ("rpr204", 4),
         ("rpr301", 3),
         ("rpr302", 4),
+        ("rpr303", 4),
         ("rpr401", 2),
         ("rpr501", 3),
         ("rpr503", 5),
@@ -86,8 +87,8 @@ class TestBadFixtures:
 class TestGoodFixtures:
     @pytest.mark.parametrize("name", [
         "good_rpr101", "good_rpr201", "good_rpr204", "good_rpr301",
-        "good_rpr302", "good_rpr401", "good_rpr501", "good_rpr503",
-        "good_rpr601",
+        "good_rpr302", "good_rpr303", "good_rpr401", "good_rpr501",
+        "good_rpr503", "good_rpr601",
     ])
     def test_good_fixture_clean(self, name):
         assert codes_in(FIXTURES / f"{name}.py") == []
