@@ -289,6 +289,7 @@ def run_campaign(
     journal_path: Optional[str] = None,
     resume_from: Optional[str] = None,
     jac: str = "analytic",
+    progress: Optional[object] = None,
 ) -> CampaignResult:
     """Run the three-method comparison over a set of benchmark profiles.
 
@@ -346,6 +347,10 @@ def run_campaign(
             drives the solvers with adjoint gradients, ``"fd"`` is the
             campaign-wide escape hatch restoring backend finite
             differencing.
+        progress: A :class:`repro.obs.ProgressBoard` (or anything with
+            its hook methods) fed the benchmark lifecycle — serial,
+            pooled, and supervised paths alike — plus live metric
+            snapshots on the supervised path.
     """
     if not tec_problem_template.has_tec:
         raise ConfigurationError(
@@ -384,9 +389,11 @@ def run_campaign(
             profiles, tec_problem_template, baseline_problem_template,
             method, include_tec_only, isolate_failures, resilient,
             policy, worker_count, supervision, journal_path,
-            resume_from, jac=jac)
+            resume_from, jac=jac, progress=progress)
     make = evaluator_factory or Evaluator
     watch = stopwatch("campaign.wall_seconds")
+    if progress is not None:
+        progress.begin(len(profiles))
     with watch, _obs.span("campaign", benchmarks=len(profiles)):
         result = CampaignResult(
             t_max=tec_problem_template.limits.t_max)
@@ -395,19 +402,26 @@ def run_campaign(
                                                             name=name)
             base_problem = baseline_problem_template.with_profile(
                 profile, name=name)
+            if progress is not None:
+                progress.unit_running(name)
+            bench_watch = stopwatch("campaign.benchmark_seconds")
             try:
-                with _obs.span("benchmark", name), \
-                        stopwatch("campaign.benchmark_seconds"):
+                with _obs.span("benchmark", name), bench_watch:
                     comparison = _run_benchmark(
                         name, tec_problem, base_problem, method,
                         include_tec_only, make, resilient, policy,
                         result.failures, jac=jac)
             except _StageFailure as failure:
+                if progress is not None:
+                    progress.unit_done(name, bench_watch.elapsed,
+                                       ok=False)
                 if not isolate_failures:
                     raise failure.error
                 result.failures.append(failure_report_from_exception(
                     name, failure.stage, failure.error))
                 continue
+            if progress is not None:
+                progress.unit_done(name, bench_watch.elapsed)
             result.comparisons.append(comparison)
     result.wall_seconds = watch.elapsed
     return result
@@ -427,6 +441,7 @@ def _run_campaign_parallel(
     journal_path: Optional[str] = None,
     resume_from: Optional[str] = None,
     jac: str = "analytic",
+    progress: Optional[object] = None,
 ) -> CampaignResult:
     """The decomposed campaign path: one work unit per benchmark.
 
@@ -465,7 +480,8 @@ def _run_campaign_parallel(
                 resilient=resilient, policy=policy, fault_plan=None,
                 workers=workers,
                 supervision=supervision if supervised else None,
-                journal=journal, completed=completed, jac=jac)
+                journal=journal, completed=completed, jac=jac,
+                progress=progress)
             if merge.unhandled:
                 # A non-library exception in a worker is a bug, not a
                 # result; surface every entry instead of a silent hole

@@ -92,6 +92,7 @@ def sweep_objective_surfaces(
     current_range: Optional[Tuple[float, float]] = None,
     evaluator: Optional[Evaluator] = None,
     workers: Optional[int] = None,
+    progress: Optional[object] = None,
 ) -> SurfaceSweep:
     """Evaluate 𝒯 and 𝒫 on a rectangular (omega, I) sample grid.
 
@@ -100,7 +101,9 @@ def sweep_objective_surfaces(
 
     ``workers`` fans the grid across worker processes, one omega row
     per chunk (None defers to ``REPRO_WORKERS``; 0 stays in-process).
-    Surfaces are identical across worker counts.
+    Surfaces are identical across worker counts.  ``progress`` (a
+    :class:`repro.obs.ProgressBoard`) receives per-chunk lifecycle
+    events on the fanned-out path.
     """
     if omega_points < 2 or current_points < 1:
         raise ConfigurationError(
@@ -139,7 +142,8 @@ def sweep_objective_surfaces(
             # shares its fan operating point, so a chunk's solves
             # group under few factorizations.
             evaluations = evaluate_points(
-                problem, points, worker_count, chunk=currents.size)
+                problem, points, worker_count, chunk=currents.size,
+                progress=progress)
     if evaluations is None:
         evaluations = evaluator.evaluate_many(points)
     for flat, evaluation in enumerate(evaluations):

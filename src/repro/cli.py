@@ -71,6 +71,25 @@ def _add_trace(parser: argparse.ArgumentParser) -> None:
         "--trace", metavar="FILE", default=None,
         help="record a telemetry session and write the span trace "
              "here as JSONL (inspect with `repro trace summarize`)")
+    parser.add_argument(
+        "--live-trace", metavar="FILE", default=None,
+        dest="live_trace",
+        help="stream finished spans and metric snapshots to this "
+             "rotating JSONL file while the run is still going "
+             "(engages a telemetry session)")
+    parser.add_argument(
+        "--openmetrics", metavar="FILE", default=None,
+        help="keep an OpenMetrics text snapshot of the live metrics "
+             "at this path, atomically rewritten as the run "
+             "progresses (engages a telemetry session)")
+
+
+def _add_progress(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--progress", action="store_true",
+        help="render live progress to stderr: per-unit state, "
+             "throughput, cache hit rates, ETA (single rewritten "
+             "line on a TTY, periodic log lines otherwise)")
 
 
 def _add_jac(parser: argparse.ArgumentParser) -> None:
@@ -115,27 +134,75 @@ def _supervision_from_args(args: argparse.Namespace):
 
 
 @contextmanager
-def _traced(path: Optional[str]) -> Iterator[Optional[dict]]:
-    """Run the body under a telemetry session when ``path`` is given.
+def _traced(path: Optional[str],
+            live_path: Optional[str] = None,
+            openmetrics_path: Optional[str] = None,
+            ) -> Iterator[Optional[dict]]:
+    """Run the body under a telemetry session when any sink is given.
 
     Yields None (telemetry disabled, zero overhead) or a holder dict
     that gains a ``"telemetry"`` metrics snapshot on exit; the span
     trace is written to ``path`` even when the body fails, so a crashed
     run still leaves its trace behind.
+
+    ``live_path`` / ``openmetrics_path`` additionally attach streaming
+    sinks behind a :class:`~repro.obs.BackgroundFlusher`: spans and
+    metric snapshots are exported *while the run progresses* (the
+    holder carries the :class:`~repro.obs.TelemetryStream` under
+    ``"stream"``, which a progress board pumps on unit completions),
+    and the files survive a crash mid-run with everything published so
+    far.
     """
-    if not path:
+    if not (path or live_path or openmetrics_path):
         yield None
         return
-    from .obs import save_trace, telemetry_session
+    from .obs import (
+        BackgroundFlusher,
+        OpenMetricsSink,
+        RotatingJsonlSink,
+        TelemetryStream,
+        save_trace,
+        telemetry_session,
+    )
+    sinks = []
+    if live_path:
+        sinks.append(RotatingJsonlSink(live_path))
+    if openmetrics_path:
+        sinks.append(OpenMetricsSink(openmetrics_path))
     holder: dict = {}
     with telemetry_session() as (tracer, metrics):
+        flusher = None
+        if sinks:
+            flusher = BackgroundFlusher(sinks)
+            holder["stream"] = TelemetryStream(tracer, metrics,
+                                               flusher)
         try:
             yield holder
         finally:
             holder["telemetry"] = metrics.snapshot()
-            count = save_trace(tracer, path)
-            print(f"trace written to {path} ({count} spans)",
-                  file=sys.stderr)
+            stream = holder.get("stream")
+            if stream is not None:
+                stream.pump(final=True)
+            if flusher is not None:
+                flusher.close()
+                for sink_path in (live_path, openmetrics_path):
+                    if sink_path:
+                        print(f"telemetry streamed to {sink_path}",
+                              file=sys.stderr)
+            if path:
+                count = save_trace(tracer, path)
+                print(f"trace written to {path} ({count} spans)",
+                      file=sys.stderr)
+
+
+def _progress_board(args: argparse.Namespace,
+                    session: Optional[dict], label: str):
+    """A ProgressBoard on stderr when ``--progress`` was given."""
+    if not getattr(args, "progress", False):
+        return None
+    from .obs import ProgressBoard
+    publisher = session.get("stream") if session else None
+    return ProgressBoard(sys.stderr, label=label, publisher=publisher)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -190,6 +257,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_supervision(campaign)
     _add_workers(campaign)
     _add_trace(campaign)
+    _add_progress(campaign)
 
     spice = commands.add_parser(
         "spice",
@@ -210,6 +278,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--omega-points", type=int, default=12)
     sweep.add_argument("--current-points", type=int, default=9)
     _add_workers(sweep)
+    _add_progress(sweep)
 
     commands.add_parser("profiles",
                         help="list the built-in benchmark profiles")
@@ -240,6 +309,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_supervision(chaos)
     _add_workers(chaos)
     _add_trace(chaos)
+    _add_progress(chaos)
 
     trace = commands.add_parser(
         "trace", help="inspect a recorded telemetry trace")
@@ -250,6 +320,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-span-kind count/total/p50/p95 summary tree")
     summarize.add_argument("file", metavar="FILE",
                            help="JSONL trace written by --trace")
+    flame = trace_commands.add_parser(
+        "flame",
+        help="self-time folded stacks (flamegraph renderer input)")
+    flame.add_argument("file", metavar="FILE",
+                       help="JSONL trace written by --trace")
+    flame.add_argument("--output", metavar="FILE", default=None,
+                       help="write the folded stacks here "
+                            "(default stdout)")
+    critical = trace_commands.add_parser(
+        "critical-path",
+        help="the span chain that determined the trace's wall time")
+    critical.add_argument("file", metavar="FILE",
+                          help="JSONL trace written by --trace")
 
     lint = commands.add_parser(
         "lint",
@@ -288,7 +371,7 @@ def _cmd_oftec(args: argparse.Namespace) -> int:
     profile = mibench_profiles()[args.benchmark]
     problem = build_cooling_problem(profile,
                                     grid_resolution=args.resolution)
-    with _traced(args.trace):
+    with _traced(args.trace, args.live_trace, args.openmetrics):
         result = run_oftec(problem, method=args.method, jac=args.jac)
     if args.json:
         payload = {
@@ -331,14 +414,19 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         template, grid_resolution=args.resolution)
     baseline_problem = build_cooling_problem(
         template, with_tec=False, grid_resolution=args.resolution)
-    with _traced(args.trace) as session:
+    with _traced(args.trace, args.live_trace,
+                 args.openmetrics) as session:
+        board = _progress_board(args, session, "campaign")
         campaign = run_campaign(profiles, tec_problem, baseline_problem,
                                 include_tec_only=args.tec_only,
                                 workers=args.workers,
                                 supervision=_supervision_from_args(args),
                                 journal_path=args.journal,
                                 resume_from=args.resume,
-                                jac=args.jac)
+                                jac=args.jac,
+                                progress=board)
+        if board is not None:
+            board.finish()
     print(format_comparison_table(campaign, "opt2"))
     print()
     print(format_comparison_table(campaign, "opt1"))
@@ -396,9 +484,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     profile = mibench_profiles()[args.benchmark]
     problem = build_cooling_problem(profile,
                                     grid_resolution=args.resolution)
+    board = _progress_board(args, None, "sweep")
     sweep = sweep_objective_surfaces(
         problem, omega_points=args.omega_points,
-        current_points=args.current_points, workers=args.workers)
+        current_points=args.current_points, workers=args.workers,
+        progress=board)
+    if board is not None:
+        board.finish()
     print(format_surface(sweep, "temperature"))
     print()
     print(format_surface(sweep, "power"))
@@ -460,11 +552,16 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         template, grid_resolution=args.resolution)
     baseline_problem = build_cooling_problem(
         template, with_tec=False, grid_resolution=args.resolution)
-    with _traced(args.trace) as session:
+    with _traced(args.trace, args.live_trace,
+                 args.openmetrics) as session:
+        board = _progress_board(args, session, "chaos")
         report = run_chaos_campaign(
             profiles, tec_problem, baseline_problem, plan=plan,
             resilient=not args.no_resilient, workers=args.workers,
-            supervision=_supervision_from_args(args))
+            supervision=_supervision_from_args(args),
+            progress=board)
+        if board is not None:
+            board.finish()
     print(format_chaos_report(report))
     if args.json and report.campaign is not None:
         from .io import save_campaign
@@ -475,8 +572,28 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
-    from .obs import format_trace_summary, load_trace
+    from .obs import (
+        critical_path,
+        folded_stacks,
+        format_critical_path,
+        format_folded,
+        format_trace_summary,
+        load_trace,
+    )
     spans = load_trace(args.file)
+    if args.trace_command == "flame":
+        text = format_folded(folded_stacks(spans))
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            print(f"folded stacks written to {args.output} "
+                  f"({len(text.splitlines())} paths)")
+        else:
+            print(text, end="")
+        return 0
+    if args.trace_command == "critical-path":
+        print(format_critical_path(critical_path(spans)))
+        return 0
     print(format_trace_summary(spans))
     return 0
 

@@ -178,6 +178,34 @@ class Evaluator:
         self._gradient_misses = 0
         self._solve_budget: Optional[int] = None
         self._budget_used = 0
+        self._gauge_registry: Optional[object] = None
+
+    def _ensure_gauges(self) -> None:
+        """Register the cache-health collector on the live registry.
+
+        Identity-guarded: runs once per installed registry, so the
+        hot path pays one ``is`` check.  The registry holds the bound
+        method weakly (see
+        :meth:`repro.obs.MetricsRegistry.add_collector`), so the
+        evaluator stays collectable; contributions from several
+        evaluators sharing a registry are summed per gauge.
+        """
+        metrics = _obs.STATE.metrics
+        if self._gauge_registry is not metrics:
+            self._gauge_registry = metrics
+            metrics.add_collector(self._cache_gauges)
+
+    def _cache_gauges(self) -> dict:
+        """Gauge contributions snapshotting :meth:`cache_info`."""
+        info = self.cache_info()
+        return {
+            "evaluator.cache.size": float(info.size),
+            "evaluator.cache.capacity": float(info.limit),
+            "evaluator.cache.evictions": float(info.evictions),
+            "evaluator.cache.gradient_hits": float(info.gradient_hits),
+            "evaluator.cache.gradient_misses":
+                float(info.gradient_misses),
+        }
 
     @property
     def cache_limit(self) -> int:
@@ -234,11 +262,13 @@ class Evaluator:
             self._cache.move_to_end(key)
             self._cache_hits += 1
             if _obs.STATE.enabled:
+                self._ensure_gauges()
                 _obs.STATE.metrics.counter(
                     "evaluator.cache.hits").inc()
             return hit
         self._cache_misses += 1
         if _obs.STATE.enabled:
+            self._ensure_gauges()
             _obs.STATE.metrics.counter("evaluator.cache.misses").inc()
             with _obs.STATE.tracer.span("evaluate", omega=omega,
                                         current=current):

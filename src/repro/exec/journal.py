@@ -28,6 +28,8 @@ from dataclasses import dataclass, field
 from typing import Dict, Mapping, Optional, Tuple
 
 from ..errors import JournalCorruptionError, JournalError
+from ..obs import runtime as _obs
+from ..obs.clock import monotonic
 from .units import UnitResult
 
 #: Journal format version; bumped on any incompatible record change.
@@ -249,9 +251,18 @@ class JournalWriter:
         record["digest"] = _record_digest(self._prev, body)
         line = json.dumps(record, sort_keys=True,
                           separators=(",", ":"))
-        self._handle.write(line.encode("utf-8") + b"\n")
-        self._handle.flush()
-        os.fsync(self._handle.fileno())
+        with _obs.span("exec.journal", str(record.get("kind"))):
+            self._handle.write(line.encode("utf-8") + b"\n")
+            self._handle.flush()
+            if _obs.STATE.enabled:
+                metrics = _obs.get_metrics()
+                started = monotonic()
+                os.fsync(self._handle.fileno())
+                metrics.histogram("journal.fsync_seconds").observe(
+                    monotonic() - started)
+                metrics.counter("journal.records").inc()
+            else:
+                os.fsync(self._handle.fileno())
         self._prev = record["digest"]
 
     def append(self, result: UnitResult) -> None:

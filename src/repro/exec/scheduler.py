@@ -98,8 +98,13 @@ def resolve_workers(workers: Optional[int] = None) -> int:
     return count
 
 
-def _run_serial(context: WorkerContext,
-                units: Sequence[WorkUnit]) -> List[UnitResult]:
+def _result_ok(result: UnitResult) -> bool:
+    """Whether a unit completed without an error or unhandled lines."""
+    return result.error is None and not result.unhandled
+
+
+def _run_serial(context: WorkerContext, units: Sequence[WorkUnit],
+                progress: Optional[Any] = None) -> List[UnitResult]:
     """Execute units in-process through the worker shim.
 
     Re-entrant: the previously installed runtime (if any) is saved and
@@ -110,13 +115,46 @@ def _run_serial(context: WorkerContext,
     """
     previous = _workers.install_runtime(context)
     try:
-        return [_workers.run_unit(unit) for unit in units]
+        results = []
+        for unit in units:
+            if progress is not None:
+                progress.unit_running(unit.name)
+            result = _workers.run_unit(unit)
+            if progress is not None:
+                progress.unit_done(unit.name, result.wall_seconds,
+                                   ok=_result_ok(result))
+            results.append(result)
+        return results
     finally:
         _workers.restore_runtime(previous)
 
 
+def _progress_callback(progress: Any, name: str):
+    """A future done-callback reporting one unit to the board.
+
+    Fires on an executor thread as soon as the worker finishes — the
+    board updates live even while the positional await is still parked
+    on an earlier, slower unit.
+    """
+    def _notify(future) -> None:
+        try:
+            result = future.result()
+        except Exception:  # physlint: disable=RPR201
+            # Whatever the future raises (BrokenProcessPool, a
+            # pickling error, anything a worker re-raised) is
+            # re-raised and handled by the positional await in
+            # _run_pool; the callback only needs to mark the unit
+            # failed on the board without masking that path.
+            progress.unit_done(name, 0.0, ok=False)
+            return
+        progress.unit_done(name, result.wall_seconds,
+                           ok=_result_ok(result))
+    return _notify
+
+
 def _run_pool(payload: bytes, units: Sequence[WorkUnit],
-              max_workers: int) -> List[UnitResult]:
+              max_workers: int,
+              progress: Optional[Any] = None) -> List[UnitResult]:
     """Execute units on a process pool, collecting in submission order."""
     mp_context = None
     method = os.environ.get(START_METHOD_ENV, "").strip()
@@ -128,8 +166,14 @@ def _run_pool(payload: bytes, units: Sequence[WorkUnit],
             mp_context=mp_context,
             initializer=_workers.initialize,
             initargs=(payload,)) as pool:
-        futures = [pool.submit(_workers.run_unit, unit)
-                   for unit in units]
+        futures = []
+        for unit in units:
+            future = pool.submit(_workers.run_unit, unit)
+            if progress is not None:
+                progress.unit_running(unit.name)
+                future.add_done_callback(
+                    _progress_callback(progress, unit.name))
+            futures.append(future)
         # Awaiting positionally (not as_completed) is the merge
         # contract: results line up with submissions no matter which
         # worker finished first.
@@ -137,7 +181,8 @@ def _run_pool(payload: bytes, units: Sequence[WorkUnit],
 
 
 def run_units(context: WorkerContext, units: Sequence[WorkUnit],
-              workers: int) -> List[UnitResult]:
+              workers: int,
+              progress: Optional[Any] = None) -> List[UnitResult]:
     """Run units with ``workers`` processes; merge in submission order.
 
     ``workers <= 1`` (or a single unit, or a call issued from inside a
@@ -147,8 +192,15 @@ def run_units(context: WorkerContext, units: Sequence[WorkUnit],
     context, so re-execution is safe — and records an
     ``exec.pool_fallback`` event.  Worker telemetry is adopted onto
     the live tracer before returning.
+
+    ``progress`` (a :class:`~repro.obs.ProgressBoard`, or anything
+    with its hook methods) receives ``begin``/``unit_running``/
+    ``unit_done`` as units move — from executor threads on the pool
+    path, in-line on the serial path.
     """
     units = list(units)
+    if progress is not None:
+        progress.begin(len(units))
     payload: Optional[bytes] = None
     try:
         payload = pickle.dumps(context)
@@ -167,7 +219,8 @@ def run_units(context: WorkerContext, units: Sequence[WorkUnit],
             and not _workers.in_worker():
         try:
             results = _run_pool(payload, units,
-                                min(workers, len(units)))
+                                min(workers, len(units)),
+                                progress=progress)
         except (OSError, BrokenProcessPool, pickle.PicklingError) \
                 as exc:
             _obs.event("exec.pool_fallback",
@@ -178,37 +231,54 @@ def run_units(context: WorkerContext, units: Sequence[WorkUnit],
         # pool runs exercise the identical serialization path.
         serial_context = context if payload is None \
             else pickle.loads(payload)
-        results = _run_serial(serial_context, units)
+        results = _run_serial(serial_context, units,
+                              progress=progress)
     _adopt_telemetry(results)
     return results
 
 
-def _adopt_telemetry(results: Sequence[UnitResult]) -> None:
-    """Re-parent worker spans/metrics under the coordinating trace.
+def adopt_unit_telemetry(name: str, index: int, pid: Optional[int],
+                         wall_seconds: float,
+                         spans: Optional[Sequence[Dict[str, Any]]],
+                         metrics_snapshot: Optional[dict]) -> None:
+    """Graft one unit's exported telemetry onto the live trace.
 
-    Each unit gets a ``unit`` span on the live tracer whose extent is
-    the unit's worker wall time (ending at adoption); the worker's
-    exported spans are grafted under it with their clocks shifted to
-    the unit span's origin, and its metrics snapshot is folded into
-    the live registry.
+    Creates a ``unit`` span on the live tracer whose extent is the
+    unit's worker wall time (ending now), adopts the worker's exported
+    span records under it with their clocks shifted to the unit span's
+    origin, and folds the worker's metrics snapshot into the live
+    registry.  No-op while telemetry is disabled.
+
+    This is the single adoption seam shared by the end-of-run merge
+    (:func:`run_units`) and the supervisor's streamed telemetry
+    packets — both paths produce the identical merged tree shape.
     """
     if not _obs.STATE.enabled:
         return
     tracer = _obs.STATE.tracer
     metrics = _obs.STATE.metrics
+    unit_span = tracer.start_span("unit", name, index=index,
+                                  worker_pid=pid)
+    tracer.end_span(unit_span)
+    if unit_span.end_s is not None:
+        unit_span.start_s = max(
+            unit_span.end_s - wall_seconds, 0.0)
+    if spans:
+        tracer.adopt_records(spans, parent=unit_span,
+                             time_offset=unit_span.start_s)
+    if metrics_snapshot:
+        metrics.merge_snapshot(metrics_snapshot)
+
+
+def _adopt_telemetry(results: Sequence[UnitResult]) -> None:
+    """Re-parent worker spans/metrics under the coordinating trace."""
+    if not _obs.STATE.enabled:
+        return
     for result in results:
-        unit_span = tracer.start_span(
-            "unit", result.name, index=result.index,
-            worker_pid=result.stats.get("pid"))
-        tracer.end_span(unit_span)
-        if unit_span.end_s is not None:
-            unit_span.start_s = max(
-                unit_span.end_s - result.wall_seconds, 0.0)
-        if result.spans:
-            tracer.adopt_records(result.spans, parent=unit_span,
-                                 time_offset=unit_span.start_s)
-        if result.metrics:
-            metrics.merge_snapshot(result.metrics)
+        adopt_unit_telemetry(result.name, result.index,
+                             result.stats.get("pid"),
+                             result.wall_seconds, result.spans,
+                             result.metrics)
 
 
 def worker_statistics(results: Sequence[UnitResult]) -> Dict[str, Any]:
@@ -308,6 +378,7 @@ def run_campaign_units(
     journal: Optional[Any] = None,
     completed: Optional[Mapping[int, UnitResult]] = None,
     jac: str = "analytic",
+    progress: Optional[Any] = None,
 ) -> CampaignMerge:
     """Decompose a campaign into benchmark units, run, and merge.
 
@@ -344,7 +415,7 @@ def run_campaign_units(
         from .supervisor import run_units_supervised
         outcome = run_units_supervised(
             context, units, workers, policy=supervision,
-            journal=journal, completed=completed)
+            journal=journal, completed=completed, monitor=progress)
         results = outcome.completed
         merge.quarantined = list(outcome.quarantined)
         merge.retries = outcome.retries
@@ -352,7 +423,8 @@ def run_campaign_units(
         for kind, count in outcome.process_fired.items():
             merge.fired[kind] = merge.fired.get(kind, 0) + count
     else:
-        results = run_units(context, units, workers)
+        results = run_units(context, units, workers,
+                            progress=progress)
     merge.worker_stats = worker_statistics(results)
     if supervised:
         merge.worker_stats["supervision"] = {
@@ -403,6 +475,7 @@ def evaluate_points(
     points: Sequence[Tuple[float, float]],
     workers: int,
     chunk: Optional[int] = None,
+    progress: Optional[Any] = None,
 ) -> List[Any]:
     """Evaluate ``(omega, I)`` points by fanning chunks across workers.
 
@@ -421,7 +494,7 @@ def evaluate_points(
     context = WorkerContext(point_problem=problem,
                             telemetry=_obs.STATE.enabled)
     units = _chunk_units(points, "points", chunk)
-    results = run_units(context, units, workers)
+    results = run_units(context, units, workers, progress=progress)
     evaluations: List[Any] = []
     for result in results:
         if result.error is not None:
@@ -440,6 +513,7 @@ def solve_fields(
     leakage: Any,
     workers: int,
     chunk: Optional[int] = None,
+    progress: Optional[Any] = None,
 ) -> List[Any]:
     """Temperature fields at many points, fanned across workers.
 
@@ -468,7 +542,7 @@ def solve_fields(
                             field_leakage=leakage,
                             telemetry=_obs.STATE.enabled)
     units = _chunk_units(points, "fields", chunk)
-    results = run_units(context, units, workers)
+    results = run_units(context, units, workers, progress=progress)
     fields: List[Any] = []
     for result in results:
         if result.error is not None:
@@ -517,6 +591,7 @@ __all__ = [
     "CampaignMerge",
     "START_METHOD_ENV",
     "WORKERS_ENV",
+    "adopt_unit_telemetry",
     "default_chunk",
     "evaluate_points",
     "resolve_workers",

@@ -52,7 +52,8 @@ from ..obs import runtime as _obs
 from ..obs.clock import Deadline, monotonic
 from . import workers as _workers
 from .journal import JournalWriter
-from .scheduler import START_METHOD_ENV, _adopt_telemetry
+from .scheduler import (START_METHOD_ENV, _adopt_telemetry,
+                        adopt_unit_telemetry)
 from .units import UnitResult, WorkUnit, WorkerContext
 
 #: Exit code a worker dies with when a ``worker-kill`` fault fires —
@@ -227,7 +228,8 @@ def _heartbeat_loop(slot: int, heartbeats: Any, interval: float,
 
 def _supervised_main(slot: int, payload: bytes, task_queue: Any,
                      result_queue: Any, heartbeats: Any,
-                     interval: float) -> None:
+                     interval: float,
+                     telemetry_queue: Any = None) -> None:
     """Entry point of a supervised worker process.
 
     Installs the shared context, starts the heartbeat thread, then
@@ -236,6 +238,13 @@ def _supervised_main(slot: int, payload: bytes, task_queue: Any,
     deterministically, per (unit label, attempt) — before the unit
     runs, so the coordinator can recompute every decision without a
     side channel.
+
+    With a ``telemetry_queue`` the worker also streams incrementally:
+    a live-metrics thread publishes periodic snapshots mid-unit, and
+    each finished unit's spans/metrics ship as a ``"final"`` packet
+    *before* the result itself — which is then stripped of telemetry,
+    so the coordinator adopts each unit's trace exactly once and the
+    result pickle crossing the queue stays small.
     """
     _workers.initialize(payload)
     silenced = threading.Event()
@@ -243,12 +252,17 @@ def _supervised_main(slot: int, payload: bytes, task_queue: Any,
         target=_heartbeat_loop,
         args=(slot, heartbeats, interval, silenced), daemon=True)
     beat.start()
+    live_stop: Optional[threading.Event] = None
+    if telemetry_queue is not None:
+        live_stop = _workers.start_live_metrics(slot, telemetry_queue)
     context = _workers.current_context()
     plan = context.fault_plan if context is not None else None
     while True:
         item = task_queue.get()
         if item is None:
             silenced.set()
+            if live_stop is not None:
+                live_stop.set()
             return
         unit, attempt = item
         fault = process_fault_decision(plan, unit.name, attempt)
@@ -273,6 +287,15 @@ def _supervised_main(slot: int, payload: bytes, task_queue: Any,
             # and cost a respawn for an error we can report precisely.
             result = UnitResult(index=unit.index, name=unit.name)
             result.unhandled.append(f"{type(exc).__name__}: {exc}")
+        if telemetry_queue is not None and (
+                result.spans is not None
+                or result.metrics is not None):
+            telemetry_queue.put(
+                ("final", slot, unit.index, attempt, result.spans,
+                 result.metrics, result.wall_seconds,
+                 result.stats.get("pid")))
+            result.spans = None
+            result.metrics = None
         result_queue.put((slot, unit.index, attempt, result))
 
 
@@ -311,12 +334,14 @@ class _Supervisor:
                  units: Sequence[WorkUnit], workers: int,
                  policy: SupervisionPolicy,
                  journal: Optional[JournalWriter],
-                 completed: Optional[Mapping[int, UnitResult]]) -> None:
+                 completed: Optional[Mapping[int, UnitResult]],
+                 monitor: Optional[Any] = None) -> None:
         self.context = context
         self.units = list(units)
         self.workers = max(int(workers), 1)
         self.policy = policy
         self.journal = journal
+        self.monitor = monitor
         self.outcome = SupervisedOutcome(
             results=[None] * len(self.units))
         self._by_index = {unit.index: unit for unit in self.units}
@@ -327,6 +352,12 @@ class _Supervisor:
         self._quarantined_ids: set = set()
         self._spawn_failures = 0
         self._fresh: List[UnitResult] = []
+        self._telemetry_queue: Any = None
+        # Streamed "final" packets arriving before their result is
+        # collected, keyed (index, attempt); drained on completion.
+        self._telemetry_packets: Dict[tuple, tuple] = {}
+        self._accepted: Dict[int, int] = {}  # index -> winning attempt
+        self._adopted: set = set()  # indices adopted from packets
         seeded = dict(completed or {})
         for unit in self.units:
             prior = seeded.get(unit.index)
@@ -342,6 +373,8 @@ class _Supervisor:
         """Execute every non-journaled unit to completion or quarantine."""
         if not self._pending:
             return self.outcome
+        if self.monitor is not None:
+            self.monitor.begin(len(self._pending))
         payload: Optional[bytes] = None
         try:
             payload = pickle.dumps(self.context)
@@ -354,10 +387,14 @@ class _Supervisor:
         if payload is None or self.workers < 2 \
                 or _workers.in_worker():
             self._run_serial_remaining(self.context)
-            return self.outcome
-        self._run_pool(payload)
-        _adopt_telemetry(
-            sorted(self._fresh, key=lambda r: self._position[r.index]))
+        else:
+            self._run_pool(payload)
+        # End-of-run adoption covers the serial paths and any pool unit
+        # whose streamed packet was lost; streamed indices are excluded
+        # so no unit's trace is adopted twice.
+        _adopt_telemetry(sorted(
+            (r for r in self._fresh if r.index not in self._adopted),
+            key=lambda r: self._position[r.index]))
         return self.outcome
 
     def _run_pool(self, payload: bytes) -> None:
@@ -367,6 +404,8 @@ class _Supervisor:
         slots = min(self.workers, len(self._pending))
         heartbeats = mp_context.Array("d", slots)
         result_queue = mp_context.Queue()
+        if self.context.telemetry or self.monitor is not None:
+            self._telemetry_queue = mp_context.Queue()
         handles = [_WorkerHandle(slot) for slot in range(slots)]
         try:
             for handle in handles:
@@ -384,9 +423,11 @@ class _Supervisor:
                     return
                 self._dispatch(handles)
                 self._collect(result_queue, handles)
+                self._drain_telemetry()
                 self._sweep(handles, mp_context, payload, heartbeats,
                             result_queue)
         finally:
+            self._await_telemetry()
             self._shutdown(handles)
 
     # -- worker management --------------------------------------------
@@ -399,7 +440,8 @@ class _Supervisor:
         process = mp_context.Process(
             target=_supervised_main,
             args=(handle.slot, payload, handle.queue, result_queue,
-                  heartbeats, self.policy.heartbeat_interval_seconds),
+                  heartbeats, self.policy.heartbeat_interval_seconds,
+                  self._telemetry_queue),
             daemon=True)
         try:
             process.start()
@@ -504,6 +546,8 @@ class _Supervisor:
             handle.deadline = Deadline(
                 self.policy.unit_deadline_seconds)
             handle.beat_seen_at = now
+            if self.monitor is not None:
+                self.monitor.unit_running(unit.name, attempt)
 
     def _collect(self, result_queue: Any,
                  handles: Sequence[_WorkerHandle]) -> None:
@@ -537,7 +581,7 @@ class _Supervisor:
                     self._attempt_failed(index, attempt,
                                          f"unhandled: {line}")
             else:
-                self._complete(result)
+                self._complete(result, attempt=attempt)
 
     def _sweep(self, handles: Sequence[_WorkerHandle], mp_context: Any,
                payload: bytes, heartbeats: Any,
@@ -590,15 +634,96 @@ class _Supervisor:
                 self._replace(handle, "heartbeat", mp_context,
                               payload, heartbeats, result_queue)
 
+    # -- streamed telemetry -------------------------------------------
+
+    def _drain_telemetry(self) -> None:
+        """Pull every queued telemetry packet without blocking."""
+        queue = self._telemetry_queue
+        if queue is None:
+            return
+        while True:
+            try:
+                packet = queue.get_nowait()
+            except _queue.Empty:
+                return
+            self._handle_packet(packet)
+
+    def _handle_packet(self, packet: tuple) -> None:
+        """Route one worker telemetry packet.
+
+        ``live`` packets feed the monitor immediately.  ``final``
+        packets are adopted only for the attempt whose result the
+        coordinator accepted — a kill-raced duplicate attempt's
+        telemetry is dropped, keeping the merged trace bit-for-bit
+        free of phantom units — and are buffered when they outrun
+        their own result across the two queues.
+        """
+        kind, _slot, index, attempt = packet[:4]
+        if kind == "live":
+            if self.monitor is not None and packet[5]:
+                self.monitor.live_metrics(packet[5])
+            return
+        if index in self._quarantined_ids:
+            return
+        accepted = self._accepted.get(index)
+        if accepted is None:
+            self._telemetry_packets[(index, attempt)] = packet
+        elif accepted == attempt:
+            self._adopt_packet(packet)
+
+    def _adopt_packet(self, packet: tuple) -> None:
+        """Graft one accepted ``final`` packet onto the live trace."""
+        _kind, _slot, index, _attempt, spans, metrics, wall, pid = \
+            packet
+        if index in self._adopted:
+            return
+        self._adopted.add(index)
+        adopt_unit_telemetry(self._by_index[index].name, index, pid,
+                             wall, spans, metrics)
+        if self.monitor is not None and metrics:
+            self.monitor.live_metrics(metrics)
+
+    def _await_telemetry(self) -> None:
+        """Briefly wait out final packets still crossing the queue.
+
+        A worker puts its ``final`` packet before the result, but the
+        two multiprocessing queues flush through independent feeder
+        threads, so the packet can trail the result the coordinator
+        already accepted.  Bounded wait: packets are best-effort, and
+        any unit left unadopted here is picked up (sans worker spans)
+        by the end-of-run merge.
+        """
+        if self._telemetry_queue is None or not self.context.telemetry \
+                or self.outcome.circuit_opened:
+            return
+        deadline = Deadline(2.0)
+        while True:
+            self._drain_telemetry()
+            if all(index in self._adopted for index in self._accepted):
+                return
+            if deadline.expired:
+                return
+            time.sleep(0.01)
+
     # -- attempt bookkeeping ------------------------------------------
 
-    def _complete(self, result: UnitResult) -> None:
+    def _complete(self, result: UnitResult,
+                  attempt: Optional[int] = None) -> None:
         """Record a successful unit: merge slot, journal, telemetry."""
         position = self._position[result.index]
         self.outcome.results[position] = result
         self._fresh.append(result)
         if self.journal is not None:
             self.journal.append(result)
+        if attempt is not None:
+            self._accepted[result.index] = attempt
+            packet = self._telemetry_packets.pop(
+                (result.index, attempt), None)
+            if packet is not None:
+                self._adopt_packet(packet)
+        if self.monitor is not None:
+            self.monitor.unit_done(result.name, result.wall_seconds,
+                                   ok=result.error is None)
 
     def _attempt_failed(self, index: int, attempt: int,
                         reason: str) -> None:
@@ -614,6 +739,8 @@ class _Supervisor:
             _obs.event("exec.quarantine", unit=unit.name,
                        attempts=attempt)
             _counter("exec.supervisor.quarantined")
+            if self.monitor is not None:
+                self.monitor.unit_quarantined(unit.name, attempt)
             return
         self.outcome.retries += 1
         delay = self.policy.backoff_seconds(unit.name, attempt)
@@ -621,6 +748,8 @@ class _Supervisor:
         _obs.event("exec.retry", unit=unit.name, attempt=attempt,
                    reason=reason, backoff_seconds=delay)
         _counter("exec.supervisor.retries")
+        if self.monitor is not None:
+            self.monitor.unit_retrying(unit.name, attempt, reason)
         self._pending.append((ready_at, index, attempt + 1))
         self._pending.sort()
 
@@ -655,6 +784,8 @@ class _Supervisor:
         previous = _workers.install_runtime(context)
         try:
             for unit in remaining:
+                if self.monitor is not None:
+                    self.monitor.unit_running(unit.name)
                 self._complete(_workers.run_unit(unit))
         finally:
             _workers.restore_runtime(previous)
@@ -668,6 +799,7 @@ def run_units_supervised(
     policy: Optional[SupervisionPolicy] = None,
     journal: Optional[JournalWriter] = None,
     completed: Optional[Mapping[int, UnitResult]] = None,
+    monitor: Optional[Any] = None,
 ) -> SupervisedOutcome:
     """Run units under supervision; never raises for worker death.
 
@@ -679,10 +811,15 @@ def run_units_supervised(
     :func:`repro.exec.read_journal`) pre-seeds results so a resumed
     campaign skips finished work.  ``workers < 2`` runs the serial
     executor with journaling (nothing to supervise in-process).
+
+    ``monitor`` (a :class:`~repro.obs.ProgressBoard`, or anything with
+    its hook methods) receives the unit lifecycle — including
+    supervision-only states (``unit_retrying``, ``unit_quarantined``)
+    — plus ``live_metrics`` snapshots streamed mid-run from workers.
     """
     supervisor = _Supervisor(context, units, workers,
                              policy or SupervisionPolicy(),
-                             journal, completed)
+                             journal, completed, monitor=monitor)
     return supervisor.run()
 
 

@@ -63,6 +63,7 @@ def run_chaos_campaign(
     resilient: bool = True,
     workers: Optional[int] = None,
     supervision: Optional[object] = None,
+    progress: Optional[object] = None,
 ) -> ChaosReport:
     """Run the benchmark campaign with fault injection turned on.
 
@@ -94,6 +95,8 @@ def run_chaos_campaign(
             the parallel path through the supervised executor (worker
             death becomes retries/quarantine).  Defaults to the stock
             policy when the plan carries process-level kinds.
+        progress: A :class:`repro.obs.ProgressBoard` (or anything with
+            its hook methods) fed the benchmark lifecycle.
     """
     plan = plan if plan is not None else full_fault_plan()
     from ..exec import resolve_workers
@@ -105,7 +108,8 @@ def run_chaos_campaign(
     if worker_count >= 1:
         return _run_chaos_parallel(
             profiles, tec_problem_template, baseline_problem_template,
-            plan, method, resilient, worker_count, supervision)
+            plan, method, resilient, worker_count, supervision,
+            progress=progress)
     injector = FaultInjector(plan)
     report = ChaosReport(plan=plan)
     watch = stopwatch("chaos.wall_seconds")
@@ -117,7 +121,8 @@ def run_chaos_campaign(
                 method=method, isolate_failures=True,
                 resilient=resilient,
                 evaluator_factory=lambda p: FaultyEvaluator(p,
-                                                            injector))
+                                                            injector),
+                progress=progress)
         except Exception as exc:  # physlint: disable=RPR201
             # The chaos boundary is the whole point of the harness: a
             # narrower catch would let exactly the surprising
@@ -146,6 +151,7 @@ def _run_chaos_parallel(
     resilient: bool,
     workers: int,
     supervision: Optional[object] = None,
+    progress: Optional[object] = None,
 ) -> ChaosReport:
     """Chaos campaign over the parallel engine.
 
@@ -164,7 +170,8 @@ def _run_chaos_parallel(
             profiles, tec_problem_template, baseline_problem_template,
             method=method, include_tec_only=False,
             resilient=resilient, policy=None, fault_plan=plan,
-            workers=workers, supervision=supervision)
+            workers=workers, supervision=supervision,
+            progress=progress)
         report.unhandled.extend(merge.unhandled)
         for text in merge.unhandled:
             _obs.event("chaos.unhandled",

@@ -15,6 +15,12 @@ session, instrumented seams cost one attribute check and results are
 bit-identical to an un-instrumented build.
 """
 
+from .analyze import (
+    critical_path,
+    folded_stacks,
+    format_critical_path,
+    format_folded,
+)
 from .clock import Deadline, Stopwatch, deadline, monotonic, stopwatch
 from .export import (
     TRACE_FORMAT_VERSION,
@@ -26,6 +32,14 @@ from .export import (
     summarize_spans,
     write_trace_jsonl,
 )
+from .live import (
+    BackgroundFlusher,
+    OpenMetricsSink,
+    RotatingJsonlSink,
+    TelemetrySink,
+    TelemetryStream,
+    metrics_to_openmetrics,
+)
 from .metrics import (
     DEFAULT_COUNT_BUCKETS,
     DEFAULT_TIME_BUCKETS_S,
@@ -35,6 +49,7 @@ from .metrics import (
     MetricsRegistry,
     NullMetrics,
 )
+from .progress import ProgressBoard
 from .runtime import (
     event,
     get_metrics,
@@ -49,6 +64,7 @@ from .runtime import (
 from .tracing import NoopTracer, Span, SpanEvent, Tracer
 
 __all__ = [
+    "BackgroundFlusher",
     "Counter",
     "DEFAULT_COUNT_BUCKETS",
     "Deadline",
@@ -59,18 +75,28 @@ __all__ = [
     "MetricsRegistry",
     "NoopTracer",
     "NullMetrics",
+    "OpenMetricsSink",
+    "ProgressBoard",
+    "RotatingJsonlSink",
     "Span",
     "SpanEvent",
     "Stopwatch",
     "TRACE_FORMAT_VERSION",
+    "TelemetrySink",
+    "TelemetryStream",
     "Tracer",
+    "critical_path",
     "event",
+    "folded_stacks",
+    "format_critical_path",
+    "format_folded",
     "format_trace_summary",
     "get_metrics",
     "get_tracer",
     "install",
     "is_enabled",
     "load_trace",
+    "metrics_to_openmetrics",
     "monotonic",
     "read_trace_jsonl",
     "reset",

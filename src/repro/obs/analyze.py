@@ -1,0 +1,183 @@
+"""Span analytics: folded flame stacks and critical-path extraction.
+
+Both analyses consume exported span records (the
+:func:`repro.obs.span_to_dict` dictionaries returned by
+:func:`repro.obs.load_trace`), so they run on any saved trace without
+the tracer that produced it.
+
+*Folded stacks* (:func:`folded_stacks`) aggregate **self time** — span
+duration minus the time covered by its children — per root-to-span
+path, in the semicolon-separated format every flamegraph renderer
+consumes (``flamegraph.pl``, speedscope, inferno)::
+
+    campaign;benchmark:qsort;evaluate;operator.solve 184
+
+The count column is integer microseconds, so stack widths are
+proportional to where time was actually spent at that depth.
+
+The *critical path* (:func:`critical_path`) is the chain of spans that
+determined the trace's wall time: starting from the longest root, it
+descends at each level into the child that *finished last* (the one
+completion waited on) and reports per-stage self time — the part of
+the wall that stage alone is responsible for.  That localizes a
+BENCH-style regression to one stage without reading the JSONL by hand.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..units import s_to_ms
+
+#: Microseconds per second (folded-stack counts are integer µs).
+_US_PER_S = 1_000_000
+
+
+def _label(record: Dict[str, Any]) -> str:
+    kind = str(record.get("kind") or "?")
+    name = record.get("name")
+    if name is None:
+        return kind
+    # The folded format reserves ';' (stack separator) and whitespace
+    # (count separator); scrub them out of human-supplied names.
+    safe = str(name).replace(";", ",").replace(" ", "_")
+    return f"{kind}:{safe}"
+
+
+def _index_children(spans: Sequence[Dict[str, Any]],
+                    ) -> Dict[Optional[int], List[Dict[str, Any]]]:
+    """Group spans by parent id; dangling parents count as roots."""
+    ids = {record["span_id"] for record in spans}
+    children: Dict[Optional[int], List[Dict[str, Any]]] = {}
+    for record in spans:
+        parent = record.get("parent_id")
+        if parent not in ids:
+            parent = None
+        children.setdefault(parent, []).append(record)
+    for bucket in children.values():
+        bucket.sort(key=lambda r: (float(r.get("start_s") or 0.0),
+                                   r["span_id"]))
+    return children
+
+
+def _duration(record: Dict[str, Any]) -> float:
+    return float(record.get("duration_s") or 0.0)
+
+
+def folded_stacks(spans: Sequence[Dict[str, Any]],
+                  ) -> Dict[str, int]:
+    """Aggregate self time per stack path.
+
+    Returns ``{"root;child;leaf": microseconds}`` with one entry per
+    distinct path whose self time rounds to at least one microsecond.
+    Self time is the span's duration minus the summed durations of its
+    direct children, clamped at zero (children overlapping their
+    parent's end — adopted worker spans under coarse unit spans — must
+    not produce negative width).
+    """
+    children = _index_children(spans)
+    stacks: Dict[str, int] = {}
+
+    def walk(record: Dict[str, Any], prefix: str) -> None:
+        path = f"{prefix};{_label(record)}" if prefix \
+            else _label(record)
+        own = children.get(record["span_id"], [])
+        self_s = _duration(record) - sum(_duration(child)
+                                         for child in own)
+        self_us = int(round(max(self_s, 0.0) * _US_PER_S))
+        if self_us > 0:
+            stacks[path] = stacks.get(path, 0) + self_us
+        for child in own:
+            walk(child, path)
+
+    for root in children.get(None, ()):
+        walk(root, "")
+    return stacks
+
+
+def format_folded(stacks: Dict[str, int]) -> str:
+    """Render folded stacks as ``path count`` lines, sorted by path
+    (deterministic, diff-friendly; renderers do not care about order)."""
+    lines = [f"{path} {count}"
+             for path, count in sorted(stacks.items())]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def critical_path(spans: Sequence[Dict[str, Any]],
+                  ) -> List[Dict[str, Any]]:
+    """Extract the longest blocking chain through the span tree.
+
+    Starting from the root with the largest duration, descend at every
+    level into the child with the latest ``end_s`` — the child the
+    parent's completion actually waited on.  Returns one entry per
+    stage::
+
+        {"depth", "label", "kind", "name", "duration_s", "self_s",
+         "fraction"}
+
+    where ``self_s`` is the stage duration minus the duration of the
+    chosen child (the wall time attributable to that stage alone along
+    the path) and ``fraction`` is duration over the root's duration.
+    Empty input yields an empty list.
+    """
+    children = _index_children(spans)
+    roots = children.get(None, [])
+    if not roots:
+        return []
+    root = max(roots, key=_duration)
+    root_duration = _duration(root) or 1.0
+    path: List[Dict[str, Any]] = []
+    record: Optional[Dict[str, Any]] = root
+    depth = 0
+    while record is not None:
+        own = children.get(record["span_id"], [])
+        chosen: Optional[Dict[str, Any]] = None
+        if own:
+            chosen = max(
+                own, key=lambda r: (float(r.get("end_s") or 0.0),
+                                    r["span_id"]))
+        child_s = _duration(chosen) if chosen is not None else 0.0
+        duration = _duration(record)
+        path.append({
+            "depth": depth,
+            "label": _label(record),
+            "kind": record.get("kind"),
+            "name": record.get("name"),
+            "duration_s": duration,
+            "self_s": max(duration - child_s, 0.0),
+            "fraction": min(duration / root_duration, 1.0),
+        })
+        record = chosen
+        depth += 1
+    return path
+
+
+def format_critical_path(path: Sequence[Dict[str, Any]]) -> str:
+    """Render the critical path as an indented table."""
+    if not path:
+        return "trace: no spans"
+
+    def fmt(seconds: float) -> str:
+        if seconds >= 1.0:
+            return f"{seconds:.3f}s"
+        return f"{s_to_ms(seconds):.2f}ms"
+
+    total = path[0]["duration_s"]
+    lines = [f"critical path: {len(path)} stages, "
+             f"{fmt(total)} end to end"]
+    for stage in path:
+        indent = "  " * stage["depth"]
+        lines.append(
+            f"{indent}{stage['label']:<{max(30 - 2 * stage['depth'], 1)}} "
+            f"total={fmt(stage['duration_s']):<10} "
+            f"self={fmt(stage['self_s']):<10} "
+            f"{stage['fraction'] * 100.0:5.1f}%")
+    return "\n".join(lines)
+
+
+__all__ = [
+    "critical_path",
+    "folded_stacks",
+    "format_critical_path",
+    "format_folded",
+]

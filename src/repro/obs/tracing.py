@@ -280,7 +280,8 @@ class Tracer:
 
     def adopt_records(self, records: List[Dict[str, Any]],
                       parent: Optional[Span] = None,
-                      time_offset: float = 0.0) -> int:
+                      time_offset: float = 0.0,
+                      id_map: Optional[Dict[int, int]] = None) -> int:
         """Graft exported span records into this tracer's tree.
 
         ``records`` is a batch of :func:`repro.obs.span_to_dict`
@@ -292,6 +293,15 @@ class Tracer:
         and all times are shifted by ``time_offset`` so the adopted
         spans land where the unit ran on this tracer's clock.
 
+        ``id_map`` carries the remapping across calls for *streamed*
+        adoption: when one source tracer arrives as several live delta
+        batches, pass the same (initially empty) dictionary every time
+        and parents finished in an earlier batch still resolve — a
+        record whose parent is in neither the map nor the batch falls
+        back to ``parent``.  Omitted, the map is per-batch (the
+        end-of-run behaviour).  The caller owns one map per source
+        tracer; sharing it across workers would collide their ids.
+
         Records are adopted in batch order, which preserves the
         worker's finish order, and count against the max-span cap like
         locally finished spans.  Returns the number adopted.
@@ -302,10 +312,12 @@ class Tracer:
         # First pass: assign fresh ids to the whole batch.  The batch
         # arrives in finish order (children before parents), so parent
         # remapping has to see every id before any span is built.
-        id_map: Dict[int, int] = {}
+        if id_map is None:
+            id_map = {}
         for record in records:
-            id_map[record["span_id"]] = self._next_id
-            self._next_id += 1
+            if record["span_id"] not in id_map:
+                id_map[record["span_id"]] = self._next_id
+                self._next_id += 1
         adopted = 0
         for record in records:
             new_parent = id_map.get(record.get("parent_id"),

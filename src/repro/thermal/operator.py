@@ -240,7 +240,28 @@ class ThermalOperator:
         if handles is None or handles.metrics is not metrics:
             handles = _OperatorInstruments(metrics)
             self._obs_handles = handles
+            # Once per registry: snapshot-time gauges mirroring
+            # :attr:`stats` (held weakly — see ``add_collector``).
+            metrics.add_collector(self._stats_gauges)
         return handles
+
+    def _stats_gauges(self) -> dict:
+        """Gauge contributions mirroring the lifetime :attr:`stats`.
+
+        Distinct ``operator.stats.*`` names: the per-event
+        ``operator.*`` counters above are registered as counters, and
+        a name is bound to one instrument type per registry.
+        """
+        return {
+            "operator.stats.solves": float(self._solves),
+            "operator.stats.factorizations":
+                float(self._factorizations),
+            "operator.stats.factor_hits": float(self._hits),
+            "operator.stats.factor_evictions": float(self._evictions),
+            "operator.stats.adjoint_solves":
+                float(self._adjoint_solves),
+            "operator.stats.factor_cache_size": float(len(self._lru)),
+        }
 
     @staticmethod
     def _build_diag_index(csc: csc_matrix) -> np.ndarray:

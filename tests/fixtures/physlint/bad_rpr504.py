@@ -1,0 +1,30 @@
+"""Known-bad fixture for RPR504 (telemetry-hot-loop)."""
+
+from repro.obs import runtime as _obs
+from repro.obs.clock import stopwatch
+
+
+def solve_traced(operator, loads):
+    _obs.span("solve")  # BAD: context manager discarded
+    return operator.solve(loads)
+
+
+def time_assembly(assembler):
+    stopwatch("assembly_seconds")  # BAD: watch discarded
+    return assembler.build()
+
+
+def export_spans(spans, sink):
+    for span in spans:
+        sink.write(span)  # BAD: blocking sink I/O per iteration
+
+
+def export_metrics(snapshots, metrics_exporter):
+    while snapshots:
+        metrics_exporter.write(snapshots.pop())  # BAD: same, exporter
+
+
+class Streamer:
+    def drain(self, records):
+        for record in records:
+            self._sink.write(record)  # BAD: attribute receiver

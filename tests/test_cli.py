@@ -176,3 +176,92 @@ class TestChaosCommand:
         payload = json.loads(path.read_text())
         assert "benchmarks" in payload
         assert "feasibility_counts" in payload
+
+
+class TestStreamingFlags:
+    def test_oftec_streams_live_and_openmetrics(self, tmp_path,
+                                                capsys):
+        live = tmp_path / "live.jsonl"
+        om = tmp_path / "metrics.om"
+        code = main(["oftec", "--benchmark", "basicmath",
+                     "--resolution", "6",
+                     "--live-trace", str(live),
+                     "--openmetrics", str(om)])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert f"telemetry streamed to {live}" in captured.err
+        assert f"telemetry streamed to {om}" in captured.err
+        with open(live, encoding="utf-8") as handle:
+            records = [json.loads(line) for line in handle
+                       if line.strip()]
+        assert any(r["record"] == "span" for r in records)
+        assert any(r["record"] == "metrics" for r in records)
+        text = om.read_text()
+        assert text.startswith("# TYPE")
+        assert "repro_operator_solves_total" in text
+        assert text.endswith("# EOF\n")
+
+    def test_campaign_progress_renders_to_stderr(self, tmp_path,
+                                                 capsys):
+        code = main(["campaign", "--resolution", "4",
+                     "--benchmarks", "2", "--progress"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "campaign: 2/2" in captured.err
+
+    def test_sweep_progress(self, capsys):
+        code = main(["sweep", "--benchmark", "basicmath",
+                     "--resolution", "4", "--omega-points", "3",
+                     "--current-points", "3", "--progress"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "sweep:" in captured.err
+
+
+class TestTraceAnalytics:
+    def record_trace(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        code = main(["oftec", "--benchmark", "basicmath",
+                     "--resolution", "6", "--trace", str(path)])
+        assert code == 0
+        return path
+
+    def test_flame_to_stdout(self, tmp_path, capsys):
+        path = self.record_trace(tmp_path)
+        capsys.readouterr()
+        code = main(["trace", "flame", str(path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        lines = [line for line in out.splitlines() if line]
+        assert lines
+        for line in lines:
+            stack, count = line.rsplit(" ", 1)
+            assert stack
+            assert int(count) > 0
+
+    def test_flame_to_file(self, tmp_path, capsys):
+        path = self.record_trace(tmp_path)
+        output = tmp_path / "flame.folded"
+        code = main(["trace", "flame", str(path),
+                     "--output", str(output)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "folded stacks written to" in out
+        assert output.read_text().strip()
+
+    def test_critical_path(self, tmp_path, capsys):
+        path = self.record_trace(tmp_path)
+        capsys.readouterr()
+        code = main(["trace", "critical-path", str(path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.startswith("critical path:")
+        assert "oftec" in out
+
+    def test_summarize_still_works(self, tmp_path, capsys):
+        path = self.record_trace(tmp_path)
+        capsys.readouterr()
+        code = main(["trace", "summarize", str(path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "spans" in out

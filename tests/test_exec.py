@@ -185,7 +185,8 @@ class TestPointsFanOut:
 class TestPoolFallback:
     def test_falls_back_to_in_process(self, monkeypatch,
                                       leakage_free_problem):
-        def broken_pool(payload, units, max_workers):
+        def broken_pool(payload, units, max_workers,
+                        progress=None):
             raise OSError("no pool for you")
 
         monkeypatch.setattr(exec_scheduler, "_run_pool", broken_pool)
@@ -202,7 +203,8 @@ class TestPoolFallback:
         """A context that cannot pickle must degrade to the serial
         executor (with the original object), not raise — env-driven
         fan-out engages on previously-working serial call sites."""
-        def exploding_pool(payload, units, max_workers):
+        def exploding_pool(payload, units, max_workers,
+                           progress=None):
             raise AssertionError("pool must not start")
 
         monkeypatch.setattr(exec_scheduler, "_run_pool",

@@ -1,0 +1,596 @@
+"""Tests for the streaming telemetry plane.
+
+Covers the sinks and background flusher (``repro.obs.live``), span
+analytics (``repro.obs.analyze``), the progress board
+(``repro.obs.progress``), snapshot merging and streamed span adoption
+edge cases, and the perf-regression gate script.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import (
+    BackgroundFlusher,
+    OpenMetricsSink,
+    ProgressBoard,
+    RotatingJsonlSink,
+    TelemetryStream,
+    critical_path,
+    folded_stacks,
+    format_critical_path,
+    format_folded,
+    metrics_to_openmetrics,
+    span_to_dict,
+    telemetry_session,
+)
+
+SCRIPTS = Path(__file__).resolve().parents[1] / "scripts"
+
+
+def read_jsonl(path):
+    with open(path, encoding="utf-8") as handle:
+        return [json.loads(line) for line in handle if line.strip()]
+
+
+class TestRotatingJsonlSink:
+    def test_writes_json_lines(self, tmp_path):
+        sink = RotatingJsonlSink(str(tmp_path / "live.jsonl"))
+        sink.write({"record": "span", "name": "a"})
+        sink.write({"record": "metrics", "seq": 1})
+        sink.close()
+        records = read_jsonl(tmp_path / "live.jsonl")
+        assert [r["record"] for r in records] == ["span", "metrics"]
+        assert sink.records_written == 2
+
+    def test_rotates_at_size_budget(self, tmp_path):
+        path = tmp_path / "live.jsonl"
+        sink = RotatingJsonlSink(str(path), max_bytes=1024,
+                                 max_files=2)
+        payload = {"record": "span", "pad": "x" * 100}
+        for _ in range(40):
+            sink.write(payload)
+        sink.close()
+        assert sink.rotations >= 1
+        assert path.exists()
+        assert (tmp_path / "live.jsonl.1").exists()
+        # Rotation bounds disk: never more than max_files rotated
+        # segments beside the active one.
+        segments = sorted(p.name for p in tmp_path.iterdir())
+        assert len(segments) <= 3
+        # Every surviving segment is still valid JSONL.
+        for segment in segments:
+            assert read_jsonl(tmp_path / segment)
+
+    def test_unserializable_record_degrades(self, tmp_path):
+        sink = RotatingJsonlSink(str(tmp_path / "live.jsonl"))
+        sink.write({"record": "span", "bad": {1, 2}})
+        sink.close()
+        # default=str handles most of it; whatever happens the line
+        # must parse back.
+        records = read_jsonl(tmp_path / "live.jsonl")
+        assert len(records) == 1
+
+    def test_write_after_close_is_noop(self, tmp_path):
+        sink = RotatingJsonlSink(str(tmp_path / "live.jsonl"))
+        sink.close()
+        sink.write({"record": "span"})
+        sink.close()
+        assert read_jsonl(tmp_path / "live.jsonl") == []
+
+    def test_rejects_silly_budgets(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            RotatingJsonlSink(str(tmp_path / "x"), max_bytes=10)
+        with pytest.raises(ConfigurationError):
+            RotatingJsonlSink(str(tmp_path / "x"), max_files=0)
+
+
+class TestOpenMetricsSink:
+    def test_renders_counters_gauges_histograms(self):
+        with telemetry_session() as (_tracer, metrics):
+            metrics.counter("operator.solves").inc(3)
+            metrics.gauge("evaluator.cache.size").set(7.0)
+            metrics.histogram("solve.seconds", (0.1, 1.0)).observe(0.5)
+            text = metrics_to_openmetrics(metrics.snapshot())
+        assert "repro_operator_solves_total 3" in text
+        assert "# TYPE repro_evaluator_cache_size gauge" in text
+        assert "repro_evaluator_cache_size 7" in text
+        assert 'repro_solve_seconds_bucket{le="1"} 1' in text
+        assert 'le="+Inf"' in text
+        assert text.endswith("# EOF\n")
+
+    def test_atomic_snapshot_file(self, tmp_path):
+        path = tmp_path / "metrics.om"
+        sink = OpenMetricsSink(str(path))
+        with telemetry_session() as (_tracer, metrics):
+            metrics.counter("operator.solves").inc()
+            sink.write({"record": "metrics", "seq": 1,
+                        "snapshot": metrics.snapshot()})
+            sink.flush()
+            first = path.read_text()
+            metrics.counter("operator.solves").inc()
+            sink.write({"record": "metrics", "seq": 2,
+                        "snapshot": metrics.snapshot()})
+            sink.flush()
+            second = path.read_text()
+        sink.close()
+        assert "repro_operator_solves_total 1" in first
+        assert "repro_operator_solves_total 2" in second
+        # No temp-file litter left beside the snapshot.
+        assert [p.name for p in tmp_path.iterdir()] == ["metrics.om"]
+
+    def test_ignores_span_records(self, tmp_path):
+        path = tmp_path / "metrics.om"
+        sink = OpenMetricsSink(str(path))
+        sink.write({"record": "span", "name": "x"})
+        sink.flush()
+        sink.close()
+        assert not path.exists()
+
+
+class TestBackgroundFlusher:
+    def test_delivers_to_all_sinks(self, tmp_path):
+        a = RotatingJsonlSink(str(tmp_path / "a.jsonl"))
+        b = RotatingJsonlSink(str(tmp_path / "b.jsonl"))
+        with BackgroundFlusher([a, b]) as flusher:
+            for index in range(5):
+                assert flusher.publish({"record": "span", "i": index})
+        assert len(read_jsonl(tmp_path / "a.jsonl")) == 5
+        assert len(read_jsonl(tmp_path / "b.jsonl")) == 5
+        assert flusher.published_records == 5
+        assert flusher.dropped_records == 0
+
+    def test_failing_sink_is_quarantined(self, tmp_path):
+        class ExplodingSink:
+            def write(self, record):
+                raise RuntimeError("disk on fire")
+
+            def flush(self):
+                pass
+
+            def close(self):
+                pass
+
+        healthy = RotatingJsonlSink(str(tmp_path / "ok.jsonl"))
+        flusher = BackgroundFlusher([ExplodingSink(), healthy])
+        for index in range(3):
+            flusher.publish({"record": "span", "i": index})
+        flusher.close()
+        # The healthy sink got every record; the bad one was dropped
+        # after its first failure instead of killing the thread.
+        assert len(read_jsonl(tmp_path / "ok.jsonl")) == 3
+        assert flusher.sink_errors >= 1
+
+    def test_publish_after_close_drops(self, tmp_path):
+        flusher = BackgroundFlusher(
+            [RotatingJsonlSink(str(tmp_path / "a.jsonl"))])
+        flusher.close()
+        assert flusher.publish({"record": "span"}) is False
+        assert flusher.dropped_records == 1
+
+    def test_bounded_queue_drops_not_blocks(self, tmp_path):
+        # A sink that blocks forever would wedge the queue; publish
+        # must keep returning (False) instead of blocking the hot path.
+        import threading
+        release = threading.Event()
+
+        class SlowSink:
+            def write(self, record):
+                release.wait(5.0)
+
+            def flush(self):
+                pass
+
+            def close(self):
+                pass
+
+        flusher = BackgroundFlusher([SlowSink()], maxsize=4)
+        results = [flusher.publish({"i": index}) for index in range(50)]
+        assert False in results  # queue filled, records dropped
+        assert flusher.dropped_records > 0
+        release.set()
+        flusher.close()
+
+    def test_close_is_idempotent(self, tmp_path):
+        flusher = BackgroundFlusher(
+            [RotatingJsonlSink(str(tmp_path / "a.jsonl"))])
+        flusher.close()
+        flusher.close()
+
+
+class TestTelemetryStream:
+    def test_pumps_spans_once(self, tmp_path):
+        sink = RotatingJsonlSink(str(tmp_path / "live.jsonl"))
+        with telemetry_session() as (tracer, metrics):
+            flusher = BackgroundFlusher([sink])
+            stream = TelemetryStream(tracer, metrics, flusher,
+                                     interval_s=3600.0)
+            with tracer.span("unit", "a"):
+                pass
+            stream.pump()
+            with tracer.span("unit", "b"):
+                pass
+            stream.pump()
+            stream.pump()  # nothing new: no duplicate records
+            flusher.close()
+        names = [r.get("name") for r in
+                 read_jsonl(tmp_path / "live.jsonl")
+                 if r["record"] == "span"]
+        assert names == ["a", "b"]
+        assert stream.spans_streamed == 2
+
+    def test_snapshot_throttled_until_final(self, tmp_path):
+        sink = RotatingJsonlSink(str(tmp_path / "live.jsonl"))
+        with telemetry_session() as (tracer, metrics):
+            flusher = BackgroundFlusher([sink])
+            stream = TelemetryStream(tracer, metrics, flusher,
+                                     interval_s=3600.0)
+            stream.pump()   # first pump always snapshots
+            stream.pump()   # throttled
+            stream.pump(final=True)  # forced
+            flusher.close()
+        metric_records = [r for r in
+                          read_jsonl(tmp_path / "live.jsonl")
+                          if r["record"] == "metrics"]
+        assert len(metric_records) == 2
+        assert [r["seq"] for r in metric_records] == [1, 2]
+
+
+def _span(span_id, parent_id, kind, name, start_s, end_s):
+    return {"span_id": span_id, "parent_id": parent_id, "kind": kind,
+            "name": name, "start_s": start_s, "end_s": end_s,
+            "duration_s": end_s - start_s, "status": "ok",
+            "attributes": {}, "events": []}
+
+
+class TestSpanAnalytics:
+    def tree(self):
+        # root [0, 10]; child A [0, 4]; child B [4, 9];
+        # grandchild under B [5, 8].
+        return [
+            _span(1, None, "campaign", None, 0.0, 10.0),
+            _span(2, 1, "unit", "a", 0.0, 4.0),
+            _span(3, 1, "unit", "b", 4.0, 9.0),
+            _span(4, 3, "evaluate", None, 5.0, 8.0),
+        ]
+
+    def test_folded_self_time(self):
+        stacks = folded_stacks(self.tree())
+        assert stacks["campaign"] == 1_000_000          # 10 - 4 - 5
+        assert stacks["campaign;unit:a"] == 4_000_000
+        assert stacks["campaign;unit:b"] == 2_000_000   # 5 - 3
+        assert stacks["campaign;unit:b;evaluate"] == 3_000_000
+        # Total self time reconstructs the root's wall time.
+        assert sum(stacks.values()) == 10_000_000
+
+    def test_folded_scrubs_reserved_characters(self):
+        spans = [_span(1, None, "unit", "a;b c", 0.0, 1.0)]
+        stacks = folded_stacks(spans)
+        assert list(stacks) == ["unit:a,b_c"]
+
+    def test_format_folded_deterministic(self):
+        text = format_folded(folded_stacks(self.tree()))
+        assert text.splitlines() == sorted(text.splitlines())
+        assert text.endswith("\n")
+        assert format_folded({}) == ""
+
+    def test_critical_path_follows_latest_finisher(self):
+        path = critical_path(self.tree())
+        assert [p["label"] for p in path] == \
+            ["campaign", "unit:b", "evaluate"]
+        assert path[0]["fraction"] == 1.0
+        assert path[1]["self_s"] == pytest.approx(2.0)  # 5 - 3
+        assert path[2]["self_s"] == pytest.approx(3.0)
+
+    def test_critical_path_empty(self):
+        assert critical_path([]) == []
+        assert format_critical_path([]) == "trace: no spans"
+
+    def test_round_trip_with_real_tracer(self):
+        with telemetry_session() as (tracer, _metrics):
+            with tracer.span("campaign"):
+                with tracer.span("unit", "x"):
+                    pass
+        records = [span_to_dict(span) for span in tracer.finished]
+        stacks = folded_stacks(records)
+        assert any(key.startswith("campaign") for key in stacks)
+        path = critical_path(records)
+        assert path[0]["label"] == "campaign"
+
+
+class TestProgressBoard:
+    def test_non_tty_logs_lifecycle(self):
+        out = io.StringIO()
+        board = ProgressBoard(out, interval_s=0.001, label="campaign")
+        board.begin(3)
+        board.unit_running("a")
+        board.unit_done("a", 0.5)
+        board.unit_running("b")
+        board.unit_retrying("b", attempt=1, reason="deadline")
+        board.unit_running("b", attempt=2)
+        board.unit_done("b", 0.7)
+        board.unit_running("c")
+        board.unit_quarantined("c", attempts=3)
+        board.finish()
+        text = out.getvalue()
+        assert "campaign: 0/3" in text
+        assert "1 retried" in text
+        assert "1 quarantined" in text
+        assert "\r" not in text  # log lines, not TTY rewrites
+        assert board.done == 2
+        assert board.retries == 1
+        assert board.quarantined == 1
+
+    def test_cache_rates_from_live_metrics(self):
+        out = io.StringIO()
+        board = ProgressBoard(out, total=2, interval_s=0.001)
+        board.live_metrics({"counters": {
+            "evaluator.cache.hits": 3, "evaluator.cache.misses": 1,
+            "operator.factor.hits": 1, "operator.factorizations": 3}})
+        line = board.status_line()
+        assert "eval cache 75%" in line
+        assert "factor cache 25%" in line
+
+    def test_eta_appears_after_first_completion(self):
+        out = io.StringIO()
+        board = ProgressBoard(out, total=4, interval_s=0.001)
+        board.begin(4)
+        assert board.eta_s() is None
+        board.unit_running("a")
+        board.unit_done("a", 0.1)
+        assert board.eta_s() is not None
+        assert board.throughput() > 0.0
+
+    def test_publisher_pumped_on_completion_and_finish(self):
+        calls = []
+
+        class Recorder:
+            def pump(self, final=False):
+                calls.append(final)
+
+        board = ProgressBoard(io.StringIO(), total=1,
+                              interval_s=0.001,
+                              publisher=Recorder())
+        board.unit_running("a")
+        board.unit_done("a", 0.1)
+        board.finish()
+        assert calls == [False, True]
+
+    def test_rejects_bad_interval(self):
+        with pytest.raises(ConfigurationError):
+            ProgressBoard(io.StringIO(), interval_s=0.0)
+
+
+class TestMergeSnapshotOrdering:
+    def snap_a(self):
+        return {"counters": {"operator.solves": 3},
+                "gauges": {"evaluator.cache.size": 5.0},
+                "histograms": {"solve.seconds": {
+                    "buckets": [[0.1, 1], [1.0, 0]], "overflow": 0,
+                    "count": 1, "sum": 0.05, "min": 0.05,
+                    "max": 0.05}}}
+
+    def snap_b(self):
+        return {"counters": {"operator.solves": 2,
+                             "journal.records": 4},
+                "gauges": {"evaluator.cache.size": 9.0},
+                "histograms": {"solve.seconds": {
+                    "buckets": [[0.1, 0], [1.0, 2]], "overflow": 1,
+                    "count": 3, "sum": 4.5, "min": 0.4,
+                    "max": 3.0}}}
+
+    def merged(self, *snaps):
+        with telemetry_session() as (_tracer, metrics):
+            for snap in snaps:
+                metrics.merge_snapshot(snap)
+            return metrics.snapshot()
+
+    def test_out_of_order_counters_and_histograms_commute(self):
+        ab = self.merged(self.snap_a(), self.snap_b())
+        ba = self.merged(self.snap_b(), self.snap_a())
+        assert ab["counters"] == ba["counters"]
+        assert ab["counters"]["operator.solves"] == 5
+        hist_ab = ab["histograms"]["solve.seconds"]
+        hist_ba = ba["histograms"]["solve.seconds"]
+        for key in ("count", "sum", "min", "max", "buckets",
+                    "overflow"):
+            assert hist_ab[key] == hist_ba[key]
+        assert hist_ab["count"] == 4
+        assert hist_ab["min"] == 0.05
+        assert hist_ab["max"] == 3.0
+
+    def test_gauges_last_write_wins(self):
+        ab = self.merged(self.snap_a(), self.snap_b())
+        ba = self.merged(self.snap_b(), self.snap_a())
+        assert ab["gauges"]["evaluator.cache.size"] == 9.0
+        assert ba["gauges"]["evaluator.cache.size"] == 5.0
+
+    def test_duplicate_live_then_final_snapshot_double_counts(self):
+        # Documented hazard: merge_snapshot folds *absolute* snapshots,
+        # so callers must merge each worker's totals exactly once.
+        # The supervisor guarantees this by adopting either the final
+        # packet or the result payload, never both.
+        twice = self.merged(self.snap_a(), self.snap_a())
+        assert twice["counters"]["operator.solves"] == 6
+
+    def test_empty_snapshot_is_identity(self):
+        merged = self.merged(self.snap_a(), {})
+        assert merged["counters"]["operator.solves"] == 3
+
+
+class TestAdoptRecordsStreamed:
+    def source_records(self):
+        with telemetry_session() as (tracer, _metrics):
+            with tracer.span("unit", "w"):
+                with tracer.span("stage", "s1"):
+                    with tracer.span("evaluate"):
+                        pass
+                with tracer.span("stage", "s2"):
+                    pass
+        return [span_to_dict(span) for span in tracer.finished]
+
+    def adopt(self, batches, id_map=None):
+        with telemetry_session() as (tracer, _metrics):
+            with tracer.span("campaign"):
+                for batch in batches:
+                    tracer.adopt_records(batch, id_map=id_map)
+            return [span_to_dict(span) for span in tracer.finished]
+
+    @staticmethod
+    def shape(adopted):
+        by_id = {r["span_id"]: r for r in adopted}
+
+        def chain(record):
+            parent = by_id.get(record.get("parent_id"))
+            if parent is None:
+                return (record["kind"], record.get("name"))
+            return chain(parent) + (record["kind"],)
+
+        return sorted(chain(r) for r in adopted)
+
+    def test_interleaved_deltas_match_one_shot(self):
+        records = self.source_records()
+        # Live adoption: the unit span arrives in one delta, the stage
+        # spans in a later one.  The persistent id_map must let the
+        # later batch resolve parents adopted in the earlier batch.
+        one_shot = self.adopt([records])
+        unit = [r for r in records if r["kind"] == "unit"]
+        rest = [r for r in records if r["kind"] != "unit"]
+        interleaved = self.adopt([unit, rest], id_map={})
+        assert self.shape(interleaved) == self.shape(one_shot)
+
+    def test_without_persistent_map_cross_batch_parents_reroot(self):
+        records = self.source_records()
+        unit = [r for r in records if r["kind"] == "unit"]
+        rest = [r for r in records if r["kind"] != "unit"]
+        adopted = self.adopt([unit, rest])  # per-batch maps
+        # Stage spans lost their unit parent: they re-rooted under the
+        # adoption parent (the campaign span) instead of cross-linking.
+        chains = self.shape(adopted)
+        assert ("campaign", None, "stage") in chains
+
+    def test_per_batch_map_falls_back_to_parent(self):
+        records = self.source_records()
+        # Without a persistent map, a batch whose parents finished in
+        # an earlier batch re-roots under the adoption parent instead
+        # of crashing or cross-linking.
+        adopted = self.adopt([records[:2], records[2:]])
+        campaign = [r for r in adopted if r["kind"] == "campaign"]
+        assert len(campaign) == 1
+        root_id = campaign[0]["span_id"]
+        units = [r for r in adopted
+                 if r["kind"] == "unit" and r["parent_id"] == root_id]
+        assert units  # the unit span re-rooted under the campaign
+
+
+class TestBenchGate:
+    def run_gate(self, argv):
+        sys.path.insert(0, str(SCRIPTS))
+        try:
+            import bench_gate
+        finally:
+            sys.path.pop(0)
+        return bench_gate.main(argv)
+
+    def seed_artifacts(self, directory, **overrides):
+        docs = {
+            "BENCH_3.json": {
+                "grid_resolution": 12,
+                "repeated_solve": {"speedup": 38.0},
+                "table2_campaign": {
+                    "factorizations_per_solve": 0.9}},
+            "BENCH_4.json": {
+                "grid_resolution": 12,
+                "oftec": {"overhead_pct": 2.0},
+                "warm_solve": {"overhead_pct": 3.0},
+                "streaming": {"overhead_pct": 2.2}},
+            "BENCH_5.json": {
+                "benchmarks": 2,
+                "canonical_digest": "ab" * 32,
+                "parallel": {"workers_2": {"per_worker": [
+                    {"units": 1}, {"units": 1}]}}},
+            "BENCH_6.json": {"overhead_pct": 1.0},
+            "BENCH_7.json": {
+                "totals": {"solve_reduction": 10.0}},
+        }
+        docs.update(overrides)
+        for name, doc in docs.items():
+            if doc is None:
+                continue
+            (directory / name).write_text(json.dumps(doc))
+
+    def test_healthy_artifacts_pass(self, tmp_path, capsys):
+        self.seed_artifacts(tmp_path)
+        assert self.run_gate(["--dir", str(tmp_path),
+                              "--require-all"]) == 0
+        out = capsys.readouterr().out
+        assert "bench_gate: ok" in out
+
+    def test_committed_artifacts_pass(self, capsys):
+        repo = str(Path(__file__).resolve().parents[1])
+        assert self.run_gate(["--dir", repo, "--require-all"]) == 0
+
+    def test_broken_factor_cache_fails(self, tmp_path, capsys):
+        self.seed_artifacts(tmp_path, **{"BENCH_3.json": {
+            "grid_resolution": 12,
+            "repeated_solve": {"speedup": 1.1},
+            "table2_campaign": {"factorizations_per_solve": 2.5}}})
+        assert self.run_gate(["--dir", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL  BENCH_3" in out
+
+    def test_streaming_budget_fails(self, tmp_path):
+        self.seed_artifacts(tmp_path, **{"BENCH_4.json": {
+            "grid_resolution": 12,
+            "oftec": {"overhead_pct": 2.0},
+            "warm_solve": {"overhead_pct": 3.0},
+            "streaming": {"overhead_pct": 9.0}}})
+        assert self.run_gate(["--dir", str(tmp_path)]) == 1
+
+    def test_smoke_resolution_skips_resolution_gated_budgets(
+            self, tmp_path, capsys):
+        self.seed_artifacts(tmp_path, **{"BENCH_4.json": {
+            "grid_resolution": 6,
+            "oftec": {"overhead_pct": 2.0},
+            "warm_solve": {"overhead_pct": 40.0},
+            "streaming": {"overhead_pct": 40.0}}})
+        assert self.run_gate(["--dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "SKIP  BENCH_4 warm-solve" in out
+        assert "SKIP  BENCH_4 streaming" in out
+
+    def test_missing_artifact_skips_unless_required(self, tmp_path):
+        self.seed_artifacts(tmp_path, **{"BENCH_7.json": None})
+        assert self.run_gate(["--dir", str(tmp_path)]) == 0
+        assert self.run_gate(["--dir", str(tmp_path),
+                              "--require-all"]) == 1
+
+    def test_drift_warns_then_strict_fails(self, tmp_path, capsys):
+        current = tmp_path / "current"
+        baseline = tmp_path / "baseline"
+        current.mkdir()
+        baseline.mkdir()
+        self.seed_artifacts(baseline)
+        self.seed_artifacts(current, **{"BENCH_3.json": {
+            "grid_resolution": 12,
+            "repeated_solve": {"speedup": 5.0},  # big regression
+            "table2_campaign": {"factorizations_per_solve": 0.9}}})
+        assert self.run_gate(["--dir", str(current),
+                              "--baseline", str(baseline)]) == 0
+        out = capsys.readouterr().out
+        assert "DRIFT BENCH_3.json repeated-solve speedup" in out
+        assert self.run_gate(["--dir", str(current),
+                              "--baseline", str(baseline),
+                              "--strict-drift"]) == 1
+
+    def test_bad_directories_are_config_errors(self, tmp_path):
+        assert self.run_gate(["--dir", str(tmp_path / "nope")]) == 5
+        assert self.run_gate(["--dir", str(tmp_path),
+                              "--baseline",
+                              str(tmp_path / "nope")]) == 5

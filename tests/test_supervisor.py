@@ -291,3 +291,104 @@ class TestWorkerCrashAttribution:
             run_campaign(two_profiles, tec, base, workers=2)
         assert excinfo.value.units == (("basicmath", 2),)
         assert "basicmath (attempt 2)" in str(excinfo.value)
+
+
+class TestSupervisedStreaming:
+    def test_monitor_hooks_fire_and_digest_stays_identical(
+            self, two_profiles, small_problems):
+        """A traced, monitored, supervised parallel campaign produces
+        the same canonical digest as an untraced serial run, while the
+        monitor sees the full unit lifecycle and the session adopts
+        the workers' spans and metrics."""
+        from repro.obs import telemetry_session
+
+        tec, base = small_problems
+        serial = run_campaign(two_profiles, tec, base, workers=0)
+
+        events = []
+
+        class Recorder:
+            def begin(self, total, label=None):
+                events.append(("begin", total))
+
+            def unit_running(self, name, attempt=1):
+                events.append(("running", name))
+
+            def unit_retrying(self, name, attempt, reason=None):
+                events.append(("retrying", name))
+
+            def unit_quarantined(self, name, attempts=0):
+                events.append(("quarantined", name))
+
+            def unit_done(self, name, wall_seconds=0.0, ok=True):
+                events.append(("done", name, ok))
+
+            def live_metrics(self, snapshot):
+                events.append(("live",))
+
+            def finish(self):
+                events.append(("finish",))
+
+        with telemetry_session() as (tracer, metrics):
+            supervised = run_campaign(
+                two_profiles, tec, base, workers=2,
+                supervision=SupervisionPolicy(),
+                progress=Recorder())
+            unit_spans = [span for span in tracer.finished
+                          if span.kind == "unit"]
+            snapshot = metrics.snapshot()
+
+        assert canonical_digest(supervised) == canonical_digest(serial)
+        kinds = [event[0] for event in events]
+        assert kinds.count("begin") >= 1
+        assert kinds.count("running") == 2
+        done = sorted(event for event in events
+                      if event[0] == "done")
+        assert done == sorted(("done", name, True)
+                              for name in two_profiles)
+        assert "retrying" not in kinds
+        assert "quarantined" not in kinds
+        # The workers' telemetry was adopted into the parent session:
+        # one unit span per benchmark carrying the worker pid, and the
+        # worker counters folded into the session registry.
+        assert sorted(span.name for span in unit_spans) == \
+            sorted(two_profiles)
+        assert all(span.attributes.get("worker_pid")
+                   for span in unit_spans)
+        assert snapshot["counters"]["operator.solves"] > 0
+
+    def test_monitor_without_session_still_reports(
+            self, two_profiles, small_problems):
+        """--progress without --trace: no telemetry session anywhere,
+        but the lifecycle hooks still drive the board."""
+        tec, base = small_problems
+        events = []
+
+        class Recorder:
+            def begin(self, total, label=None):
+                events.append("begin")
+
+            def unit_running(self, name, attempt=1):
+                events.append("running")
+
+            def unit_done(self, name, wall_seconds=0.0, ok=True):
+                events.append("done")
+
+            def unit_retrying(self, name, attempt, reason=None):
+                events.append("retrying")
+
+            def unit_quarantined(self, name, attempts=0):
+                events.append("quarantined")
+
+            def live_metrics(self, snapshot):
+                events.append("live")
+
+            def finish(self):
+                events.append("finish")
+
+        campaign = run_campaign(two_profiles, tec, base, workers=2,
+                                supervision=SupervisionPolicy(),
+                                progress=Recorder())
+        assert len(campaign.comparisons) == 2
+        assert events.count("running") == 2
+        assert events.count("done") == 2
