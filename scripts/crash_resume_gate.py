@@ -16,7 +16,13 @@ This script proves it the hard way:
 3. resume from the journal (``--resume``) and byte-compare the
    resumed canonical JSON against the reference.
 
-Exit code 0 on a byte-identical diff, 1 otherwise.
+It doubles as the shared-memory crash gate: the killed coordinator
+held an open publication scope, so its ``/dev/shm`` segments outlive
+it — the resume run's publication sweep must reclaim them, and the
+gate fails if any ``repro_shm_*`` segment survives to the end.
+
+Exit code 0 on a byte-identical diff and a clean ``/dev/shm``,
+1 otherwise.
 """
 
 import argparse
@@ -26,6 +32,8 @@ import subprocess
 import sys
 import tempfile
 import time
+
+from repro.exec import live_segment_files
 
 
 def repro_cmd(*extra):
@@ -103,6 +111,11 @@ def main():
                 victim.kill()
                 victim.wait()
 
+        leaked = live_segment_files(pids=[victim.pid])
+        if leaked:
+            print(f"[gate] killed coordinator left shm segments "
+                  f"{leaked}; the resume run must sweep them")
+
         print("[gate] resume from the journal")
         subprocess.run(repro_cmd(*common, "--workers",
                                  str(args.workers),
@@ -110,6 +123,13 @@ def main():
                                  "--json", resumed_json,
                                  "--canonical"),
                        check=True, timeout=args.timeout)
+
+        remaining = live_segment_files(pids=[victim.pid, os.getpid()])
+        if remaining:
+            print(f"[gate] FAIL: shm segments leaked past the resume "
+                  f"run: {remaining}")
+            return 1
+        print("[gate] OK: no repro_shm_* segments left in /dev/shm")
 
         with open(serial_json, "rb") as handle:
             reference = handle.read()

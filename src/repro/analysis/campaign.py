@@ -187,6 +187,21 @@ class CampaignResult:
         return sum(runtimes) / len(runtimes)
 
 
+#: Serial order of the per-benchmark pipeline stages.  The parallel
+#: engine decomposes a benchmark into one work unit per stage using
+#: exactly these labels; merge walks them in this order to reproduce
+#: the serial loop's skip semantics (a failed stage means later stages
+#: never ran).
+CAMPAIGN_STAGES = (
+    "oftec-opt1",
+    "oftec-opt2",
+    "variable-opt1",
+    "variable-opt2",
+    "fixed-omega",
+    "tec-only",
+)
+
+
 class _StageFailure(Exception):
     """Internal wrapper tagging a ReproError with its pipeline stage."""
 
@@ -207,19 +222,24 @@ def _staged(stage: str, thunk: Callable):
         raise _StageFailure(stage, exc) from exc
 
 
-def _run_benchmark(
+def _stage_specs(
     name: str,
     tec_problem: CoolingProblem,
     base_problem: CoolingProblem,
     method: str,
-    include_tec_only: bool,
     make: Callable[[CoolingProblem], Evaluator],
     resilient: bool,
     policy: Optional[ResiliencePolicy],
     failures: List[FailureReport],
     jac: str = "analytic",
-) -> BenchmarkComparison:
-    """All methods on one benchmark, each stage individually tagged."""
+) -> Dict[str, Callable]:
+    """Zero-argument thunks for every pipeline stage of one benchmark.
+
+    Each thunk builds its own fresh evaluator via ``make``, so a stage
+    behaves identically whether it runs inline in ``_run_benchmark`` or
+    as a standalone work unit on a worker — the basis of the parallel
+    engine's stage-level decomposition staying bit-identical to serial.
+    """
     if resilient:
         def oftec_stage() -> OFTECResult:
             outcome = run_oftec_resilient(
@@ -241,36 +261,82 @@ def _run_benchmark(
                     f"{name}: Optimization 2 failed on every ladder "
                     "rung")
             return solve.outcome
-
-        oftec_opt1 = _staged("oftec-opt1", oftec_stage)
-        oftec_opt2 = _staged("oftec-opt2", opt2_stage)
     else:
-        oftec_opt1 = _staged("oftec-opt1", lambda: run_oftec(
-            tec_problem, method=method, evaluator=make(tec_problem),
-            jac=jac))
-        oftec_opt2 = _staged(
-            "oftec-opt2", lambda: minimize_temperature(
-                make(tec_problem), method=method, jac=jac))
-    variable_opt1 = _staged(
-        "variable-opt1", lambda: run_variable_fan_baseline(
+        def oftec_stage() -> OFTECResult:
+            return run_oftec(tec_problem, method=method,
+                             evaluator=make(tec_problem), jac=jac)
+
+        def opt2_stage() -> OptimizationOutcome:
+            return minimize_temperature(make(tec_problem),
+                                        method=method, jac=jac)
+    return {
+        "oftec-opt1": oftec_stage,
+        "oftec-opt2": opt2_stage,
+        "variable-opt1": lambda: run_variable_fan_baseline(
             base_problem, method=method,
-            evaluator=make(base_problem), jac=jac))
-    variable_opt2 = _staged(
-        "variable-opt2", lambda: minimize_temperature(
-            make(base_problem), method=method, jac=jac))
-    fixed = _staged("fixed-omega", lambda: run_fixed_fan_baseline(
-        base_problem, evaluator=make(base_problem)))
-    tec_only = _staged("tec-only", lambda: run_tec_only(
-        tec_problem, evaluator=make(tec_problem))) \
-        if include_tec_only else None
+            evaluator=make(base_problem), jac=jac),
+        "variable-opt2": lambda: minimize_temperature(
+            make(base_problem), method=method, jac=jac),
+        "fixed-omega": lambda: run_fixed_fan_baseline(
+            base_problem, evaluator=make(base_problem)),
+        "tec-only": lambda: run_tec_only(
+            tec_problem, evaluator=make(tec_problem)),
+    }
+
+
+def run_campaign_stage(
+    stage: str,
+    name: str,
+    tec_problem: CoolingProblem,
+    base_problem: CoolingProblem,
+    method: str,
+    make: Callable[[CoolingProblem], Evaluator],
+    resilient: bool,
+    policy: Optional[ResiliencePolicy],
+    failures: List[FailureReport],
+    jac: str = "analytic",
+):
+    """Run exactly one pipeline stage of one benchmark.
+
+    The stage-level work-unit entry point: same thunk, same span, same
+    :class:`_StageFailure` tagging as the inline pipeline.
+    """
+    specs = _stage_specs(name, tec_problem, base_problem, method, make,
+                         resilient, policy, failures, jac=jac)
+    if stage not in specs:
+        raise ConfigurationError(f"Unknown campaign stage {stage!r}")
+    return _staged(stage, specs[stage])
+
+
+def _run_benchmark(
+    name: str,
+    tec_problem: CoolingProblem,
+    base_problem: CoolingProblem,
+    method: str,
+    include_tec_only: bool,
+    make: Callable[[CoolingProblem], Evaluator],
+    resilient: bool,
+    policy: Optional[ResiliencePolicy],
+    failures: List[FailureReport],
+    jac: str = "analytic",
+) -> BenchmarkComparison:
+    """All methods on one benchmark, each stage individually tagged."""
+    specs = _stage_specs(name, tec_problem, base_problem, method, make,
+                         resilient, policy, failures, jac=jac)
+    values: Dict[str, object] = {}
+    for stage in CAMPAIGN_STAGES:
+        if stage == "tec-only" and not include_tec_only:
+            values[stage] = None
+            continue
+        values[stage] = _staged(stage, specs[stage])
     return BenchmarkComparison(
         name=name,
-        oftec_opt1=oftec_opt1,
-        oftec_opt2=oftec_opt2,
-        variable_opt1=variable_opt1,
-        variable_opt2=variable_opt2,
-        fixed=fixed,
-        tec_only=tec_only)
+        oftec_opt1=values["oftec-opt1"],
+        oftec_opt2=values["oftec-opt2"],
+        variable_opt1=values["variable-opt1"],
+        variable_opt2=values["variable-opt2"],
+        fixed=values["fixed-omega"],
+        tec_only=values["tec-only"])
 
 
 def run_campaign(
@@ -290,6 +356,8 @@ def run_campaign(
     resume_from: Optional[str] = None,
     jac: str = "analytic",
     progress: Optional[object] = None,
+    executor: Optional[str] = None,
+    pool: Optional[object] = None,
 ) -> CampaignResult:
     """Run the three-method comparison over a set of benchmark profiles.
 
@@ -351,6 +419,16 @@ def run_campaign(
             its hook methods) fed the benchmark lifecycle — serial,
             pooled, and supervised paths alike — plus live metric
             snapshots on the supervised path.
+        executor: Parallel backend (:data:`repro.exec.EXECUTORS`):
+            ``"process"`` (default) forks worker processes,
+            ``"thread"`` runs units on an in-process thread pool
+            sharing one operator cache (the GIL-releasing SuperLU/BLAS
+            hot path), ``"serial"`` forces the decomposed in-process
+            loop.  None defers to ``REPRO_EXECUTOR``.
+        pool: A warm :class:`repro.exec.WorkerPool` to run units on
+            instead of a fresh one-shot process pool; worker-side
+            caches stay hot across successive campaigns on the same
+            pool.
     """
     if not tec_problem_template.has_tec:
         raise ConfigurationError(
@@ -384,12 +462,15 @@ def run_campaign(
         # Journaling and resume need the decomposed per-unit path;
         # one in-process worker preserves serial bit-identity.
         worker_count = 1
+    if worker_count < 1 and pool is not None:
+        worker_count = max(1, pool.workers)
     if worker_count >= 1:
         return _run_campaign_parallel(
             profiles, tec_problem_template, baseline_problem_template,
             method, include_tec_only, isolate_failures, resilient,
             policy, worker_count, supervision, journal_path,
-            resume_from, jac=jac, progress=progress)
+            resume_from, jac=jac, progress=progress,
+            executor=executor, pool=pool)
     make = evaluator_factory or Evaluator
     watch = stopwatch("campaign.wall_seconds")
     if progress is not None:
@@ -442,8 +523,10 @@ def _run_campaign_parallel(
     resume_from: Optional[str] = None,
     jac: str = "analytic",
     progress: Optional[object] = None,
+    executor: Optional[str] = None,
+    pool: Optional[object] = None,
 ) -> CampaignResult:
-    """The decomposed campaign path: one work unit per benchmark.
+    """The decomposed campaign path: stage- or benchmark-level units.
 
     Merging happens in submission order and each unit reproduces the
     serial per-benchmark pipeline exactly (same stages, same fresh
@@ -481,7 +564,7 @@ def _run_campaign_parallel(
                 workers=workers,
                 supervision=supervision if supervised else None,
                 journal=journal, completed=completed, jac=jac,
-                progress=progress)
+                progress=progress, executor=executor, pool=pool)
             if merge.unhandled:
                 # A non-library exception in a worker is a bug, not a
                 # result; surface every entry instead of a silent hole

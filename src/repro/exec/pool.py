@@ -1,0 +1,493 @@
+"""Persistent warm worker pools: pay the cold start once, not per run.
+
+The one-shot ``ProcessPoolExecutor`` behind :func:`repro.exec.run_units`
+tears its workers down when the call returns, so every campaign, sweep,
+or chaos run in the same coordinating process pays worker spawn plus
+context unpickling plus cold evaluator/factor caches all over again.  A
+:class:`WorkerPool` outlives individual ``run_units`` calls: its
+processes stay resident, and — when the next run ships the *same*
+context payload — each worker keeps its installed
+:class:`~repro.exec.units.WorkerContext` object, which is exactly where
+the warm state lives (the splu factor LRU on each template's thermal
+operator, the evaluator caches on the models).  A second campaign on the
+same templates then runs almost entirely out of worker-side caches.
+
+Context identity is decided by a blake2b digest of the pickled payload.
+To keep those bytes stable across runs, the pool holds one
+:func:`repro.exec.shm.publication` scope open for its whole lifetime:
+the shared-memory plane memoizes descriptors per template object, so
+re-pickling the same templates yields byte-identical payloads (and the
+heavy arrays still travel as tiny shm descriptors on the first install).
+
+Scheduling is a central deque with one-unit-at-a-time dispatch: an idle
+worker always takes the oldest pending unit, which is work stealing in
+its simplest deterministic form — fast workers drain the queue while a
+slow unit occupies one slot, and the submission-order merge is preserved
+by slotting results by unit index.
+
+Failure discipline: a dead or silent worker raises
+:class:`WorkerPoolError` out of :meth:`WorkerPool.run_payload`; the
+scheduler catches it, emits ``exec.pool_fallback``, and re-runs every
+unit serially (units are pure functions of the context, so re-execution
+is safe).  The pool marks itself broken and transparently respawns its
+workers on the next run.  Liveness borrows the supervisor's heartbeat
+design: each worker bumps a shared per-slot counter from a daemon
+thread, and the coordinator watches for silence with its own monotonic
+clock.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import queue as _queue
+import threading
+from collections import deque
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..errors import ConfigurationError, ReproError
+from ..obs import runtime as _obs
+from ..obs.clock import monotonic
+from . import shm as _shm
+from . import workers as _workers
+from .units import UnitResult, WorkUnit
+
+__all__ = [
+    "WorkerPool",
+    "WorkerPoolError",
+]
+
+#: Seconds between pool-worker heartbeat bumps.
+HEARTBEAT_INTERVAL_S = 0.25
+
+#: Heartbeat silence tolerated from a live, busy worker before the pool
+#: declares it hung (s).  Generous: a worker parked inside one long
+#: SuperLU factorization still beats (the heartbeat thread needs only
+#: the GIL slices the solver releases).
+HEARTBEAT_TIMEOUT_S = 30.0
+
+#: Seconds to wait for every worker to acknowledge a context install.
+INSTALL_TIMEOUT_S = 120.0
+
+
+class WorkerPoolError(ReproError):
+    """A persistent pool broke mid-run (worker death, silence, or a
+    lost protocol reply); the scheduler degrades to serial."""
+
+
+def _pool_worker_main(slot: int, task_queue: Any, result_queue: Any,
+                      heartbeats: Any, interval: float) -> None:
+    """Entry point of one persistent pool worker.
+
+    Serves ``("install", digest, payload)`` and ``("unit", unit)``
+    messages until the ``None`` sentinel.  An install with a ``None``
+    payload is a reuse: the worker keeps its current context object —
+    and with it every warm cache — and just acknowledges the digest.
+    """
+    _obs.reset()
+    from .supervisor import _heartbeat_loop
+    silenced = threading.Event()
+    threading.Thread(
+        target=_heartbeat_loop,
+        args=(slot, heartbeats, interval, silenced),
+        daemon=True).start()
+    digest: Optional[str] = None
+    while True:
+        item = task_queue.get()
+        if item is None:
+            silenced.set()
+            return
+        command = item[0]
+        if command == "install":
+            _, wanted, payload = item
+            if payload is None and (digest != wanted
+                                    or not _workers.in_worker()):
+                # The coordinator thought we were warm but we are not
+                # (respawned slot, first run): ask for the full payload.
+                result_queue.put(("stale", slot, wanted))
+                continue
+            if payload is not None:
+                try:
+                    _workers.install_context(payload)
+                except Exception as exc:  # physlint: disable=RPR201
+                    # Anything __setstate__ raises (a vanished shm
+                    # segment, a version skew) must become a protocol
+                    # reply, not a dead worker.
+                    result_queue.put((
+                        "broken", slot,
+                        f"{type(exc).__name__}: {exc}"))
+                    digest = None
+                    continue
+            digest = wanted
+            result_queue.put(("installed", slot, wanted))
+        else:
+            _, unit = item
+            try:
+                result = _workers.run_unit(unit)
+            except Exception as exc:  # physlint: disable=RPR201
+                # run_unit packages library errors itself; whatever
+                # reaches here is a harness bug the merge must see.
+                result = UnitResult(index=unit.index, name=unit.name)
+                result.unhandled.append(f"{type(exc).__name__}: {exc}")
+            result_queue.put(("result", slot, result))
+
+
+class _PoolSlot:
+    """Coordinator-side view of one resident worker."""
+
+    __slots__ = ("slot", "process", "queue", "unit", "last_beat",
+                 "beat_seen_at")
+
+    def __init__(self, slot: int) -> None:
+        self.slot = slot
+        self.process: Any = None
+        self.queue: Any = None
+        self.unit: Optional[WorkUnit] = None
+        self.last_beat = 0.0
+        self.beat_seen_at = 0.0
+
+
+class WorkerPool:
+    """A reusable process pool whose workers keep their caches warm.
+
+    Use as a context manager (or call :meth:`close` explicitly)::
+
+        with WorkerPool(workers=2) as pool:
+            first = run_campaign(profiles, tec, base, pool=pool)
+            # Same templates => same payload digest => the second
+            # campaign reuses each worker's installed context, so its
+            # operator factor caches are already hot.
+            second = run_campaign(profiles, tec, base, pool=pool)
+
+    Args:
+        workers: Resident worker-process count (>= 1).
+        start_method: ``multiprocessing`` start method override; None
+            defers to ``REPRO_START_METHOD``, then the platform
+            default.
+        heartbeat_timeout_seconds: Silence tolerated from a busy
+            worker before the run is declared broken.
+    """
+
+    def __init__(self, workers: int,
+                 start_method: Optional[str] = None,
+                 heartbeat_timeout_seconds: float = HEARTBEAT_TIMEOUT_S,
+                 ) -> None:
+        if int(workers) < 1:
+            raise ConfigurationError(
+                f"pool worker count must be >= 1, got {workers}")
+        self.workers = int(workers)
+        self._start_method = start_method
+        self._heartbeat_timeout = float(heartbeat_timeout_seconds)
+        self._slots: List[_PoolSlot] = []
+        self._result_queue: Any = None
+        self._heartbeats: Any = None
+        self._publication: Any = None
+        self._digest: Optional[str] = None
+        self._started = False
+        self._broken = False
+        self._closed = False
+        self._lock = threading.Lock()
+        self._counters: Dict[str, int] = {
+            "runs": 0,
+            "context_installs": 0,
+            "context_reuses": 0,
+            "units_dispatched": 0,
+            "affinity_hits": 0,
+            "affinity_steals": 0,
+            "broken_runs": 0,
+            "worker_respawns": 0,
+        }
+        # unit name -> slot that last ran it.  Repeat runs of the same
+        # units route each one back to the worker holding its factor
+        # cache; an idle worker steals across affinity only when no
+        # unit of its own (or unclaimed) remains pending.
+        self._affinity: Dict[str, int] = {}
+        # One publication scope for the pool's whole life, opened
+        # before any payload is pickled against it: the shm plane
+        # memoizes descriptors per template object, so identical
+        # contexts re-pickle to identical bytes — the digest the
+        # warm-reuse decision rests on.
+        self._publication = _shm.publication()
+        self._publication.__enter__()
+
+    # -- lifecycle ----------------------------------------------------
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *_exc: Any) -> None:
+        self.close()
+
+    def _mp_context(self) -> Any:
+        import multiprocessing
+        method = self._start_method \
+            or os.environ.get("REPRO_START_METHOD", "").strip() or None
+        return multiprocessing.get_context(method)
+
+    def _ensure_started(self) -> None:
+        if self._closed:
+            raise ConfigurationError("worker pool is closed")
+        if self._broken:
+            self._teardown_workers()
+            self._started = False
+            self._broken = False
+            self._digest = None
+        if self._started:
+            return
+        ctx = self._mp_context()
+        if self._publication is None:
+            # One publication scope for the pool's whole life: the shm
+            # plane memoizes per template object, so identical contexts
+            # re-pickle to identical bytes — the digest the warm-reuse
+            # decision rests on.
+            self._publication = _shm.publication()
+            self._publication.__enter__()
+        self._heartbeats = ctx.Array("d", self.workers)
+        self._result_queue = ctx.Queue()
+        self._slots = [_PoolSlot(slot) for slot in range(self.workers)]
+        for slot in self._slots:
+            self._spawn(slot, ctx)
+        self._started = True
+
+    def _spawn(self, slot: _PoolSlot, ctx: Any) -> None:
+        slot.queue = ctx.Queue()
+        slot.unit = None
+        slot.process = ctx.Process(
+            target=_pool_worker_main,
+            args=(slot.slot, slot.queue, self._result_queue,
+                  self._heartbeats, HEARTBEAT_INTERVAL_S),
+            daemon=True)
+        slot.process.start()
+        slot.last_beat = self._heartbeats[slot.slot]
+        slot.beat_seen_at = monotonic()
+
+    def _teardown_workers(self) -> None:
+        for slot in self._slots:
+            process = slot.process
+            if process is None:
+                continue
+            if process.is_alive() and slot.queue is not None:
+                try:
+                    slot.queue.put(None)
+                except (OSError, ValueError):
+                    pass
+        for slot in self._slots:
+            process = slot.process
+            if process is None:
+                continue
+            process.join(1.0)
+            if process.is_alive():
+                process.terminate()
+                process.join(1.0)
+                if process.is_alive():
+                    process.kill()
+            if slot.queue is not None:
+                slot.queue.cancel_join_thread()
+            slot.process = None
+        if self._result_queue is not None:
+            self._result_queue.cancel_join_thread()
+            self._result_queue = None
+        self._slots = []
+
+    def close(self) -> None:
+        """Stop every worker and release the shared-memory plane."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._teardown_workers()
+            self._started = False
+            publication, self._publication = self._publication, None
+        if publication is not None:
+            publication.__exit__(None, None, None)
+
+    # -- the run protocol ---------------------------------------------
+
+    def run_payload(self, payload: bytes, units: Sequence[WorkUnit],
+                    progress: Optional[Any] = None,
+                    ) -> List[UnitResult]:
+        """Run units against an installed context; results in unit order.
+
+        Broadcasts the context (full payload on a digest change, a
+        reuse token otherwise), waits for every worker's install
+        acknowledgement, then feeds units one at a time from a central
+        deque to whichever worker goes idle first.  Raises
+        :class:`WorkerPoolError` on worker death, heartbeat silence, or
+        a broken install — after marking the pool for respawn.
+        """
+        with self._lock:
+            self._ensure_started()
+            try:
+                return self._run_locked(payload, list(units), progress)
+            except WorkerPoolError:
+                self._broken = True
+                self._counters["broken_runs"] += 1
+                raise
+
+    def _run_locked(self, payload: bytes, units: List[WorkUnit],
+                    progress: Optional[Any]) -> List[UnitResult]:
+        digest = hashlib.blake2b(payload, digest_size=16).hexdigest()
+        fresh = digest != self._digest
+        self._digest = None  # unknown until every worker acknowledges
+        self._install(digest, payload if fresh else None)
+        self._digest = digest
+        self._counters["runs"] += 1
+        if fresh:
+            self._counters["context_installs"] += 1
+        else:
+            self._counters["context_reuses"] += 1
+        position = {unit.index: pos for pos, unit in enumerate(units)}
+        results: List[Optional[UnitResult]] = [None] * len(units)
+        pending = deque(units)
+        busy = 0
+        while pending or busy:
+            while pending:
+                slot = self._idle_slot()
+                if slot is None:
+                    break
+                unit = self._take_unit(pending, slot)
+                slot.unit = unit
+                slot.queue.put(("unit", unit))
+                busy += 1
+                self._counters["units_dispatched"] += 1
+                if progress is not None:
+                    progress.unit_running(unit.name)
+            message = self._next_message(
+                timeout=self._heartbeat_timeout)
+            kind, slot_id, body = message
+            slot = self._slots[slot_id]
+            if kind == "result":
+                slot.unit = None
+                busy -= 1
+                results[position[body.index]] = body
+                if progress is not None:
+                    progress.unit_done(
+                        body.name, body.wall_seconds,
+                        ok=body.error is None and not body.unhandled)
+            elif kind == "broken":
+                raise WorkerPoolError(
+                    f"pool worker {slot_id} failed to install the "
+                    f"context: {body}")
+            # "installed"/"stale" replies here are stragglers from a
+            # previous broken run; ignore them.
+        return [result for result in results if result is not None]
+
+    def _install(self, digest: str, payload: Optional[bytes]) -> None:
+        """Broadcast the context and collect every worker's ack."""
+        for slot in self._slots:
+            slot.queue.put(("install", digest, payload))
+        waiting = {slot.slot for slot in self._slots}
+        deadline = monotonic() + INSTALL_TIMEOUT_S
+        while waiting:
+            remaining = deadline - monotonic()
+            if remaining <= 0.0:
+                raise WorkerPoolError(
+                    f"workers {sorted(waiting)} never acknowledged "
+                    "the context install")
+            kind, slot_id, body = self._next_message(
+                timeout=min(remaining, 1.0))
+            if kind == "installed" and body == digest:
+                waiting.discard(slot_id)
+            elif kind == "stale" and body == digest:
+                if payload is None:
+                    raise WorkerPoolError(
+                        f"pool worker {slot_id} lost its context "
+                        "between runs")
+                self._slots[slot_id].queue.put(
+                    ("install", digest, payload))
+            elif kind == "broken":
+                raise WorkerPoolError(
+                    f"pool worker {slot_id} failed to install the "
+                    f"context: {body}")
+            # Stale "result" messages from an aborted run are dropped.
+
+    def _take_unit(self, pending: "deque[WorkUnit]",
+                   slot: _PoolSlot) -> WorkUnit:
+        """Pop the best pending unit for an idle slot.
+
+        Preference order: oldest unit that last ran on this slot
+        (its factors are already in this worker's caches), then the
+        oldest never-assigned unit, then an outright steal of the
+        oldest unit.  Stealing keeps the tail short when one worker
+        falls behind; affinity keeps repeat runs warm.
+        """
+        own_index = None
+        free_index = None
+        for index, unit in enumerate(pending):
+            owner = self._affinity.get(unit.name)
+            if owner == slot.slot:
+                own_index = index
+                break
+            if free_index is None and owner is None:
+                free_index = index
+        if own_index is not None:
+            chosen = own_index
+            self._counters["affinity_hits"] += 1
+        elif free_index is not None:
+            chosen = free_index
+        else:
+            chosen = 0
+            self._counters["affinity_steals"] += 1
+        unit = pending[chosen]
+        del pending[chosen]
+        self._affinity[unit.name] = slot.slot
+        return unit
+
+    def _idle_slot(self) -> Optional[_PoolSlot]:
+        for slot in self._slots:
+            if slot.unit is None:
+                return slot
+        return None
+
+    def _next_message(self, timeout: float) -> Any:
+        """One protocol message, with liveness checks while waiting."""
+        waited = 0.0
+        step = 0.1
+        while True:
+            try:
+                return self._result_queue.get(
+                    timeout=min(step, max(timeout - waited, 0.01)))
+            except _queue.Empty:
+                waited += step
+                self._check_liveness()
+                if waited >= timeout:
+                    raise WorkerPoolError(
+                        "pool workers silent past the heartbeat "
+                        f"timeout ({self._heartbeat_timeout:g} s)")
+
+    def _check_liveness(self) -> None:
+        now = monotonic()
+        for slot in self._slots:
+            process = slot.process
+            if process is None or not process.is_alive():
+                raise WorkerPoolError(
+                    f"pool worker {slot.slot} died"
+                    + (f" running unit {slot.unit.name!r}"
+                       if slot.unit is not None else ""))
+            beat = self._heartbeats[slot.slot]
+            if beat != slot.last_beat:
+                slot.last_beat = beat
+                slot.beat_seen_at = now
+            elif slot.unit is not None and \
+                    now - slot.beat_seen_at > self._heartbeat_timeout:
+                raise WorkerPoolError(
+                    f"pool worker {slot.slot} heartbeats silent for "
+                    f"{self._heartbeat_timeout:g} s on unit "
+                    f"{slot.unit.name!r}")
+
+    # -- introspection ------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        """Pool-lifetime counters (the ``pool_stats`` telemetry block).
+
+        ``context_reuses`` counting up while ``context_installs`` stays
+        at 1 is the warm-pool signature: workers kept their caches
+        across runs.
+        """
+        with self._lock:
+            stats: Dict[str, Any] = {"workers": self.workers}
+            stats.update(self._counters)
+            stats["warm"] = self._started and not self._broken \
+                and self._digest is not None
+            return stats

@@ -34,11 +34,13 @@ default start method; see docs/PARALLELISM.md for the trade-offs.
 
 from __future__ import annotations
 
+import dataclasses
 import math
 import os
 import pickle
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import (
     Any,
@@ -50,11 +52,14 @@ from typing import (
     Tuple,
 )
 
+from ..analysis.campaign import CAMPAIGN_STAGES, BenchmarkComparison
 from ..core import CoolingProblem, FailureReport, ResiliencePolicy
 from ..errors import ConfigurationError, SolverError
 from ..faults.plan import FaultPlan
 from ..obs import runtime as _obs
+from . import shm as _shm
 from . import workers as _workers
+from .pool import WorkerPool, WorkerPoolError
 from .units import UnitResult, WorkUnit, WorkerContext
 
 #: Environment variable supplying the default worker count.
@@ -62,6 +67,35 @@ WORKERS_ENV = "REPRO_WORKERS"
 
 #: Environment variable overriding the multiprocessing start method.
 START_METHOD_ENV = "REPRO_START_METHOD"
+
+#: Environment variable selecting the executor backend.
+EXECUTOR_ENV = "REPRO_EXECUTOR"
+
+#: Executor backends: ``process`` forks worker processes (the classic
+#: pool), ``thread`` runs units on an in-process ``ThreadPoolExecutor``
+#: sharing one operator cache (the solve hot path — SuperLU
+#: factorization/back-substitution and the BLAS underneath — releases
+#: the GIL, so threads overlap where it matters while paying zero
+#: pickling and zero cold start), ``serial`` forces the decomposed
+#: in-process loop regardless of the worker count.
+EXECUTORS = ("process", "thread", "serial")
+
+
+def resolve_executor(executor: Optional[str] = None) -> str:
+    """Resolve the executor backend: argument, then env, then process.
+
+    ``REPRO_EXECUTOR`` supplies the default; the explicit argument
+    wins.  Unknown names raise :class:`ConfigurationError`.
+    """
+    if executor is None:
+        executor = os.environ.get(EXECUTOR_ENV, "").strip() \
+            or "process"
+    name = str(executor).strip().lower()
+    if name not in EXECUTORS:
+        raise ConfigurationError(
+            f"executor must be one of {EXECUTORS}, got {executor!r} "
+            f"(set via argument or {EXECUTOR_ENV})")
+    return name
 
 
 def resolve_workers(workers: Optional[int] = None) -> int:
@@ -180,9 +214,53 @@ def _run_pool(payload: bytes, units: Sequence[WorkUnit],
         return [future.result() for future in futures]
 
 
+def _run_threads(context: WorkerContext, units: Sequence[WorkUnit],
+                 max_workers: int,
+                 progress: Optional[Any] = None) -> List[UnitResult]:
+    """Execute units on an in-process thread pool.
+
+    Every thread shares the coordinator's live problem templates —
+    zero pickling, zero cold start, and one operator whose factor LRU
+    serves all threads (the operator's internal lock serializes the
+    cold factorizations; warm back-substitutions overlap because
+    SuperLU releases the GIL).  Per-thread solve isolation comes from
+    the model's thread-local overlay buffers.
+
+    Telemetry is suspended for the duration: the tracer and metrics
+    registry are single-threaded by design, so units must not touch
+    them concurrently.  The saved state is restored on exit and
+    :func:`run_units` still records per-unit spans at adoption.
+    """
+    thread_context = dataclasses.replace(context, telemetry=False)
+    saved = (_obs.STATE.tracer, _obs.STATE.metrics, _obs.STATE.enabled)
+    _obs.STATE.enabled = False
+    previous = _workers.install_runtime(thread_context)
+    try:
+        with ThreadPoolExecutor(
+                max_workers=max_workers,
+                thread_name_prefix="repro-exec") as pool:
+            futures = []
+            for unit in units:
+                future = pool.submit(_workers.run_unit, unit)
+                if progress is not None:
+                    progress.unit_running(unit.name)
+                    future.add_done_callback(
+                        _progress_callback(progress, unit.name))
+                futures.append(future)
+            # Positional await: the same merge contract as the
+            # process pool.
+            return [future.result() for future in futures]
+    finally:
+        _workers.restore_runtime(previous)
+        (_obs.STATE.tracer, _obs.STATE.metrics,
+         _obs.STATE.enabled) = saved
+
+
 def run_units(context: WorkerContext, units: Sequence[WorkUnit],
               workers: int,
-              progress: Optional[Any] = None) -> List[UnitResult]:
+              progress: Optional[Any] = None,
+              executor: Optional[str] = None,
+              pool: Optional[WorkerPool] = None) -> List[UnitResult]:
     """Run units with ``workers`` processes; merge in submission order.
 
     ``workers <= 1`` (or a single unit, or a call issued from inside a
@@ -193,6 +271,20 @@ def run_units(context: WorkerContext, units: Sequence[WorkUnit],
     ``exec.pool_fallback`` event.  Worker telemetry is adopted onto
     the live tracer before returning.
 
+    ``executor`` selects the backend (:data:`EXECUTORS`; None defers
+    to ``REPRO_EXECUTOR``, then ``process``).  The ``thread`` backend
+    runs units on an in-process thread pool — no pickling, shared
+    operator caches — and the ``serial`` backend forces the in-process
+    loop.  ``pool`` routes the process path through a persistent
+    :class:`~repro.exec.pool.WorkerPool` instead of a one-shot
+    ``ProcessPoolExecutor``, keeping worker caches warm across calls.
+
+    On the one-shot process path a shared-memory publication scope
+    (:func:`repro.exec.shm.publication`) is held open around pickling
+    and execution, so the heavy operator/network arrays ship as shm
+    descriptors instead of per-worker copies; a persistent pool owns
+    its own publication scope instead.
+
     ``progress`` (a :class:`~repro.obs.ProgressBoard`, or anything
     with its hook methods) receives ``begin``/``unit_running``/
     ``unit_done`` as units move — from executor threads on the pool
@@ -201,38 +293,67 @@ def run_units(context: WorkerContext, units: Sequence[WorkUnit],
     units = list(units)
     if progress is not None:
         progress.begin(len(units))
-    payload: Optional[bytes] = None
-    try:
-        payload = pickle.dumps(context)
-    except Exception as exc:  # physlint: disable=RPR201
-        # Broad by necessity: pickle.dumps reports unpicklability as
-        # whatever the object's __reduce__ raises (TypeError,
-        # AttributeError, PicklingError, ...), so no narrower tuple
-        # covers the probe.  An unpicklable context (a policy or
-        # leakage model holding a closure, say) cannot cross a process
-        # boundary, but the serial executor can still run it directly
-        # — entry points that auto-engage on REPRO_WORKERS must not
-        # start crashing merely because the env var is set.
-        _obs.event("exec.pool_fallback", error=type(exc).__name__)
-    results: Optional[List[UnitResult]] = None
-    if payload is not None and workers > 1 and len(units) > 1 \
-            and not _workers.in_worker():
+    backend = resolve_executor(executor)
+    # An explicit persistent pool fans out even at one worker — its
+    # resident process holds the warm caches the caller paid for.
+    fan_out = (workers > 1 or pool is not None) and len(units) > 1 \
+        and not _workers.in_worker()
+    if pool is None and backend == "thread" and fan_out:
+        results = _run_threads(context, units,
+                               min(workers, len(units)),
+                               progress=progress)
+        _adopt_telemetry(results)
+        return results
+    # An explicit persistent pool outranks the env-resolved backend —
+    # the caller built real processes and expects them used.
+    pooled = fan_out and (backend == "process" or pool is not None)
+    # The persistent pool holds its own publication scope open for its
+    # whole life (descriptor memoization is what keeps its context
+    # digests stable), so only the one-shot pool opens one here.
+    scope = _shm.publication() if pooled and pool is None \
+        else nullcontext()
+    with scope:
+        payload: Optional[bytes] = None
         try:
-            results = _run_pool(payload, units,
-                                min(workers, len(units)),
-                                progress=progress)
-        except (OSError, BrokenProcessPool, pickle.PicklingError) \
-                as exc:
-            _obs.event("exec.pool_fallback",
-                       error=type(exc).__name__)
-            results = None
-    if results is None:
-        # Round-trip through the payload when possible so serial and
-        # pool runs exercise the identical serialization path.
-        serial_context = context if payload is None \
-            else pickle.loads(payload)
-        results = _run_serial(serial_context, units,
-                              progress=progress)
+            payload = pickle.dumps(context)
+        except Exception as exc:  # physlint: disable=RPR201
+            # Broad by necessity: pickle.dumps reports unpicklability
+            # as whatever the object's __reduce__ raises (TypeError,
+            # AttributeError, PicklingError, ...), so no narrower
+            # tuple covers the probe.  An unpicklable context (a
+            # policy or leakage model holding a closure, say) cannot
+            # cross a process boundary, but the serial executor can
+            # still run it directly — entry points that auto-engage on
+            # REPRO_WORKERS must not start crashing merely because the
+            # env var is set.
+            _obs.event("exec.pool_fallback", error=type(exc).__name__)
+        results: Optional[List[UnitResult]] = None
+        if payload is not None and pooled:
+            if pool is not None:
+                try:
+                    results = pool.run_payload(payload, units,
+                                               progress=progress)
+                except WorkerPoolError as exc:
+                    _obs.event("exec.pool_fallback",
+                               error=type(exc).__name__)
+                    results = None
+            else:
+                try:
+                    results = _run_pool(payload, units,
+                                        min(workers, len(units)),
+                                        progress=progress)
+                except (OSError, BrokenProcessPool,
+                        pickle.PicklingError) as exc:
+                    _obs.event("exec.pool_fallback",
+                               error=type(exc).__name__)
+                    results = None
+        if results is None:
+            # Round-trip through the payload when possible so serial
+            # and pool runs exercise the identical serialization path.
+            serial_context = context if payload is None \
+                else pickle.loads(payload)
+            results = _run_serial(serial_context, units,
+                                  progress=progress)
     _adopt_telemetry(results)
     return results
 
@@ -379,20 +500,30 @@ def run_campaign_units(
     completed: Optional[Mapping[int, UnitResult]] = None,
     jac: str = "analytic",
     progress: Optional[Any] = None,
+    executor: Optional[str] = None,
+    pool: Optional[WorkerPool] = None,
 ) -> CampaignMerge:
-    """Decompose a campaign into benchmark units, run, and merge.
+    """Decompose a campaign into stage (or benchmark) units and merge.
 
-    One unit per benchmark; the problem templates travel once per
-    worker on the context.  ``fault_plan`` switches the workers to
-    chaos mode (per-unit derived injectors).  ``supervision`` (a
-    :class:`~repro.exec.SupervisionPolicy`), ``journal`` (a
-    :class:`~repro.exec.JournalWriter`), or ``completed`` (journaled
-    results keyed by unit index) route the units through the
-    supervised executor — worker death becomes retries/quarantine
-    instead of a raise, and completed units are skipped.  The caller
-    owns the surrounding ``campaign`` span and the
-    :class:`CampaignResult` assembly — this function returns the raw
-    merge.
+    The default decomposition is one unit per *pipeline stage* per
+    benchmark (:data:`repro.analysis.campaign.CAMPAIGN_STAGES`) —
+    roughly six times the grain of whole-benchmark units, which is
+    what lets the deque scheduler keep every worker busy when one
+    benchmark's OFTEC stage dominates the wall clock.  Benchmarks stay
+    whole units in two cases: under a ``fault_plan`` (the chaos
+    injector's RNG advances across stages, so splitting would change
+    the fault stream) and under supervision/journaling (journal
+    fingerprints and retry bookkeeping are keyed to benchmark units).
+    The problem templates travel once per worker on the context either
+    way.  ``supervision`` (a :class:`~repro.exec.SupervisionPolicy`),
+    ``journal`` (a :class:`~repro.exec.JournalWriter`), or
+    ``completed`` (journaled results keyed by unit index) route the
+    units through the supervised executor — worker death becomes
+    retries/quarantine instead of a raise, and completed units are
+    skipped.  ``executor``/``pool`` select the backend exactly as in
+    :func:`run_units`.  The caller owns the surrounding ``campaign``
+    span and the :class:`CampaignResult` assembly — this function
+    returns the raw merge.
     """
     context = WorkerContext(
         tec_template=tec_template,
@@ -405,10 +536,21 @@ def run_campaign_units(
         policy=policy,
         fault_plan=fault_plan,
         telemetry=_obs.STATE.enabled)
-    units = [WorkUnit(index=index, kind="benchmark", name=name)
-             for index, name in enumerate(profiles)]
     supervised = supervision is not None or journal is not None \
         or bool(completed)
+    staged = fault_plan is None and not supervised
+    stages = [stage for stage in CAMPAIGN_STAGES
+              if include_tec_only or stage != "tec-only"]
+    if staged:
+        units = [
+            WorkUnit(index=bench_index * len(stages) + stage_index,
+                     kind="stage", name=f"{name}/{stage}",
+                     params=(name, stage))
+            for bench_index, name in enumerate(profiles)
+            for stage_index, stage in enumerate(stages)]
+    else:
+        units = [WorkUnit(index=index, kind="benchmark", name=name)
+                 for index, name in enumerate(profiles)]
     merge = CampaignMerge()
     if supervised:
         # Late import: supervisor imports this module at its top.
@@ -424,8 +566,11 @@ def run_campaign_units(
             merge.fired[kind] = merge.fired.get(kind, 0) + count
     else:
         results = run_units(context, units, workers,
-                            progress=progress)
+                            progress=progress, executor=executor,
+                            pool=pool)
     merge.worker_stats = worker_statistics(results)
+    if pool is not None:
+        merge.worker_stats["pool"] = pool.stats()
     if supervised:
         merge.worker_stats["supervision"] = {
             "retries": merge.retries,
@@ -435,6 +580,9 @@ def run_campaign_units(
             "process_faults_fired": dict(
                 sorted(outcome.process_fired.items())),
         }
+    if staged:
+        _merge_stage_results(merge, results, list(profiles), stages)
+        return merge
     for result in results:
         merge.failures.extend(result.failures)
         merge.unhandled.extend(result.unhandled)
@@ -451,23 +599,108 @@ def run_campaign_units(
     return merge
 
 
+def _merge_stage_results(merge: CampaignMerge,
+                         results: Sequence[UnitResult],
+                         benchmarks: Sequence[str],
+                         stages: Sequence[str]) -> None:
+    """Reassemble stage units into per-benchmark comparisons.
+
+    Walks each benchmark's stages in serial pipeline order and *stops
+    at the first stage that errored or crashed*, dropping the results
+    of later stages outright — in the serial loop those stages never
+    ran, so admitting their failures or values would diverge from the
+    serial merge.  A benchmark whose stages all completed yields a
+    :class:`~repro.analysis.campaign.BenchmarkComparison`
+    indistinguishable from the inline pipeline's.
+    """
+    by_index = {result.index: result for result in results}
+    for bench_index, name in enumerate(benchmarks):
+        values: Dict[str, Any] = {}
+        broken = False
+        for stage_index, stage in enumerate(stages):
+            result = by_index.get(
+                bench_index * len(stages) + stage_index)
+            if result is None:  # lost unit: treat as terminal
+                broken = True
+                break
+            merge.failures.extend(result.failures)
+            for kind, count in result.fired.items():
+                merge.fired[kind] = merge.fired.get(kind, 0) + count
+            if result.unhandled:
+                merge.unhandled.extend(result.unhandled)
+                for line in result.unhandled:
+                    merge.crashed.append((result.name, 1, line))
+                broken = True
+                break
+            if result.error is not None:
+                stage_name, error_type, message = result.error
+                merge.errors.append(
+                    (name, stage_name, error_type, message))
+                broken = True
+                break
+            values[stage] = result.value
+        if broken:
+            continue
+        merge.comparisons.append(BenchmarkComparison(
+            name=name,
+            oftec_opt1=values["oftec-opt1"],
+            oftec_opt2=values["oftec-opt2"],
+            variable_opt1=values["variable-opt1"],
+            variable_opt2=values["variable-opt2"],
+            fixed=values["fixed-omega"],
+            tec_only=values.get("tec-only")))
+
+
 # -- point/field fan-out --------------------------------------------------
+
+
+def chunk_sizes(point_count: int, chunk: int) -> List[int]:
+    """Balanced per-unit sizes for slicing ``point_count`` points.
+
+    Same unit count as fixed-size ``chunk`` slicing
+    (``ceil(count / chunk)``), but the remainder is spread across
+    units instead of stranded in one runt: 17 points at chunk 8 become
+    ``[6, 6, 5]``, not ``[8, 8, 1]`` — the naive tail chunk turns into
+    idle workers at the end of every fan-out.  Exact multiples are
+    untouched, so chunk-aligned layouts (sweep rows) keep their exact
+    sizes.
+    """
+    if point_count <= 0:
+        return []
+    if chunk < 1:
+        raise ConfigurationError(
+            f"chunk size must be >= 1, got {chunk}")
+    unit_count = math.ceil(point_count / chunk)
+    base, extra = divmod(point_count, unit_count)
+    return [base + 1] * extra + [base] * (unit_count - extra)
 
 
 def _chunk_units(points: Sequence[Tuple[float, float]], kind: str,
                  chunk: int) -> List[WorkUnit]:
     units = []
-    for index, start in enumerate(range(0, len(points), chunk)):
+    start = 0
+    for index, size in enumerate(chunk_sizes(len(points), chunk)):
         units.append(WorkUnit(
             index=index, kind=kind, name=f"chunk-{index}",
-            params=tuple(points[start:start + chunk])))
+            params=tuple(points[start:start + size])))
+        start += size
     return units
 
 
 def default_chunk(point_count: int, workers: int) -> int:
-    """Chunk size giving each worker a few units (amortizes dispatch
-    while keeping the pool load-balanced)."""
-    return max(1, math.ceil(point_count / max(workers, 1) / 4))
+    """Chunk size targeting ~4 units per worker.
+
+    Enough grain for the scheduler to rebalance when units run at
+    different speeds, small enough dispatch overhead stays amortized.
+    Derived from a unit-count target (``4 * workers``, capped at the
+    point count) rather than naive division, so awkward counts do not
+    produce a pathological runt unit — and
+    :func:`chunk_sizes` balances whatever remainder is left.
+    """
+    if point_count <= 0:
+        return 1
+    target_units = min(point_count, 4 * max(workers, 1))
+    return max(1, math.ceil(point_count / target_units))
 
 
 def evaluate_points(
@@ -476,6 +709,7 @@ def evaluate_points(
     workers: int,
     chunk: Optional[int] = None,
     progress: Optional[Any] = None,
+    executor: Optional[str] = None,
 ) -> List[Any]:
     """Evaluate ``(omega, I)`` points by fanning chunks across workers.
 
@@ -494,7 +728,8 @@ def evaluate_points(
     context = WorkerContext(point_problem=problem,
                             telemetry=_obs.STATE.enabled)
     units = _chunk_units(points, "points", chunk)
-    results = run_units(context, units, workers, progress=progress)
+    results = run_units(context, units, workers, progress=progress,
+                        executor=executor)
     evaluations: List[Any] = []
     for result in results:
         if result.error is not None:
@@ -514,6 +749,7 @@ def solve_fields(
     workers: int,
     chunk: Optional[int] = None,
     progress: Optional[Any] = None,
+    executor: Optional[str] = None,
 ) -> List[Any]:
     """Temperature fields at many points, fanned across workers.
 
@@ -537,12 +773,17 @@ def solve_fields(
         return []
     if chunk is None:
         chunk = default_chunk(len(points), workers)
-    context = WorkerContext(field_model=model,
-                            field_power=dynamic_cell_power,
-                            field_leakage=leakage,
-                            telemetry=_obs.STATE.enabled)
+    # The power map is a pure read-only constant: wrapping it lets an
+    # open shm plane ship one copy for all workers (it unwraps to a
+    # plain ndarray on the other side either way).
+    context = WorkerContext(
+        field_model=model,
+        field_power=_shm.SharedArrayRef(dynamic_cell_power),
+        field_leakage=leakage,
+        telemetry=_obs.STATE.enabled)
     units = _chunk_units(points, "fields", chunk)
-    results = run_units(context, units, workers, progress=progress)
+    results = run_units(context, units, workers, progress=progress,
+                        executor=executor)
     fields: List[Any] = []
     for result in results:
         if result.error is not None:
@@ -560,6 +801,7 @@ def run_oftec_units(
     method: str,
     workers: int,
     jac: str = "analytic",
+    executor: Optional[str] = None,
 ) -> Dict[str, Any]:
     """OFTEC per representative profile (LUT precompute), in parallel.
 
@@ -575,7 +817,7 @@ def run_oftec_units(
         telemetry=_obs.STATE.enabled)
     units = [WorkUnit(index=index, kind="oftec", name=label)
              for index, label in enumerate(profiles)]
-    results = run_units(context, units, workers)
+    results = run_units(context, units, workers, executor=executor)
     table: Dict[str, Any] = {}
     for result in results:
         if result.error is not None:
@@ -589,11 +831,15 @@ def run_oftec_units(
 
 __all__ = [
     "CampaignMerge",
+    "EXECUTORS",
+    "EXECUTOR_ENV",
     "START_METHOD_ENV",
     "WORKERS_ENV",
     "adopt_unit_telemetry",
+    "chunk_sizes",
     "default_chunk",
     "evaluate_points",
+    "resolve_executor",
     "resolve_workers",
     "run_campaign_units",
     "run_oftec_units",

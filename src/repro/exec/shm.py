@@ -1,0 +1,363 @@
+"""Shared-memory transport for cold operator templates.
+
+The process-pool engine ships a ``WorkerContext`` to every worker by
+pickle.  The heavy constants inside it — the ``ThermalOperator``'s CSC
+template (``data``/``indices``/``indptr``), the diagonal index map, the
+network's static CSR, field power maps, LUT grids — are *identical* in
+every worker, yet the classic transport serializes and copies them once
+per process.  This module publishes those arrays **once** into
+``multiprocessing.shared_memory`` segments; the pickled state then
+carries only a tiny descriptor, and workers map the same physical pages
+read-only.
+
+Lifecycle
+---------
+
+Publication is scoped by the refcounted :func:`publication` context
+manager.  The scheduler (and the supervised executor, whose replacement
+workers can attach arbitrarily late) hold it open for the duration of a
+run; when the last holder exits, every published segment is unlinked.
+POSIX semantics keep already-attached mappings valid after unlink, so
+workers never observe teardown — but a worker that has not yet attached
+cannot do so once the name is gone, which is why the pool acknowledges
+context installation before the coordinator releases the plane.
+
+Unlink is guaranteed three ways: the context manager's ``finally``, an
+``atexit`` hook for abnormal interpreter exits, and — for SIGKILLed
+coordinators, where neither runs — the stdlib ``resource_tracker``
+(created segments stay registered with it) plus a stale-segment sweep
+that unlinks leftovers from dead pids at the next publication.
+
+Fallback
+--------
+
+Publication failure (``/dev/shm`` full, shm unsupported) degrades to the
+classic whole-array pickle: consumers treat a ``None`` descriptor as
+"embed the arrays".  Both transports carry bit-identical values, so
+canonical campaign digests do not depend on which one engaged.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import re
+import threading
+import uuid
+from contextlib import contextmanager
+from multiprocessing import resource_tracker, shared_memory
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "SHM_ENV",
+    "SegmentPlane",
+    "SharedArrayRef",
+    "active_plane",
+    "attach_arrays",
+    "live_segment_files",
+    "publication",
+    "shm_enabled",
+]
+
+SHM_ENV = "REPRO_SHM"
+"""Set to ``0``/``off``/``false``/``no`` to disable shared-memory
+transport and force the classic pickle path."""
+
+_SEGMENT_PREFIX = "repro_shm"
+_SHM_DIR = "/dev/shm"
+_ALIGN = 64  # cache-line align every array inside a segment
+_SEGMENT_RE = re.compile(r"^%s_(\d+)_[0-9a-f]+$" % _SEGMENT_PREFIX)
+
+#: One-line spec of an array inside a segment: (key, dtype, shape, offset).
+_ArraySpec = Tuple[str, str, Tuple[int, ...], int]
+
+
+def shm_enabled() -> bool:
+    """Whether shared-memory transport is enabled (``REPRO_SHM``)."""
+    value = os.environ.get(SHM_ENV, "").strip().lower()
+    return value not in ("0", "off", "false", "no")
+
+
+def _align(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+class SegmentPlane:
+    """One publication epoch: a registry of coordinator-owned segments.
+
+    ``publish`` is memoized per owner object, so an operator template
+    referenced by both the TEC and the baseline problem publishes its
+    arrays exactly once no matter how many times it is pickled while the
+    plane is open.  The plane keeps owners alive so ``id()`` keys cannot
+    be recycled.
+    """
+
+    def __init__(self) -> None:
+        self._segments: List[shared_memory.SharedMemory] = []
+        self._memo: Dict[int, Optional[dict]] = {}
+        self._keepalive: List[object] = []
+        self._lock = threading.Lock()
+        self._closed = False
+
+    def publish(self, owner: object,
+                arrays: Dict[str, np.ndarray]) -> Optional[dict]:
+        """Publish ``arrays`` once for ``owner``; returns a descriptor.
+
+        Returns ``None`` when the plane is closed or segment creation
+        fails — the caller must fall back to embedding the arrays in the
+        pickle stream.
+        """
+        with self._lock:
+            if self._closed:
+                return None
+            key = id(owner)
+            if key in self._memo:
+                return self._memo[key]
+            descriptor = self._publish_locked(arrays)
+            self._memo[key] = descriptor
+            if descriptor is not None:
+                self._keepalive.append(owner)
+            return descriptor
+
+    def _publish_locked(self,
+                        arrays: Dict[str, np.ndarray]) -> Optional[dict]:
+        specs: List[_ArraySpec] = []
+        prepared: List[Tuple[int, np.ndarray]] = []
+        offset = 0
+        for key, raw in arrays.items():
+            arr = np.ascontiguousarray(raw)
+            start = _align(offset)
+            specs.append((key, arr.dtype.str, tuple(arr.shape), start))
+            prepared.append((start, arr))
+            offset = start + arr.nbytes
+        size = max(offset, 1)
+        name = "%s_%d_%s" % (_SEGMENT_PREFIX, os.getpid(),
+                             uuid.uuid4().hex[:8])
+        try:
+            segment = shared_memory.SharedMemory(
+                name=name, create=True, size=size)
+        except (OSError, ValueError):
+            return None
+        with _ATTACH_LOCK:
+            _CREATED.add(segment.name)
+        for start, arr in prepared:
+            view = np.ndarray(arr.shape, dtype=arr.dtype,
+                              buffer=segment.buf, offset=start)
+            view[...] = arr
+            del view  # release the buffer export before any close()
+        self._segments.append(segment)
+        return {"segment": segment.name, "size": size, "arrays": specs}
+
+    def segment_names(self) -> List[str]:
+        """Names of every segment this plane has created."""
+        with self._lock:
+            return [seg.name for seg in self._segments]
+
+    def close(self) -> None:
+        """Unlink and unmap every segment; the plane rejects new work."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            segments, self._segments = self._segments, []
+            self._memo.clear()
+            self._keepalive.clear()
+        for segment in segments:
+            try:
+                segment.unlink()
+            except (OSError, FileNotFoundError):
+                pass
+            try:
+                segment.close()
+            except (OSError, BufferError):
+                pass
+
+
+_STATE_LOCK = threading.Lock()
+# Coordinator-side publication state.  Deliberately process-global: the
+# plane must be reachable from __getstate__ hooks deep inside pickle, and
+# its contents never need to merge across processes (workers only attach).
+_PLANE: Optional[SegmentPlane] = None  # physlint: disable=RPR602
+_PLANE_REFS = 0
+
+# Process-lifetime attachment cache: segments stay mapped until process
+# exit because unpickled operators hold numpy views into their buffers
+# (closing would invalidate live arrays).  Worker-local by construction —
+# nothing in it ever needs to merge back to the coordinator.
+_ATTACH_LOCK = threading.Lock()
+_ATTACHED: Dict[str, shared_memory.SharedMemory] = {}  # physlint: disable=RPR601
+
+# Segment names this process (or, under fork, an ancestor sharing our
+# resource tracker) created.  Attaching one of these must NOT unregister
+# it from the tracker — the creator relies on that registration both for
+# its own clean unlink and for SIGKILL cleanup.
+_CREATED: set = set()  # physlint: disable=RPR601
+
+
+def active_plane() -> Optional[SegmentPlane]:
+    """The open publication plane, or ``None`` outside a publication."""
+    with _STATE_LOCK:
+        return _PLANE
+
+
+@contextmanager
+def publication() -> Iterator[Optional[SegmentPlane]]:
+    """Refcounted publication scope.
+
+    Nested/overlapping holders share one plane; the last exit unlinks
+    every segment.  Yields ``None`` (and publishes nothing) when
+    ``REPRO_SHM`` disables the transport.
+    """
+    global _PLANE, _PLANE_REFS
+    if not shm_enabled():
+        yield None
+        return
+    with _STATE_LOCK:
+        if _PLANE is None:
+            _sweep_stale_segments()
+            _PLANE = SegmentPlane()
+        _PLANE_REFS += 1
+        plane = _PLANE
+    try:
+        yield plane
+    finally:
+        with _STATE_LOCK:
+            _PLANE_REFS -= 1
+            last = _PLANE_REFS <= 0 and _PLANE is plane
+            if last:
+                _PLANE = None
+                _PLANE_REFS = 0
+        if last:
+            plane.close()
+
+
+def attach_arrays(descriptor: dict) -> Dict[str, np.ndarray]:
+    """Map a descriptor's segment and return read-only array views.
+
+    The attachment is cached for the life of the process and — unless
+    this process created the segment — immediately unregistered from
+    the stdlib resource tracker: on this Python *attaching* registers
+    too, and a spawned worker exiting must not unlink a segment the
+    coordinator still owns.  Creator-side registrations are left alone
+    so a SIGKILLed coordinator's tracker still unlinks them.
+    """
+    name = descriptor["segment"]
+    with _ATTACH_LOCK:
+        segment = _ATTACHED.get(name)
+        if segment is None:
+            segment = shared_memory.SharedMemory(name=name, create=False)
+            if name not in _CREATED:
+                try:
+                    resource_tracker.unregister(
+                        segment._name, "shared_memory")  # noqa: SLF001
+                except (KeyError, ValueError):
+                    pass
+            _ATTACHED[name] = segment
+    arrays: Dict[str, np.ndarray] = {}
+    for key, dtype, shape, offset in descriptor["arrays"]:
+        view = np.ndarray(tuple(shape), dtype=np.dtype(dtype),
+                          buffer=segment.buf, offset=offset)
+        view.flags.writeable = False
+        arrays[key] = view
+    return arrays
+
+
+class SharedArrayRef:
+    """Pickle-through wrapper: ships one ndarray via the active plane.
+
+    Pickling while a plane is open publishes the array and emits a
+    descriptor; unpickling returns the plain (read-only) ndarray, so the
+    receiving side never sees the wrapper.  With no plane — or on
+    publication failure — the array embeds in the stream as usual.
+    """
+
+    __slots__ = ("array",)
+
+    def __init__(self, array: np.ndarray) -> None:
+        self.array = np.asarray(array)
+
+    def __reduce__(self):
+        plane = active_plane()
+        if plane is not None:
+            descriptor = plane.publish(self, {"array": self.array})
+            if descriptor is not None:
+                return (_attach_single, (descriptor, "array"))
+        return (_as_is, (self.array,))
+
+
+def _attach_single(descriptor: dict, key: str) -> np.ndarray:
+    return attach_arrays(descriptor)[key]
+
+
+def _as_is(array: np.ndarray) -> np.ndarray:
+    return array
+
+
+def live_segment_files(pids: Optional[Sequence[int]] = None) -> List[str]:
+    """``/dev/shm`` entries of repro segments, optionally filtered by pid.
+
+    Test/leak-check helper: after a run's publication scope closes, this
+    must be empty for the coordinating pid.
+    """
+    try:
+        entries = os.listdir(_SHM_DIR)
+    except OSError:
+        return []
+    wanted = None if pids is None else {int(p) for p in pids}
+    names = []
+    for entry in entries:
+        match = _SEGMENT_RE.match(entry)
+        if match is None:
+            continue
+        if wanted is not None and int(match.group(1)) not in wanted:
+            continue
+        names.append(entry)
+    return sorted(names)
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except OSError:
+        return True  # EPERM etc: exists, not ours
+    return True
+
+
+def _sweep_stale_segments() -> int:
+    """Unlink repro segments left by dead coordinators; returns count.
+
+    Normally the stdlib resource tracker survives a SIGKILLed
+    coordinator and unlinks its registered segments, but the tracker
+    itself can be killed; this sweep is the backstop, run when the next
+    publication opens.
+    """
+    removed = 0
+    own = os.getpid()
+    for entry in live_segment_files():
+        match = _SEGMENT_RE.match(entry)
+        if match is None:
+            continue
+        pid = int(match.group(1))
+        if pid == own or _pid_alive(pid):
+            continue
+        try:
+            os.unlink(os.path.join(_SHM_DIR, entry))
+        except OSError:
+            continue
+        removed += 1
+    return removed
+
+
+def _atexit_cleanup() -> None:
+    global _PLANE, _PLANE_REFS
+    with _STATE_LOCK:
+        plane, _PLANE, _PLANE_REFS = _PLANE, None, 0
+    if plane is not None:
+        plane.close()
+
+
+atexit.register(_atexit_cleanup)

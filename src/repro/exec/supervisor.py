@@ -50,6 +50,7 @@ from ..errors import ConfigurationError
 from ..faults.plan import FaultKind, process_fault_decision
 from ..obs import runtime as _obs
 from ..obs.clock import Deadline, monotonic
+from . import shm as _shm
 from . import workers as _workers
 from .journal import JournalWriter
 from .scheduler import (START_METHOD_ENV, _adopt_telemetry,
@@ -375,20 +376,26 @@ class _Supervisor:
             return self.outcome
         if self.monitor is not None:
             self.monitor.begin(len(self._pending))
-        payload: Optional[bytes] = None
-        try:
-            payload = pickle.dumps(self.context)
-        except Exception as exc:  # physlint: disable=RPR201
-            # Same broad probe as run_units: unpicklability surfaces
-            # as whatever __reduce__ raises.  An unpicklable context
-            # cannot be supervised across processes, but the serial
-            # path still runs it.
-            _obs.event("exec.pool_fallback", error=type(exc).__name__)
-        if payload is None or self.workers < 2 \
-                or _workers.in_worker():
-            self._run_serial_remaining(self.context)
-        else:
-            self._run_pool(payload)
+        # The publication scope spans the whole supervised run, not
+        # just the initial spawn: replacement workers respawned after
+        # a kill attach to the shm segments arbitrarily late, so the
+        # plane must stay open until the last worker is down.
+        with _shm.publication():
+            payload: Optional[bytes] = None
+            try:
+                payload = pickle.dumps(self.context)
+            except Exception as exc:  # physlint: disable=RPR201
+                # Same broad probe as run_units: unpicklability
+                # surfaces as whatever __reduce__ raises.  An
+                # unpicklable context cannot be supervised across
+                # processes, but the serial path still runs it.
+                _obs.event("exec.pool_fallback",
+                           error=type(exc).__name__)
+            if payload is None or self.workers < 2 \
+                    or _workers.in_worker():
+                self._run_serial_remaining(self.context)
+            else:
+                self._run_pool(payload)
         # End-of-run adoption covers the serial paths and any pool unit
         # whose streamed packet was lost; streamed indices are excluded
         # so no unit's trace is adopted twice.

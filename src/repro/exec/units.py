@@ -22,8 +22,11 @@ from ..core import CoolingProblem, FailureReport, ResiliencePolicy
 from ..errors import ConfigurationError
 from ..faults.plan import FaultPlan
 
-#: The unit kinds the worker shim knows how to execute.
-UNIT_KINDS = ("benchmark", "points", "fields", "oftec")
+#: The unit kinds the worker shim knows how to execute.  ``stage`` is
+#: the finer campaign decomposition: one pipeline stage of one
+#: benchmark (``params = (benchmark, stage)``), lifting unit counts
+#: from 8 to ~48 so the stealing scheduler has enough grain to balance.
+UNIT_KINDS = ("benchmark", "stage", "points", "fields", "oftec")
 
 
 @dataclass(frozen=True)

@@ -32,7 +32,11 @@ import queue as queue_module
 import threading
 from typing import Callable, Optional
 
-from ..analysis.campaign import _run_benchmark, _StageFailure
+from ..analysis.campaign import (
+    _run_benchmark,
+    _StageFailure,
+    run_campaign_stage,
+)
 from ..core import (
     CoolingProblem,
     Evaluator,
@@ -45,6 +49,7 @@ from ..obs import runtime as _obs
 from ..obs.clock import monotonic, stopwatch
 from ..obs.export import span_to_dict
 from ..thermal import SteadyStateResult, solve_steady_state_batch
+from . import shm as _shm
 from .units import UnitResult, WorkUnit, WorkerContext
 
 
@@ -224,6 +229,8 @@ def _execute(context: WorkerContext, unit: WorkUnit,
              result: UnitResult) -> None:
     if unit.kind == "benchmark":
         _execute_benchmark(context, unit, result)
+    elif unit.kind == "stage":
+        _execute_stage(context, unit, result)
     elif unit.kind == "points":
         _execute_points(context, unit, result)
     elif unit.kind == "fields":
@@ -308,6 +315,57 @@ def _execute_benchmark(context: WorkerContext, unit: WorkUnit,
                      tuple(op.stats for op in operators))
 
 
+def _execute_stage(context: WorkerContext, unit: WorkUnit,
+                   result: UnitResult) -> None:
+    """One pipeline stage of one campaign benchmark.
+
+    The finer-grained decomposition: ``unit.params`` is
+    ``(benchmark, stage)`` and the body routes through
+    :func:`repro.analysis.campaign.run_campaign_stage` — the same
+    thunk, fresh evaluator, and span the inline pipeline uses — so the
+    stage-level merge reassembles the exact serial result.  Engaged
+    only without a fault plan: the chaos injector's RNG advances
+    across stages, so chaos benchmarks stay whole units.
+    """
+    benchmark, stage = unit.params
+    if context.tec_template is None or context.profiles is None:
+        raise ConfigurationError(
+            "stage units need tec/baseline templates and profiles on "
+            "the worker context")
+    if context.fault_plan is not None:
+        raise ConfigurationError(
+            "stage units cannot run under a fault plan (the injector "
+            "RNG is sequenced across stages); use benchmark units")
+    profile = context.profiles[benchmark]
+    tec_problem = context.tec_template.with_profile(profile,
+                                                    name=benchmark)
+    base_problem = context.baseline_template.with_profile(
+        profile, name=benchmark)
+    operators = (tec_problem.model.network.operator,
+                 base_problem.model.network.operator)
+    befores = tuple(op.stats for op in operators)
+    try:
+        # The benchmark span re-opens per stage unit so each stage span
+        # keeps its benchmark ancestry after telemetry adoption.
+        with _obs.span("benchmark", benchmark):
+            result.value = run_campaign_stage(
+                stage, benchmark, tec_problem, base_problem,
+                context.method, Evaluator, context.resilient,
+                context.policy, result.failures, jac=context.jac)
+    except _StageFailure as failure:
+        result.failures.append(failure_report_from_exception(
+            benchmark, failure.stage, failure.error))
+        result.error = (failure.stage,
+                        type(failure.error).__name__,
+                        str(failure.error))
+    except Exception as exc:  # physlint: disable=RPR201
+        # Same contract as benchmark units: anything non-library is a
+        # bug to record and merge, never an unpicklable traceback.
+        result.unhandled.append(f"{type(exc).__name__}: {exc}")
+    _operator_deltas(result, befores,
+                     tuple(op.stats for op in operators))
+
+
 def _execute_points(context: WorkerContext, unit: WorkUnit,
                     result: UnitResult) -> None:
     """One chunk of ``(omega, I)`` evaluations.
@@ -339,11 +397,17 @@ def _execute_fields(context: WorkerContext, unit: WorkUnit,
             "context")
     operator = context.field_model.network.operator
     before = operator.stats
+    # The power map crosses the boundary as a SharedArrayRef when an
+    # shm plane was open; on the direct paths (threads, unpicklable
+    # fallback) the wrapper arrives intact and unwraps here.
+    power = context.field_power
+    if isinstance(power, _shm.SharedArrayRef):
+        power = power.array
     try:
         with _obs.span("fields", unit.name, count=len(unit.params)):
             outcomes = solve_steady_state_batch(
                 context.field_model, list(unit.params),
-                context.field_power, leakage=context.field_leakage)
+                power, leakage=context.field_leakage)
         result.value = [
             outcome.chip_temperatures
             if isinstance(outcome, SteadyStateResult) else None

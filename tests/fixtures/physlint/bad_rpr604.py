@@ -1,0 +1,20 @@
+# physlint fixture: shared-memory segments created, never unlinked.
+from multiprocessing.shared_memory import SharedMemory
+
+import numpy as np
+
+
+def publish(array):
+    segment = SharedMemory(create=True, size=array.nbytes)
+    view = np.ndarray(array.shape, dtype=array.dtype, buf=segment.buf)
+    view[...] = array
+    return segment.name
+
+
+def scratch_segment(name, nbytes):
+    return SharedMemory(name=name, create=True, size=nbytes)
+
+
+def attach(name):
+    # Attaching is fine on its own; only creations need the pairing.
+    return SharedMemory(name=name)

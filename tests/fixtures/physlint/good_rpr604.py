@@ -1,0 +1,30 @@
+# physlint fixture: creations paired with unlink / finalizers.
+import atexit
+from multiprocessing.shared_memory import SharedMemory
+
+import numpy as np
+
+
+def publish(array):
+    segment = SharedMemory(create=True, size=array.nbytes)
+    view = np.ndarray(array.shape, dtype=array.dtype, buf=segment.buf)
+    view[...] = array
+    atexit.register(segment.unlink)
+    return segment.name
+
+
+def publish_scoped(array):
+    segment = SharedMemory(create=True, size=array.nbytes)
+    try:
+        yield segment
+    finally:
+        segment.close()
+        segment.unlink()
+
+
+def attach(name):
+    return SharedMemory(name=name)
+
+
+def attach_with_flag(name):
+    return SharedMemory(name=name, create=False)

@@ -431,3 +431,157 @@ class TestChaosUnderParallelism:
             assert unit is not None
             assert benchmark == unit
             assert unit in subset
+
+
+class TestChunking:
+    """Balanced slicing: no runt chunks, exact multiples untouched."""
+
+    def test_remainder_spread_not_stranded(self):
+        from repro.exec import chunk_sizes
+        # The motivating case: 17 points at chunk 8 used to schedule
+        # [8, 8, 1] and leave two workers idle behind the runt.
+        assert chunk_sizes(17, 8) == [6, 6, 5]
+        assert chunk_sizes(17, 2) == [2] * 8 + [1]
+
+    def test_exact_multiples_untouched(self):
+        from repro.exec import chunk_sizes
+        assert chunk_sizes(16, 8) == [8, 8]
+        assert chunk_sizes(9, 3) == [3, 3, 3]
+
+    def test_conservation_and_balance(self):
+        from repro.exec import chunk_sizes
+        for count in (1, 5, 17, 25, 100, 101):
+            for chunk in (1, 2, 7, 8, 64):
+                sizes = chunk_sizes(count, chunk)
+                assert sum(sizes) == count
+                assert max(sizes) - min(sizes) <= 1
+                assert len(sizes) == -(-count // chunk)
+
+    def test_empty_and_invalid(self):
+        from repro.exec import chunk_sizes
+        assert chunk_sizes(0, 8) == []
+        assert chunk_sizes(-3, 8) == []
+        with pytest.raises(ConfigurationError):
+            chunk_sizes(5, 0)
+
+    def test_default_chunk_balances_17_by_3(self):
+        from repro.exec import chunk_sizes
+        # 17 points on 3 workers: every unit within one point of its
+        # neighbors, and more units than workers so the deque
+        # scheduler can rebalance.
+        chunk = default_chunk(17, 3)
+        sizes = chunk_sizes(17, chunk)
+        assert max(sizes) - min(sizes) <= 1
+        assert len(sizes) >= 3
+
+
+class TestResolveExecutor:
+    def test_default_is_process(self, monkeypatch):
+        from repro.exec import EXECUTOR_ENV, resolve_executor
+        monkeypatch.delenv(EXECUTOR_ENV, raising=False)
+        assert resolve_executor() == "process"
+
+    def test_env_fallback(self, monkeypatch):
+        from repro.exec import EXECUTOR_ENV, resolve_executor
+        monkeypatch.setenv(EXECUTOR_ENV, "thread")
+        assert resolve_executor() == "thread"
+
+    def test_argument_overrides_env(self, monkeypatch):
+        from repro.exec import EXECUTOR_ENV, resolve_executor
+        monkeypatch.setenv(EXECUTOR_ENV, "thread")
+        assert resolve_executor("serial") == "serial"
+
+    def test_normalized(self, monkeypatch):
+        from repro.exec import EXECUTOR_ENV, resolve_executor
+        monkeypatch.delenv(EXECUTOR_ENV, raising=False)
+        assert resolve_executor(" Thread ") == "thread"
+
+    def test_junk_rejected(self, monkeypatch):
+        from repro.exec import EXECUTOR_ENV, resolve_executor
+        with pytest.raises(ConfigurationError):
+            resolve_executor("gevent")
+        monkeypatch.setenv(EXECUTOR_ENV, "fibers")
+        with pytest.raises(ConfigurationError):
+            resolve_executor()
+
+
+class TestThreadExecutor:
+    def test_campaign_digest_equality(self, profiles,
+                                      identity_problems):
+        """executor='thread' shares one in-process operator cache and
+        still merges bit-identically to the serial loop."""
+        tec, base = identity_problems
+        subset = {name: profiles[name]
+                  for name in ("basicmath", "crc32")}
+        serial = run_campaign(subset, tec, base, workers=0)
+        threaded = run_campaign(subset, tec, base, workers=2,
+                                executor="thread")
+        assert canonical_digest(threaded) == canonical_digest(serial)
+        # No process boundary: every unit ran in the coordinator.
+        import os
+        for row in threaded.worker_stats["per_worker"]:
+            assert row["pid"] == os.getpid()
+
+    def test_env_selected_thread_backend(self, monkeypatch, profiles,
+                                         identity_problems):
+        from repro.exec import EXECUTOR_ENV
+        tec, base = identity_problems
+        subset = {"basicmath": profiles["basicmath"],
+                  "fft": profiles["fft"]}
+        serial = run_campaign(subset, tec, base, workers=0)
+        monkeypatch.setenv(EXECUTOR_ENV, "thread")
+        threaded = run_campaign(subset, tec, base, workers=2)
+        assert canonical_digest(threaded) == canonical_digest(serial)
+
+
+class TestStageMerge:
+    """Reassembling stage units must mirror the serial pipeline."""
+
+    @staticmethod
+    def _merge(results, benchmarks):
+        from repro.analysis.campaign import CAMPAIGN_STAGES
+        from repro.exec import CampaignMerge
+        from repro.exec.scheduler import _merge_stage_results
+        from repro.exec.units import UnitResult
+        merge = CampaignMerge()
+        _merge_stage_results(merge, results, benchmarks,
+                             list(CAMPAIGN_STAGES))
+        return merge
+
+    def test_error_stops_later_stages(self):
+        from repro.analysis.campaign import CAMPAIGN_STAGES
+        from repro.exec.units import UnitResult
+        results = [
+            UnitResult(index=index, name=f"bench/{stage}", value=None)
+            for index, stage in enumerate(CAMPAIGN_STAGES)]
+        results[1].error = ("oftec-opt2", "SolverError", "diverged")
+        # In the serial loop stages after the failure never ran, so
+        # their values — even real-looking ones — must be dropped.
+        results[3].value = object()
+        merge = self._merge(results, ["bench"])
+        assert merge.comparisons == []
+        assert merge.errors == [
+            ("bench", "oftec-opt2", "SolverError", "diverged")]
+
+    def test_unhandled_crash_labels_stage_unit(self):
+        from repro.analysis.campaign import CAMPAIGN_STAGES
+        from repro.exec.units import UnitResult
+        results = [
+            UnitResult(index=index, name=f"bench/{stage}")
+            for index, stage in enumerate(CAMPAIGN_STAGES)]
+        results[2].unhandled = ["RuntimeError: boom"]
+        merge = self._merge(results, ["bench"])
+        assert merge.comparisons == []
+        assert merge.crashed == [
+            ("bench/variable-opt1", 1, "RuntimeError: boom")]
+
+    def test_lost_unit_is_terminal(self):
+        from repro.analysis.campaign import CAMPAIGN_STAGES
+        from repro.exec.units import UnitResult
+        results = [
+            UnitResult(index=index, name=f"bench/{stage}", value=42)
+            for index, stage in enumerate(CAMPAIGN_STAGES)]
+        del results[4]  # fixed-omega never came home
+        merge = self._merge(results, ["bench"])
+        assert merge.comparisons == []
+        assert merge.errors == []
